@@ -1,0 +1,45 @@
+//! Ablation: integration method and step size.
+//!
+//! DESIGN.md calls out the choice of trapezoidal integration with a
+//! ~2 ps step. This bench measures the cost of the alternatives; the
+//! accuracy side of the ablation lives in the `ablations` module of
+//! `rotsv-experiments`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use rotsv::mosfet::model::Nominal;
+use rotsv::ro::{MeasureOpts, RingOscillator, RoConfig};
+use rotsv::spice::IntegrationMethod;
+
+fn period(method: IntegrationMethod, dt: f64) -> f64 {
+    let config = RoConfig::new(2, 1.1).enable_only(&[0]);
+    let ro = RingOscillator::build(&config, &mut Nominal);
+    let opts = MeasureOpts {
+        dt,
+        cycles: 3,
+        skip_cycles: 1,
+        max_time: 30e-9,
+        method,
+    };
+    ro.measure(&opts).unwrap().period().expect("oscillates")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_integrator");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.bench_function("trapezoidal_dt2ps", |b| {
+        b.iter(|| period(IntegrationMethod::Trapezoidal, 2e-12))
+    });
+    g.bench_function("trapezoidal_dt4ps", |b| {
+        b.iter(|| period(IntegrationMethod::Trapezoidal, 4e-12))
+    });
+    g.bench_function("backward_euler_dt2ps", |b| {
+        b.iter(|| period(IntegrationMethod::BackwardEuler, 2e-12))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

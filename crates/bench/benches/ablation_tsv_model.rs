@@ -1,0 +1,40 @@
+//! Ablation: lumped vs distributed TSV stamping inside the full ring.
+//!
+//! The paper's lumped simplification buys simulation speed; this bench
+//! quantifies how much (the accuracy equivalence is E0).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use rotsv::mosfet::model::Nominal;
+use rotsv::ro::{MeasureOpts, RingOscillator, RoConfig};
+use rotsv::tsv::TsvModel;
+
+fn period(model: TsvModel) -> f64 {
+    let config = RoConfig {
+        tsv_model: model,
+        ..RoConfig::new(2, 1.1).enable_only(&[0])
+    };
+    let ro = RingOscillator::build(&config, &mut Nominal);
+    let opts = MeasureOpts {
+        dt: 4e-12,
+        cycles: 3,
+        skip_cycles: 1,
+        max_time: 30e-9,
+        ..MeasureOpts::fast()
+    };
+    ro.measure(&opts).unwrap().period().expect("oscillates")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_tsv_model");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.bench_function("lumped", |b| b.iter(|| period(TsvModel::Lumped)));
+    g.bench_function("distributed_5", |b| b.iter(|| period(TsvModel::Distributed(5))));
+    g.bench_function("distributed_20", |b| b.iter(|| period(TsvModel::Distributed(20))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

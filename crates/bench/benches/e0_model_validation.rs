@@ -1,0 +1,43 @@
+//! Bench for E0 (§III-A): charging a fault-free TSV, lumped vs
+//! distributed model — the simulation kernel behind the lumped-model
+//! validation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use rotsv::mosfet::model::Nominal;
+use rotsv::mosfet::tech45::DriveStrength;
+use rotsv::spice::{Circuit, SourceWaveform, TransientSpec};
+use rotsv::stdcell::CellBuilder;
+use rotsv::tsv::{Tsv, TsvModel, TsvTech};
+
+fn charge(model: TsvModel) -> f64 {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.add_vsource(vdd, Circuit::GROUND, SourceWaveform::dc(1.1));
+    let input = ckt.node("in");
+    ckt.add_vsource(input, Circuit::GROUND, SourceWaveform::step(0.0, 1.1, 0.1e-9));
+    let front = ckt.node("tsv");
+    Tsv::fault_free(TsvTech::default()).stamp(&mut ckt, front, model);
+    let mut vary = Nominal;
+    let mut cells = CellBuilder::new(&mut ckt, vdd, &mut vary);
+    cells.buffer("drv", input, front, DriveStrength::X4);
+    let res = ckt
+        .transient(&TransientSpec::new(1e-9, 0.5e-12).record(&[front]))
+        .expect("transient succeeds");
+    res.final_voltage(front)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e0_model_validation");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.bench_function("lumped", |b| b.iter(|| charge(TsvModel::Lumped)));
+    g.bench_function("distributed_10", |b| {
+        b.iter(|| charge(TsvModel::Distributed(10)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

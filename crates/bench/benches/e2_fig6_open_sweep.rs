@@ -1,0 +1,35 @@
+//! Bench for E2 (Fig. 6): one ΔT measurement of a resistive open — the
+//! unit of work of the R_O sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use rotsv::num::units::Ohms;
+use rotsv::tsv::TsvFault;
+use rotsv::Die;
+use rotsv_bench::{bench_bench, one_delta_t};
+
+fn bench(c: &mut Criterion) {
+    let tb = bench_bench();
+    let die = Die::nominal();
+    let mut g = c.benchmark_group("e2_fig6_open_sweep");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.bench_function("delta_t_open_1k", |b| {
+        b.iter(|| {
+            one_delta_t(
+                &tb,
+                1.1,
+                TsvFault::ResistiveOpen {
+                    x: 0.5,
+                    r: Ohms(1e3),
+                },
+                &die,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

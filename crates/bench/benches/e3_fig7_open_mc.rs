@@ -1,0 +1,36 @@
+//! Bench for E3 (Fig. 7): one Monte-Carlo die of the open-vs-voltage
+//! spread analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use rotsv::num::units::Ohms;
+use rotsv::tsv::TsvFault;
+use rotsv::variation::ProcessSpread;
+use rotsv::Die;
+use rotsv_bench::{bench_bench, one_delta_t};
+
+fn bench(c: &mut Criterion) {
+    let tb = bench_bench();
+    let die = Die::new(ProcessSpread::paper(), 7);
+    let mut g = c.benchmark_group("e3_fig7_open_mc");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.bench_function("mc_die_open_1k_at_1v1", |b| {
+        b.iter(|| {
+            one_delta_t(
+                &tb,
+                1.1,
+                TsvFault::ResistiveOpen {
+                    x: 0.5,
+                    r: Ohms(1e3),
+                },
+                &die,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench for E4 (Fig. 8): one ΔT measurement of a leakage fault — the
+//! unit of work of the R_L sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use rotsv::num::units::Ohms;
+use rotsv::tsv::TsvFault;
+use rotsv::Die;
+use rotsv_bench::{bench_bench, one_delta_t};
+
+fn bench(c: &mut Criterion) {
+    let tb = bench_bench();
+    let die = Die::nominal();
+    let mut g = c.benchmark_group("e4_fig8_leak_sweep");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.bench_function("delta_t_leak_3k", |b| {
+        b.iter(|| one_delta_t(&tb, 1.1, TsvFault::Leakage { r: Ohms(3e3) }, &die))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

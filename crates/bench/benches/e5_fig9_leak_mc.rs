@@ -1,0 +1,26 @@
+//! Bench for E5 (Fig. 9): one Monte-Carlo die of the leakage-vs-voltage
+//! spread analysis (run at 0.95 V, inside the sensitive region).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use rotsv::num::units::Ohms;
+use rotsv::tsv::TsvFault;
+use rotsv::variation::ProcessSpread;
+use rotsv::Die;
+use rotsv_bench::{bench_bench, one_delta_t};
+
+fn bench(c: &mut Criterion) {
+    let tb = bench_bench();
+    let die = Die::new(ProcessSpread::paper(), 9);
+    let mut g = c.benchmark_group("e5_fig9_leak_mc");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.bench_function("mc_die_leak_3k_at_0v95", |b| {
+        b.iter(|| one_delta_t(&tb, 0.95, TsvFault::Leakage { r: Ohms(3e3) }, &die))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench for E6 (Fig. 10): ΔT with M TSVs tested simultaneously.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use rotsv::tsv::TsvFault;
+use rotsv::Die;
+use rotsv_bench::bench_bench;
+
+fn bench(c: &mut Criterion) {
+    let tb = bench_bench();
+    let die = Die::nominal();
+    let mut g = c.benchmark_group("e6_fig10_parallel");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    for m in [1usize, 2] {
+        g.bench_function(format!("delta_t_m{m}"), |b| {
+            let under_test: Vec<usize> = (0..m).collect();
+            b.iter(|| {
+                tb.measure_delta_t(1.1, &[TsvFault::None; 2], &under_test, &die)
+                    .unwrap()
+                    .delta()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

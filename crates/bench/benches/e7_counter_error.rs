@@ -1,0 +1,38 @@
+//! Bench for E7 (§IV-C): the gated counter sampling model and the
+//! gate-level counter simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rotsv::dft::counter::{GateLevelCounter, GatedCounter};
+use rotsv::dft::lfsr::Lfsr;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_counter_error");
+    g.bench_function("gated_counter_phase_sweep", |b| {
+        let counter = GatedCounter::new(5e-6, 16);
+        b.iter(|| {
+            let mut worst = 0.0f64;
+            for k in 0..200 {
+                let phase = 5.065e-9 * k as f64 / 200.0;
+                let est = counter.measure(5.065e-9, phase).unwrap();
+                worst = worst.max((est - 5.065e-9).abs());
+            }
+            worst
+        })
+    });
+    g.bench_function("gate_level_counter_1000_ticks", |b| {
+        b.iter(|| {
+            let mut counter = GateLevelCounter::build(10);
+            for _ in 0..1000 {
+                counter.tick();
+            }
+            counter.count()
+        })
+    });
+    g.bench_function("lfsr_decode_table_12bit", |b| {
+        b.iter(|| Lfsr::new(12).decode_table().len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Bench for E8 (§IV-D): the DfT area model (trivially fast; included so
+//! every table/figure has a bench target).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rotsv::dft::DftAreaModel;
+
+fn bench(c: &mut Criterion) {
+    let model = DftAreaModel::default();
+    c.bench_function("e8_area_cost/paper_example", |b| {
+        b.iter(|| {
+            let area = model.total_area(1000, 5);
+            let frac = model.fraction_of_die(1000, 5, 25.0);
+            (area, frac)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

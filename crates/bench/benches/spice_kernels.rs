@@ -1,0 +1,57 @@
+//! Microbenchmarks of the simulator's numeric kernels: LU factorization
+//! at MNA-typical sizes and a full transient step workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rotsv::num::linsolve::LuFactors;
+use rotsv::num::matrix::Matrix;
+use rotsv::num::rng::GaussianRng;
+use rotsv::spice::{Circuit, SourceWaveform, TransientSpec};
+
+fn random_system(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = GaussianRng::seed_from(seed);
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = rng.standard_normal();
+        }
+        a[(i, i)] += n as f64; // diagonally dominant: well conditioned
+    }
+    let b: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+    (a, b)
+}
+
+fn rc_ladder(n: usize) -> Circuit {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    ckt.add_vsource(vin, Circuit::GROUND, SourceWaveform::step(0.0, 1.0, 0.0));
+    let mut prev = vin;
+    for i in 0..n {
+        let node = ckt.node(&format!("n{i}"));
+        ckt.add_resistor(prev, node, 100.0);
+        ckt.add_capacitor(node, Circuit::GROUND, 1e-14);
+        prev = node;
+    }
+    ckt
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spice_kernels");
+    for n in [16usize, 64, 128] {
+        let (a, b) = random_system(n, 42);
+        g.bench_function(format!("lu_factor_solve_{n}"), |bench| {
+            bench.iter(|| {
+                let lu = LuFactors::factor(a.clone()).unwrap();
+                lu.solve(&b).unwrap()
+            })
+        });
+    }
+    g.bench_function("transient_rc_ladder_50x1000steps", |bench| {
+        let ckt = rc_ladder(50);
+        let spec = TransientSpec::new(1e-9, 1e-12);
+        bench.iter(|| ckt.transient(&spec).unwrap().steps_taken())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! Shared helpers for the Criterion benches.
+//!
+//! Every table and figure of the paper has a bench target that exercises
+//! the simulation kernel regenerating it (see `benches/`). Heavy
+//! Monte-Carlo sweeps are benched through one representative unit of
+//! work — the full datasets are produced by the `experiments` binary.
+
+use rotsv::ro::MeasureOpts;
+use rotsv::tsv::TsvFault;
+use rotsv::{Die, TestBench};
+
+/// A small bench fixture: N = 2 ring at coarse accuracy.
+pub fn bench_bench() -> TestBench {
+    TestBench {
+        base_opts: MeasureOpts {
+            dt: 4e-12,
+            cycles: 3,
+            skip_cycles: 1,
+            max_time: 30e-9,
+            ..MeasureOpts::fast()
+        },
+        ..TestBench::new(2)
+    }
+}
+
+/// One ΔT measurement used as the unit of work in figure benches.
+///
+/// # Panics
+///
+/// Panics if the simulation fails (benches treat that as a hard error).
+pub fn one_delta_t(bench: &TestBench, vdd: f64, fault: TsvFault, die: &Die) -> f64 {
+    let mut faults = vec![TsvFault::None; bench.n_segments];
+    faults[0] = fault;
+    bench
+        .measure_delta_t(vdd, &faults, &[0], die)
+        .expect("simulation succeeds")
+        .delta()
+        .unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_produces_a_delta() {
+        let b = bench_bench();
+        let dt = one_delta_t(&b, 1.1, TsvFault::None, &Die::nominal());
+        assert!(dt.is_finite() && dt > 0.0);
+    }
+}

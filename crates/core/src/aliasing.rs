@@ -1,0 +1,238 @@
+//! Quantitative aliasing analysis: minimum detectable fault size.
+//!
+//! The paper observes that process variation limits detection resolution
+//! and leaves "a quantitative analysis of aliasing due to process
+//! variations" as future work. This module carries out that analysis:
+//! for a given voltage, it sweeps the fault size, builds Monte-Carlo ΔT
+//! populations, and reports the smallest fault whose population clears
+//! the fault-free acceptance band — the **minimum detectable fault**.
+
+use rotsv_num::stats::{point_overlap, Summary};
+use rotsv_num::units::Ohms;
+use rotsv_spice::SpiceError;
+use rotsv_tsv::TsvFault;
+use rotsv_variation::ProcessSpread;
+
+use crate::classify::DetectionThresholds;
+use crate::mc::delta_t_population;
+use crate::measure::TestBench;
+
+/// Which fault family is being sized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultFamily {
+    /// Resistive opens at a fixed location `x`; size = R_O in ohms
+    /// (larger = worse).
+    ResistiveOpen,
+    /// Leakage to substrate; size = R_L in ohms (smaller = worse).
+    Leakage,
+}
+
+impl FaultFamily {
+    fn fault(self, size: f64) -> TsvFault {
+        match self {
+            FaultFamily::ResistiveOpen => TsvFault::ResistiveOpen {
+                x: 0.5,
+                r: Ohms(size),
+            },
+            FaultFamily::Leakage => TsvFault::Leakage { r: Ohms(size) },
+        }
+    }
+}
+
+/// Detection statistics for one fault size.
+#[derive(Debug, Clone)]
+pub struct SizePoint {
+    /// Fault size, ohms.
+    pub size: f64,
+    /// ΔT population of the faulty dies (oscillating only).
+    pub faulty: Option<Summary>,
+    /// Dies detected (outside the band or stuck) over total dies.
+    pub detected: usize,
+    /// Total dies simulated.
+    pub total: usize,
+    /// Overlap of faulty points with the fault-free band region.
+    pub alias_fraction: f64,
+}
+
+impl SizePoint {
+    /// Fraction of faulty dies correctly flagged.
+    pub fn detection_rate(&self) -> f64 {
+        self.detected as f64 / self.total as f64
+    }
+}
+
+/// Result of an aliasing sweep at one voltage.
+#[derive(Debug, Clone)]
+pub struct AliasingAnalysis {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Fault family analyzed.
+    pub family: FaultFamily,
+    /// The fault-free acceptance band used.
+    pub thresholds: DetectionThresholds,
+    /// Per-size detection statistics, in sweep order.
+    pub points: Vec<SizePoint>,
+}
+
+impl AliasingAnalysis {
+    /// The smallest (mildest) fault size whose detection rate reaches
+    /// `target` (e.g. 1.0 for guaranteed detection within the MC sample).
+    ///
+    /// "Mildest" respects the family's direction: the largest R_L for
+    /// leakage, the smallest R_O for opens. Returns `None` when no swept
+    /// size reaches the target.
+    pub fn minimum_detectable(&self, target: f64) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for p in &self.points {
+            if p.detection_rate() >= target {
+                best = Some(match (self.family, best) {
+                    (FaultFamily::ResistiveOpen, Some(b)) => b.min(p.size),
+                    (FaultFamily::Leakage, Some(b)) => b.max(p.size),
+                    (_, None) => p.size,
+                });
+            }
+        }
+        best
+    }
+}
+
+/// Runs the aliasing analysis for one fault family at one voltage.
+///
+/// The fault-free band is calibrated from its own Monte-Carlo population
+/// (range + `guard` seconds); each swept fault size gets an independent
+/// faulty population over the *same dies*.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if `sizes` is empty, `samples` is zero, or a fault-free die
+/// fails to oscillate.
+#[allow(clippy::too_many_arguments)]
+pub fn analyze_aliasing(
+    bench: &TestBench,
+    vdd: f64,
+    family: FaultFamily,
+    sizes: &[f64],
+    spread: ProcessSpread,
+    seed: u64,
+    samples: usize,
+    guard: f64,
+) -> Result<AliasingAnalysis, SpiceError> {
+    assert!(!sizes.is_empty(), "need at least one fault size");
+    let ff_faults = vec![TsvFault::None; bench.n_segments];
+    let ff = delta_t_population(bench, vdd, &ff_faults, &[0], spread, seed, samples)?;
+    assert_eq!(
+        ff.stuck_count + ff.reference_failures,
+        0,
+        "fault-free calibration failed at {vdd} V"
+    );
+    let thresholds = DetectionThresholds::from_range(&ff.deltas, guard);
+
+    let mut points = Vec::with_capacity(sizes.len());
+    for &size in sizes {
+        let mut faults = ff_faults.clone();
+        faults[0] = family.fault(size);
+        let pop = delta_t_population(bench, vdd, &faults, &[0], spread, seed, samples)?;
+        let outside = pop
+            .deltas
+            .iter()
+            .filter(|&&dt| thresholds.classify_delta(dt).is_fault())
+            .count();
+        let detected = outside + pop.stuck_count;
+        let alias_fraction = if pop.deltas.is_empty() {
+            0.0
+        } else {
+            point_overlap(&ff.deltas, &pop.deltas)
+        };
+        points.push(SizePoint {
+            size,
+            faulty: (!pop.deltas.is_empty()).then(|| Summary::of(&pop.deltas)),
+            detected,
+            total: pop.total(),
+            alias_fraction,
+        });
+    }
+    Ok(AliasingAnalysis {
+        vdd,
+        family,
+        thresholds,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_builds_expected_faults() {
+        assert!(matches!(
+            FaultFamily::ResistiveOpen.fault(2e3),
+            TsvFault::ResistiveOpen { .. }
+        ));
+        assert!(matches!(
+            FaultFamily::Leakage.fault(2e3),
+            TsvFault::Leakage { .. }
+        ));
+    }
+
+    #[test]
+    fn minimum_detectable_respects_direction() {
+        let mk = |family, sizes_rates: &[(f64, usize)]| AliasingAnalysis {
+            vdd: 1.1,
+            family,
+            thresholds: DetectionThresholds {
+                lower: 0.0,
+                upper: 1.0,
+            },
+            points: sizes_rates
+                .iter()
+                .map(|&(size, detected)| SizePoint {
+                    size,
+                    faulty: None,
+                    detected,
+                    total: 10,
+                    alias_fraction: 0.0,
+                })
+                .collect(),
+        };
+        // Opens: 5k and 10k fully detected, 1k not -> minimum is 5k.
+        let opens = mk(
+            FaultFamily::ResistiveOpen,
+            &[(1e3, 4), (5e3, 10), (10e3, 10)],
+        );
+        assert_eq!(opens.minimum_detectable(1.0), Some(5e3));
+        // Leakage: 1k and 2k fully detected, 5k not -> minimum severity is
+        // the *largest* detected R_L = 2k.
+        let leaks = mk(FaultFamily::Leakage, &[(5e3, 3), (2e3, 10), (1e3, 10)]);
+        assert_eq!(leaks.minimum_detectable(1.0), Some(2e3));
+        // Nothing reaches the target.
+        assert_eq!(opens.minimum_detectable(1.1), None);
+    }
+
+    /// End-to-end on a tiny configuration: a huge open is always detected,
+    /// a negligible one never is.
+    #[test]
+    fn extreme_sizes_behave() {
+        let bench = TestBench::fast(1);
+        let analysis = analyze_aliasing(
+            &bench,
+            1.1,
+            FaultFamily::ResistiveOpen,
+            &[10.0, 100e3],
+            ProcessSpread::paper().scaled(0.5),
+            3,
+            4,
+            5e-12,
+        )
+        .unwrap();
+        let tiny = &analysis.points[0];
+        let huge = &analysis.points[1];
+        assert_eq!(tiny.detected, 0, "10 Ω open is invisible: {tiny:?}");
+        assert_eq!(huge.detected, huge.total, "full open always caught");
+        assert_eq!(analysis.minimum_detectable(1.0), Some(100e3));
+    }
+}

@@ -1,0 +1,188 @@
+//! Fault detection and classification from ΔT.
+//!
+//! Because resistive opens *reduce* ΔT and leakage faults *increase* it
+//! (and strong leakage kills the oscillation), a two-sided threshold on
+//! ΔT not only detects but also *classifies* the fault — the paper's
+//! observation that "these fault types are distinguishable from each
+//! other".
+
+use rotsv_num::stats::Summary;
+
+use crate::measure::DeltaTMeasurement;
+
+/// Screening verdict for one TSV at one voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// ΔT within the fault-free band.
+    Pass,
+    /// ΔT below the band: micro-void / resistive open.
+    ResistiveOpen,
+    /// ΔT above the band: pinhole / leakage.
+    Leakage,
+    /// Run 1 did not oscillate: strong leakage (stuck-at-0 TSV).
+    StuckAt0,
+    /// The all-bypassed reference did not oscillate: the DfT ring itself
+    /// is defective and the TSV cannot be judged.
+    ReferenceFailure,
+}
+
+impl Verdict {
+    /// `true` for any verdict that fails the die.
+    pub fn is_fault(self) -> bool {
+        !matches!(self, Verdict::Pass)
+    }
+}
+
+/// Acceptance band on ΔT, calibrated from the fault-free population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionThresholds {
+    /// ΔT below this is flagged as a resistive open, seconds.
+    pub lower: f64,
+    /// ΔT above this is flagged as leakage, seconds.
+    pub upper: f64,
+}
+
+impl DetectionThresholds {
+    /// Builds thresholds as `mean ± k·σ` of a fault-free ΔT population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is empty or `k_sigma` is not positive.
+    pub fn from_population(fault_free: &[f64], k_sigma: f64) -> Self {
+        assert!(k_sigma > 0.0, "k_sigma must be positive");
+        let s = Summary::of(fault_free);
+        Self {
+            lower: s.mean - k_sigma * s.std_dev,
+            upper: s.mean + k_sigma * s.std_dev,
+        }
+    }
+
+    /// Builds thresholds from the observed fault-free range extended by a
+    /// guard band (`guard` seconds on each side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is empty or `guard` is negative.
+    pub fn from_range(fault_free: &[f64], guard: f64) -> Self {
+        assert!(guard >= 0.0, "guard must be non-negative");
+        let s = Summary::of(fault_free);
+        Self {
+            lower: s.min - guard,
+            upper: s.max + guard,
+        }
+    }
+
+    /// Classifies a two-run measurement against this band.
+    pub fn classify(&self, m: &DeltaTMeasurement) -> Verdict {
+        if m.reference_failed() {
+            return Verdict::ReferenceFailure;
+        }
+        if m.is_stuck() {
+            return Verdict::StuckAt0;
+        }
+        let dt = m
+            .delta()
+            .expect("both runs oscillate when neither failure flag is set");
+        if dt < self.lower {
+            Verdict::ResistiveOpen
+        } else if dt > self.upper {
+            Verdict::Leakage
+        } else {
+            Verdict::Pass
+        }
+    }
+
+    /// Classifies a raw ΔT value (no stuck information).
+    pub fn classify_delta(&self, dt: f64) -> Verdict {
+        if dt < self.lower {
+            Verdict::ResistiveOpen
+        } else if dt > self.upper {
+            Verdict::Leakage
+        } else {
+            Verdict::Pass
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsv_ro::OscillationOutcome;
+    use rotsv_spice::PeriodMeasurement;
+
+    fn oscillating(period: f64) -> OscillationOutcome {
+        OscillationOutcome::Oscillating(PeriodMeasurement {
+            mean: period,
+            jitter: 0.0,
+            cycles: 8,
+        })
+    }
+
+    fn stuck() -> OscillationOutcome {
+        OscillationOutcome::Stuck {
+            final_voltage: 0.0,
+            swing: 0.1,
+        }
+    }
+
+    fn measurement(t1: OscillationOutcome, t2: OscillationOutcome) -> DeltaTMeasurement {
+        DeltaTMeasurement { t1, t2 }
+    }
+
+    const BAND: DetectionThresholds = DetectionThresholds {
+        lower: 400e-12,
+        upper: 500e-12,
+    };
+
+    #[test]
+    fn classification_covers_all_regions() {
+        let t2 = oscillating(1.0e-9);
+        let pass = measurement(oscillating(1.45e-9), t2.clone());
+        let open = measurement(oscillating(1.35e-9), t2.clone());
+        let leak = measurement(oscillating(1.60e-9), t2.clone());
+        let stuck_m = measurement(stuck(), t2.clone());
+        assert_eq!(BAND.classify(&pass), Verdict::Pass);
+        assert_eq!(BAND.classify(&open), Verdict::ResistiveOpen);
+        assert_eq!(BAND.classify(&leak), Verdict::Leakage);
+        assert_eq!(BAND.classify(&stuck_m), Verdict::StuckAt0);
+    }
+
+    #[test]
+    fn reference_failure_dominates() {
+        let m = measurement(stuck(), stuck());
+        assert_eq!(BAND.classify(&m), Verdict::ReferenceFailure);
+        assert!(Verdict::ReferenceFailure.is_fault());
+    }
+
+    #[test]
+    fn from_population_is_symmetric_about_mean() {
+        let pop = [1.0, 2.0, 3.0];
+        let t = DetectionThresholds::from_population(&pop, 3.0);
+        assert!((t.lower - (2.0 - 3.0)).abs() < 1e-12);
+        assert!((t.upper - (2.0 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_range_adds_guard() {
+        let pop = [1.0, 2.0];
+        let t = DetectionThresholds::from_range(&pop, 0.5);
+        assert_eq!(t.lower, 0.5);
+        assert_eq!(t.upper, 2.5);
+    }
+
+    #[test]
+    fn verdict_fault_flags() {
+        assert!(!Verdict::Pass.is_fault());
+        for v in [Verdict::ResistiveOpen, Verdict::Leakage, Verdict::StuckAt0] {
+            assert!(v.is_fault());
+        }
+    }
+
+    #[test]
+    fn classify_delta_matches_band_edges() {
+        assert_eq!(BAND.classify_delta(450e-12), Verdict::Pass);
+        assert_eq!(BAND.classify_delta(400e-12), Verdict::Pass, "edge inclusive");
+        assert_eq!(BAND.classify_delta(399e-12), Verdict::ResistiveOpen);
+        assert_eq!(BAND.classify_delta(501e-12), Verdict::Leakage);
+    }
+}

@@ -1,0 +1,212 @@
+//! Fault-size diagnosis from measured ΔT.
+//!
+//! Detection tells us *that* a TSV is defective; diagnosis estimates *how
+//! big* the defect is — valuable because the paper motivates early
+//! screening with defects that "get aggravated over time": a weak leak
+//! near the detection limit is a reliability risk even if functionally
+//! benign today. The paper points to ring-oscillator-based diagnosis as
+//! related work ([10], [14]); this module implements it on top of the
+//! ΔT machinery:
+//!
+//! 1. **Calibrate** a ΔT-vs-fault-size curve on a nominal die by sweeping
+//!    injected fault sizes (a simulation the DfT designer runs once).
+//! 2. **Invert** a measured ΔT through monotone interpolation of that
+//!    curve to estimate the defect size.
+
+use rotsv_num::interp::lerp_at;
+use rotsv_num::units::Ohms;
+use rotsv_spice::SpiceError;
+use rotsv_tsv::TsvFault;
+
+use crate::aliasing::FaultFamily;
+use crate::die::Die;
+use crate::measure::TestBench;
+
+/// A calibrated ΔT(fault size) curve for one family at one voltage.
+#[derive(Debug, Clone)]
+pub struct DiagnosisCurve {
+    family: FaultFamily,
+    vdd: f64,
+    /// Fault sizes in ohms, sorted ascending.
+    sizes: Vec<f64>,
+    /// ΔT at each size, seconds (same order as `sizes`).
+    deltas: Vec<f64>,
+}
+
+impl DiagnosisCurve {
+    /// Calibrates the curve by simulating a nominal die with each fault
+    /// size injected.
+    ///
+    /// Sizes producing a stuck ring are dropped from the curve (they are
+    /// diagnosed as "beyond the strongest oscillating size").
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` is empty or fewer than two sizes oscillate.
+    pub fn calibrate(
+        bench: &TestBench,
+        vdd: f64,
+        family: FaultFamily,
+        sizes: &[f64],
+    ) -> Result<Self, SpiceError> {
+        assert!(!sizes.is_empty(), "need at least one size");
+        let die = Die::nominal();
+        let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(sizes.len());
+        for &size in sizes {
+            let mut faults = vec![TsvFault::None; bench.n_segments];
+            faults[0] = match family {
+                FaultFamily::ResistiveOpen => TsvFault::ResistiveOpen {
+                    x: 0.5,
+                    r: Ohms(size),
+                },
+                FaultFamily::Leakage => TsvFault::Leakage { r: Ohms(size) },
+            };
+            if let Some(dt) = bench.measure_delta_t(vdd, &faults, &[0], &die)?.delta() {
+                pairs.push((size, dt));
+            }
+        }
+        assert!(
+            pairs.len() >= 2,
+            "need at least two oscillating sizes to build a curve"
+        );
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite sizes"));
+        let (sizes, deltas) = pairs.into_iter().unzip();
+        Ok(Self {
+            family,
+            vdd,
+            sizes,
+            deltas,
+        })
+    }
+
+    /// The fault family this curve diagnoses.
+    pub fn family(&self) -> FaultFamily {
+        self.family
+    }
+
+    /// The calibration voltage.
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// The calibration points `(size, ΔT)`.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.sizes.iter().copied().zip(self.deltas.iter().copied())
+    }
+
+    /// Estimates the fault size from a measured ΔT by inverse
+    /// interpolation; clamps to the calibrated range.
+    ///
+    /// ΔT is monotone in the fault size within a family (decreasing in
+    /// R_O severity for opens, increasing as R_L shrinks for leaks), so
+    /// the inversion is well-posed on the calibrated interval.
+    pub fn estimate_size(&self, measured_delta: f64) -> Ohms {
+        // Build an increasing-x view of (ΔT, size).
+        let mut pairs: Vec<(f64, f64)> = self
+            .deltas
+            .iter()
+            .copied()
+            .zip(self.sizes.iter().copied())
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite deltas"));
+        // Deduplicate equal ΔT values (flat spots at the benign end).
+        pairs.dedup_by(|a, b| a.0 == b.0);
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        Ohms(lerp_at(&xs, &ys, measured_delta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_curve(family: FaultFamily, pts: &[(f64, f64)]) -> DiagnosisCurve {
+        DiagnosisCurve {
+            family,
+            vdd: 1.1,
+            sizes: pts.iter().map(|p| p.0).collect(),
+            deltas: pts.iter().map(|p| p.1).collect(),
+        }
+    }
+
+    #[test]
+    fn inversion_recovers_calibration_points() {
+        let curve = synthetic_curve(
+            FaultFamily::Leakage,
+            &[(1e3, 900e-12), (3e3, 600e-12), (10e3, 500e-12)],
+        );
+        assert!((curve.estimate_size(900e-12).value() - 1e3).abs() < 1e-6);
+        assert!((curve.estimate_size(600e-12).value() - 3e3).abs() < 1e-6);
+        // Midpoint interpolates between sizes.
+        let mid = curve.estimate_size(750e-12).value();
+        assert!((1e3..3e3).contains(&mid), "mid = {mid}");
+    }
+
+    #[test]
+    fn out_of_range_measurements_clamp() {
+        let curve = synthetic_curve(
+            FaultFamily::ResistiveOpen,
+            &[(500.0, 450e-12), (3e3, 400e-12)],
+        );
+        // ΔT below the strongest calibrated point clamps to its size.
+        assert_eq!(curve.estimate_size(1e-12).value(), 3e3);
+        assert_eq!(curve.estimate_size(1.0).value(), 500.0);
+    }
+
+    /// Full loop: calibrate on simulation, inject a fault the calibration
+    /// never saw, diagnose its size from the measured ΔT.
+    #[test]
+    fn diagnoses_unseen_leak_size() {
+        let bench = TestBench::fast(1);
+        let curve = DiagnosisCurve::calibrate(
+            &bench,
+            1.1,
+            FaultFamily::Leakage,
+            &[2.5e3, 4e3, 8e3, 20e3],
+        )
+        .unwrap();
+        // A 5 kΩ leak, not in the calibration set.
+        let faults = [TsvFault::Leakage { r: Ohms(5e3) }];
+        let dt = bench
+            .measure_delta_t(1.1, &faults, &[0], &Die::nominal())
+            .unwrap()
+            .delta()
+            .unwrap();
+        let est = curve.estimate_size(dt).value();
+        assert!(
+            (3.5e3..7e3).contains(&est),
+            "estimated {est} Ω for a 5 kΩ leak"
+        );
+    }
+
+    #[test]
+    fn diagnoses_unseen_open_size() {
+        let bench = TestBench::fast(1);
+        let curve = DiagnosisCurve::calibrate(
+            &bench,
+            1.1,
+            FaultFamily::ResistiveOpen,
+            &[0.5e3, 1e3, 2e3, 4e3],
+        )
+        .unwrap();
+        let faults = [TsvFault::ResistiveOpen {
+            x: 0.5,
+            r: Ohms(1.5e3),
+        }];
+        let dt = bench
+            .measure_delta_t(1.1, &faults, &[0], &Die::nominal())
+            .unwrap()
+            .delta()
+            .unwrap();
+        let est = curve.estimate_size(dt).value();
+        assert!(
+            (1e3..2.2e3).contains(&est),
+            "estimated {est} Ω for a 1.5 kΩ open"
+        );
+    }
+}

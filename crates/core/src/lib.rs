@@ -1,0 +1,92 @@
+#![warn(missing_docs)]
+
+//! # rotsv — non-invasive pre-bond TSV test
+//!
+//! A full reproduction of S. Deutsch and K. Chakrabarty, *"Non-Invasive
+//! Pre-Bond TSV Test Using Ring Oscillators and Multiple Voltage
+//! Levels"*, DATE 2013 — implemented from the transistor level up, with
+//! no external circuit-simulation dependencies.
+//!
+//! ## The method
+//!
+//! Before bonding, TSVs are buried in silicon and cannot be probed. The
+//! paper turns each group of N TSVs plus one inverter into a **ring
+//! oscillator** built only from standard cells. The oscillation period is
+//! measured twice — once with the TSV under test in the loop (T₁), once
+//! with all TSVs bypassed (T₂). The difference **ΔT = T₁ − T₂** isolates
+//! the TSV segment's delay and cancels process variation everywhere else:
+//!
+//! * a **resistive open** (micro-void) detaches part of the TSV
+//!   capacitance ⇒ ΔT *decreases*,
+//! * a **leakage fault** (pinhole to substrate) slows the charging edge
+//!   more than it speeds the discharge ⇒ ΔT *increases*; strong leakage
+//!   stops oscillation entirely (stuck-at-0),
+//! * testing at **multiple supply voltages** raises sensitivity: opens
+//!   separate best at high V_DD, weak leakage at low V_DD.
+//!
+//! ## Crate map
+//!
+//! This crate is the façade over the full stack and adds the test-method
+//! layer itself:
+//!
+//! | layer | crate |
+//! |---|---|
+//! | numerics (LU, stats, RNG) | [`rotsv_num`] |
+//! | MNA circuit simulator | [`rotsv_spice`] |
+//! | compact MOSFET model, 45 nm cards | [`rotsv_mosfet`] |
+//! | transistor-level standard cells | [`rotsv_stdcell`] |
+//! | TSV electrical/fault models | [`rotsv_tsv`] |
+//! | Monte-Carlo process variation | [`rotsv_variation`] |
+//! | counter/LFSR measurement DfT, area model | [`rotsv_dft`] |
+//! | ring-oscillator construction | [`rotsv_ro`] |
+//! | ΔT procedure, classification, multi-voltage plans | this crate |
+//!
+//! ## Quickstart
+//!
+//! Measure ΔT of a fault-free and a leaky TSV on nominal dies:
+//!
+//! ```
+//! use rotsv::{Die, TestBench};
+//! use rotsv::tsv::TsvFault;
+//! use rotsv::num::units::Ohms;
+//!
+//! # fn main() -> Result<(), rotsv::spice::SpiceError> {
+//! let bench = TestBench::fast(2); // 2 TSVs per ring, coarse sim settings
+//! let die = Die::nominal();
+//!
+//! let clean = bench.measure_delta_t(1.1, &[TsvFault::None; 2], &[0], &die)?;
+//! let leaky_faults = [TsvFault::Leakage { r: Ohms(2.5e3) }, TsvFault::None];
+//! let leaky = bench.measure_delta_t(1.1, &leaky_faults, &[0], &die)?;
+//!
+//! let dt_clean = clean.delta().expect("oscillates");
+//! let dt_leaky = leaky.delta().expect("oscillates");
+//! assert!(dt_leaky > dt_clean, "leakage increases \u{0394}T");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod aliasing;
+pub mod classify;
+pub mod diagnose;
+pub mod die;
+pub mod mc;
+pub mod measure;
+pub mod plan;
+
+pub use aliasing::{analyze_aliasing, AliasingAnalysis, FaultFamily};
+pub use classify::{DetectionThresholds, Verdict};
+pub use diagnose::DiagnosisCurve;
+pub use die::Die;
+pub use mc::{delta_t_population, McDeltaT};
+pub use measure::{DeltaTMeasurement, TestBench};
+pub use plan::{MultiVoltagePlan, ScreenResult, VoltagePoint};
+
+// Re-export the full stack under stable names.
+pub use rotsv_dft as dft;
+pub use rotsv_mosfet as mosfet;
+pub use rotsv_num as num;
+pub use rotsv_ro as ro;
+pub use rotsv_spice as spice;
+pub use rotsv_stdcell as stdcell;
+pub use rotsv_tsv as tsv;
+pub use rotsv_variation as variation;

@@ -1,0 +1,177 @@
+//! Monte-Carlo populations of ΔT measurements.
+//!
+//! The paper's Figs. 7, 9 and 10 plot the *spread* of ΔT over random
+//! process variation for fault-free and faulty dies. This module runs
+//! those populations — in parallel, reproducibly.
+
+use rotsv_spice::SpiceError;
+use rotsv_tsv::TsvFault;
+use rotsv_variation::ProcessSpread;
+
+use crate::die::Die;
+use crate::measure::TestBench;
+
+/// A Monte-Carlo population of ΔT values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McDeltaT {
+    /// ΔT of every die whose both runs oscillated, seconds.
+    pub deltas: Vec<f64>,
+    /// Dies whose run 1 was stuck (detected as strong leakage).
+    pub stuck_count: usize,
+    /// Dies whose reference run failed (should be zero; nonzero values
+    /// flag a broken configuration).
+    pub reference_failures: usize,
+}
+
+impl McDeltaT {
+    /// Total number of dies simulated.
+    pub fn total(&self) -> usize {
+        self.deltas.len() + self.stuck_count + self.reference_failures
+    }
+
+    /// Fraction of dies that produced a usable ΔT.
+    pub fn oscillating_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.deltas.len() as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Runs `samples` Monte-Carlo dies of the given configuration and
+/// collects the ΔT population.
+///
+/// Sample `i` is the die `Die::new(spread, derived_seed(seed, i))`, so
+/// fault-free and faulty populations built from the same `seed` use the
+/// *same dies* — matching the paper's methodology of comparing spreads
+/// under identical variation.
+///
+/// # Errors
+///
+/// Propagates the first simulator error encountered.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero or the bench/fault configuration is
+/// inconsistent.
+pub fn delta_t_population(
+    bench: &TestBench,
+    vdd: f64,
+    faults: &[TsvFault],
+    under_test: &[usize],
+    spread: ProcessSpread,
+    seed: u64,
+    samples: usize,
+) -> Result<McDeltaT, SpiceError> {
+    assert!(samples > 0, "need at least one sample");
+    let results: Vec<Result<crate::measure::DeltaTMeasurement, SpiceError>> =
+        rotsv_num::parallel::parallel_map(samples, |i| {
+            let die = Die::new(spread, die_seed(seed, i));
+            bench.measure_delta_t(vdd, faults, under_test, &die)
+        });
+    let mut out = McDeltaT {
+        deltas: Vec::with_capacity(samples),
+        stuck_count: 0,
+        reference_failures: 0,
+    };
+    for r in results {
+        let m = r?;
+        if m.reference_failed() {
+            out.reference_failures += 1;
+        } else if m.is_stuck() {
+            out.stuck_count += 1;
+        } else {
+            out.deltas
+                .push(m.delta().expect("oscillating measurement has a delta"));
+        }
+    }
+    Ok(out)
+}
+
+/// Deterministic per-sample die seed.
+pub fn die_seed(seed: u64, index: usize) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index as u64 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsv_num::units::Ohms;
+
+    #[test]
+    fn population_is_reproducible() {
+        let bench = TestBench::fast(1);
+        let faults = [TsvFault::None];
+        let a = delta_t_population(
+            &bench,
+            1.1,
+            &faults,
+            &[0],
+            ProcessSpread::paper(),
+            7,
+            4,
+        )
+        .unwrap();
+        let b = delta_t_population(
+            &bench,
+            1.1,
+            &faults,
+            &[0],
+            ProcessSpread::paper(),
+            7,
+            4,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.reference_failures, 0);
+    }
+
+    #[test]
+    fn variation_spreads_the_population() {
+        let bench = TestBench::fast(1);
+        let faults = [TsvFault::None];
+        let pop = delta_t_population(
+            &bench,
+            1.1,
+            &faults,
+            &[0],
+            ProcessSpread::paper(),
+            11,
+            4,
+        )
+        .unwrap();
+        assert_eq!(pop.deltas.len(), 4);
+        let s = rotsv_num::stats::Summary::of(&pop.deltas);
+        assert!(s.std_dev > 0.0, "variation must spread the deltas");
+    }
+
+    #[test]
+    fn stuck_dies_are_counted_not_lost() {
+        let bench = TestBench::fast(1);
+        let faults = [TsvFault::Leakage { r: Ohms(300.0) }];
+        let pop = delta_t_population(
+            &bench,
+            1.1,
+            &faults,
+            &[0],
+            ProcessSpread::none(),
+            3,
+            2,
+        )
+        .unwrap();
+        assert_eq!(pop.stuck_count, 2);
+        assert!(pop.deltas.is_empty());
+        assert_eq!(pop.oscillating_fraction(), 0.0);
+    }
+
+    #[test]
+    fn die_seed_is_injective_enough() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            assert!(seen.insert(die_seed(42, i)));
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The two-run ΔT measurement procedure (Section IV-A of the paper).
+
+use rotsv_ro::{MeasureOpts, OscillationOutcome, RingOscillator, RoConfig};
+use rotsv_spice::SpiceError;
+use rotsv_tsv::{TsvFault, TsvModel, TsvTech};
+
+use crate::die::Die;
+
+/// The simulation setup shared by all measurements of one experiment.
+#[derive(Debug, Clone)]
+pub struct TestBench {
+    /// Segments per ring-oscillator group (the paper's N; it uses 5).
+    pub n_segments: usize,
+    /// TSV technology parameters.
+    pub tech: TsvTech,
+    /// TSV discretization.
+    pub tsv_model: TsvModel,
+    /// Base measurement options at nominal voltage; scaled per voltage by
+    /// [`TestBench::opts_for`].
+    pub base_opts: MeasureOpts,
+}
+
+impl TestBench {
+    /// The paper's configuration: N = 5 segments, lumped TSV model,
+    /// default measurement accuracy.
+    pub fn paper() -> Self {
+        Self::new(5)
+    }
+
+    /// A bench with `n_segments` segments and default accuracy.
+    pub fn new(n_segments: usize) -> Self {
+        Self {
+            n_segments,
+            tech: TsvTech::default(),
+            tsv_model: TsvModel::Lumped,
+            base_opts: MeasureOpts::default(),
+        }
+    }
+
+    /// A coarse, fast bench for tests and smoke runs.
+    pub fn fast(n_segments: usize) -> Self {
+        Self {
+            base_opts: MeasureOpts::fast(),
+            ..Self::new(n_segments)
+        }
+    }
+
+    /// Measurement options scaled for supply voltage `vdd`: near-threshold
+    /// operation slows the ring several-fold, so the step and the time
+    /// budget stretch accordingly.
+    pub fn opts_for(&self, vdd: f64) -> MeasureOpts {
+        let nominal = rotsv_mosfet::tech45::VDD_NOMINAL;
+        let stretch = (nominal / vdd).powi(3).clamp(1.0, 30.0);
+        MeasureOpts {
+            dt: self.base_opts.dt * stretch.sqrt(),
+            max_time: self.base_opts.max_time * stretch,
+            ..self.base_opts
+        }
+    }
+
+    /// Runs the full two-run procedure on one die at one voltage:
+    /// run 1 with the TSVs listed in `under_test` enabled, run 2 with all
+    /// TSVs bypassed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults.len() != self.n_segments`, `under_test` is empty
+    /// or out of range, or `vdd` is not positive.
+    pub fn measure_delta_t(
+        &self,
+        vdd: f64,
+        faults: &[TsvFault],
+        under_test: &[usize],
+        die: &Die,
+    ) -> Result<DeltaTMeasurement, SpiceError> {
+        self.measure_delta_t_with(vdd, faults, under_test, die, &self.opts_for(vdd))
+    }
+
+    /// Like [`TestBench::measure_delta_t`] but with explicit measurement
+    /// options (no voltage scaling applied).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`TestBench::measure_delta_t`].
+    pub fn measure_delta_t_with(
+        &self,
+        vdd: f64,
+        faults: &[TsvFault],
+        under_test: &[usize],
+        die: &Die,
+        opts: &MeasureOpts,
+    ) -> Result<DeltaTMeasurement, SpiceError> {
+        assert_eq!(
+            faults.len(),
+            self.n_segments,
+            "fault list must cover every segment"
+        );
+        assert!(!under_test.is_empty(), "at least one TSV must be under test");
+        let opts = *opts;
+        let config = RoConfig {
+            n_segments: self.n_segments,
+            vdd,
+            tech: self.tech,
+            tsv_model: self.tsv_model,
+            faults: faults.to_vec(),
+            enabled: vec![false; self.n_segments],
+        };
+
+        // Run 1: TSVs under test enabled.
+        let enabled_config = config.clone().enable_only(under_test);
+        let t1 = RingOscillator::build(&enabled_config, &mut die.variation()).measure(&opts)?;
+        // Run 2: all bypassed. Same die — identical variation stream.
+        let t2 = RingOscillator::build(&config, &mut die.variation()).measure(&opts)?;
+        Ok(DeltaTMeasurement { t1, t2 })
+    }
+}
+
+/// The pair of oscillation measurements of the two-run procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaTMeasurement {
+    /// Run 1: TSV(s) under test in the loop.
+    pub t1: OscillationOutcome,
+    /// Run 2: all TSVs bypassed (the reference).
+    pub t2: OscillationOutcome,
+}
+
+impl DeltaTMeasurement {
+    /// ΔT = T₁ − T₂, or `None` if either run did not oscillate.
+    pub fn delta(&self) -> Option<f64> {
+        Some(self.t1.period()? - self.t2.period()?)
+    }
+
+    /// `true` when run 1 is stuck while the reference oscillates — the
+    /// signature of a strong leakage fault (stuck-at-0 TSV).
+    pub fn is_stuck(&self) -> bool {
+        !self.t1.is_oscillating() && self.t2.is_oscillating()
+    }
+
+    /// `true` when even the all-bypassed reference failed to oscillate,
+    /// which indicates a defect in the DfT itself rather than a TSV.
+    pub fn reference_failed(&self) -> bool {
+        !self.t2.is_oscillating()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsv_num::units::Ohms;
+
+    fn bench() -> TestBench {
+        TestBench::fast(2)
+    }
+
+    #[test]
+    fn fault_free_delta_is_positive_segment_delay() {
+        let m = bench()
+            .measure_delta_t(1.1, &[TsvFault::None; 2], &[0], &Die::nominal())
+            .unwrap();
+        let dt = m.delta().expect("both runs oscillate");
+        assert!(
+            dt > 100e-12 && dt < 2e-9,
+            "segment delay {dt} out of expected range"
+        );
+        assert!(!m.is_stuck());
+        assert!(!m.reference_failed());
+    }
+
+    #[test]
+    fn measurement_is_deterministic_per_die() {
+        let die = Die::new(rotsv_variation::ProcessSpread::paper(), 5);
+        let b = bench();
+        let faults = [TsvFault::None; 2];
+        let a = b.measure_delta_t(1.1, &faults, &[0], &die).unwrap();
+        let c = b.measure_delta_t(1.1, &faults, &[0], &die).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn open_reduces_and_leak_increases_delta() {
+        let b = bench();
+        let die = Die::nominal();
+        let ff = [TsvFault::None; 2];
+        let open = [
+            TsvFault::ResistiveOpen {
+                x: 0.5,
+                r: Ohms(3e3),
+            },
+            TsvFault::None,
+        ];
+        let leak = [TsvFault::Leakage { r: Ohms(3e3) }, TsvFault::None];
+        let d_ff = b.measure_delta_t(1.1, &ff, &[0], &die).unwrap().delta().unwrap();
+        let d_open = b.measure_delta_t(1.1, &open, &[0], &die).unwrap().delta().unwrap();
+        let d_leak = b.measure_delta_t(1.1, &leak, &[0], &die).unwrap().delta().unwrap();
+        assert!(d_open < d_ff, "open {d_open} !< fault-free {d_ff}");
+        assert!(d_leak > d_ff, "leak {d_leak} !> fault-free {d_ff}");
+    }
+
+    #[test]
+    fn strong_leak_reports_stuck() {
+        let b = bench();
+        let faults = [TsvFault::Leakage { r: Ohms(300.0) }, TsvFault::None];
+        let m = b
+            .measure_delta_t(1.1, &faults, &[0], &Die::nominal())
+            .unwrap();
+        assert!(m.is_stuck());
+        assert_eq!(m.delta(), None);
+        assert!(!m.reference_failed());
+    }
+
+    #[test]
+    fn opts_scale_with_voltage() {
+        let b = bench();
+        let nominal = b.opts_for(1.1);
+        let low = b.opts_for(0.7);
+        assert!(low.max_time > 2.0 * nominal.max_time);
+        assert!(low.dt > nominal.dt);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault list")]
+    fn fault_length_mismatch_panics() {
+        let _ = bench().measure_delta_t(1.1, &[TsvFault::None], &[0], &Die::nominal());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one TSV")]
+    fn empty_under_test_panics() {
+        let _ = bench().measure_delta_t(1.1, &[TsvFault::None; 2], &[], &Die::nominal());
+    }
+}

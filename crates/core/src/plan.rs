@@ -1,0 +1,193 @@
+//! Multi-voltage test planning (the paper's headline idea).
+//!
+//! Each supply voltage gets its own fault-free acceptance band,
+//! calibrated by Monte-Carlo simulation of fault-free dies. A TSV is
+//! screened at every voltage; verdicts are fused with the priority
+//! stuck > leakage > open > pass. Opens surface at high V_DD, weak
+//! leakage at low V_DD — testing at multiple levels widens the range of
+//! detectable defects.
+
+use rotsv_spice::SpiceError;
+use rotsv_tsv::TsvFault;
+use rotsv_variation::ProcessSpread;
+
+use crate::classify::{DetectionThresholds, Verdict};
+use crate::die::Die;
+use crate::mc::delta_t_population;
+use crate::measure::TestBench;
+
+/// One calibrated voltage level of a test plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltagePoint {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Acceptance band on ΔT at this voltage.
+    pub thresholds: DetectionThresholds,
+}
+
+/// A calibrated multi-voltage screening plan.
+#[derive(Debug, Clone)]
+pub struct MultiVoltagePlan {
+    bench: TestBench,
+    points: Vec<VoltagePoint>,
+}
+
+/// Result of screening one TSV across all plan voltages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScreenResult {
+    /// Per-voltage verdicts in plan order.
+    pub per_voltage: Vec<(f64, Verdict)>,
+    /// Fused verdict.
+    pub verdict: Verdict,
+}
+
+impl MultiVoltagePlan {
+    /// Calibrates a plan: simulates `samples` fault-free Monte-Carlo dies
+    /// at each voltage and sets the acceptance band to the observed
+    /// fault-free range extended by `guard_band` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltages` is empty, `samples` is zero, or a fault-free
+    /// calibration die fails to oscillate (the band would be meaningless).
+    pub fn calibrate(
+        bench: TestBench,
+        voltages: &[f64],
+        spread: ProcessSpread,
+        seed: u64,
+        samples: usize,
+        guard_band: f64,
+    ) -> Result<Self, SpiceError> {
+        assert!(!voltages.is_empty(), "plan needs at least one voltage");
+        let faults = vec![TsvFault::None; bench.n_segments];
+        let mut points = Vec::with_capacity(voltages.len());
+        for &vdd in voltages {
+            let pop = delta_t_population(&bench, vdd, &faults, &[0], spread, seed, samples)?;
+            assert_eq!(
+                pop.stuck_count + pop.reference_failures,
+                0,
+                "fault-free calibration die failed at {vdd} V"
+            );
+            points.push(VoltagePoint {
+                vdd,
+                thresholds: DetectionThresholds::from_range(&pop.deltas, guard_band),
+            });
+        }
+        Ok(Self { bench, points })
+    }
+
+    /// The calibrated voltage points.
+    pub fn points(&self) -> &[VoltagePoint] {
+        &self.points
+    }
+
+    /// The bench this plan was calibrated for.
+    pub fn bench(&self) -> &TestBench {
+        &self.bench
+    }
+
+    /// Screens segment `segment` of a die with the given per-segment
+    /// faults at every plan voltage and fuses the verdicts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn screen(
+        &self,
+        faults: &[TsvFault],
+        segment: usize,
+        die: &Die,
+    ) -> Result<ScreenResult, SpiceError> {
+        let mut per_voltage = Vec::with_capacity(self.points.len());
+        for p in &self.points {
+            let m = self
+                .bench
+                .measure_delta_t(p.vdd, faults, &[segment], die)?;
+            per_voltage.push((p.vdd, p.thresholds.classify(&m)));
+        }
+        Ok(ScreenResult {
+            verdict: fuse(per_voltage.iter().map(|&(_, v)| v)),
+            per_voltage,
+        })
+    }
+}
+
+/// Fuses per-voltage verdicts: any failure wins over pass; among
+/// failures, stuck > reference failure > leakage > open.
+pub fn fuse(verdicts: impl IntoIterator<Item = Verdict>) -> Verdict {
+    let mut fused = Verdict::Pass;
+    for v in verdicts {
+        fused = match (fused, v) {
+            (Verdict::StuckAt0, _) | (_, Verdict::StuckAt0) => Verdict::StuckAt0,
+            (Verdict::ReferenceFailure, _) | (_, Verdict::ReferenceFailure) => {
+                Verdict::ReferenceFailure
+            }
+            (Verdict::Leakage, _) | (_, Verdict::Leakage) => Verdict::Leakage,
+            (Verdict::ResistiveOpen, _) | (_, Verdict::ResistiveOpen) => Verdict::ResistiveOpen,
+            (Verdict::Pass, Verdict::Pass) => Verdict::Pass,
+        };
+    }
+    fused
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsv_num::units::Ohms;
+
+    #[test]
+    fn fuse_priorities() {
+        use Verdict::*;
+        assert_eq!(fuse([Pass, Pass]), Pass);
+        assert_eq!(fuse([Pass, ResistiveOpen]), ResistiveOpen);
+        assert_eq!(fuse([Leakage, ResistiveOpen]), Leakage);
+        assert_eq!(fuse([Leakage, StuckAt0, Pass]), StuckAt0);
+        assert_eq!(fuse([ReferenceFailure, Leakage]), ReferenceFailure);
+        assert_eq!(fuse(std::iter::empty()), Pass);
+    }
+
+    /// End-to-end: calibrate a tiny single-voltage plan and screen a
+    /// clean die, a leaky die and an open die.
+    #[test]
+    fn single_voltage_plan_screens_faults() {
+        let bench = TestBench::fast(1);
+        let plan = MultiVoltagePlan::calibrate(
+            bench,
+            &[1.1],
+            ProcessSpread::paper(),
+            21,
+            6,
+            5e-12,
+        )
+        .unwrap();
+        assert_eq!(plan.points().len(), 1);
+
+        let die = Die::new(ProcessSpread::paper(), 999);
+        let clean = plan.screen(&[TsvFault::None], 0, &die).unwrap();
+        assert_eq!(clean.verdict, Verdict::Pass, "{clean:?}");
+
+        let leaky = plan
+            .screen(&[TsvFault::Leakage { r: Ohms(2e3) }], 0, &die)
+            .unwrap();
+        assert!(
+            matches!(leaky.verdict, Verdict::Leakage | Verdict::StuckAt0),
+            "{leaky:?}"
+        );
+
+        let open = plan
+            .screen(
+                &[TsvFault::ResistiveOpen {
+                    x: 0.2,
+                    r: Ohms(50e3),
+                }],
+                0,
+                &die,
+            )
+            .unwrap();
+        assert_eq!(open.verdict, Verdict::ResistiveOpen, "{open:?}");
+    }
+}

@@ -1,0 +1,108 @@
+//! DfT area cost model (Section IV-D of the paper).
+//!
+//! Per TSV the method adds two multiplexers (functional/test select and
+//! bypass); each group of N TSVs shares one ring inverter. The control
+//! and measurement logic is shared across many groups and amortizes to a
+//! negligible per-TSV cost, so the paper's headline number counts only
+//! muxes and inverters: for 1000 TSVs at N = 5, using Nangate areas
+//! (MUX2 3.75 µm², INV 1.41 µm²), the total is 7782 µm² — less than
+//! 0.04 % of a 25 mm² die.
+
+use rotsv_num::units::SquareMicrons;
+
+/// Area model parameterized on the library cell areas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DftAreaModel {
+    /// Area of one 2:1 multiplexer, µm².
+    pub mux_area: SquareMicrons,
+    /// Area of one inverter, µm².
+    pub inv_area: SquareMicrons,
+    /// Multiplexers added per TSV.
+    pub muxes_per_tsv: usize,
+}
+
+impl Default for DftAreaModel {
+    /// The paper's Nangate 45 nm numbers.
+    fn default() -> Self {
+        Self {
+            mux_area: SquareMicrons(3.75),
+            inv_area: SquareMicrons(1.41),
+            muxes_per_tsv: 2,
+        }
+    }
+}
+
+impl DftAreaModel {
+    /// Total oscillator DfT area for `n_tsvs` TSVs grouped `group_size`
+    /// per ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` is zero.
+    pub fn total_area(&self, n_tsvs: usize, group_size: usize) -> SquareMicrons {
+        assert!(group_size > 0, "group size must be positive");
+        let groups = n_tsvs.div_ceil(group_size);
+        let mux = self.mux_area.value() * (self.muxes_per_tsv * n_tsvs) as f64;
+        let inv = self.inv_area.value() * groups as f64;
+        SquareMicrons(mux + inv)
+    }
+
+    /// The DfT area as a fraction of a die of `die_mm2` mm².
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die_mm2` is not positive or `group_size` is zero.
+    pub fn fraction_of_die(&self, n_tsvs: usize, group_size: usize, die_mm2: f64) -> f64 {
+        assert!(die_mm2 > 0.0 && die_mm2.is_finite(), "die area must be positive");
+        let um2_per_mm2 = 1e6;
+        self.total_area(n_tsvs, group_size).value() / (die_mm2 * um2_per_mm2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's worked example: 1000 TSVs, N = 5.
+    #[test]
+    fn paper_area_example() {
+        let model = DftAreaModel::default();
+        let area = model.total_area(1000, 5);
+        // 1000·2·3.75 + 200·1.41 = 7500 + 282 = 7782 µm².
+        assert!((area.value() - 7782.0).abs() < 1e-9, "area {area}");
+        let frac = model.fraction_of_die(1000, 5, 25.0);
+        assert!(frac < 0.0004, "fraction {frac} should be < 0.04 %");
+        assert!(frac > 0.0002, "fraction {frac} suspiciously small");
+    }
+
+    #[test]
+    fn partial_group_rounds_up() {
+        let model = DftAreaModel::default();
+        // 7 TSVs at N = 5 need two inverters.
+        let area = model.total_area(7, 5);
+        let expect = 7.0 * 2.0 * 3.75 + 2.0 * 1.41;
+        assert!((area.value() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_groups_share_more_inverters() {
+        let model = DftAreaModel::default();
+        let a1 = model.total_area(1000, 1);
+        let a10 = model.total_area(1000, 10);
+        assert!(a10.value() < a1.value());
+        // Mux area dominates either way.
+        assert!(a10.value() > 7500.0);
+    }
+
+    #[test]
+    fn zero_tsvs_cost_nothing() {
+        let model = DftAreaModel::default();
+        assert_eq!(model.total_area(0, 5).value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn zero_group_size_rejected() {
+        let _ = DftAreaModel::default().total_area(10, 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Test-control sequencing and test-time estimation.
+//!
+//! The control logic of Fig. 5 configures each ring-oscillator group
+//! (TE/OE/BY), gates the measurement window, and shifts the signature
+//! out. The paper leaves the implementation open; this module provides a
+//! behavioral controller that emits the exact control-signal sequence and
+//! a test-time model used to reason about multi-voltage test cost.
+
+/// Static control values applied to one ring-oscillator group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlSignals {
+    /// Test enable: closes the oscillator loop.
+    pub te: bool,
+    /// Output enable of the tri-state TSV drivers.
+    pub oe: bool,
+    /// Per-segment bypass: `by[i] = true` takes TSV i out of the loop.
+    pub by: Vec<bool>,
+}
+
+/// One measurement run within a group test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunKind {
+    /// All TSVs bypassed — the T₂ reference run.
+    Reference,
+    /// TSV `index` enabled, all others bypassed — a T₁ run.
+    TsvUnderTest {
+        /// Segment index of the TSV under test.
+        index: usize,
+    },
+}
+
+/// The sequence of runs testing every TSV of an N-segment group.
+///
+/// Runs the reference measurement first, then each TSV in turn — exactly
+/// the two-run subtraction procedure of the paper, amortizing one
+/// reference over N TSVs.
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_dft::control::{group_sequence, RunKind};
+///
+/// let runs = group_sequence(3);
+/// assert_eq!(runs.len(), 4);
+/// assert_eq!(runs[0].0, RunKind::Reference);
+/// assert!(runs[0].1.by.iter().all(|&b| b), "reference bypasses all");
+/// assert_eq!(runs[2].0, RunKind::TsvUnderTest { index: 1 });
+/// assert!(!runs[2].1.by[1] && runs[2].1.by[0]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n_segments` is zero.
+pub fn group_sequence(n_segments: usize) -> Vec<(RunKind, ControlSignals)> {
+    assert!(n_segments > 0, "group must have at least one segment");
+    let mut runs = Vec::with_capacity(n_segments + 1);
+    runs.push((
+        RunKind::Reference,
+        ControlSignals {
+            te: true,
+            oe: true,
+            by: vec![true; n_segments],
+        },
+    ));
+    for i in 0..n_segments {
+        let mut by = vec![true; n_segments];
+        by[i] = false;
+        runs.push((RunKind::TsvUnderTest { index: i }, ControlSignals {
+            te: true,
+            oe: true,
+            by,
+        }));
+    }
+    runs
+}
+
+/// Test-time model for the complete pre-bond TSV test.
+#[derive(Debug, Clone, Copy)]
+pub struct TestTimeModel {
+    /// Counter gate window per measurement, seconds.
+    pub window: f64,
+    /// Scan-out clock frequency for the signature, hertz.
+    pub shift_clock_hz: f64,
+    /// Counter width (bits shifted out per measurement).
+    pub counter_bits: u32,
+    /// Configuration overhead per run, seconds (loading TE/OE/BY).
+    pub config_time: f64,
+}
+
+impl Default for TestTimeModel {
+    /// The paper's sizing example: 5 µs window, 10-bit counter, with a
+    /// 50 MHz scan clock and 1 µs of configuration per run.
+    fn default() -> Self {
+        Self {
+            window: 5e-6,
+            shift_clock_hz: 50e6,
+            counter_bits: 10,
+            config_time: 1e-6,
+        }
+    }
+}
+
+impl TestTimeModel {
+    /// Time for a single measurement run (configure, count, shift out).
+    pub fn per_run(&self) -> f64 {
+        self.config_time + self.window + self.counter_bits as f64 / self.shift_clock_hz
+    }
+
+    /// Time to test one group of `n_segments` TSVs at one voltage
+    /// (reference run + one run per TSV).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_segments` is zero.
+    pub fn per_group(&self, n_segments: usize) -> f64 {
+        assert!(n_segments > 0, "group must have at least one segment");
+        self.per_run() * (n_segments + 1) as f64
+    }
+
+    /// Total test time for `n_tsvs` TSVs in groups of `group_size`,
+    /// measured at `n_voltages` supply levels.
+    ///
+    /// Groups are assumed to be tested serially (shared measurement
+    /// logic); voltage changes add `voltage_switch_time` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` or `n_voltages` is zero.
+    pub fn total(
+        &self,
+        n_tsvs: usize,
+        group_size: usize,
+        n_voltages: usize,
+        voltage_switch_time: f64,
+    ) -> f64 {
+        assert!(group_size > 0, "group size must be positive");
+        assert!(n_voltages > 0, "need at least one voltage");
+        let groups = n_tsvs.div_ceil(group_size) as f64;
+        n_voltages as f64 * (groups * self.per_group(group_size) + voltage_switch_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_covers_every_tsv_once() {
+        let runs = group_sequence(5);
+        assert_eq!(runs.len(), 6);
+        for i in 0..5 {
+            let (kind, sig) = &runs[i + 1];
+            assert_eq!(*kind, RunKind::TsvUnderTest { index: i });
+            assert!(sig.te && sig.oe);
+            let enabled: Vec<usize> = sig
+                .by
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| !b)
+                .map(|(j, _)| j)
+                .collect();
+            assert_eq!(enabled, vec![i], "exactly one TSV enabled");
+        }
+    }
+
+    #[test]
+    fn per_run_adds_all_phases() {
+        let m = TestTimeModel::default();
+        let expect = 1e-6 + 5e-6 + 10.0 / 50e6;
+        assert!((m.per_run() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn group_time_amortizes_reference() {
+        let m = TestTimeModel::default();
+        assert!((m.per_group(5) - 6.0 * m.per_run()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn total_scales_with_voltages_and_groups() {
+        let m = TestTimeModel::default();
+        let t1 = m.total(1000, 5, 1, 0.0);
+        let t3 = m.total(1000, 5, 3, 0.0);
+        assert!((t3 / t1 - 3.0).abs() < 1e-12);
+        // 1000 TSVs, N = 5: 200 groups × 6 runs ≈ 1200 runs/voltage.
+        assert!((t1 - 200.0 * m.per_group(5)).abs() < 1e-12);
+        // Stays in the milliseconds: the paper's "test time does not grow
+        // significantly if multiple voltages are used" claim.
+        assert!(t3 < 0.1, "total {t3} s");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_group_rejected() {
+        let _ = group_sequence(0);
+    }
+}

@@ -1,0 +1,335 @@
+//! The gated binary counter measuring oscillation periods.
+//!
+//! The oscillator output clocks an n-bit binary counter between a reset
+//! and a stop signal generated from a reference clock; the final count
+//! `c` over a window `t` gives the period estimate `T' = t / c`
+//! (Section IV-C of the paper). After the window the counter is
+//! reconfigured as a shift register and the signature is shifted out to
+//! the test equipment.
+
+use crate::logic::{bits_to_u64, Bit};
+use crate::sim::{DigitalSim, Netlist, SignalId};
+
+/// Behavioral n-bit binary counter (wraps at 2ⁿ).
+#[derive(Debug, Clone)]
+pub struct BinaryCounter {
+    bits: u32,
+    count: u64,
+}
+
+impl BinaryCounter {
+    /// Creates a counter with `bits` bits, initialized to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 63.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=63).contains(&bits), "bits must be in 1..=63");
+        Self { bits, count: 0 }
+    }
+
+    /// Bit width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Current count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.count = 0;
+    }
+
+    /// One clock pulse: increments modulo 2ⁿ.
+    pub fn tick(&mut self) {
+        self.count = (self.count + 1) & ((1 << self.bits) - 1);
+    }
+
+    /// `true` if `pulses` pulses would overflow this counter.
+    pub fn would_overflow(&self, pulses: u64) -> bool {
+        pulses >= (1 << self.bits)
+    }
+
+    /// Shifts the signature out LSB-first (the "reconfigured as a shift
+    /// register" read path of the paper).
+    pub fn shift_out(&self) -> Vec<bool> {
+        (0..self.bits).map(|i| self.count >> i & 1 == 1).collect()
+    }
+}
+
+/// The complete gated measurement: counts rising edges of an oscillation
+/// within a reference window.
+///
+/// This is the sampling model behind the paper's error analysis: the
+/// counter sees rising edges at `phase + k·T`; those landing inside
+/// `[0, window)` are counted.
+#[derive(Debug, Clone, Copy)]
+pub struct GatedCounter {
+    /// Measurement window `t`, seconds.
+    pub window: f64,
+    /// Counter bit width.
+    pub bits: u32,
+}
+
+impl GatedCounter {
+    /// Creates a gated counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is not positive or `bits` is out of `1..=63`.
+    pub fn new(window: f64, bits: u32) -> Self {
+        assert!(window > 0.0 && window.is_finite(), "window must be positive");
+        assert!((1..=63).contains(&bits), "bits must be in 1..=63");
+        Self { window, bits }
+    }
+
+    /// Number of rising edges of an oscillation with period `period` and
+    /// first edge at `phase` that fall inside the window, saturated at
+    /// the counter capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive or `phase` is negative.
+    pub fn count_edges(&self, period: f64, phase: f64) -> u64 {
+        assert!(period > 0.0 && period.is_finite(), "period must be positive");
+        assert!(phase >= 0.0, "phase must be non-negative");
+        if phase >= self.window {
+            return 0;
+        }
+        // Edges at phase, phase+T, ... strictly below window.
+        let n = ((self.window - phase) / period).ceil() as u64;
+        let n = if (phase + (n.saturating_sub(1)) as f64 * period) < self.window {
+            n
+        } else {
+            n - 1
+        };
+        n.min((1 << self.bits) - 1)
+    }
+
+    /// Period estimate `T' = t / c` from a count.
+    ///
+    /// Returns `None` for a zero count (a stuck oscillator).
+    pub fn estimate_period(&self, count: u64) -> Option<f64> {
+        (count > 0).then(|| self.window / count as f64)
+    }
+
+    /// Runs a full measurement: counts edges and estimates the period.
+    pub fn measure(&self, period: f64, phase: f64) -> Option<f64> {
+        self.estimate_period(self.count_edges(period, phase))
+    }
+}
+
+/// Gate-level synchronous binary counter, used to verify the behavioral
+/// model and to ground the area numbers.
+#[derive(Debug)]
+pub struct GateLevelCounter {
+    sim: DigitalSim,
+    q: Vec<SignalId>,
+    enable: SignalId,
+    reset: SignalId,
+}
+
+impl GateLevelCounter {
+    /// Builds an n-bit synchronous counter with enable and reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 32.
+    pub fn build(bits: u32) -> Self {
+        assert!((1..=32).contains(&bits), "bits must be in 1..=32");
+        let n = bits as usize;
+        let mut nl = Netlist::new();
+        let enable = nl.signal();
+        let reset = nl.signal();
+        let q = nl.signals(n);
+        // carry[0] = enable; carry[i+1] = carry[i] & q[i];
+        // d[i] = q[i] ^ carry[i]
+        let mut carry = enable;
+        for i in 0..n {
+            let d = nl.signal();
+            nl.xor_gate(q[i], carry, d);
+            nl.dff(d, q[i], Some(reset));
+            if i + 1 < n {
+                let next_carry = nl.signal();
+                nl.and_gate(carry, q[i], next_carry);
+                carry = next_carry;
+            }
+        }
+        let mut sim = DigitalSim::new(nl);
+        sim.set(enable, Bit::H);
+        sim.set(reset, Bit::H);
+        sim.clock();
+        sim.set(reset, Bit::L);
+        Self {
+            sim,
+            q,
+            enable,
+            reset,
+        }
+    }
+
+    /// Current count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state bit is unknown (cannot happen after `build`).
+    pub fn count(&self) -> u64 {
+        let bits: Vec<Bit> = self.q.iter().map(|&s| self.sim.get(s)).collect();
+        bits_to_u64(&bits).expect("counter state is defined after reset")
+    }
+
+    /// Applies one oscillator clock edge.
+    pub fn tick(&mut self) {
+        self.sim.clock();
+    }
+
+    /// Gates counting on or off (the stop signal).
+    pub fn set_enable(&mut self, on: bool) {
+        self.sim.set(self.enable, Bit::from_bool(on));
+    }
+
+    /// Synchronous reset pulse.
+    pub fn reset(&mut self) {
+        self.sim.set(self.reset, Bit::H);
+        self.sim.clock();
+        self.sim.set(self.reset, Bit::L);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behavioral_counter_counts_and_wraps() {
+        let mut c = BinaryCounter::new(3);
+        for _ in 0..7 {
+            c.tick();
+        }
+        assert_eq!(c.count(), 7);
+        c.tick();
+        assert_eq!(c.count(), 0, "wraps at 2^3");
+        assert!(c.would_overflow(8));
+        assert!(!c.would_overflow(7));
+    }
+
+    #[test]
+    fn shift_out_is_lsb_first() {
+        let mut c = BinaryCounter::new(4);
+        for _ in 0..5 {
+            c.tick();
+        }
+        assert_eq!(c.shift_out(), vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn gated_count_matches_closed_form() {
+        let g = GatedCounter::new(1e-6, 16);
+        // 5 ns period, phase 0: edges at 0, 5n, …, below 1 µs -> 200.
+        assert_eq!(g.count_edges(5e-9, 0.0), 200);
+        // Phase pushes one edge out.
+        assert_eq!(g.count_edges(5e-9, 4.999e-9), 200);
+        assert_eq!(g.count_edges(5e-9, 1.0e-6), 0);
+    }
+
+    #[test]
+    fn count_respects_paper_bounds_over_phases() {
+        // t/T − 1 ≤ c ≤ t/T + 1 for any phase (the paper's inequality).
+        let g = GatedCounter::new(5e-6, 16);
+        let period = 5.2e-9;
+        let ratio = g.window / period;
+        for k in 0..100 {
+            let phase = period * k as f64 / 100.0;
+            let c = g.count_edges(period, phase) as f64;
+            assert!(c >= ratio - 1.0, "phase {phase}: c={c} < t/T - 1");
+            assert!(c <= ratio + 1.0, "phase {phase}: c={c} > t/T + 1");
+        }
+    }
+
+    #[test]
+    fn estimate_recovers_period_within_quantization() {
+        let g = GatedCounter::new(5e-6, 16);
+        let period = 5e-9;
+        let est = g.measure(period, 1.3e-9).expect("oscillating");
+        // Error bounded by T²/t = 5 fs·ns... = 5e-12·? — see measure.rs;
+        // here just assert it's within one part in c.
+        assert!((est - period).abs() < period * period / g.window * 1.01);
+    }
+
+    #[test]
+    fn zero_count_means_stuck() {
+        let g = GatedCounter::new(1e-6, 8);
+        assert_eq!(g.estimate_period(0), None);
+    }
+
+    #[test]
+    fn saturates_at_capacity() {
+        let g = GatedCounter::new(1e-3, 4); // tiny 4-bit counter
+        assert_eq!(g.count_edges(1e-9, 0.0), 15, "saturated at 2^4 - 1");
+    }
+
+    #[test]
+    fn gate_level_matches_behavioral() {
+        let mut gl = GateLevelCounter::build(6);
+        let mut bh = BinaryCounter::new(6);
+        for _ in 0..75 {
+            gl.tick();
+            bh.tick();
+            assert_eq!(gl.count(), bh.count());
+        }
+    }
+
+    #[test]
+    fn gate_level_enable_freezes_count() {
+        let mut gl = GateLevelCounter::build(4);
+        for _ in 0..5 {
+            gl.tick();
+        }
+        assert_eq!(gl.count(), 5);
+        gl.set_enable(false);
+        for _ in 0..5 {
+            gl.tick();
+        }
+        assert_eq!(gl.count(), 5, "stop signal freezes the signature");
+        gl.set_enable(true);
+        gl.tick();
+        assert_eq!(gl.count(), 6);
+    }
+
+    #[test]
+    fn gate_level_reset_clears() {
+        let mut gl = GateLevelCounter::build(4);
+        for _ in 0..9 {
+            gl.tick();
+        }
+        gl.reset();
+        assert_eq!(gl.count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The paper's count bounds hold for arbitrary period/phase/window.
+        #[test]
+        fn bounds_hold(
+            period_ns in 0.5..50.0f64,
+            phase_frac in 0.0..1.0f64,
+            window_us in 0.1..10.0f64,
+        ) {
+            let period = period_ns * 1e-9;
+            let window = window_us * 1e-6;
+            let g = GatedCounter::new(window, 32);
+            let c = g.count_edges(period, phase_frac * period) as f64;
+            let ratio = window / period;
+            prop_assert!(c >= ratio - 1.0);
+            prop_assert!(c <= ratio + 1.0);
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Linear-feedback shift register measurement alternative.
+//!
+//! The paper notes that an LFSR "requires less gates for the same upper
+//! limit on the count; however, a look-up table is needed to determine
+//! the oscillation frequency corresponding to the current LFSR state."
+//! This module implements a maximal-length Fibonacci LFSR, the decode
+//! table, and the gate-count comparison against the binary counter.
+
+use std::collections::HashMap;
+
+use crate::logic::Bit;
+use crate::sim::{DigitalSim, Netlist, SignalId};
+
+/// Maximal-length feedback taps (1-indexed bit positions) for register
+/// widths 2..=24, from the standard XOR-form tables.
+const MAX_LENGTH_TAPS: [(u32, &[u32]); 23] = [
+    (2, &[2, 1]),
+    (3, &[3, 2]),
+    (4, &[4, 3]),
+    (5, &[5, 3]),
+    (6, &[6, 5]),
+    (7, &[7, 6]),
+    (8, &[8, 6, 5, 4]),
+    (9, &[9, 5]),
+    (10, &[10, 7]),
+    (11, &[11, 9]),
+    (12, &[12, 11, 10, 4]),
+    (13, &[13, 12, 11, 8]),
+    (14, &[14, 13, 12, 2]),
+    (15, &[15, 14]),
+    (16, &[16, 15, 13, 4]),
+    (17, &[17, 14]),
+    (18, &[18, 11]),
+    (19, &[19, 18, 17, 14]),
+    (20, &[20, 17]),
+    (21, &[21, 19]),
+    (22, &[22, 21]),
+    (23, &[23, 18]),
+    (24, &[24, 23, 22, 17]),
+];
+
+/// Returns the maximal-length taps for width `bits`.
+///
+/// # Panics
+///
+/// Panics if `bits` is outside `2..=24`.
+pub fn maximal_taps(bits: u32) -> &'static [u32] {
+    MAX_LENGTH_TAPS
+        .iter()
+        .find(|(n, _)| *n == bits)
+        .map(|(_, taps)| *taps)
+        .unwrap_or_else(|| panic!("no tap table for {bits}-bit LFSR (supported: 2..=24)"))
+}
+
+/// A Fibonacci LFSR with maximal-length taps.
+///
+/// The all-ones state is the reset state (all-zeros is the lock-up state
+/// of a XOR LFSR and is never entered from a nonzero state).
+#[derive(Debug, Clone)]
+pub struct Lfsr {
+    bits: u32,
+    taps: &'static [u32],
+    state: u64,
+}
+
+impl Lfsr {
+    /// Creates an LFSR of the given width in the reset (all-ones) state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=24`.
+    pub fn new(bits: u32) -> Self {
+        Self {
+            bits,
+            taps: maximal_taps(bits),
+            state: (1u64 << bits) - 1,
+        }
+    }
+
+    /// Bit width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Current register state.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Resets to the all-ones state.
+    pub fn reset(&mut self) {
+        self.state = (1u64 << self.bits) - 1;
+    }
+
+    /// One clock: shifts left by one, inserting the XOR of the taps.
+    pub fn tick(&mut self) {
+        let fb = self
+            .taps
+            .iter()
+            .fold(0u64, |acc, &tap| acc ^ (self.state >> (tap - 1) & 1));
+        self.state = ((self.state << 1) | fb) & ((1 << self.bits) - 1);
+    }
+
+    /// The sequence period: a maximal-length n-bit LFSR cycles through
+    /// 2ⁿ − 1 states.
+    pub fn sequence_length(&self) -> u64 {
+        (1 << self.bits) - 1
+    }
+
+    /// Builds the state→count lookup table the test equipment uses to
+    /// decode a shifted-out signature into a cycle count.
+    pub fn decode_table(&self) -> HashMap<u64, u64> {
+        let mut lfsr = Lfsr::new(self.bits);
+        let mut table = HashMap::with_capacity(self.sequence_length() as usize);
+        for k in 0..self.sequence_length() {
+            table.insert(lfsr.state, k);
+            lfsr.tick();
+        }
+        table
+    }
+}
+
+/// Gate-level LFSR for cross-checking the behavioral model.
+#[derive(Debug)]
+pub struct GateLevelLfsr {
+    sim: DigitalSim,
+    q: Vec<SignalId>,
+    bits: u32,
+}
+
+impl GateLevelLfsr {
+    /// Builds the gate-level register (XOR feedback, set-to-ones reset is
+    /// emulated by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=24`.
+    pub fn build(bits: u32) -> Self {
+        let taps = maximal_taps(bits);
+        let n = bits as usize;
+        let mut nl = Netlist::new();
+        let q = nl.signals(n);
+        // Feedback = XOR of tap outputs.
+        let mut fb = q[(taps[0] - 1) as usize];
+        for &t in &taps[1..] {
+            let z = nl.signal();
+            nl.xor_gate(fb, q[(t - 1) as usize], z);
+            fb = z;
+        }
+        // Shift left: d[0] = fb, d[i] = q[i-1].
+        nl.dff(fb, q[0], None);
+        for i in 1..n {
+            nl.dff(q[i - 1], q[i], None);
+        }
+        let mut sim = DigitalSim::new(nl);
+        // Initialize to all ones by direct drive (models the async set).
+        for &s in &q {
+            sim.set(s, Bit::H);
+        }
+        Self { sim, q, bits }
+    }
+
+    /// Current state as an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state contains an unknown bit.
+    pub fn state(&self) -> u64 {
+        let bits: Vec<Bit> = self.q.iter().map(|&s| self.sim.get(s)).collect();
+        crate::logic::bits_to_u64(&bits).expect("LFSR state defined after init")
+    }
+
+    /// One clock edge.
+    pub fn tick(&mut self) {
+        self.sim.clock();
+    }
+
+    /// Bit width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+}
+
+/// Gate-cost comparison of the two measurement structures, in equivalent
+/// 2-input gates (DFF counted as `dff_cost`).
+///
+/// The binary counter needs an XOR + AND per bit (increment logic); the
+/// LFSR needs only its tap XORs — the paper's "less gates for the same
+/// upper limit" observation.
+pub fn gate_cost_comparison(bits: u32, dff_cost: u32) -> (u32, u32) {
+    let counter = bits * dff_cost + bits * 2; // XOR + carry AND per bit
+    let taps = maximal_taps(bits).len() as u32;
+    let lfsr = bits * dff_cost + (taps - 1); // XOR tree only
+    (counter, lfsr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximal_length_sequence_for_small_widths() {
+        for bits in [3u32, 4, 5, 8, 10] {
+            let mut lfsr = Lfsr::new(bits);
+            let start = lfsr.state();
+            let mut seen = std::collections::HashSet::new();
+            loop {
+                assert!(seen.insert(lfsr.state()), "state repeated early");
+                lfsr.tick();
+                assert_ne!(lfsr.state(), 0, "lock-up state entered");
+                if lfsr.state() == start {
+                    break;
+                }
+            }
+            assert_eq!(
+                seen.len() as u64,
+                lfsr.sequence_length(),
+                "{bits}-bit LFSR not maximal"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_table_inverts_tick_count() {
+        let lfsr = Lfsr::new(8);
+        let table = lfsr.decode_table();
+        let mut probe = Lfsr::new(8);
+        for k in 0..200 {
+            assert_eq!(table[&probe.state()], k);
+            probe.tick();
+        }
+        assert_eq!(table.len() as u64, lfsr.sequence_length());
+    }
+
+    #[test]
+    fn gate_level_tracks_behavioral() {
+        let mut gl = GateLevelLfsr::build(6);
+        let mut bh = Lfsr::new(6);
+        for _ in 0..100 {
+            assert_eq!(gl.state(), bh.state());
+            gl.tick();
+            bh.tick();
+        }
+    }
+
+    #[test]
+    fn reset_state_is_all_ones() {
+        let mut l = Lfsr::new(5);
+        l.tick();
+        l.tick();
+        l.reset();
+        assert_eq!(l.state(), 0b11111);
+    }
+
+    #[test]
+    fn lfsr_needs_fewer_gates_than_counter() {
+        for bits in [8u32, 10, 16] {
+            let (counter, lfsr) = gate_cost_comparison(bits, 6);
+            assert!(
+                lfsr < counter,
+                "{bits}-bit: LFSR {lfsr} !< counter {counter}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no tap table")]
+    fn unsupported_width_panics() {
+        let _ = Lfsr::new(40);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! On-chip measurement DfT for the pre-bond TSV test.
+//!
+//! The analog side of the method (ring oscillators, `rotsv-ro`) produces
+//! an oscillating signal whose period encodes the TSV state. This crate
+//! implements the digital side the paper describes in Section III-B and
+//! analyzes in Section IV-C/IV-D:
+//!
+//! * [`logic`]/[`sim`] — a small gate-level digital simulator (three-valued
+//!   logic, combinational gates, D flip-flops) used to verify the
+//!   measurement structures at gate level,
+//! * [`counter`] — the gated binary counter: cycle-accurate behavioral
+//!   model, gate-level implementation, and the sampling model
+//!   (count cycles of an oscillation within a reference window),
+//! * [`lfsr`] — the linear-feedback-shift-register alternative with its
+//!   state→count decode table (fewer gates, but needs a lookup),
+//! * [`measure`] — the quantization-error theory: bounds
+//!   `t/T − 1 ≤ c ≤ t/T + 1`, error `E ≈ T²/t`, window and bit-width
+//!   sizing (reproduces the paper's T = 5 ns / E = 5 ps / t = 5 µs /
+//!   10-bit example),
+//! * [`area`] — the DfT area cost model of Section IV-D (two muxes per
+//!   TSV, one shared inverter per group; 1000 TSVs at N = 5 cost
+//!   7782 µm² < 0.04 % of a 25 mm² die),
+//! * [`control`] — the test-control FSM that sequences TE/OE/BY and the
+//!   counter window over a group of TSVs.
+
+pub mod area;
+pub mod control;
+pub mod counter;
+pub mod lfsr;
+pub mod logic;
+pub mod measure;
+pub mod sim;
+
+pub use area::DftAreaModel;
+pub use counter::{BinaryCounter, GatedCounter};
+pub use lfsr::Lfsr;
+pub use measure::{count_bounds, error_bounds, max_error, required_bits, required_window};

@@ -1,0 +1,191 @@
+//! Three-valued digital logic.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A digital signal value: low, high, or unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Bit {
+    /// Logic 0.
+    L,
+    /// Logic 1.
+    H,
+    /// Unknown / uninitialized.
+    #[default]
+    X,
+}
+
+impl Bit {
+    /// Converts from `bool`.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Bit::H
+        } else {
+            Bit::L
+        }
+    }
+
+    /// `Some(bool)` for defined values, `None` for [`Bit::X`].
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Bit::L => Some(false),
+            Bit::H => Some(true),
+            Bit::X => None,
+        }
+    }
+
+    /// Three-valued AND.
+    pub fn and(self, other: Bit) -> Bit {
+        match (self, other) {
+            (Bit::L, _) | (_, Bit::L) => Bit::L,
+            (Bit::H, Bit::H) => Bit::H,
+            _ => Bit::X,
+        }
+    }
+
+    /// Three-valued OR.
+    pub fn or(self, other: Bit) -> Bit {
+        match (self, other) {
+            (Bit::H, _) | (_, Bit::H) => Bit::H,
+            (Bit::L, Bit::L) => Bit::L,
+            _ => Bit::X,
+        }
+    }
+
+    /// Three-valued XOR.
+    pub fn xor(self, other: Bit) -> Bit {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(a), Some(b)) => Bit::from_bool(a != b),
+            _ => Bit::X,
+        }
+    }
+
+    /// 2:1 select: `sel ? b : a` (X select with equal inputs resolves).
+    pub fn mux(self, a: Bit, b: Bit) -> Bit {
+        match self {
+            Bit::L => a,
+            Bit::H => b,
+            Bit::X => {
+                if a == b {
+                    a
+                } else {
+                    Bit::X
+                }
+            }
+        }
+    }
+}
+
+impl Not for Bit {
+    type Output = Bit;
+
+    fn not(self) -> Bit {
+        match self {
+            Bit::L => Bit::H,
+            Bit::H => Bit::L,
+            Bit::X => Bit::X,
+        }
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(b: bool) -> Self {
+        Bit::from_bool(b)
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Bit::L => "0",
+            Bit::H => "1",
+            Bit::X => "x",
+        })
+    }
+}
+
+/// Packs a slice of bits (LSB first) into a `u64`.
+///
+/// Returns `None` if any bit is [`Bit::X`].
+///
+/// # Panics
+///
+/// Panics if more than 64 bits are given.
+pub fn bits_to_u64(bits: &[Bit]) -> Option<u64> {
+    assert!(bits.len() <= 64, "too many bits for u64");
+    let mut out = 0u64;
+    for (i, b) in bits.iter().enumerate() {
+        match b.to_bool() {
+            Some(true) => out |= 1 << i,
+            Some(false) => {}
+            None => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Unpacks the low `n` bits of `value` into a vector (LSB first).
+///
+/// # Panics
+///
+/// Panics if `n > 64`.
+pub fn u64_to_bits(value: u64, n: usize) -> Vec<Bit> {
+    assert!(n <= 64, "too many bits for u64");
+    (0..n).map(|i| Bit::from_bool(value >> i & 1 == 1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Bit::H.and(Bit::H), Bit::H);
+        assert_eq!(Bit::H.and(Bit::L), Bit::L);
+        assert_eq!(Bit::L.and(Bit::X), Bit::L, "0 dominates X");
+        assert_eq!(Bit::H.and(Bit::X), Bit::X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Bit::L.or(Bit::L), Bit::L);
+        assert_eq!(Bit::H.or(Bit::X), Bit::H, "1 dominates X");
+        assert_eq!(Bit::L.or(Bit::X), Bit::X);
+    }
+
+    #[test]
+    fn xor_and_not() {
+        assert_eq!(Bit::H.xor(Bit::L), Bit::H);
+        assert_eq!(Bit::H.xor(Bit::H), Bit::L);
+        assert_eq!(Bit::H.xor(Bit::X), Bit::X);
+        assert_eq!(!Bit::H, Bit::L);
+        assert_eq!(!Bit::X, Bit::X);
+    }
+
+    #[test]
+    fn mux_select() {
+        assert_eq!(Bit::L.mux(Bit::H, Bit::L), Bit::H);
+        assert_eq!(Bit::H.mux(Bit::H, Bit::L), Bit::L);
+        assert_eq!(Bit::X.mux(Bit::H, Bit::H), Bit::H, "agreeing inputs");
+        assert_eq!(Bit::X.mux(Bit::H, Bit::L), Bit::X);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let bits = u64_to_bits(0b1011, 6);
+        assert_eq!(bits_to_u64(&bits), Some(0b1011));
+        assert_eq!(bits.len(), 6);
+    }
+
+    #[test]
+    fn pack_with_x_is_none() {
+        let mut bits = u64_to_bits(3, 4);
+        bits[2] = Bit::X;
+        assert_eq!(bits_to_u64(&bits), None);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(format!("{}{}{}", Bit::L, Bit::H, Bit::X), "01x");
+    }
+}

@@ -1,0 +1,163 @@
+//! Quantization-error analysis of the counter measurement
+//! (Section IV-C of the paper).
+//!
+//! With a reference window `t` and true period `T`, the count is bounded
+//! by `t/T − 1 ≤ c ≤ t/T + 1` (reset/stop can each clip or add a partial
+//! cycle). The resulting period estimate `T' = t/c` errs by at most
+//!
+//! * `E⁺ = T² / (t − T)` when a cycle is missed,
+//! * `E⁻ = T² / (t + T)` when an extra cycle is counted,
+//!
+//! both ≈ `T²/t` for `t ≫ T`. The paper's sizing example: `T = 5 ns`,
+//! target `E = 0.005 ns` ⇒ `t ≥ 5 µs`, count ≈ 1000 ⇒ a 10-bit counter.
+
+/// Count bounds `(t/T − 1, t/T + 1)` clamped at zero.
+///
+/// # Panics
+///
+/// Panics if `period` or `window` is not positive and finite.
+pub fn count_bounds(period: f64, window: f64) -> (f64, f64) {
+    check(period, window);
+    let ratio = window / period;
+    ((ratio - 1.0).max(0.0), ratio + 1.0)
+}
+
+/// Exact worst-case errors `(E⁻, E⁺)` of the period estimate.
+///
+/// `E⁺` is the overestimate when the counter misses a cycle, `E⁻` the
+/// underestimate when it counts an extra one.
+///
+/// # Panics
+///
+/// Panics if inputs are not positive, or if `window <= period` (the
+/// estimate is meaningless with fewer than one full cycle).
+pub fn error_bounds(period: f64, window: f64) -> (f64, f64) {
+    check(period, window);
+    assert!(
+        window > period,
+        "window must exceed the period for a meaningful count"
+    );
+    let e_minus = period * period / (window + period);
+    let e_plus = period * period / (window - period);
+    (e_minus, e_plus)
+}
+
+/// The approximate symmetric error bound `E ≈ T²/t`.
+///
+/// # Panics
+///
+/// Panics if inputs are not positive and finite.
+pub fn max_error(period: f64, window: f64) -> f64 {
+    check(period, window);
+    period * period / window
+}
+
+/// Window length needed so the measurement error stays below
+/// `target_error`: `t ≥ T² / E`.
+///
+/// # Panics
+///
+/// Panics if inputs are not positive and finite.
+pub fn required_window(period: f64, target_error: f64) -> f64 {
+    check(period, target_error);
+    period * period / target_error
+}
+
+/// Counter bit width needed to hold the maximum count of a `window`-long
+/// measurement of periods down to `min_period`.
+///
+/// # Panics
+///
+/// Panics if inputs are not positive and finite.
+pub fn required_bits(window: f64, min_period: f64) -> u32 {
+    check(min_period, window);
+    let max_count = window / min_period + 1.0;
+    (max_count.log2().ceil() as u32).max(1)
+}
+
+fn check(a: f64, b: f64) {
+    assert!(a > 0.0 && a.is_finite(), "value must be positive, got {a}");
+    assert!(b > 0.0 && b.is_finite(), "value must be positive, got {b}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::GatedCounter;
+
+    /// The paper's worked example: T = 5 ns (200 MHz), E = 0.005 ns
+    /// ⇒ t = 5 µs, count 1000, 10-bit counter.
+    #[test]
+    fn paper_sizing_example() {
+        let period = 5e-9;
+        let target = 0.005e-9;
+        let window = required_window(period, target);
+        assert!((window - 5e-6).abs() < 1e-12, "window {window}");
+        let count = window / period;
+        assert!((count - 1000.0).abs() < 1e-6);
+        assert_eq!(required_bits(window, period), 10);
+    }
+
+    #[test]
+    fn error_bounds_bracket_the_approximation() {
+        let (e_minus, e_plus) = error_bounds(5e-9, 5e-6);
+        let e = max_error(5e-9, 5e-6);
+        assert!(e_minus < e && e < e_plus);
+        // For t >> T all three agree to first order.
+        assert!((e_minus - e).abs() / e < 2e-3);
+        assert!((e_plus - e).abs() / e < 2e-3);
+    }
+
+    /// Simulated measurements over all phases stay within the worst-case
+    /// error bounds — theory and sampling model agree.
+    #[test]
+    fn simulated_error_within_bounds() {
+        let period = 7.3e-9;
+        let window = 2e-6;
+        let g = GatedCounter::new(window, 16);
+        let (e_minus, e_plus) = error_bounds(period, window);
+        for k in 0..200 {
+            let phase = period * k as f64 / 200.0;
+            let est = g.measure(period, phase).expect("oscillating");
+            let err = est - period;
+            assert!(
+                err <= e_plus * (1.0 + 1e-9) && err >= -e_minus * (1.0 + 1e-9),
+                "phase {phase}: err {err} outside [{}, {}]",
+                -e_minus,
+                e_plus
+            );
+        }
+    }
+
+    #[test]
+    fn longer_window_shrinks_error() {
+        let e1 = max_error(5e-9, 1e-6);
+        let e2 = max_error(5e-9, 10e-6);
+        assert!((e1 / e2 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_bounds_clamp_at_zero() {
+        let (lo, hi) = count_bounds(10e-9, 5e-9);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must exceed")]
+    fn error_bounds_reject_short_window() {
+        let _ = error_bounds(5e-9, 4e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn negative_period_rejected() {
+        let _ = max_error(-1.0, 1e-6);
+    }
+
+    #[test]
+    fn required_bits_is_monotone_in_window() {
+        assert!(required_bits(1e-6, 5e-9) <= required_bits(100e-6, 5e-9));
+        assert_eq!(required_bits(5e-6, 5e-9), 10);
+    }
+}

@@ -1,0 +1,254 @@
+//! Ablation studies for the design choices called out in DESIGN.md.
+//!
+//! * [`a1_integrator`] — integration method and step size: is the
+//!   extracted period an artifact of the integrator?
+//! * [`a2_subtraction`] — the two-run ΔT subtraction vs raw T₁ under
+//!   process variation: how much shared-path variation does it cancel?
+//! * [`a3_tsv_model`] — lumped vs distributed TSV stamping inside the
+//!   full ring (the in-situ version of E0).
+
+use rotsv::mc::die_seed;
+use rotsv::mosfet::model::Nominal;
+use rotsv::num::stats::Summary;
+use rotsv::ro::{MeasureOpts, RingOscillator, RoConfig};
+use rotsv::spice::{IntegrationMethod, SpiceError};
+use rotsv::tsv::{TsvFault, TsvModel};
+use rotsv::variation::ProcessSpread;
+use rotsv::{Die, TestBench};
+
+use crate::{Check, ExperimentReport, Fidelity};
+
+fn ring_period(
+    dt: f64,
+    method: IntegrationMethod,
+    tsv_model: TsvModel,
+) -> Result<f64, SpiceError> {
+    let config = RoConfig {
+        tsv_model,
+        ..RoConfig::new(2, 1.1).enable_only(&[0])
+    };
+    let ro = RingOscillator::build(&config, &mut Nominal);
+    let opts = MeasureOpts {
+        dt,
+        cycles: 4,
+        skip_cycles: 2,
+        max_time: 40e-9,
+        method,
+    };
+    Ok(ro
+        .measure(&opts)?
+        .period()
+        .expect("healthy ring oscillates"))
+}
+
+/// A1: integrator/step-size sensitivity of the extracted period.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn a1_integrator(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
+    let reference = ring_period(0.5e-12, IntegrationMethod::Trapezoidal, TsvModel::Lumped)?;
+    let dts: Vec<f64> = f.thin(&[1e-12, 2e-12, 4e-12, 8e-12]);
+    let mut rows = vec![vec![
+        "TRAP".to_owned(),
+        "0.5".to_owned(),
+        crate::ps(reference),
+        "reference".to_owned(),
+    ]];
+    let mut trap_2ps_err = f64::NAN;
+    let mut worst_trap: f64 = 0.0;
+    for &dt in &dts {
+        for method in [IntegrationMethod::Trapezoidal, IntegrationMethod::BackwardEuler] {
+            let t = ring_period(dt, method, TsvModel::Lumped)?;
+            let err = t - reference;
+            if method == IntegrationMethod::Trapezoidal {
+                worst_trap = worst_trap.max(err.abs());
+                if (dt - 2e-12).abs() < 1e-15 {
+                    trap_2ps_err = err.abs();
+                }
+            }
+            rows.push(vec![
+                format!("{method:?}"),
+                format!("{:.1}", dt * 1e12),
+                crate::ps(t),
+                format!("{:+.2}", err * 1e12),
+            ]);
+        }
+    }
+    let checks = vec![
+        Check {
+            description: format!(
+                "the production step (TRAP, 2 ps) is converged: period error \
+                 {:.2} ps ≪ the smallest fault signature (~15 ps)",
+                trap_2ps_err * 1e12
+            ),
+            passed: trap_2ps_err < 2e-12,
+        },
+        Check {
+            description: format!(
+                "trapezoidal stays within {:.2} ps of the fine-step reference \
+                 across all tested steps",
+                worst_trap * 1e12
+            ),
+            passed: worst_trap < 5e-12,
+        },
+    ];
+    Ok(ExperimentReport {
+        id: "a1",
+        title: "Ablation: integration method and step size".to_owned(),
+        headers: vec![
+            "method".to_owned(),
+            "dt (ps)".to_owned(),
+            "period (ps)".to_owned(),
+            "error vs reference (ps)".to_owned(),
+        ],
+        rows,
+        notes: vec!["N = 2 ring, TSV 0 enabled, nominal die, V_DD = 1.1 V.".to_owned()],
+        checks,
+    })
+}
+
+/// A2: what the two-run subtraction buys under process variation.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn a2_subtraction(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
+    let bench = TestBench::fast(2);
+    let samples = f.mc_samples();
+    let mut t1s = Vec::with_capacity(samples);
+    let mut t2s = Vec::with_capacity(samples);
+    let mut dts = Vec::with_capacity(samples);
+    let results: Vec<Result<(f64, f64), SpiceError>> =
+        rotsv::num::parallel::parallel_map(samples, |i| {
+            let die = Die::new(ProcessSpread::paper(), die_seed(42, i));
+            let m = bench.measure_delta_t(1.1, &[TsvFault::None; 2], &[0], &die)?;
+            Ok((
+                m.t1.period().expect("oscillates"),
+                m.t2.period().expect("oscillates"),
+            ))
+        });
+    for r in results {
+        let (t1, t2) = r?;
+        t1s.push(t1);
+        t2s.push(t2);
+        dts.push(t1 - t2);
+    }
+    let s1 = Summary::of(&t1s);
+    let s2 = Summary::of(&t2s);
+    let sd = Summary::of(&dts);
+    // What the spread would be if T1 and T2 came from *different* dies
+    // (no shared-path correlation to cancel).
+    let sigma_uncorrelated = (s1.std_dev.powi(2) + s2.std_dev.powi(2)).sqrt();
+    let rows = vec![
+        vec![
+            "raw T1 (TSV enabled)".to_owned(),
+            crate::ps(s1.mean),
+            format!("{:.2}", s1.std_dev * 1e12),
+        ],
+        vec![
+            "raw T2 (all bypassed)".to_owned(),
+            crate::ps(s2.mean),
+            format!("{:.2}", s2.std_dev * 1e12),
+        ],
+        vec![
+            "ΔT = T1 − T2 (same die)".to_owned(),
+            crate::ps(sd.mean),
+            format!("{:.2}", sd.std_dev * 1e12),
+        ],
+        vec![
+            "ΔT if runs were uncorrelated (√(σ₁²+σ₂²))".to_owned(),
+            "-".to_owned(),
+            format!("{:.2}", sigma_uncorrelated * 1e12),
+        ],
+    ];
+    let checks = vec![
+        Check {
+            description: format!(
+                "same-die subtraction beats an uncorrelated difference: \
+                 σ(ΔT) = {:.2} ps vs {:.2} ps — the shared-path variation \
+                 cancels, only the segment under test remains",
+                sd.std_dev * 1e12,
+                sigma_uncorrelated * 1e12
+            ),
+            passed: sd.std_dev < 0.8 * sigma_uncorrelated,
+        },
+        Check {
+            description: format!(
+                "σ(ΔT) = {:.2} ps does not exceed σ(T1) = {:.2} ps",
+                sd.std_dev * 1e12,
+                s1.std_dev * 1e12
+            ),
+            passed: sd.std_dev <= s1.std_dev,
+        },
+    ];
+    Ok(ExperimentReport {
+        id: "a2",
+        title: "Ablation: two-run ΔT subtraction vs raw period".to_owned(),
+        headers: vec![
+            "quantity".to_owned(),
+            "mean (ps)".to_owned(),
+            "σ over MC dies (ps)".to_owned(),
+        ],
+        rows,
+        notes: vec![format!(
+            "{samples} fault-free MC dies, 3σ(V_th) = 30 mV, 3σ(L_eff) = 10 %, \
+             V_DD = 1.1 V. This is the paper's §IV-A argument for measuring \
+             T2 at all."
+        )],
+        checks,
+    })
+}
+
+/// A3: lumped vs distributed TSV model inside the full ring.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn a3_tsv_model(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
+    let segment_counts: Vec<usize> = f.thin(&[2, 5, 10, 20]);
+    let reference = ring_period(2e-12, IntegrationMethod::Trapezoidal, TsvModel::Lumped)?;
+    let mut rows = vec![vec![
+        "lumped".to_owned(),
+        crate::ps(reference),
+        "0.00".to_owned(),
+    ]];
+    let mut worst: f64 = 0.0;
+    for &n in &segment_counts {
+        let t = ring_period(
+            2e-12,
+            IntegrationMethod::Trapezoidal,
+            TsvModel::Distributed(n),
+        )?;
+        worst = worst.max((t - reference).abs());
+        rows.push(vec![
+            format!("distributed({n})"),
+            crate::ps(t),
+            format!("{:+.2}", (t - reference) * 1e12),
+        ]);
+    }
+    let checks = vec![Check {
+        description: format!(
+            "the lumped model is exact in situ: worst in-ring period deviation \
+             {:.2} ps (vs ~450 ps segment delay)",
+            worst * 1e12
+        ),
+        passed: worst < 1e-12,
+    }];
+    Ok(ExperimentReport {
+        id: "a3",
+        title: "Ablation: lumped vs distributed TSV model in the ring".to_owned(),
+        headers: vec![
+            "TSV model".to_owned(),
+            "ring period (ps)".to_owned(),
+            "Δ vs lumped (ps)".to_owned(),
+        ],
+        rows,
+        notes: vec![
+            "Complements E0 (bare charge curve) with the full-loop view; the \
+             Criterion bench ablation_tsv_model quantifies the runtime cost."
+                .to_owned(),
+        ],
+        checks,
+    })
+}

@@ -1,0 +1,98 @@
+//! E0 — lumped-model validation (§III-A of the paper).
+//!
+//! The paper justifies modeling a fault-free TSV as a single lumped
+//! capacitor by comparing HSPICE charge curves of (1) a multi-segment RC
+//! ladder with R = 0.1 Ω, C = 59 fF and (2) a single 59 fF capacitor,
+//! both driven by a 4X buffer: "the resulting curves show no measurable
+//! difference". This experiment reproduces that comparison.
+
+use rotsv::mosfet::model::Nominal;
+use rotsv::mosfet::tech45::DriveStrength;
+use rotsv::spice::{Circuit, Edge, SourceWaveform, SpiceError, TransientSpec};
+use rotsv::stdcell::CellBuilder;
+use rotsv::tsv::{Tsv, TsvModel, TsvTech};
+
+use crate::{Check, ExperimentReport, Fidelity};
+
+/// Time for the TSV front node to charge to V_DD/2 through an X4 buffer.
+fn charge_time(model: TsvModel) -> Result<f64, SpiceError> {
+    let vdd_v = 1.1;
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.add_vsource(vdd, Circuit::GROUND, SourceWaveform::dc(vdd_v));
+    let input = ckt.node("in");
+    ckt.add_vsource(input, Circuit::GROUND, SourceWaveform::step(0.0, vdd_v, 0.1e-9));
+    let front = ckt.node("tsv");
+    Tsv::fault_free(TsvTech::default()).stamp(&mut ckt, front, model);
+    let mut vary = Nominal;
+    let mut cells = CellBuilder::new(&mut ckt, vdd, &mut vary);
+    cells.buffer("drv", input, front, DriveStrength::X4);
+    let spec = TransientSpec::new(2e-9, 0.2e-12).record(&[front]);
+    let res = ckt.transient(&spec)?;
+    Ok(res
+        .waveform(front)
+        .first_crossing_after(0.0, vdd_v / 2.0, Edge::Rising)
+        .expect("TSV charges past VDD/2"))
+}
+
+/// Runs the validation.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
+    let segment_counts: Vec<usize> = f.thin(&[2, 5, 10, 20]);
+    let t_lumped = charge_time(TsvModel::Lumped)?;
+    let mut rows = vec![vec![
+        "lumped C = 59 fF".to_owned(),
+        crate::ps(t_lumped),
+        "0.0".to_owned(),
+    ]];
+    let mut max_diff: f64 = 0.0;
+    for n in segment_counts {
+        let t = charge_time(TsvModel::Distributed(n))?;
+        let diff = t - t_lumped;
+        max_diff = max_diff.max(diff.abs());
+        rows.push(vec![
+            format!("{n}-segment RC ladder"),
+            crate::ps(t),
+            format!("{:+.3}", diff * 1e12),
+        ]);
+    }
+    let checks = vec![Check {
+        description: format!(
+            "lumped vs distributed charge curves show no measurable difference \
+             (max |Δt50| = {:.3} ps < 0.5 ps)",
+            max_diff * 1e12
+        ),
+        passed: max_diff < 0.5e-12,
+    }];
+    Ok(ExperimentReport {
+        id: "e0",
+        title: "Lumped TSV model validation (§III-A)".to_owned(),
+        headers: vec![
+            "TSV model".to_owned(),
+            "t50 (ps)".to_owned(),
+            "Δ vs lumped (ps)".to_owned(),
+        ],
+        rows,
+        notes: vec![
+            "Paper setup: 4X buffer driving (1) multi-segment RC ladder with \
+             R = 0.1 Ω / C = 59 fF total and (2) a single 59 fF capacitor."
+                .to_owned(),
+        ],
+        checks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lumped_model_is_validated() {
+        let report = run(&Fidelity::fast()).unwrap();
+        assert!(report.all_checks_pass(), "{}", report.markdown());
+        assert!(report.rows.len() >= 3);
+    }
+}

@@ -1,0 +1,171 @@
+//! E5 — Fig. 9: Monte-Carlo spread of ΔT vs supply voltage for a
+//! fault-free TSV and a 3 kΩ leakage fault.
+//!
+//! The complement of Fig. 7: the leakage signature is strongest in the
+//! sensitive region just above the oscillation-stop threshold, i.e. at
+//! *low* V_DD, and washes out against the fault-free spread at nominal
+//! and elevated voltage.
+
+use rotsv::mc::{delta_t_population, McDeltaT};
+use rotsv::num::stats::{range_overlap, Summary};
+use rotsv::num::units::Ohms;
+use rotsv::spice::SpiceError;
+use rotsv::tsv::TsvFault;
+use rotsv::variation::ProcessSpread;
+use rotsv::TestBench;
+
+use crate::{Check, ExperimentReport, Fidelity};
+
+/// Per-voltage comparison of the fault-free and leaky populations.
+#[derive(Debug, Clone)]
+pub struct LeakRow {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Fault-free population.
+    pub fault_free: Summary,
+    /// Leaky population (oscillating dies only).
+    pub leaky: Option<Summary>,
+    /// Leaky dies whose ring stuck (detected outright).
+    pub stuck: usize,
+    /// Range overlap (0 when the leaky dies all stick — full separation).
+    pub overlap: f64,
+    /// Detection margin: gap between the population means in units of the
+    /// pooled spread (stuck dies count as infinite margin and are
+    /// excluded).
+    pub separation: f64,
+}
+
+fn separation(ff: &Summary, leak: &Summary) -> f64 {
+    let spread = (ff.half_spread() + leak.half_spread()).max(1e-15);
+    (leak.mean - ff.mean) / spread
+}
+
+/// Runs the populations.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn populations(f: &Fidelity, seed: u64) -> Result<Vec<LeakRow>, SpiceError> {
+    // 2-segment bench for tractability (see e4); the spread mechanics are
+    // unchanged because only the segment under test escapes cancellation.
+    let bench = TestBench::fast(2);
+    let voltages: Vec<f64> = if f.is_fast() {
+        vec![0.9, 1.1]
+    } else {
+        vec![0.9, 1.0, 1.1]
+    };
+    let samples = f.mc_samples();
+    let spread = ProcessSpread::paper();
+    let ff_faults = vec![TsvFault::None; bench.n_segments];
+    let mut leak_faults = ff_faults.clone();
+    leak_faults[0] = TsvFault::Leakage { r: Ohms(3e3) };
+    let mut rows = Vec::new();
+    for &vdd in &voltages {
+        let ff = delta_t_population(&bench, vdd, &ff_faults, &[0], spread, seed, samples)?;
+        let leak: McDeltaT =
+            delta_t_population(&bench, vdd, &leak_faults, &[0], spread, seed, samples)?;
+        let ff_summary = Summary::of(&ff.deltas);
+        let (leak_summary, overlap, sep) = if leak.deltas.is_empty() {
+            (None, 0.0, f64::INFINITY)
+        } else {
+            let s = Summary::of(&leak.deltas);
+            (
+                Some(s),
+                range_overlap(&ff.deltas, &leak.deltas),
+                separation(&ff_summary, &s),
+            )
+        };
+        rows.push(LeakRow {
+            vdd,
+            fault_free: ff_summary,
+            leaky: leak_summary,
+            stuck: leak.stuck_count,
+            overlap,
+            separation: sep,
+        });
+    }
+    Ok(rows)
+}
+
+/// Runs the Fig. 9 experiment.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
+    let data = populations(f, 905)?;
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.2}", r.vdd),
+                format!(
+                    "[{}, {}]",
+                    crate::ps(r.fault_free.min),
+                    crate::ps(r.fault_free.max)
+                ),
+                match &r.leaky {
+                    Some(s) => format!("[{}, {}]", crate::ps(s.min), crate::ps(s.max)),
+                    None => "all STUCK".to_owned(),
+                },
+                r.stuck.to_string(),
+                format!("{:.2}", r.overlap),
+                if r.separation.is_infinite() {
+                    "∞".to_owned()
+                } else {
+                    format!("{:.1}", r.separation)
+                },
+            ]
+        })
+        .collect();
+
+    let lowest = data.first().expect("non-empty");
+    let highest = data.last().expect("non-empty");
+    let checks = vec![
+        Check {
+            description: format!(
+                "leakage increases ΔT at every voltage where the ring oscillates \
+                 (margin at {:.2} V: {:.1} spreads)",
+                highest.vdd, highest.separation
+            ),
+            passed: data
+                .iter()
+                .filter_map(|r| r.leaky.map(|s| s.mean > r.fault_free.mean))
+                .all(|ok| ok),
+        },
+        Check {
+            description: format!(
+                "detection is stronger at low V_DD: separation {:.2} V ≥ separation {:.2} V",
+                lowest.vdd, highest.vdd
+            ),
+            passed: lowest.separation >= highest.separation,
+        },
+        Check {
+            description: "the leaky population is clearly separable at the lowest voltage \
+                          (no range overlap, or the dies stick outright)"
+                .to_owned(),
+            passed: lowest.overlap < 0.05,
+        },
+    ];
+    Ok(ExperimentReport {
+        id: "e5",
+        title: "MC spread of ΔT vs V_DD, fault-free vs 3 kΩ leakage (Fig. 9)".to_owned(),
+        headers: vec![
+            "V_DD (V)".to_owned(),
+            "fault-free ΔT range (ps)".to_owned(),
+            "3 kΩ leak ΔT range (ps)".to_owned(),
+            "stuck dies".to_owned(),
+            "range overlap".to_owned(),
+            "separation (spreads)".to_owned(),
+        ],
+        rows,
+        notes: vec![
+            "In this reproduction the 3 kΩ leak already sticks the ring below \
+             ≈0.85 V (the paper's sensitive region sits at ≈0.75 V) — the stop \
+             threshold is calibration-dependent, the low-voltage advantage is \
+             the reproduced claim."
+                .to_owned(),
+        ],
+        checks,
+    })
+}

@@ -1,0 +1,291 @@
+#![warn(missing_docs)]
+
+//! Experiment harness: one runner per figure/table of the paper.
+//!
+//! | id | paper reference | module |
+//! |----|-----------------|--------|
+//! | e0 | §III-A lumped-model validation | [`e0`] |
+//! | e1 | Fig. 4 — I/O cell step waveforms | [`e1`] |
+//! | e2 | Fig. 6 — ΔT vs R_O | [`e2`] |
+//! | e3 | Fig. 7 — MC spread vs V_DD, 1 kΩ open | [`e3`] |
+//! | e4 | Fig. 8 — ΔT vs R_L at four voltages | [`e4`] |
+//! | e5 | Fig. 9 — MC spread vs V_DD, 3 kΩ leakage | [`e5`] |
+//! | e6 | Fig. 10 — spread overlap vs M | [`e6`] |
+//! | e7 | §IV-C — counter quantization error | [`e7`] |
+//! | e8 | §IV-D — DfT area cost | [`e8`] |
+//! | e9 | extension: minimum detectable fault (aliasing) | [`e9`] |
+//! | e10 | extension: fault-size diagnosis | [`e10`] |
+//! | e11 | extension: IDDQ-style current signatures | [`e11`] |
+//! | a1–a3 | ablations: integrator, ΔT subtraction, TSV model | [`ablations`] |
+//!
+//! Each runner returns an [`ExperimentReport`]: a data table (the rows
+//! the paper plots), shape checks (the qualitative claims the paper
+//! makes, evaluated against the measured data), and notes. The
+//! `experiments` binary renders them as markdown and CSV.
+
+use std::fmt::Write as _;
+
+pub mod ablations;
+pub mod e0;
+pub mod e1;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e10;
+pub mod e11;
+pub mod e8;
+pub mod e9;
+
+pub use rotsv::spice::SpiceError;
+
+/// Controls experiment cost: `fast` trades Monte-Carlo depth and sweep
+/// density for runtime (used by unit tests and the Criterion benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fidelity {
+    fast: bool,
+}
+
+impl Fidelity {
+    /// Full fidelity: the settings the committed EXPERIMENTS.md numbers
+    /// were produced with.
+    pub fn full() -> Self {
+        Self { fast: false }
+    }
+
+    /// Reduced fidelity for quick runs.
+    pub fn fast() -> Self {
+        Self { fast: true }
+    }
+
+    /// Whether this is the fast profile.
+    pub fn is_fast(&self) -> bool {
+        self.fast
+    }
+
+    /// Monte-Carlo samples per population.
+    ///
+    /// Sized for single-core machines: 10 samples per population keep the
+    /// full experiment suite within tens of minutes while still showing
+    /// the spread behaviour the paper plots.
+    pub fn mc_samples(&self) -> usize {
+        if self.fast {
+            6
+        } else {
+            8
+        }
+    }
+
+    /// Ring segments per group (the paper's N).
+    pub fn n_segments(&self) -> usize {
+        if self.fast {
+            2
+        } else {
+            5
+        }
+    }
+
+    /// Thins a sweep: keeps every point at full fidelity, every other
+    /// point when fast.
+    pub fn thin<T: Copy>(&self, points: &[T]) -> Vec<T> {
+        if self.fast {
+            points.iter().copied().step_by(2).collect()
+        } else {
+            points.to_vec()
+        }
+    }
+}
+
+/// A qualitative claim from the paper, checked against measured data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Check {
+    /// What the paper claims.
+    pub description: String,
+    /// Whether the measured data reproduces it.
+    pub passed: bool,
+}
+
+/// A rendered experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentReport {
+    /// Experiment id (`"e0"`…`"e8"`).
+    pub id: &'static str,
+    /// Human-readable title including the paper reference.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (pre-formatted strings).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (substitutions, caveats).
+    pub notes: Vec<String>,
+    /// Shape checks against the paper's claims.
+    pub checks: Vec<Check>,
+}
+
+impl ExperimentReport {
+    /// `true` when every shape check passed.
+    pub fn all_checks_pass(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Renders the report as GitHub-flavored markdown.
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        if !self.checks.is_empty() {
+            let _ = writeln!(out, "\n**Shape checks (paper claims):**\n");
+            for c in &self.checks {
+                let mark = if c.passed { "✅" } else { "❌" };
+                let _ = writeln!(out, "- {mark} {}", c.description);
+            }
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n> {n}");
+        }
+        out
+    }
+
+    /// Renders the data table as CSV.
+    pub fn csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats seconds as picoseconds with one decimal.
+pub fn ps(seconds: f64) -> String {
+    format!("{:.1}", seconds * 1e12)
+}
+
+/// Formats an optional period: picoseconds or `STUCK`.
+pub fn ps_or_stuck(seconds: Option<f64>) -> String {
+    match seconds {
+        Some(s) => ps(s),
+        None => "STUCK".to_owned(),
+    }
+}
+
+/// Runs all experiments in order.
+///
+/// # Errors
+///
+/// Propagates the first simulator error.
+pub fn run_all(f: &Fidelity) -> Result<Vec<ExperimentReport>, SpiceError> {
+    Ok(vec![
+        e0::run(f)?,
+        e1::run(f)?,
+        e2::run(f)?,
+        e3::run(f)?,
+        e4::run(f)?,
+        e5::run(f)?,
+        e6::run(f)?,
+        e7::run(f),
+        e8::run(f),
+        e9::run(f)?,
+        e10::run(f)?,
+        e11::run(f)?,
+        ablations::a1_integrator(f)?,
+        ablations::a2_subtraction(f)?,
+        ablations::a3_tsv_model(f)?,
+    ])
+}
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Propagates simulator errors; unknown ids return `Ok(None)`.
+pub fn run_one(id: &str, f: &Fidelity) -> Result<Option<ExperimentReport>, SpiceError> {
+    Ok(Some(match id {
+        "e0" => e0::run(f)?,
+        "e1" => e1::run(f)?,
+        "e2" => e2::run(f)?,
+        "e3" => e3::run(f)?,
+        "e4" => e4::run(f)?,
+        "e5" => e5::run(f)?,
+        "e6" => e6::run(f)?,
+        "e7" => e7::run(f),
+        "e8" => e8::run(f),
+        "e9" => e9::run(f)?,
+        "e10" => e10::run(f)?,
+        "e11" => e11::run(f)?,
+        "a1" => ablations::a1_integrator(f)?,
+        "a2" => ablations::a2_subtraction(f)?,
+        "a3" => ablations::a3_tsv_model(f)?,
+        _ => return Ok(None),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_markdown_and_csv() {
+        let r = ExperimentReport {
+            id: "e8",
+            title: "demo".into(),
+            headers: vec!["a".into(), "b,c".into()],
+            rows: vec![vec!["1".into(), "2".into()]],
+            notes: vec!["note".into()],
+            checks: vec![Check {
+                description: "holds".into(),
+                passed: true,
+            }],
+        };
+        let md = r.markdown();
+        assert!(md.contains("| a | b,c |"));
+        assert!(md.contains("✅ holds"));
+        assert!(md.contains("> note"));
+        let csv = r.csv();
+        assert!(csv.starts_with("a,\"b,c\"\n"));
+        assert!(r.all_checks_pass());
+    }
+
+    #[test]
+    fn fidelity_thins_sweeps() {
+        let full = Fidelity::full();
+        let fast = Fidelity::fast();
+        let pts = [1, 2, 3, 4, 5];
+        assert_eq!(full.thin(&pts), vec![1, 2, 3, 4, 5]);
+        assert_eq!(fast.thin(&pts), vec![1, 3, 5]);
+        assert!(fast.mc_samples() < full.mc_samples());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ps(1.5e-12), "1.5");
+        assert_eq!(ps_or_stuck(None), "STUCK");
+        assert_eq!(ps_or_stuck(Some(2e-12)), "2.0");
+    }
+}

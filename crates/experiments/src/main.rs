@@ -1,0 +1,113 @@
+//! CLI runner: regenerates the paper's figures and tables.
+//!
+//! ```text
+//! experiments [e0 e1 … | all] [--fast] [--out DIR]
+//! ```
+//!
+//! Writes one CSV per experiment into the output directory (default
+//! `results/`) plus a combined `summary.md`, and prints the markdown
+//! reports to stdout.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rotsv_experiments::{run_one, ExperimentReport, Fidelity};
+
+fn main() -> ExitCode {
+    let mut ids: Vec<String> = Vec::new();
+    let mut fast = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "all" => {
+                ids.extend((0..=11).map(|i| format!("e{i}")));
+                ids.extend((1..=3).map(|i| format!("a{i}")));
+            }
+            "paper" => ids.extend((0..=8).map(|i| format!("e{i}"))),
+            id if id.starts_with('e') || id.starts_with('a') => ids.push(id.to_owned()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: experiments [e0..e11 a1..a3 | paper | all] [--fast] [--out DIR]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if ids.is_empty() {
+        ids.extend((0..=11).map(|i| format!("e{i}")));
+        ids.extend((1..=3).map(|i| format!("a{i}")));
+    }
+    ids.dedup();
+
+    let fidelity = if fast { Fidelity::fast() } else { Fidelity::full() };
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut reports: Vec<ExperimentReport> = Vec::new();
+    for id in &ids {
+        let started = Instant::now();
+        eprintln!("running {id} …");
+        match run_one(id, &fidelity) {
+            Ok(Some(report)) => {
+                eprintln!("  {id} done in {:.1} s", started.elapsed().as_secs_f64());
+                println!("{}", report.markdown());
+                let csv_path = out_dir.join(format!("{id}.csv"));
+                if let Err(e) = fs::write(&csv_path, report.csv()) {
+                    eprintln!("cannot write {}: {e}", csv_path.display());
+                    return ExitCode::FAILURE;
+                }
+                reports.push(report);
+            }
+            Ok(None) => {
+                eprintln!("unknown experiment id: {id}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("{id} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut summary = String::from("# Experiment summary\n\n");
+    summary.push_str(&format!(
+        "Fidelity: {}\n\n",
+        if fast { "fast" } else { "full" }
+    ));
+    for r in &reports {
+        summary.push_str(&r.markdown());
+        summary.push('\n');
+    }
+    let summary_path = out_dir.join("summary.md");
+    if let Err(e) = fs::write(&summary_path, &summary) {
+        eprintln!("cannot write {}: {e}", summary_path.display());
+        return ExitCode::FAILURE;
+    }
+
+    let failed: Vec<&str> = reports
+        .iter()
+        .filter(|r| !r.all_checks_pass())
+        .map(|r| r.id)
+        .collect();
+    if failed.is_empty() {
+        eprintln!("all shape checks passed ({} experiments)", reports.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("shape checks FAILED in: {}", failed.join(", "));
+        ExitCode::FAILURE
+    }
+}

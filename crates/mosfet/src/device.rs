@@ -1,0 +1,202 @@
+//! Integration of the compact model with the circuit simulator.
+
+use rotsv_spice::{DeviceStamp, NodeId, NonlinearDevice};
+
+use crate::model::MosParams;
+
+/// Voltage perturbation used for the numerical Jacobian.
+const JACOBIAN_H: f64 = 1e-6;
+
+/// A MOSFET instance wired into a circuit.
+///
+/// Terminals are ordered **drain, gate, source, bulk**. The Jacobian is
+/// computed by forward differences on the (smooth) model equations, which
+/// keeps model code and derivative code from diverging.
+///
+/// Gate and bulk are treated as perfect insulators at DC; their
+/// capacitances are added as linear circuit elements by the standard-cell
+/// layer (see `rotsv-stdcell`).
+#[derive(Debug, Clone)]
+pub struct Mosfet {
+    name: String,
+    params: MosParams,
+    nodes: [NodeId; 4],
+}
+
+impl Mosfet {
+    /// Creates a MOSFET named `name` with the given parameters and
+    /// drain/gate/source/bulk nodes.
+    pub fn new(
+        name: impl Into<String>,
+        params: MosParams,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        bulk: NodeId,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            params,
+            nodes: [drain, gate, source, bulk],
+        }
+    }
+
+    /// Model parameters of this instance.
+    pub fn params(&self) -> &MosParams {
+        &self.params
+    }
+}
+
+impl NonlinearDevice for Mosfet {
+    fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    fn eval(&self, v: &[f64], stamp: &mut DeviceStamp) {
+        debug_assert_eq!(v.len(), 4);
+        let id0 = self.params.ids(v[0], v[1], v[2], v[3]);
+        // Channel current flows drain -> source; no DC gate/bulk current.
+        stamp.current[0] = id0;
+        stamp.current[2] = -id0;
+        // Numerical Jacobian: dId/dV_j by forward differences. Rows for
+        // gate (1) and bulk (3) stay zero; the source row is the negated
+        // drain row by charge conservation.
+        for j in 0..4 {
+            let mut vp = [v[0], v[1], v[2], v[3]];
+            vp[j] += JACOBIAN_H;
+            let idj = self.params.ids(vp[0], vp[1], vp[2], vp[3]);
+            let g = (idj - id0) / JACOBIAN_H;
+            stamp.jacobian[(0, j)] = g;
+            stamp.jacobian[(2, j)] = -g;
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech45::{self, DriveStrength};
+    use rotsv_spice::{Circuit, DcOpSpec, SourceWaveform};
+
+    #[test]
+    fn stamp_obeys_kcl() {
+        let m = Mosfet::new(
+            "m1",
+            tech45::nmos(DriveStrength::X1),
+            NodeId::GROUND,
+            NodeId::GROUND,
+            NodeId::GROUND,
+            NodeId::GROUND,
+        );
+        let mut s = DeviceStamp::new(4);
+        m.eval(&[1.1, 0.8, 0.0, 0.0], &mut s);
+        // Currents sum to zero.
+        let total: f64 = s.current.iter().sum();
+        assert!(total.abs() < 1e-18);
+        // Each Jacobian column sums to zero and gate/bulk rows are zero.
+        for j in 0..4 {
+            let col: f64 = (0..4).map(|i| s.jacobian[(i, j)]).sum();
+            assert!(col.abs() < 1e-12, "column {j} sums to {col}");
+        }
+        for j in 0..4 {
+            assert_eq!(s.jacobian[(1, j)], 0.0);
+            assert_eq!(s.jacobian[(3, j)], 0.0);
+        }
+    }
+
+    #[test]
+    fn jacobian_matches_shift_invariance() {
+        // dId/dVd + dId/dVg + dId/dVs + dId/dVb = 0 because the model only
+        // sees voltage differences.
+        let m = Mosfet::new(
+            "m1",
+            tech45::pmos(DriveStrength::X4),
+            NodeId::GROUND,
+            NodeId::GROUND,
+            NodeId::GROUND,
+            NodeId::GROUND,
+        );
+        let mut s = DeviceStamp::new(4);
+        m.eval(&[0.4, 0.2, 1.1, 1.1], &mut s);
+        let row: f64 = (0..4).map(|j| s.jacobian[(0, j)]).sum();
+        assert!(row.abs() < 1e-7, "row sum {row}");
+    }
+
+    /// A resistive-load NMOS inverter: checks that a complete DC solve
+    /// lands at the right output voltage.
+    #[test]
+    fn resistive_inverter_dc_transfer() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.add_vsource(vdd, Circuit::GROUND, SourceWaveform::dc(1.1));
+        ckt.add_vsource(vin, Circuit::GROUND, SourceWaveform::dc(1.1));
+        ckt.add_resistor(vdd, vout, 10e3);
+        ckt.add_device(Box::new(Mosfet::new(
+            "mn",
+            tech45::nmos(DriveStrength::X1),
+            vout,
+            vin,
+            Circuit::GROUND,
+            Circuit::GROUND,
+        )));
+        let sol = ckt.dcop(&DcOpSpec::default()).unwrap();
+        // Strong drive against 10k load: output pulled well below VDD/2.
+        let v = sol.voltage(vout);
+        assert!(v < 0.3, "output high? v = {v}");
+    }
+
+    /// CMOS inverter DC transfer: output swings rail to rail and crosses
+    /// near VDD/2.
+    #[test]
+    fn cmos_inverter_transfer_curve() {
+        let vdd_v = 1.1;
+        let eval = |vin_v: f64| -> f64 {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            let vin = ckt.node("in");
+            let vout = ckt.node("out");
+            ckt.add_vsource(vdd, Circuit::GROUND, SourceWaveform::dc(vdd_v));
+            ckt.add_vsource(vin, Circuit::GROUND, SourceWaveform::dc(vin_v));
+            ckt.add_device(Box::new(Mosfet::new(
+                "mp",
+                tech45::pmos(DriveStrength::X1),
+                vout,
+                vin,
+                vdd,
+                vdd,
+            )));
+            ckt.add_device(Box::new(Mosfet::new(
+                "mn",
+                tech45::nmos(DriveStrength::X1),
+                vout,
+                vin,
+                Circuit::GROUND,
+                Circuit::GROUND,
+            )));
+            ckt.dcop(&DcOpSpec::default()).unwrap().voltage(vout)
+        };
+        let v_low_in = eval(0.0);
+        let v_high_in = eval(1.1);
+        assert!(v_low_in > 1.05, "output should be ~VDD, got {v_low_in}");
+        assert!(v_high_in < 0.05, "output should be ~0, got {v_high_in}");
+        // Switching threshold between 0.4 and 0.7 V.
+        let v_mid = eval(0.55);
+        assert!(
+            (0.05..1.05).contains(&v_mid),
+            "mid transfer point v = {v_mid}"
+        );
+        // Monotone decreasing transfer curve.
+        let mut prev = f64::INFINITY;
+        for k in 0..=11 {
+            let v = eval(0.1 * k as f64);
+            assert!(v <= prev + 1e-6, "transfer curve not monotone at {k}");
+            prev = v;
+        }
+    }
+}

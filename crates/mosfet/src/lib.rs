@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! A smooth compact MOSFET model for the `rotsv` circuit simulator.
+//!
+//! The original paper simulates with 45 nm PTM low-power BSIM4 cards in
+//! HSPICE. Re-implementing BSIM4 is neither feasible nor necessary: the
+//! paper's conclusions rest on *qualitative* transistor behaviour — drive
+//! strength falling steeply as V_DD approaches V_th, subthreshold
+//! conduction, and threshold-voltage/channel-length sensitivity to process
+//! variation. This crate provides a single-equation, continuously
+//! differentiable model capturing exactly that:
+//!
+//! * square-law strong inversion with mobility degradation (θ) and
+//!   channel-length modulation (λ),
+//! * exponential subthreshold conduction blended in smoothly through a
+//!   softplus effective overdrive (EKV-style interpolation),
+//! * a simple body effect (γ, φ),
+//! * drain/source symmetry (the device is swapped for V_DS < 0),
+//! * per-instance ΔV_th / ΔL_eff perturbations for Monte-Carlo process
+//!   variation ([`model::MosDelta`]).
+//!
+//! [`tech45`] supplies NMOS/PMOS parameter cards calibrated so that the
+//! Nangate-like X4 buffer of the paper's TSV driver presents an effective
+//! output resistance near 1 kΩ at V_DD = 1.1 V — the value that puts the
+//! paper's leakage oscillation-stop threshold at R_L ≈ 1 kΩ.
+//!
+//! # Examples
+//!
+//! ```
+//! use rotsv_mosfet::tech45::{self, DriveStrength};
+//! use rotsv_mosfet::model::Polarity;
+//!
+//! let nmos = tech45::nmos(DriveStrength::X1);
+//! // Saturation current at nominal supply.
+//! let id = nmos.ids(1.1, 1.1, 0.0, 0.0);
+//! assert!(id > 5e-5 && id < 1e-3, "Idsat = {id}");
+//! assert_eq!(nmos.polarity, Polarity::Nmos);
+//! ```
+
+pub mod device;
+pub mod model;
+pub mod tech45;
+
+pub use device::Mosfet;
+pub use model::{MosDelta, MosParams, Nominal, Polarity, VariationSource};

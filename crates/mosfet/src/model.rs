@@ -1,0 +1,414 @@
+//! The compact model equations.
+
+/// Thermal voltage kT/q at 300 K, volts.
+pub const PHI_T: f64 = 0.02585;
+
+/// Channel polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polarity {
+    /// N-channel.
+    Nmos,
+    /// P-channel.
+    Pmos,
+}
+
+/// Per-instance process-variation perturbation.
+///
+/// The paper's Monte-Carlo model varies the threshold voltage
+/// (3σ = 30 mV) and the effective gate length (3σ = 10 %) of every
+/// transistor independently.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MosDelta {
+    /// Threshold-voltage shift, volts (added to the magnitude of V_th).
+    pub dvth: f64,
+    /// Relative effective-length change (e.g. +0.05 = 5 % longer channel).
+    pub dleff_rel: f64,
+}
+
+impl MosDelta {
+    /// The nominal (no-variation) delta.
+    pub const NOMINAL: MosDelta = MosDelta {
+        dvth: 0.0,
+        dleff_rel: 0.0,
+    };
+}
+
+/// A supplier of per-transistor process-variation deltas.
+///
+/// The standard-cell layer pulls one delta per instantiated transistor;
+/// `rotsv-variation` provides a seeded Gaussian implementation, and
+/// [`Nominal`] provides the no-variation case.
+pub trait VariationSource {
+    /// Delta for the next transistor instance.
+    fn next_delta(&mut self) -> MosDelta;
+}
+
+/// The no-variation source: every transistor is nominal.
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_mosfet::model::{MosDelta, Nominal, VariationSource};
+///
+/// let mut v = Nominal;
+/// assert_eq!(v.next_delta(), MosDelta::NOMINAL);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Nominal;
+
+impl VariationSource for Nominal {
+    fn next_delta(&mut self) -> MosDelta {
+        MosDelta::NOMINAL
+    }
+}
+
+/// A fully-sized MOSFET parameter set.
+///
+/// All voltages are absolute terminal voltages; polarity mirroring is
+/// internal. Capacitances are *not* part of the I–V evaluation — the
+/// standard-cell layer adds them as linear circuit elements via
+/// [`MosParams::c_gs`] and friends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosParams {
+    /// Channel polarity.
+    pub polarity: Polarity,
+    /// Threshold-voltage magnitude at zero back-bias, volts.
+    pub vth0: f64,
+    /// Transconductance factor µ·C_ox, A/V².
+    pub kp: f64,
+    /// Drawn channel width, meters.
+    pub w: f64,
+    /// Drawn channel length, meters.
+    pub l: f64,
+    /// Subthreshold slope factor (dimensionless, ≳ 1).
+    pub n_sub: f64,
+    /// Vertical-field mobility degradation, 1/V.
+    pub theta: f64,
+    /// Channel-length modulation, 1/V.
+    pub lambda: f64,
+    /// Body-effect coefficient, √V.
+    pub gamma: f64,
+    /// Surface potential 2φ_F, volts.
+    pub phi: f64,
+    /// Gate-oxide capacitance per area, F/m².
+    pub cox: f64,
+    /// Gate overlap capacitance per width, F/m.
+    pub cov: f64,
+    /// Junction capacitance per area, F/m².
+    pub cj: f64,
+    /// Source/drain diffusion extension, meters (sets junction area).
+    pub diff_ext: f64,
+    /// Process-variation perturbation applied to this instance.
+    pub delta: MosDelta,
+}
+
+/// Numerically safe exponential (clamps the argument).
+#[inline]
+fn safe_exp(x: f64) -> f64 {
+    x.clamp(-60.0, 60.0).exp()
+}
+
+/// Softplus with scale `s`: smooth max(0, x), `s·ln(1 + exp(x/s))`.
+#[inline]
+fn softplus(x: f64, s: f64) -> f64 {
+    if x > 30.0 * s {
+        x
+    } else {
+        s * (1.0 + safe_exp(x / s)).ln()
+    }
+}
+
+impl MosParams {
+    /// Effective channel length including the instance ΔL_eff.
+    pub fn l_eff(&self) -> f64 {
+        self.l * (1.0 + self.delta.dleff_rel)
+    }
+
+    /// Returns a copy with the given variation delta applied.
+    pub fn with_delta(mut self, delta: MosDelta) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Returns a copy scaled to width `w`.
+    pub fn with_width(mut self, w: f64) -> Self {
+        self.w = w;
+        self
+    }
+
+    /// Gate–source (and gate–drain) capacitance: half the channel charge
+    /// plus overlap, farads.
+    pub fn c_gs(&self) -> f64 {
+        0.5 * self.cox * self.w * self.l_eff() + self.cov * self.w
+    }
+
+    /// Gate–drain capacitance, farads (symmetric with [`Self::c_gs`]).
+    pub fn c_gd(&self) -> f64 {
+        self.c_gs()
+    }
+
+    /// Drain–bulk (and source–bulk) junction capacitance, farads.
+    pub fn c_db(&self) -> f64 {
+        self.cj * self.w * self.diff_ext
+    }
+
+    /// Drain current into the drain terminal given absolute terminal
+    /// voltages, amps. Positive current flows drain → source inside the
+    /// channel for an NMOS with V_DS > 0.
+    ///
+    /// The model is symmetric: `ids` with drain and source exchanged
+    /// returns the negated current.
+    pub fn ids(&self, vd: f64, vg: f64, vs: f64, vb: f64) -> f64 {
+        match self.polarity {
+            Polarity::Nmos => self.ids_n(vd, vg, vs, vb),
+            // PMOS mirrors the NMOS equations in voltage and current.
+            Polarity::Pmos => -self.ids_n(-vd, -vg, -vs, -vb),
+        }
+    }
+
+    /// NMOS-normalized current (see [`Self::ids`]).
+    fn ids_n(&self, vd: f64, vg: f64, vs: f64, vb: f64) -> f64 {
+        // Source/drain symmetry: operate on the lower terminal as source.
+        if vd >= vs {
+            self.ids_core(vd - vs, vg - vs, vs - vb)
+        } else {
+            -self.ids_core(vs - vd, vg - vd, vd - vb)
+        }
+    }
+
+    /// Core equations for vds >= 0.
+    fn ids_core(&self, vds: f64, vgs: f64, vsb: f64) -> f64 {
+        let n = self.n_sub;
+        // Body effect with a smooth clamp that keeps the square roots real
+        // even for forward body bias.
+        let vsb_eff = softplus(vsb + self.phi, 2.0 * PHI_T * n);
+        let vth = self.vth0 + self.delta.dvth + self.gamma * (vsb_eff.sqrt() - self.phi.sqrt());
+        // Smooth effective overdrive: ~vgs - vth in strong inversion,
+        // exponential in weak inversion with slope n·φt.
+        let s = 2.0 * n * PHI_T;
+        let vov = softplus(vgs - vth, s);
+        if vov <= 0.0 {
+            return 0.0;
+        }
+        let beta = self.kp * (self.w / self.l_eff()) / (1.0 + self.theta * vov);
+        // Saturation voltage equals the overdrive (square law); vds_eff
+        // approaches min(vds, vdsat) smoothly.
+        let vdsat = vov.max(1e-12);
+        let m = 4.0;
+        let vds_eff = vds / (1.0 + (vds / vdsat).powf(m)).powf(1.0 / m);
+        beta * (vov - vds_eff / 2.0) * vds_eff * (1.0 + self.lambda * vds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech45::{self, DriveStrength};
+
+    fn nmos() -> MosParams {
+        tech45::nmos(DriveStrength::X1)
+    }
+
+    fn pmos() -> MosParams {
+        tech45::pmos(DriveStrength::X1)
+    }
+
+    #[test]
+    fn current_zero_at_zero_vds() {
+        let m = nmos();
+        assert_eq!(m.ids(0.0, 1.1, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn current_increases_with_vgs() {
+        let m = nmos();
+        let mut prev = 0.0;
+        for k in 1..=11 {
+            let vg = 0.1 * k as f64;
+            let id = m.ids(1.1, vg, 0.0, 0.0);
+            assert!(id > prev, "id({vg}) = {id} not increasing");
+            prev = id;
+        }
+    }
+
+    #[test]
+    fn current_monotone_in_vds() {
+        let m = nmos();
+        let mut prev = -1.0;
+        for k in 0..=22 {
+            let vd = 0.05 * k as f64;
+            let id = m.ids(vd, 1.1, 0.0, 0.0);
+            assert!(id >= prev, "id({vd}) decreasing");
+            prev = id;
+        }
+    }
+
+    #[test]
+    fn saturation_current_in_plausible_range() {
+        // A 45nm-LP X1 NMOS should carry a few hundred µA at full drive.
+        let id = nmos().ids(1.1, 1.1, 0.0, 0.0);
+        assert!(id > 50e-6 && id < 800e-6, "Idsat = {id}");
+    }
+
+    #[test]
+    fn subthreshold_current_is_small_but_nonzero() {
+        let m = nmos();
+        let id_off = m.ids(1.1, 0.0, 0.0, 0.0);
+        assert!(id_off > 0.0, "subthreshold conduction must exist");
+        assert!(id_off < 1e-7, "off current too large: {id_off}");
+    }
+
+    #[test]
+    fn subthreshold_slope_is_exponential() {
+        let m = nmos();
+        // One n·φt of gate drive below threshold ≈ e-fold current change.
+        let i1 = m.ids(1.1, 0.20, 0.0, 0.0);
+        let i2 = m.ids(1.1, 0.20 + m.n_sub * PHI_T, 0.0, 0.0);
+        let ratio = i2 / i1;
+        assert!(
+            (2.0..4.5).contains(&ratio),
+            "per-nφt subthreshold ratio {ratio}, expected ≈ e"
+        );
+    }
+
+    #[test]
+    fn drain_source_symmetry() {
+        let m = nmos();
+        // Exchanging drain and source negates the current.
+        let a = m.ids(0.8, 1.0, 0.2, 0.0);
+        let b = m.ids(0.2, 1.0, 0.8, 0.0);
+        assert!((a + b).abs() < 1e-15 * a.abs().max(1.0), "a={a} b={b}");
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos_shape() {
+        let p = pmos();
+        // Source at VDD, gate at 0, drain at 0: strong conduction, current
+        // flows INTO the drain terminal from the channel (negative by the
+        // drain-inflow convention).
+        let id = p.ids(0.0, 0.0, 1.1, 1.1);
+        assert!(id < 0.0, "PMOS on-current should be negative, got {id}");
+        assert!(id.abs() > 50e-6);
+        // Off when gate at VDD.
+        let id_off = p.ids(0.0, 1.1, 1.1, 1.1);
+        assert!(id_off.abs() < 1e-7);
+    }
+
+    #[test]
+    fn body_effect_raises_threshold() {
+        let m = nmos();
+        let id_no_bias = m.ids(1.1, 0.6, 0.0, 0.0);
+        // Reverse body bias (source above bulk) reduces current.
+        let id_rbb = m.ids(1.1, 0.6, 0.0, -0.5) * 1.0;
+        let id_rbb_same_vgs = m.ids(1.1 + 0.0, 0.6, 0.0, -0.5);
+        assert!(id_rbb_same_vgs < id_no_bias);
+        let _ = id_rbb;
+    }
+
+    #[test]
+    fn dvth_shift_reduces_current() {
+        let base = nmos();
+        let slow = base.with_delta(MosDelta {
+            dvth: 0.03,
+            dleff_rel: 0.0,
+        });
+        assert!(slow.ids(1.1, 1.1, 0.0, 0.0) < base.ids(1.1, 1.1, 0.0, 0.0));
+    }
+
+    #[test]
+    fn longer_channel_reduces_current() {
+        let base = nmos();
+        let long = base.with_delta(MosDelta {
+            dvth: 0.0,
+            dleff_rel: 0.10,
+        });
+        let ratio = long.ids(1.1, 1.1, 0.0, 0.0) / base.ids(1.1, 1.1, 0.0, 0.0);
+        assert!((0.85..0.97).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn capacitances_scale_with_width() {
+        let x1 = tech45::nmos(DriveStrength::X1);
+        let x4 = tech45::nmos(DriveStrength::X4);
+        assert!((x4.c_gs() / x1.c_gs() - 4.0).abs() < 1e-9);
+        assert!((x4.c_db() / x1.c_db() - 4.0).abs() < 1e-9);
+        assert!(x1.c_gs() > 1e-17 && x1.c_gs() < 1e-14, "cgs = {}", x1.c_gs());
+    }
+
+    #[test]
+    fn near_threshold_drive_collapses() {
+        // The multi-voltage method relies on drive current falling much
+        // faster than linearly as VDD drops toward Vth.
+        let m = nmos();
+        let i_nom = m.ids(1.1, 1.1, 0.0, 0.0);
+        let i_low = m.ids(0.7, 0.7, 0.0, 0.0);
+        let ratio = i_nom / i_low;
+        assert!(
+            ratio > 3.0,
+            "expected strong drive collapse at 0.7 V, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn shift_invariance_of_terminal_voltages() {
+        // Currents depend only on voltage differences.
+        let m = nmos();
+        let a = m.ids(1.0, 0.9, 0.2, 0.0);
+        let b = m.ids(1.5, 1.4, 0.7, 0.5);
+        assert!((a - b).abs() < 1e-12 * a.abs().max(1e-12));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::tech45::{self, DriveStrength};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Current sign always matches vds sign for any bias in range.
+        #[test]
+        fn current_sign_follows_vds(
+            vd in 0.0..1.2f64,
+            vg in 0.0..1.2f64,
+            vs in 0.0..1.2f64,
+        ) {
+            let m = tech45::nmos(DriveStrength::X1);
+            let id = m.ids(vd, vg, vs, 0.0);
+            if vd > vs {
+                prop_assert!(id >= 0.0);
+            } else if vd < vs {
+                prop_assert!(id <= 0.0);
+            }
+        }
+
+        /// The model is continuous: small voltage steps give small current
+        /// steps (no kinks that would break Newton).
+        #[test]
+        fn current_is_lipschitz_in_vd(
+            vd in 0.05..1.15f64,
+            vg in 0.0..1.2f64,
+        ) {
+            let m = tech45::nmos(DriveStrength::X1);
+            let h = 1e-4;
+            let i0 = m.ids(vd - h, vg, 0.0, 0.0);
+            let i1 = m.ids(vd + h, vg, 0.0, 0.0);
+            // Conductance bounded by a few tens of mS for this size.
+            prop_assert!(((i1 - i0) / (2.0 * h)).abs() < 0.1);
+        }
+
+        /// Exchanging drain and source negates the current exactly.
+        #[test]
+        fn symmetry_holds_everywhere(
+            va in 0.0..1.2f64,
+            vb in 0.0..1.2f64,
+            vg in 0.0..1.2f64,
+        ) {
+            let m = tech45::nmos(DriveStrength::X2);
+            let fwd = m.ids(va, vg, vb, 0.0);
+            let rev = m.ids(vb, vg, va, 0.0);
+            prop_assert!((fwd + rev).abs() <= 1e-12 * fwd.abs().max(1e-12));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! 45 nm low-power parameter cards.
+//!
+//! Values are inspired by the 45 nm PTM low-power node and the Nangate
+//! 45 nm Open Cell Library sizing the paper uses (X4 buffers as TSV
+//! drivers, X1 gates elsewhere). They are calibrated to reproduce the
+//! behaviours the paper's results depend on, not to match PTM curve for
+//! curve:
+//!
+//! * V_th magnitudes near 0.46 V (N) / 0.49 V (P) so the circuit still
+//!   operates at V_DD = 0.7 V but slows dramatically,
+//! * an X4 buffer effective output resistance of roughly 1 kΩ at 1.1 V
+//!   (this puts the leakage-induced oscillation-stop threshold at
+//!   R_L ≈ 1 kΩ, matching Fig. 8 of the paper),
+//! * P/N strength ratio near 1 for roughly symmetric edges.
+
+use crate::model::{MosDelta, MosParams, Polarity};
+
+/// Nominal supply voltage of the node, volts.
+pub const VDD_NOMINAL: f64 = 1.1;
+
+/// Drawn channel length, meters.
+pub const L_DRAWN: f64 = 50e-9;
+
+/// Unit NMOS width (Nangate INV_X1 pull-down), meters.
+pub const W_NMOS_X1: f64 = 0.415e-6;
+
+/// Unit PMOS width (Nangate INV_X1 pull-up), meters.
+pub const W_PMOS_X1: f64 = 0.630e-6;
+
+/// Cell drive strength: multiplies the unit transistor width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DriveStrength {
+    /// Unit drive.
+    X1,
+    /// Double drive.
+    X2,
+    /// Quadruple drive (the paper's TSV driver strength).
+    X4,
+}
+
+impl DriveStrength {
+    /// Width multiplier.
+    pub fn factor(self) -> f64 {
+        match self {
+            DriveStrength::X1 => 1.0,
+            DriveStrength::X2 => 2.0,
+            DriveStrength::X4 => 4.0,
+        }
+    }
+}
+
+fn base(polarity: Polarity, vth0: f64, kp: f64, w: f64) -> MosParams {
+    MosParams {
+        polarity,
+        vth0,
+        kp,
+        w,
+        l: L_DRAWN,
+        n_sub: 1.4,
+        theta: 1.6,
+        lambda: 0.15,
+        gamma: 0.20,
+        phi: 0.85,
+        // tox ≈ 1.4 nm -> Cox ≈ 24.7 fF/µm².
+        cox: 0.0247,
+        // Overlap ≈ 0.35 fF/µm of width.
+        cov: 0.35e-9,
+        // Junction ≈ 1 fF/µm² over a 100 nm diffusion extension.
+        cj: 1.0e-3,
+        diff_ext: 100e-9,
+        delta: MosDelta::NOMINAL,
+    }
+}
+
+/// NMOS card at the given drive strength.
+pub fn nmos(drive: DriveStrength) -> MosParams {
+    base(
+        Polarity::Nmos,
+        0.466,
+        2.2e-4,
+        W_NMOS_X1 * drive.factor(),
+    )
+}
+
+/// PMOS card at the given drive strength.
+pub fn pmos(drive: DriveStrength) -> MosParams {
+    base(
+        Polarity::Pmos,
+        0.490,
+        1.35e-4,
+        W_PMOS_X1 * drive.factor(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drive_strength_scales_width() {
+        assert_eq!(nmos(DriveStrength::X4).w, 4.0 * nmos(DriveStrength::X1).w);
+        assert_eq!(pmos(DriveStrength::X2).w, 2.0 * pmos(DriveStrength::X1).w);
+    }
+
+    #[test]
+    fn pn_strength_roughly_balanced() {
+        // Equal-magnitude on-currents within 2x keeps inverter thresholds
+        // near VDD/2.
+        let idn = nmos(DriveStrength::X1).ids(1.1, 1.1, 0.0, 0.0);
+        let idp = pmos(DriveStrength::X1).ids(0.0, 0.0, 1.1, 1.1).abs();
+        let ratio = idn / idp;
+        assert!((0.5..2.0).contains(&ratio), "N/P ratio {ratio}");
+    }
+
+    #[test]
+    fn x4_pullup_resistance_near_one_kiloohm() {
+        // Effective pull-up resistance of the X4 PMOS at mid swing: this
+        // calibration pins the paper's leakage stop threshold near 1 kΩ.
+        let p = pmos(DriveStrength::X4);
+        let vdd = VDD_NOMINAL;
+        let i = p.ids(vdd / 2.0, 0.0, vdd, vdd).abs();
+        let r_eff = (vdd / 2.0) / i;
+        assert!(
+            (500.0..2500.0).contains(&r_eff),
+            "X4 pull-up R_eff = {r_eff} Ω"
+        );
+    }
+
+    #[test]
+    fn still_conducts_at_low_voltage() {
+        // The multi-voltage test sweeps down to 0.7 V; gates must still
+        // switch there.
+        let n = nmos(DriveStrength::X1);
+        let i = n.ids(0.7, 0.7, 0.0, 0.0);
+        assert!(i > 1e-6, "current at 0.7 V: {i}");
+    }
+}

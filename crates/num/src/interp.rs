@@ -1,0 +1,111 @@
+//! Linear interpolation over sampled data.
+//!
+//! Waveform post-processing (threshold-crossing times, delay extraction)
+//! interpolates between transient time points; oscillation periods are then
+//! accurate to far better than the integration step.
+
+/// Linearly interpolates `y(x)` on the sorted grid `xs` with values `ys`.
+///
+/// Outside the grid the boundary value is returned (constant
+/// extrapolation), matching how measurement logic holds the last sample.
+///
+/// # Panics
+///
+/// Panics if the slices are empty, have different lengths, or `xs` is not
+/// strictly increasing.
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_num::interp::lerp_at;
+///
+/// let xs = [0.0, 1.0, 2.0];
+/// let ys = [0.0, 10.0, 0.0];
+/// assert_eq!(lerp_at(&xs, &ys, 0.5), 5.0);
+/// assert_eq!(lerp_at(&xs, &ys, -1.0), 0.0); // clamped
+/// assert_eq!(lerp_at(&xs, &ys, 3.0), 0.0); // clamped
+/// ```
+pub fn lerp_at(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    assert!(!xs.is_empty(), "empty grid");
+    assert_eq!(xs.len(), ys.len(), "grid/value length mismatch");
+    debug_assert!(
+        xs.windows(2).all(|w| w[0] < w[1]),
+        "grid must be strictly increasing"
+    );
+    if x <= xs[0] {
+        return ys[0];
+    }
+    if x >= xs[xs.len() - 1] {
+        return ys[ys.len() - 1];
+    }
+    // Binary search for the bracketing segment.
+    let idx = match xs.binary_search_by(|v| v.partial_cmp(&x).expect("finite grid")) {
+        Ok(i) => return ys[i],
+        Err(i) => i,
+    };
+    let (x0, x1) = (xs[idx - 1], xs[idx]);
+    let (y0, y1) = (ys[idx - 1], ys[idx]);
+    let t = (x - x0) / (x1 - x0);
+    y0 + t * (y1 - y0)
+}
+
+/// Solves `y(x) = target` by inverse interpolation on one segment.
+///
+/// Given segment endpoints `(x0, y0)` and `(x1, y1)` with `target` between
+/// `y0` and `y1`, returns the crossing abscissa.
+///
+/// # Panics
+///
+/// Panics if `y0 == y1` (no unique crossing).
+pub fn crossing_on_segment(x0: f64, y0: f64, x1: f64, y1: f64, target: f64) -> f64 {
+    assert!(y0 != y1, "segment is flat, crossing undefined");
+    let t = (target - y0) / (y1 - y0);
+    x0 + t * (x1 - x0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_grid_points_are_returned() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [3.0, 4.0, 5.0];
+        for i in 0..3 {
+            assert_eq!(lerp_at(&xs, &ys, xs[i]), ys[i]);
+        }
+    }
+
+    #[test]
+    fn interpolates_mid_segment() {
+        let xs = [0.0, 2.0];
+        let ys = [0.0, 1.0];
+        assert!((lerp_at(&xs, &ys, 0.5) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn single_point_grid_is_constant() {
+        assert_eq!(lerp_at(&[1.0], &[9.0], 0.0), 9.0);
+        assert_eq!(lerp_at(&[1.0], &[9.0], 5.0), 9.0);
+    }
+
+    #[test]
+    fn crossing_recovers_threshold_time() {
+        // y goes 0 -> 1 over x 10 -> 12; y = 0.5 at x = 11.
+        assert!((crossing_on_segment(10.0, 0.0, 12.0, 1.0, 0.5) - 11.0).abs() < 1e-15);
+        // Falling edge.
+        assert!((crossing_on_segment(0.0, 1.0, 1.0, 0.0, 0.25) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat")]
+    fn flat_segment_panics() {
+        let _ = crossing_on_segment(0.0, 1.0, 1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = lerp_at(&[0.0, 1.0], &[0.0], 0.5);
+    }
+}

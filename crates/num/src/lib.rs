@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! Numeric foundations for the `rotsv` workspace.
+//!
+//! The pre-bond TSV test reproduction needs a small, self-contained numeric
+//! toolbox because no circuit-simulation ecosystem exists in Rust:
+//!
+//! * [`matrix`] — dense row-major matrices sized for Modified Nodal Analysis
+//!   systems (tens to a few hundred unknowns),
+//! * [`linsolve`] — LU factorization with partial pivoting used by the
+//!   Newton loops of the DC and transient analyses,
+//! * [`stats`] — population statistics for Monte-Carlo spread/overlap
+//!   analysis (Figs. 7, 9 and 10 of the paper),
+//! * [`rng`] — seeded Gaussian sampling for process variation,
+//! * [`interp`] — linear interpolation on sampled waveforms,
+//! * [`units`] — newtypes for the physical quantities that cross crate
+//!   boundaries (volts, seconds, ohms, farads).
+//!
+//! # Examples
+//!
+//! Solve a 2×2 system:
+//!
+//! ```
+//! use rotsv_num::matrix::Matrix;
+//! use rotsv_num::linsolve::LuFactors;
+//!
+//! # fn main() -> Result<(), rotsv_num::linsolve::SolveError> {
+//! let mut a = Matrix::zeros(2, 2);
+//! a[(0, 0)] = 2.0;
+//! a[(0, 1)] = 1.0;
+//! a[(1, 0)] = 1.0;
+//! a[(1, 1)] = 3.0;
+//! let lu = LuFactors::factor(a)?;
+//! let x = lu.solve(&[3.0, 4.0])?;
+//! assert!((x[0] - 1.0).abs() < 1e-12);
+//! assert!((x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod interp;
+pub mod linsolve;
+pub mod parallel;
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+pub mod units;
+
+pub use linsolve::{LuFactors, SolveError};
+pub use matrix::Matrix;
+pub use stats::Summary;

@@ -1,0 +1,284 @@
+//! LU factorization with partial pivoting.
+//!
+//! This is the inner linear solver of every Newton iteration in the circuit
+//! simulator. MNA matrices are unsymmetric and can be poorly scaled (mixing
+//! conductances of 1e-12 S and 1e3 S), so partial pivoting is required for
+//! robustness.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::matrix::Matrix;
+
+/// Error returned when a linear system cannot be solved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is (numerically) singular; holds the pivot column at which
+    /// elimination broke down.
+    Singular {
+        /// Column at which no usable pivot was found.
+        column: usize,
+    },
+    /// The right-hand side length does not match the matrix dimension.
+    DimensionMismatch {
+        /// Dimension of the factored matrix.
+        expected: usize,
+        /// Length of the supplied right-hand side.
+        actual: usize,
+    },
+    /// The matrix is not square.
+    NotSquare {
+        /// Row count of the offending matrix.
+        rows: usize,
+        /// Column count of the offending matrix.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Singular { column } => {
+                write!(f, "matrix is singular at pivot column {column}")
+            }
+            SolveError::DimensionMismatch { expected, actual } => {
+                write!(f, "right-hand side has length {actual}, expected {expected}")
+            }
+            SolveError::NotSquare { rows, cols } => {
+                write!(f, "matrix is {rows}x{cols}, expected square")
+            }
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// An LU factorization `P·A = L·U` of a square matrix.
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_num::matrix::Matrix;
+/// use rotsv_num::linsolve::LuFactors;
+///
+/// # fn main() -> Result<(), rotsv_num::linsolve::SolveError> {
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+/// let lu = LuFactors::factor(a)?;
+/// let x = lu.solve(&[2.0, 3.0])?;
+/// assert_eq!(x, vec![3.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// Combined L (below diagonal, unit diagonal implied) and U (diagonal and
+    /// above) factors.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+}
+
+/// Pivots with magnitude below this threshold are treated as singular.
+const PIVOT_EPS: f64 = 1e-300;
+
+impl LuFactors {
+    /// Factors `a` in place, consuming it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NotSquare`] for non-square input and
+    /// [`SolveError::Singular`] when no usable pivot exists in some column.
+    pub fn factor(mut a: Matrix) -> Result<Self, SolveError> {
+        if !a.is_square() {
+            return Err(SolveError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivoting: pick the largest magnitude in column k.
+            let mut p = k;
+            let mut pmax = a[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = a[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if !(pmax > PIVOT_EPS) || !pmax.is_finite() {
+                return Err(SolveError::Singular { column: k });
+            }
+            if p != k {
+                a.swap_rows(p, k);
+                perm.swap(p, k);
+            }
+            let pivot = a[(k, k)];
+            for i in (k + 1)..n {
+                let factor = a[(i, k)] / pivot;
+                a[(i, k)] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let u = a[(k, j)];
+                        a[(i, j)] -= factor * u;
+                    }
+                }
+            }
+        }
+        Ok(Self { lu: a, perm })
+    }
+
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(SolveError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        // Forward substitution with unit-diagonal L.
+        for i in 1..n {
+            let row = self.lu.row(i);
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= row[j] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= row[j] * x[j];
+            }
+            x[i] = acc / row[i];
+        }
+        Ok(x)
+    }
+}
+
+/// Convenience wrapper: factors `a` and solves a single right-hand side.
+///
+/// # Errors
+///
+/// Propagates any [`SolveError`] from factorization or substitution.
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_num::matrix::Matrix;
+/// use rotsv_num::linsolve::solve;
+///
+/// # fn main() -> Result<(), rotsv_num::linsolve::SolveError> {
+/// let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+/// let x = solve(a, &[1.0, 2.0])?;
+/// assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve(a: Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    LuFactors::factor(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        a.mul_vec(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, b)| (ax - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_well_conditioned_system() {
+        let a = Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]]);
+        let b = [1.0, -2.0, 0.0];
+        let x = solve(a.clone(), &b).unwrap();
+        assert!(residual_norm(&a, &x, &b) < 1e-12);
+        // Known solution (1, -2, -2).
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] + 2.0).abs() < 1e-12);
+        assert!((x[2] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[3.0, 0.0]]);
+        let x = solve(a, &[4.0, 6.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        match solve(a, &[1.0, 2.0]) {
+            Err(SolveError::Singular { column }) => assert_eq!(column, 1),
+            other => panic!("expected singular error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            LuFactors::factor(a),
+            Err(SolveError::NotSquare { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let lu = LuFactors::factor(Matrix::identity(2)).unwrap();
+        assert!(matches!(
+            lu.solve(&[1.0]),
+            Err(SolveError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn factors_reusable_for_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = LuFactors::factor(a.clone()).unwrap();
+        for b in [[1.0, 0.0], [0.0, 1.0], [5.0, -3.0]] {
+            let x = lu.solve(&b).unwrap();
+            assert!(residual_norm(&a, &x, &b) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn badly_scaled_system_still_solves() {
+        // Mix of pico-scale and kilo-scale entries as in MNA matrices.
+        let a = Matrix::from_rows(&[&[1e-12, 1.0], &[1.0, 1e3]]);
+        let b = [1.0, 2.0];
+        let x = solve(a.clone(), &b).unwrap();
+        assert!(residual_norm(&a, &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = SolveError::Singular { column: 3 };
+        assert_eq!(e.to_string(), "matrix is singular at pivot column 3");
+    }
+}

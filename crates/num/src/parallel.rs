@@ -1,0 +1,89 @@
+//! A minimal scoped-thread parallel map.
+//!
+//! Monte-Carlo experiments run hundreds of independent transient
+//! simulations; this fans them out across CPU cores with plain
+//! `std::thread::scope` — results are deterministic because every sample
+//! derives its RNG from its own index, not from scheduling order.
+
+use std::num::NonZeroUsize;
+
+/// Applies `f` to every index in `0..n` in parallel and returns the
+/// results in index order.
+///
+/// Uses up to `std::thread::available_parallelism()` worker threads.
+/// Results are identical to a serial `(0..n).map(f).collect()`.
+///
+/// # Panics
+///
+/// Panics (propagates) if `f` panics on any index.
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_num::parallel::parallel_map;
+///
+/// let squares = parallel_map(5, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (c, slice) in results.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (j, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f(c * chunk + j));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map() {
+        let par = parallel_map(100, |i| i as f64 * 1.5);
+        let ser: Vec<f64> = (0..100).map(|i| i as f64 * 1.5).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(parallel_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn order_is_preserved_under_load() {
+        let out = parallel_map(1000, |i| {
+            // Unequal work per item to stress scheduling.
+            let mut acc = 0u64;
+            for k in 0..(i % 37) * 100 {
+                acc = acc.wrapping_add(k as u64);
+            }
+            (i, acc)
+        });
+        for (i, (idx, _)) in out.iter().enumerate() {
+            assert_eq!(i, *idx);
+        }
+    }
+}

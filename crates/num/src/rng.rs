@@ -1,0 +1,170 @@
+//! Seeded random sampling for Monte-Carlo process variation.
+//!
+//! All Monte-Carlo experiments in the workspace must be reproducible, so
+//! every sampler is constructed from an explicit `u64` seed. Gaussian
+//! deviates are generated with the Marsaglia polar method on top of the
+//! `rand` uniform source.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded generator of standard-normal and uniform deviates.
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_num::rng::GaussianRng;
+///
+/// let mut rng = GaussianRng::seed_from(42);
+/// let x = rng.standard_normal();
+/// let mut rng2 = GaussianRng::seed_from(42);
+/// assert_eq!(x, rng2.standard_normal(), "same seed, same stream");
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianRng {
+    rng: StdRng,
+    /// Second deviate of a Marsaglia pair, saved for the next call.
+    spare: Option<f64>,
+}
+
+impl GaussianRng {
+    /// Creates a generator from a seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Next deviate from the standard normal distribution N(0, 1).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Marsaglia polar method.
+        loop {
+            let u: f64 = self.rng.gen_range(-1.0..1.0);
+            let v: f64 = self.rng.gen_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+
+    /// Next deviate from N(`mean`, `sigma`²).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or non-finite.
+    pub fn normal(&mut self, mean: f64, sigma: f64) -> f64 {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
+        mean + sigma * self.standard_normal()
+    }
+
+    /// Uniform deviate in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform range must be non-empty");
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Derives an independent child generator; used to give each
+    /// Monte-Carlo sample its own stream so samples can run in parallel
+    /// while staying reproducible.
+    pub fn fork(&mut self, stream: u64) -> GaussianRng {
+        // Mix the stream index into a fresh seed drawn from this generator.
+        let base: u64 = self.rng.gen();
+        GaussianRng::seed_from(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+
+    #[test]
+    fn same_seed_reproduces_stream() {
+        let mut a = GaussianRng::seed_from(7);
+        let mut b = GaussianRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.standard_normal(), b.standard_normal());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = GaussianRng::seed_from(1);
+        let mut b = GaussianRng::seed_from(2);
+        let same = (0..32)
+            .filter(|_| a.standard_normal() == b.standard_normal())
+            .count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn standard_normal_moments_are_plausible() {
+        let mut rng = GaussianRng::seed_from(1234);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.standard_normal()).collect();
+        let s = Summary::of(&xs);
+        assert!(s.mean.abs() < 0.03, "mean {}", s.mean);
+        assert!((s.std_dev - 1.0).abs() < 0.03, "std {}", s.std_dev);
+    }
+
+    #[test]
+    fn three_sigma_coverage_close_to_theory() {
+        let mut rng = GaussianRng::seed_from(99);
+        let n = 50_000;
+        let inside = (0..n)
+            .filter(|_| rng.standard_normal().abs() <= 3.0)
+            .count();
+        let frac = inside as f64 / n as f64;
+        assert!((frac - 0.9973).abs() < 0.002, "3-sigma coverage {frac}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = GaussianRng::seed_from(5);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.normal(10.0, 0.01)).collect();
+        let s = Summary::of(&xs);
+        assert!((s.mean - 10.0).abs() < 0.001);
+        assert!((s.std_dev - 0.01).abs() < 0.001);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = GaussianRng::seed_from(5);
+        for _ in 0..1000 {
+            let x = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_reproducible() {
+        let mut parent1 = GaussianRng::seed_from(11);
+        let mut parent2 = GaussianRng::seed_from(11);
+        let mut c1 = parent1.fork(0);
+        let mut c2 = parent2.fork(0);
+        assert_eq!(c1.standard_normal(), c2.standard_normal());
+        let mut c3 = parent1.fork(1);
+        // Streams from different indices should not be identical.
+        let matches = (0..32)
+            .filter(|_| c1.standard_normal() == c3.standard_normal())
+            .count();
+        assert!(matches < 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be >= 0")]
+    fn negative_sigma_panics() {
+        let mut rng = GaussianRng::seed_from(0);
+        let _ = rng.normal(0.0, -1.0);
+    }
+}

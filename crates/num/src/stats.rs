@@ -1,0 +1,379 @@
+//! Population statistics for Monte-Carlo analysis.
+//!
+//! The paper judges test robustness by how the Monte-Carlo *spreads* of the
+//! fault-free and faulty ΔT populations relate: disjoint spreads mean the
+//! fault is always detectable, overlapping spreads mean aliasing
+//! (Figs. 7, 9 and 10). This module provides the summary and overlap
+//! machinery used by those experiments.
+
+use std::fmt;
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or contains a non-finite value.
+    pub fn of(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "cannot summarize an empty sample");
+        assert!(
+            data.iter().all(|v| v.is_finite()),
+            "sample contains a non-finite value"
+        );
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            data.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let min = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// The range `[min, max]` as an [`Interval`].
+    pub fn interval(&self) -> Interval {
+        Interval {
+            lo: self.min,
+            hi: self.max,
+        }
+    }
+
+    /// Half-width of the spread, `(max − min) / 2`.
+    pub fn half_spread(&self) -> f64 {
+        (self.max - self.min) / 2.0
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6e} std={:.3e} range=[{:.6e}, {:.6e}]",
+            self.n, self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+/// A closed interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval; normalizes the endpoint order.
+    pub fn new(a: f64, b: f64) -> Self {
+        if a <= b {
+            Self { lo: a, hi: b }
+        } else {
+            Self { lo: b, hi: a }
+        }
+    }
+
+    /// Interval length, `hi − lo`.
+    pub fn len(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Returns `true` if the interval has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0.0
+    }
+
+    /// Returns `true` if `x` lies within the closed interval.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// The intersection with `other`, or `None` if disjoint.
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+}
+
+/// Fraction of the *union* of two sample ranges covered by their
+/// intersection (0 = disjoint spreads, 1 = identical spreads).
+///
+/// This is the "spread overlap" metric plotted against M in Fig. 10 of the
+/// paper: as more TSVs are tested in one oscillator, uncancelled process
+/// variation widens both populations and their ranges start to overlap.
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_num::stats::range_overlap;
+///
+/// let fault_free = [0.0, 1.0, 2.0];
+/// let faulty = [1.5, 2.5, 3.5];
+/// let ov = range_overlap(&fault_free, &faulty);
+/// assert!((ov - (2.0 - 1.5) / 3.5).abs() < 1e-12);
+/// assert_eq!(range_overlap(&[0.0, 1.0], &[2.0, 3.0]), 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if either sample is empty or non-finite.
+pub fn range_overlap(a: &[f64], b: &[f64]) -> f64 {
+    let sa = Summary::of(a).interval();
+    let sb = Summary::of(b).interval();
+    let inter = match sa.intersection(&sb) {
+        Some(i) => i.len(),
+        None => return 0.0,
+    };
+    let union = sa.len() + sb.len() - inter;
+    if union <= 0.0 {
+        // Both ranges degenerate to the same point.
+        1.0
+    } else {
+        inter / union
+    }
+}
+
+/// Fraction of points (from both samples pooled) that fall inside the
+/// intersection of the two sample ranges.
+///
+/// Unlike [`range_overlap`] this weighs the *density* of the aliasing
+/// region: a single outlier stretching a range contributes little.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or non-finite.
+pub fn point_overlap(a: &[f64], b: &[f64]) -> f64 {
+    let sa = Summary::of(a).interval();
+    let sb = Summary::of(b).interval();
+    let Some(inter) = sa.intersection(&sb) else {
+        return 0.0;
+    };
+    let in_a = a.iter().filter(|&&x| inter.contains(x)).count();
+    let in_b = b.iter().filter(|&&x| inter.contains(x)).count();
+    (in_a + in_b) as f64 / (a.len() + b.len()) as f64
+}
+
+/// Linearly interpolated percentile of a sample (`p` in `[0, 100]`).
+///
+/// # Panics
+///
+/// Panics if `data` is empty, contains non-finite values, or `p` is outside
+/// `[0, 100]`.
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_num::stats::percentile;
+///
+/// let data = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&data, 0.0), 1.0);
+/// assert_eq!(percentile(&data, 100.0), 4.0);
+/// assert_eq!(percentile(&data, 50.0), 2.5);
+/// ```
+pub fn percentile(data: &[f64], p: f64) -> f64 {
+    assert!(!data.is_empty(), "cannot take percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    assert!(
+        data.iter().all(|v| v.is_finite()),
+        "sample contains a non-finite value"
+    );
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A fixed-bin histogram over `[lo, hi]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+    outliers: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram of `data` with `bins` equal-width bins on
+    /// `[lo, hi]`. Values outside the range are counted as outliers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(data: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        let mut counts = vec![0usize; bins];
+        let mut outliers = 0usize;
+        let width = (hi - lo) / bins as f64;
+        for &x in data {
+            if x < lo || x > hi || !x.is_finite() {
+                outliers += 1;
+            } else {
+                let idx = (((x - lo) / width) as usize).min(bins - 1);
+                counts[idx] += 1;
+            }
+        }
+        Self {
+            lo,
+            hi,
+            counts,
+            outliers,
+        }
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Number of values outside `[lo, hi]`.
+    pub fn outliers(&self) -> usize {
+        self.outliers
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of bounds");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-15);
+        // var = (2.25+0.25+0.25+2.25)/3 = 5/3
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-15);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.half_spread(), 1.5);
+    }
+
+    #[test]
+    fn summary_single_sample_has_zero_std() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn summary_rejects_nan() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn interval_intersection_cases() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(1.0, 3.0);
+        let c = Interval::new(5.0, 6.0);
+        assert_eq!(a.intersection(&b), Some(Interval { lo: 1.0, hi: 2.0 }));
+        assert_eq!(a.intersection(&c), None);
+        // Touching intervals intersect in a point.
+        let d = Interval::new(2.0, 4.0);
+        assert_eq!(a.intersection(&d), Some(Interval { lo: 2.0, hi: 2.0 }));
+    }
+
+    #[test]
+    fn interval_normalizes_order() {
+        let i = Interval::new(3.0, 1.0);
+        assert_eq!(i.lo, 1.0);
+        assert_eq!(i.hi, 3.0);
+    }
+
+    #[test]
+    fn overlap_of_identical_ranges_is_one() {
+        let a = [1.0, 2.0, 3.0];
+        assert!((range_overlap(&a, &a) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn overlap_of_disjoint_ranges_is_zero() {
+        assert_eq!(range_overlap(&[0.0, 1.0], &[5.0, 9.0]), 0.0);
+        assert_eq!(point_overlap(&[0.0, 1.0], &[5.0, 9.0]), 0.0);
+    }
+
+    #[test]
+    fn overlap_of_degenerate_identical_points_is_one() {
+        assert_eq!(range_overlap(&[2.0], &[2.0]), 1.0);
+    }
+
+    #[test]
+    fn point_overlap_counts_density() {
+        // Intersection is [2, 3]; a has 2 of 4 points inside, b has 2 of 4.
+        let a = [0.0, 1.0, 2.0, 3.0];
+        let b = [2.0, 2.5, 3.0, 5.0];
+        let ov = point_overlap(&a, &b);
+        assert!((ov - 5.0 / 8.0).abs() < 1e-12, "got {ov}");
+    }
+
+    #[test]
+    fn percentile_endpoints_and_median() {
+        let data = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&data, 0.0), 1.0);
+        assert_eq!(percentile(&data, 50.0), 3.0);
+        assert_eq!(percentile(&data, 100.0), 5.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_outliers() {
+        let h = Histogram::new(&[0.1, 0.9, 1.5, 2.5, -1.0, 10.0], 0.0, 3.0, 3);
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.outliers(), 2);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn histogram_upper_edge_lands_in_last_bin() {
+        let h = Histogram::new(&[3.0], 0.0, 3.0, 3);
+        assert_eq!(h.counts(), &[0, 0, 1]);
+        assert_eq!(h.outliers(), 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Newtypes for the physical quantities crossing public API boundaries.
+//!
+//! Internally the simulator works in raw SI `f64`s; at the API surface of
+//! the TSV/test crates, quantities like supply voltage and fault resistance
+//! are wrapped so a caller cannot pass a resistance where a voltage is
+//! expected (C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $symbol:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Raw SI value.
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the value is finite.
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $symbol)
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(v: f64) -> Self {
+                Self(v)
+            }
+        }
+
+        impl std::ops::Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl std::ops::Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl std::ops::Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+    };
+}
+
+unit!(
+    /// A voltage in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// A time in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// A resistance in ohms.
+    Ohms,
+    "Ω"
+);
+unit!(
+    /// A capacitance in farads.
+    Farads,
+    "F"
+);
+unit!(
+    /// A frequency in hertz.
+    Hertz,
+    "Hz"
+);
+unit!(
+    /// An area in square micrometers (the unit standard-cell libraries use).
+    SquareMicrons,
+    "µm²"
+);
+
+impl Seconds {
+    /// Convenience constructor from picoseconds.
+    pub fn from_ps(ps: f64) -> Self {
+        Seconds(ps * 1e-12)
+    }
+
+    /// Convenience constructor from nanoseconds.
+    pub fn from_ns(ns: f64) -> Self {
+        Seconds(ns * 1e-9)
+    }
+
+    /// Value in picoseconds.
+    pub fn as_ps(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Value in nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+impl Ohms {
+    /// Convenience constructor from kiloohms.
+    pub fn from_kilo(k: f64) -> Self {
+        Ohms(k * 1e3)
+    }
+}
+
+impl Farads {
+    /// Convenience constructor from femtofarads.
+    pub fn from_femto(ff: f64) -> Self {
+        Farads(ff * 1e-15)
+    }
+
+    /// Value in femtofarads.
+    pub fn as_femto(self) -> f64 {
+        self.0 * 1e15
+    }
+}
+
+impl Hertz {
+    /// The period corresponding to this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    pub fn period(self) -> Seconds {
+        assert!(self.0 != 0.0, "zero frequency has no period");
+        Seconds(1.0 / self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Seconds::from_ps(5.0).as_ps(), 5.0);
+        assert!((Seconds::from_ns(2.0).value() - 2e-9).abs() < 1e-24);
+        assert_eq!(Farads::from_femto(59.0).as_femto(), 59.0);
+        assert_eq!(Ohms::from_kilo(3.0).value(), 3000.0);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Volts(1.0) + Volts(0.1);
+        assert!((a.value() - 1.1).abs() < 1e-15);
+        let b = Seconds(2e-9) - Seconds(1e-9);
+        assert!((b.as_ns() - 1.0).abs() < 1e-12);
+        let c = Ohms(100.0) * 3.0;
+        assert_eq!(c.value(), 300.0);
+    }
+
+    #[test]
+    fn display_includes_symbol() {
+        assert_eq!(Volts(1.1).to_string(), "1.1 V");
+        assert_eq!(Ohms(3000.0).to_string(), "3000 Ω");
+    }
+
+    #[test]
+    fn frequency_period_inverts() {
+        let f = Hertz(200e6);
+        assert!((f.period().as_ns() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero frequency")]
+    fn zero_frequency_period_panics() {
+        let _ = Hertz(0.0).period();
+    }
+}

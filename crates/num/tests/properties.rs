@@ -1,0 +1,95 @@
+//! Property-based tests for the numeric foundations.
+
+use proptest::prelude::*;
+use rotsv_num::linsolve::LuFactors;
+use rotsv_num::matrix::Matrix;
+use rotsv_num::rng::GaussianRng;
+use rotsv_num::stats::{percentile, point_overlap, range_overlap, Summary};
+
+fn random_dd_matrix(n: usize, seed: u64) -> Matrix {
+    // Diagonally dominant => well conditioned and nonsingular.
+    let mut rng = GaussianRng::seed_from(seed);
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            if i != j {
+                let v = rng.standard_normal();
+                a[(i, j)] = v;
+                row_sum += v.abs();
+            }
+        }
+        a[(i, i)] = row_sum + 1.0 + rng.standard_normal().abs();
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// LU solves random diagonally-dominant systems to tight residuals.
+    #[test]
+    fn lu_residual_is_tiny(n in 1usize..40, seed in 0u64..1000) {
+        let a = random_dd_matrix(n, seed);
+        let mut rng = GaussianRng::seed_from(seed ^ 0xABCD);
+        let b: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let lu = LuFactors::factor(a.clone()).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let r = a.mul_vec(&x);
+        for i in 0..n {
+            prop_assert!((r[i] - b[i]).abs() < 1e-9, "row {i}: {} vs {}", r[i], b[i]);
+        }
+    }
+
+    /// Solving A·x for x recovered from A·x0 returns x0 (round trip).
+    #[test]
+    fn lu_round_trips(n in 1usize..30, seed in 0u64..1000) {
+        let a = random_dd_matrix(n, seed);
+        let mut rng = GaussianRng::seed_from(seed.wrapping_add(17));
+        let x0: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let b = a.mul_vec(&x0);
+        let x = LuFactors::factor(a).unwrap().solve(&b).unwrap();
+        for i in 0..n {
+            prop_assert!((x[i] - x0[i]).abs() < 1e-8);
+        }
+    }
+
+    /// Summary invariants: min ≤ mean ≤ max, std ≥ 0.
+    #[test]
+    fn summary_invariants(data in prop::collection::vec(-1e6..1e6f64, 1..200)) {
+        let s = Summary::of(&data);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert_eq!(s.n, data.len());
+    }
+
+    /// Overlap metrics are symmetric and bounded in [0, 1].
+    #[test]
+    fn overlap_symmetry_and_bounds(
+        a in prop::collection::vec(-100.0..100.0f64, 2..50),
+        b in prop::collection::vec(-100.0..100.0f64, 2..50),
+    ) {
+        let r1 = range_overlap(&a, &b);
+        let r2 = range_overlap(&b, &a);
+        prop_assert!((r1 - r2).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&r1));
+        let p1 = point_overlap(&a, &b);
+        let p2 = point_overlap(&b, &a);
+        prop_assert!((p1 - p2).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&p1));
+    }
+
+    /// Percentiles are monotone in p and bounded by the extremes.
+    #[test]
+    fn percentile_monotone(data in prop::collection::vec(-1e3..1e3f64, 1..100)) {
+        let s = Summary::of(&data);
+        let mut prev = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let q = percentile(&data, p);
+            prop_assert!(q >= prev - 1e-12);
+            prop_assert!(q >= s.min - 1e-12 && q <= s.max + 1e-12);
+            prev = q;
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Calibration probe: prints the raw delay/period numbers the
+//! higher-level experiments depend on. Used during development to tune
+//! the technology cards; kept as a diagnostic.
+
+use rotsv_mosfet::model::Nominal;
+use rotsv_num::units::Ohms;
+use rotsv_ro::io_cell::{step_response, IoCellConfig};
+use rotsv_ro::{MeasureOpts, RingOscillator, RoConfig};
+use rotsv_tsv::TsvFault;
+
+fn main() {
+    let vdd = 1.1;
+    println!("== I/O cell step response at {vdd} V ==");
+    for (label, fault) in [
+        ("fault-free", TsvFault::None),
+        (
+            "open 3k x=0.5",
+            TsvFault::ResistiveOpen {
+                x: 0.5,
+                r: Ohms(3e3),
+            },
+        ),
+        ("leak 3k", TsvFault::Leakage { r: Ohms(3e3) }),
+        ("leak 1.5k", TsvFault::Leakage { r: Ohms(1.5e3) }),
+        ("leak 1k", TsvFault::Leakage { r: Ohms(1e3) }),
+    ] {
+        let r = step_response(&IoCellConfig::new(vdd).with_fault(fault), &mut Nominal).unwrap();
+        println!(
+            "{label:14} delay={:?} ps  tsv_final={:.3} V",
+            r.delay.map(|d| (d * 1e12 * 10.0).round() / 10.0),
+            r.tsv.final_value()
+        );
+    }
+
+    println!("== Ring oscillator N=5, TSV0 enabled, at {vdd} V ==");
+    let opts = MeasureOpts::default();
+    let t2 = {
+        let ro = RingOscillator::build(&RoConfig::new(5, vdd), &mut Nominal);
+        ro.measure(&opts).unwrap().period()
+    };
+    println!("all-bypassed T2 = {:?} ns", t2.map(|t| t * 1e9));
+    let t2 = t2.unwrap();
+    for (label, fault) in [
+        ("fault-free", TsvFault::None),
+        (
+            "open 0.5k",
+            TsvFault::ResistiveOpen {
+                x: 0.5,
+                r: Ohms(0.5e3),
+            },
+        ),
+        (
+            "open 1k",
+            TsvFault::ResistiveOpen {
+                x: 0.5,
+                r: Ohms(1e3),
+            },
+        ),
+        (
+            "open 3k",
+            TsvFault::ResistiveOpen {
+                x: 0.5,
+                r: Ohms(3e3),
+            },
+        ),
+        ("leak 10k", TsvFault::Leakage { r: Ohms(10e3) }),
+        ("leak 5k", TsvFault::Leakage { r: Ohms(5e3) }),
+        ("leak 3k", TsvFault::Leakage { r: Ohms(3e3) }),
+        ("leak 2k", TsvFault::Leakage { r: Ohms(2e3) }),
+        ("leak 1.5k", TsvFault::Leakage { r: Ohms(1.5e3) }),
+        ("leak 1.2k", TsvFault::Leakage { r: Ohms(1.2e3) }),
+        ("leak 1k", TsvFault::Leakage { r: Ohms(1e3) }),
+        ("leak 0.8k", TsvFault::Leakage { r: Ohms(0.8e3) }),
+    ] {
+        let config = RoConfig::new(5, vdd).enable_only(&[0]).with_fault(0, fault);
+        let ro = RingOscillator::build(&config, &mut Nominal);
+        match ro.measure(&opts).unwrap().period() {
+            Some(t1) => println!(
+                "{label:12} T1={:.4} ns  dT={:+.1} ps",
+                t1 * 1e9,
+                (t1 - t2) * 1e12
+            ),
+            None => println!("{label:12} STUCK"),
+        }
+    }
+
+    println!("== Voltage dependence (fault-free enabled, leak 3k) ==");
+    for vdd in [1.2, 1.1, 0.95, 0.8, 0.75, 0.7] {
+        let t2 = RingOscillator::build(&RoConfig::new(5, vdd), &mut Nominal)
+            .measure(&MeasureOpts {
+                max_time: 400e-9,
+                ..opts
+            })
+            .unwrap()
+            .period();
+        let tff = RingOscillator::build(&RoConfig::new(5, vdd).enable_only(&[0]), &mut Nominal)
+            .measure(&MeasureOpts {
+                max_time: 400e-9,
+                ..opts
+            })
+            .unwrap()
+            .period();
+        let tlk = RingOscillator::build(
+            &RoConfig::new(5, vdd)
+                .enable_only(&[0])
+                .with_fault(0, TsvFault::Leakage { r: Ohms(3e3) }),
+            &mut Nominal,
+        )
+        .measure(&MeasureOpts {
+            max_time: 400e-9,
+            ..opts
+        })
+        .unwrap()
+        .period();
+        println!(
+            "vdd={vdd:.2}  T2={:?}  dT_ff={:?} ps  dT_leak3k={:?} ps",
+            t2.map(|t| (t * 1e12).round() / 1e3),
+            t2.and_then(|t2| tff.map(|t| ((t - t2) * 1e12).round())),
+            t2.and_then(|t2| tlk.map(|t| ((t - t2) * 1e12).round())),
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Single I/O-cell step-response experiment (Fig. 4 of the paper).
+//!
+//! A step is applied at the input of a bidirectional I/O cell (tri-state
+//! X4 driver onto the TSV, X1 receiver back "to core") and the
+//! propagation delay to the receiver output is measured. The paper uses
+//! this experiment to show the opposite delay signatures of the two
+//! fault classes: a 3 kΩ resistive open at x = 0.5 *shortens* the delay,
+//! a 3 kΩ leakage fault *lengthens* it.
+
+use rotsv_mosfet::model::VariationSource;
+use rotsv_mosfet::tech45::DriveStrength;
+use rotsv_spice::{Circuit, Edge, NodeId, SourceWaveform, SpiceError, TransientSpec, Waveform};
+use rotsv_stdcell::CellBuilder;
+use rotsv_tsv::{Tsv, TsvFault, TsvModel, TsvTech};
+
+/// Configuration of the single-cell step experiment.
+#[derive(Debug, Clone)]
+pub struct IoCellConfig {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// TSV technology.
+    pub tech: TsvTech,
+    /// TSV discretization.
+    pub tsv_model: TsvModel,
+    /// Injected TSV fault.
+    pub fault: TsvFault,
+    /// Step direction: `true` applies a rising input step.
+    pub rising: bool,
+}
+
+impl IoCellConfig {
+    /// A fault-free rising-step experiment at `vdd`.
+    pub fn new(vdd: f64) -> Self {
+        Self {
+            vdd,
+            tech: TsvTech::default(),
+            tsv_model: TsvModel::Lumped,
+            fault: TsvFault::None,
+            rising: true,
+        }
+    }
+
+    /// Sets the injected fault.
+    pub fn with_fault(mut self, fault: TsvFault) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Selects a falling input step.
+    pub fn falling(mut self) -> Self {
+        self.rising = false;
+        self
+    }
+}
+
+/// Waveforms and extracted delay of one step-response run.
+#[derive(Debug, Clone)]
+pub struct IoCellResponse {
+    /// Input step waveform.
+    pub input: Waveform,
+    /// Voltage on the TSV front node.
+    pub tsv: Waveform,
+    /// Receiver output ("to core") waveform.
+    pub output: Waveform,
+    /// Input-to-output propagation delay at V_DD/2, seconds; `None` when
+    /// the output never switches (e.g. very strong leakage).
+    pub delay: Option<f64>,
+}
+
+/// Runs the step experiment.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (non-positive V_DD or
+/// out-of-range fault parameters).
+pub fn step_response(
+    config: &IoCellConfig,
+    vary: &mut dyn VariationSource,
+) -> Result<IoCellResponse, SpiceError> {
+    assert!(
+        config.vdd > 0.0 && config.vdd.is_finite(),
+        "vdd must be positive"
+    );
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.add_vsource(vdd, Circuit::GROUND, SourceWaveform::dc(config.vdd));
+    let oe = ckt.node("OE");
+    let oe_b = ckt.node("OE_B");
+    ckt.add_vsource(oe, Circuit::GROUND, SourceWaveform::dc(config.vdd));
+    ckt.add_vsource(oe_b, Circuit::GROUND, SourceWaveform::dc(0.0));
+
+    let input: NodeId = ckt.node("in");
+    let t_step = 0.2e-9;
+    let (v0, v1) = if config.rising {
+        (0.0, config.vdd)
+    } else {
+        (config.vdd, 0.0)
+    };
+    ckt.add_vsource(input, Circuit::GROUND, SourceWaveform::step(v0, v1, t_step));
+
+    let tsv_front = ckt.node("tsv");
+    let out = ckt.node("to_core");
+    Tsv::new(config.tech, config.fault).stamp(&mut ckt, tsv_front, config.tsv_model);
+
+    let mut cells = CellBuilder::new(&mut ckt, vdd, vary);
+    cells.tri_state_buffer("drv", input, tsv_front, oe, oe_b, DriveStrength::X4);
+    cells.receiver_buffer("rcv", tsv_front, out);
+
+    let spec = TransientSpec::new(3e-9, 1e-12).record(&[input, tsv_front, out]);
+    let res = ckt.transient(&spec)?;
+    let w_in = res.waveform(input);
+    let w_tsv = res.waveform(tsv_front);
+    let w_out = res.waveform(out);
+    let edge = if config.rising {
+        Edge::Rising
+    } else {
+        Edge::Falling
+    };
+    let half = config.vdd / 2.0;
+    let delay = w_in.delay_to(&w_out, 0.0, half, edge, half, edge);
+    Ok(IoCellResponse {
+        input: w_in,
+        tsv: w_tsv,
+        output: w_out,
+        delay,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsv_mosfet::model::Nominal;
+    use rotsv_num::units::Ohms;
+
+    fn delay_of(fault: TsvFault) -> f64 {
+        step_response(&IoCellConfig::new(1.1).with_fault(fault), &mut Nominal)
+            .unwrap()
+            .delay
+            .expect("output switches")
+    }
+
+    /// The Fig. 4 signature: an open shortens, a leak lengthens the delay.
+    #[test]
+    fn fault_signatures_have_opposite_sign() {
+        let d_ff = delay_of(TsvFault::None);
+        let d_open = delay_of(TsvFault::ResistiveOpen {
+            x: 0.5,
+            r: Ohms(3000.0),
+        });
+        let d_leak = delay_of(TsvFault::Leakage { r: Ohms(3000.0) });
+        assert!(
+            d_open < d_ff - 5e-12,
+            "open must shorten delay: {d_open} vs {d_ff}"
+        );
+        assert!(
+            d_leak > d_ff + 5e-12,
+            "leak must lengthen delay: {d_leak} vs {d_ff}"
+        );
+    }
+
+    #[test]
+    fn delay_magnitude_is_tens_of_picoseconds() {
+        let d_ff = delay_of(TsvFault::None);
+        assert!(
+            d_ff > 10e-12 && d_ff < 1e-9,
+            "fault-free delay {d_ff} out of range"
+        );
+    }
+
+    #[test]
+    fn falling_step_also_measures() {
+        let r = step_response(&IoCellConfig::new(1.1).falling(), &mut Nominal).unwrap();
+        assert!(r.delay.is_some());
+        // Falling input: receiver output ends low.
+        assert!(r.output.final_value() < 0.1);
+    }
+
+    #[test]
+    fn strong_leakage_prevents_output_switching() {
+        let r = step_response(
+            &IoCellConfig::new(1.1).with_fault(TsvFault::Leakage { r: Ohms(200.0) }),
+            &mut Nominal,
+        )
+        .unwrap();
+        assert!(r.delay.is_none(), "200 Ω leak should clamp the TSV");
+        assert!(r.tsv.final_value() < 0.4);
+    }
+
+    #[test]
+    fn tsv_node_settles_to_divider_voltage_under_leak() {
+        let r = step_response(
+            &IoCellConfig::new(1.1).with_fault(TsvFault::Leakage { r: Ohms(3000.0) }),
+            &mut Nominal,
+        )
+        .unwrap();
+        let v = r.tsv.final_value();
+        // Divider against the X4 driver's ~1 kΩ pull-up: noticeably below
+        // VDD but above the receiver threshold.
+        assert!(v > 0.6 && v < 1.05, "tsv settles at {v}");
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Ring-oscillator DfT construction and measurement (Fig. 3 of the paper).
+//!
+//! The DfT wraps `N` TSV I/O segments and one inverter into a ring
+//! oscillator:
+//!
+//! ```text
+//!          TE mux                         segment i
+//!  func ──┐                 ┌──────────────────────────────────────┐
+//!         ├─▶ seg1 ─▶ … ─▶ │ in ─▶ TBUF_X4 ─▶ TSV_i ─▶ BUF_X1 ─┐  │
+//!  loop ──┘                 │   └───────────── BY[i] mux ◀──────┴─▶│ out
+//!                           └──────────────────────────────────────┘
+//!   … ─▶ segN ─▶ INV_X1 ─▶ loop (back to the TE mux)
+//! ```
+//!
+//! * `TE` selects test mode (oscillator loop closed) vs. functional mode,
+//! * `BY[i]` bypasses segment *i*'s TSV path (BY = 1 ⇒ bypassed),
+//! * `OE` enables the tri-state TSV drivers,
+//! * the shared inverter provides the signal inversion that makes the
+//!   loop oscillate.
+//!
+//! Measuring the oscillation period once with the TSV under test enabled
+//! (T₁) and once with every TSV bypassed (T₂) isolates the delay of the
+//! enabled I/O segment: ΔT = T₁ − T₂ (the paper's two-run procedure).
+//!
+//! [`RingOscillator::measure`] runs the transient simulation and extracts
+//! the period — or reports [`OscillationOutcome::Stuck`] when the ring
+//! does not oscillate, which the paper observes for leakage faults
+//! stronger than roughly 1 kΩ.
+
+pub mod io_cell;
+pub mod ring;
+
+pub use ring::{MeasureOpts, OscillationOutcome, RingOscillator, RoConfig};

@@ -1,0 +1,453 @@
+//! Ring-oscillator netlist construction and period measurement.
+
+use rotsv_mosfet::model::VariationSource;
+use rotsv_mosfet::tech45::DriveStrength;
+use rotsv_spice::{
+    Circuit, IntegrationMethod, NodeId, PeriodMeasurement, SourceWaveform, SpiceError,
+    TransientSpec, Waveform,
+};
+use rotsv_stdcell::CellBuilder;
+use rotsv_tsv::{Tsv, TsvFault, TsvModel, TsvTech};
+
+/// Configuration of one ring-oscillator group.
+#[derive(Debug, Clone)]
+pub struct RoConfig {
+    /// Number of I/O segments `N` in the loop (the paper uses N = 5).
+    pub n_segments: usize,
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// TSV technology parameters.
+    pub tech: TsvTech,
+    /// Electrical TSV discretization.
+    pub tsv_model: TsvModel,
+    /// Fault injected in each segment's TSV (`faults[i]` for segment i).
+    pub faults: Vec<TsvFault>,
+    /// Which TSVs are in the loop: `enabled[i] = true` ⇒ BY\[i\] = 0.
+    pub enabled: Vec<bool>,
+}
+
+impl RoConfig {
+    /// A fault-free configuration with `n_segments` segments at `vdd`,
+    /// all TSVs bypassed.
+    pub fn new(n_segments: usize, vdd: f64) -> Self {
+        Self {
+            n_segments,
+            vdd,
+            tech: TsvTech::default(),
+            tsv_model: TsvModel::Lumped,
+            faults: vec![TsvFault::None; n_segments],
+            enabled: vec![false; n_segments],
+        }
+    }
+
+    /// Enables exactly the segments listed in `indices` (bypasses the
+    /// rest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn enable_only(mut self, indices: &[usize]) -> Self {
+        self.enabled = vec![false; self.n_segments];
+        for &i in indices {
+            assert!(i < self.n_segments, "segment index {i} out of range");
+            self.enabled[i] = true;
+        }
+        self
+    }
+
+    /// Injects `fault` into segment `index`'s TSV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn with_fault(mut self, index: usize, fault: TsvFault) -> Self {
+        assert!(index < self.n_segments, "segment index {index} out of range");
+        self.faults[index] = fault;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.n_segments >= 1, "a ring needs at least one segment");
+        assert!(
+            self.vdd > 0.0 && self.vdd.is_finite(),
+            "vdd must be positive"
+        );
+        assert_eq!(self.faults.len(), self.n_segments, "faults length mismatch");
+        assert_eq!(
+            self.enabled.len(),
+            self.n_segments,
+            "enabled length mismatch"
+        );
+    }
+}
+
+/// Options for the transient period measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureOpts {
+    /// Integration step, seconds.
+    pub dt: f64,
+    /// Oscillation cycles to average over.
+    pub cycles: usize,
+    /// Startup cycles to discard.
+    pub skip_cycles: usize,
+    /// Hard simulation-time budget, seconds (reached only when the ring
+    /// is stuck).
+    pub max_time: f64,
+    /// Integration method.
+    pub method: IntegrationMethod,
+}
+
+impl Default for MeasureOpts {
+    fn default() -> Self {
+        Self {
+            dt: 2e-12,
+            cycles: 6,
+            skip_cycles: 2,
+            max_time: 60e-9,
+            method: IntegrationMethod::Trapezoidal,
+        }
+    }
+}
+
+impl MeasureOpts {
+    /// A faster, coarser measurement for tests and benches.
+    pub fn fast() -> Self {
+        Self {
+            dt: 4e-12,
+            cycles: 4,
+            skip_cycles: 2,
+            max_time: 40e-9,
+            ..Self::default()
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.dt > 0.0, "dt must be positive");
+        assert!(self.cycles >= 2, "need at least two cycles to average");
+        assert!(self.max_time > 0.0, "max_time must be positive");
+    }
+}
+
+/// Result of a period measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OscillationOutcome {
+    /// The ring oscillates; the extracted period statistics.
+    Oscillating(PeriodMeasurement),
+    /// The ring does not oscillate (stuck) — the behaviour of strong
+    /// leakage faults.
+    Stuck {
+        /// Final voltage of the probe node.
+        final_voltage: f64,
+        /// Peak-to-peak swing observed on the probe node.
+        swing: f64,
+    },
+}
+
+impl OscillationOutcome {
+    /// The mean period, or `None` when stuck.
+    pub fn period(&self) -> Option<f64> {
+        match self {
+            OscillationOutcome::Oscillating(m) => Some(m.mean),
+            OscillationOutcome::Stuck { .. } => None,
+        }
+    }
+
+    /// `true` when the ring oscillates.
+    pub fn is_oscillating(&self) -> bool {
+        matches!(self, OscillationOutcome::Oscillating(_))
+    }
+}
+
+/// A fully built ring-oscillator DfT group.
+#[derive(Debug)]
+pub struct RingOscillator {
+    circuit: Circuit,
+    probe: NodeId,
+    tsv_fronts: Vec<NodeId>,
+    vdd: f64,
+}
+
+impl RingOscillator {
+    /// Builds the circuit of Fig. 3 for `config`, drawing per-transistor
+    /// process variation from `vary`.
+    ///
+    /// Build order is deterministic, so two builds with identical
+    /// variation streams produce electrically identical dies — this is
+    /// how the two-run ΔT procedure models measuring *the same die*
+    /// twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is inconsistent (mismatched vector lengths,
+    /// non-positive V_DD, out-of-range fault parameters).
+    pub fn build(config: &RoConfig, vary: &mut dyn VariationSource) -> Self {
+        config.validate();
+        let n = config.n_segments;
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.add_vsource(vdd, Circuit::GROUND, SourceWaveform::dc(config.vdd));
+
+        // Static control nets. OE = 1 (drivers on) and TE = 1 (loop
+        // closed) during test mode; BY[i] per segment.
+        let hi = |ckt: &mut Circuit, name: &str, v: f64| {
+            let node = ckt.node(name);
+            ckt.add_vsource(node, Circuit::GROUND, SourceWaveform::dc(v));
+            node
+        };
+        let oe = hi(&mut ckt, "OE", config.vdd);
+        let oe_b = hi(&mut ckt, "OE_B", 0.0);
+        let te = hi(&mut ckt, "TE", config.vdd);
+        let func_in = hi(&mut ckt, "func_in", 0.0);
+        let by: Vec<NodeId> = (0..n)
+            .map(|i| {
+                let v = if config.enabled[i] { 0.0 } else { config.vdd };
+                hi(&mut ckt, &format!("BY{i}"), v)
+            })
+            .collect();
+
+        // Loop nodes.
+        let loop_head = ckt.node("loop_head"); // output of the TE mux
+        let loop_tail = ckt.node("loop_tail"); // output of the inverter
+        let seg_in: Vec<NodeId> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    loop_head
+                } else {
+                    ckt.node(&format!("seg{i}_in"))
+                }
+            })
+            .collect();
+        let seg_out: Vec<NodeId> = (0..n)
+            .map(|i| {
+                if i + 1 < n {
+                    seg_in[i + 1]
+                } else {
+                    ckt.node("ring_out")
+                }
+            })
+            .collect();
+        let tsv_fronts: Vec<NodeId> = (0..n).map(|i| ckt.node(&format!("tsv{i}"))).collect();
+
+        // Stamp the TSVs (with faults) first, then the cells.
+        for i in 0..n {
+            let tsv = Tsv::new(config.tech, config.faults[i]);
+            tsv.stamp(&mut ckt, tsv_fronts[i], config.tsv_model);
+        }
+
+        let mut cells = CellBuilder::new(&mut ckt, vdd, vary);
+        // TE mux: functional input vs. oscillator feedback.
+        cells.mux2("te_mux", func_in, loop_tail, te, loop_head);
+        for i in 0..n {
+            let recv_out = cells.circuit().node(&format!("recv{i}_out"));
+            // Bidirectional I/O cell: tri-state driver onto the TSV …
+            cells.tri_state_buffer(
+                &format!("drv{i}"),
+                seg_in[i],
+                tsv_fronts[i],
+                oe,
+                oe_b,
+                DriveStrength::X4,
+            );
+            // … and the receiver back "to core".
+            cells.receiver_buffer(&format!("rcv{i}"), tsv_fronts[i], recv_out);
+            // Bypass mux: BY[i] = 1 selects the direct path.
+            cells.mux2(&format!("by{i}_mux"), recv_out, seg_in[i], by[i], seg_out[i]);
+        }
+        // The shared inverter closing the loop.
+        cells.inverter("ring_inv", seg_out[n - 1], loop_tail, DriveStrength::X1);
+
+        Self {
+            circuit: ckt,
+            probe: loop_tail,
+            tsv_fronts,
+            vdd: config.vdd,
+        }
+    }
+
+    /// The node observed by the measurement logic (the inverter output).
+    pub fn probe(&self) -> NodeId {
+        self.probe
+    }
+
+    /// Front-side TSV nodes, one per segment.
+    pub fn tsv_fronts(&self) -> &[NodeId] {
+        &self.tsv_fronts
+    }
+
+    /// The built netlist.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Simulates the ring and extracts the oscillation period.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors ([`SpiceError`]); a non-oscillating
+    /// ring is *not* an error — it returns
+    /// [`OscillationOutcome::Stuck`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts` is invalid (non-positive step or budget).
+    pub fn measure(&self, opts: &MeasureOpts) -> Result<OscillationOutcome, SpiceError> {
+        opts.validate();
+        let threshold = self.vdd / 2.0;
+        let needed = opts.skip_cycles + opts.cycles + 2;
+        let spec = TransientSpec::new(opts.max_time, opts.dt)
+            .record(&[self.probe])
+            .method(opts.method)
+            .stop_after_rising(self.probe, threshold, needed);
+        let res = self.circuit.transient(&spec)?;
+        let wave = res.waveform(self.probe);
+        Ok(match wave.period(threshold, opts.skip_cycles) {
+            Some(m) => OscillationOutcome::Oscillating(m),
+            None => OscillationOutcome::Stuck {
+                final_voltage: wave.final_value(),
+                swing: wave.max() - wave.min(),
+            },
+        })
+    }
+
+    /// Simulates the ring and returns the probe waveform (for plotting
+    /// and debugging rather than measurement).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn probe_waveform(&self, t_stop: f64, dt: f64) -> Result<Waveform, SpiceError> {
+        let spec = TransientSpec::new(t_stop, dt).record(&[self.probe]);
+        Ok(self.circuit.transient(&spec)?.waveform(self.probe))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsv_mosfet::model::Nominal;
+    use rotsv_num::units::Ohms;
+
+    fn measure(config: &RoConfig) -> OscillationOutcome {
+        let ro = RingOscillator::build(config, &mut Nominal);
+        ro.measure(&MeasureOpts::fast()).unwrap()
+    }
+
+    #[test]
+    fn fault_free_ring_oscillates() {
+        let out = measure(&RoConfig::new(2, 1.1).enable_only(&[0]));
+        let m = match out {
+            OscillationOutcome::Oscillating(m) => m,
+            OscillationOutcome::Stuck { final_voltage, swing } => {
+                panic!("stuck at {final_voltage} (swing {swing})")
+            }
+        };
+        // A couple of segments with a TSV load: period in the ns range.
+        assert!(
+            m.mean > 100e-12 && m.mean < 20e-9,
+            "period {} out of range",
+            m.mean
+        );
+        assert!(m.jitter < 0.05 * m.mean, "jitter {}", m.jitter);
+    }
+
+    #[test]
+    fn enabling_tsv_slows_the_ring() {
+        let t_bypassed = measure(&RoConfig::new(2, 1.1))
+            .period()
+            .expect("bypassed ring oscillates");
+        let t_enabled = measure(&RoConfig::new(2, 1.1).enable_only(&[0]))
+            .period()
+            .expect("enabled ring oscillates");
+        assert!(
+            t_enabled > t_bypassed + 20e-12,
+            "TSV load must add delay: enabled {t_enabled}, bypassed {t_bypassed}"
+        );
+    }
+
+    #[test]
+    fn resistive_open_speeds_up_the_enabled_ring() {
+        let base = RoConfig::new(2, 1.1).enable_only(&[0]);
+        let t_ff = measure(&base).period().unwrap();
+        let t_open = measure(&base.clone().with_fault(
+            0,
+            TsvFault::ResistiveOpen {
+                x: 0.5,
+                r: Ohms(3000.0),
+            },
+        ))
+        .period()
+        .unwrap();
+        assert!(
+            t_open < t_ff,
+            "open detaches load: open {t_open} vs fault-free {t_ff}"
+        );
+    }
+
+    #[test]
+    fn leakage_slows_the_enabled_ring() {
+        let base = RoConfig::new(2, 1.1).enable_only(&[0]);
+        let t_ff = measure(&base).period().unwrap();
+        let t_leak = measure(
+            &base
+                .clone()
+                .with_fault(0, TsvFault::Leakage { r: Ohms(3000.0) }),
+        )
+        .period()
+        .unwrap();
+        assert!(
+            t_leak > t_ff,
+            "leakage slows charging: leak {t_leak} vs fault-free {t_ff}"
+        );
+    }
+
+    #[test]
+    fn strong_leakage_sticks_the_ring() {
+        let out = measure(
+            &RoConfig::new(2, 1.1)
+                .enable_only(&[0])
+                .with_fault(0, TsvFault::Leakage { r: Ohms(300.0) }),
+        );
+        match out {
+            OscillationOutcome::Stuck {
+                final_voltage,
+                swing,
+            } => {
+                // The loop latches at a rail (the paper's stuck-at-0 TSV
+                // behaviour; the probe is an inverter output so it may
+                // latch at either rail). No sustained oscillation.
+                let near_rail = final_voltage < 0.6 || final_voltage > 0.9;
+                assert!(near_rail, "final {final_voltage}");
+                assert!(swing <= 1.2, "swing {swing}");
+            }
+            OscillationOutcome::Oscillating(m) => {
+                panic!("expected stuck ring, oscillates at {}", m.mean)
+            }
+        }
+    }
+
+    #[test]
+    fn fault_in_bypassed_segment_is_invisible() {
+        let clean = measure(&RoConfig::new(2, 1.1)).period().unwrap();
+        let with_hidden_fault = measure(
+            &RoConfig::new(2, 1.1).with_fault(0, TsvFault::Leakage { r: Ohms(2000.0) }),
+        )
+        .period()
+        .unwrap();
+        let rel = (with_hidden_fault - clean).abs() / clean;
+        assert!(rel < 0.01, "bypassed fault changed period by {rel}");
+    }
+
+    #[test]
+    fn config_validation_catches_mismatch() {
+        let mut config = RoConfig::new(2, 1.1);
+        config.faults.pop();
+        let r = std::panic::catch_unwind(|| RingOscillator::build(&config, &mut Nominal));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn enable_only_checks_bounds() {
+        let _ = RoConfig::new(2, 1.1).enable_only(&[5]);
+    }
+}

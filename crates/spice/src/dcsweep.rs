@@ -1,0 +1,244 @@
+//! DC sweep analysis.
+//!
+//! Steps the value of one independent voltage source across a range,
+//! re-solving the operating point at each step with the previous solution
+//! as the initial guess (continuation). Used for transfer curves — e.g.
+//! extracting the switching threshold of the skewed receiver that sets
+//! the leakage oscillation-stop point.
+
+use crate::circuit::{Circuit, Element, VSourceId};
+use crate::dcop::DcSolution;
+use crate::error::SpiceError;
+use crate::mna::{newton_solve, CapMode, MnaWorkspace, NewtonOpts};
+use crate::node::NodeId;
+use crate::source::SourceWaveform;
+
+/// Result of a DC sweep: one operating point per sweep value.
+#[derive(Debug, Clone)]
+pub struct DcSweepResult {
+    values: Vec<f64>,
+    solutions: Vec<DcSolution>,
+}
+
+impl DcSweepResult {
+    /// The swept source values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The operating point at sweep step `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn solution(&self, i: usize) -> &DcSolution {
+        &self.solutions[i]
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The voltage of `node` at every sweep step.
+    pub fn node_trace(&self, node: NodeId) -> Vec<f64> {
+        self.solutions.iter().map(|s| s.voltage(node)).collect()
+    }
+
+    /// The sweep value at which `node` crosses `threshold` (linear
+    /// interpolation between adjacent steps), if it does.
+    pub fn crossing(&self, node: NodeId, threshold: f64) -> Option<f64> {
+        let trace = self.node_trace(node);
+        for i in 1..trace.len() {
+            let (y0, y1) = (trace[i - 1], trace[i]);
+            if (y0 - threshold) * (y1 - threshold) <= 0.0 && y0 != y1 {
+                let t = (threshold - y0) / (y1 - y0);
+                return Some(self.values[i - 1] + t * (self.values[i] - self.values[i - 1]));
+            }
+        }
+        None
+    }
+}
+
+impl Circuit {
+    /// Sweeps voltage source `source` from `start` to `stop` in `steps`
+    /// equal increments (inclusive of both endpoints) and solves the DC
+    /// operating point at each value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidSpec`] for a degenerate sweep and
+    /// propagates operating-point failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` does not belong to this circuit.
+    pub fn dc_sweep(
+        &mut self,
+        source: VSourceId,
+        start: f64,
+        stop: f64,
+        steps: usize,
+    ) -> Result<DcSweepResult, SpiceError> {
+        if steps < 1 {
+            return Err(SpiceError::InvalidSpec(
+                "dc sweep needs at least one step".to_owned(),
+            ));
+        }
+        if !(start.is_finite() && stop.is_finite()) {
+            return Err(SpiceError::InvalidSpec(
+                "dc sweep bounds must be finite".to_owned(),
+            ));
+        }
+        assert!(
+            source.0 < self.n_vsources,
+            "voltage source does not belong to this circuit"
+        );
+
+        // Remember the original waveform so the circuit is unchanged after
+        // the sweep.
+        let original = self.set_vsource_value(source, start);
+
+        let mut ws = MnaWorkspace::new(self);
+        let opts = NewtonOpts::default();
+        let mut values = Vec::with_capacity(steps + 1);
+        let mut solutions = Vec::with_capacity(steps + 1);
+        let mut x = vec![0.0; self.unknown_count()];
+        let mut result: Result<(), SpiceError> = Ok(());
+        for k in 0..=steps {
+            let v = start + (stop - start) * k as f64 / steps as f64;
+            self.set_vsource_value(source, v);
+            match newton_solve(
+                &mut ws,
+                self,
+                x.clone(),
+                0.0,
+                1.0,
+                self.gmin(),
+                CapMode::Open,
+                &opts,
+            ) {
+                Ok(sol) => {
+                    x = sol.clone();
+                    values.push(v);
+                    solutions.push(DcSolution::from_raw(sol, self.node_count()));
+                }
+                Err(fail) => {
+                    result = Err(fail.error.unwrap_or(SpiceError::NoConvergence {
+                        analysis: "dcop",
+                        time: 0.0,
+                        iterations: fail.iterations,
+                    }));
+                    break;
+                }
+            }
+        }
+        // Restore the original source waveform.
+        self.restore_vsource(source, original);
+        result.map(|()| DcSweepResult { values, solutions })
+    }
+
+    /// Replaces the waveform of `source` with a DC value, returning the
+    /// previous waveform.
+    fn set_vsource_value(&mut self, source: VSourceId, value: f64) -> SourceWaveform {
+        for e in &mut self.elements {
+            if let Element::VSource { branch, wave, .. } = e {
+                if *branch == source.0 {
+                    return std::mem::replace(wave, SourceWaveform::dc(value));
+                }
+            }
+        }
+        unreachable!("vsource id validated before use")
+    }
+
+    fn restore_vsource(&mut self, source: VSourceId, original: SourceWaveform) {
+        for e in &mut self.elements {
+            if let Element::VSource { branch, wave, .. } = e {
+                if *branch == source.0 {
+                    *wave = original;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reproduces_linear_divider() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let vs = ckt.add_vsource(a, Circuit::GROUND, SourceWaveform::dc(0.0));
+        ckt.add_resistor(a, b, 1e3);
+        ckt.add_resistor(b, Circuit::GROUND, 1e3);
+        let sweep = ckt.dc_sweep(vs, 0.0, 2.0, 4).unwrap();
+        assert_eq!(sweep.len(), 5);
+        let trace = sweep.node_trace(b);
+        for (k, v) in trace.iter().enumerate() {
+            let expect = 0.5 * (0.5 * k as f64);
+            assert!((v - expect).abs() < 1e-6, "step {k}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn crossing_is_interpolated() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let vs = ckt.add_vsource(a, Circuit::GROUND, SourceWaveform::dc(0.0));
+        let sweep = ckt.dc_sweep(vs, 0.0, 1.0, 10).unwrap();
+        let x = sweep.crossing(a, 0.55).expect("crosses");
+        assert!((x - 0.55).abs() < 1e-9);
+        assert!(sweep.crossing(a, 2.0).is_none());
+    }
+
+    #[test]
+    fn circuit_is_restored_after_sweep() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let vs = ckt.add_vsource(a, Circuit::GROUND, SourceWaveform::dc(1.5));
+        let _ = ckt.dc_sweep(vs, 0.0, 1.0, 2).unwrap();
+        let sol = ckt.dcop(&crate::dcop::DcOpSpec::default()).unwrap();
+        assert!((sol.voltage(a) - 1.5).abs() < 1e-9, "waveform restored");
+    }
+
+    #[test]
+    fn degenerate_sweep_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let vs = ckt.add_vsource(a, Circuit::GROUND, SourceWaveform::dc(0.0));
+        assert!(matches!(
+            ckt.dc_sweep(vs, 0.0, 1.0, 0),
+            Err(SpiceError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn diode_sweep_uses_continuation() {
+        use crate::device::test_devices::Diode;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let d = ckt.node("d");
+        let vs = ckt.add_vsource(a, Circuit::GROUND, SourceWaveform::dc(0.0));
+        ckt.add_resistor(a, d, 100.0);
+        ckt.add_device(Box::new(Diode {
+            nodes: [d, Circuit::GROUND],
+            i_sat: 1e-14,
+            v_t: 0.02585,
+        }));
+        let sweep = ckt.dc_sweep(vs, 0.0, 5.0, 50).unwrap();
+        let trace = sweep.node_trace(d);
+        // Diode clamps: final voltage stays under a volt even at 5 V drive.
+        assert!(trace.last().unwrap() < &1.0);
+        // Monotone non-decreasing.
+        assert!(trace.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+    }
+}

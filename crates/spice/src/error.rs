@@ -1,0 +1,86 @@
+//! Simulator error types.
+
+use std::error::Error;
+use std::fmt;
+
+use rotsv_num::linsolve::SolveError;
+
+/// Errors produced by circuit analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// The Newton iteration failed to converge.
+    NoConvergence {
+        /// Analysis that failed (`"dcop"` or `"transient"`).
+        analysis: &'static str,
+        /// Simulated time at which the failure occurred (0 for DC).
+        time: f64,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The MNA matrix was singular even with gmin applied.
+    SingularSystem {
+        /// Simulated time of the failure (0 for DC).
+        time: f64,
+        /// Underlying linear-solver error.
+        source: SolveError,
+    },
+    /// The netlist is structurally invalid (e.g. a non-positive resistance).
+    InvalidCircuit(String),
+    /// An analysis specification is invalid (e.g. a non-positive time step).
+    InvalidSpec(String),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::NoConvergence {
+                analysis,
+                time,
+                iterations,
+            } => write!(
+                f,
+                "{analysis} analysis failed to converge after {iterations} iterations at t={time:.3e} s"
+            ),
+            SpiceError::SingularSystem { time, source } => {
+                write!(f, "singular MNA system at t={time:.3e} s: {source}")
+            }
+            SpiceError::InvalidCircuit(msg) => write!(f, "invalid circuit: {msg}"),
+            SpiceError::InvalidSpec(msg) => write!(f, "invalid analysis spec: {msg}"),
+        }
+    }
+}
+
+impl Error for SpiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpiceError::SingularSystem { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_analysis() {
+        let e = SpiceError::NoConvergence {
+            analysis: "transient",
+            time: 1e-9,
+            iterations: 50,
+        };
+        let s = e.to_string();
+        assert!(s.contains("transient"));
+        assert!(s.contains("50"));
+    }
+
+    #[test]
+    fn singular_reports_source() {
+        let e = SpiceError::SingularSystem {
+            time: 0.0,
+            source: SolveError::Singular { column: 2 },
+        };
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! A compact analog circuit simulator built on Modified Nodal Analysis.
+//!
+//! This crate replaces HSPICE in the reproduction of the DATE 2013 paper
+//! *"Non-Invasive Pre-Bond TSV Test Using Ring Oscillators and Multiple
+//! Voltage Levels"*. It provides exactly what the paper's experiments need:
+//!
+//! * a [`Circuit`] netlist of resistors, capacitors, independent sources and
+//!   arbitrary nonlinear devices (MOSFETs are supplied by `rotsv-mosfet`
+//!   through the [`NonlinearDevice`] trait),
+//! * a Newton–Raphson **DC operating point** with gmin and source stepping
+//!   ([`dcop`]),
+//! * **transient analysis** with trapezoidal or backward-Euler integration,
+//!   per-step Newton iteration and automatic sub-stepping on convergence
+//!   trouble ([`transient`]),
+//! * **waveform post-processing**: threshold crossings, propagation delay
+//!   and oscillation-period extraction with sub-step interpolation
+//!   ([`waveform`]).
+//!
+//! # Examples
+//!
+//! Charge an RC low-pass and compare with the analytic time constant:
+//!
+//! ```
+//! use rotsv_spice::{Circuit, SourceWaveform, TransientSpec};
+//!
+//! # fn main() -> Result<(), rotsv_spice::SpiceError> {
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.node("in");
+//! let vout = ckt.node("out");
+//! ckt.add_vsource(vin, Circuit::GROUND, SourceWaveform::dc(1.0));
+//! ckt.add_resistor(vin, vout, 1e3);
+//! ckt.add_capacitor(vout, Circuit::GROUND, 1e-9); // tau = 1 µs
+//! let spec = TransientSpec::new(5e-6, 5e-9).record(&[vout]);
+//! let result = ckt.transient(&spec)?;
+//! let wave = result.waveform(vout);
+//! let v_at_tau = wave.value_at(1e-6);
+//! assert!((v_at_tau - (1.0 - (-1.0f64).exp())).abs() < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod circuit;
+pub mod dcop;
+pub mod dcsweep;
+pub mod device;
+pub mod error;
+pub mod mna;
+pub mod node;
+pub mod source;
+pub mod transient;
+pub mod waveform;
+
+pub use circuit::{Circuit, VSourceId};
+pub use dcop::{DcOpSpec, DcSolution};
+pub use dcsweep::DcSweepResult;
+pub use device::{DeviceStamp, NonlinearDevice};
+pub use error::SpiceError;
+pub use node::NodeId;
+pub use source::SourceWaveform;
+pub use transient::{IntegrationMethod, StopCondition, TransientResult, TransientSpec};
+pub use waveform::{Edge, PeriodMeasurement, Waveform};

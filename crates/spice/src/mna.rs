@@ -1,0 +1,420 @@
+//! Modified Nodal Analysis assembly and the shared Newton iteration.
+//!
+//! Unknown ordering: `x = [v(node 1), …, v(node N−1), i(branch 0), …]`.
+//! Each Newton iteration assembles the Norton linearization `A·x = b` of
+//! the circuit at the previous iterate and solves for the next iterate
+//! directly (the classic SPICE companion-model formulation).
+
+use rotsv_num::linsolve::LuFactors;
+use rotsv_num::matrix::Matrix;
+
+use crate::circuit::{Circuit, Element};
+use crate::device::DeviceStamp;
+use crate::error::SpiceError;
+use crate::node::NodeId;
+
+/// How capacitors enter the system.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CapMode<'a> {
+    /// DC: capacitors are open circuits.
+    Open,
+    /// Transient: each capacitor `k` is a Norton companion
+    /// `(geq, ieq)` with `i = geq·v + ieq`.
+    Companion(&'a [(f64, f64)]),
+}
+
+/// Reusable workspace for repeated assembly/solve cycles.
+pub(crate) struct MnaWorkspace {
+    pub a: Matrix,
+    pub b: Vec<f64>,
+    stamps: Vec<DeviceStamp>,
+    n_node_unknowns: usize,
+}
+
+/// Voltage of `node` under solution vector `x`.
+#[inline]
+pub(crate) fn node_voltage(x: &[f64], node: NodeId) -> f64 {
+    if node.is_ground() {
+        0.0
+    } else {
+        x[node.index() - 1]
+    }
+}
+
+#[inline]
+fn row_of(node: NodeId) -> Option<usize> {
+    if node.is_ground() {
+        None
+    } else {
+        Some(node.index() - 1)
+    }
+}
+
+impl MnaWorkspace {
+    pub fn new(ckt: &Circuit) -> Self {
+        let n = ckt.unknown_count();
+        let stamps = ckt
+            .elements
+            .iter()
+            .filter_map(|e| match e {
+                Element::Nonlinear(d) => Some(DeviceStamp::new(d.nodes().len())),
+                _ => None,
+            })
+            .collect();
+        Self {
+            a: Matrix::zeros(n, n),
+            b: vec![0.0; n],
+            stamps,
+            n_node_unknowns: ckt.node_count() - 1,
+        }
+    }
+
+    /// Assembles `A` and `b` at iterate `x`, time `t`, with independent
+    /// sources scaled by `alpha` (used by source stepping) and an extra
+    /// node-to-ground conductance `gmin`.
+    pub fn assemble(
+        &mut self,
+        ckt: &Circuit,
+        x: &[f64],
+        t: f64,
+        alpha: f64,
+        gmin: f64,
+        caps: CapMode<'_>,
+    ) {
+        let n_nodes = self.n_node_unknowns;
+        self.a.fill_zero();
+        self.b.fill(0.0);
+        // gmin from every node to ground.
+        for i in 0..n_nodes {
+            self.a.add(i, i, gmin);
+        }
+        let mut cap_idx = 0usize;
+        let mut dev_idx = 0usize;
+        for elem in &ckt.elements {
+            match elem {
+                Element::Resistor { a, b, ohms } => {
+                    self.stamp_conductance(*a, *b, 1.0 / ohms);
+                }
+                Element::Capacitor { a, b, .. } => {
+                    if let CapMode::Companion(companions) = caps {
+                        let (geq, ieq) = companions[cap_idx];
+                        self.stamp_conductance(*a, *b, geq);
+                        // i = geq·v + ieq flows a→b inside the device:
+                        // ieq leaves node a, enters node b.
+                        if let Some(ra) = row_of(*a) {
+                            self.b[ra] -= ieq;
+                        }
+                        if let Some(rb) = row_of(*b) {
+                            self.b[rb] += ieq;
+                        }
+                    }
+                    cap_idx += 1;
+                }
+                Element::VSource {
+                    pos,
+                    neg,
+                    wave,
+                    branch,
+                } => {
+                    let rb = n_nodes + branch;
+                    if let Some(rp) = row_of(*pos) {
+                        self.a.add(rp, rb, 1.0);
+                        self.a.add(rb, rp, 1.0);
+                    }
+                    if let Some(rn) = row_of(*neg) {
+                        self.a.add(rn, rb, -1.0);
+                        self.a.add(rb, rn, -1.0);
+                    }
+                    self.b[rb] = alpha * wave.value(t);
+                }
+                Element::ISource { from, to, wave } => {
+                    let i = alpha * wave.value(t);
+                    if let Some(rf) = row_of(*from) {
+                        self.b[rf] -= i;
+                    }
+                    if let Some(rt) = row_of(*to) {
+                        self.b[rt] += i;
+                    }
+                }
+                Element::Nonlinear(dev) => {
+                    let stamp = &mut self.stamps[dev_idx];
+                    dev_idx += 1;
+                    stamp.clear();
+                    let nodes = dev.nodes();
+                    let v: Vec<f64> = nodes.iter().map(|&n| node_voltage(x, n)).collect();
+                    dev.eval(&v, stamp);
+                    // Norton linearization: I(v) ≈ I0 + G·(v − v0)
+                    // ⇒ stamp G on the LHS and (G·v0 − I0) on the RHS.
+                    for (k, &nk) in nodes.iter().enumerate() {
+                        let Some(rk) = row_of(nk) else { continue };
+                        let mut rhs = -stamp.current[k];
+                        for (j, &nj) in nodes.iter().enumerate() {
+                            let g = stamp.jacobian[(k, j)];
+                            rhs += g * v[j];
+                            if let Some(cj) = row_of(nj) {
+                                self.a.add(rk, cj, g);
+                            }
+                        }
+                        self.b[rk] += rhs;
+                    }
+                }
+            }
+        }
+    }
+
+    fn stamp_conductance(&mut self, a: NodeId, b: NodeId, g: f64) {
+        match (row_of(a), row_of(b)) {
+            (Some(ra), Some(rb)) => {
+                self.a.add(ra, ra, g);
+                self.a.add(rb, rb, g);
+                self.a.add(ra, rb, -g);
+                self.a.add(rb, ra, -g);
+            }
+            (Some(ra), None) => self.a.add(ra, ra, g),
+            (None, Some(rb)) => self.a.add(rb, rb, g),
+            (None, None) => {}
+        }
+    }
+}
+
+/// Settings for the shared Newton loop.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NewtonOpts {
+    pub max_iterations: usize,
+    /// Absolute voltage tolerance, volts.
+    pub v_abstol: f64,
+    /// Relative tolerance on all unknowns.
+    pub reltol: f64,
+    /// Largest per-iteration node-voltage move before the update is scaled
+    /// down (keeps exponential devices from overshooting).
+    pub v_step_limit: f64,
+}
+
+impl Default for NewtonOpts {
+    fn default() -> Self {
+        Self {
+            max_iterations: 100,
+            v_abstol: 1e-6,
+            reltol: 1e-4,
+            v_step_limit: 0.5,
+        }
+    }
+}
+
+/// Runs Newton iterations from initial iterate `x`, assembling with the
+/// provided parameters, until the update is below tolerance.
+///
+/// Returns the converged solution or the iteration count at failure.
+pub(crate) fn newton_solve(
+    ws: &mut MnaWorkspace,
+    ckt: &Circuit,
+    mut x: Vec<f64>,
+    t: f64,
+    alpha: f64,
+    gmin: f64,
+    caps: CapMode<'_>,
+    opts: &NewtonOpts,
+) -> Result<Vec<f64>, NewtonFailure> {
+    let n_nodes = ckt.node_count() - 1;
+    for iter in 0..opts.max_iterations {
+        ws.assemble(ckt, &x, t, alpha, gmin, caps);
+        let lu = match LuFactors::factor(ws.a.clone()) {
+            Ok(lu) => lu,
+            Err(source) => {
+                return Err(NewtonFailure {
+                    iterations: iter,
+                    error: Some(SpiceError::SingularSystem { time: t, source }),
+                })
+            }
+        };
+        let x_new = match lu.solve(&ws.b) {
+            Ok(v) => v,
+            Err(source) => {
+                return Err(NewtonFailure {
+                    iterations: iter,
+                    error: Some(SpiceError::SingularSystem { time: t, source }),
+                })
+            }
+        };
+        // Largest node-voltage move decides both damping and convergence.
+        let mut max_dv = 0.0f64;
+        for i in 0..n_nodes {
+            max_dv = max_dv.max((x_new[i] - x[i]).abs());
+        }
+        let mut converged = max_dv <= opts.v_abstol;
+        if !converged {
+            // Also allow relative convergence for large swings.
+            converged = (0..n_nodes).all(|i| {
+                (x_new[i] - x[i]).abs() <= opts.v_abstol + opts.reltol * x_new[i].abs()
+            });
+        }
+        if !x_new.iter().all(|v| v.is_finite()) {
+            return Err(NewtonFailure {
+                iterations: iter,
+                error: None,
+            });
+        }
+        if converged {
+            // Branch currents are linear consequences of node voltages in
+            // this formulation; accept the final solve.
+            return Ok(x_new);
+        }
+        if max_dv > opts.v_step_limit {
+            // Damped update: move only part of the way.
+            let s = opts.v_step_limit / max_dv;
+            for i in 0..x.len() {
+                x[i] += s * (x_new[i] - x[i]);
+            }
+        } else {
+            x = x_new;
+        }
+    }
+    Err(NewtonFailure {
+        iterations: opts.max_iterations,
+        error: None,
+    })
+}
+
+/// Failure report from [`newton_solve`].
+#[derive(Debug)]
+pub(crate) struct NewtonFailure {
+    pub iterations: usize,
+    /// A hard error (singular matrix); `None` means plain non-convergence.
+    pub error: Option<SpiceError>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceWaveform;
+
+    #[test]
+    fn divider_assembles_and_solves() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource(a, Circuit::GROUND, SourceWaveform::dc(2.0));
+        ckt.add_resistor(a, b, 1e3);
+        ckt.add_resistor(b, Circuit::GROUND, 1e3);
+        let mut ws = MnaWorkspace::new(&ckt);
+        let x0 = vec![0.0; ckt.unknown_count()];
+        let x = newton_solve(
+            &mut ws,
+            &ckt,
+            x0,
+            0.0,
+            1.0,
+            ckt.gmin(),
+            CapMode::Open,
+            &NewtonOpts::default(),
+        )
+        .unwrap();
+        assert!((node_voltage(&x, a) - 2.0).abs() < 1e-9);
+        assert!((node_voltage(&x, b) - 1.0).abs() < 1e-6);
+        // Branch current: 2 V across 2 kΩ = 1 mA, flowing out of the
+        // source's positive terminal, i.e. branch current is −1 mA by the
+        // pos→through-source convention.
+        let i_branch = x[2];
+        assert!((i_branch + 1e-3).abs() < 1e-8, "i = {i_branch}");
+    }
+
+    #[test]
+    fn isource_direction_matches_convention() {
+        // 1 mA pushed from ground into node a through the source, across 1 kΩ.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_isource(Circuit::GROUND, a, SourceWaveform::dc(1e-3));
+        ckt.add_resistor(a, Circuit::GROUND, 1e3);
+        let mut ws = MnaWorkspace::new(&ckt);
+        let x = newton_solve(
+            &mut ws,
+            &ckt,
+            vec![0.0; 1],
+            0.0,
+            1.0,
+            ckt.gmin(),
+            CapMode::Open,
+            &NewtonOpts::default(),
+        )
+        .unwrap();
+        assert!((node_voltage(&x, a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn floating_node_held_by_gmin() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("float");
+        let _ = a;
+        let mut ws = MnaWorkspace::new(&ckt);
+        let x = newton_solve(
+            &mut ws,
+            &ckt,
+            vec![0.0; 1],
+            0.0,
+            1.0,
+            ckt.gmin(),
+            CapMode::Open,
+            &NewtonOpts::default(),
+        )
+        .unwrap();
+        assert_eq!(x[0], 0.0);
+    }
+
+    #[test]
+    fn capacitor_open_in_dc() {
+        // V -- R -- C to ground: DC voltage across C equals source voltage.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource(a, Circuit::GROUND, SourceWaveform::dc(1.5));
+        ckt.add_resistor(a, b, 1e3);
+        ckt.add_capacitor(b, Circuit::GROUND, 1e-12);
+        let mut ws = MnaWorkspace::new(&ckt);
+        let x = newton_solve(
+            &mut ws,
+            &ckt,
+            vec![0.0; ckt.unknown_count()],
+            0.0,
+            1.0,
+            ckt.gmin(),
+            CapMode::Open,
+            &NewtonOpts::default(),
+        )
+        .unwrap();
+        assert!((node_voltage(&x, b) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nonlinear_diode_converges() {
+        use crate::device::test_devices::Diode;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let d = ckt.node("d");
+        ckt.add_vsource(a, Circuit::GROUND, SourceWaveform::dc(5.0));
+        ckt.add_resistor(a, d, 1e3);
+        ckt.add_device(Box::new(Diode {
+            nodes: [d, Circuit::GROUND],
+            i_sat: 1e-14,
+            v_t: 0.02585,
+        }));
+        let mut ws = MnaWorkspace::new(&ckt);
+        let x = newton_solve(
+            &mut ws,
+            &ckt,
+            vec![0.0; ckt.unknown_count()],
+            0.0,
+            1.0,
+            ckt.gmin(),
+            CapMode::Open,
+            &NewtonOpts::default(),
+        )
+        .unwrap();
+        let vd = node_voltage(&x, d);
+        // Forward drop should land in the usual 0.6–0.8 V window and satisfy
+        // KCL: (5 − vd)/1k = Is (exp(vd/vt) − 1).
+        assert!((0.5..0.9).contains(&vd), "vd = {vd}");
+        let i_r = (5.0 - vd) / 1e3;
+        let i_d = 1e-14 * ((vd / 0.02585).exp() - 1.0);
+        assert!((i_r - i_d).abs() / i_r < 1e-3);
+    }
+}

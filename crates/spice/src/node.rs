@@ -1,0 +1,53 @@
+//! Circuit nodes.
+
+use std::fmt;
+
+/// Identifier of a circuit node.
+///
+/// Node 0 is always ground ([`crate::Circuit::GROUND`]); its voltage is
+/// fixed at 0 V and it never appears among the MNA unknowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The ground node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Raw index of this node (0 = ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns `true` if this is the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ground() {
+            write!(f, "gnd")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_is_node_zero() {
+        assert_eq!(NodeId::GROUND.index(), 0);
+        assert!(NodeId::GROUND.is_ground());
+        assert!(!NodeId(3).is_ground());
+    }
+
+    #[test]
+    fn display_names_ground() {
+        assert_eq!(NodeId::GROUND.to_string(), "gnd");
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+}

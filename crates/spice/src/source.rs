@@ -1,0 +1,205 @@
+//! Time-dependent waveforms for independent sources.
+
+/// The value of an independent source as a function of time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceWaveform {
+    /// Constant value.
+    Dc(f64),
+    /// A single step from `initial` to `final_value` at `at`, with a linear
+    /// ramp of duration `rise` (zero rise gives an ideal step at `at`).
+    Step {
+        /// Value before the step.
+        initial: f64,
+        /// Value after the step.
+        final_value: f64,
+        /// Step time in seconds.
+        at: f64,
+        /// Ramp duration in seconds (may be zero).
+        rise: f64,
+    },
+    /// A periodic pulse train (SPICE `PULSE` semantics).
+    Pulse {
+        /// Base value.
+        low: f64,
+        /// Pulsed value.
+        high: f64,
+        /// Delay before the first rising edge, seconds.
+        delay: f64,
+        /// Rise time, seconds.
+        rise: f64,
+        /// Fall time, seconds.
+        fall: f64,
+        /// Time spent at `high` (excluding edges), seconds.
+        width: f64,
+        /// Full period, seconds.
+        period: f64,
+    },
+    /// Piecewise-linear waveform given as `(time, value)` breakpoints in
+    /// increasing time order; constant before the first and after the last.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl SourceWaveform {
+    /// Constant source.
+    pub fn dc(value: f64) -> Self {
+        SourceWaveform::Dc(value)
+    }
+
+    /// Ideal step from `initial` to `final_value` at time `at`.
+    pub fn step(initial: f64, final_value: f64, at: f64) -> Self {
+        SourceWaveform::Step {
+            initial,
+            final_value,
+            at,
+            rise: 0.0,
+        }
+    }
+
+    /// Step with a finite linear ramp.
+    pub fn ramp_step(initial: f64, final_value: f64, at: f64, rise: f64) -> Self {
+        SourceWaveform::Step {
+            initial,
+            final_value,
+            at,
+            rise,
+        }
+    }
+
+    /// Source value at time `t` (t < 0 is treated as t = 0).
+    pub fn value(&self, t: f64) -> f64 {
+        let t = t.max(0.0);
+        match self {
+            SourceWaveform::Dc(v) => *v,
+            SourceWaveform::Step {
+                initial,
+                final_value,
+                at,
+                rise,
+            } => {
+                if t < *at {
+                    *initial
+                } else if *rise <= 0.0 || t >= at + rise {
+                    *final_value
+                } else {
+                    let frac = (t - at) / rise;
+                    initial + frac * (final_value - initial)
+                }
+            }
+            SourceWaveform::Pulse {
+                low,
+                high,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *low;
+                }
+                let tp = (t - delay) % period.max(f64::MIN_POSITIVE);
+                if tp < *rise {
+                    low + (high - low) * tp / rise.max(f64::MIN_POSITIVE)
+                } else if tp < rise + width {
+                    *high
+                } else if tp < rise + width + fall {
+                    high - (high - low) * (tp - rise - width) / fall.max(f64::MIN_POSITIVE)
+                } else {
+                    *low
+                }
+            }
+            SourceWaveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+
+    /// The DC (t = 0) value; used by the operating-point analysis.
+    pub fn dc_value(&self) -> f64 {
+        self.value(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = SourceWaveform::dc(1.1);
+        assert_eq!(w.value(0.0), 1.1);
+        assert_eq!(w.value(1e-3), 1.1);
+    }
+
+    #[test]
+    fn ideal_step_switches_at_threshold() {
+        let w = SourceWaveform::step(0.0, 1.0, 1e-9);
+        assert_eq!(w.value(0.999e-9), 0.0);
+        assert_eq!(w.value(1e-9), 1.0);
+        assert_eq!(w.value(2e-9), 1.0);
+    }
+
+    #[test]
+    fn ramp_step_interpolates() {
+        let w = SourceWaveform::ramp_step(0.0, 2.0, 1e-9, 2e-9);
+        assert_eq!(w.value(1e-9), 0.0);
+        assert!((w.value(2e-9) - 1.0).abs() < 1e-12);
+        assert!((w.value(3e-9) - 2.0).abs() < 1e-9);
+        assert_eq!(w.value(10e-9), 2.0);
+    }
+
+    #[test]
+    fn pulse_cycles_through_phases() {
+        let w = SourceWaveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 1e-9,
+            rise: 1e-10,
+            fall: 1e-10,
+            width: 4e-10,
+            period: 1e-9,
+        };
+        assert_eq!(w.value(0.5e-9), 0.0); // before delay
+        assert!((w.value(1e-9 + 0.5e-10) - 0.5).abs() < 1e-9); // mid rise
+        assert_eq!(w.value(1e-9 + 3e-10), 1.0); // flat top
+        assert!((w.value(1e-9 + 5.5e-10) - 0.5).abs() < 1e-9); // mid fall
+        assert_eq!(w.value(1e-9 + 8e-10), 0.0); // low phase
+        assert_eq!(w.value(2e-9 + 3e-10), 1.0); // next period flat top
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = SourceWaveform::Pwl(vec![(1.0, 0.0), (2.0, 10.0), (3.0, 10.0)]);
+        assert_eq!(w.value(0.0), 0.0);
+        assert_eq!(w.value(1.5), 5.0);
+        assert_eq!(w.value(2.5), 10.0);
+        assert_eq!(w.value(9.0), 10.0);
+    }
+
+    #[test]
+    fn empty_pwl_is_zero() {
+        assert_eq!(SourceWaveform::Pwl(vec![]).value(1.0), 0.0);
+    }
+
+    #[test]
+    fn negative_time_clamps_to_zero() {
+        let w = SourceWaveform::step(0.5, 1.0, 1e-9);
+        assert_eq!(w.value(-1.0), 0.5);
+    }
+}

@@ -1,0 +1,600 @@
+//! Transient analysis.
+//!
+//! Fixed-step integration with trapezoidal (default) or backward-Euler
+//! companion models, Newton iteration at every step, and automatic local
+//! step halving when an individual step refuses to converge. The first two
+//! accepted steps always use backward Euler to damp the startup transient
+//! of inconsistent initial conditions (standard practice; trapezoidal
+//! integration would ring on them).
+
+use std::collections::BTreeMap;
+
+use crate::circuit::{Circuit, Element, VSourceId};
+use crate::error::SpiceError;
+use crate::mna::{newton_solve, node_voltage, CapMode, MnaWorkspace, NewtonOpts};
+use crate::node::NodeId;
+use crate::waveform::Waveform;
+
+/// Numerical integration scheme for capacitors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntegrationMethod {
+    /// Trapezoidal rule: second-order accurate, no numerical damping.
+    #[default]
+    Trapezoidal,
+    /// Backward Euler: first-order, strongly damped; useful as a
+    /// cross-check that a result is not an integration artifact.
+    BackwardEuler,
+}
+
+/// Early-termination condition for a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StopCondition {
+    /// Stop once `node` has risen through `threshold` volts `count` times.
+    ///
+    /// Ring-oscillator runs use this to simulate exactly as many cycles as
+    /// the period extraction needs.
+    RisingCrossings {
+        /// Observed node.
+        node: NodeId,
+        /// Threshold voltage.
+        threshold: f64,
+        /// Number of rising crossings after which to stop.
+        count: usize,
+    },
+}
+
+/// Specification of a transient analysis.
+#[derive(Debug, Clone)]
+pub struct TransientSpec {
+    /// End time, seconds.
+    pub t_stop: f64,
+    /// Nominal time step, seconds.
+    pub dt: f64,
+    /// Integration method.
+    pub method: IntegrationMethod,
+    /// Nodes to record; empty records every node.
+    pub record_nodes: Vec<NodeId>,
+    /// Voltage-source branch currents to record (e.g. the supply, for
+    /// IDDQ-style current signatures).
+    pub record_currents: Vec<VSourceId>,
+    /// Node voltages applied at t = 0 (unlisted nodes start at 0 V).
+    pub initial_voltages: Vec<(NodeId, f64)>,
+    /// If `true`, start from the DC operating point instead of the
+    /// `initial_voltages` vector.
+    pub start_from_dcop: bool,
+    /// Optional early-termination condition.
+    pub stop: Option<StopCondition>,
+    /// Newton iteration cap per time step.
+    pub max_newton: usize,
+}
+
+impl TransientSpec {
+    /// Creates a spec running to `t_stop` with step `dt`, recording all
+    /// nodes.
+    pub fn new(t_stop: f64, dt: f64) -> Self {
+        Self {
+            t_stop,
+            dt,
+            method: IntegrationMethod::default(),
+            record_nodes: Vec::new(),
+            record_currents: Vec::new(),
+            initial_voltages: Vec::new(),
+            start_from_dcop: false,
+            stop: None,
+            max_newton: 40,
+        }
+    }
+
+    /// Restricts recording to `nodes` (reduces memory for long runs).
+    pub fn record(mut self, nodes: &[NodeId]) -> Self {
+        self.record_nodes = nodes.to_vec();
+        self
+    }
+
+    /// Also records the branch currents of the given voltage sources.
+    pub fn record_currents(mut self, sources: &[VSourceId]) -> Self {
+        self.record_currents = sources.to_vec();
+        self
+    }
+
+    /// Selects the integration method.
+    pub fn method(mut self, method: IntegrationMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Sets initial node voltages (implies a UIC start).
+    pub fn initial_voltages(mut self, init: &[(NodeId, f64)]) -> Self {
+        self.initial_voltages = init.to_vec();
+        self
+    }
+
+    /// Starts the run from the DC operating point.
+    pub fn from_dcop(mut self) -> Self {
+        self.start_from_dcop = true;
+        self
+    }
+
+    /// Stops after `count` rising crossings of `threshold` on `node`.
+    pub fn stop_after_rising(mut self, node: NodeId, threshold: f64, count: usize) -> Self {
+        self.stop = Some(StopCondition::RisingCrossings {
+            node,
+            threshold,
+            count,
+        });
+        self
+    }
+}
+
+/// Result of a transient run.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    time: Vec<f64>,
+    columns: BTreeMap<NodeId, Vec<f64>>,
+    current_columns: BTreeMap<usize, Vec<f64>>,
+    stopped_early: bool,
+    steps_taken: usize,
+}
+
+impl TransientResult {
+    /// Simulation time points, seconds.
+    pub fn time(&self) -> &[f64] {
+        &self.time
+    }
+
+    /// `true` if a [`StopCondition`] ended the run before `t_stop`.
+    pub fn stopped_early(&self) -> bool {
+        self.stopped_early
+    }
+
+    /// Total accepted integration steps.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// Recorded waveform of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not recorded.
+    pub fn waveform(&self, node: NodeId) -> Waveform {
+        let values = self
+            .columns
+            .get(&node)
+            .unwrap_or_else(|| panic!("node {node} was not recorded"))
+            .clone();
+        Waveform::new(self.time.clone(), values)
+    }
+
+    /// Voltage of `node` at the final time point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not recorded or the run is empty.
+    pub fn final_voltage(&self, node: NodeId) -> f64 {
+        *self
+            .columns
+            .get(&node)
+            .unwrap_or_else(|| panic!("node {node} was not recorded"))
+            .last()
+            .expect("transient result is empty")
+    }
+
+    /// Nodes that were recorded.
+    pub fn recorded_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.columns.keys().copied()
+    }
+
+    /// Recorded branch-current waveform of voltage source `vs` (amps,
+    /// positive flowing from the positive terminal through the source).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source's current was not recorded.
+    pub fn current_waveform(&self, vs: VSourceId) -> Waveform {
+        let values = self
+            .current_columns
+            .get(&vs.0)
+            .unwrap_or_else(|| panic!("current of source {} was not recorded", vs.0))
+            .clone();
+        Waveform::new(self.time.clone(), values)
+    }
+}
+
+struct CapState {
+    a: NodeId,
+    b: NodeId,
+    farads: f64,
+    v: f64,
+    i: f64,
+}
+
+impl Circuit {
+    /// Runs a transient analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidSpec`] for a non-positive step or stop
+    /// time, [`SpiceError::NoConvergence`] if a step fails even after
+    /// halving the step 12 times, and [`SpiceError::SingularSystem`] for a
+    /// structurally singular system.
+    pub fn transient(&self, spec: &TransientSpec) -> Result<TransientResult, SpiceError> {
+        if !(spec.dt > 0.0) || !spec.dt.is_finite() {
+            return Err(SpiceError::InvalidSpec(format!(
+                "time step must be positive, got {}",
+                spec.dt
+            )));
+        }
+        if !(spec.t_stop > 0.0) || !spec.t_stop.is_finite() {
+            return Err(SpiceError::InvalidSpec(format!(
+                "stop time must be positive, got {}",
+                spec.t_stop
+            )));
+        }
+        for &(node, _) in &spec.initial_voltages {
+            if node.index() >= self.node_count() {
+                return Err(SpiceError::InvalidCircuit(format!(
+                    "initial condition on unknown node {node}"
+                )));
+            }
+        }
+
+        // Initial solution vector.
+        let mut x = if spec.start_from_dcop {
+            self.dcop(&crate::dcop::DcOpSpec {
+                initial_voltages: spec.initial_voltages.clone(),
+                ..Default::default()
+            })?
+            .into_vec()
+        } else {
+            let mut x0 = vec![0.0; self.unknown_count()];
+            for &(node, v) in &spec.initial_voltages {
+                if !node.is_ground() {
+                    x0[node.index() - 1] = v;
+                }
+            }
+            x0
+        };
+
+        // Capacitor bookkeeping (in element order, matching CapMode::Companion).
+        let mut caps: Vec<CapState> = self
+            .elements
+            .iter()
+            .filter_map(|e| match e {
+                Element::Capacitor { a, b, farads } => Some(CapState {
+                    a: *a,
+                    b: *b,
+                    farads: *farads,
+                    v: 0.0,
+                    i: 0.0,
+                }),
+                _ => None,
+            })
+            .collect();
+        for c in &mut caps {
+            c.v = node_voltage(&x, c.a) - node_voltage(&x, c.b);
+        }
+
+        // Recording setup.
+        let record_nodes: Vec<NodeId> = if spec.record_nodes.is_empty() {
+            (0..self.node_count()).map(NodeId).collect()
+        } else {
+            let mut nodes = spec.record_nodes.clone();
+            nodes.sort_unstable();
+            nodes.dedup();
+            nodes
+        };
+        let mut columns: BTreeMap<NodeId, Vec<f64>> =
+            record_nodes.iter().map(|&n| (n, Vec::new())).collect();
+        let mut current_columns: BTreeMap<usize, Vec<f64>> = spec
+            .record_currents
+            .iter()
+            .map(|vs| (vs.0, Vec::new()))
+            .collect();
+        let n_node_unknowns = self.node_count() - 1;
+        let mut time = Vec::new();
+        let record = |t: f64,
+                      x: &[f64],
+                      time: &mut Vec<f64>,
+                      columns: &mut BTreeMap<NodeId, Vec<f64>>,
+                      currents: &mut BTreeMap<usize, Vec<f64>>| {
+            time.push(t);
+            for (&node, col) in columns.iter_mut() {
+                col.push(node_voltage(x, node));
+            }
+            for (&branch, col) in currents.iter_mut() {
+                col.push(x[n_node_unknowns + branch]);
+            }
+        };
+        record(0.0, &x, &mut time, &mut columns, &mut current_columns);
+
+        // Stop-condition tracking.
+        let mut crossings_seen = 0usize;
+        let mut stop_prev = spec.stop.as_ref().map(
+            |StopCondition::RisingCrossings { node, .. }| node_voltage(&x, *node),
+        );
+
+        let mut ws = MnaWorkspace::new(self);
+        let opts = NewtonOpts {
+            max_iterations: spec.max_newton,
+            ..NewtonOpts::default()
+        };
+        let mut companions = vec![(0.0f64, 0.0f64); caps.len()];
+
+        let mut t = 0.0f64;
+        let mut steps = 0usize;
+        let mut stopped_early = false;
+        const MAX_HALVINGS: u32 = 12;
+
+        'outer: while t < spec.t_stop - 1e-18 {
+            let dt_goal = spec.dt.min(spec.t_stop - t);
+            let mut halvings = 0u32;
+            loop {
+                let dt = dt_goal / f64::from(1u32 << halvings);
+                // Startup steps use backward Euler regardless of method.
+                let use_trap =
+                    spec.method == IntegrationMethod::Trapezoidal && steps >= 2;
+                for (k, c) in caps.iter().enumerate() {
+                    if c.farads == 0.0 {
+                        companions[k] = (0.0, 0.0);
+                    } else if use_trap {
+                        let geq = 2.0 * c.farads / dt;
+                        companions[k] = (geq, -(geq * c.v + c.i));
+                    } else {
+                        let geq = c.farads / dt;
+                        companions[k] = (geq, -geq * c.v);
+                    }
+                }
+                let t_next = t + dt;
+                match newton_solve(
+                    &mut ws,
+                    self,
+                    x.clone(),
+                    t_next,
+                    1.0,
+                    self.gmin(),
+                    CapMode::Companion(&companions),
+                    &opts,
+                ) {
+                    Ok(sol) => {
+                        x = sol;
+                        for (k, c) in caps.iter_mut().enumerate() {
+                            let v_new = node_voltage(&x, c.a) - node_voltage(&x, c.b);
+                            let (geq, ieq) = companions[k];
+                            c.i = geq * v_new + ieq;
+                            c.v = v_new;
+                        }
+                        t = t_next;
+                        steps += 1;
+                        record(t, &x, &mut time, &mut columns, &mut current_columns);
+                        if let Some(StopCondition::RisingCrossings {
+                            node,
+                            threshold,
+                            count,
+                        }) = &spec.stop
+                        {
+                            let v_now = node_voltage(&x, *node);
+                            let prev = stop_prev.replace(v_now).unwrap_or(v_now);
+                            if prev < *threshold && v_now >= *threshold {
+                                crossings_seen += 1;
+                                if crossings_seen >= *count {
+                                    stopped_early = true;
+                                    break 'outer;
+                                }
+                            }
+                        }
+                        break;
+                    }
+                    Err(fail) => {
+                        if let Some(err @ SpiceError::SingularSystem { .. }) = fail.error {
+                            return Err(err);
+                        }
+                        halvings += 1;
+                        if halvings > MAX_HALVINGS {
+                            return Err(SpiceError::NoConvergence {
+                                analysis: "transient",
+                                time: t_next,
+                                iterations: fail.iterations,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(TransientResult {
+            time,
+            columns,
+            current_columns,
+            stopped_early,
+            steps_taken: steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceWaveform;
+
+    /// RC charging follows 1 − exp(−t/τ).
+    #[test]
+    fn rc_charge_matches_analytic() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.add_vsource(vin, Circuit::GROUND, SourceWaveform::dc(1.0));
+        ckt.add_resistor(vin, vout, 1e3);
+        ckt.add_capacitor(vout, Circuit::GROUND, 1e-9); // tau = 1 us
+        let spec = TransientSpec::new(3e-6, 2e-9).record(&[vout]);
+        let res = ckt.transient(&spec).unwrap();
+        let w = res.waveform(vout);
+        for frac in [0.5, 1.0, 2.0] {
+            let t = frac * 1e-6;
+            let expect = 1.0 - (-frac as f64).exp();
+            let got = w.value_at(t);
+            assert!(
+                (got - expect).abs() < 2e-4,
+                "at t={t}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    /// Trapezoidal integration preserves the amplitude of an LC-free RC
+    /// high-pass step: v_out jumps and decays exponentially.
+    #[test]
+    fn rc_highpass_step_decays() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.add_vsource(vin, Circuit::GROUND, SourceWaveform::step(0.0, 1.0, 1e-7));
+        ckt.add_capacitor(vin, vout, 1e-9);
+        ckt.add_resistor(vout, Circuit::GROUND, 1e3); // tau = 1 us
+        let spec = TransientSpec::new(2e-6, 1e-9).record(&[vout]);
+        let res = ckt.transient(&spec).unwrap();
+        let w = res.waveform(vout);
+        // Just after the step the full swing appears across the resistor.
+        assert!((w.value_at(1.05e-7) - 1.0).abs() < 0.1);
+        // One tau later it has decayed to ~exp(-1).
+        let got = w.value_at(1e-7 + 1e-6);
+        assert!((got - (-1.0f64).exp()).abs() < 0.02, "got {got}");
+    }
+
+    #[test]
+    fn initial_condition_is_applied() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_resistor(a, Circuit::GROUND, 1e3);
+        ckt.add_capacitor(a, Circuit::GROUND, 1e-9);
+        let spec = TransientSpec::new(1e-6, 1e-9)
+            .record(&[a])
+            .initial_voltages(&[(a, 2.0)]);
+        let res = ckt.transient(&spec).unwrap();
+        let w = res.waveform(a);
+        assert!((w.value_at(0.0) - 2.0).abs() < 1e-9);
+        // Discharges with tau = 1 us.
+        let got = w.value_at(1e-6);
+        assert!((got - 2.0 * (-1.0f64).exp()).abs() < 5e-3, "got {got}");
+    }
+
+    #[test]
+    fn backward_euler_also_converges_to_dc() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.add_vsource(vin, Circuit::GROUND, SourceWaveform::dc(1.0));
+        ckt.add_resistor(vin, vout, 1e3);
+        ckt.add_capacitor(vout, Circuit::GROUND, 1e-9);
+        let spec = TransientSpec::new(10e-6, 10e-9)
+            .record(&[vout])
+            .method(IntegrationMethod::BackwardEuler);
+        let res = ckt.transient(&spec).unwrap();
+        assert!((res.final_voltage(vout) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn stop_condition_ends_run_early() {
+        // 1 MHz square-ish pulse; stop after 3 rising crossings of 0.5 V.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource(
+            a,
+            Circuit::GROUND,
+            SourceWaveform::Pulse {
+                low: 0.0,
+                high: 1.0,
+                delay: 0.0,
+                rise: 1e-8,
+                fall: 1e-8,
+                width: 4.8e-7,
+                period: 1e-6,
+            },
+        );
+        ckt.add_resistor(a, Circuit::GROUND, 1e3);
+        let spec = TransientSpec::new(100e-6, 1e-8)
+            .record(&[a])
+            .stop_after_rising(a, 0.5, 3);
+        let res = ckt.transient(&spec).unwrap();
+        assert!(res.stopped_early());
+        let t_end = *res.time().last().unwrap();
+        assert!(
+            t_end > 2e-6 && t_end < 2.2e-6,
+            "stopped at {t_end}, expected just after the third rising edge"
+        );
+    }
+
+    #[test]
+    fn start_from_dcop_holds_steady_state() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.add_vsource(vin, Circuit::GROUND, SourceWaveform::dc(1.0));
+        ckt.add_resistor(vin, vout, 1e3);
+        ckt.add_capacitor(vout, Circuit::GROUND, 1e-9);
+        let spec = TransientSpec::new(1e-6, 1e-9).record(&[vout]).from_dcop();
+        let res = ckt.transient(&spec).unwrap();
+        let w = res.waveform(vout);
+        // Already at steady state: stays at 1 V throughout.
+        assert!(w.values().iter().all(|v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn invalid_dt_is_rejected() {
+        let ckt = Circuit::new();
+        let err = ckt.transient(&TransientSpec::new(1e-6, 0.0)).unwrap_err();
+        assert!(matches!(err, SpiceError::InvalidSpec(_)));
+        let err = ckt.transient(&TransientSpec::new(-1.0, 1e-9)).unwrap_err();
+        assert!(matches!(err, SpiceError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn nonlinear_rc_with_diode_clamps() {
+        use crate::device::test_devices::Diode;
+        // Step drives an RC node clamped by a diode to ground: final value
+        // well below the 5 V drive.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.add_vsource(vin, Circuit::GROUND, SourceWaveform::step(0.0, 5.0, 0.0));
+        ckt.add_resistor(vin, vout, 1e3);
+        ckt.add_capacitor(vout, Circuit::GROUND, 1e-12);
+        ckt.add_device(Box::new(Diode {
+            nodes: [vout, Circuit::GROUND],
+            i_sat: 1e-14,
+            v_t: 0.02585,
+        }));
+        let spec = TransientSpec::new(50e-9, 0.05e-9).record(&[vout]);
+        let res = ckt.transient(&spec).unwrap();
+        let v_end = res.final_voltage(vout);
+        assert!((0.5..0.9).contains(&v_end), "clamped at {v_end}");
+    }
+
+    #[test]
+    fn supply_current_is_recorded() {
+        // DC source across a resistor: constant branch current -V/R.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let vs = ckt.add_vsource(a, Circuit::GROUND, SourceWaveform::dc(2.0));
+        ckt.add_resistor(a, Circuit::GROUND, 1e3);
+        let spec = TransientSpec::new(1e-8, 1e-9)
+            .record(&[a])
+            .record_currents(&[vs]);
+        let res = ckt.transient(&spec).unwrap();
+        let i = res.current_waveform(vs);
+        // pos->through-source convention: current is -2 mA.
+        assert!((i.final_value() + 2e-3).abs() < 1e-8, "i = {}", i.final_value());
+    }
+
+    #[test]
+    fn waveform_of_unrecorded_node_panics() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource(a, Circuit::GROUND, SourceWaveform::dc(1.0));
+        ckt.add_resistor(a, b, 1.0);
+        ckt.add_resistor(b, Circuit::GROUND, 1.0);
+        let res = ckt.transient(&TransientSpec::new(1e-9, 1e-10).record(&[a])).unwrap();
+        let r = std::panic::catch_unwind(|| res.waveform(b));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! Waveform post-processing.
+//!
+//! The paper's measurements are all waveform-derived: propagation delay of
+//! an I/O cell driving a TSV (Fig. 4) and the oscillation period of the
+//! ring (everything else). Crossing times are interpolated between samples,
+//! so period resolution is far finer than the integration step.
+
+use rotsv_num::interp::{crossing_on_segment, lerp_at};
+use rotsv_num::stats::Summary;
+
+/// Direction of a threshold crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Upward through the threshold.
+    Rising,
+    /// Downward through the threshold.
+    Falling,
+}
+
+/// Statistics of an extracted oscillation period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodMeasurement {
+    /// Mean period over the analyzed cycles, seconds.
+    pub mean: f64,
+    /// Cycle-to-cycle standard deviation, seconds.
+    pub jitter: f64,
+    /// Number of full cycles analyzed.
+    pub cycles: usize,
+}
+
+/// A sampled voltage waveform on a (possibly non-uniform) time grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    time: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates a waveform from matching time and value vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length, are empty, or time is not
+    /// strictly increasing.
+    pub fn new(time: Vec<f64>, values: Vec<f64>) -> Self {
+        assert_eq!(time.len(), values.len(), "time/value length mismatch");
+        assert!(!time.is_empty(), "waveform must not be empty");
+        assert!(
+            time.windows(2).all(|w| w[0] < w[1]),
+            "time must be strictly increasing"
+        );
+        Self { time, values }
+    }
+
+    /// Time samples, seconds.
+    pub fn time(&self) -> &[f64] {
+        &self.time
+    }
+
+    /// Voltage samples, volts.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// Whether the waveform holds no samples (never true for a constructed
+    /// waveform; included for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// Linearly interpolated value at time `t` (clamped at the ends).
+    pub fn value_at(&self, t: f64) -> f64 {
+        lerp_at(&self.time, &self.values, t)
+    }
+
+    /// Final sampled value.
+    pub fn final_value(&self) -> f64 {
+        *self.values.last().expect("waveform is non-empty")
+    }
+
+    /// Minimum sampled value.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sampled value.
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// All interpolated times at which the waveform crosses `threshold`
+    /// with the given `edge` direction.
+    pub fn crossings(&self, threshold: f64, edge: Edge) -> Vec<f64> {
+        let mut out = Vec::new();
+        for i in 1..self.values.len() {
+            let (v0, v1) = (self.values[i - 1], self.values[i]);
+            let hit = match edge {
+                Edge::Rising => v0 < threshold && v1 >= threshold,
+                Edge::Falling => v0 > threshold && v1 <= threshold,
+            };
+            if hit {
+                out.push(crossing_on_segment(
+                    self.time[i - 1],
+                    v0,
+                    self.time[i],
+                    v1,
+                    threshold,
+                ));
+            }
+        }
+        out
+    }
+
+    /// First crossing of `threshold` in direction `edge` at or after `t0`.
+    pub fn first_crossing_after(&self, t0: f64, threshold: f64, edge: Edge) -> Option<f64> {
+        self.crossings(threshold, edge)
+            .into_iter()
+            .find(|&t| t >= t0)
+    }
+
+    /// Extracts the oscillation period from rising crossings of
+    /// `threshold`, discarding the first `skip_cycles` cycles as startup.
+    ///
+    /// Returns `None` when fewer than two usable crossings remain — the
+    /// signature of a non-oscillating (stuck) circuit, which the paper
+    /// observes for leakage faults below roughly 1 kΩ.
+    pub fn period(&self, threshold: f64, skip_cycles: usize) -> Option<PeriodMeasurement> {
+        let crossings = self.crossings(threshold, Edge::Rising);
+        if crossings.len() < skip_cycles + 2 {
+            return None;
+        }
+        let used = &crossings[skip_cycles..];
+        let periods: Vec<f64> = used.windows(2).map(|w| w[1] - w[0]).collect();
+        let s = Summary::of(&periods);
+        Some(PeriodMeasurement {
+            mean: s.mean,
+            jitter: s.std_dev,
+            cycles: periods.len(),
+        })
+    }
+
+    /// Propagation delay from this waveform (input) to `output`: the time
+    /// between this waveform's first crossing of `in_threshold` after `t0`
+    /// and the output's first subsequent crossing of `out_threshold`.
+    ///
+    /// Returns `None` if either crossing does not occur.
+    pub fn delay_to(
+        &self,
+        output: &Waveform,
+        t0: f64,
+        in_threshold: f64,
+        in_edge: Edge,
+        out_threshold: f64,
+        out_edge: Edge,
+    ) -> Option<f64> {
+        let t_in = self.first_crossing_after(t0, in_threshold, in_edge)?;
+        let t_out = output.first_crossing_after(t_in, out_threshold, out_edge)?;
+        Some(t_out - t_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(periods: usize, samples_per_period: usize, period: f64) -> Waveform {
+        let n = periods * samples_per_period;
+        let dt = period / samples_per_period as f64;
+        let time: Vec<f64> = (0..=n).map(|i| i as f64 * dt).collect();
+        let values: Vec<f64> = time
+            .iter()
+            .map(|&t| (2.0 * std::f64::consts::PI * t / period).sin())
+            .collect();
+        Waveform::new(time, values)
+    }
+
+    #[test]
+    fn sine_period_recovered_accurately() {
+        let w = sine(10, 50, 2e-9);
+        let m = w.period(0.0, 2).expect("oscillates");
+        assert!(
+            (m.mean - 2e-9).abs() < 1e-13,
+            "period {} vs expected 2e-9",
+            m.mean
+        );
+        assert!(m.cycles >= 6);
+        assert!(m.jitter < 1e-12);
+    }
+
+    #[test]
+    fn non_oscillating_returns_none() {
+        let time: Vec<f64> = (0..100).map(|i| i as f64 * 1e-9).collect();
+        let values = vec![0.2; 100];
+        let w = Waveform::new(time, values);
+        assert!(w.period(0.5, 0).is_none());
+    }
+
+    #[test]
+    fn crossings_interpolate_between_samples() {
+        let w = Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]);
+        let rising = w.crossings(0.25, Edge::Rising);
+        let falling = w.crossings(0.25, Edge::Falling);
+        assert_eq!(rising.len(), 1);
+        assert_eq!(falling.len(), 1);
+        assert!((rising[0] - 0.25).abs() < 1e-15);
+        assert!((falling[0] - 1.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn skip_cycles_discards_startup() {
+        // First "cycle" is distorted: crossings at 0.5, then clean 1.0 spacing.
+        let time = vec![0.0, 0.4, 0.6, 1.4, 1.6, 2.4, 2.6, 3.4, 3.6];
+        let vals = vec![0.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+        let w = Waveform::new(time, vals);
+        let m = w.period(0.5, 1).unwrap();
+        assert!((m.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_measures_input_to_output() {
+        let input = Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 1.0]);
+        let output = Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 0.0, 1.0]);
+        let d = input
+            .delay_to(&output, 0.0, 0.5, Edge::Rising, 0.5, Edge::Rising)
+            .unwrap();
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_none_when_output_never_switches() {
+        let input = Waveform::new(vec![0.0, 1.0], vec![0.0, 1.0]);
+        let output = Waveform::new(vec![0.0, 1.0], vec![0.0, 0.1]);
+        assert!(input
+            .delay_to(&output, 0.0, 0.5, Edge::Rising, 0.5, Edge::Rising)
+            .is_none());
+    }
+
+    #[test]
+    fn min_max_final() {
+        let w = Waveform::new(vec![0.0, 1.0, 2.0], vec![0.5, -1.0, 2.0]);
+        assert_eq!(w.min(), -1.0);
+        assert_eq!(w.max(), 2.0);
+        assert_eq!(w.final_value(), 2.0);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_time_rejected() {
+        let _ = Waveform::new(vec![0.0, 0.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn value_at_clamps_outside_range() {
+        let w = Waveform::new(vec![1.0, 2.0], vec![5.0, 7.0]);
+        assert_eq!(w.value_at(0.0), 5.0);
+        assert_eq!(w.value_at(3.0), 7.0);
+        assert_eq!(w.value_at(1.5), 6.0);
+    }
+}

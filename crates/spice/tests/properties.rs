@@ -1,0 +1,130 @@
+//! Property-based tests of the simulator against closed-form circuit
+//! theory: arbitrary dividers, RC time constants, superposition, and
+//! energy sanity.
+
+use proptest::prelude::*;
+use rotsv_spice::{Circuit, DcOpSpec, SourceWaveform, TransientSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A two-resistor divider matches v·r2/(r1+r2) for any positive values.
+    #[test]
+    fn divider_matches_theory(
+        v in 0.1..10.0f64,
+        r1 in 10.0..1e6f64,
+        r2 in 10.0..1e6f64,
+    ) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource(a, Circuit::GROUND, SourceWaveform::dc(v));
+        ckt.add_resistor(a, b, r1);
+        ckt.add_resistor(b, Circuit::GROUND, r2);
+        let sol = ckt.dcop(&DcOpSpec::default()).unwrap();
+        let expect = v * r2 / (r1 + r2);
+        // gmin adds a parallel 1e-12 S path; tolerance covers it.
+        prop_assert!((sol.voltage(b) - expect).abs() < 1e-3 * expect.max(1.0));
+    }
+
+    /// Series resistor chains divide linearly: node k of an n-chain sits
+    /// at v·(n−k)/n.
+    #[test]
+    fn resistor_chain_is_linear(
+        v in 0.5..5.0f64,
+        r in 100.0..10e3f64,
+        n in 2usize..8,
+    ) {
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        ckt.add_vsource(top, Circuit::GROUND, SourceWaveform::dc(v));
+        let mut prev = top;
+        let mut nodes = vec![top];
+        for k in 0..n {
+            let node = if k + 1 == n {
+                Circuit::GROUND
+            } else {
+                ckt.node(&format!("n{k}"))
+            };
+            ckt.add_resistor(prev, node, r);
+            nodes.push(node);
+            prev = node;
+        }
+        let sol = ckt.dcop(&DcOpSpec::default()).unwrap();
+        for (k, &node) in nodes.iter().enumerate() {
+            let expect = v * (n - k) as f64 / n as f64;
+            prop_assert!(
+                (sol.voltage(node) - expect).abs() < 1e-6 + 1e-4 * expect,
+                "node {k}: {} vs {expect}", sol.voltage(node)
+            );
+        }
+    }
+
+    /// Superposition: the response to two DC current sources equals the
+    /// sum of the individual responses (linear network).
+    #[test]
+    fn superposition_holds(
+        i1 in -1e-3..1e-3f64,
+        i2 in -1e-3..1e-3f64,
+        r in 100.0..10e3f64,
+    ) {
+        let solve = |ia: f64, ib: f64| -> f64 {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            ckt.add_resistor(a, Circuit::GROUND, r);
+            ckt.add_resistor(a, b, r);
+            ckt.add_resistor(b, Circuit::GROUND, r);
+            ckt.add_isource(Circuit::GROUND, a, SourceWaveform::dc(ia));
+            ckt.add_isource(Circuit::GROUND, b, SourceWaveform::dc(ib));
+            ckt.dcop(&DcOpSpec::default()).unwrap().voltage(b)
+        };
+        let both = solve(i1, i2);
+        let sum = solve(i1, 0.0) + solve(0.0, i2);
+        prop_assert!((both - sum).abs() < 1e-9 + 1e-6 * both.abs());
+    }
+
+    /// RC charging hits 1 − 1/e of the swing at t = τ for random R and C.
+    #[test]
+    fn rc_time_constant(
+        r in 100.0..100e3f64,
+        c_ff in 10.0..1000.0f64,
+    ) {
+        let c = c_ff * 1e-15;
+        let tau = r * c;
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource(vin, Circuit::GROUND, SourceWaveform::dc(1.0));
+        ckt.add_resistor(vin, out, r);
+        ckt.add_capacitor(out, Circuit::GROUND, c);
+        let spec = TransientSpec::new(3.0 * tau, tau / 400.0).record(&[out]);
+        let res = ckt.transient(&spec).unwrap();
+        let v_tau = res.waveform(out).value_at(tau);
+        let expect = 1.0 - (-1.0f64).exp();
+        prop_assert!((v_tau - expect).abs() < 5e-3, "v(tau) = {v_tau}");
+    }
+
+    /// Capacitor voltage never overshoots the source in a passive RC
+    /// charge (no numerical energy creation with trapezoidal + BE start).
+    #[test]
+    fn passive_rc_never_overshoots(
+        r in 100.0..10e3f64,
+        c_ff in 10.0..500.0f64,
+        dt_frac in 0.001..0.1f64,
+    ) {
+        let c = c_ff * 1e-15;
+        let tau = r * c;
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource(vin, Circuit::GROUND, SourceWaveform::dc(1.0));
+        ckt.add_resistor(vin, out, r);
+        ckt.add_capacitor(out, Circuit::GROUND, c);
+        let spec = TransientSpec::new(5.0 * tau, tau * dt_frac).record(&[out]);
+        let res = ckt.transient(&spec).unwrap();
+        let w = res.waveform(out);
+        prop_assert!(w.max() <= 1.0 + 1e-9, "overshoot to {}", w.max());
+        prop_assert!(w.min() >= -1e-9);
+    }
+}

@@ -1,0 +1,442 @@
+//! Transistor-level cell netlisting.
+
+use rotsv_mosfet::model::VariationSource;
+use rotsv_mosfet::tech45::{self, DriveStrength};
+use rotsv_mosfet::{MosParams, Mosfet};
+use rotsv_spice::{Circuit, NodeId};
+
+/// Builds standard cells into a circuit.
+///
+/// Every transistor instantiated through the builder receives the next
+/// process-variation delta from the attached
+/// [`VariationSource`], so Monte-Carlo runs vary each
+/// transistor independently exactly as the paper's HSPICE setup does.
+pub struct CellBuilder<'a> {
+    ckt: &'a mut Circuit,
+    vdd: NodeId,
+    vary: &'a mut dyn VariationSource,
+    transistors: usize,
+}
+
+impl<'a> CellBuilder<'a> {
+    /// Creates a builder targeting `ckt` with supply net `vdd`.
+    pub fn new(ckt: &'a mut Circuit, vdd: NodeId, vary: &'a mut dyn VariationSource) -> Self {
+        Self {
+            ckt,
+            vdd,
+            vary,
+            transistors: 0,
+        }
+    }
+
+    /// Number of transistors instantiated so far.
+    pub fn transistor_count(&self) -> usize {
+        self.transistors
+    }
+
+    /// Access to the underlying circuit (e.g. to allocate nodes).
+    pub fn circuit(&mut self) -> &mut Circuit {
+        self.ckt
+    }
+
+    /// Adds one transistor with parasitic capacitances and a fresh
+    /// variation delta.
+    fn transistor(
+        &mut self,
+        name: String,
+        params: MosParams,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        b: NodeId,
+    ) {
+        let params = params.with_delta(self.vary.next_delta());
+        self.ckt.add_capacitor(g, s, params.c_gs());
+        self.ckt.add_capacitor(g, d, params.c_gd());
+        self.ckt.add_capacitor(d, b, params.c_db());
+        self.ckt.add_capacitor(s, b, params.c_db());
+        self.ckt.add_device(Box::new(Mosfet::new(name, params, d, g, s, b)));
+        self.transistors += 1;
+    }
+
+    fn nmos(&mut self, name: String, drive: DriveStrength, d: NodeId, g: NodeId, s: NodeId) {
+        self.transistor(name, tech45::nmos(drive), d, g, s, Circuit::GROUND);
+    }
+
+    fn pmos(&mut self, name: String, drive: DriveStrength, d: NodeId, g: NodeId, s: NodeId) {
+        let vdd = self.vdd;
+        self.transistor(name, tech45::pmos(drive), d, g, s, vdd);
+    }
+
+    /// First-stage drive for two-stage (buffer) cells.
+    fn half_drive(drive: DriveStrength) -> DriveStrength {
+        match drive {
+            DriveStrength::X1 | DriveStrength::X2 => DriveStrength::X1,
+            DriveStrength::X4 => DriveStrength::X2,
+        }
+    }
+
+    /// CMOS inverter: `output = !input`.
+    pub fn inverter(&mut self, name: &str, input: NodeId, output: NodeId, drive: DriveStrength) {
+        let vdd = self.vdd;
+        self.pmos(format!("{name}.mp"), drive, output, input, vdd);
+        self.nmos(format!("{name}.mn"), drive, output, input, Circuit::GROUND);
+    }
+
+    /// Two-stage non-inverting buffer.
+    pub fn buffer(&mut self, name: &str, input: NodeId, output: NodeId, drive: DriveStrength) {
+        let mid = self.ckt.node(&format!("{name}.mid"));
+        self.inverter(&format!("{name}.s1"), input, mid, Self::half_drive(drive));
+        self.inverter(&format!("{name}.s2"), mid, output, drive);
+    }
+
+    /// 2-input NAND.
+    pub fn nand2(&mut self, name: &str, a: NodeId, b: NodeId, output: NodeId) {
+        let vdd = self.vdd;
+        let mid = self.ckt.node(&format!("{name}.mid"));
+        self.pmos(format!("{name}.mpa"), DriveStrength::X1, output, a, vdd);
+        self.pmos(format!("{name}.mpb"), DriveStrength::X1, output, b, vdd);
+        self.nmos(format!("{name}.mna"), DriveStrength::X1, output, a, mid);
+        self.nmos(format!("{name}.mnb"), DriveStrength::X1, mid, b, Circuit::GROUND);
+    }
+
+    /// 2-input NOR.
+    pub fn nor2(&mut self, name: &str, a: NodeId, b: NodeId, output: NodeId) {
+        let vdd = self.vdd;
+        let mid = self.ckt.node(&format!("{name}.mid"));
+        self.pmos(format!("{name}.mpa"), DriveStrength::X1, mid, a, vdd);
+        self.pmos(format!("{name}.mpb"), DriveStrength::X1, output, b, mid);
+        self.nmos(format!("{name}.mna"), DriveStrength::X1, output, a, Circuit::GROUND);
+        self.nmos(format!("{name}.mnb"), DriveStrength::X1, output, b, Circuit::GROUND);
+    }
+
+    /// Transmission gate connecting `a` and `z`, conducting when
+    /// `ctl` = 1 (and its complement `ctl_b` = 0).
+    pub fn tgate(&mut self, name: &str, a: NodeId, z: NodeId, ctl: NodeId, ctl_b: NodeId) {
+        self.nmos(format!("{name}.mn"), DriveStrength::X1, z, ctl, a);
+        self.pmos(format!("{name}.mp"), DriveStrength::X1, z, ctl_b, a);
+    }
+
+    /// 2:1 multiplexer: `output = sel ? b : a`.
+    ///
+    /// Implemented like the Nangate MUX2_X1: a transmission-gate core
+    /// followed by a two-inverter output buffer. The buffer matters for
+    /// the ring-oscillator DfT — it keeps every bypass path an active,
+    /// regenerating stage, so even an all-bypassed loop has enough gain
+    /// stages to oscillate.
+    pub fn mux2(&mut self, name: &str, a: NodeId, b: NodeId, sel: NodeId, output: NodeId) {
+        let sel_b = self.ckt.node(&format!("{name}.selb"));
+        let core = self.ckt.node(&format!("{name}.core"));
+        self.inverter(&format!("{name}.si"), sel, sel_b, DriveStrength::X1);
+        self.tgate(&format!("{name}.ta"), a, core, sel_b, sel);
+        self.tgate(&format!("{name}.tb"), b, core, sel, sel_b);
+        self.buffer(&format!("{name}.ob"), core, output, DriveStrength::X1);
+    }
+
+    /// Pull-down width boost of the tri-state output driver.
+    ///
+    /// I/O drivers are commonly sized with a stronger pull-down network;
+    /// with symmetric strength the leakage fault's faster discharge would
+    /// cancel its slower charge in the oscillation period, where both the
+    /// paper's driver and real I/O cells show the charging penalty
+    /// dominating.
+    const TBUF_PULLDOWN_BOOST: f64 = 2.0;
+
+    /// Tri-state non-inverting buffer: drives `output = input` when
+    /// `en` = 1 (`en_b` = 0); output floats when disabled.
+    ///
+    /// The complement `en_b` is taken as an input so a single enable
+    /// inverter can be shared by many drivers — as the paper's DfT does
+    /// with the global OE signal.
+    pub fn tri_state_buffer(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        output: NodeId,
+        en: NodeId,
+        en_b: NodeId,
+        drive: DriveStrength,
+    ) {
+        let vdd = self.vdd;
+        let inb = self.ckt.node(&format!("{name}.inb"));
+        let pm = self.ckt.node(&format!("{name}.pm"));
+        let nm = self.ckt.node(&format!("{name}.nm"));
+        self.inverter(&format!("{name}.s1"), input, inb, Self::half_drive(drive));
+        // Tri-state inverting output stage on the internal complement.
+        let np = tech45::pmos(drive);
+        let nn = tech45::nmos(drive);
+        let nn = nn.with_width(nn.w * Self::TBUF_PULLDOWN_BOOST);
+        self.transistor(format!("{name}.mpi"), np, pm, inb, vdd, vdd);
+        self.transistor(format!("{name}.mpe"), np, output, en_b, pm, vdd);
+        self.transistor(
+            format!("{name}.mne"),
+            nn,
+            output,
+            en,
+            nm,
+            Circuit::GROUND,
+        );
+        self.transistor(
+            format!("{name}.mni"),
+            nn,
+            nm,
+            inb,
+            Circuit::GROUND,
+            Circuit::GROUND,
+        );
+    }
+
+    /// Receiver buffer of a bidirectional I/O cell: a non-inverting
+    /// buffer whose first stage is skewed (strong PMOS, weak NMOS) for a
+    /// switching threshold above V_DD/2.
+    ///
+    /// A high receiver threshold is what makes leakage faults visible in
+    /// the oscillation period: the leaky TSV's degraded high level
+    /// approaches the threshold slowly, so the rising-edge penalty grows
+    /// much faster than the falling-edge speed-up.
+    pub fn receiver_buffer(&mut self, name: &str, input: NodeId, output: NodeId) {
+        let vdd = self.vdd;
+        let mid = self.ckt.node(&format!("{name}.mid"));
+        let p = tech45::pmos(DriveStrength::X2);
+        let n = tech45::nmos(DriveStrength::X1);
+        let n = n.with_width(n.w * 0.7);
+        self.transistor(format!("{name}.s1.mp"), p, mid, input, vdd, vdd);
+        self.transistor(
+            format!("{name}.s1.mn"),
+            n,
+            mid,
+            input,
+            Circuit::GROUND,
+            Circuit::GROUND,
+        );
+        self.inverter(&format!("{name}.s2"), mid, output, DriveStrength::X1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsv_mosfet::model::Nominal;
+    use rotsv_spice::{DcOpSpec, SourceWaveform, TransientSpec};
+
+    const VDD: f64 = 1.1;
+
+    /// Builds a circuit with a VDD rail and the given logic inputs driven
+    /// by DC sources, runs the cell-under-test closure, and returns the DC
+    /// voltage of the output node.
+    fn dc_output(
+        inputs: &[f64],
+        build: impl FnOnce(&mut CellBuilder<'_>, &[NodeId], NodeId),
+    ) -> f64 {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.add_vsource(vdd, Circuit::GROUND, SourceWaveform::dc(VDD));
+        let in_nodes: Vec<NodeId> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let n = ckt.node(&format!("in{i}"));
+                ckt.add_vsource(n, Circuit::GROUND, SourceWaveform::dc(v));
+                n
+            })
+            .collect();
+        let out = ckt.node("out");
+        let mut vary = Nominal;
+        let mut cells = CellBuilder::new(&mut ckt, vdd, &mut vary);
+        build(&mut cells, &in_nodes, out);
+        ckt.dcop(&DcOpSpec::default()).unwrap().voltage(out)
+    }
+
+    fn is_high(v: f64) -> bool {
+        v > 0.9 * VDD
+    }
+
+    fn is_low(v: f64) -> bool {
+        v < 0.1 * VDD
+    }
+
+    #[test]
+    fn inverter_inverts() {
+        let v0 = dc_output(&[0.0], |c, i, o| c.inverter("u", i[0], o, DriveStrength::X1));
+        let v1 = dc_output(&[VDD], |c, i, o| c.inverter("u", i[0], o, DriveStrength::X1));
+        assert!(is_high(v0), "inv(0) = {v0}");
+        assert!(is_low(v1), "inv(1) = {v1}");
+    }
+
+    #[test]
+    fn buffer_is_non_inverting() {
+        for drive in [DriveStrength::X1, DriveStrength::X4] {
+            let v0 = dc_output(&[0.0], |c, i, o| c.buffer("u", i[0], o, drive));
+            let v1 = dc_output(&[VDD], |c, i, o| c.buffer("u", i[0], o, drive));
+            assert!(is_low(v0), "buf(0) = {v0}");
+            assert!(is_high(v1), "buf(1) = {v1}");
+        }
+    }
+
+    #[test]
+    fn nand2_truth_table() {
+        for (a, b, expect_high) in [
+            (0.0, 0.0, true),
+            (0.0, VDD, true),
+            (VDD, 0.0, true),
+            (VDD, VDD, false),
+        ] {
+            let v = dc_output(&[a, b], |c, i, o| c.nand2("u", i[0], i[1], o));
+            assert_eq!(is_high(v), expect_high, "nand({a},{b}) = {v}");
+            assert_eq!(is_low(v), !expect_high, "nand({a},{b}) = {v}");
+        }
+    }
+
+    #[test]
+    fn nor2_truth_table() {
+        for (a, b, expect_high) in [
+            (0.0, 0.0, true),
+            (0.0, VDD, false),
+            (VDD, 0.0, false),
+            (VDD, VDD, false),
+        ] {
+            let v = dc_output(&[a, b], |c, i, o| c.nor2("u", i[0], i[1], o));
+            assert_eq!(is_high(v), expect_high, "nor({a},{b}) = {v}");
+        }
+    }
+
+    #[test]
+    fn mux2_selects_inputs() {
+        // a = 1, b = 0: sel 0 -> a (high); sel 1 -> b (low).
+        let v_sel0 = dc_output(&[VDD, 0.0, 0.0], |c, i, o| c.mux2("u", i[0], i[1], i[2], o));
+        let v_sel1 = dc_output(&[VDD, 0.0, VDD], |c, i, o| c.mux2("u", i[0], i[1], i[2], o));
+        assert!(is_high(v_sel0), "mux sel=0 gave {v_sel0}");
+        assert!(is_low(v_sel1), "mux sel=1 gave {v_sel1}");
+    }
+
+    #[test]
+    fn tristate_drives_when_enabled() {
+        for (input, expect_high) in [(VDD, true), (0.0, false)] {
+            let v = dc_output(&[input, VDD, 0.0], |c, i, o| {
+                c.tri_state_buffer("u", i[0], o, i[1], i[2], DriveStrength::X4)
+            });
+            assert_eq!(is_high(v), expect_high, "tbuf({input}) = {v}");
+        }
+    }
+
+    #[test]
+    fn tristate_releases_when_disabled() {
+        // Disabled driver with input high; a 1 MΩ pull-down must win.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.add_vsource(vdd, Circuit::GROUND, SourceWaveform::dc(VDD));
+        let input = ckt.node("in");
+        ckt.add_vsource(input, Circuit::GROUND, SourceWaveform::dc(VDD));
+        let en = ckt.node("en");
+        let en_b = ckt.node("enb");
+        ckt.add_vsource(en, Circuit::GROUND, SourceWaveform::dc(0.0));
+        ckt.add_vsource(en_b, Circuit::GROUND, SourceWaveform::dc(VDD));
+        let out = ckt.node("out");
+        ckt.add_resistor(out, Circuit::GROUND, 1e6);
+        let mut vary = Nominal;
+        let mut cells = CellBuilder::new(&mut ckt, vdd, &mut vary);
+        cells.tri_state_buffer("u", input, out, en, en_b, DriveStrength::X4);
+        let v = ckt.dcop(&DcOpSpec::default()).unwrap().voltage(out);
+        assert!(v < 0.05, "disabled driver leaks: out = {v}");
+    }
+
+    #[test]
+    fn transistor_counts_match_library() {
+        use crate::library::CellKind;
+        let count = |build: &dyn Fn(&mut CellBuilder<'_>, NodeId, NodeId)| {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            let a = ckt.node("a");
+            let o = ckt.node("o");
+            let mut vary = Nominal;
+            let mut cells = CellBuilder::new(&mut ckt, vdd, &mut vary);
+            build(&mut cells, a, o);
+            cells.transistor_count()
+        };
+        assert_eq!(
+            count(&|c, a, o| c.inverter("u", a, o, DriveStrength::X1)),
+            CellKind::InvX1.transistor_count()
+        );
+        assert_eq!(
+            count(&|c, a, o| c.buffer("u", a, o, DriveStrength::X4)),
+            CellKind::BufX4.transistor_count()
+        );
+        assert_eq!(
+            count(&|c, a, o| c.nand2("u", a, a, o)),
+            CellKind::Nand2X1.transistor_count()
+        );
+        assert_eq!(
+            count(&|c, a, o| c.mux2("u", a, a, a, o)),
+            CellKind::Mux2X1.transistor_count()
+        );
+        assert_eq!(
+            count(&|c, a, o| c.tri_state_buffer("u", a, o, a, a, DriveStrength::X4)),
+            CellKind::TbufX4.transistor_count()
+        );
+    }
+
+    #[test]
+    fn three_stage_ring_oscillates_at_plausible_period() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.add_vsource(vdd, Circuit::GROUND, SourceWaveform::dc(VDD));
+        let n: Vec<NodeId> = (0..3).map(|i| ckt.node(&format!("s{i}"))).collect();
+        let mut vary = Nominal;
+        let mut cells = CellBuilder::new(&mut ckt, vdd, &mut vary);
+        for i in 0..3 {
+            cells.inverter(&format!("i{i}"), n[i], n[(i + 1) % 3], DriveStrength::X1);
+        }
+        let spec = TransientSpec::new(3e-9, 0.5e-12)
+            .record(&[n[0]])
+            .stop_after_rising(n[0], VDD / 2.0, 12);
+        let res = ckt.transient(&spec).unwrap();
+        let m = res
+            .waveform(n[0])
+            .period(VDD / 2.0, 3)
+            .expect("ring must oscillate");
+        // 3 stages of FO1 inverters: tens of picoseconds per period.
+        assert!(
+            m.mean > 5e-12 && m.mean < 500e-12,
+            "period {} s out of range",
+            m.mean
+        );
+        assert!(m.jitter < 0.02 * m.mean, "jitter {} too large", m.jitter);
+    }
+
+    #[test]
+    fn buffer_delay_increases_with_load() {
+        // BUF_X4 driving 59 fF (a fault-free TSV) vs no load.
+        let delay_with_cap = |cap: f64| -> f64 {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            ckt.add_vsource(vdd, Circuit::GROUND, SourceWaveform::dc(VDD));
+            let input = ckt.node("in");
+            ckt.add_vsource(input, Circuit::GROUND, SourceWaveform::step(0.0, VDD, 0.2e-9));
+            let out = ckt.node("out");
+            if cap > 0.0 {
+                ckt.add_capacitor(out, Circuit::GROUND, cap);
+            }
+            let mut vary = Nominal;
+            let mut cells = CellBuilder::new(&mut ckt, vdd, &mut vary);
+            cells.buffer("u", input, out, DriveStrength::X4);
+            let spec = TransientSpec::new(1.5e-9, 0.5e-12).record(&[input, out]);
+            let res = ckt.transient(&spec).unwrap();
+            let win = res.waveform(input);
+            let wout = res.waveform(out);
+            win.delay_to(
+                &wout,
+                0.0,
+                VDD / 2.0,
+                rotsv_spice::Edge::Rising,
+                VDD / 2.0,
+                rotsv_spice::Edge::Rising,
+            )
+            .expect("output must switch")
+        };
+        let d0 = delay_with_cap(0.0);
+        let d59 = delay_with_cap(59e-15);
+        assert!(d59 > d0 + 10e-12, "d0 = {d0}, d59 = {d59}");
+        // Loaded delay should be on the order of tens of ps, not ns.
+        assert!(d59 < 500e-12, "d59 = {d59}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Cell metadata: kinds and areas.
+
+use rotsv_num::units::SquareMicrons;
+use std::fmt;
+
+/// The standard cells this library provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Inverter, unit drive.
+    InvX1,
+    /// Non-inverting buffer, unit drive.
+    BufX1,
+    /// Non-inverting buffer, 4× drive (the paper's TSV driver strength).
+    BufX4,
+    /// 2-input NAND, unit drive.
+    Nand2X1,
+    /// 2-input NOR, unit drive.
+    Nor2X1,
+    /// 2:1 transmission-gate multiplexer, unit drive.
+    Mux2X1,
+    /// Tri-state non-inverting buffer, 4× drive.
+    TbufX4,
+    /// D flip-flop with asynchronous reset (used by the measurement
+    /// counter's gate-level area estimate).
+    DffX1,
+}
+
+impl CellKind {
+    /// All cell kinds, for iteration in tests and reports.
+    pub const ALL: [CellKind; 8] = [
+        CellKind::InvX1,
+        CellKind::BufX1,
+        CellKind::BufX4,
+        CellKind::Nand2X1,
+        CellKind::Nor2X1,
+        CellKind::Mux2X1,
+        CellKind::TbufX4,
+        CellKind::DffX1,
+    ];
+
+    /// Library cell name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellKind::InvX1 => "INV_X1",
+            CellKind::BufX1 => "BUF_X1",
+            CellKind::BufX4 => "BUF_X4",
+            CellKind::Nand2X1 => "NAND2_X1",
+            CellKind::Nor2X1 => "NOR2_X1",
+            CellKind::Mux2X1 => "MUX2_X1",
+            CellKind::TbufX4 => "TBUF_X4",
+            CellKind::DffX1 => "DFF_X1",
+        }
+    }
+
+    /// Number of transistors in this library's implementation.
+    pub fn transistor_count(self) -> usize {
+        match self {
+            CellKind::InvX1 => 2,
+            CellKind::BufX1 | CellKind::BufX4 => 4,
+            CellKind::Nand2X1 | CellKind::Nor2X1 => 4,
+            CellKind::Mux2X1 => 10,
+            CellKind::TbufX4 => 6,
+            CellKind::DffX1 => 24,
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Standard-cell area.
+///
+/// The MUX2 (3.75 µm²) and INV (1.41 µm²) values are the ones the paper
+/// quotes from the Nangate 45 nm library for its Section IV-D area
+/// analysis; the rest are representative values for the same library.
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_stdcell::library::{cell_area, CellKind};
+///
+/// assert_eq!(cell_area(CellKind::Mux2X1).value(), 3.75);
+/// assert_eq!(cell_area(CellKind::InvX1).value(), 1.41);
+/// ```
+pub fn cell_area(kind: CellKind) -> SquareMicrons {
+    SquareMicrons(match kind {
+        CellKind::InvX1 => 1.41,
+        CellKind::BufX1 => 1.86,
+        CellKind::BufX4 => 2.93,
+        CellKind::Nand2X1 => 1.86,
+        CellKind::Nor2X1 => 1.86,
+        CellKind::Mux2X1 => 3.75,
+        CellKind::TbufX4 => 4.79,
+        CellKind::DffX1 => 4.52,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quoted_areas_are_exact() {
+        assert_eq!(cell_area(CellKind::Mux2X1).value(), 3.75);
+        assert_eq!(cell_area(CellKind::InvX1).value(), 1.41);
+    }
+
+    #[test]
+    fn all_cells_have_positive_area_and_transistors() {
+        for kind in CellKind::ALL {
+            assert!(cell_area(kind).value() > 0.0, "{kind}");
+            assert!(kind.transistor_count() >= 2, "{kind}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = CellKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CellKind::ALL.len());
+    }
+}

@@ -1,0 +1,462 @@
+#![warn(missing_docs)]
+
+//! Electrical through-silicon-via (TSV) models and fault injection.
+//!
+//! Implements the TSV models of Section III-A of the paper (Fig. 2):
+//!
+//! * **fault-free** — the TSV is a lumped capacitor to the substrate
+//!   (the series resistance of 0.1 Ω is negligible against the driver's
+//!   ~1 kΩ output resistance; [`Tsv::stamp`] with
+//!   [`TsvModel::Distributed`] lets you verify this, reproducing the
+//!   paper's lumped-vs-RC-segments validation),
+//! * **micro-void** → [`TsvFault::ResistiveOpen`] — an open of `R_O` ohms
+//!   at normalized depth `x` splits the capacitance into `x·C` before the
+//!   defect and `(1−x)·C` behind it,
+//! * **pinhole** → [`TsvFault::Leakage`] — a conduction path of `R_L` ohms
+//!   from the TSV to the substrate in parallel with the capacitance.
+//!
+//! # Examples
+//!
+//! ```
+//! use rotsv_num::units::Ohms;
+//! use rotsv_spice::Circuit;
+//! use rotsv_tsv::{Tsv, TsvFault, TsvModel, TsvTech};
+//!
+//! let mut ckt = Circuit::new();
+//! let front = ckt.node("tsv_front");
+//! let tsv = Tsv::new(
+//!     TsvTech::default(),
+//!     TsvFault::ResistiveOpen { x: 0.5, r: Ohms(3000.0) },
+//! );
+//! let stamped = tsv.stamp(&mut ckt, front, TsvModel::Lumped);
+//! assert_ne!(stamped.back, front, "the open creates a detached back node");
+//! ```
+
+use rotsv_num::units::{Farads, Ohms};
+use rotsv_spice::{Circuit, NodeId};
+
+/// TSV technology parameters.
+///
+/// Defaults are the values the paper cites from the literature:
+/// R = 0.1 Ω and C = 59 fF for a 10 µm × 60 µm TSV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsvTech {
+    /// Total body resistance of the via.
+    pub r_total: Ohms,
+    /// Total capacitance between via and substrate.
+    pub c_total: Farads,
+}
+
+impl Default for TsvTech {
+    fn default() -> Self {
+        Self {
+            r_total: Ohms(0.1),
+            c_total: Farads::from_femto(59.0),
+        }
+    }
+}
+
+/// A TSV defect, per the paper's fault models.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum TsvFault {
+    /// No defect.
+    #[default]
+    None,
+    /// A micro-void at normalized depth `x` (0 = front/driver side,
+    /// 1 = back side) adding `r` ohms of series resistance.
+    ///
+    /// `r` ranges from a few ohms (small void) to effectively infinite
+    /// (full open).
+    ResistiveOpen {
+        /// Normalized defect location along the via, in `[0, 1]`.
+        x: f64,
+        /// Open resistance.
+        r: Ohms,
+    },
+    /// A pinhole creating a conduction path of `r` ohms from the via to
+    /// the (grounded) substrate.
+    Leakage {
+        /// Leakage resistance.
+        r: Ohms,
+    },
+}
+
+impl TsvFault {
+    /// Returns `true` for [`TsvFault::None`].
+    pub fn is_fault_free(&self) -> bool {
+        matches!(self, TsvFault::None)
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside `[0, 1]` or a resistance is not positive.
+    fn validate(&self) {
+        match *self {
+            TsvFault::None => {}
+            TsvFault::ResistiveOpen { x, r } => {
+                assert!((0.0..=1.0).contains(&x), "open location x={x} outside [0,1]");
+                assert!(r.value() > 0.0, "open resistance must be positive");
+            }
+            TsvFault::Leakage { r } => {
+                assert!(r.value() > 0.0, "leakage resistance must be positive");
+            }
+        }
+    }
+}
+
+/// Electrical discretization used when stamping a TSV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TsvModel {
+    /// The paper's simplified model: capacitances lumped, body resistance
+    /// neglected.
+    Lumped,
+    /// An `n`-segment RC ladder (used to validate the lumped model, as the
+    /// paper does with "multiple RC segments").
+    Distributed(usize),
+}
+
+/// Nodes of a stamped TSV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TsvStamped {
+    /// The front-side node (connected to the on-die driver/receiver).
+    pub front: NodeId,
+    /// The back-side node (exposed after thinning; equals `front` for a
+    /// lumped fault-free via).
+    pub back: NodeId,
+}
+
+/// A TSV instance: technology plus an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tsv {
+    tech: TsvTech,
+    fault: TsvFault,
+}
+
+impl Tsv {
+    /// Creates a TSV with the given technology and fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault parameters are out of range (see
+    /// [`TsvFault`]).
+    pub fn new(tech: TsvTech, fault: TsvFault) -> Self {
+        fault.validate();
+        Self { tech, fault }
+    }
+
+    /// A fault-free TSV.
+    pub fn fault_free(tech: TsvTech) -> Self {
+        Self::new(tech, TsvFault::None)
+    }
+
+    /// The injected fault.
+    pub fn fault(&self) -> TsvFault {
+        self.fault
+    }
+
+    /// Technology parameters.
+    pub fn tech(&self) -> TsvTech {
+        self.tech
+    }
+
+    /// Stamps this TSV into `ckt` with its front side at `front`.
+    ///
+    /// The substrate is the circuit's ground. Returns the front and back
+    /// nodes actually created.
+    pub fn stamp(&self, ckt: &mut Circuit, front: NodeId, model: TsvModel) -> TsvStamped {
+        match model {
+            TsvModel::Lumped => self.stamp_lumped(ckt, front),
+            TsvModel::Distributed(n) => {
+                assert!(n >= 1, "distributed model needs at least one segment");
+                self.stamp_distributed(ckt, front, n)
+            }
+        }
+    }
+
+    fn stamp_lumped(&self, ckt: &mut Circuit, front: NodeId) -> TsvStamped {
+        let c = self.tech.c_total.value();
+        match self.fault {
+            TsvFault::None => {
+                ckt.add_capacitor(front, Circuit::GROUND, c);
+                TsvStamped { front, back: front }
+            }
+            TsvFault::ResistiveOpen { x, r } => {
+                let back = ckt.node("tsv.back");
+                // Fig. 2(b): top segment keeps x·C at the front; the open
+                // R_O leads to the detached bottom (1−x)·C.
+                if x > 0.0 {
+                    ckt.add_capacitor(front, Circuit::GROUND, x * c);
+                }
+                ckt.add_resistor(front, back, r.value());
+                if x < 1.0 {
+                    ckt.add_capacitor(back, Circuit::GROUND, (1.0 - x) * c);
+                }
+                TsvStamped { front, back }
+            }
+            TsvFault::Leakage { r } => {
+                // Fig. 2(c): R_L in parallel with the full capacitance.
+                ckt.add_capacitor(front, Circuit::GROUND, c);
+                ckt.add_resistor(front, Circuit::GROUND, r.value());
+                TsvStamped { front, back: front }
+            }
+        }
+    }
+
+    fn stamp_distributed(&self, ckt: &mut Circuit, front: NodeId, n: usize) -> TsvStamped {
+        let r_seg = self.tech.r_total.value() / n as f64;
+        let c_seg = self.tech.c_total.value() / n as f64;
+        // Index of the segment boundary where an open is inserted.
+        let open_at = match self.fault {
+            TsvFault::ResistiveOpen { x, .. } => Some(((x * n as f64).round() as usize).min(n)),
+            _ => None,
+        };
+        let mut prev = front;
+        for k in 0..n {
+            if open_at == Some(k) {
+                if let TsvFault::ResistiveOpen { r, .. } = self.fault {
+                    let node = ckt.node(&format!("tsv.open{k}"));
+                    ckt.add_resistor(prev, node, r.value());
+                    prev = node;
+                }
+            }
+            let node = ckt.node(&format!("tsv.seg{k}"));
+            ckt.add_resistor(prev, node, r_seg);
+            ckt.add_capacitor(node, Circuit::GROUND, c_seg);
+            prev = node;
+        }
+        if open_at == Some(n) {
+            if let TsvFault::ResistiveOpen { r, .. } = self.fault {
+                let node = ckt.node("tsv.openN");
+                ckt.add_resistor(prev, node, r.value());
+                prev = node;
+            }
+        }
+        if let TsvFault::Leakage { r } = self.fault {
+            // A pinhole near the front side, consistent with the lumped
+            // model that places R_L directly on the TSV net.
+            ckt.add_resistor(front, Circuit::GROUND, r.value());
+        }
+        TsvStamped { front, back: prev }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsv_spice::{SourceWaveform, TransientSpec};
+
+    fn total_capacitance(tsv: &Tsv, model: TsvModel) -> f64 {
+        // Stamp into a scratch circuit and integrate: drive with a large
+        // resistor and measure the final charge indirectly is overkill —
+        // instead rebuild and sum the element values through a charge
+        // balance: charge the front node through R and compare the time
+        // constant. For a structural check we instead count capacitor
+        // elements by building the circuit and verifying the charging
+        // behaviour elsewhere; here we rely on the stamped element values.
+        let mut ckt = Circuit::new();
+        let front = ckt.node("front");
+        tsv.stamp(&mut ckt, front, model);
+        // The circuit exposes no element iterator publicly; verify via the
+        // node count instead (structure) and leave the electrical check to
+        // the charging tests below.
+        ckt.node_count() as f64
+    }
+
+    #[test]
+    fn fault_free_lumped_is_single_node() {
+        let tsv = Tsv::fault_free(TsvTech::default());
+        let mut ckt = Circuit::new();
+        let front = ckt.node("front");
+        let s = tsv.stamp(&mut ckt, front, TsvModel::Lumped);
+        assert_eq!(s.front, s.back);
+        assert_eq!(ckt.node_count(), 2); // ground + front
+    }
+
+    #[test]
+    fn open_creates_back_node() {
+        let tsv = Tsv::new(
+            TsvTech::default(),
+            TsvFault::ResistiveOpen {
+                x: 0.5,
+                r: Ohms(3000.0),
+            },
+        );
+        let mut ckt = Circuit::new();
+        let front = ckt.node("front");
+        let s = tsv.stamp(&mut ckt, front, TsvModel::Lumped);
+        assert_ne!(s.front, s.back);
+    }
+
+    #[test]
+    fn distributed_node_count_scales() {
+        let tsv = Tsv::fault_free(TsvTech::default());
+        let n1 = total_capacitance(&tsv, TsvModel::Distributed(5));
+        let n2 = total_capacitance(&tsv, TsvModel::Distributed(10));
+        assert_eq!(n2 - n1, 5.0);
+    }
+
+    /// The paper's validation: charging a fault-free TSV through a driver
+    /// resistance shows "no measurable difference" between the lumped
+    /// capacitor and the multi-segment RC ladder.
+    #[test]
+    fn lumped_matches_distributed_charge_curve() {
+        let charge_time = |model: TsvModel| -> f64 {
+            let tsv = Tsv::fault_free(TsvTech::default());
+            let mut ckt = Circuit::new();
+            let vin = ckt.node("in");
+            let front = ckt.node("front");
+            ckt.add_vsource(vin, Circuit::GROUND, SourceWaveform::step(0.0, 1.1, 0.0));
+            // 1 kΩ stands in for the X4 driver's output resistance.
+            ckt.add_resistor(vin, front, 1e3);
+            tsv.stamp(&mut ckt, front, model);
+            let spec = TransientSpec::new(1e-9, 0.2e-12).record(&[front]);
+            let res = ckt.transient(&spec).unwrap();
+            res.waveform(front)
+                .first_crossing_after(0.0, 0.55, rotsv_spice::Edge::Rising)
+                .expect("charges past VDD/2")
+        };
+        let t_lumped = charge_time(TsvModel::Lumped);
+        let t_dist = charge_time(TsvModel::Distributed(10));
+        // Difference far below a picosecond: the lumped model is justified.
+        assert!(
+            (t_lumped - t_dist).abs() < 0.5e-12,
+            "lumped {t_lumped} vs distributed {t_dist}"
+        );
+    }
+
+    /// An open at the far end (x = 1) leaves the full capacitance visible:
+    /// identical charge curve to fault-free. An open at the front (x = 0)
+    /// hides (almost) all of it: much faster charging.
+    #[test]
+    fn open_location_controls_visible_capacitance() {
+        let charge_time = |fault: TsvFault| -> f64 {
+            let tsv = Tsv::new(TsvTech::default(), fault);
+            let mut ckt = Circuit::new();
+            let vin = ckt.node("in");
+            let front = ckt.node("front");
+            ckt.add_vsource(vin, Circuit::GROUND, SourceWaveform::step(0.0, 1.1, 0.0));
+            ckt.add_resistor(vin, front, 1e3);
+            tsv.stamp(&mut ckt, front, TsvModel::Lumped);
+            let spec = TransientSpec::new(1e-9, 0.2e-12).record(&[front]);
+            let res = ckt.transient(&spec).unwrap();
+            res.waveform(front)
+                .first_crossing_after(0.0, 0.55, rotsv_spice::Edge::Rising)
+                .expect("charges past VDD/2")
+        };
+        let t_ff = charge_time(TsvFault::None);
+        let t_back = charge_time(TsvFault::ResistiveOpen {
+            x: 1.0,
+            r: Ohms(1e9),
+        });
+        let t_front = charge_time(TsvFault::ResistiveOpen {
+            x: 0.0,
+            r: Ohms(1e9),
+        });
+        let t_mid = charge_time(TsvFault::ResistiveOpen {
+            x: 0.5,
+            r: Ohms(1e9),
+        });
+        assert!((t_ff - t_back).abs() < 1e-15 * 1e3 + 1e-13, "x=1 invisible");
+        assert!(t_front < 0.2 * t_ff, "x=0 hides the load");
+        assert!(t_front < t_mid && t_mid < t_back, "monotone in x");
+    }
+
+    /// Leakage pulls the final value below the rail; strong leakage keeps
+    /// it below the receiver threshold entirely (stuck-at-0 behaviour).
+    #[test]
+    fn leakage_divides_final_voltage() {
+        let final_v = |r_l: f64| -> f64 {
+            let tsv = Tsv::new(TsvTech::default(), TsvFault::Leakage { r: Ohms(r_l) });
+            let mut ckt = Circuit::new();
+            let vin = ckt.node("in");
+            let front = ckt.node("front");
+            ckt.add_vsource(vin, Circuit::GROUND, SourceWaveform::dc(1.1));
+            ckt.add_resistor(vin, front, 1e3);
+            tsv.stamp(&mut ckt, front, TsvModel::Lumped);
+            let spec = TransientSpec::new(2e-9, 0.5e-12).record(&[front]);
+            ckt.transient(&spec).unwrap().final_voltage(front)
+        };
+        let v_weak = final_v(100e3); // barely affected
+        let v_3k = final_v(3e3); // divider 3/(3+1)
+        let v_1k = final_v(1e3); // divider 1/2
+        assert!((v_weak - 1.1).abs() < 0.02, "v_weak = {v_weak}");
+        assert!((v_3k - 1.1 * 0.75).abs() < 0.02, "v_3k = {v_3k}");
+        assert!((v_1k - 0.55).abs() < 0.02, "v_1k = {v_1k}");
+    }
+
+    #[test]
+    fn distributed_open_inserts_extra_resistance() {
+        let tsv = Tsv::new(
+            TsvTech::default(),
+            TsvFault::ResistiveOpen {
+                x: 0.5,
+                r: Ohms(1e6),
+            },
+        );
+        let mut ckt = Circuit::new();
+        let front = ckt.node("front");
+        let s = tsv.stamp(&mut ckt, front, TsvModel::Distributed(4));
+        // 4 segments + 1 open node + ground + front
+        assert_eq!(ckt.node_count(), 7);
+        assert_ne!(s.back, front);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn invalid_open_location_rejected() {
+        let _ = Tsv::new(
+            TsvTech::default(),
+            TsvFault::ResistiveOpen {
+                x: 1.5,
+                r: Ohms(1e3),
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn invalid_leakage_resistance_rejected() {
+        let _ = Tsv::new(TsvTech::default(), TsvFault::Leakage { r: Ohms(0.0) });
+    }
+
+    #[test]
+    fn default_tech_matches_paper() {
+        let t = TsvTech::default();
+        assert_eq!(t.r_total.value(), 0.1);
+        assert_eq!(t.c_total.as_femto(), 59.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Stamping never panics for in-range fault parameters and always
+        /// yields a well-formed circuit.
+        #[test]
+        fn stamping_is_total(
+            x in 0.0..=1.0f64,
+            r in 1.0..1e7f64,
+            segs in 1usize..16,
+            kind in 0..3usize,
+        ) {
+            let fault = match kind {
+                0 => TsvFault::None,
+                1 => TsvFault::ResistiveOpen { x, r: Ohms(r) },
+                _ => TsvFault::Leakage { r: Ohms(r) },
+            };
+            let tsv = Tsv::new(TsvTech::default(), fault);
+            for model in [TsvModel::Lumped, TsvModel::Distributed(segs)] {
+                let mut ckt = Circuit::new();
+                let front = ckt.node("front");
+                let s = tsv.stamp(&mut ckt, front, model);
+                prop_assert!(s.front == front);
+                prop_assert!(s.back.index() < ckt.node_count());
+            }
+        }
+    }
+}

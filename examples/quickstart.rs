@@ -1,0 +1,60 @@
+//! Quickstart: measure ΔT for a healthy and a defective TSV.
+//!
+//! Builds the paper's ring-oscillator DfT around two TSVs, runs the
+//! two-run ΔT procedure on three dies — clean, with a resistive open,
+//! and with a leakage fault — and classifies the results.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rotsv::num::units::Ohms;
+use rotsv::tsv::TsvFault;
+use rotsv::{DetectionThresholds, Die, TestBench};
+
+fn main() -> Result<(), rotsv::spice::SpiceError> {
+    let bench = TestBench::fast(2);
+    let die = Die::nominal();
+    let vdd = 1.1;
+
+    println!("pre-bond TSV test quickstart (V_DD = {vdd} V, N = {})\n", bench.n_segments);
+
+    // 1. Fault-free reference: ΔT is the healthy I/O-segment delay.
+    let clean = bench.measure_delta_t(vdd, &[TsvFault::None; 2], &[0], &die)?;
+    let dt_clean = clean.delta().expect("healthy ring oscillates");
+    println!("fault-free      ΔT = {:8.1} ps", dt_clean * 1e12);
+
+    // 2. Set an acceptance band around the healthy value (a real flow
+    //    calibrates this from a Monte-Carlo population — see the
+    //    wafer_screening example).
+    let band = DetectionThresholds {
+        lower: dt_clean - 15e-12,
+        upper: dt_clean + 15e-12,
+    };
+
+    // 3. Screen defective TSVs.
+    let cases = [
+        (
+            "3 kΩ open (x=0.5)",
+            TsvFault::ResistiveOpen {
+                x: 0.5,
+                r: Ohms(3e3),
+            },
+        ),
+        ("3 kΩ leakage", TsvFault::Leakage { r: Ohms(3e3) }),
+        ("500 Ω leakage", TsvFault::Leakage { r: Ohms(500.0) }),
+    ];
+    for (label, fault) in cases {
+        let m = bench.measure_delta_t(vdd, &[fault, TsvFault::None], &[0], &die)?;
+        let verdict = band.classify(&m);
+        match m.delta() {
+            Some(dt) => println!(
+                "{label:16} ΔT = {:8.1} ps  -> {verdict:?}",
+                dt * 1e12
+            ),
+            None => println!("{label:16} ΔT =    STUCK  -> {verdict:?}"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,128 @@
+//! Wafer screening: the full production flow on a simulated wafer.
+//!
+//! 1. Calibrate a multi-voltage test plan from fault-free Monte-Carlo
+//!    dies (this sets the per-voltage ΔT acceptance bands).
+//! 2. "Fabricate" a wafer of dies with random process variation; inject
+//!    defects into a known subset of TSVs.
+//! 3. Screen every die and compare verdicts against the injected truth:
+//!    test escapes, overkill, and fault-type classification accuracy.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example wafer_screening
+//! ```
+
+use rotsv::num::parallel::parallel_map;
+use rotsv::num::rng::GaussianRng;
+use rotsv::num::units::Ohms;
+use rotsv::tsv::TsvFault;
+use rotsv::variation::ProcessSpread;
+use rotsv::{Die, MultiVoltagePlan, TestBench, Verdict};
+
+/// Ground truth for one die on the wafer.
+#[derive(Debug, Clone, Copy)]
+struct WaferDie {
+    die: Die,
+    fault: TsvFault,
+}
+
+fn inject_faults(n_dies: usize, seed: u64) -> Vec<WaferDie> {
+    let mut rng = GaussianRng::seed_from(seed);
+    (0..n_dies)
+        .map(|i| {
+            let die = Die::new(ProcessSpread::paper(), seed.wrapping_add(1000 + i as u64));
+            // ~2/3 healthy; defect sizes drawn over the detectable ranges.
+            let roll = rng.uniform(0.0, 1.0);
+            let fault = if roll < 0.66 {
+                TsvFault::None
+            } else if roll < 0.83 {
+                TsvFault::ResistiveOpen {
+                    x: rng.uniform(0.3, 0.9),
+                    r: Ohms(rng.uniform(2e3, 50e3)),
+                }
+            } else {
+                TsvFault::Leakage {
+                    r: Ohms(rng.uniform(0.4e3, 4e3)),
+                }
+            };
+            WaferDie { die, fault }
+        })
+        .collect()
+}
+
+fn main() -> Result<(), rotsv::spice::SpiceError> {
+    let bench = TestBench::fast(2);
+    let voltages = [1.1, 0.9];
+    println!("calibrating acceptance bands at {voltages:?} V …");
+    let plan = MultiVoltagePlan::calibrate(
+        bench,
+        &voltages,
+        ProcessSpread::paper(),
+        7,
+        8,
+        25e-12, // guard band, seconds
+    )?;
+    for p in plan.points() {
+        println!(
+            "  {:.2} V: pass band [{:.1}, {:.1}] ps",
+            p.vdd,
+            p.thresholds.lower * 1e12,
+            p.thresholds.upper * 1e12
+        );
+    }
+
+    let wafer = inject_faults(16, 2024);
+    println!("\nscreening {} dies …", wafer.len());
+    let results: Vec<Result<Verdict, rotsv::spice::SpiceError>> =
+        parallel_map(wafer.len(), |i| {
+            let w = &wafer[i];
+            let faults = [w.fault, TsvFault::None];
+            Ok(plan.screen(&faults, 0, &w.die)?.verdict)
+        });
+
+    let mut escapes = 0usize;
+    let mut overkill = 0usize;
+    let mut misclassified = 0usize;
+    println!("\n{:<4} {:<34} {:<18} outcome", "die", "injected fault", "verdict");
+    for (i, (w, verdict)) in wafer.iter().zip(&results).enumerate() {
+        let verdict = verdict.as_ref().expect("simulation succeeded").to_owned();
+        let expected_fault = !w.fault.is_fault_free();
+        let flagged = verdict.is_fault();
+        let outcome = match (expected_fault, flagged) {
+            (false, false) => "ok (pass)",
+            (true, true) => {
+                let class_ok = matches!(
+                    (w.fault, verdict),
+                    (TsvFault::ResistiveOpen { .. }, Verdict::ResistiveOpen)
+                        | (
+                            TsvFault::Leakage { .. },
+                            Verdict::Leakage | Verdict::StuckAt0
+                        )
+                );
+                if class_ok {
+                    "ok (detected + classified)"
+                } else {
+                    misclassified += 1;
+                    "detected, class differs"
+                }
+            }
+            (true, false) => {
+                escapes += 1;
+                "TEST ESCAPE"
+            }
+            (false, true) => {
+                overkill += 1;
+                "overkill"
+            }
+        };
+        println!("{i:<4} {:<34} {:<18} {outcome}", format!("{:?}", w.fault), format!("{verdict:?}"));
+    }
+    let faulty = wafer.iter().filter(|w| !w.fault.is_fault_free()).count();
+    println!(
+        "\nsummary: {} dies, {} defective — escapes: {escapes}, overkill: {overkill}, \
+         detected-but-misclassified: {misclassified}",
+        wafer.len(),
+        faulty
+    );
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! Cross-crate consistency checks: the same physical facts must agree
+//! whether computed through the high-level API or the underlying crates.
+
+use rotsv::dft::DftAreaModel;
+use rotsv::mosfet::model::Nominal;
+use rotsv::num::units::Ohms;
+use rotsv::ro::{MeasureOpts, RingOscillator, RoConfig};
+use rotsv::stdcell::{cell_area, CellKind};
+use rotsv::tsv::{TsvFault, TsvModel};
+use rotsv::{Die, TestBench};
+
+/// The area model's default cell areas are the standard-cell library's.
+#[test]
+fn area_model_matches_cell_library() {
+    let model = DftAreaModel::default();
+    assert_eq!(model.mux_area.value(), cell_area(CellKind::Mux2X1).value());
+    assert_eq!(model.inv_area.value(), cell_area(CellKind::InvX1).value());
+}
+
+/// TestBench::measure_delta_t is exactly the two RingOscillator runs.
+#[test]
+fn bench_delta_matches_manual_two_run_procedure() {
+    let bench = TestBench::fast(2);
+    let die = Die::nominal();
+    let faults = [
+        TsvFault::ResistiveOpen {
+            x: 0.5,
+            r: Ohms(2e3),
+        },
+        TsvFault::None,
+    ];
+    let m = bench.measure_delta_t(1.1, &faults, &[0], &die).unwrap();
+
+    let opts = bench.opts_for(1.1);
+    let config = RoConfig {
+        n_segments: 2,
+        vdd: 1.1,
+        tech: bench.tech,
+        tsv_model: bench.tsv_model,
+        faults: faults.to_vec(),
+        enabled: vec![false, false],
+    };
+    let t1 = RingOscillator::build(&config.clone().enable_only(&[0]), &mut die.variation())
+        .measure(&opts)
+        .unwrap();
+    let t2 = RingOscillator::build(&config, &mut die.variation())
+        .measure(&opts)
+        .unwrap();
+    assert_eq!(m.t1, t1);
+    assert_eq!(m.t2, t2);
+}
+
+/// The lumped and distributed TSV models agree inside the full ring, not
+/// just on a bare charge curve (the paper's §III-A claim, end to end).
+#[test]
+fn ring_period_agrees_between_tsv_models() {
+    let period_with = |model: TsvModel| -> f64 {
+        let config = RoConfig {
+            tsv_model: model,
+            ..RoConfig::new(2, 1.1).enable_only(&[0])
+        };
+        RingOscillator::build(&config, &mut Nominal)
+            .measure(&MeasureOpts::fast())
+            .unwrap()
+            .period()
+            .expect("oscillates")
+    };
+    let lumped = period_with(TsvModel::Lumped);
+    let distributed = period_with(TsvModel::Distributed(10));
+    assert!(
+        (lumped - distributed).abs() < 1e-12,
+        "lumped {lumped} vs distributed {distributed}"
+    );
+}
+
+/// Identical dies are electrically identical across independent builds:
+/// the foundation of the two-run subtraction.
+#[test]
+fn die_identity_survives_rebuilds() {
+    let bench = TestBench::fast(2);
+    let die = Die::new(rotsv::variation::ProcessSpread::paper(), 77);
+    let faults = [TsvFault::None, TsvFault::None];
+    let a = bench.measure_delta_t(1.1, &faults, &[0], &die).unwrap();
+    let b = bench.measure_delta_t(1.1, &faults, &[0], &die).unwrap();
+    assert_eq!(a, b);
+    // A different die really is different.
+    let other = Die::new(rotsv::variation::ProcessSpread::paper(), 78);
+    let c = bench.measure_delta_t(1.1, &faults, &[0], &other).unwrap();
+    assert_ne!(a.delta(), c.delta());
+}
+
+/// ΔT of the same die is (approximately) additive: enabling two healthy
+/// TSVs costs about twice the delay of one. Uses the nominal die so the
+/// comparison is exact up to simulation noise.
+#[test]
+fn delta_t_is_roughly_additive_in_enabled_segments() {
+    let bench = TestBench::fast(2);
+    let die = Die::nominal();
+    let faults = [TsvFault::None, TsvFault::None];
+    let one = bench
+        .measure_delta_t(1.1, &faults, &[0], &die)
+        .unwrap()
+        .delta()
+        .unwrap();
+    let two = bench
+        .measure_delta_t(1.1, &faults, &[0, 1], &die)
+        .unwrap()
+        .delta()
+        .unwrap();
+    let ratio = two / one;
+    assert!(
+        (1.7..2.3).contains(&ratio),
+        "two segments should cost ≈2x one: ratio {ratio}"
+    );
+}

@@ -1,0 +1,114 @@
+//! End-to-end integration: calibrate a multi-voltage plan, screen dies
+//! with injected defects, and verify detection and classification —
+//! the complete flow the paper proposes, exercised across every crate
+//! in the workspace (simulator → cells → TSVs → ring → ΔT → verdicts).
+
+use rotsv::num::units::Ohms;
+use rotsv::tsv::TsvFault;
+use rotsv::variation::ProcessSpread;
+use rotsv::{Die, MultiVoltagePlan, TestBench, Verdict};
+
+fn plan() -> MultiVoltagePlan {
+    MultiVoltagePlan::calibrate(
+        TestBench::fast(2),
+        &[1.1, 0.9],
+        ProcessSpread::paper(),
+        31,
+        8,
+        25e-12,
+    )
+    .expect("calibration succeeds")
+}
+
+#[test]
+fn clean_dies_pass_at_all_voltages() {
+    let plan = plan();
+    for seed in [100, 101, 102] {
+        let die = Die::new(ProcessSpread::paper(), seed);
+        let r = plan.screen(&[TsvFault::None, TsvFault::None], 0, &die).unwrap();
+        assert_eq!(r.verdict, Verdict::Pass, "die {seed}: {r:?}");
+        assert_eq!(r.per_voltage.len(), 2);
+    }
+}
+
+#[test]
+fn strong_open_is_detected_and_classified() {
+    let plan = plan();
+    let die = Die::new(ProcessSpread::paper(), 200);
+    let faults = [
+        TsvFault::ResistiveOpen {
+            x: 0.3,
+            r: Ohms(20e3),
+        },
+        TsvFault::None,
+    ];
+    let r = plan.screen(&faults, 0, &die).unwrap();
+    assert_eq!(r.verdict, Verdict::ResistiveOpen, "{r:?}");
+}
+
+#[test]
+fn leakage_is_detected_and_classified() {
+    let plan = plan();
+    let die = Die::new(ProcessSpread::paper(), 300);
+    let faults = [TsvFault::Leakage { r: Ohms(2.5e3) }, TsvFault::None];
+    let r = plan.screen(&faults, 0, &die).unwrap();
+    assert!(
+        matches!(r.verdict, Verdict::Leakage | Verdict::StuckAt0),
+        "{r:?}"
+    );
+}
+
+#[test]
+fn dead_short_reports_stuck() {
+    let plan = plan();
+    let die = Die::new(ProcessSpread::paper(), 400);
+    let faults = [TsvFault::Leakage { r: Ohms(200.0) }, TsvFault::None];
+    let r = plan.screen(&faults, 0, &die).unwrap();
+    assert_eq!(r.verdict, Verdict::StuckAt0, "{r:?}");
+}
+
+#[test]
+fn fault_on_non_tested_segment_is_invisible() {
+    // The bypass isolation: a defect in segment 1 must not fail segment 0.
+    let plan = plan();
+    let die = Die::new(ProcessSpread::paper(), 500);
+    let faults = [TsvFault::None, TsvFault::Leakage { r: Ohms(2e3) }];
+    let r = plan.screen(&faults, 0, &die).unwrap();
+    assert_eq!(r.verdict, Verdict::Pass, "{r:?}");
+    // …and screening segment 1 itself does catch it.
+    let r1 = plan.screen(&faults, 1, &die).unwrap();
+    assert!(r1.verdict.is_fault(), "{r1:?}");
+}
+
+/// The multi-voltage value proposition: a leak sized to sit just above
+/// the low-voltage stop threshold is blatant at 0.9 V (huge ΔT or stuck)
+/// even when the nominal-voltage measurement alone would look mild.
+#[test]
+fn low_voltage_amplifies_weak_leakage() {
+    let bench = TestBench::fast(2);
+    let die = Die::nominal();
+    let faults = [TsvFault::Leakage { r: Ohms(4e3) }, TsvFault::None];
+    let ff = [TsvFault::None, TsvFault::None];
+
+    let shift_at = |vdd: f64| -> f64 {
+        let dt_ff = bench
+            .measure_delta_t(vdd, &ff, &[0], &die)
+            .unwrap()
+            .delta()
+            .unwrap();
+        match bench
+            .measure_delta_t(vdd, &faults, &[0], &die)
+            .unwrap()
+            .delta()
+        {
+            Some(dt) => dt - dt_ff,
+            None => f64::INFINITY, // stuck: unmissable
+        }
+    };
+    let shift_nominal = shift_at(1.1);
+    let shift_low = shift_at(0.85);
+    assert!(
+        shift_low > 2.0 * shift_nominal,
+        "low-voltage shift {shift_low} should dwarf nominal {shift_nominal}"
+    );
+}
