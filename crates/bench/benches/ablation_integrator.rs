@@ -6,10 +6,10 @@
 //! `rotsv-experiments`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use rotsv::mosfet::model::Nominal;
 use rotsv::ro::{MeasureOpts, RingOscillator, RoConfig};
 use rotsv::spice::IntegrationMethod;
+use std::time::Duration;
 
 fn period(method: IntegrationMethod, dt: f64) -> f64 {
     let config = RoConfig::new(2, 1.1).enable_only(&[0]);
@@ -20,6 +20,7 @@ fn period(method: IntegrationMethod, dt: f64) -> f64 {
         skip_cycles: 1,
         max_time: 30e-9,
         method,
+        step: rotsv::spice::StepControl::Fixed,
     };
     ro.measure(&opts).unwrap().period().expect("oscillates")
 }

@@ -4,10 +4,10 @@
 //! quantifies how much (the accuracy equivalence is E0).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use rotsv::mosfet::model::Nominal;
 use rotsv::ro::{MeasureOpts, RingOscillator, RoConfig};
 use rotsv::tsv::TsvModel;
+use std::time::Duration;
 
 fn period(model: TsvModel) -> f64 {
     let config = RoConfig {
@@ -31,8 +31,12 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(2));
     g.warm_up_time(Duration::from_millis(500));
     g.bench_function("lumped", |b| b.iter(|| period(TsvModel::Lumped)));
-    g.bench_function("distributed_5", |b| b.iter(|| period(TsvModel::Distributed(5))));
-    g.bench_function("distributed_20", |b| b.iter(|| period(TsvModel::Distributed(20))));
+    g.bench_function("distributed_5", |b| {
+        b.iter(|| period(TsvModel::Distributed(5)))
+    });
+    g.bench_function("distributed_20", |b| {
+        b.iter(|| period(TsvModel::Distributed(20)))
+    });
     g.finish();
 }
 

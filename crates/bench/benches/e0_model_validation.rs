@@ -3,19 +3,23 @@
 //! validation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use rotsv::mosfet::model::Nominal;
 use rotsv::mosfet::tech45::DriveStrength;
 use rotsv::spice::{Circuit, SourceWaveform, TransientSpec};
 use rotsv::stdcell::CellBuilder;
 use rotsv::tsv::{Tsv, TsvModel, TsvTech};
+use std::time::Duration;
 
 fn charge(model: TsvModel) -> f64 {
     let mut ckt = Circuit::new();
     let vdd = ckt.node("vdd");
     ckt.add_vsource(vdd, Circuit::GROUND, SourceWaveform::dc(1.1));
     let input = ckt.node("in");
-    ckt.add_vsource(input, Circuit::GROUND, SourceWaveform::step(0.0, 1.1, 0.1e-9));
+    ckt.add_vsource(
+        input,
+        Circuit::GROUND,
+        SourceWaveform::step(0.0, 1.1, 0.1e-9),
+    );
     let front = ckt.node("tsv");
     Tsv::fault_free(TsvTech::default()).stamp(&mut ckt, front, model);
     let mut vary = Nominal;

@@ -1,11 +1,11 @@
 //! Bench for E1 (Fig. 4): the I/O-cell step-response simulation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use rotsv::mosfet::model::Nominal;
 use rotsv::num::units::Ohms;
 use rotsv::ro::io_cell::{step_response, IoCellConfig};
 use rotsv::tsv::TsvFault;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e1_fig4_waveforms");
@@ -13,7 +13,11 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(2));
     g.warm_up_time(Duration::from_millis(500));
     g.bench_function("fault_free", |b| {
-        b.iter(|| step_response(&IoCellConfig::new(1.1), &mut Nominal).unwrap().delay)
+        b.iter(|| {
+            step_response(&IoCellConfig::new(1.1), &mut Nominal)
+                .unwrap()
+                .delay
+        })
     });
     g.bench_function("leak_3k", |b| {
         b.iter(|| {

@@ -2,12 +2,12 @@
 //! spread analysis.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use rotsv::num::units::Ohms;
 use rotsv::tsv::TsvFault;
 use rotsv::variation::ProcessSpread;
 use rotsv::Die;
 use rotsv_bench::{bench_bench, one_delta_t};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let tb = bench_bench();

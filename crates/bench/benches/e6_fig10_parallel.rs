@@ -1,10 +1,10 @@
 //! Bench for E6 (Fig. 10): ΔT with M TSVs tested simultaneously.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use rotsv::tsv::TsvFault;
 use rotsv::Die;
 use rotsv_bench::bench_bench;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let tb = bench_bench();

@@ -1,11 +1,13 @@
-//! Microbenchmarks of the simulator's numeric kernels: LU factorization
-//! at MNA-typical sizes and a full transient step workload.
+//! Microbenchmarks of the simulator's numeric kernels: dense and sparse
+//! LU at MNA-typical sizes (factor, value-only refactor, solve) and a
+//! full transient step workload under both step controllers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rotsv::num::linsolve::LuFactors;
 use rotsv::num::matrix::Matrix;
 use rotsv::num::rng::GaussianRng;
-use rotsv::spice::{Circuit, SourceWaveform, TransientSpec};
+use rotsv::num::sparse::{SparseLu, SparseMatrix};
+use rotsv::spice::{Circuit, SourceWaveform, StepControl, TransientSpec};
 
 fn random_system(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
     let mut rng = GaussianRng::seed_from(seed);
@@ -18,6 +20,24 @@ fn random_system(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
     }
     let b: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
     (a, b)
+}
+
+/// Triplets of an RC-ladder MNA matrix: tridiagonal conductance block
+/// plus one voltage-source border — the sparsity the simulator actually
+/// factors, unlike `random_system`'s dense reference.
+fn ladder_triplets(n: usize, g: f64) -> (Vec<(usize, usize, f64)>, usize) {
+    let dim = n + 1; // n interior nodes + 1 source current
+    let mut t = Vec::new();
+    for i in 0..n {
+        t.push((i, i, 2.0 * g));
+        if i + 1 < n {
+            t.push((i, i + 1, -g));
+            t.push((i + 1, i, -g));
+        }
+    }
+    t.push((0, n, 1.0));
+    t.push((n, 0, 1.0));
+    (t, dim)
 }
 
 fn rc_ladder(n: usize) -> Circuit {
@@ -45,9 +65,29 @@ fn bench(c: &mut Criterion) {
             })
         });
     }
+    for n in [16usize, 64, 128] {
+        let (triplets, dim) = ladder_triplets(n, 1e-2);
+        let a = SparseMatrix::from_triplets(dim, &triplets);
+        let b = vec![1.0; dim];
+        g.bench_function(format!("sparse_analyze_{n}"), |bench| {
+            bench.iter(|| SparseLu::new(&a).unwrap())
+        });
+        let mut lu = SparseLu::new(&a).unwrap();
+        g.bench_function(format!("sparse_refactor_solve_{n}"), |bench| {
+            bench.iter(|| {
+                lu.refactor(&a).unwrap();
+                lu.solve(&b).unwrap()
+            })
+        });
+    }
     g.bench_function("transient_rc_ladder_50x1000steps", |bench| {
         let ckt = rc_ladder(50);
-        let spec = TransientSpec::new(1e-9, 1e-12);
+        let spec = TransientSpec::new(1e-9, 1e-12).step_control(StepControl::Fixed);
+        bench.iter(|| ckt.transient(&spec).unwrap().steps_taken())
+    });
+    g.bench_function("transient_rc_ladder_50_adaptive", |bench| {
+        let ckt = rc_ladder(50);
+        let spec = TransientSpec::new(1e-9, 1e-12).step_control(StepControl::adaptive());
         bench.iter(|| ckt.transient(&spec).unwrap().steps_taken())
     });
     g.finish();

@@ -1,0 +1,177 @@
+//! Emits `BENCH_solver.json`: wall-clock timings of the solver kernels
+//! (dense LU, sparse analyze/refactor/solve) plus end-to-end transient
+//! runs with their [`SolverStats`] work counters, for both step
+//! controllers. Run with `cargo run --release -p rotsv-bench --bin
+//! bench_solver` from the repo root; PERFORMANCE.md quotes its output.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rotsv::num::linsolve::LuFactors;
+use rotsv::num::matrix::Matrix;
+use rotsv::num::rng::GaussianRng;
+use rotsv::num::sparse::{SolverStats, SparseLu, SparseMatrix};
+use rotsv::spice::{Circuit, SourceWaveform, StepControl, TransientSpec};
+use rotsv::tsv::TsvFault;
+use rotsv::{Die, TestBench};
+
+/// Times `f` over enough repetitions to fill ~50 ms and returns the
+/// per-call mean in seconds.
+fn time_per_call<O>(mut f: impl FnMut() -> O) -> f64 {
+    // Warm up and estimate a single call.
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let reps = ((0.05 / once) as usize).clamp(1, 100_000);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn random_dense(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = GaussianRng::seed_from(seed);
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = rng.standard_normal();
+        }
+        a[(i, i)] += n as f64;
+    }
+    let b: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+    (a, b)
+}
+
+/// Tridiagonal conductance block plus a voltage-source border: the
+/// sparsity pattern of an RC-ladder MNA system.
+fn ladder_triplets(n: usize, g: f64) -> (Vec<(usize, usize, f64)>, usize) {
+    let dim = n + 1;
+    let mut t = Vec::new();
+    for i in 0..n {
+        t.push((i, i, 2.0 * g));
+        if i + 1 < n {
+            t.push((i, i + 1, -g));
+            t.push((i + 1, i, -g));
+        }
+    }
+    t.push((0, n, 1.0));
+    t.push((n, 0, 1.0));
+    (t, dim)
+}
+
+fn rc_ladder(n: usize) -> Circuit {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    ckt.add_vsource(vin, Circuit::GROUND, SourceWaveform::step(0.0, 1.0, 0.0));
+    let mut prev = vin;
+    for i in 0..n {
+        let node = ckt.node(&format!("n{i}"));
+        ckt.add_resistor(prev, node, 100.0);
+        ckt.add_capacitor(node, Circuit::GROUND, 1e-14);
+        prev = node;
+    }
+    ckt
+}
+
+fn json_stats(out: &mut String, stats: &SolverStats) {
+    let _ = write!(
+        out,
+        "{{\"steps_accepted\": {}, \"steps_rejected\": {}, \"newton_iterations\": {}, \
+         \"factorizations\": {}, \"symbolic_analyses\": {}, \"solves\": {}, \
+         \"wall_seconds\": {:.6}}}",
+        stats.steps_accepted,
+        stats.steps_rejected,
+        stats.newton_iterations,
+        stats.factorizations,
+        stats.symbolic_analyses,
+        stats.solves,
+        stats.wall_seconds,
+    );
+}
+
+fn main() {
+    let mut kernels = String::new();
+
+    println!("kernel timings (per call):");
+    for n in [16usize, 64, 128] {
+        let (a, b) = random_dense(n, 42);
+        let dense = time_per_call(|| {
+            let lu = LuFactors::factor(a.clone()).unwrap();
+            lu.solve(&b).unwrap()
+        });
+
+        let (triplets, dim) = ladder_triplets(n, 1e-2);
+        let sm = SparseMatrix::from_triplets(dim, &triplets);
+        let rhs = vec![1.0; dim];
+        let analyze = time_per_call(|| SparseLu::new(&sm).unwrap());
+        let mut lu = SparseLu::new(&sm).unwrap();
+        let refactor = time_per_call(|| {
+            lu.refactor(&sm).unwrap();
+            lu.solve(&rhs).unwrap()
+        });
+
+        println!(
+            "  n={n:4}  dense_factor_solve {:.3e} s  sparse_analyze {:.3e} s  \
+             sparse_refactor_solve {:.3e} s  ({:.1}x)",
+            dense,
+            analyze,
+            refactor,
+            dense / refactor
+        );
+        let _ = writeln!(
+            kernels,
+            "    {{\"n\": {n}, \"dense_factor_solve_s\": {dense:.3e}, \
+             \"sparse_analyze_s\": {analyze:.3e}, \
+             \"sparse_refactor_solve_s\": {refactor:.3e}}},"
+        );
+    }
+    let kernels = kernels.trim_end().trim_end_matches(',').to_string();
+
+    let mut transients = String::new();
+    println!("transient workloads:");
+    for (name, step) in [
+        ("rc_ladder_50_fixed", StepControl::Fixed),
+        ("rc_ladder_50_adaptive", StepControl::adaptive()),
+    ] {
+        let ckt = rc_ladder(50);
+        let spec = TransientSpec::new(1e-9, 1e-12).step_control(step);
+        let t0 = Instant::now();
+        let res = ckt.transient(&spec).unwrap();
+        let wall = t0.elapsed().as_secs_f64();
+        let stats = res.stats();
+        println!("  {name}: {} ({wall:.3} s elapsed)", stats.summary());
+        let _ = write!(transients, "    {{\"name\": \"{name}\", \"stats\": ");
+        json_stats(&mut transients, &stats);
+        let _ = writeln!(transients, "}},");
+    }
+
+    // One ring ΔT measurement — the unit of work every experiment
+    // repeats thousands of times.
+    for (name, fixed) in [
+        ("ring_delta_t_adaptive", false),
+        ("ring_delta_t_fixed", true),
+    ] {
+        let bench = TestBench::fast(1);
+        let mut opts = bench.opts_for(1.1);
+        if fixed {
+            opts = opts.fixed_step();
+        }
+        let t0 = Instant::now();
+        let m = bench
+            .measure_delta_t_with(1.1, &[TsvFault::None], &[0], &Die::nominal(), &opts)
+            .expect("measurement succeeds");
+        let wall = t0.elapsed().as_secs_f64();
+        println!("  {name}: {} ({wall:.3} s elapsed)", m.stats.summary());
+        let _ = write!(transients, "    {{\"name\": \"{name}\", \"stats\": ");
+        json_stats(&mut transients, &m.stats);
+        let _ = writeln!(transients, "}},");
+    }
+    let transients = transients.trim_end().trim_end_matches(',').to_string();
+
+    let json = format!(
+        "{{\n  \"kernels\": [\n{kernels}\n  ],\n  \"transients\": [\n{transients}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_solver.json", &json).expect("write BENCH_solver.json");
+    println!("wrote BENCH_solver.json");
+}

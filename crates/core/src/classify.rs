@@ -126,7 +126,11 @@ mod tests {
     }
 
     fn measurement(t1: OscillationOutcome, t2: OscillationOutcome) -> DeltaTMeasurement {
-        DeltaTMeasurement { t1, t2 }
+        DeltaTMeasurement {
+            t1,
+            t2,
+            stats: rotsv_spice::SolverStats::default(),
+        }
     }
 
     const BAND: DetectionThresholds = DetectionThresholds {
@@ -181,7 +185,11 @@ mod tests {
     #[test]
     fn classify_delta_matches_band_edges() {
         assert_eq!(BAND.classify_delta(450e-12), Verdict::Pass);
-        assert_eq!(BAND.classify_delta(400e-12), Verdict::Pass, "edge inclusive");
+        assert_eq!(
+            BAND.classify_delta(400e-12),
+            Verdict::Pass,
+            "edge inclusive"
+        );
         assert_eq!(BAND.classify_delta(399e-12), Verdict::ResistiveOpen);
         assert_eq!(BAND.classify_delta(501e-12), Verdict::Leakage);
     }

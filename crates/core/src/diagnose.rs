@@ -5,7 +5,7 @@
 //! screening with defects that "get aggravated over time": a weak leak
 //! near the detection limit is a reliability risk even if functionally
 //! benign today. The paper points to ring-oscillator-based diagnosis as
-//! related work ([10], [14]); this module implements it on top of the
+//! related work (\[10\], \[14\]); this module implements it on top of the
 //! ΔT machinery:
 //!
 //! 1. **Calibrate** a ΔT-vs-fault-size curve on a nominal die by sweeping
@@ -163,13 +163,9 @@ mod tests {
     #[test]
     fn diagnoses_unseen_leak_size() {
         let bench = TestBench::fast(1);
-        let curve = DiagnosisCurve::calibrate(
-            &bench,
-            1.1,
-            FaultFamily::Leakage,
-            &[2.5e3, 4e3, 8e3, 20e3],
-        )
-        .unwrap();
+        let curve =
+            DiagnosisCurve::calibrate(&bench, 1.1, FaultFamily::Leakage, &[2.5e3, 4e3, 8e3, 20e3])
+                .unwrap();
         // A 5 kΩ leak, not in the calibration set.
         let faults = [TsvFault::Leakage { r: Ohms(5e3) }];
         let dt = bench

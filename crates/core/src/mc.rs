@@ -4,7 +4,7 @@
 //! process variation for fault-free and faulty dies. This module runs
 //! those populations — in parallel, reproducibly.
 
-use rotsv_spice::SpiceError;
+use rotsv_spice::{SolverStats, SpiceError};
 use rotsv_tsv::TsvFault;
 use rotsv_variation::ProcessSpread;
 
@@ -12,7 +12,7 @@ use crate::die::Die;
 use crate::measure::TestBench;
 
 /// A Monte-Carlo population of ΔT values.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct McDeltaT {
     /// ΔT of every die whose both runs oscillated, seconds.
     pub deltas: Vec<f64>,
@@ -21,6 +21,20 @@ pub struct McDeltaT {
     /// Dies whose reference run failed (should be zero; nonzero values
     /// flag a broken configuration).
     pub reference_failures: usize,
+    /// Numerical-work counters summed over every die's two transient
+    /// runs. `wall_seconds` is summed solver time, which under parallel
+    /// sampling exceeds elapsed wall time.
+    pub stats: SolverStats,
+}
+
+/// Equality compares the population itself; the work counters (which
+/// include wall-clock time) are bookkeeping, not results.
+impl PartialEq for McDeltaT {
+    fn eq(&self, other: &Self) -> bool {
+        self.deltas == other.deltas
+            && self.stuck_count == other.stuck_count
+            && self.reference_failures == other.reference_failures
+    }
 }
 
 impl McDeltaT {
@@ -74,9 +88,11 @@ pub fn delta_t_population(
         deltas: Vec::with_capacity(samples),
         stuck_count: 0,
         reference_failures: 0,
+        stats: SolverStats::default(),
     };
     for r in results {
         let m = r?;
+        out.stats.merge(&m.stats);
         if m.reference_failed() {
             out.reference_failures += 1;
         } else if m.is_stuck() {
@@ -104,26 +120,10 @@ mod tests {
     fn population_is_reproducible() {
         let bench = TestBench::fast(1);
         let faults = [TsvFault::None];
-        let a = delta_t_population(
-            &bench,
-            1.1,
-            &faults,
-            &[0],
-            ProcessSpread::paper(),
-            7,
-            4,
-        )
-        .unwrap();
-        let b = delta_t_population(
-            &bench,
-            1.1,
-            &faults,
-            &[0],
-            ProcessSpread::paper(),
-            7,
-            4,
-        )
-        .unwrap();
+        let a =
+            delta_t_population(&bench, 1.1, &faults, &[0], ProcessSpread::paper(), 7, 4).unwrap();
+        let b =
+            delta_t_population(&bench, 1.1, &faults, &[0], ProcessSpread::paper(), 7, 4).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.total(), 4);
         assert_eq!(a.reference_failures, 0);
@@ -133,16 +133,8 @@ mod tests {
     fn variation_spreads_the_population() {
         let bench = TestBench::fast(1);
         let faults = [TsvFault::None];
-        let pop = delta_t_population(
-            &bench,
-            1.1,
-            &faults,
-            &[0],
-            ProcessSpread::paper(),
-            11,
-            4,
-        )
-        .unwrap();
+        let pop =
+            delta_t_population(&bench, 1.1, &faults, &[0], ProcessSpread::paper(), 11, 4).unwrap();
         assert_eq!(pop.deltas.len(), 4);
         let s = rotsv_num::stats::Summary::of(&pop.deltas);
         assert!(s.std_dev > 0.0, "variation must spread the deltas");
@@ -152,16 +144,8 @@ mod tests {
     fn stuck_dies_are_counted_not_lost() {
         let bench = TestBench::fast(1);
         let faults = [TsvFault::Leakage { r: Ohms(300.0) }];
-        let pop = delta_t_population(
-            &bench,
-            1.1,
-            &faults,
-            &[0],
-            ProcessSpread::none(),
-            3,
-            2,
-        )
-        .unwrap();
+        let pop =
+            delta_t_population(&bench, 1.1, &faults, &[0], ProcessSpread::none(), 3, 2).unwrap();
         assert_eq!(pop.stuck_count, 2);
         assert!(pop.deltas.is_empty());
         assert_eq!(pop.oscillating_fraction(), 0.0);

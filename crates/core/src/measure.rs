@@ -1,7 +1,7 @@
 //! The two-run ΔT measurement procedure (Section IV-A of the paper).
 
 use rotsv_ro::{MeasureOpts, OscillationOutcome, RingOscillator, RoConfig};
-use rotsv_spice::SpiceError;
+use rotsv_spice::{SolverStats, SpiceError};
 use rotsv_tsv::{TsvFault, TsvModel, TsvTech};
 
 use crate::die::Die;
@@ -103,7 +103,10 @@ impl TestBench {
             self.n_segments,
             "fault list must cover every segment"
         );
-        assert!(!under_test.is_empty(), "at least one TSV must be under test");
+        assert!(
+            !under_test.is_empty(),
+            "at least one TSV must be under test"
+        );
         let opts = *opts;
         let config = RoConfig {
             n_segments: self.n_segments,
@@ -116,20 +119,34 @@ impl TestBench {
 
         // Run 1: TSVs under test enabled.
         let enabled_config = config.clone().enable_only(under_test);
-        let t1 = RingOscillator::build(&enabled_config, &mut die.variation()).measure(&opts)?;
+        let (t1, stats1) = RingOscillator::build(&enabled_config, &mut die.variation())
+            .measure_with_stats(&opts)?;
         // Run 2: all bypassed. Same die — identical variation stream.
-        let t2 = RingOscillator::build(&config, &mut die.variation()).measure(&opts)?;
-        Ok(DeltaTMeasurement { t1, t2 })
+        let (t2, stats2) =
+            RingOscillator::build(&config, &mut die.variation()).measure_with_stats(&opts)?;
+        let mut stats = stats1;
+        stats.merge(&stats2);
+        Ok(DeltaTMeasurement { t1, t2, stats })
     }
 }
 
 /// The pair of oscillation measurements of the two-run procedure.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DeltaTMeasurement {
     /// Run 1: TSV(s) under test in the loop.
     pub t1: OscillationOutcome,
     /// Run 2: all TSVs bypassed (the reference).
     pub t2: OscillationOutcome,
+    /// Numerical-work counters summed over both transient runs.
+    pub stats: SolverStats,
+}
+
+/// Equality compares the *measurements* only; the work counters (which
+/// include wall-clock time) are bookkeeping, not results.
+impl PartialEq for DeltaTMeasurement {
+    fn eq(&self, other: &Self) -> bool {
+        self.t1 == other.t1 && self.t2 == other.t2
+    }
 }
 
 impl DeltaTMeasurement {
@@ -197,9 +214,21 @@ mod tests {
             TsvFault::None,
         ];
         let leak = [TsvFault::Leakage { r: Ohms(3e3) }, TsvFault::None];
-        let d_ff = b.measure_delta_t(1.1, &ff, &[0], &die).unwrap().delta().unwrap();
-        let d_open = b.measure_delta_t(1.1, &open, &[0], &die).unwrap().delta().unwrap();
-        let d_leak = b.measure_delta_t(1.1, &leak, &[0], &die).unwrap().delta().unwrap();
+        let d_ff = b
+            .measure_delta_t(1.1, &ff, &[0], &die)
+            .unwrap()
+            .delta()
+            .unwrap();
+        let d_open = b
+            .measure_delta_t(1.1, &open, &[0], &die)
+            .unwrap()
+            .delta()
+            .unwrap();
+        let d_leak = b
+            .measure_delta_t(1.1, &leak, &[0], &die)
+            .unwrap()
+            .delta()
+            .unwrap();
         assert!(d_open < d_ff, "open {d_open} !< fault-free {d_ff}");
         assert!(d_leak > d_ff, "leak {d_leak} !> fault-free {d_ff}");
     }

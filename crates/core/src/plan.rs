@@ -104,9 +104,7 @@ impl MultiVoltagePlan {
     ) -> Result<ScreenResult, SpiceError> {
         let mut per_voltage = Vec::with_capacity(self.points.len());
         for p in &self.points {
-            let m = self
-                .bench
-                .measure_delta_t(p.vdd, faults, &[segment], die)?;
+            let m = self.bench.measure_delta_t(p.vdd, faults, &[segment], die)?;
             per_voltage.push((p.vdd, p.thresholds.classify(&m)));
         }
         Ok(ScreenResult {
@@ -155,15 +153,8 @@ mod tests {
     #[test]
     fn single_voltage_plan_screens_faults() {
         let bench = TestBench::fast(1);
-        let plan = MultiVoltagePlan::calibrate(
-            bench,
-            &[1.1],
-            ProcessSpread::paper(),
-            21,
-            6,
-            5e-12,
-        )
-        .unwrap();
+        let plan = MultiVoltagePlan::calibrate(bench, &[1.1], ProcessSpread::paper(), 21, 6, 5e-12)
+            .unwrap();
         assert_eq!(plan.points().len(), 1);
 
         let die = Die::new(ProcessSpread::paper(), 999);

@@ -1,0 +1,203 @@
+#![warn(missing_docs)]
+
+//! A self-contained, offline subset of the
+//! [criterion](https://docs.rs/criterion) benchmarking API.
+//!
+//! The build environment of this workspace has no access to crates.io, so
+//! the real `criterion` crate cannot be resolved. This shim implements the
+//! surface the workspace's benches use — `Criterion::benchmark_group`,
+//! `sample_size`, `measurement_time`, `bench_function`, `Bencher::iter`,
+//! the `criterion_group!`/`criterion_main!` macros and `black_box` — with
+//! a simple warmup-then-sample timing loop printing mean/min/max per
+//! iteration.
+//!
+//! Timing methodology (simpler than real criterion, adequate for the
+//! before/after comparisons this repository records): one warmup
+//! iteration, then `sample_size` samples, each a single call of the
+//! benched closure, reported as mean ± spread.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Mirrors `Criterion::default().configure_from_args()`; arguments are
+    /// accepted and ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Runs one stand-alone benchmark with default sampling settings.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: Duration::from_secs(2),
+            target_samples: 10,
+        };
+        f(&mut b);
+        report("", &id, &b.samples);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Upper bound on total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget (accepted for API compatibility; this harness
+    /// always runs exactly one warm-up iteration).
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: self.measurement_time,
+            target_samples: self.sample_size,
+        };
+        f(&mut b);
+        report(&self.name, &id, &b.samples);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; drop does the work).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the workload.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`, collecting up to the group's sample count within the
+    /// group's time budget (always at least one timed sample).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warmup iteration.
+        black_box(f());
+        let started = Instant::now();
+        for _ in 0..self.target_samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration]) {
+    let label = if group.is_empty() {
+        id.to_owned()
+    } else {
+        format!("{group}/{id}")
+    };
+    if samples.is_empty() {
+        println!("  {label}: no samples collected");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    println!(
+        "  {label}: mean {mean:?}, min {min:?}, max {max:?} ({} samples)",
+        samples.len()
+    );
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        let mut runs = 0usize;
+        g.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        // 1 warmup + up to 3 samples.
+        assert!(runs >= 2, "ran {runs} times");
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+    }
+}

@@ -53,7 +53,10 @@ impl DftAreaModel {
     ///
     /// Panics if `die_mm2` is not positive or `group_size` is zero.
     pub fn fraction_of_die(&self, n_tsvs: usize, group_size: usize, die_mm2: f64) -> f64 {
-        assert!(die_mm2 > 0.0 && die_mm2.is_finite(), "die area must be positive");
+        assert!(
+            die_mm2 > 0.0 && die_mm2.is_finite(),
+            "die area must be positive"
+        );
         let um2_per_mm2 = 1e6;
         self.total_area(n_tsvs, group_size).value() / (die_mm2 * um2_per_mm2)
     }

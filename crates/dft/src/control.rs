@@ -65,11 +65,14 @@ pub fn group_sequence(n_segments: usize) -> Vec<(RunKind, ControlSignals)> {
     for i in 0..n_segments {
         let mut by = vec![true; n_segments];
         by[i] = false;
-        runs.push((RunKind::TsvUnderTest { index: i }, ControlSignals {
-            te: true,
-            oe: true,
-            by,
-        }));
+        runs.push((
+            RunKind::TsvUnderTest { index: i },
+            ControlSignals {
+                te: true,
+                oe: true,
+                by,
+            },
+        ));
     }
     runs
 }

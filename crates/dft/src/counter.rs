@@ -81,7 +81,10 @@ impl GatedCounter {
     ///
     /// Panics if `window` is not positive or `bits` is out of `1..=63`.
     pub fn new(window: f64, bits: u32) -> Self {
-        assert!(window > 0.0 && window.is_finite(), "window must be positive");
+        assert!(
+            window > 0.0 && window.is_finite(),
+            "window must be positive"
+        );
         assert!((1..=63).contains(&bits), "bits must be in 1..=63");
         Self { window, bits }
     }
@@ -94,7 +97,10 @@ impl GatedCounter {
     ///
     /// Panics if `period` is not positive or `phase` is negative.
     pub fn count_edges(&self, period: f64, phase: f64) -> u64 {
-        assert!(period > 0.0 && period.is_finite(), "period must be positive");
+        assert!(
+            period > 0.0 && period.is_finite(),
+            "period must be positive"
+        );
         assert!(phase >= 0.0, "phase must be non-negative");
         if phase >= self.window {
             return 0;
@@ -148,13 +154,13 @@ impl GateLevelCounter {
         // carry[0] = enable; carry[i+1] = carry[i] & q[i];
         // d[i] = q[i] ^ carry[i]
         let mut carry = enable;
-        for i in 0..n {
+        for (i, &qi) in q.iter().enumerate() {
             let d = nl.signal();
-            nl.xor_gate(q[i], carry, d);
-            nl.dff(d, q[i], Some(reset));
+            nl.xor_gate(qi, carry, d);
+            nl.dff(d, qi, Some(reset));
             if i + 1 < n {
                 let next_carry = nl.signal();
-                nl.and_gate(carry, q[i], next_carry);
+                nl.and_gate(carry, qi, next_carry);
                 carry = next_carry;
             }
         }

@@ -131,7 +131,9 @@ pub fn bits_to_u64(bits: &[Bit]) -> Option<u64> {
 /// Panics if `n > 64`.
 pub fn u64_to_bits(value: u64, n: usize) -> Vec<Bit> {
     assert!(n <= 64, "too many bits for u64");
-    (0..n).map(|i| Bit::from_bool(value >> i & 1 == 1)).collect()
+    (0..n)
+        .map(|i| Bit::from_bool(value >> i & 1 == 1))
+        .collect()
 }
 
 #[cfg(test)]

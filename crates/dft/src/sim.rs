@@ -19,11 +19,31 @@ impl SignalId {
 
 #[derive(Debug, Clone)]
 enum Gate {
-    Not { a: SignalId, z: SignalId },
-    And { a: SignalId, b: SignalId, z: SignalId },
-    Or { a: SignalId, b: SignalId, z: SignalId },
-    Xor { a: SignalId, b: SignalId, z: SignalId },
-    Mux { sel: SignalId, a: SignalId, b: SignalId, z: SignalId },
+    Not {
+        a: SignalId,
+        z: SignalId,
+    },
+    And {
+        a: SignalId,
+        b: SignalId,
+        z: SignalId,
+    },
+    Or {
+        a: SignalId,
+        b: SignalId,
+        z: SignalId,
+    },
+    Xor {
+        a: SignalId,
+        b: SignalId,
+        z: SignalId,
+    },
+    Mux {
+        sel: SignalId,
+        a: SignalId,
+        b: SignalId,
+        z: SignalId,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -173,9 +193,10 @@ impl DigitalSim {
                     Gate::And { a, b, z } => (z, self.values[a.0].and(self.values[b.0])),
                     Gate::Or { a, b, z } => (z, self.values[a.0].or(self.values[b.0])),
                     Gate::Xor { a, b, z } => (z, self.values[a.0].xor(self.values[b.0])),
-                    Gate::Mux { sel, a, b, z } => {
-                        (z, self.values[sel.0].mux(self.values[a.0], self.values[b.0]))
-                    }
+                    Gate::Mux { sel, a, b, z } => (
+                        z,
+                        self.values[sel.0].mux(self.values[a.0], self.values[b.0]),
+                    ),
                 };
                 if self.values[z.0] != v {
                     self.values[z.0] = v;

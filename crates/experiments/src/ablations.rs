@@ -18,22 +18,21 @@ use rotsv::{Die, TestBench};
 
 use crate::{Check, ExperimentReport, Fidelity};
 
-fn ring_period(
-    dt: f64,
-    method: IntegrationMethod,
-    tsv_model: TsvModel,
-) -> Result<f64, SpiceError> {
+fn ring_period(dt: f64, method: IntegrationMethod, tsv_model: TsvModel) -> Result<f64, SpiceError> {
     let config = RoConfig {
         tsv_model,
         ..RoConfig::new(2, 1.1).enable_only(&[0])
     };
     let ro = RingOscillator::build(&config, &mut Nominal);
+    // Fixed-step on purpose: this ablation studies the integrator at a
+    // given uniform dt, so adaptive stepping would confound the sweep.
     let opts = MeasureOpts {
         dt,
         cycles: 4,
         skip_cycles: 2,
         max_time: 40e-9,
         method,
+        step: rotsv::spice::StepControl::Fixed,
     };
     Ok(ro
         .measure(&opts)?
@@ -58,7 +57,10 @@ pub fn a1_integrator(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
     let mut trap_2ps_err = f64::NAN;
     let mut worst_trap: f64 = 0.0;
     for &dt in &dts {
-        for method in [IntegrationMethod::Trapezoidal, IntegrationMethod::BackwardEuler] {
+        for method in [
+            IntegrationMethod::Trapezoidal,
+            IntegrationMethod::BackwardEuler,
+        ] {
             let t = ring_period(dt, method, TsvModel::Lumped)?;
             let err = t - reference;
             if method == IntegrationMethod::Trapezoidal {

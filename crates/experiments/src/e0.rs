@@ -21,7 +21,11 @@ fn charge_time(model: TsvModel) -> Result<f64, SpiceError> {
     let vdd = ckt.node("vdd");
     ckt.add_vsource(vdd, Circuit::GROUND, SourceWaveform::dc(vdd_v));
     let input = ckt.node("in");
-    ckt.add_vsource(input, Circuit::GROUND, SourceWaveform::step(0.0, vdd_v, 0.1e-9));
+    ckt.add_vsource(
+        input,
+        Circuit::GROUND,
+        SourceWaveform::step(0.0, vdd_v, 0.1e-9),
+    );
     let front = ckt.node("tsv");
     Tsv::fault_free(TsvTech::default()).stamp(&mut ckt, front, model);
     let mut vary = Nominal;

@@ -3,8 +3,8 @@
 //! Calibrates ΔT-vs-size curves for both fault families on a nominal
 //! die, then injects fault sizes *not* in the calibration set and checks
 //! that inverse interpolation recovers them. This builds on the
-//! diagnosis line of work the paper cites ([10] input sensitivity
-//! analysis, [14] radar-like diagnosis).
+//! diagnosis line of work the paper cites (\[10\] input sensitivity
+//! analysis, \[14\] radar-like diagnosis).
 
 use rotsv::aliasing::FaultFamily;
 use rotsv::diagnose::DiagnosisCurve;

@@ -28,10 +28,7 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
         let r = r_points[i];
         let mut faults = vec![TsvFault::None; bench.n_segments];
         if r > 0.0 {
-            faults[0] = TsvFault::ResistiveOpen {
-                x: 0.5,
-                r: Ohms(r),
-            };
+            faults[0] = TsvFault::ResistiveOpen { x: 0.5, r: Ohms(r) };
         }
         let m = bench.measure_delta_t(1.1, &faults, &[0], &die)?;
         Ok((r, m.delta().expect("opens never stop the ring")))

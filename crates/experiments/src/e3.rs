@@ -9,6 +9,7 @@
 use rotsv::mc::delta_t_population;
 use rotsv::num::stats::{range_overlap, Summary};
 use rotsv::num::units::Ohms;
+use rotsv::spice::SolverStats;
 use rotsv::spice::SpiceError;
 use rotsv::tsv::TsvFault;
 use rotsv::variation::ProcessSpread;
@@ -27,6 +28,8 @@ pub struct VoltageRow {
     pub faulty: Summary,
     /// Range-overlap of the two populations (0 = fully separated).
     pub overlap: f64,
+    /// Solver work summed over both populations at this voltage.
+    pub stats: SolverStats,
 }
 
 /// Runs the populations and returns the raw rows (also used by E6-style
@@ -49,13 +52,15 @@ pub fn populations(f: &Fidelity, seed: u64) -> Result<Vec<VoltageRow>, SpiceErro
     let mut rows = Vec::new();
     for &vdd in &voltages {
         let ff = delta_t_population(&bench, vdd, &ff_faults, &[0], spread, seed, samples)?;
-        let open =
-            delta_t_population(&bench, vdd, &open_faults, &[0], spread, seed, samples)?;
+        let open = delta_t_population(&bench, vdd, &open_faults, &[0], spread, seed, samples)?;
+        let mut stats = ff.stats;
+        stats.merge(&open.stats);
         rows.push(VoltageRow {
             vdd,
             fault_free: Summary::of(&ff.deltas),
             faulty: Summary::of(&open.deltas),
             overlap: range_overlap(&ff.deltas, &open.deltas),
+            stats,
         });
     }
     Ok(rows)
@@ -73,7 +78,11 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
         .map(|r| {
             vec![
                 format!("{:.2}", r.vdd),
-                format!("[{}, {}]", crate::ps(r.fault_free.min), crate::ps(r.fault_free.max)),
+                format!(
+                    "[{}, {}]",
+                    crate::ps(r.fault_free.min),
+                    crate::ps(r.fault_free.max)
+                ),
                 format!("[{}, {}]", crate::ps(r.faulty.min), crate::ps(r.faulty.max)),
                 format!("{:+.1}", (r.faulty.mean - r.fault_free.mean) * 1e12),
                 format!("{:.2}", r.overlap),
@@ -112,8 +121,7 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
     ];
     Ok(ExperimentReport {
         id: "e3",
-        title: "MC spread of ΔT vs V_DD, fault-free vs 1 kΩ open at x = 0.5 (Fig. 7)"
-            .to_owned(),
+        title: "MC spread of ΔT vs V_DD, fault-free vs 1 kΩ open at x = 0.5 (Fig. 7)".to_owned(),
         headers: vec![
             "V_DD (V)".to_owned(),
             "fault-free ΔT range (ps)".to_owned(),
@@ -122,10 +130,19 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
             "range overlap".to_owned(),
         ],
         rows,
-        notes: vec![format!(
-            "{} Monte-Carlo samples per population; 3σ(V_th) = 30 mV, 3σ(L_eff) = 10 %.",
-            f.mc_samples()
-        )],
+        notes: {
+            let mut total = SolverStats::default();
+            for r in &data {
+                total.merge(&r.stats);
+            }
+            vec![
+                format!(
+                    "{} Monte-Carlo samples per population; 3σ(V_th) = 30 mV, 3σ(L_eff) = 10 %.",
+                    f.mc_samples()
+                ),
+                crate::solver_note(&total),
+            ]
+        },
         checks,
     })
 }

@@ -64,12 +64,7 @@ pub fn sweep(f: &Fidelity) -> Result<LeakGrid, SpiceError> {
         // Bound the time wasted on stuck rings: a fault-free measurement
         // tells us how long an oscillating run actually needs.
         let base = bench.opts_for(vdd);
-        let ff = bench.measure_delta_t(
-            vdd,
-            &vec![TsvFault::None; bench.n_segments],
-            &[0],
-            &die,
-        )?;
+        let ff = bench.measure_delta_t(vdd, &vec![TsvFault::None; bench.n_segments], &[0], &die)?;
         let t1_ff = ff
             .t1
             .period()
@@ -82,15 +77,12 @@ pub fn sweep(f: &Fidelity) -> Result<LeakGrid, SpiceError> {
             ..base
         };
 
-        let results: Vec<Result<Option<f64>, SpiceError>> =
-            parallel_map(r_leak.len(), |i| {
-                let mut faults = vec![TsvFault::None; bench.n_segments];
-                faults[0] = TsvFault::Leakage {
-                    r: Ohms(r_leak[i]),
-                };
-                let m = bench.measure_delta_t_with(vdd, &faults, &[0], &die, &opts)?;
-                Ok(m.delta())
-            });
+        let results: Vec<Result<Option<f64>, SpiceError>> = parallel_map(r_leak.len(), |i| {
+            let mut faults = vec![TsvFault::None; bench.n_segments];
+            faults[0] = TsvFault::Leakage { r: Ohms(r_leak[i]) };
+            let m = bench.measure_delta_t_with(vdd, &faults, &[0], &die, &opts)?;
+            Ok(m.delta())
+        });
         let mut row = Vec::with_capacity(r_leak.len());
         for r in results {
             row.push(r?);
@@ -134,14 +126,12 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
 
     // Checks.
     let monotone_in_r = (0..grid.voltages.len()).all(|v| {
-        grid.delta[v]
-            .windows(2)
-            .all(|w| match (w[0], w[1]) {
-                (Some(a), Some(b)) => b >= a - 1e-12, // R_L decreasing => ΔT grows
-                (Some(_), None) => true,              // oscillating -> stuck
-                (None, None) => true,
-                (None, Some(_)) => false,             // stuck must not recover
-            })
+        grid.delta[v].windows(2).all(|w| match (w[0], w[1]) {
+            (Some(a), Some(b)) => b >= a - 1e-12, // R_L decreasing => ΔT grows
+            (Some(_), None) => true,              // oscillating -> stuck
+            (None, None) => true,
+            (None, Some(_)) => false, // stuck must not recover
+        })
     });
     let thresholds: Vec<Option<f64>> = (0..grid.voltages.len())
         .map(|v| grid.stop_threshold(v))

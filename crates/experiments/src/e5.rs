@@ -9,6 +9,7 @@
 use rotsv::mc::{delta_t_population, McDeltaT};
 use rotsv::num::stats::{range_overlap, Summary};
 use rotsv::num::units::Ohms;
+use rotsv::spice::SolverStats;
 use rotsv::spice::SpiceError;
 use rotsv::tsv::TsvFault;
 use rotsv::variation::ProcessSpread;
@@ -33,6 +34,8 @@ pub struct LeakRow {
     /// pooled spread (stuck dies count as infinite margin and are
     /// excluded).
     pub separation: f64,
+    /// Solver work summed over both populations at this voltage.
+    pub stats: SolverStats,
 }
 
 fn separation(ff: &Summary, leak: &Summary) -> f64 {
@@ -75,6 +78,8 @@ pub fn populations(f: &Fidelity, seed: u64) -> Result<Vec<LeakRow>, SpiceError> 
                 separation(&ff_summary, &s),
             )
         };
+        let mut stats = ff.stats;
+        stats.merge(&leak.stats);
         rows.push(LeakRow {
             vdd,
             fault_free: ff_summary,
@@ -82,6 +87,7 @@ pub fn populations(f: &Fidelity, seed: u64) -> Result<Vec<LeakRow>, SpiceError> 
             stuck: leak.stuck_count,
             overlap,
             separation: sep,
+            stats,
         });
     }
     Ok(rows)
@@ -165,6 +171,13 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
              threshold is calibration-dependent, the low-voltage advantage is \
              the reproduced claim."
                 .to_owned(),
+            {
+                let mut total = rotsv::spice::SolverStats::default();
+                for r in &data {
+                    total.merge(&r.stats);
+                }
+                crate::solver_note(&total)
+            },
         ],
         checks,
     })

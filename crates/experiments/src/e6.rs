@@ -10,6 +10,7 @@
 use rotsv::mc::delta_t_population;
 use rotsv::num::stats::{range_overlap, Summary};
 use rotsv::num::units::Ohms;
+use rotsv::spice::SolverStats;
 use rotsv::spice::SpiceError;
 use rotsv::tsv::TsvFault;
 use rotsv::variation::ProcessSpread;
@@ -28,6 +29,8 @@ pub struct ParallelRow {
     pub faulty: Summary,
     /// Range overlap of the two populations.
     pub overlap: f64,
+    /// Solver work summed over both populations at this M.
+    pub stats: SolverStats,
 }
 
 /// Runs the populations.
@@ -54,15 +57,24 @@ pub fn populations(f: &Fidelity, seed: u64) -> Result<Vec<ParallelRow>, SpiceErr
             x: 0.5,
             r: Ohms(1e3),
         };
-        let ff =
-            delta_t_population(&bench, 1.1, &ff_faults, &under_test, spread, seed, samples)?;
-        let faulty =
-            delta_t_population(&bench, 1.1, &open_faults, &under_test, spread, seed, samples)?;
+        let ff = delta_t_population(&bench, 1.1, &ff_faults, &under_test, spread, seed, samples)?;
+        let faulty = delta_t_population(
+            &bench,
+            1.1,
+            &open_faults,
+            &under_test,
+            spread,
+            seed,
+            samples,
+        )?;
+        let mut stats = ff.stats;
+        stats.merge(&faulty.stats);
         rows.push(ParallelRow {
             m,
             fault_free: Summary::of(&ff.deltas),
             faulty: Summary::of(&faulty.deltas),
             overlap: range_overlap(&ff.deltas, &faulty.deltas),
+            stats,
         });
     }
     Ok(rows)
@@ -112,15 +124,13 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
             passed: last.overlap >= first.overlap,
         },
         Check {
-            description: "at M = 1 the fault is cleanly detectable (small overlap)"
-                .to_owned(),
+            description: "at M = 1 the fault is cleanly detectable (small overlap)".to_owned(),
             passed: first.overlap < 0.3,
         },
     ];
     Ok(ExperimentReport {
         id: "e6",
-        title: "Spread overlap vs number of simultaneously tested TSVs M (Fig. 10)"
-            .to_owned(),
+        title: "Spread overlap vs number of simultaneously tested TSVs M (Fig. 10)".to_owned(),
         headers: vec![
             "M".to_owned(),
             "fault-free ΔT range (ps)".to_owned(),
@@ -130,8 +140,14 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
         ],
         rows,
         notes: vec![
-            "One 1 kΩ open at x = 0.5 among the M enabled TSVs; V_DD = 1.1 V."
-                .to_owned(),
+            "One 1 kΩ open at x = 0.5 among the M enabled TSVs; V_DD = 1.1 V.".to_owned(),
+            {
+                let mut total = SolverStats::default();
+                for r in &data {
+                    total.merge(&r.stats);
+                }
+                crate::solver_note(&total)
+            },
         ],
         checks,
     })

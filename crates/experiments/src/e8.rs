@@ -50,8 +50,7 @@ pub fn run(_f: &Fidelity) -> ExperimentReport {
             passed: paper_frac < 0.0004,
         },
         Check {
-            description: "mux area dominates: group size barely changes the total"
-                .to_owned(),
+            description: "mux area dominates: group size barely changes the total".to_owned(),
             passed: {
                 let a1 = model.total_area(1000, 1).value();
                 let a10 = model.total_area(1000, 10).value();

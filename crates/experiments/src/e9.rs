@@ -94,8 +94,7 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
                 "the weakest guaranteed-detectable leak over all voltages is set by \
                  the lowest voltage (min detectable R_L {:?} at {:.2} V vs best \
                  overall {best_single_leak:.0} Ω)",
-                lowest_v_leak,
-                voltages[0]
+                lowest_v_leak, voltages[0]
             ),
             passed: match lowest_v_leak {
                 Some(m) => m >= best_single_leak - 1e-9,

@@ -28,14 +28,14 @@ use std::fmt::Write as _;
 pub mod ablations;
 pub mod e0;
 pub mod e1;
+pub mod e10;
+pub mod e11;
 pub mod e2;
 pub mod e3;
 pub mod e4;
 pub mod e5;
 pub mod e6;
 pub mod e7;
-pub mod e10;
-pub mod e11;
 pub mod e8;
 pub mod e9;
 
@@ -138,7 +138,11 @@ impl ExperimentReport {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -169,7 +173,11 @@ impl ExperimentReport {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -180,6 +188,11 @@ impl ExperimentReport {
         }
         out
     }
+}
+
+/// Formats a solver work-counter note for an experiment report.
+pub fn solver_note(stats: &rotsv::spice::SolverStats) -> String {
+    format!("Solver work: {}.", stats.summary())
 }
 
 /// Formats seconds as picoseconds with one decimal.

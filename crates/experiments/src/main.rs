@@ -38,9 +38,7 @@ fn main() -> ExitCode {
             id if id.starts_with('e') || id.starts_with('a') => ids.push(id.to_owned()),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!(
-                    "usage: experiments [e0..e11 a1..a3 | paper | all] [--fast] [--out DIR]"
-                );
+                eprintln!("usage: experiments [e0..e11 a1..a3 | paper | all] [--fast] [--out DIR]");
                 return ExitCode::FAILURE;
             }
         }
@@ -51,7 +49,11 @@ fn main() -> ExitCode {
     }
     ids.dedup();
 
-    let fidelity = if fast { Fidelity::fast() } else { Fidelity::full() };
+    let fidelity = if fast {
+        Fidelity::fast()
+    } else {
+        Fidelity::full()
+    };
     if let Err(e) = fs::create_dir_all(&out_dir) {
         eprintln!("cannot create {}: {e}", out_dir.display());
         return ExitCode::FAILURE;

@@ -4,14 +4,12 @@ use rotsv_spice::{DeviceStamp, NodeId, NonlinearDevice};
 
 use crate::model::MosParams;
 
-/// Voltage perturbation used for the numerical Jacobian.
-const JACOBIAN_H: f64 = 1e-6;
-
 /// A MOSFET instance wired into a circuit.
 ///
 /// Terminals are ordered **drain, gate, source, bulk**. The Jacobian is
-/// computed by forward differences on the (smooth) model equations, which
-/// keeps model code and derivative code from diverging.
+/// analytic ([`MosParams::ids_with_grad`]): one model evaluation per
+/// Newton iteration instead of the five a forward-difference Jacobian
+/// costs, on the hottest path of every transient.
 ///
 /// Gate and bulk are treated as perfect insulators at DC; their
 /// capacitances are added as linear circuit elements by the standard-cell
@@ -54,19 +52,14 @@ impl NonlinearDevice for Mosfet {
 
     fn eval(&self, v: &[f64], stamp: &mut DeviceStamp) {
         debug_assert_eq!(v.len(), 4);
-        let id0 = self.params.ids(v[0], v[1], v[2], v[3]);
+        let (id0, grad) = self.params.ids_with_grad(v[0], v[1], v[2], v[3]);
         // Channel current flows drain -> source; no DC gate/bulk current.
+        // Rows for gate (1) and bulk (3) stay zero; the source row is the
+        // negated drain row by charge conservation.
         stamp.current[0] = id0;
         stamp.current[2] = -id0;
-        // Numerical Jacobian: dId/dV_j by forward differences. Rows for
-        // gate (1) and bulk (3) stay zero; the source row is the negated
-        // drain row by charge conservation.
-        for j in 0..4 {
-            let mut vp = [v[0], v[1], v[2], v[3]];
-            vp[j] += JACOBIAN_H;
-            let idj = self.params.ids(vp[0], vp[1], vp[2], vp[3]);
-            let g = (idj - id0) / JACOBIAN_H;
-            stamp.jacobian[(0, j)] = g;
+        for (j, g) in grad.iter().enumerate() {
+            stamp.jacobian[(0, j)] = *g;
             stamp.jacobian[(2, j)] = -g;
         }
     }

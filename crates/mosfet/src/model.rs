@@ -108,14 +108,24 @@ fn safe_exp(x: f64) -> f64 {
     x.clamp(-60.0, 60.0).exp()
 }
 
-/// Softplus with scale `s`: smooth max(0, x), `s·ln(1 + exp(x/s))`.
+/// Softplus with scale `s` — smooth max(0, x), `s·ln(1 + exp(x/s))` —
+/// and its derivative (the logistic function) in one pass.
 #[inline]
-fn softplus(x: f64, s: f64) -> f64 {
+fn softplus_grad(x: f64, s: f64) -> (f64, f64) {
     if x > 30.0 * s {
-        x
+        (x, 1.0)
     } else {
-        s * (1.0 + safe_exp(x / s)).ln()
+        let e = safe_exp(x / s);
+        (s * (1.0 + e).ln(), e / (1.0 + e))
     }
+}
+
+/// `(1 + u⁴)^(1/4)` via two hardware square roots — `powf` through libm
+/// costs more than the whole rest of the I–V evaluation.
+#[inline]
+fn quartic_norm(u: f64) -> f64 {
+    let u2 = u * u;
+    (1.0 + u2 * u2).sqrt().sqrt()
 }
 
 impl MosParams {
@@ -166,6 +176,34 @@ impl MosParams {
         }
     }
 
+    /// Drain current *and* its gradient with respect to the four absolute
+    /// terminal voltages `[vd, vg, vs, vb]`, amps and siemens.
+    ///
+    /// One call replaces the five `ids` evaluations a forward-difference
+    /// Jacobian needs — the Newton assembly loop is the hot path of every
+    /// transient, and the model evaluation dominates it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rotsv_mosfet::tech45::{self, DriveStrength};
+    ///
+    /// let m = tech45::nmos(DriveStrength::X1);
+    /// let (id, grad) = m.ids_with_grad(1.1, 1.1, 0.0, 0.0);
+    /// assert_eq!(id, m.ids(1.1, 1.1, 0.0, 0.0));
+    /// assert!(grad[1] > 0.0); // transconductance
+    /// ```
+    pub fn ids_with_grad(&self, vd: f64, vg: f64, vs: f64, vb: f64) -> (f64, [f64; 4]) {
+        match self.polarity {
+            Polarity::Nmos => self.ids_n_grad(vd, vg, vs, vb),
+            // f(v) = −g(−v) ⇒ f′(v) = g′(−v): same gradient, negated value.
+            Polarity::Pmos => {
+                let (i, g) = self.ids_n_grad(-vd, -vg, -vs, -vb);
+                (-i, g)
+            }
+        }
+    }
+
     /// NMOS-normalized current (see [`Self::ids`]).
     fn ids_n(&self, vd: f64, vg: f64, vs: f64, vb: f64) -> f64 {
         // Source/drain symmetry: operate on the lower terminal as source.
@@ -176,27 +214,65 @@ impl MosParams {
         }
     }
 
+    /// NMOS-normalized current and gradient (see [`Self::ids_with_grad`]).
+    fn ids_n_grad(&self, vd: f64, vg: f64, vs: f64, vb: f64) -> (f64, [f64; 4]) {
+        if vd >= vs {
+            let (i, d_vds, d_vgs, d_vsb) = self.ids_core_grad(vd - vs, vg - vs, vs - vb);
+            (i, [d_vds, d_vgs, -d_vds - d_vgs + d_vsb, -d_vsb])
+        } else {
+            // Mirrored branch: i = −core(vs−vd, vg−vd, vd−vb).
+            let (i, d_vds, d_vgs, d_vsb) = self.ids_core_grad(vs - vd, vg - vd, vd - vb);
+            (-i, [d_vds + d_vgs - d_vsb, -d_vgs, -d_vds, d_vsb])
+        }
+    }
+
     /// Core equations for vds >= 0.
     fn ids_core(&self, vds: f64, vgs: f64, vsb: f64) -> f64 {
+        self.ids_core_grad(vds, vgs, vsb).0
+    }
+
+    /// Core value plus partials w.r.t. `(vds, vgs, vsb)` for vds >= 0.
+    fn ids_core_grad(&self, vds: f64, vgs: f64, vsb: f64) -> (f64, f64, f64, f64) {
         let n = self.n_sub;
         // Body effect with a smooth clamp that keeps the square roots real
         // even for forward body bias.
-        let vsb_eff = softplus(vsb + self.phi, 2.0 * PHI_T * n);
-        let vth = self.vth0 + self.delta.dvth + self.gamma * (vsb_eff.sqrt() - self.phi.sqrt());
+        let (vsb_eff, sig0) = softplus_grad(vsb + self.phi, 2.0 * PHI_T * n);
+        let sqrt_vsb_eff = vsb_eff.sqrt();
+        let vth = self.vth0 + self.delta.dvth + self.gamma * (sqrt_vsb_eff - self.phi.sqrt());
+        let dvth_dvsb = self.gamma * sig0 / (2.0 * sqrt_vsb_eff);
         // Smooth effective overdrive: ~vgs - vth in strong inversion,
         // exponential in weak inversion with slope n·φt.
         let s = 2.0 * n * PHI_T;
-        let vov = softplus(vgs - vth, s);
+        let (vov, sig1) = softplus_grad(vgs - vth, s);
         if vov <= 0.0 {
-            return 0.0;
+            return (0.0, 0.0, 0.0, 0.0);
         }
-        let beta = self.kp * (self.w / self.l_eff()) / (1.0 + self.theta * vov);
+        let theta_den = 1.0 + self.theta * vov;
+        let beta = self.kp * (self.w / self.l_eff()) / theta_den;
+        let dbeta_dvov = -beta * self.theta / theta_den;
         // Saturation voltage equals the overdrive (square law); vds_eff
-        // approaches min(vds, vdsat) smoothly.
+        // approaches min(vds, vdsat) smoothly: vds·(1 + (vds/vdsat)⁴)^(−1/4).
         let vdsat = vov.max(1e-12);
-        let m = 4.0;
-        let vds_eff = vds / (1.0 + (vds / vdsat).powf(m)).powf(1.0 / m);
-        beta * (vov - vds_eff / 2.0) * vds_eff * (1.0 + self.lambda * vds)
+        let u = vds / vdsat;
+        let den = quartic_norm(u);
+        let vds_eff = vds / den;
+        // ∂vds_eff/∂vds = (1+u⁴)^(−5/4); ∂vds_eff/∂vdsat = u⁵·(1+u⁴)^(−5/4).
+        let den4 = den * den * den * den; // 1 + u⁴, re-derived cheaply
+        let dveff_dvds = 1.0 / (den4 * den);
+        let dveff_dvdsat = if vov > 1e-12 {
+            u * u * u * u * u * dveff_dvds
+        } else {
+            0.0
+        };
+        let clm = 1.0 + self.lambda * vds;
+        let q = (vov - vds_eff / 2.0) * vds_eff;
+        let i = beta * q * clm;
+        let dq_dveff = vov - vds_eff;
+        let d_vds = beta * clm * dq_dveff * dveff_dvds + beta * q * self.lambda;
+        let di_dvov = (dbeta_dvov * q + beta * (vds_eff + dq_dveff * dveff_dvdsat)) * clm;
+        let d_vgs = di_dvov * sig1;
+        let d_vsb = -di_dvov * sig1 * dvth_dvsb;
+        (i, d_vds, d_vgs, d_vsb)
     }
 }
 
@@ -333,7 +409,11 @@ mod tests {
         let x4 = tech45::nmos(DriveStrength::X4);
         assert!((x4.c_gs() / x1.c_gs() - 4.0).abs() < 1e-9);
         assert!((x4.c_db() / x1.c_db() - 4.0).abs() < 1e-9);
-        assert!(x1.c_gs() > 1e-17 && x1.c_gs() < 1e-14, "cgs = {}", x1.c_gs());
+        assert!(
+            x1.c_gs() > 1e-17 && x1.c_gs() < 1e-14,
+            "cgs = {}",
+            x1.c_gs()
+        );
     }
 
     #[test]
@@ -362,7 +442,6 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
     use crate::tech45::{self, DriveStrength};
     use proptest::prelude::*;
 
@@ -409,6 +488,41 @@ mod proptests {
             let fwd = m.ids(va, vg, vb, 0.0);
             let rev = m.ids(vb, vg, va, 0.0);
             prop_assert!((fwd + rev).abs() <= 1e-12 * fwd.abs().max(1e-12));
+        }
+
+        /// The analytic gradient matches central finite differences of
+        /// `ids` at every bias, for both polarities.
+        #[test]
+        fn gradient_matches_finite_differences(
+            vd in 0.0..1.2f64,
+            vg in 0.0..1.2f64,
+            vs in 0.0..1.2f64,
+            pmos in 0u8..2,
+        ) {
+            let m = if pmos == 1 {
+                tech45::pmos(DriveStrength::X1)
+            } else {
+                tech45::nmos(DriveStrength::X1)
+            };
+            let v = [vd, vg, vs, 0.0];
+            let (id, grad) = m.ids_with_grad(v[0], v[1], v[2], v[3]);
+            prop_assert_eq!(id, m.ids(v[0], v[1], v[2], v[3]));
+            let h = 1e-6;
+            for j in 0..4 {
+                let (mut vp, mut vm) = (v, v);
+                vp[j] += h;
+                vm[j] -= h;
+                let fd = (m.ids(vp[0], vp[1], vp[2], vp[3])
+                    - m.ids(vm[0], vm[1], vm[2], vm[3]))
+                    / (2.0 * h);
+                // Absolute floor covers the subthreshold region where
+                // both are ~0; the relative bound covers strong inversion.
+                let tol = 1e-9 + 1e-4 * fd.abs().max(grad[j].abs());
+                prop_assert!(
+                    (grad[j] - fd).abs() <= tol,
+                    "terminal {}: analytic {} vs fd {}", j, grad[j], fd
+                );
+            }
         }
     }
 }

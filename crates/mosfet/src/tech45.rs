@@ -74,22 +74,12 @@ fn base(polarity: Polarity, vth0: f64, kp: f64, w: f64) -> MosParams {
 
 /// NMOS card at the given drive strength.
 pub fn nmos(drive: DriveStrength) -> MosParams {
-    base(
-        Polarity::Nmos,
-        0.466,
-        2.2e-4,
-        W_NMOS_X1 * drive.factor(),
-    )
+    base(Polarity::Nmos, 0.466, 2.2e-4, W_NMOS_X1 * drive.factor())
 }
 
 /// PMOS card at the given drive strength.
 pub fn pmos(drive: DriveStrength) -> MosParams {
-    base(
-        Polarity::Pmos,
-        0.490,
-        1.35e-4,
-        W_PMOS_X1 * drive.factor(),
-    )
+    base(Polarity::Pmos, 0.490, 1.35e-4, W_PMOS_X1 * drive.factor())
 }
 
 #[cfg(test)]

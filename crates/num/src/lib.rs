@@ -9,6 +9,9 @@
 //!   systems (tens to a few hundred unknowns),
 //! * [`linsolve`] — LU factorization with partial pivoting used by the
 //!   Newton loops of the DC and transient analyses,
+//! * [`sparse`] — CSR sparse matrices and a sparse LU with one-time
+//!   symbolic analysis and value-only refactorization (the simulator's
+//!   workhorse; includes the [`sparse::SolverStats`] work counters),
 //! * [`stats`] — population statistics for Monte-Carlo spread/overlap
 //!   analysis (Figs. 7, 9 and 10 of the paper),
 //! * [`rng`] — seeded Gaussian sampling for process variation,
@@ -40,12 +43,14 @@
 
 pub mod interp;
 pub mod linsolve;
-pub mod parallel;
 pub mod matrix;
+pub mod parallel;
 pub mod rng;
+pub mod sparse;
 pub mod stats;
 pub mod units;
 
 pub use linsolve::{LuFactors, SolveError};
 pub use matrix::Matrix;
+pub use sparse::{SolverStats, SparseLu, SparseMatrix};
 pub use stats::Summary;

@@ -42,7 +42,10 @@ impl fmt::Display for SolveError {
                 write!(f, "matrix is singular at pivot column {column}")
             }
             SolveError::DimensionMismatch { expected, actual } => {
-                write!(f, "right-hand side has length {actual}, expected {expected}")
+                write!(
+                    f,
+                    "right-hand side has length {actual}, expected {expected}"
+                )
             }
             SolveError::NotSquare { rows, cols } => {
                 write!(f, "matrix is {rows}x{cols}, expected square")
@@ -108,7 +111,7 @@ impl LuFactors {
                     p = i;
                 }
             }
-            if !(pmax > PIVOT_EPS) || !pmax.is_finite() {
+            if pmax <= PIVOT_EPS || !pmax.is_finite() {
                 return Err(SolveError::Singular { column: k });
             }
             if p != k {
@@ -133,6 +136,15 @@ impl LuFactors {
     /// Dimension of the factored system.
     pub fn dim(&self) -> usize {
         self.lu.rows()
+    }
+
+    /// The row permutation chosen by partial pivoting: position `i` of
+    /// `P·A` holds original row `permutation()[i]`.
+    ///
+    /// The sparse solver ([`crate::sparse::SparseLu`]) reuses this order
+    /// across refactorizations of matrices with the same pattern.
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
     }
 
     /// Solves `A·x = b` using the stored factors.

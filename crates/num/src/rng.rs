@@ -1,12 +1,59 @@
 //! Seeded random sampling for Monte-Carlo process variation.
 //!
 //! All Monte-Carlo experiments in the workspace must be reproducible, so
-//! every sampler is constructed from an explicit `u64` seed. Gaussian
-//! deviates are generated with the Marsaglia polar method on top of the
-//! `rand` uniform source.
+//! every sampler is constructed from an explicit `u64` seed. The uniform
+//! source is a self-contained xoshiro256++ generator (seeded through
+//! SplitMix64), which keeps the workspace free of external dependencies —
+//! this build environment has no access to crates.io. Gaussian deviates
+//! are generated with the Marsaglia polar method on top of it.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// The xoshiro256++ uniform generator.
+///
+/// Public only through [`GaussianRng`]; kept as a separate type so the
+/// state-transition logic is testable on its own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Expands a 64-bit seed into the full 256-bit state with SplitMix64,
+    /// the expansion recommended by the xoshiro authors.
+    fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Self { s }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform deviate in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
 
 /// A seeded generator of standard-normal and uniform deviates.
 ///
@@ -22,7 +69,7 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct GaussianRng {
-    rng: StdRng,
+    rng: Xoshiro256pp,
     /// Second deviate of a Marsaglia pair, saved for the next call.
     spare: Option<f64>,
 }
@@ -31,7 +78,7 @@ impl GaussianRng {
     /// Creates a generator from a seed.
     pub fn seed_from(seed: u64) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::seed_from(seed),
             spare: None,
         }
     }
@@ -43,8 +90,8 @@ impl GaussianRng {
         }
         // Marsaglia polar method.
         loop {
-            let u: f64 = self.rng.gen_range(-1.0..1.0);
-            let v: f64 = self.rng.gen_range(-1.0..1.0);
+            let u: f64 = 2.0 * self.rng.next_f64() - 1.0;
+            let v: f64 = 2.0 * self.rng.next_f64() - 1.0;
             let s = u * u + v * v;
             if s > 0.0 && s < 1.0 {
                 let factor = (-2.0 * s.ln() / s).sqrt();
@@ -71,7 +118,7 @@ impl GaussianRng {
     /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "uniform range must be non-empty");
-        self.rng.gen_range(lo..hi)
+        lo + (hi - lo) * self.rng.next_f64()
     }
 
     /// Derives an independent child generator; used to give each
@@ -79,7 +126,7 @@ impl GaussianRng {
     /// while staying reproducible.
     pub fn fork(&mut self, stream: u64) -> GaussianRng {
         // Mix the stream index into a fresh seed drawn from this generator.
-        let base: u64 = self.rng.gen();
+        let base: u64 = self.rng.next_u64();
         GaussianRng::seed_from(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 }
@@ -144,6 +191,15 @@ mod tests {
             let x = rng.uniform(-2.0, 3.0);
             assert!((-2.0..3.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn uniform_fills_the_range() {
+        let mut rng = GaussianRng::seed_from(17);
+        let xs: Vec<f64> = (0..10_000).map(|_| rng.uniform(0.0, 1.0)).collect();
+        let s = Summary::of(&xs);
+        assert!((s.mean - 0.5).abs() < 0.02, "mean {}", s.mean);
+        assert!(s.min < 0.01 && s.max > 0.99, "range [{}, {}]", s.min, s.max);
     }
 
     #[test]

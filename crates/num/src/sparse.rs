@@ -1,0 +1,728 @@
+//! Structure-aware sparse linear algebra for MNA systems.
+//!
+//! Modified-nodal-analysis matrices are extremely sparse: every circuit
+//! element touches a handful of entries, so a ring-oscillator system with
+//! `n` unknowns has O(n) nonzeros, not O(n²). Crucially, the *pattern* of
+//! those nonzeros is fixed by the netlist topology — Newton iterations,
+//! time steps and Monte-Carlo samples only change the *values*. This
+//! module exploits that:
+//!
+//! * [`SparseMatrix`] — compressed sparse row storage built once from the
+//!   stamp coordinates, then refilled in place via slot indices,
+//! * [`SparseLu`] — an LU factorization that performs the expensive
+//!   pivot-order search and fill-in (symbolic) analysis **once** and then
+//!   [`SparseLu::refactor`]s with the reused pivot order at O(nnz(LU))
+//!   cost per Newton iteration,
+//! * [`SolverStats`] — counters threaded from the linear solver through
+//!   the simulator up to the Monte-Carlo harness, so every experiment can
+//!   report how much numerical work it did.
+//!
+//! See `PERFORMANCE.md` at the repository root for the measured cost
+//! model (why this wins at ring sizes N = 5..50).
+
+use crate::linsolve::{LuFactors, SolveError};
+use crate::matrix::Matrix;
+
+/// A square sparse matrix in compressed sparse row (CSR) form.
+///
+/// Built once from the coordinate list of an assembly pass; afterwards
+/// the pattern is frozen and values are updated in place through the
+/// slot indices returned by [`SparseMatrix::from_coords`].
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_num::sparse::SparseMatrix;
+///
+/// // | 2 1 |   coordinate list in stamp order, duplicates accumulate
+/// // | 1 3 |
+/// let coords = [(0, 0), (0, 1), (1, 0), (1, 1), (0, 0)];
+/// let (mut a, slots) = SparseMatrix::from_coords(2, &coords);
+/// for (k, &v) in [1.0, 1.0, 1.0, 3.0, 1.0].iter().enumerate() {
+///     a.add_slot(slots[k], v); // the two (0,0) stamps accumulate to 2
+/// }
+/// assert_eq!(a.get(0, 0), 2.0);
+/// assert_eq!(a.nnz(), 4);
+/// assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds the pattern of an `n × n` matrix from a coordinate list and
+    /// returns, for every coordinate occurrence, the index of its value
+    /// slot (duplicates map to the same slot and accumulate under
+    /// [`SparseMatrix::add_slot`]).
+    ///
+    /// Values start at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn from_coords(n: usize, coords: &[(usize, usize)]) -> (Self, Vec<usize>) {
+        for &(i, j) in coords {
+            assert!(
+                i < n && j < n,
+                "coordinate ({i}, {j}) out of range for n = {n}"
+            );
+        }
+        // Count unique entries per row via sort-free bucketing.
+        let mut per_row: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(i, j) in coords {
+            per_row[i].push(j);
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        row_ptr.push(0);
+        for cols in &mut per_row {
+            cols.sort_unstable();
+            cols.dedup();
+            col_idx.extend_from_slice(cols);
+            row_ptr.push(col_idx.len());
+        }
+        let values = vec![0.0; col_idx.len()];
+        let m = Self {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        let slots = coords
+            .iter()
+            .map(|&(i, j)| m.slot_of(i, j).expect("coordinate was just inserted"))
+            .collect();
+        (m, slots)
+    }
+
+    /// Builds a matrix from explicit `(row, col, value)` triplets
+    /// (duplicates accumulate). Convenience for tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let coords: Vec<(usize, usize)> = triplets.iter().map(|&(i, j, _)| (i, j)).collect();
+        let (mut m, slots) = Self::from_coords(n, &coords);
+        for (k, &(_, _, v)) in triplets.iter().enumerate() {
+            m.add_slot(slots[k], v);
+        }
+        m
+    }
+
+    /// Dimension of the (square) matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Resets every stored value to zero, keeping the pattern.
+    pub fn zero_values(&mut self) {
+        self.values.fill(0.0);
+    }
+
+    /// Adds `v` into value slot `slot` (an index from
+    /// [`SparseMatrix::from_coords`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[inline]
+    pub fn add_slot(&mut self, slot: usize, v: f64) {
+        self.values[slot] += v;
+    }
+
+    /// The stored values in slot order (parallel to the CSR pattern).
+    ///
+    /// Callers can snapshot and compare this to detect that a matrix has
+    /// not changed since it was last factored.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The value slot storing entry `(i, j)`, if the pattern contains it.
+    pub fn slot_of(&self, i: usize, j: usize) -> Option<usize> {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col_idx[lo..hi]
+            .binary_search(&j)
+            .ok()
+            .map(|off| lo + off)
+    }
+
+    /// The value at `(i, j)`; zero when outside the pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        self.slot_of(i, j).map_or(0.0, |s| self.values[s])
+    }
+
+    /// Sparse matrix–vector product `y = A·x` into a caller buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` length does not match the dimension.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "vector length mismatch");
+        assert_eq!(y.len(), self.n, "output length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            *yi = acc;
+        }
+    }
+
+    /// Sparse matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the dimension.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Densifies into a [`Matrix`] (for tests and the one-time pivot
+    /// analysis).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n, self.n);
+        for i in 0..self.n {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                m[(i, self.col_idx[k])] = self.values[k];
+            }
+        }
+        m
+    }
+
+    /// Row `i` as parallel `(col_idx, values)` slices.
+    fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+}
+
+/// Pivots with magnitude below this are treated as numerically singular.
+const PIVOT_EPS: f64 = 1e-300;
+
+/// Refactorization declares pivot drift (and triggers a fresh analysis)
+/// when a reused pivot falls this far below its row's largest entry.
+const PIVOT_DRIFT_RATIO: f64 = 1e-12;
+
+/// Sparse LU factorization with a reusable symbolic analysis.
+///
+/// Construction ([`SparseLu::new`]) performs the expensive part once: a
+/// partial-pivoting factorization chooses the row permutation, and a
+/// symbolic elimination of the permuted pattern records the fill-in
+/// structure of `L + U`. Subsequent [`SparseLu::refactor`] calls reuse
+/// both, reducing the per-iteration cost from O(n³) to O(nnz(LU)) — the
+/// dominant win of the simulator's Newton loops, where the matrix values
+/// change every iteration but the pattern never does.
+///
+/// If the values drift so far that a reused pivot becomes unusable,
+/// `refactor` transparently falls back to a fresh analysis (and reports
+/// it, so [`SolverStats`] can count re-analyses).
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_num::sparse::{SparseLu, SparseMatrix};
+///
+/// # fn main() -> Result<(), rotsv_num::linsolve::SolveError> {
+/// let mut a = SparseMatrix::from_triplets(
+///     3,
+///     &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0), (2, 2, 2.0)],
+/// );
+/// let mut lu = SparseLu::new(&a)?;
+/// let x = lu.solve(&[5.0, 4.0, 2.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// assert!((x[2] - 1.0).abs() < 1e-12);
+///
+/// // Same pattern, new values: refactor without re-analysis.
+/// a = SparseMatrix::from_triplets(
+///     3,
+///     &[(0, 0, 2.0), (0, 1, 0.0), (1, 0, 0.0), (1, 1, 5.0), (2, 2, 1.0)],
+/// );
+/// let reanalyzed = lu.refactor(&a)?;
+/// assert!(!reanalyzed);
+/// let x = lu.solve(&[2.0, 5.0, 1.0])?;
+/// assert!(x.iter().all(|v| (v - 1.0).abs() < 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    /// Row permutation: position `i` of `P·A` holds original row `perm[i]`.
+    perm: Vec<usize>,
+    /// CSR pattern of `L + U` (unit-diagonal `L` strictly below, `U` on
+    /// and above the diagonal), rows in permuted order, columns sorted.
+    lu_row_ptr: Vec<usize>,
+    lu_col_idx: Vec<usize>,
+    lu_values: Vec<f64>,
+    /// Slot of the diagonal entry in each LU row.
+    diag_slot: Vec<usize>,
+    /// Dense scatter workspace reused by refactor.
+    work: Vec<f64>,
+}
+
+impl SparseLu {
+    /// Analyzes and factors `a`: chooses a pivot order by partial
+    /// pivoting, records the fill-in pattern, and computes the numeric
+    /// factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] when no usable pivot exists.
+    pub fn new(a: &SparseMatrix) -> Result<Self, SolveError> {
+        // 1. Pivot order from a dense partial-pivoting factorization.
+        //    O(n³), but paid once per topology and amortized over every
+        //    Newton iteration of every time step that follows.
+        let dense = LuFactors::factor(a.to_dense())?;
+        let perm = dense.permutation().to_vec();
+        let n = a.dim();
+
+        // 2. Symbolic elimination of the permuted pattern: the pattern of
+        //    LU row i is the union of row perm[i] of A with the upper
+        //    parts of every U row j < i it reaches (Doolittle by rows).
+        let mut row_patterns: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut in_row = vec![false; n];
+        for i in 0..n {
+            let (cols, _) = a.row(perm[i]);
+            let mut pattern: Vec<usize> = cols.to_vec();
+            for &c in &pattern {
+                in_row[c] = true;
+            }
+            // Walk candidate columns in ascending order; eliminating
+            // column j < i merges U row j's pattern in.
+            let mut k = 0;
+            while k < pattern.len() {
+                pattern.sort_unstable();
+                let j = pattern[k];
+                if j >= i {
+                    break;
+                }
+                for &c in &row_patterns[j] {
+                    if c > j && !in_row[c] {
+                        in_row[c] = true;
+                        pattern.push(c);
+                    }
+                }
+                k += 1;
+            }
+            pattern.sort_unstable();
+            if !in_row[i] {
+                // Structurally zero diagonal: still reserve the slot so a
+                // numeric value (or the singularity) is detected cleanly.
+                in_row[i] = true;
+                pattern.push(i);
+                pattern.sort_unstable();
+            }
+            for &c in &pattern {
+                in_row[c] = false;
+            }
+            row_patterns.push(pattern);
+        }
+
+        let mut lu_row_ptr = Vec::with_capacity(n + 1);
+        let mut lu_col_idx = Vec::new();
+        let mut diag_slot = Vec::with_capacity(n);
+        lu_row_ptr.push(0);
+        for (i, pattern) in row_patterns.iter().enumerate() {
+            let base = lu_col_idx.len();
+            lu_col_idx.extend_from_slice(pattern);
+            let d = pattern
+                .binary_search(&i)
+                .expect("diagonal is always in the pattern");
+            diag_slot.push(base + d);
+            lu_row_ptr.push(lu_col_idx.len());
+        }
+
+        let mut lu = Self {
+            n,
+            perm,
+            lu_row_ptr,
+            lu_values: vec![0.0; lu_col_idx.len()],
+            lu_col_idx,
+            diag_slot,
+            work: vec![0.0; n],
+        };
+        lu.refactor_in_place(a)?;
+        Ok(lu)
+    }
+
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries in `L + U` (a measure of fill-in).
+    pub fn lu_nnz(&self) -> usize {
+        self.lu_col_idx.len()
+    }
+
+    /// Recomputes the numeric factors of `a` (same pattern as analyzed)
+    /// with the recorded pivot order. Returns `true` when pivot drift
+    /// forced a fresh analysis, `false` on the fast path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] when the matrix is numerically
+    /// singular even after re-analysis, and
+    /// [`SolveError::DimensionMismatch`] if `a` has a different
+    /// dimension.
+    pub fn refactor(&mut self, a: &SparseMatrix) -> Result<bool, SolveError> {
+        if a.dim() != self.n {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.n,
+                actual: a.dim(),
+            });
+        }
+        match self.refactor_in_place(a) {
+            Ok(()) => Ok(false),
+            Err(SolveError::Singular { .. }) => {
+                // Values drifted away from the analyzed pivot order: redo
+                // the full analysis (new permutation, new fill pattern).
+                *self = Self::new(a)?;
+                Ok(true)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Numeric refactorization along the fixed pattern (Doolittle by
+    /// rows with a dense scatter workspace).
+    fn refactor_in_place(&mut self, a: &SparseMatrix) -> Result<(), SolveError> {
+        for i in 0..self.n {
+            let (lo, hi) = (self.lu_row_ptr[i], self.lu_row_ptr[i + 1]);
+            // Scatter row perm[i] of A over the LU pattern.
+            for k in lo..hi {
+                self.work[self.lu_col_idx[k]] = 0.0;
+            }
+            let (cols, vals) = a.row(self.perm[i]);
+            for (&c, &v) in cols.iter().zip(vals) {
+                self.work[c] = v;
+            }
+            // Eliminate columns j < i in ascending order.
+            let mut row_max = 0.0f64;
+            for k in lo..self.diag_slot[i] {
+                let j = self.lu_col_idx[k];
+                let ujj = self.lu_values[self.diag_slot[j]];
+                let l = self.work[j] / ujj;
+                self.work[j] = l;
+                if l != 0.0 {
+                    for m in (self.diag_slot[j] + 1)..self.lu_row_ptr[j + 1] {
+                        self.work[self.lu_col_idx[m]] -= l * self.lu_values[m];
+                    }
+                }
+            }
+            // Gather the finished row and check the pivot.
+            for k in lo..hi {
+                let v = self.work[self.lu_col_idx[k]];
+                self.lu_values[k] = v;
+                row_max = row_max.max(v.abs());
+            }
+            let piv = self.lu_values[self.diag_slot[i]].abs();
+            if piv <= PIVOT_EPS || !piv.is_finite() || piv < PIVOT_DRIFT_RATIO * row_max {
+                return Err(SolveError::Singular { column: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `A·x = b` with the current factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] if `b.len()` does not
+    /// match the dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        if b.len() != self.n {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.n,
+                actual: b.len(),
+            });
+        }
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        // Forward substitution with unit-diagonal L.
+        for i in 0..self.n {
+            let mut acc = x[i];
+            for k in self.lu_row_ptr[i]..self.diag_slot[i] {
+                acc -= self.lu_values[k] * x[self.lu_col_idx[k]];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..self.n).rev() {
+            let mut acc = x[i];
+            for k in (self.diag_slot[i] + 1)..self.lu_row_ptr[i + 1] {
+                acc -= self.lu_values[k] * x[self.lu_col_idx[k]];
+            }
+            x[i] = acc / self.lu_values[self.diag_slot[i]];
+        }
+        Ok(x)
+    }
+}
+
+/// Counters describing the numerical work of a simulation.
+///
+/// Produced by the linear solver and the Newton/transient loops in
+/// `rotsv-spice`, aggregated per measurement and per Monte-Carlo
+/// population in `rotsv`, and printed by the `experiments` binary.
+///
+/// Equality is not derived: `wall_seconds` varies run to run, so
+/// containers holding stats implement equality over their data only.
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_num::sparse::SolverStats;
+///
+/// let mut total = SolverStats::default();
+/// let step = SolverStats {
+///     factorizations: 1,
+///     solves: 3,
+///     newton_iterations: 3,
+///     steps_accepted: 1,
+///     ..SolverStats::default()
+/// };
+/// total.merge(&step);
+/// total.merge(&step);
+/// assert_eq!(total.solves, 6);
+/// assert!(total.summary().contains("newton 6"));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverStats {
+    /// Full symbolic + pivot analyses (one per topology, plus pivot-drift
+    /// fallbacks).
+    pub symbolic_analyses: u64,
+    /// Numeric factorizations, including the fast refactorizations.
+    pub factorizations: u64,
+    /// Triangular solves.
+    pub solves: u64,
+    /// Newton iterations across all analyses.
+    pub newton_iterations: u64,
+    /// Accepted integration steps.
+    pub steps_accepted: u64,
+    /// Rejected integration steps (local-truncation-error control or
+    /// Newton failure).
+    pub steps_rejected: u64,
+    /// Wall-clock time spent inside analyses, seconds.
+    pub wall_seconds: f64,
+}
+
+impl SolverStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.symbolic_analyses += other.symbolic_analyses;
+        self.factorizations += other.factorizations;
+        self.solves += other.solves;
+        self.newton_iterations += other.newton_iterations;
+        self.steps_accepted += other.steps_accepted;
+        self.steps_rejected += other.steps_rejected;
+        self.wall_seconds += other.wall_seconds;
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "steps {}+{}r, newton {}, factor {} ({} analyses), solves {}, wall {:.3} s",
+            self.steps_accepted,
+            self.steps_rejected,
+            self.newton_iterations,
+            self.factorizations,
+            self.symbolic_analyses,
+            self.solves,
+            self.wall_seconds,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual_inf(a: &SparseMatrix, x: &[f64], b: &[f64]) -> f64 {
+        a.mul_vec(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, b)| (ax - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn from_coords_dedups_and_accumulates() {
+        let coords = [(0, 0), (1, 1), (0, 0), (0, 1)];
+        let (mut m, slots) = SparseMatrix::from_coords(2, &coords);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(slots[0], slots[2]);
+        m.add_slot(slots[0], 1.0);
+        m.add_slot(slots[2], 2.0);
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let m = SparseMatrix::from_triplets(
+            3,
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, -1.0),
+                (2, 0, 3.0),
+                (2, 2, 4.0),
+            ],
+        );
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(m.mul_vec(&x), m.to_dense().mul_vec(&x));
+    }
+
+    #[test]
+    fn lu_solves_mna_like_system() {
+        // A voltage-divider MNA shape: conductances plus a vsource branch
+        // (zero diagonal — exercises pivoting).
+        let a = SparseMatrix::from_triplets(
+            3,
+            &[
+                (0, 0, 2e-3),
+                (0, 1, -1e-3),
+                (0, 2, 1.0),
+                (1, 0, -1e-3),
+                (1, 1, 2e-3),
+                (2, 0, 1.0),
+            ],
+        );
+        let mut lu = SparseLu::new(&a).unwrap();
+        let b = [0.0, 0.0, 2.0];
+        let x = lu.solve(&b).unwrap();
+        assert!(residual_inf(&a, &x, &b) < 1e-12);
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+
+        // Refactor with changed conductances, same pattern.
+        let a2 = SparseMatrix::from_triplets(
+            3,
+            &[
+                (0, 0, 3e-3),
+                (0, 1, -2e-3),
+                (0, 2, 1.0),
+                (1, 0, -2e-3),
+                (1, 1, 3e-3),
+                (2, 0, 1.0),
+            ],
+        );
+        assert!(!lu.refactor(&a2).unwrap());
+        let x = lu.solve(&b).unwrap();
+        assert!(residual_inf(&a2, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn refactor_falls_back_on_pivot_drift() {
+        // First values make (0,0) the natural pivot; the second set zeroes
+        // it, forcing the reused order to fail and re-analyze.
+        let a =
+            SparseMatrix::from_triplets(2, &[(0, 0, 5.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 0.1)]);
+        let mut lu = SparseLu::new(&a).unwrap();
+        let drifted =
+            SparseMatrix::from_triplets(2, &[(0, 0, 0.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 0.1)]);
+        let reanalyzed = lu.refactor(&drifted).unwrap();
+        assert!(reanalyzed);
+        let x = lu.solve(&[1.0, 2.0]).unwrap();
+        assert!(residual_inf(&drifted, &x, &[1.0, 2.0]) < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a =
+            SparseMatrix::from_triplets(2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 4.0)]);
+        assert!(matches!(
+            SparseLu::new(&a),
+            Err(SolveError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn fill_in_is_handled() {
+        // Arrow matrix: dense last row/col creates fill during elimination.
+        let n = 6;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0 + i as f64));
+            if i + 1 < n {
+                t.push((i, n - 1, 1.0));
+                t.push((n - 1, i, 1.0));
+            }
+        }
+        let a = SparseMatrix::from_triplets(n, &t);
+        let mut lu = SparseLu::new(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let x = lu.solve(&b).unwrap();
+        assert!(residual_inf(&a, &x, &b) < 1e-12);
+        assert!(lu.lu_nnz() >= a.nnz());
+        // Refactor with perturbed values still solves tightly.
+        let t2: Vec<(usize, usize, f64)> =
+            t.iter().map(|&(i, j, v)| (i, j, v * 1.5 + 0.1)).collect();
+        let a2 = SparseMatrix::from_triplets(n, &t2);
+        lu.refactor(&a2).unwrap();
+        let x = lu.solve(&b).unwrap();
+        assert!(residual_inf(&a2, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = SparseMatrix::from_triplets(2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let mut lu = SparseLu::new(&a).unwrap();
+        assert!(matches!(
+            lu.solve(&[1.0]),
+            Err(SolveError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
+        let b = SparseMatrix::from_triplets(3, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+        assert!(matches!(
+            lu.refactor(&b),
+            Err(SolveError::DimensionMismatch {
+                expected: 2,
+                actual: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut s = SolverStats::default();
+        s.merge(&SolverStats {
+            factorizations: 2,
+            newton_iterations: 5,
+            wall_seconds: 0.5,
+            ..SolverStats::default()
+        });
+        s.merge(&SolverStats {
+            factorizations: 1,
+            steps_rejected: 3,
+            wall_seconds: 0.25,
+            ..SolverStats::default()
+        });
+        assert_eq!(s.factorizations, 3);
+        assert_eq!(s.newton_iterations, 5);
+        assert_eq!(s.steps_rejected, 3);
+        assert!((s.wall_seconds - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,9 +1,11 @@
 //! Property-based tests for the numeric foundations.
 
 use proptest::prelude::*;
+use proptest::TestRng;
 use rotsv_num::linsolve::LuFactors;
 use rotsv_num::matrix::Matrix;
 use rotsv_num::rng::GaussianRng;
+use rotsv_num::sparse::{SparseLu, SparseMatrix};
 use rotsv_num::stats::{percentile, point_overlap, range_overlap, Summary};
 
 fn random_dd_matrix(n: usize, seed: u64) -> Matrix {
@@ -91,5 +93,102 @@ proptest! {
             prop_assert!(q >= s.min - 1e-12 && q <= s.max + 1e-12);
             prev = q;
         }
+    }
+
+    /// Sparse LU agrees with the dense reference to 1e-12 on random
+    /// MNA-shaped systems (conductance block plus voltage-source border),
+    /// both on the first factorization and after a value-only refactor.
+    #[test]
+    fn sparse_lu_matches_dense_on_mna_systems(
+        n_nodes in 2usize..24,
+        n_vs in 0usize..3,
+        n_edges in 0usize..40,
+        seed in 0u64..400,
+    ) {
+        let n_vs = n_vs.min(n_nodes);
+        let (triplets, n) = random_mna_triplets(n_nodes, n_vs, n_edges, seed, seed ^ 0xA11);
+        let b = random_rhs(n, seed ^ 0xB0B);
+
+        let sparse = SparseMatrix::from_triplets(n, &triplets);
+        let mut lu = SparseLu::new(&sparse).unwrap();
+        let x_sparse = lu.solve(&b).unwrap();
+        let x_dense = dense_solve(n, &triplets, &b);
+        assert_close(&x_sparse, &x_dense, 1e-12);
+
+        // Same topology seed => same pattern; new values: the refactor
+        // path must agree with a fresh dense solve too.
+        let (triplets2, _) = random_mna_triplets(n_nodes, n_vs, n_edges, seed, seed ^ 0xF00D);
+        let sparse2 = SparseMatrix::from_triplets(n, &triplets2);
+        lu.refactor(&sparse2).unwrap();
+        let x_sparse2 = lu.solve(&b).unwrap();
+        let x_dense2 = dense_solve(n, &triplets2, &b);
+        assert_close(&x_sparse2, &x_dense2, 1e-12);
+    }
+}
+
+/// Builds the triplets of a random MNA-shaped system: every node has a
+/// grounded conductance (so the conductance block is nonsingular),
+/// `n_edges` random node-to-node conductances, and `n_vs` voltage-source
+/// border rows attached to distinct nodes. The *pattern* is drawn from
+/// `topo_seed` and the *values* from `value_seed`, so two calls sharing
+/// `topo_seed` produce the same sparsity pattern in the same order — that
+/// second result exercises `SparseLu::refactor`.
+fn random_mna_triplets(
+    n_nodes: usize,
+    n_vs: usize,
+    n_edges: usize,
+    topo_seed: u64,
+    value_seed: u64,
+) -> (Vec<(usize, usize, f64)>, usize) {
+    let n = n_nodes + n_vs;
+    let mut topo = TestRng::seed_from(topo_seed);
+    let mut val = TestRng::seed_from(value_seed);
+    let mut t = Vec::new();
+    for i in 0..n_nodes {
+        // Grounded conductance: only a diagonal contribution.
+        t.push((i, i, 0.1 + 10.0 * val.next_f64()));
+    }
+    for _ in 0..n_edges {
+        let a = (topo.next_u64() % n_nodes as u64) as usize;
+        let bn = (topo.next_u64() % n_nodes as u64) as usize;
+        let g = 0.1 + 10.0 * val.next_f64();
+        if a == bn {
+            continue; // self-edge: no off-diagonal stamp
+        }
+        t.push((a, a, g));
+        t.push((bn, bn, g));
+        t.push((a, bn, -g));
+        t.push((bn, a, -g));
+    }
+    for k in 0..n_vs {
+        // Source k forces node k: unit border entries, like a real
+        // voltage-source stamp (makes the system indefinite, which is
+        // what exercises the pivoting).
+        t.push((k, n_nodes + k, 1.0));
+        t.push((n_nodes + k, k, 1.0));
+    }
+    (t, n)
+}
+
+fn random_rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = TestRng::seed_from(seed);
+    (0..n).map(|_| 2.0 * rng.next_f64() - 1.0).collect()
+}
+
+fn dense_solve(n: usize, triplets: &[(usize, usize, f64)], b: &[f64]) -> Vec<f64> {
+    let mut a = Matrix::zeros(n, n);
+    for &(i, j, v) in triplets {
+        a[(i, j)] += v;
+    }
+    LuFactors::factor(a).unwrap().solve(b).unwrap()
+}
+
+fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+    let scale = b.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= tol * scale,
+            "component {i}: sparse {x} vs dense {y} (scale {scale})"
+        );
     }
 }

@@ -3,8 +3,8 @@
 use rotsv_mosfet::model::VariationSource;
 use rotsv_mosfet::tech45::DriveStrength;
 use rotsv_spice::{
-    Circuit, IntegrationMethod, NodeId, PeriodMeasurement, SourceWaveform, SpiceError,
-    TransientSpec, Waveform,
+    Circuit, IntegrationMethod, NodeId, PeriodMeasurement, SolverStats, SourceWaveform, SpiceError,
+    StepControl, TransientSpec, Waveform,
 };
 use rotsv_stdcell::CellBuilder;
 use rotsv_tsv::{Tsv, TsvFault, TsvModel, TsvTech};
@@ -61,7 +61,10 @@ impl RoConfig {
     ///
     /// Panics if `index` is out of range.
     pub fn with_fault(mut self, index: usize, fault: TsvFault) -> Self {
-        assert!(index < self.n_segments, "segment index {index} out of range");
+        assert!(
+            index < self.n_segments,
+            "segment index {index} out of range"
+        );
         self.faults[index] = fault;
         self
     }
@@ -84,7 +87,9 @@ impl RoConfig {
 /// Options for the transient period measurement.
 #[derive(Debug, Clone, Copy)]
 pub struct MeasureOpts {
-    /// Integration step, seconds.
+    /// Integration step, seconds. Under adaptive stepping this is the
+    /// *reference* step: the controller starts here and stretches or
+    /// shrinks around it as the local truncation error allows.
     pub dt: f64,
     /// Oscillation cycles to average over.
     pub cycles: usize,
@@ -95,6 +100,10 @@ pub struct MeasureOpts {
     pub max_time: f64,
     /// Integration method.
     pub method: IntegrationMethod,
+    /// Time-step control. Defaults to LTE-adaptive stepping; switch to
+    /// [`StepControl::Fixed`] (e.g. via [`MeasureOpts::fixed_step`]) to
+    /// cross-check adaptive results against the uniform-grid reference.
+    pub step: StepControl,
 }
 
 impl Default for MeasureOpts {
@@ -105,6 +114,7 @@ impl Default for MeasureOpts {
             skip_cycles: 2,
             max_time: 60e-9,
             method: IntegrationMethod::Trapezoidal,
+            step: StepControl::adaptive(),
         }
     }
 }
@@ -119,6 +129,13 @@ impl MeasureOpts {
             max_time: 40e-9,
             ..Self::default()
         }
+    }
+
+    /// The same measurement on a fixed uniform grid — the cross-check
+    /// mode the adaptive controller is validated against.
+    pub fn fixed_step(mut self) -> Self {
+        self.step = StepControl::Fixed;
+        self
     }
 
     fn validate(&self) {
@@ -229,9 +246,9 @@ impl RingOscillator {
         let tsv_fronts: Vec<NodeId> = (0..n).map(|i| ckt.node(&format!("tsv{i}"))).collect();
 
         // Stamp the TSVs (with faults) first, then the cells.
-        for i in 0..n {
+        for (i, &front) in tsv_fronts.iter().enumerate() {
             let tsv = Tsv::new(config.tech, config.faults[i]);
-            tsv.stamp(&mut ckt, tsv_fronts[i], config.tsv_model);
+            tsv.stamp(&mut ckt, front, config.tsv_model);
         }
 
         let mut cells = CellBuilder::new(&mut ckt, vdd, vary);
@@ -251,7 +268,13 @@ impl RingOscillator {
             // … and the receiver back "to core".
             cells.receiver_buffer(&format!("rcv{i}"), tsv_fronts[i], recv_out);
             // Bypass mux: BY[i] = 1 selects the direct path.
-            cells.mux2(&format!("by{i}_mux"), recv_out, seg_in[i], by[i], seg_out[i]);
+            cells.mux2(
+                &format!("by{i}_mux"),
+                recv_out,
+                seg_in[i],
+                by[i],
+                seg_out[i],
+            );
         }
         // The shared inverter closing the loop.
         cells.inverter("ring_inv", seg_out[n - 1], loop_tail, DriveStrength::X1);
@@ -291,22 +314,42 @@ impl RingOscillator {
     ///
     /// Panics if `opts` is invalid (non-positive step or budget).
     pub fn measure(&self, opts: &MeasureOpts) -> Result<OscillationOutcome, SpiceError> {
+        self.measure_with_stats(opts).map(|(outcome, _)| outcome)
+    }
+
+    /// Like [`RingOscillator::measure`], additionally returning the
+    /// numerical-work counters of the underlying transient run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; see [`RingOscillator::measure`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts` is invalid (non-positive step or budget).
+    pub fn measure_with_stats(
+        &self,
+        opts: &MeasureOpts,
+    ) -> Result<(OscillationOutcome, SolverStats), SpiceError> {
         opts.validate();
         let threshold = self.vdd / 2.0;
         let needed = opts.skip_cycles + opts.cycles + 2;
         let spec = TransientSpec::new(opts.max_time, opts.dt)
             .record(&[self.probe])
             .method(opts.method)
+            .step_control(opts.step)
             .stop_after_rising(self.probe, threshold, needed);
         let res = self.circuit.transient(&spec)?;
+        let stats = res.stats();
         let wave = res.waveform(self.probe);
-        Ok(match wave.period(threshold, opts.skip_cycles) {
+        let outcome = match wave.period(threshold, opts.skip_cycles) {
             Some(m) => OscillationOutcome::Oscillating(m),
             None => OscillationOutcome::Stuck {
                 final_voltage: wave.final_value(),
                 swing: wave.max() - wave.min(),
             },
-        })
+        };
+        Ok((outcome, stats))
     }
 
     /// Simulates the ring and returns the probe waveform (for plotting
@@ -337,7 +380,10 @@ mod tests {
         let out = measure(&RoConfig::new(2, 1.1).enable_only(&[0]));
         let m = match out {
             OscillationOutcome::Oscillating(m) => m,
-            OscillationOutcome::Stuck { final_voltage, swing } => {
+            OscillationOutcome::Stuck {
+                final_voltage,
+                swing,
+            } => {
                 panic!("stuck at {final_voltage} (swing {swing})")
             }
         };
@@ -415,7 +461,7 @@ mod tests {
                 // The loop latches at a rail (the paper's stuck-at-0 TSV
                 // behaviour; the probe is an inverter output so it may
                 // latch at either rail). No sustained oscillation.
-                let near_rail = final_voltage < 0.6 || final_voltage > 0.9;
+                let near_rail = !(0.6..=0.9).contains(&final_voltage);
                 assert!(near_rail, "final {final_voltage}");
                 assert!(swing <= 1.2, "swing {swing}");
             }
@@ -428,11 +474,10 @@ mod tests {
     #[test]
     fn fault_in_bypassed_segment_is_invisible() {
         let clean = measure(&RoConfig::new(2, 1.1)).period().unwrap();
-        let with_hidden_fault = measure(
-            &RoConfig::new(2, 1.1).with_fault(0, TsvFault::Leakage { r: Ohms(2000.0) }),
-        )
-        .period()
-        .unwrap();
+        let with_hidden_fault =
+            measure(&RoConfig::new(2, 1.1).with_fault(0, TsvFault::Leakage { r: Ohms(2000.0) }))
+                .period()
+                .unwrap();
         let rel = (with_hidden_fault - clean).abs() / clean;
         assert!(rel < 0.01, "bypassed fault changed period by {rel}");
     }

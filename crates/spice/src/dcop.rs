@@ -5,6 +5,10 @@
 //! a large shunt conductance and relax it) and **source stepping** (ramp
 //! all independent sources from zero).
 
+use std::time::Instant;
+
+use rotsv_num::sparse::SolverStats;
+
 use crate::circuit::{Circuit, VSourceId};
 use crate::error::SpiceError;
 use crate::mna::{newton_solve, node_voltage, CapMode, MnaWorkspace, NewtonOpts};
@@ -34,9 +38,16 @@ impl Default for DcOpSpec {
 pub struct DcSolution {
     x: Vec<f64>,
     n_nodes: usize,
+    stats: SolverStats,
 }
 
 impl DcSolution {
+    /// Numerical-work counters of the analysis that produced this
+    /// solution. (Solutions taken from a [`crate::dcsweep`] carry zeroed
+    /// counters; the sweep aggregate lives on the sweep result.)
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
     /// Voltage of `node`.
     ///
     /// # Panics
@@ -69,8 +80,20 @@ impl DcSolution {
     }
 
     pub(crate) fn from_raw(x: Vec<f64>, n_nodes: usize) -> Self {
-        Self { x, n_nodes }
+        Self {
+            x,
+            n_nodes,
+            stats: SolverStats::default(),
+        }
     }
+}
+
+/// Stamps the final wall time into the workspace counters and wraps the
+/// solution.
+fn finish(x: Vec<f64>, n_nodes: usize, ws: &MnaWorkspace, start: Instant) -> DcSolution {
+    let mut stats = ws.stats;
+    stats.wall_seconds = start.elapsed().as_secs_f64();
+    DcSolution { x, n_nodes, stats }
 }
 
 impl Circuit {
@@ -82,9 +105,17 @@ impl Circuit {
     /// source stepping all fail, or [`SpiceError::SingularSystem`] if the
     /// MNA matrix is structurally singular.
     pub fn dcop(&self, spec: &DcOpSpec) -> Result<DcSolution, SpiceError> {
+        let wall_start = Instant::now();
         let mut ws = MnaWorkspace::new(self);
+        // DC solves start far from the solution (zero vector, homotopy
+        // ramps), where a stale Jacobian can cycle instead of converge.
+        // Full Newton here costs nothing measurable — DC is a negligible
+        // slice of every experiment — and matches the robustness of the
+        // dense engine this replaced. Linear circuits still factor once
+        // thanks to the unchanged-values skip in the workspace.
         let opts = NewtonOpts {
             max_iterations: spec.max_iterations,
+            max_stale: 0,
             ..NewtonOpts::default()
         };
         let mut x0 = vec![0.0; self.unknown_count()];
@@ -105,12 +136,7 @@ impl Circuit {
             CapMode::Open,
             &opts,
         ) {
-            Ok(x) => {
-                return Ok(DcSolution {
-                    x,
-                    n_nodes: self.node_count(),
-                })
-            }
+            Ok(x) => return Ok(finish(x, self.node_count(), &ws, wall_start)),
             Err(fail) => {
                 if let Some(err @ SpiceError::SingularSystem { .. }) = fail.error {
                     return Err(err);
@@ -143,10 +169,7 @@ impl Circuit {
                 CapMode::Open,
                 &opts,
             ) {
-                return Ok(DcSolution {
-                    x: sol,
-                    n_nodes: self.node_count(),
-                });
+                return Ok(finish(sol, self.node_count(), &ws, wall_start));
             }
         }
 
@@ -187,10 +210,7 @@ impl Circuit {
                 }
             }
         }
-        Ok(DcSolution {
-            x,
-            n_nodes: self.node_count(),
-        })
+        Ok(finish(x, self.node_count(), &ws, wall_start))
     }
 }
 

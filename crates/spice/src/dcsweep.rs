@@ -6,6 +6,10 @@
 //! extracting the switching threshold of the skewed receiver that sets
 //! the leakage oscillation-stop point.
 
+use std::time::Instant;
+
+use rotsv_num::sparse::SolverStats;
+
 use crate::circuit::{Circuit, Element, VSourceId};
 use crate::dcop::DcSolution;
 use crate::error::SpiceError;
@@ -18,12 +22,20 @@ use crate::source::SourceWaveform;
 pub struct DcSweepResult {
     values: Vec<f64>,
     solutions: Vec<DcSolution>,
+    stats: SolverStats,
 }
 
 impl DcSweepResult {
     /// The swept source values.
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+
+    /// Aggregate numerical-work counters over the whole sweep. The sweep
+    /// shares one workspace, so the symbolic analysis is typically done
+    /// exactly once for all points.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
     }
 
     /// The operating point at sweep step `i`.
@@ -104,8 +116,13 @@ impl Circuit {
         // the sweep.
         let original = self.set_vsource_value(source, start);
 
+        let wall_start = Instant::now();
         let mut ws = MnaWorkspace::new(self);
-        let opts = NewtonOpts::default();
+        // Full Newton for DC robustness; see the note in `dcop`.
+        let opts = NewtonOpts {
+            max_stale: 0,
+            ..NewtonOpts::default()
+        };
         let mut values = Vec::with_capacity(steps + 1);
         let mut solutions = Vec::with_capacity(steps + 1);
         let mut x = vec![0.0; self.unknown_count()];
@@ -140,7 +157,13 @@ impl Circuit {
         }
         // Restore the original source waveform.
         self.restore_vsource(source, original);
-        result.map(|()| DcSweepResult { values, solutions })
+        let mut stats = ws.stats;
+        stats.wall_seconds = wall_start.elapsed().as_secs_f64();
+        result.map(|()| DcSweepResult {
+            values,
+            solutions,
+            stats,
+        })
     }
 
     /// Replaces the waveform of `source` with a DC value, returning the

@@ -12,8 +12,9 @@
 //! * a Newton–Raphson **DC operating point** with gmin and source stepping
 //!   ([`dcop`]),
 //! * **transient analysis** with trapezoidal or backward-Euler integration,
-//!   per-step Newton iteration and automatic sub-stepping on convergence
-//!   trouble ([`transient`]),
+//!   per-step Newton iteration, fixed or local-truncation-error-adaptive
+//!   time stepping ([`StepControl`]) and automatic sub-stepping on
+//!   convergence trouble ([`transient`]),
 //! * **waveform post-processing**: threshold crossings, propagation delay
 //!   and oscillation-period extraction with sub-step interpolation
 //!   ([`waveform`]).
@@ -58,6 +59,9 @@ pub use dcsweep::DcSweepResult;
 pub use device::{DeviceStamp, NonlinearDevice};
 pub use error::SpiceError;
 pub use node::NodeId;
+pub use rotsv_num::sparse::SolverStats;
 pub use source::SourceWaveform;
-pub use transient::{IntegrationMethod, StopCondition, TransientResult, TransientSpec};
+pub use transient::{
+    AdaptiveControl, IntegrationMethod, StepControl, StopCondition, TransientResult, TransientSpec,
+};
 pub use waveform::{Edge, PeriodMeasurement, Waveform};

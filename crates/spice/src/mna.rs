@@ -1,12 +1,27 @@
 //! Modified Nodal Analysis assembly and the shared Newton iteration.
 //!
 //! Unknown ordering: `x = [v(node 1), …, v(node N−1), i(branch 0), …]`.
-//! Each Newton iteration assembles the Norton linearization `A·x = b` of
-//! the circuit at the previous iterate and solves for the next iterate
-//! directly (the classic SPICE companion-model formulation).
+//!
+//! The MNA matrix of a fixed netlist has a fixed sparsity pattern — Newton
+//! iterations, time steps and Monte-Carlo samples only change the values.
+//! `MnaWorkspace::new` therefore walks the element list once to record
+//! the stamp coordinates, builds a [`SparseMatrix`] from them, and keeps
+//! the per-stamp value-slot sequence. Every subsequent
+//! `MnaWorkspace::assemble` replays exactly that sequence through a
+//! cursor, writing values straight into the CSR slots with no searching.
+//! (Capacitors stamp in every mode — a zero conductance under
+//! `CapMode::Open` — precisely so the replayed sequence never changes.)
+//!
+//! The Newton loop is formulated in **delta form**: it solves
+//! `J·Δ = b(x) − A(x)·x` and updates `x += Δ`. Because the right-hand side
+//! is the true residual of the linearized system, the factorization of `J`
+//! may be *stale* (reused from an earlier iteration or even an earlier
+//! time step) without changing the fixed point — only the convergence
+//! rate. `NewtonOpts::max_stale` bounds the reuse and a residual stall
+//! check triggers an early refresh, giving modified-Newton savings on the
+//! smooth stretches and full-Newton robustness on the switching edges.
 
-use rotsv_num::linsolve::LuFactors;
-use rotsv_num::matrix::Matrix;
+use rotsv_num::sparse::{SolverStats, SparseLu, SparseMatrix};
 
 use crate::circuit::{Circuit, Element};
 use crate::device::DeviceStamp;
@@ -24,11 +39,30 @@ pub(crate) enum CapMode<'a> {
 }
 
 /// Reusable workspace for repeated assembly/solve cycles.
+///
+/// Owns the sparse matrix, the slot-replay sequence, the cached
+/// [`SparseLu`] factorization and the [`SolverStats`] counters for
+/// everything solved through it.
 pub(crate) struct MnaWorkspace {
-    pub a: Matrix,
+    a: SparseMatrix,
     pub b: Vec<f64>,
+    /// Value-slot sequence in stamp order; `assemble` replays it.
+    slots: Vec<usize>,
     stamps: Vec<DeviceStamp>,
     n_node_unknowns: usize,
+    /// Cached factorization; `None` until the first Newton iteration.
+    lu: Option<SparseLu>,
+    /// Newton iterations solved since `lu` was last refactored.
+    stale_iters: usize,
+    /// Snapshot of the matrix values `lu` was computed from; a refactor
+    /// request with identical values is a no-op (linear circuits hit this
+    /// on every iteration and every fixed-dt time step).
+    last_factored: Vec<f64>,
+    /// Residual scratch buffer.
+    resid: Vec<f64>,
+    /// Work counters, accumulated across every solve through this
+    /// workspace.
+    pub stats: SolverStats,
 }
 
 /// Voltage of `node` under solution vector `x`.
@@ -50,10 +84,27 @@ fn row_of(node: NodeId) -> Option<usize> {
     }
 }
 
+/// Emits the coordinates of a two-terminal conductance stamp in the same
+/// order [`MnaWorkspace::stamp_conductance`] writes values.
+fn conductance_coords(a: NodeId, b: NodeId, coords: &mut Vec<(usize, usize)>) {
+    match (row_of(a), row_of(b)) {
+        (Some(ra), Some(rb)) => {
+            coords.push((ra, ra));
+            coords.push((rb, rb));
+            coords.push((ra, rb));
+            coords.push((rb, ra));
+        }
+        (Some(ra), None) => coords.push((ra, ra)),
+        (None, Some(rb)) => coords.push((rb, rb)),
+        (None, None) => {}
+    }
+}
+
 impl MnaWorkspace {
     pub fn new(ckt: &Circuit) -> Self {
         let n = ckt.unknown_count();
-        let stamps = ckt
+        let n_nodes = ckt.node_count() - 1;
+        let stamps: Vec<DeviceStamp> = ckt
             .elements
             .iter()
             .filter_map(|e| match e {
@@ -61,11 +112,57 @@ impl MnaWorkspace {
                 _ => None,
             })
             .collect();
+
+        // One topology walk records every stamp coordinate in the exact
+        // order `assemble` will produce values.
+        let mut coords = Vec::new();
+        for i in 0..n_nodes {
+            coords.push((i, i)); // gmin shunt
+        }
+        for elem in &ckt.elements {
+            match elem {
+                Element::Resistor { a, b, .. } | Element::Capacitor { a, b, .. } => {
+                    conductance_coords(*a, *b, &mut coords);
+                }
+                Element::VSource {
+                    pos, neg, branch, ..
+                } => {
+                    let rb = n_nodes + branch;
+                    if let Some(rp) = row_of(*pos) {
+                        coords.push((rp, rb));
+                        coords.push((rb, rp));
+                    }
+                    if let Some(rn) = row_of(*neg) {
+                        coords.push((rn, rb));
+                        coords.push((rb, rn));
+                    }
+                }
+                Element::ISource { .. } => {}
+                Element::Nonlinear(dev) => {
+                    for &nk in dev.nodes() {
+                        let Some(rk) = row_of(nk) else { continue };
+                        for &nj in dev.nodes() {
+                            if let Some(cj) = row_of(nj) {
+                                coords.push((rk, cj));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let (a, slots) = SparseMatrix::from_coords(n, &coords);
+
         Self {
-            a: Matrix::zeros(n, n),
+            a,
             b: vec![0.0; n],
+            slots,
             stamps,
-            n_node_unknowns: ckt.node_count() - 1,
+            n_node_unknowns: n_nodes,
+            lu: None,
+            stale_iters: 0,
+            last_factored: Vec::new(),
+            resid: vec![0.0; n],
+            stats: SolverStats::default(),
         }
     }
 
@@ -82,31 +179,36 @@ impl MnaWorkspace {
         caps: CapMode<'_>,
     ) {
         let n_nodes = self.n_node_unknowns;
-        self.a.fill_zero();
+        self.a.zero_values();
         self.b.fill(0.0);
+        let mut cursor = 0usize;
         // gmin from every node to ground.
-        for i in 0..n_nodes {
-            self.a.add(i, i, gmin);
+        for _ in 0..n_nodes {
+            self.a.add_slot(self.slots[cursor], gmin);
+            cursor += 1;
         }
         let mut cap_idx = 0usize;
         let mut dev_idx = 0usize;
         for elem in &ckt.elements {
             match elem {
                 Element::Resistor { a, b, ohms } => {
-                    self.stamp_conductance(*a, *b, 1.0 / ohms);
+                    cursor = self.stamp_conductance(cursor, *a, *b, 1.0 / ohms);
                 }
                 Element::Capacitor { a, b, .. } => {
-                    if let CapMode::Companion(companions) = caps {
-                        let (geq, ieq) = companions[cap_idx];
-                        self.stamp_conductance(*a, *b, geq);
-                        // i = geq·v + ieq flows a→b inside the device:
-                        // ieq leaves node a, enters node b.
-                        if let Some(ra) = row_of(*a) {
-                            self.b[ra] -= ieq;
-                        }
-                        if let Some(rb) = row_of(*b) {
-                            self.b[rb] += ieq;
-                        }
+                    // Stamp in every mode so the slot replay stays aligned;
+                    // under CapMode::Open the conductance is simply zero.
+                    let (geq, ieq) = match caps {
+                        CapMode::Open => (0.0, 0.0),
+                        CapMode::Companion(companions) => companions[cap_idx],
+                    };
+                    cursor = self.stamp_conductance(cursor, *a, *b, geq);
+                    // i = geq·v + ieq flows a→b inside the device:
+                    // ieq leaves node a, enters node b.
+                    if let Some(ra) = row_of(*a) {
+                        self.b[ra] -= ieq;
+                    }
+                    if let Some(rb) = row_of(*b) {
+                        self.b[rb] += ieq;
                     }
                     cap_idx += 1;
                 }
@@ -117,13 +219,15 @@ impl MnaWorkspace {
                     branch,
                 } => {
                     let rb = n_nodes + branch;
-                    if let Some(rp) = row_of(*pos) {
-                        self.a.add(rp, rb, 1.0);
-                        self.a.add(rb, rp, 1.0);
+                    if row_of(*pos).is_some() {
+                        self.a.add_slot(self.slots[cursor], 1.0);
+                        self.a.add_slot(self.slots[cursor + 1], 1.0);
+                        cursor += 2;
                     }
-                    if let Some(rn) = row_of(*neg) {
-                        self.a.add(rn, rb, -1.0);
-                        self.a.add(rb, rn, -1.0);
+                    if row_of(*neg).is_some() {
+                        self.a.add_slot(self.slots[cursor], -1.0);
+                        self.a.add_slot(self.slots[cursor + 1], -1.0);
+                        cursor += 2;
                     }
                     self.b[rb] = alpha * wave.value(t);
                 }
@@ -151,8 +255,9 @@ impl MnaWorkspace {
                         for (j, &nj) in nodes.iter().enumerate() {
                             let g = stamp.jacobian[(k, j)];
                             rhs += g * v[j];
-                            if let Some(cj) = row_of(nj) {
-                                self.a.add(rk, cj, g);
+                            if row_of(nj).is_some() {
+                                self.a.add_slot(self.slots[cursor], g);
+                                cursor += 1;
                             }
                         }
                         self.b[rk] += rhs;
@@ -160,20 +265,54 @@ impl MnaWorkspace {
                 }
             }
         }
+        debug_assert_eq!(cursor, self.slots.len(), "stamp replay out of sync");
     }
 
-    fn stamp_conductance(&mut self, a: NodeId, b: NodeId, g: f64) {
+    fn stamp_conductance(&mut self, mut cursor: usize, a: NodeId, b: NodeId, g: f64) -> usize {
         match (row_of(a), row_of(b)) {
-            (Some(ra), Some(rb)) => {
-                self.a.add(ra, ra, g);
-                self.a.add(rb, rb, g);
-                self.a.add(ra, rb, -g);
-                self.a.add(rb, ra, -g);
+            (Some(_), Some(_)) => {
+                self.a.add_slot(self.slots[cursor], g);
+                self.a.add_slot(self.slots[cursor + 1], g);
+                self.a.add_slot(self.slots[cursor + 2], -g);
+                self.a.add_slot(self.slots[cursor + 3], -g);
+                cursor += 4;
             }
-            (Some(ra), None) => self.a.add(ra, ra, g),
-            (None, Some(rb)) => self.a.add(rb, rb, g),
+            (Some(_), None) | (None, Some(_)) => {
+                self.a.add_slot(self.slots[cursor], g);
+                cursor += 1;
+            }
             (None, None) => {}
         }
+        cursor
+    }
+
+    /// (Re)factors the current matrix values, reusing the symbolic
+    /// analysis and pivot order when available.
+    fn refactor(&mut self, t: f64) -> Result<(), SpiceError> {
+        if self.lu.is_some() && self.last_factored == self.a.values() {
+            // The cached factorization is exact for these values.
+            self.stale_iters = 0;
+            return Ok(());
+        }
+        let map_err = |source| SpiceError::SingularSystem { time: t, source };
+        match &mut self.lu {
+            None => {
+                let lu = SparseLu::new(&self.a).map_err(map_err)?;
+                self.lu = Some(lu);
+                self.stats.symbolic_analyses += 1;
+            }
+            Some(lu) => {
+                let reanalyzed = lu.refactor(&self.a).map_err(map_err)?;
+                if reanalyzed {
+                    self.stats.symbolic_analyses += 1;
+                }
+            }
+        }
+        self.stats.factorizations += 1;
+        self.stale_iters = 0;
+        self.last_factored.clear();
+        self.last_factored.extend_from_slice(self.a.values());
+        Ok(())
     }
 }
 
@@ -188,6 +327,10 @@ pub(crate) struct NewtonOpts {
     /// Largest per-iteration node-voltage move before the update is scaled
     /// down (keeps exponential devices from overshooting).
     pub v_step_limit: f64,
+    /// Modified-Newton budget: how many iterations may reuse a stale
+    /// Jacobian factorization before a refresh is forced. `0` recovers
+    /// classic full Newton (refactor every iteration).
+    pub max_stale: usize,
 }
 
 impl Default for NewtonOpts {
@@ -197,14 +340,24 @@ impl Default for NewtonOpts {
             v_abstol: 1e-6,
             reltol: 1e-4,
             v_step_limit: 0.5,
+            max_stale: 6,
         }
     }
 }
 
+/// A stale factorization is refreshed early when the residual norm fails
+/// to shrink by at least this factor between iterations.
+const STALL_RATIO: f64 = 0.3;
+
 /// Runs Newton iterations from initial iterate `x`, assembling with the
 /// provided parameters, until the update is below tolerance.
 ///
+/// Delta formulation: every iteration solves `J·Δ = b − A·x` with the
+/// cached (possibly stale) factorization of `J`, so the fixed point is
+/// exact regardless of factorization age.
+///
 /// Returns the converged solution or the iteration count at failure.
+#[allow(clippy::too_many_arguments)] // crate-private solver entry point
 pub(crate) fn newton_solve(
     ws: &mut MnaWorkspace,
     ckt: &Circuit,
@@ -216,57 +369,89 @@ pub(crate) fn newton_solve(
     opts: &NewtonOpts,
 ) -> Result<Vec<f64>, NewtonFailure> {
     let n_nodes = ckt.node_count() - 1;
+    let mut prev_rnorm = f64::INFINITY;
+    // A damped update shrinks the residual slowly no matter how fresh the
+    // Jacobian is, so it must not trip the stall detector.
+    let mut prev_damped = false;
     for iter in 0..opts.max_iterations {
+        ws.stats.newton_iterations += 1;
         ws.assemble(ckt, &x, t, alpha, gmin, caps);
-        let lu = match LuFactors::factor(ws.a.clone()) {
-            Ok(lu) => lu,
+        // Residual of the linearization at x: r = b − A·x. (For the
+        // converged x this is the true device-equation residual, which is
+        // what makes stale-factorization reuse sound.)
+        let n = x.len();
+        let mut resid = std::mem::take(&mut ws.resid);
+        ws.a.mul_vec_into(&x, &mut resid);
+        for (ri, bi) in resid.iter_mut().zip(&ws.b) {
+            *ri = bi - *ri;
+        }
+        let rnorm = resid.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        // Refresh the factorization when missing, over budget, or when a
+        // stale Jacobian stops making progress. A damped previous update
+        // means the iterate is far from the solution: full Newton is
+        // needed there, and slow residual decrease is expected (so it is
+        // not evidence of staleness either).
+        let stalled = !prev_damped && rnorm > STALL_RATIO * prev_rnorm;
+        if ws.lu.is_none() || ws.stale_iters >= opts.max_stale || stalled || prev_damped {
+            if let Err(error) = ws.refactor(t) {
+                ws.resid = resid;
+                return Err(NewtonFailure {
+                    iterations: iter,
+                    error: Some(error),
+                });
+            }
+        } else {
+            ws.stale_iters += 1;
+        }
+        let lu = ws.lu.as_ref().expect("factorization exists after refactor");
+        ws.stats.solves += 1;
+        let delta = match lu.solve(&resid) {
+            Ok(d) => d,
             Err(source) => {
+                ws.resid = resid;
                 return Err(NewtonFailure {
                     iterations: iter,
                     error: Some(SpiceError::SingularSystem { time: t, source }),
-                })
+                });
             }
         };
-        let x_new = match lu.solve(&ws.b) {
-            Ok(v) => v,
-            Err(source) => {
-                return Err(NewtonFailure {
-                    iterations: iter,
-                    error: Some(SpiceError::SingularSystem { time: t, source }),
-                })
-            }
-        };
+        ws.resid = resid;
+        prev_rnorm = rnorm;
+
         // Largest node-voltage move decides both damping and convergence.
         let mut max_dv = 0.0f64;
-        for i in 0..n_nodes {
-            max_dv = max_dv.max((x_new[i] - x[i]).abs());
+        for d in delta.iter().take(n_nodes) {
+            max_dv = max_dv.max(d.abs());
         }
-        let mut converged = max_dv <= opts.v_abstol;
-        if !converged {
-            // Also allow relative convergence for large swings.
-            converged = (0..n_nodes).all(|i| {
-                (x_new[i] - x[i]).abs() <= opts.v_abstol + opts.reltol * x_new[i].abs()
-            });
-        }
-        if !x_new.iter().all(|v| v.is_finite()) {
+        if !delta.iter().all(|v| v.is_finite()) {
             return Err(NewtonFailure {
                 iterations: iter,
                 error: None,
             });
         }
-        if converged {
-            // Branch currents are linear consequences of node voltages in
-            // this formulation; accept the final solve.
-            return Ok(x_new);
+        let mut converged = max_dv <= opts.v_abstol;
+        if !converged {
+            // Also allow relative convergence for large swings.
+            converged = (0..n_nodes)
+                .all(|i| delta[i].abs() <= opts.v_abstol + opts.reltol * (x[i] + delta[i]).abs());
         }
-        if max_dv > opts.v_step_limit {
+        if converged {
+            for i in 0..n {
+                x[i] += delta[i];
+            }
+            return Ok(x);
+        }
+        prev_damped = max_dv > opts.v_step_limit;
+        if prev_damped {
             // Damped update: move only part of the way.
             let s = opts.v_step_limit / max_dv;
-            for i in 0..x.len() {
-                x[i] += s * (x_new[i] - x[i]);
+            for i in 0..n {
+                x[i] += s * delta[i];
             }
         } else {
-            x = x_new;
+            for i in 0..n {
+                x[i] += delta[i];
+            }
         }
     }
     Err(NewtonFailure {
@@ -316,6 +501,9 @@ mod tests {
         // pos→through-source convention.
         let i_branch = x[2];
         assert!((i_branch + 1e-3).abs() < 1e-8, "i = {i_branch}");
+        // Linear circuit: one analysis, one factorization.
+        assert_eq!(ws.stats.symbolic_analyses, 1);
+        assert_eq!(ws.stats.factorizations, 1);
     }
 
     #[test]
@@ -385,6 +573,35 @@ mod tests {
     }
 
     #[test]
+    fn cap_mode_switch_keeps_stamp_replay_aligned() {
+        // The same workspace must assemble correctly in Open mode, then in
+        // Companion mode, then in Open again (the dcop → transient path).
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource(a, Circuit::GROUND, SourceWaveform::dc(1.0));
+        ckt.add_resistor(a, b, 1e3);
+        ckt.add_capacitor(b, Circuit::GROUND, 1e-9);
+        let mut ws = MnaWorkspace::new(&ckt);
+        let x = vec![0.0; ckt.unknown_count()];
+        ws.assemble(&ckt, &x, 0.0, 1.0, ckt.gmin(), CapMode::Open);
+        let companions = [(1e-3, -2e-3)];
+        ws.assemble(
+            &ckt,
+            &x,
+            0.0,
+            1.0,
+            ckt.gmin(),
+            CapMode::Companion(&companions),
+        );
+        // Companion conductance lands on the diagonal of node b.
+        let lhs_open_then_companion = ws.b.clone();
+        assert!((lhs_open_then_companion[1] - 2e-3).abs() < 1e-15);
+        ws.assemble(&ckt, &x, 0.0, 1.0, ckt.gmin(), CapMode::Open);
+        assert_eq!(ws.b[1], 0.0);
+    }
+
+    #[test]
     fn nonlinear_diode_converges() {
         use crate::device::test_devices::Diode;
         let mut ckt = Circuit::new();
@@ -416,5 +633,39 @@ mod tests {
         let i_r = (5.0 - vd) / 1e3;
         let i_d = 1e-14 * ((vd / 0.02585).exp() - 1.0);
         assert!((i_r - i_d).abs() / i_r < 1e-3);
+        assert!(ws.stats.newton_iterations > 1);
+        assert!(ws.stats.solves >= ws.stats.factorizations);
+    }
+
+    #[test]
+    fn full_newton_mode_refactors_every_iteration() {
+        use crate::device::test_devices::Diode;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let d = ckt.node("d");
+        ckt.add_vsource(a, Circuit::GROUND, SourceWaveform::dc(5.0));
+        ckt.add_resistor(a, d, 1e3);
+        ckt.add_device(Box::new(Diode {
+            nodes: [d, Circuit::GROUND],
+            i_sat: 1e-14,
+            v_t: 0.02585,
+        }));
+        let mut ws = MnaWorkspace::new(&ckt);
+        let opts = NewtonOpts {
+            max_stale: 0,
+            ..NewtonOpts::default()
+        };
+        newton_solve(
+            &mut ws,
+            &ckt,
+            vec![0.0; ckt.unknown_count()],
+            0.0,
+            1.0,
+            ckt.gmin(),
+            CapMode::Open,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(ws.stats.factorizations, ws.stats.newton_iterations);
     }
 }

@@ -1,13 +1,31 @@
 //! Transient analysis.
 //!
-//! Fixed-step integration with trapezoidal (default) or backward-Euler
-//! companion models, Newton iteration at every step, and automatic local
-//! step halving when an individual step refuses to converge. The first two
-//! accepted steps always use backward Euler to damp the startup transient
-//! of inconsistent initial conditions (standard practice; trapezoidal
+//! Integration uses trapezoidal (default) or backward-Euler companion
+//! models with Newton iteration at every step. The first two accepted
+//! steps always use backward Euler to damp the startup transient of
+//! inconsistent initial conditions (standard practice; trapezoidal
 //! integration would ring on them).
+//!
+//! Two step-control policies are available ([`StepControl`]):
+//!
+//! * **Fixed** — every step is `spec.dt`, halved locally (up to 12 times)
+//!   when Newton refuses to converge. This is the cross-check mode: it is
+//!   slower but its time grid is deterministic.
+//! * **Adaptive** — local-truncation-error control. Each step is compared
+//!   against a linear predictor through the previous two solutions; the
+//!   scaled error steers the next step size (toward
+//!   [`AdaptiveControl::max_stretch`]`·spec.dt` on flat stretches), and a
+//!   step is redone smaller only when the error exceeds
+//!   [`AdaptiveControl::reject_threshold`]. Ring-oscillator runs then
+//!   spend their steps on switching edges rather than flat regions.
+//!
+//! Newton starts each step from a linear extrapolation of the last two
+//! solutions, which is what keeps large adaptive steps cheap.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
+
+use rotsv_num::sparse::SolverStats;
 
 use crate::circuit::{Circuit, Element, VSourceId};
 use crate::error::SpiceError;
@@ -43,13 +61,72 @@ pub enum StopCondition {
     },
 }
 
+/// Tuning knobs of the adaptive (local-truncation-error) step control.
+///
+/// All step bounds are expressed relative to the nominal `spec.dt`, so
+/// one set of knobs works across circuits with very different time
+/// scales.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveControl {
+    /// Relative weight of the local-error test (per node voltage).
+    pub lte_reltol: f64,
+    /// Absolute weight of the local-error test, volts.
+    pub lte_abstol: f64,
+    /// Smallest permitted step as a fraction of the nominal `dt`.
+    pub min_shrink: f64,
+    /// Largest permitted step as a multiple of the nominal `dt`.
+    pub max_stretch: f64,
+    /// Largest per-step growth factor.
+    pub max_growth: f64,
+    /// Scaled-error value above which a step is *rejected* and redone
+    /// smaller. Errors in `(1, reject_threshold]` are accepted (the next
+    /// step still shrinks): a rejected large step is the most expensive
+    /// work in a run, and an occasional few-× overshoot of a per-step
+    /// estimate is invisible in an aggregate like an oscillation period.
+    pub reject_threshold: f64,
+}
+
+impl Default for AdaptiveControl {
+    fn default() -> Self {
+        Self {
+            lte_reltol: 5e-2,
+            lte_abstol: 1e-2,
+            min_shrink: 1.0 / 32.0,
+            max_stretch: 16.0,
+            max_growth: 2.0,
+            reject_threshold: 4.0,
+        }
+    }
+}
+
+/// Time-step policy of a transient run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum StepControl {
+    /// Every step is `spec.dt` (halved only on Newton failure). The
+    /// deterministic cross-check mode.
+    #[default]
+    Fixed,
+    /// Local-truncation-error controlled stepping around `spec.dt`.
+    Adaptive(AdaptiveControl),
+}
+
+impl StepControl {
+    /// Adaptive stepping with the default [`AdaptiveControl`] knobs.
+    pub fn adaptive() -> Self {
+        StepControl::Adaptive(AdaptiveControl::default())
+    }
+}
+
 /// Specification of a transient analysis.
 #[derive(Debug, Clone)]
 pub struct TransientSpec {
     /// End time, seconds.
     pub t_stop: f64,
-    /// Nominal time step, seconds.
+    /// Nominal time step, seconds. Under [`StepControl::Adaptive`] this is
+    /// the initial step and the reference for the step bounds.
     pub dt: f64,
+    /// Step-control policy.
+    pub step: StepControl,
     /// Integration method.
     pub method: IntegrationMethod,
     /// Nodes to record; empty records every node.
@@ -75,6 +152,7 @@ impl TransientSpec {
         Self {
             t_stop,
             dt,
+            step: StepControl::default(),
             method: IntegrationMethod::default(),
             record_nodes: Vec::new(),
             record_currents: Vec::new(),
@@ -100,6 +178,26 @@ impl TransientSpec {
     /// Selects the integration method.
     pub fn method(mut self, method: IntegrationMethod) -> Self {
         self.method = method;
+        self
+    }
+
+    /// Selects the step-control policy.
+    ///
+    /// ```
+    /// use rotsv_spice::{AdaptiveControl, StepControl, TransientSpec};
+    ///
+    /// // Default knobs …
+    /// let spec = TransientSpec::new(1e-6, 1e-9).step_control(StepControl::adaptive());
+    /// // … or explicit ones, e.g. a tighter error test:
+    /// let tight = StepControl::Adaptive(AdaptiveControl {
+    ///     lte_reltol: 5e-4,
+    ///     ..AdaptiveControl::default()
+    /// });
+    /// let spec = spec.step_control(tight);
+    /// assert_eq!(spec.step, tight);
+    /// ```
+    pub fn step_control(mut self, step: StepControl) -> Self {
+        self.step = step;
         self
     }
 
@@ -134,6 +232,7 @@ pub struct TransientResult {
     current_columns: BTreeMap<usize, Vec<f64>>,
     stopped_early: bool,
     steps_taken: usize,
+    stats: SolverStats,
 }
 
 impl TransientResult {
@@ -150,6 +249,12 @@ impl TransientResult {
     /// Total accepted integration steps.
     pub fn steps_taken(&self) -> usize {
         self.steps_taken
+    }
+
+    /// Numerical-work counters of the run (factorizations, Newton
+    /// iterations, accepted/rejected steps, wall time).
+    pub fn stats(&self) -> SolverStats {
+        self.stats
     }
 
     /// Recorded waveform of `node`.
@@ -219,17 +324,32 @@ impl Circuit {
     /// halving the step 12 times, and [`SpiceError::SingularSystem`] for a
     /// structurally singular system.
     pub fn transient(&self, spec: &TransientSpec) -> Result<TransientResult, SpiceError> {
-        if !(spec.dt > 0.0) || !spec.dt.is_finite() {
+        let wall_start = Instant::now();
+        if spec.dt <= 0.0 || !spec.dt.is_finite() {
             return Err(SpiceError::InvalidSpec(format!(
                 "time step must be positive, got {}",
                 spec.dt
             )));
         }
-        if !(spec.t_stop > 0.0) || !spec.t_stop.is_finite() {
+        if spec.t_stop <= 0.0 || !spec.t_stop.is_finite() {
             return Err(SpiceError::InvalidSpec(format!(
                 "stop time must be positive, got {}",
                 spec.t_stop
             )));
+        }
+        if let StepControl::Adaptive(c) = &spec.step {
+            let sane = c.lte_reltol > 0.0
+                && c.lte_abstol > 0.0
+                && c.min_shrink > 0.0
+                && c.min_shrink <= 1.0
+                && c.max_stretch >= 1.0
+                && c.max_growth > 1.0
+                && c.reject_threshold >= 1.0;
+            if !sane {
+                return Err(SpiceError::InvalidSpec(format!(
+                    "inconsistent adaptive step control: {c:?}"
+                )));
+            }
         }
         for &(node, _) in &spec.initial_voltages {
             if node.index() >= self.node_count() {
@@ -240,12 +360,14 @@ impl Circuit {
         }
 
         // Initial solution vector.
+        let mut dc_stats = SolverStats::default();
         let mut x = if spec.start_from_dcop {
-            self.dcop(&crate::dcop::DcOpSpec {
+            let sol = self.dcop(&crate::dcop::DcOpSpec {
                 initial_voltages: spec.initial_voltages.clone(),
                 ..Default::default()
-            })?
-            .into_vec()
+            })?;
+            dc_stats = sol.stats();
+            sol.into_vec()
         } else {
             let mut x0 = vec![0.0; self.unknown_count()];
             for &(node, v) in &spec.initial_voltages {
@@ -310,9 +432,10 @@ impl Circuit {
 
         // Stop-condition tracking.
         let mut crossings_seen = 0usize;
-        let mut stop_prev = spec.stop.as_ref().map(
-            |StopCondition::RisingCrossings { node, .. }| node_voltage(&x, *node),
-        );
+        let mut stop_prev = spec
+            .stop
+            .as_ref()
+            .map(|StopCondition::RisingCrossings { node, .. }| node_voltage(&x, *node));
 
         let mut ws = MnaWorkspace::new(self);
         let opts = NewtonOpts {
@@ -321,35 +444,60 @@ impl Circuit {
         };
         let mut companions = vec![(0.0f64, 0.0f64); caps.len()];
 
+        let adaptive = match spec.step {
+            StepControl::Fixed => None,
+            StepControl::Adaptive(c) => Some(c),
+        };
+        let dt_min = adaptive.map_or(spec.dt, |c| spec.dt * c.min_shrink);
+        let dt_max = adaptive.map_or(spec.dt, |c| spec.dt * c.max_stretch);
+        // Step proposed for the next attempt (evolves only in adaptive mode).
+        let mut dt_next = spec.dt;
+        // Previous accepted solution and the step that led from it to `x`,
+        // for the linear LTE predictor.
+        let mut hist: Option<(Vec<f64>, f64)> = None;
+
         let mut t = 0.0f64;
         let mut steps = 0usize;
         let mut stopped_early = false;
         const MAX_HALVINGS: u32 = 12;
 
         'outer: while t < spec.t_stop - 1e-18 {
-            let dt_goal = spec.dt.min(spec.t_stop - t);
+            let mut dt_try = dt_next.min(spec.t_stop - t);
             let mut halvings = 0u32;
             loop {
-                let dt = dt_goal / f64::from(1u32 << halvings);
                 // Startup steps use backward Euler regardless of method.
-                let use_trap =
-                    spec.method == IntegrationMethod::Trapezoidal && steps >= 2;
+                let use_trap = spec.method == IntegrationMethod::Trapezoidal && steps >= 2;
                 for (k, c) in caps.iter().enumerate() {
                     if c.farads == 0.0 {
                         companions[k] = (0.0, 0.0);
                     } else if use_trap {
-                        let geq = 2.0 * c.farads / dt;
+                        let geq = 2.0 * c.farads / dt_try;
                         companions[k] = (geq, -(geq * c.v + c.i));
                     } else {
-                        let geq = c.farads / dt;
+                        let geq = c.farads / dt_try;
                         companions[k] = (geq, -geq * c.v);
                     }
                 }
-                let t_next = t + dt;
+                let t_next = t + dt_try;
+                // Newton initial guess: linear extrapolation through the
+                // last two accepted solutions. Same fixed point as
+                // starting from `x` (delta-form Newton), but starting
+                // closer saves iterations — the larger the step, the more
+                // it saves, which is what makes big adaptive steps cheap.
+                let x_start = match &hist {
+                    Some((x_prev, dt_prev)) if steps >= 2 => {
+                        let scale = dt_try / dt_prev;
+                        x.iter()
+                            .zip(x_prev)
+                            .map(|(&xi, &pi)| xi + (xi - pi) * scale)
+                            .collect()
+                    }
+                    _ => x.clone(),
+                };
                 match newton_solve(
                     &mut ws,
                     self,
-                    x.clone(),
+                    x_start,
                     t_next,
                     1.0,
                     self.gmin(),
@@ -357,15 +505,44 @@ impl Circuit {
                     &opts,
                 ) {
                     Ok(sol) => {
-                        x = sol;
+                        // Local-truncation-error test: compare against the
+                        // linear predictor through the last two accepted
+                        // solutions.
+                        if let (Some(c), Some((x_prev, dt_prev))) =
+                            (adaptive.as_ref(), hist.as_ref())
+                        {
+                            if steps >= 2 {
+                                let scale = dt_try / dt_prev;
+                                let mut err = 0.0f64;
+                                for i in 0..n_node_unknowns {
+                                    let pred = x[i] + (x[i] - x_prev[i]) * scale;
+                                    let tol =
+                                        c.lte_abstol + c.lte_reltol * sol[i].abs().max(x[i].abs());
+                                    err = err.max((sol[i] - pred).abs() / tol);
+                                }
+                                if err > c.reject_threshold && dt_try > dt_min * (1.0 + 1e-9) {
+                                    ws.stats.steps_rejected += 1;
+                                    dt_try =
+                                        (dt_try * (0.9 / err.sqrt()).clamp(0.1, 0.5)).max(dt_min);
+                                    continue;
+                                }
+                                // Accepted (forcibly so at dt_min): propose
+                                // the next step from the error estimate —
+                                // err > 1 shrinks it, err < 0.81 grows it.
+                                let grow = (0.9 / err.max(1e-12).sqrt()).min(c.max_growth);
+                                dt_next = (dt_try * grow).clamp(dt_min, dt_max);
+                            }
+                        }
                         for (k, c) in caps.iter_mut().enumerate() {
-                            let v_new = node_voltage(&x, c.a) - node_voltage(&x, c.b);
+                            let v_new = node_voltage(&sol, c.a) - node_voltage(&sol, c.b);
                             let (geq, ieq) = companions[k];
                             c.i = geq * v_new + ieq;
                             c.v = v_new;
                         }
+                        hist = Some((std::mem::replace(&mut x, sol), dt_try));
                         t = t_next;
                         steps += 1;
+                        ws.stats.steps_accepted += 1;
                         record(t, &x, &mut time, &mut columns, &mut current_columns);
                         if let Some(StopCondition::RisingCrossings {
                             node,
@@ -389,25 +566,42 @@ impl Circuit {
                         if let Some(err @ SpiceError::SingularSystem { .. }) = fail.error {
                             return Err(err);
                         }
-                        halvings += 1;
-                        if halvings > MAX_HALVINGS {
-                            return Err(SpiceError::NoConvergence {
-                                analysis: "transient",
-                                time: t_next,
-                                iterations: fail.iterations,
-                            });
+                        ws.stats.steps_rejected += 1;
+                        if adaptive.is_some() {
+                            if dt_try <= dt_min * (1.0 + 1e-9) {
+                                return Err(SpiceError::NoConvergence {
+                                    analysis: "transient",
+                                    time: t_next,
+                                    iterations: fail.iterations,
+                                });
+                            }
+                            dt_try = (dt_try * 0.5).max(dt_min);
+                        } else {
+                            halvings += 1;
+                            if halvings > MAX_HALVINGS {
+                                return Err(SpiceError::NoConvergence {
+                                    analysis: "transient",
+                                    time: t_next,
+                                    iterations: fail.iterations,
+                                });
+                            }
+                            dt_try *= 0.5;
                         }
                     }
                 }
             }
         }
 
+        let mut stats = ws.stats;
+        stats.merge(&dc_stats);
+        stats.wall_seconds = wall_start.elapsed().as_secs_f64();
         Ok(TransientResult {
             time,
             columns,
             current_columns,
             stopped_early,
             steps_taken: steps,
+            stats,
         })
     }
 }
@@ -429,9 +623,9 @@ mod tests {
         let spec = TransientSpec::new(3e-6, 2e-9).record(&[vout]);
         let res = ckt.transient(&spec).unwrap();
         let w = res.waveform(vout);
-        for frac in [0.5, 1.0, 2.0] {
+        for frac in [0.5f64, 1.0, 2.0] {
             let t = frac * 1e-6;
-            let expect = 1.0 - (-frac as f64).exp();
+            let expect = 1.0 - (-frac).exp();
             let got = w.value_at(t);
             assert!(
                 (got - expect).abs() < 2e-4,
@@ -582,7 +776,11 @@ mod tests {
         let res = ckt.transient(&spec).unwrap();
         let i = res.current_waveform(vs);
         // pos->through-source convention: current is -2 mA.
-        assert!((i.final_value() + 2e-3).abs() < 1e-8, "i = {}", i.final_value());
+        assert!(
+            (i.final_value() + 2e-3).abs() < 1e-8,
+            "i = {}",
+            i.final_value()
+        );
     }
 
     #[test]
@@ -593,7 +791,9 @@ mod tests {
         ckt.add_vsource(a, Circuit::GROUND, SourceWaveform::dc(1.0));
         ckt.add_resistor(a, b, 1.0);
         ckt.add_resistor(b, Circuit::GROUND, 1.0);
-        let res = ckt.transient(&TransientSpec::new(1e-9, 1e-10).record(&[a])).unwrap();
+        let res = ckt
+            .transient(&TransientSpec::new(1e-9, 1e-10).record(&[a]))
+            .unwrap();
         let r = std::panic::catch_unwind(|| res.waveform(b));
         assert!(r.is_err());
     }

@@ -55,7 +55,8 @@ impl<'a> CellBuilder<'a> {
         self.ckt.add_capacitor(g, d, params.c_gd());
         self.ckt.add_capacitor(d, b, params.c_db());
         self.ckt.add_capacitor(s, b, params.c_db());
-        self.ckt.add_device(Box::new(Mosfet::new(name, params, d, g, s, b)));
+        self.ckt
+            .add_device(Box::new(Mosfet::new(name, params, d, g, s, b)));
         self.transistors += 1;
     }
 
@@ -97,7 +98,13 @@ impl<'a> CellBuilder<'a> {
         self.pmos(format!("{name}.mpa"), DriveStrength::X1, output, a, vdd);
         self.pmos(format!("{name}.mpb"), DriveStrength::X1, output, b, vdd);
         self.nmos(format!("{name}.mna"), DriveStrength::X1, output, a, mid);
-        self.nmos(format!("{name}.mnb"), DriveStrength::X1, mid, b, Circuit::GROUND);
+        self.nmos(
+            format!("{name}.mnb"),
+            DriveStrength::X1,
+            mid,
+            b,
+            Circuit::GROUND,
+        );
     }
 
     /// 2-input NOR.
@@ -106,8 +113,20 @@ impl<'a> CellBuilder<'a> {
         let mid = self.ckt.node(&format!("{name}.mid"));
         self.pmos(format!("{name}.mpa"), DriveStrength::X1, mid, a, vdd);
         self.pmos(format!("{name}.mpb"), DriveStrength::X1, output, b, mid);
-        self.nmos(format!("{name}.mna"), DriveStrength::X1, output, a, Circuit::GROUND);
-        self.nmos(format!("{name}.mnb"), DriveStrength::X1, output, b, Circuit::GROUND);
+        self.nmos(
+            format!("{name}.mna"),
+            DriveStrength::X1,
+            output,
+            a,
+            Circuit::GROUND,
+        );
+        self.nmos(
+            format!("{name}.mnb"),
+            DriveStrength::X1,
+            output,
+            b,
+            Circuit::GROUND,
+        );
     }
 
     /// Transmission gate connecting `a` and `z`, conducting when
@@ -168,14 +187,7 @@ impl<'a> CellBuilder<'a> {
         let nn = nn.with_width(nn.w * Self::TBUF_PULLDOWN_BOOST);
         self.transistor(format!("{name}.mpi"), np, pm, inb, vdd, vdd);
         self.transistor(format!("{name}.mpe"), np, output, en_b, pm, vdd);
-        self.transistor(
-            format!("{name}.mne"),
-            nn,
-            output,
-            en,
-            nm,
-            Circuit::GROUND,
-        );
+        self.transistor(format!("{name}.mne"), nn, output, en, nm, Circuit::GROUND);
         self.transistor(
             format!("{name}.mni"),
             nn,
@@ -257,8 +269,12 @@ mod tests {
 
     #[test]
     fn inverter_inverts() {
-        let v0 = dc_output(&[0.0], |c, i, o| c.inverter("u", i[0], o, DriveStrength::X1));
-        let v1 = dc_output(&[VDD], |c, i, o| c.inverter("u", i[0], o, DriveStrength::X1));
+        let v0 = dc_output(&[0.0], |c, i, o| {
+            c.inverter("u", i[0], o, DriveStrength::X1)
+        });
+        let v1 = dc_output(&[VDD], |c, i, o| {
+            c.inverter("u", i[0], o, DriveStrength::X1)
+        });
         assert!(is_high(v0), "inv(0) = {v0}");
         assert!(is_low(v1), "inv(1) = {v1}");
     }
@@ -411,7 +427,11 @@ mod tests {
             let vdd = ckt.node("vdd");
             ckt.add_vsource(vdd, Circuit::GROUND, SourceWaveform::dc(VDD));
             let input = ckt.node("in");
-            ckt.add_vsource(input, Circuit::GROUND, SourceWaveform::step(0.0, VDD, 0.2e-9));
+            ckt.add_vsource(
+                input,
+                Circuit::GROUND,
+                SourceWaveform::step(0.0, VDD, 0.2e-9),
+            );
             let out = ckt.node("out");
             if cap > 0.0 {
                 ckt.add_capacitor(out, Circuit::GROUND, cap);

@@ -148,7 +148,14 @@ fn single_delay(cell: CharCell, vdd_v: f64, load: f64) -> Result<f64, SpiceError
         Edge::Rising
     };
     Ok(w_in
-        .delay_to(&w_out, 0.0, vdd_v / 2.0, Edge::Rising, vdd_v / 2.0, out_edge)
+        .delay_to(
+            &w_out,
+            0.0,
+            vdd_v / 2.0,
+            Edge::Rising,
+            vdd_v / 2.0,
+            out_edge,
+        )
         .unwrap_or_else(|| panic!("{cell:?} output did not switch at load {load}")))
 }
 
@@ -161,7 +168,10 @@ mod tests {
     #[test]
     fn delay_grows_with_load() {
         let t = characterize(CharCell::Buffer(DriveStrength::X4), 1.1, &LOADS).unwrap();
-        assert!(t.points.windows(2).all(|w| w[1].tplh_or_tphl > w[0].tplh_or_tphl));
+        assert!(t
+            .points
+            .windows(2)
+            .all(|w| w[1].tplh_or_tphl > w[0].tplh_or_tphl));
     }
 
     #[test]

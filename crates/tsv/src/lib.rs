@@ -96,7 +96,10 @@ impl TsvFault {
         match *self {
             TsvFault::None => {}
             TsvFault::ResistiveOpen { x, r } => {
-                assert!((0.0..=1.0).contains(&x), "open location x={x} outside [0,1]");
+                assert!(
+                    (0.0..=1.0).contains(&x),
+                    "open location x={x} outside [0,1]"
+                );
                 assert!(r.value() > 0.0, "open resistance must be positive");
             }
             TsvFault::Leakage { r } => {

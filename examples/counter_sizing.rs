@@ -23,14 +23,21 @@ fn main() {
     // Target resolution: well below the ~15 ps ΔT of a small open.
     let target_error = 2.0e-12;
 
-    println!("counter sizing for T ∈ [{:.1}, {:.1}] ns, target |E| ≤ {:.1} ps\n",
-        t_min * 1e9, t_max * 1e9, target_error * 1e12);
+    println!(
+        "counter sizing for T ∈ [{:.1}, {:.1}] ns, target |E| ≤ {:.1} ps\n",
+        t_min * 1e9,
+        t_max * 1e9,
+        target_error * 1e12
+    );
 
     // The slowest oscillation needs the longest window.
     let window = required_window(t_max, target_error);
     let bits = required_bits(window, t_min);
     println!("required window  t = {:.1} µs", window * 1e6);
-    println!("required counter = {bits} bits (max count {:.0})", window / t_min);
+    println!(
+        "required counter = {bits} bits (max count {:.0})",
+        window / t_min
+    );
 
     // Verify across the period range with the cycle-accurate model.
     println!("\nverification over sampling phases:");

@@ -18,7 +18,10 @@ fn main() -> Result<(), rotsv::spice::SpiceError> {
     let die = Die::nominal();
     let vdd = 1.1;
 
-    println!("pre-bond TSV test quickstart (V_DD = {vdd} V, N = {})\n", bench.n_segments);
+    println!(
+        "pre-bond TSV test quickstart (V_DD = {vdd} V, N = {})\n",
+        bench.n_segments
+    );
 
     // 1. Fault-free reference: ΔT is the healthy I/O-segment delay.
     let clean = bench.measure_delta_t(vdd, &[TsvFault::None; 2], &[0], &die)?;
@@ -49,10 +52,7 @@ fn main() -> Result<(), rotsv::spice::SpiceError> {
         let m = bench.measure_delta_t(vdd, &[fault, TsvFault::None], &[0], &die)?;
         let verdict = band.classify(&m);
         match m.delta() {
-            Some(dt) => println!(
-                "{label:16} ΔT = {:8.1} ps  -> {verdict:?}",
-                dt * 1e12
-            ),
+            Some(dt) => println!("{label:16} ΔT = {:8.1} ps  -> {verdict:?}", dt * 1e12),
             None => println!("{label:16} ΔT =    STUCK  -> {verdict:?}"),
         }
     }

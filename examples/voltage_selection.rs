@@ -16,6 +16,9 @@ use rotsv::num::units::Ohms;
 use rotsv::tsv::TsvFault;
 use rotsv::{Die, TestBench};
 
+/// One report row: `(vdd, dt_ff, open_shift, leak_shift)`.
+type VoltageRow = (f64, f64, Option<f64>, Option<f64>);
+
 fn main() -> Result<(), rotsv::spice::SpiceError> {
     let bench = TestBench::fast(2);
     let die = Die::nominal();
@@ -32,7 +35,7 @@ fn main() -> Result<(), rotsv::spice::SpiceError> {
         "V_DD", "ΔT_ff (ps)", "open shift(ps)", "leak shift(ps)"
     );
 
-    let rows: Vec<Result<(f64, f64, Option<f64>, Option<f64>), rotsv::spice::SpiceError>> =
+    let rows: Vec<Result<VoltageRow, rotsv::spice::SpiceError>> =
         parallel_map(voltages.len(), |i| {
             let vdd = voltages[i];
             let ff = [TsvFault::None, TsvFault::None];

@@ -73,17 +73,19 @@ fn main() -> Result<(), rotsv::spice::SpiceError> {
 
     let wafer = inject_faults(16, 2024);
     println!("\nscreening {} dies …", wafer.len());
-    let results: Vec<Result<Verdict, rotsv::spice::SpiceError>> =
-        parallel_map(wafer.len(), |i| {
-            let w = &wafer[i];
-            let faults = [w.fault, TsvFault::None];
-            Ok(plan.screen(&faults, 0, &w.die)?.verdict)
-        });
+    let results: Vec<Result<Verdict, rotsv::spice::SpiceError>> = parallel_map(wafer.len(), |i| {
+        let w = &wafer[i];
+        let faults = [w.fault, TsvFault::None];
+        Ok(plan.screen(&faults, 0, &w.die)?.verdict)
+    });
 
     let mut escapes = 0usize;
     let mut overkill = 0usize;
     let mut misclassified = 0usize;
-    println!("\n{:<4} {:<34} {:<18} outcome", "die", "injected fault", "verdict");
+    println!(
+        "\n{:<4} {:<34} {:<18} outcome",
+        "die", "injected fault", "verdict"
+    );
     for (i, (w, verdict)) in wafer.iter().zip(&results).enumerate() {
         let verdict = verdict.as_ref().expect("simulation succeeded").to_owned();
         let expected_fault = !w.fault.is_fault_free();
@@ -115,7 +117,11 @@ fn main() -> Result<(), rotsv::spice::SpiceError> {
                 "overkill"
             }
         };
-        println!("{i:<4} {:<34} {:<18} {outcome}", format!("{:?}", w.fault), format!("{verdict:?}"));
+        println!(
+            "{i:<4} {:<34} {:<18} {outcome}",
+            format!("{:?}", w.fault),
+            format!("{verdict:?}")
+        );
     }
     let faulty = wafer.iter().filter(|w| !w.fault.is_fault_free()).count();
     println!(

@@ -1,0 +1,62 @@
+//! Cross-check of the adaptive LTE step controller against the fixed
+//! uniform grid on the Fig. 4 single-cell setup: one I/O cell segment
+//! with its TSV in the loop. Adaptive stepping is the default engine, so
+//! its ΔT must agree with the fixed-step reference to well under the
+//! measurement resolution the paper relies on.
+
+use rotsv::num::units::Ohms;
+use rotsv::tsv::TsvFault;
+use rotsv::{Die, TestBench};
+
+/// Measures ΔT with both step controllers and returns
+/// `(adaptive, fixed, accepted_adaptive, accepted_fixed)`.
+fn both(faults: &[TsvFault]) -> (f64, f64, u64, u64) {
+    let bench = TestBench::fast(1);
+    let die = Die::nominal();
+    let adaptive_opts = bench.opts_for(1.1);
+    let fixed_opts = adaptive_opts.fixed_step();
+
+    let a = bench
+        .measure_delta_t_with(1.1, faults, &[0], &die, &adaptive_opts)
+        .unwrap();
+    let f = bench
+        .measure_delta_t_with(1.1, faults, &[0], &die, &fixed_opts)
+        .unwrap();
+    (
+        a.delta().expect("adaptive run oscillates"),
+        f.delta().expect("fixed run oscillates"),
+        a.stats.steps_accepted,
+        f.stats.steps_accepted,
+    )
+}
+
+#[test]
+fn adaptive_delta_t_matches_fixed_within_half_percent() {
+    let (d_adaptive, d_fixed, steps_adaptive, steps_fixed) = both(&[TsvFault::None]);
+    let rel = (d_adaptive - d_fixed).abs() / d_fixed.abs();
+    assert!(
+        rel < 5e-3,
+        "adaptive ΔT {d_adaptive} vs fixed {d_fixed}: rel err {rel}"
+    );
+    // The point of the controller: spend steps on the switching edges
+    // only. It must not take *more* steps than the uniform grid.
+    assert!(
+        steps_adaptive < steps_fixed,
+        "adaptive took {steps_adaptive} steps, fixed {steps_fixed}"
+    );
+}
+
+#[test]
+fn adaptive_delta_t_matches_fixed_under_fault() {
+    // The Fig. 4 faulty case: 3 kΩ resistive open at mid-TSV.
+    let fault = [TsvFault::ResistiveOpen {
+        x: 0.5,
+        r: Ohms(3e3),
+    }];
+    let (d_adaptive, d_fixed, _, _) = both(&fault);
+    let rel = (d_adaptive - d_fixed).abs() / d_fixed.abs();
+    assert!(
+        rel < 5e-3,
+        "adaptive ΔT {d_adaptive} vs fixed {d_fixed}: rel err {rel}"
+    );
+}

@@ -25,7 +25,9 @@ fn clean_dies_pass_at_all_voltages() {
     let plan = plan();
     for seed in [100, 101, 102] {
         let die = Die::new(ProcessSpread::paper(), seed);
-        let r = plan.screen(&[TsvFault::None, TsvFault::None], 0, &die).unwrap();
+        let r = plan
+            .screen(&[TsvFault::None, TsvFault::None], 0, &die)
+            .unwrap();
         assert_eq!(r.verdict, Verdict::Pass, "die {seed}: {r:?}");
         assert_eq!(r.per_voltage.len(), 2);
     }

@@ -27,7 +27,9 @@ fn counter_resolves_the_open_signature() {
         },
         TsvFault::None,
     ];
-    let open = bench.measure_delta_t(1.1, &open_faults, &[0], &die).unwrap();
+    let open = bench
+        .measure_delta_t(1.1, &open_faults, &[0], &die)
+        .unwrap();
 
     let t1_ff = ff.t1.period().unwrap();
     let t1_open = open.t1.period().unwrap();
