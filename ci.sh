@@ -19,4 +19,13 @@ cargo test -q
 echo "==> cargo doc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
+echo "==> observability smoke (e1 --fast --metrics-out)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/experiments e1 --fast --metrics-out --out "$smoke_dir"
+./target/release/experiments validate-manifest "$smoke_dir/manifest_e1.json"
+
+echo "==> bench_solver --check (warn-only)"
+./target/release/bench_solver --check --warn
+
 echo "CI green."

@@ -1,10 +1,18 @@
 //! Emits `BENCH_solver.json`: wall-clock timings of the solver kernels
-//! (dense LU, sparse analyze/refactor/solve) plus end-to-end transient
-//! runs with their [`SolverStats`] work counters, for both step
-//! controllers. Run with `cargo run --release -p rotsv-bench --bin
-//! bench_solver` from the repo root; PERFORMANCE.md quotes its output.
+//! (dense LU, sparse analyze/refactor/solve), end-to-end transient runs
+//! with their [`SolverStats`] work counters for both step controllers,
+//! and the observability overhead of the `rotsv-obs` span/metric layer.
+//! Run with `cargo run --release -p rotsv-bench --bin bench_solver` from
+//! the repo root; PERFORMANCE.md quotes its output.
+//!
+//! ```text
+//! bench_solver            # run benches, rewrite BENCH_solver.json
+//! bench_solver --check    # run benches, compare against the committed
+//!                         # BENCH_solver.json; exit 1 on a >15 %
+//!                         # wall-time regression in any workload
+//! bench_solver --check --warn   # same comparison, but always exit 0
+//! ```
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use rotsv::num::linsolve::LuFactors;
@@ -14,6 +22,10 @@ use rotsv::num::sparse::{SolverStats, SparseLu, SparseMatrix};
 use rotsv::spice::{Circuit, SourceWaveform, StepControl, TransientSpec};
 use rotsv::tsv::TsvFault;
 use rotsv::{Die, TestBench};
+use rotsv_obs::Json;
+
+/// Wall-time regression threshold for `--check`.
+const REGRESSION_LIMIT: f64 = 0.15;
 
 /// Times `f` over enough repetitions to fill ~50 ms and returns the
 /// per-call mean in seconds.
@@ -74,25 +86,35 @@ fn rc_ladder(n: usize) -> Circuit {
     ckt
 }
 
-fn json_stats(out: &mut String, stats: &SolverStats) {
-    let _ = write!(
-        out,
-        "{{\"steps_accepted\": {}, \"steps_rejected\": {}, \"newton_iterations\": {}, \
-         \"factorizations\": {}, \"symbolic_analyses\": {}, \"solves\": {}, \
-         \"wall_seconds\": {:.6}}}",
-        stats.steps_accepted,
-        stats.steps_rejected,
-        stats.newton_iterations,
-        stats.factorizations,
-        stats.symbolic_analyses,
-        stats.solves,
-        stats.wall_seconds,
-    );
+fn stats_json(stats: &SolverStats) -> Json {
+    Json::Obj(vec![
+        (
+            "steps_accepted".into(),
+            Json::Num(stats.steps_accepted as f64),
+        ),
+        (
+            "steps_rejected".into(),
+            Json::Num(stats.steps_rejected as f64),
+        ),
+        (
+            "newton_iterations".into(),
+            Json::Num(stats.newton_iterations as f64),
+        ),
+        (
+            "factorizations".into(),
+            Json::Num(stats.factorizations as f64),
+        ),
+        (
+            "symbolic_analyses".into(),
+            Json::Num(stats.symbolic_analyses as f64),
+        ),
+        ("solves".into(), Json::Num(stats.solves as f64)),
+        ("wall_seconds".into(), Json::Num(stats.wall_seconds)),
+    ])
 }
 
-fn main() {
-    let mut kernels = String::new();
-
+fn run_kernels() -> Vec<Json> {
+    let mut out = Vec::new();
     println!("kernel timings (per call):");
     for n in [16usize, 64, 128] {
         let (a, b) = random_dense(n, 42);
@@ -119,16 +141,18 @@ fn main() {
             refactor,
             dense / refactor
         );
-        let _ = writeln!(
-            kernels,
-            "    {{\"n\": {n}, \"dense_factor_solve_s\": {dense:.3e}, \
-             \"sparse_analyze_s\": {analyze:.3e}, \
-             \"sparse_refactor_solve_s\": {refactor:.3e}}},"
-        );
+        out.push(Json::Obj(vec![
+            ("n".into(), Json::Num(n as f64)),
+            ("dense_factor_solve_s".into(), Json::Num(dense)),
+            ("sparse_analyze_s".into(), Json::Num(analyze)),
+            ("sparse_refactor_solve_s".into(), Json::Num(refactor)),
+        ]));
     }
-    let kernels = kernels.trim_end().trim_end_matches(',').to_string();
+    out
+}
 
-    let mut transients = String::new();
+fn run_transients() -> Vec<Json> {
+    let mut out = Vec::new();
     println!("transient workloads:");
     for (name, step) in [
         ("rc_ladder_50_fixed", StepControl::Fixed),
@@ -141,9 +165,10 @@ fn main() {
         let wall = t0.elapsed().as_secs_f64();
         let stats = res.stats();
         println!("  {name}: {} ({wall:.3} s elapsed)", stats.summary());
-        let _ = write!(transients, "    {{\"name\": \"{name}\", \"stats\": ");
-        json_stats(&mut transients, &stats);
-        let _ = writeln!(transients, "}},");
+        out.push(Json::Obj(vec![
+            ("name".into(), Json::Str(name.to_owned())),
+            ("stats".into(), stats_json(&stats)),
+        ]));
     }
 
     // One ring ΔT measurement — the unit of work every experiment
@@ -163,15 +188,198 @@ fn main() {
             .expect("measurement succeeds");
         let wall = t0.elapsed().as_secs_f64();
         println!("  {name}: {} ({wall:.3} s elapsed)", m.stats.summary());
-        let _ = write!(transients, "    {{\"name\": \"{name}\", \"stats\": ");
-        json_stats(&mut transients, &m.stats);
-        let _ = writeln!(transients, "}},");
+        out.push(Json::Obj(vec![
+            ("name".into(), Json::Str(name.to_owned())),
+            ("stats".into(), stats_json(&m.stats)),
+        ]));
     }
-    let transients = transients.trim_end().trim_end_matches(',').to_string();
+    out
+}
 
-    let json = format!(
-        "{{\n  \"kernels\": [\n{kernels}\n  ],\n  \"transients\": [\n{transients}\n  ]\n}}\n"
+/// Measures the instrumentation cost of the `rotsv-obs` layer on the
+/// ring ΔT workload: once with tracing and metrics fully disabled (the
+/// default — every span/observe call is one relaxed atomic load) and
+/// once with both enabled. The disabled ratio is the number the 2 %
+/// acceptance budget in ISSUE tracking refers to.
+fn run_obs_overhead() -> Json {
+    let bench = TestBench::fast(1);
+    let opts = bench.opts_for(1.1);
+    let one = || {
+        bench
+            .measure_delta_t_with(1.1, &[TsvFault::None], &[0], &Die::nominal(), &opts)
+            .expect("measurement succeeds")
+    };
+    let best_of = |runs: usize, f: &dyn Fn() -> f64| -> f64 {
+        (0..runs).map(|_| f()).fold(f64::INFINITY, f64::min)
+    };
+
+    rotsv_obs::set_tracing(false);
+    rotsv_obs::set_metrics(false);
+    let disabled = best_of(3, &|| {
+        let t0 = Instant::now();
+        std::hint::black_box(one());
+        t0.elapsed().as_secs_f64()
+    });
+
+    rotsv_obs::set_tracing(true);
+    rotsv_obs::set_metrics(true);
+    let enabled = best_of(3, &|| {
+        rotsv_obs::reset();
+        let t0 = Instant::now();
+        std::hint::black_box(one());
+        t0.elapsed().as_secs_f64()
+    });
+    rotsv_obs::set_tracing(false);
+    rotsv_obs::set_metrics(false);
+    rotsv_obs::reset();
+
+    println!(
+        "obs overhead (ring ΔT, best of 3): disabled {disabled:.4} s, \
+         enabled {enabled:.4} s ({:+.1} %)",
+        (enabled / disabled - 1.0) * 100.0
     );
-    std::fs::write("BENCH_solver.json", &json).expect("write BENCH_solver.json");
-    println!("wrote BENCH_solver.json");
+    Json::Obj(vec![
+        (
+            "workload".into(),
+            Json::Str("ring_delta_t_adaptive".to_owned()),
+        ),
+        ("disabled_s".into(), Json::Num(disabled)),
+        ("enabled_s".into(), Json::Num(enabled)),
+        (
+            "enabled_over_disabled".into(),
+            Json::Num(enabled / disabled),
+        ),
+    ])
+}
+
+/// Flattens a benchmark document into `(workload, wall_seconds)` pairs
+/// usable for regression comparison.
+fn wall_times(doc: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let Some(kernels) = doc.get("kernels").and_then(Json::as_arr) {
+        for k in kernels {
+            let Some(n) = k.get("n").and_then(Json::as_f64) else {
+                continue;
+            };
+            for key in [
+                "dense_factor_solve_s",
+                "sparse_analyze_s",
+                "sparse_refactor_solve_s",
+            ] {
+                if let Some(v) = k.get(key).and_then(Json::as_f64) {
+                    out.push((format!("kernel n={n} {key}"), v));
+                }
+            }
+        }
+    }
+    if let Some(transients) = doc.get("transients").and_then(Json::as_arr) {
+        for t in transients {
+            let name = t.get("name").and_then(Json::as_str).unwrap_or("?");
+            if let Some(w) = t
+                .get("stats")
+                .and_then(|s| s.get("wall_seconds"))
+                .and_then(Json::as_f64)
+            {
+                out.push((format!("transient {name}"), w));
+            }
+        }
+    }
+    out
+}
+
+/// Compares current results against the committed baseline; returns the
+/// workloads whose wall time regressed beyond [`REGRESSION_LIMIT`].
+fn check_regressions(current: &Json, baseline: &Json) -> Vec<String> {
+    let base: std::collections::BTreeMap<String, f64> = wall_times(baseline).into_iter().collect();
+    let mut regressions = Vec::new();
+    println!(
+        "\nregression check vs BENCH_solver.json (limit {:.0} %):",
+        REGRESSION_LIMIT * 100.0
+    );
+    for (name, now) in wall_times(current) {
+        let Some(&then) = base.get(&name) else {
+            println!("  {name}: new workload (no baseline)");
+            continue;
+        };
+        if then <= 0.0 {
+            continue;
+        }
+        let delta = now / then - 1.0;
+        let verdict = if delta > REGRESSION_LIMIT {
+            regressions.push(format!(
+                "{name}: {then:.3e} s -> {now:.3e} s ({delta:+.1}%)",
+                delta = delta * 100.0
+            ));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {name}: {then:.3e} s -> {now:.3e} s ({:+.1} %) {verdict}",
+            delta * 100.0
+        );
+    }
+    regressions
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let warn_only = args.iter().any(|a| a == "--warn");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| a.as_str() != "--check" && a.as_str() != "--warn")
+    {
+        eprintln!("unknown argument: {bad}");
+        eprintln!("usage: bench_solver [--check [--warn]]");
+        std::process::exit(2);
+    }
+
+    let kernels = run_kernels();
+    let transients = run_transients();
+    let obs_overhead = run_obs_overhead();
+    let doc = Json::Obj(vec![
+        ("kernels".into(), Json::Arr(kernels)),
+        ("transients".into(), Json::Arr(transients)),
+        ("obs_overhead".into(), obs_overhead),
+    ]);
+
+    if check {
+        let baseline = std::fs::read_to_string("BENCH_solver.json")
+            .map_err(|e| format!("cannot read BENCH_solver.json: {e}"))
+            .and_then(|t| rotsv_obs::json::parse(&t));
+        match baseline {
+            Ok(base) => {
+                let regressions = check_regressions(&doc, &base);
+                if regressions.is_empty() {
+                    println!(
+                        "no wall-time regressions beyond {:.0} %",
+                        REGRESSION_LIMIT * 100.0
+                    );
+                } else {
+                    eprintln!(
+                        "wall-time regressions beyond {:.0} %:",
+                        REGRESSION_LIMIT * 100.0
+                    );
+                    for r in &regressions {
+                        eprintln!("  {r}");
+                    }
+                    if !warn_only {
+                        std::process::exit(1);
+                    }
+                    eprintln!("(--warn: not failing)");
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot compare: {e}");
+                if !warn_only {
+                    std::process::exit(1);
+                }
+            }
+        }
+    } else {
+        std::fs::write("BENCH_solver.json", doc.render_pretty() + "\n")
+            .expect("write BENCH_solver.json");
+        println!("wrote BENCH_solver.json");
+    }
 }

@@ -79,8 +79,17 @@ pub fn delta_t_population(
     samples: usize,
 ) -> Result<McDeltaT, SpiceError> {
     assert!(samples > 0, "need at least one sample");
+    let span = rotsv_obs::span!("mc_population", "samples" = samples);
+    span.field("vdd", vdd);
+    // Workers have no span stack of their own: capture this path so each
+    // sample's spans attach under `mc_population` and survive the join
+    // (per-thread collectors flush into the global registry when the
+    // worker's stack empties and when its thread exits).
+    let parent = rotsv_obs::current_path();
     let results: Vec<Result<crate::measure::DeltaTMeasurement, SpiceError>> =
         rotsv_num::parallel::parallel_map(samples, |i| {
+            let sample_span = rotsv_obs::span::SpanGuard::enter_under(parent, "mc_sample");
+            sample_span.field("i", i as f64);
             let die = Die::new(spread, die_seed(seed, i));
             bench.measure_delta_t(vdd, faults, under_test, &die)
         });
@@ -101,6 +110,14 @@ pub fn delta_t_population(
             out.deltas
                 .push(m.delta().expect("oscillating measurement has a delta"));
         }
+    }
+    if rotsv_obs::metrics_enabled() {
+        let hist = rotsv_obs::histogram("mc.delta_t_seconds");
+        for &d in &out.deltas {
+            hist.observe(d);
+        }
+        rotsv_obs::counter("mc.samples").add(out.total() as u64);
+        rotsv_obs::counter("mc.stuck").add(out.stuck_count as u64);
     }
     Ok(out)
 }
@@ -149,6 +166,36 @@ mod tests {
         assert_eq!(pop.stuck_count, 2);
         assert!(pop.deltas.is_empty());
         assert_eq!(pop.oscillating_fraction(), 0.0);
+    }
+
+    /// The solver work counters must not depend on how the population is
+    /// scheduled across threads — every sample derives its die from its
+    /// index, so the numerical work is identical whether the map runs on
+    /// one thread or many. (`wall_seconds` is measured time and is
+    /// deliberately excluded.)
+    #[test]
+    fn solver_counters_identical_across_thread_counts() {
+        use rotsv_num::parallel::set_thread_limit;
+        use std::num::NonZeroUsize;
+
+        let bench = TestBench::fast(1);
+        let faults = [TsvFault::None];
+        let run = || {
+            delta_t_population(&bench, 1.1, &faults, &[0], ProcessSpread::paper(), 13, 6).unwrap()
+        };
+        set_thread_limit(NonZeroUsize::new(1));
+        let serial = run();
+        set_thread_limit(None);
+        let parallel = run();
+
+        assert_eq!(serial, parallel, "populations must match exactly");
+        let (a, b) = (serial.stats, parallel.stats);
+        assert_eq!(a.symbolic_analyses, b.symbolic_analyses);
+        assert_eq!(a.factorizations, b.factorizations);
+        assert_eq!(a.solves, b.solves);
+        assert_eq!(a.newton_iterations, b.newton_iterations);
+        assert_eq!(a.steps_accepted, b.steps_accepted);
+        assert_eq!(a.steps_rejected, b.steps_rejected);
     }
 
     #[test]

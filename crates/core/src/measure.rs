@@ -98,6 +98,7 @@ impl TestBench {
         die: &Die,
         opts: &MeasureOpts,
     ) -> Result<DeltaTMeasurement, SpiceError> {
+        let _span = rotsv_obs::span!("measure_delta_t", "vdd" = vdd);
         assert_eq!(
             faults.len(),
             self.n_segments,

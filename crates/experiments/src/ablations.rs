@@ -107,6 +107,8 @@ pub fn a1_integrator(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
         rows,
         notes: vec!["N = 2 ring, TSV 0 enabled, nominal die, V_DD = 1.1 V.".to_owned()],
         checks,
+        seed: None,
+        stats: None,
     })
 }
 
@@ -199,6 +201,8 @@ pub fn a2_subtraction(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
              T2 at all."
         )],
         checks,
+        seed: Some(42),
+        stats: None,
     })
 }
 
@@ -252,5 +256,7 @@ pub fn a3_tsv_model(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
                 .to_owned(),
         ],
         checks,
+        seed: None,
+        stats: None,
     })
 }

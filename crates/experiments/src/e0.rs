@@ -86,6 +86,8 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
                 .to_owned(),
         ],
         checks,
+        seed: None,
+        stats: None,
     })
 }
 

@@ -85,6 +85,8 @@ pub fn run(_f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
                 .to_owned(),
         ],
         checks,
+        seed: None,
+        stats: None,
     })
 }
 

@@ -113,5 +113,7 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
                 .to_owned(),
         ],
         checks,
+        seed: None,
+        stats: None,
     })
 }

@@ -87,6 +87,8 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
             bench.n_segments
         )],
         checks,
+        seed: None,
+        stats: None,
     })
 }
 

@@ -119,6 +119,10 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
             passed: last.overlap < 0.2,
         },
     ];
+    let mut total = SolverStats::default();
+    for r in &data {
+        total.merge(&r.stats);
+    }
     Ok(ExperimentReport {
         id: "e3",
         title: "MC spread of ΔT vs V_DD, fault-free vs 1 kΩ open at x = 0.5 (Fig. 7)".to_owned(),
@@ -130,19 +134,15 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
             "range overlap".to_owned(),
         ],
         rows,
-        notes: {
-            let mut total = SolverStats::default();
-            for r in &data {
-                total.merge(&r.stats);
-            }
-            vec![
-                format!(
-                    "{} Monte-Carlo samples per population; 3σ(V_th) = 30 mV, 3σ(L_eff) = 10 %.",
-                    f.mc_samples()
-                ),
-                crate::solver_note(&total),
-            ]
-        },
+        notes: vec![
+            format!(
+                "{} Monte-Carlo samples per population; 3σ(V_th) = 30 mV, 3σ(L_eff) = 10 %.",
+                f.mc_samples()
+            ),
+            crate::solver_note(&total),
+        ],
         checks,
+        seed: Some(1007),
+        stats: Some(total),
     })
 }

@@ -153,6 +153,10 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
             passed: lowest.overlap < 0.05,
         },
     ];
+    let mut total = rotsv::spice::SolverStats::default();
+    for r in &data {
+        total.merge(&r.stats);
+    }
     Ok(ExperimentReport {
         id: "e5",
         title: "MC spread of ΔT vs V_DD, fault-free vs 3 kΩ leakage (Fig. 9)".to_owned(),
@@ -171,14 +175,10 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
              threshold is calibration-dependent, the low-voltage advantage is \
              the reproduced claim."
                 .to_owned(),
-            {
-                let mut total = rotsv::spice::SolverStats::default();
-                for r in &data {
-                    total.merge(&r.stats);
-                }
-                crate::solver_note(&total)
-            },
+            crate::solver_note(&total),
         ],
         checks,
+        seed: Some(905),
+        stats: Some(total),
     })
 }

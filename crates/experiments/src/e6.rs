@@ -128,6 +128,10 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
             passed: first.overlap < 0.3,
         },
     ];
+    let mut total = SolverStats::default();
+    for r in &data {
+        total.merge(&r.stats);
+    }
     Ok(ExperimentReport {
         id: "e6",
         title: "Spread overlap vs number of simultaneously tested TSVs M (Fig. 10)".to_owned(),
@@ -141,14 +145,10 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
         rows,
         notes: vec![
             "One 1 kΩ open at x = 0.5 among the M enabled TSVs; V_DD = 1.1 V.".to_owned(),
-            {
-                let mut total = SolverStats::default();
-                for r in &data {
-                    total.merge(&r.stats);
-                }
-                crate::solver_note(&total)
-            },
+            crate::solver_note(&total),
         ],
         checks,
+        seed: Some(1010),
+        stats: Some(total),
     })
 }

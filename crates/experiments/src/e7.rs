@@ -104,6 +104,8 @@ pub fn run(f: &Fidelity) -> ExperimentReport {
              (DFF = 6 gate equivalents) — the LFSR trades gates for a decode LUT."
         )],
         checks,
+        seed: None,
+        stats: None,
     }
 }
 

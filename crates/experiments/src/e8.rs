@@ -76,6 +76,8 @@ pub fn run(_f: &Fidelity) -> ExperimentReport {
                 .to_owned(),
         ],
         checks,
+        seed: None,
+        stats: None,
     }
 }
 

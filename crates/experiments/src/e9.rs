@@ -119,5 +119,7 @@ pub fn run(f: &Fidelity) -> Result<ExperimentReport, SpiceError> {
             guard * 1e12
         )],
         checks,
+        seed: None,
+        stats: None,
     })
 }

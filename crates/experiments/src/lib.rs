@@ -108,7 +108,7 @@ pub struct Check {
 }
 
 /// A rendered experiment result.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ExperimentReport {
     /// Experiment id (`"e0"`…`"e8"`).
     pub id: &'static str,
@@ -122,12 +122,86 @@ pub struct ExperimentReport {
     pub notes: Vec<String>,
     /// Shape checks against the paper's claims.
     pub checks: Vec<Check>,
+    /// RNG seed of the run, for stochastic (Monte-Carlo) experiments.
+    pub seed: Option<u64>,
+    /// Aggregated solver work counters, when the experiment tracks them.
+    pub stats: Option<rotsv::spice::SolverStats>,
+}
+
+/// Equality compares the rendered result; the work counters (which
+/// include wall-clock time) are bookkeeping, not results.
+impl PartialEq for ExperimentReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.title == other.title
+            && self.headers == other.headers
+            && self.rows == other.rows
+            && self.notes == other.notes
+            && self.checks == other.checks
+            && self.seed == other.seed
+    }
 }
 
 impl ExperimentReport {
     /// `true` when every shape check passed.
     pub fn all_checks_pass(&self) -> bool {
         self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Renders the report as a JSON object (the `--json` output mode),
+    /// mirroring the markdown table plus the machine-relevant extras:
+    /// seed, per-check pass/fail, and the solver work counters.
+    pub fn to_json(&self) -> rotsv_obs::Json {
+        use rotsv_obs::Json;
+        let passed = self.checks.iter().filter(|c| c.passed).count();
+        Json::Obj(vec![
+            ("id".into(), Json::Str(self.id.to_owned())),
+            ("title".into(), Json::Str(self.title.clone())),
+            (
+                "seed".into(),
+                self.seed.map_or(Json::Null, |s| Json::Num(s as f64)),
+            ),
+            (
+                "headers".into(),
+                Json::Arr(self.headers.iter().map(|h| Json::Str(h.clone())).collect()),
+            ),
+            (
+                "rows".into(),
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| Json::Arr(r.iter().map(|c| Json::Str(c.clone())).collect()))
+                        .collect(),
+                ),
+            ),
+            (
+                "notes".into(),
+                Json::Arr(self.notes.iter().map(|n| Json::Str(n.clone())).collect()),
+            ),
+            (
+                "checks".into(),
+                Json::Arr(
+                    self.checks
+                        .iter()
+                        .map(|c| {
+                            Json::Obj(vec![
+                                ("description".into(), Json::Str(c.description.clone())),
+                                ("passed".into(), Json::Bool(c.passed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("checks_passed".into(), Json::Num(passed as f64)),
+            (
+                "checks_failed".into(),
+                Json::Num((self.checks.len() - passed) as f64),
+            ),
+            (
+                "solver_stats".into(),
+                self.stats.as_ref().map_or(Json::Null, |s| s.to_json()),
+            ),
+        ])
     }
 
     /// Renders the report as GitHub-flavored markdown.
@@ -275,6 +349,11 @@ mod tests {
                 description: "holds".into(),
                 passed: true,
             }],
+            seed: Some(42),
+            stats: Some(rotsv::spice::SolverStats {
+                newton_iterations: 9,
+                ..Default::default()
+            }),
         };
         let md = r.markdown();
         assert!(md.contains("| a | b,c |"));
@@ -283,6 +362,10 @@ mod tests {
         let csv = r.csv();
         assert!(csv.starts_with("a,\"b,c\"\n"));
         assert!(r.all_checks_pass());
+        let json = r.to_json().render();
+        assert!(json.contains("\"checks_passed\": 1"));
+        assert!(json.contains("\"seed\": 42"));
+        assert!(json.contains("\"newton_iterations\": 9"));
     }
 
     #[test]

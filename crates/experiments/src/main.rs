@@ -1,28 +1,100 @@
 //! CLI runner: regenerates the paper's figures and tables.
 //!
 //! ```text
-//! experiments [e0 e1 … | all] [--fast] [--out DIR]
+//! experiments [e0 e1 … | all] [--fast] [--out DIR] [--json]
+//!             [--trace] [--metrics-out] [--threads N]
+//! experiments validate-manifest FILE
 //! ```
 //!
 //! Writes one CSV per experiment into the output directory (default
 //! `results/`) plus a combined `summary.md`, and prints the markdown
-//! reports to stdout.
+//! reports to stdout. With `--json` the stdout reports are a single JSON
+//! array instead. With `--metrics-out` each experiment additionally
+//! writes a machine-readable run manifest `manifest_<id>.json` (git rev,
+//! seed, per-phase wall breakdown, metric histograms, solver counters).
+//! `--trace` prints the hierarchical span tree to stderr after each
+//! experiment. `validate-manifest` checks a manifest file against the
+//! schema and exits nonzero when it does not conform.
 
 use std::fs;
+use std::num::NonZeroUsize;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use rotsv_experiments::{run_one, ExperimentReport, Fidelity};
+use rotsv_obs::Json;
+
+fn usage() {
+    eprintln!(
+        "usage: experiments [e0..e11 a1..a3 | paper | all] [--fast] [--out DIR] \
+         [--json] [--trace] [--metrics-out] [--threads N]\n\
+         \x20      experiments validate-manifest FILE"
+    );
+}
+
+/// `validate-manifest FILE`: parse + schema-check one manifest.
+fn validate_manifest_file(path: &str) -> ExitCode {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match rotsv_obs::json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match rotsv_obs::validate_manifest(&doc) {
+        Ok(()) => {
+            eprintln!(
+                "{path}: valid manifest (schema v{})",
+                rotsv_obs::SCHEMA_VERSION
+            );
+            ExitCode::SUCCESS
+        }
+        Err(problems) => {
+            eprintln!("{path}: INVALID manifest:");
+            for p in &problems {
+                eprintln!("  - {p}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
     let mut fast = false;
+    let mut json_out = false;
+    let mut trace = false;
+    let mut metrics_out = false;
     let mut out_dir = PathBuf::from("results");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "validate-manifest" => match args.next() {
+                Some(file) => return validate_manifest_file(&file),
+                None => {
+                    eprintln!("validate-manifest requires a file");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--fast" => fast = true,
+            "--json" => json_out = true,
+            "--trace" => trace = true,
+            "--metrics-out" => metrics_out = true,
+            "--threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => rotsv::num::parallel::set_thread_limit(NonZeroUsize::new(n)),
+                None => {
+                    eprintln!("--threads requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--out" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
@@ -38,7 +110,7 @@ fn main() -> ExitCode {
             id if id.starts_with('e') || id.starts_with('a') => ids.push(id.to_owned()),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: experiments [e0..e11 a1..a3 | paper | all] [--fast] [--out DIR]");
+                usage();
                 return ExitCode::FAILURE;
             }
         }
@@ -48,6 +120,16 @@ fn main() -> ExitCode {
         ids.extend((1..=3).map(|i| format!("a{i}")));
     }
     ids.dedup();
+
+    // The manifest's phase breakdown comes from spans, so --metrics-out
+    // implies tracing; --trace alone leaves the metrics registry off.
+    let instrument = trace || metrics_out;
+    if instrument {
+        rotsv_obs::set_tracing(true);
+    }
+    if metrics_out {
+        rotsv_obs::set_metrics(true);
+    }
 
     let fidelity = if fast {
         Fidelity::fast()
@@ -61,16 +143,39 @@ fn main() -> ExitCode {
 
     let mut reports: Vec<ExperimentReport> = Vec::new();
     for id in &ids {
+        if instrument {
+            // Each manifest/trace covers exactly one experiment.
+            rotsv_obs::reset();
+        }
         let started = Instant::now();
         eprintln!("running {id} …");
-        match run_one(id, &fidelity) {
+        let outcome = {
+            // Root span: the experiment id. Every analysis span (dcop,
+            // transient, mc_population, …) nests underneath, so the
+            // manifest's depth-1 entries are this experiment's phases.
+            let _root = rotsv_obs::SpanGuard::enter(id);
+            run_one(id, &fidelity)
+        };
+        let wall = started.elapsed().as_secs_f64();
+        match outcome {
             Ok(Some(report)) => {
-                eprintln!("  {id} done in {:.1} s", started.elapsed().as_secs_f64());
-                println!("{}", report.markdown());
+                eprintln!("  {id} done in {wall:.1} s");
+                if !json_out {
+                    println!("{}", report.markdown());
+                }
                 let csv_path = out_dir.join(format!("{id}.csv"));
                 if let Err(e) = fs::write(&csv_path, report.csv()) {
                     eprintln!("cannot write {}: {e}", csv_path.display());
                     return ExitCode::FAILURE;
+                }
+                if trace {
+                    eprint!("{}", rotsv_obs::span_report().render_text());
+                }
+                if metrics_out {
+                    if let Err(e) = write_manifest(&report, fast, wall, &out_dir) {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
                 reports.push(report);
             }
@@ -83,6 +188,11 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if json_out {
+        let arr = Json::Arr(reports.iter().map(ExperimentReport::to_json).collect());
+        println!("{}", arr.render_pretty());
     }
 
     let mut summary = String::from("# Experiment summary\n\n");
@@ -112,4 +222,38 @@ fn main() -> ExitCode {
         eprintln!("shape checks FAILED in: {}", failed.join(", "));
         ExitCode::FAILURE
     }
+}
+
+/// Builds and writes `manifest_<id>.json` for one finished experiment.
+fn write_manifest(
+    report: &ExperimentReport,
+    fast: bool,
+    wall: f64,
+    out_dir: &std::path::Path,
+) -> Result<(), String> {
+    let passed = report.checks.iter().filter(|c| c.passed).count() as u64;
+    let inputs = rotsv_obs::ManifestInputs {
+        experiment: report.id.to_owned(),
+        fidelity: if fast { "fast" } else { "full" }.to_owned(),
+        threads: rotsv::num::parallel::effective_threads(usize::MAX),
+        seed: report.seed,
+        wall_seconds: wall,
+        checks_passed: passed,
+        checks_failed: report.checks.len() as u64 - passed,
+        solver_stats: report.stats.as_ref().map(|s| s.to_json()),
+    };
+    let manifest =
+        rotsv_obs::build_manifest(&inputs, &rotsv_obs::span_report(), rotsv_obs::dump_json());
+    if let Err(problems) = rotsv_obs::validate_manifest(&manifest) {
+        return Err(format!(
+            "manifest for {} fails its own schema: {}",
+            report.id,
+            problems.join("; ")
+        ));
+    }
+    let path = out_dir.join(format!("manifest_{}.json", report.id));
+    fs::write(&path, manifest.render_pretty())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    eprintln!("  wrote {}", path.display());
+    Ok(())
 }

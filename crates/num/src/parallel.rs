@@ -6,11 +6,38 @@
 //! derives its RNG from its own index, not from scheduling order.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide worker cap; 0 means "auto" (available parallelism).
+static THREAD_LIMIT: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps the number of worker threads [`parallel_map`] may use
+/// process-wide; `None` restores the default (available parallelism).
+///
+/// Backs the experiments binary's `--threads` flag. Results are
+/// index-deterministic regardless of the limit, so this only affects
+/// wall time (and lets tests compare serial vs parallel runs).
+pub fn set_thread_limit(limit: Option<NonZeroUsize>) {
+    THREAD_LIMIT.store(limit.map_or(0, NonZeroUsize::get), Ordering::Relaxed);
+}
+
+/// The effective worker-thread cap for an `n`-item map.
+pub fn effective_threads(n: usize) -> usize {
+    let auto = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    match THREAD_LIMIT.load(Ordering::Relaxed) {
+        0 => auto,
+        cap => cap.min(auto),
+    }
+    .min(n.max(1))
+}
 
 /// Applies `f` to every index in `0..n` in parallel and returns the
 /// results in index order.
 ///
-/// Uses up to `std::thread::available_parallelism()` worker threads.
+/// Uses up to `std::thread::available_parallelism()` worker threads
+/// (see [`set_thread_limit`] to cap this).
 /// Results are identical to a serial `(0..n).map(f).collect()`.
 ///
 /// # Panics
@@ -30,10 +57,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(n.max(1));
+    let threads = effective_threads(n);
     if threads <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
@@ -70,6 +94,17 @@ mod tests {
     fn handles_empty_and_single() {
         assert_eq!(parallel_map(0, |i| i), Vec::<usize>::new());
         assert_eq!(parallel_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn thread_limit_caps_workers_without_changing_results() {
+        set_thread_limit(NonZeroUsize::new(1));
+        assert_eq!(effective_threads(64), 1);
+        let capped = parallel_map(50, |i| i * 3);
+        set_thread_limit(None);
+        assert!(effective_threads(64) >= 1);
+        let uncapped = parallel_map(50, |i| i * 3);
+        assert_eq!(capped, uncapped);
     }
 
     #[test]

@@ -290,6 +290,7 @@ impl SparseLu {
     ///
     /// Returns [`SolveError::Singular`] when no usable pivot exists.
     pub fn new(a: &SparseMatrix) -> Result<Self, SolveError> {
+        let _span = rotsv_obs::span!("lu_analyze", "n" = a.dim());
         // 1. Pivot order from a dense partial-pivoting factorization.
         //    O(n³), but paid once per topology and amortized over every
         //    Newton iteration of every time step that follows.
@@ -387,6 +388,7 @@ impl SparseLu {
     /// [`SolveError::DimensionMismatch`] if `a` has a different
     /// dimension.
     pub fn refactor(&mut self, a: &SparseMatrix) -> Result<bool, SolveError> {
+        let _span = rotsv_obs::span!("lu_refactor");
         if a.dim() != self.n {
             return Err(SolveError::DimensionMismatch {
                 expected: self.n,
@@ -452,6 +454,7 @@ impl SparseLu {
     /// Returns [`SolveError::DimensionMismatch`] if `b.len()` does not
     /// match the dimension.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        let _span = rotsv_obs::span!("lu_solve");
         if b.len() != self.n {
             return Err(SolveError::DimensionMismatch {
                 expected: self.n,
@@ -536,6 +539,36 @@ impl SolverStats {
         self.steps_accepted += other.steps_accepted;
         self.steps_rejected += other.steps_rejected;
         self.wall_seconds += other.wall_seconds;
+    }
+
+    /// Renders the counters as a JSON object (for run manifests and
+    /// `--json` experiment output).
+    pub fn to_json(&self) -> rotsv_obs::Json {
+        use rotsv_obs::Json;
+        Json::Obj(vec![
+            (
+                "symbolic_analyses".into(),
+                Json::Num(self.symbolic_analyses as f64),
+            ),
+            (
+                "factorizations".into(),
+                Json::Num(self.factorizations as f64),
+            ),
+            ("solves".into(), Json::Num(self.solves as f64)),
+            (
+                "newton_iterations".into(),
+                Json::Num(self.newton_iterations as f64),
+            ),
+            (
+                "steps_accepted".into(),
+                Json::Num(self.steps_accepted as f64),
+            ),
+            (
+                "steps_rejected".into(),
+                Json::Num(self.steps_rejected as f64),
+            ),
+            ("wall_seconds".into(), Json::num_or_null(self.wall_seconds)),
+        ])
     }
 
     /// One-line human-readable summary.

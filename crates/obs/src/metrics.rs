@@ -1,0 +1,450 @@
+//! Process-wide metrics registry: counters, gauges, and log-linear
+//! histograms.
+//!
+//! Metrics are registered on first use by name and live for the process.
+//! Handles are `Arc`s over lock-free atomics — hot paths resolve a
+//! handle once (e.g. when a solver workspace is built) and then update
+//! it without taking the registry lock. The whole registry dumps to a
+//! JSON value for run manifests.
+//!
+//! Like tracing, metrics collection has a process-wide switch
+//! ([`set_metrics`]); instrumented code only *resolves* handles when the
+//! switch is on, so the disabled cost is a relaxed atomic load at setup
+//! points and nothing at all per sample.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::Json;
+
+static METRICS: AtomicBool = AtomicBool::new(false);
+
+/// Turns metrics collection on or off process-wide.
+pub fn set_metrics(on: bool) {
+    METRICS.store(on, Ordering::Relaxed);
+}
+
+/// `true` when metrics collection is enabled.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    METRICS.load(Ordering::Relaxed)
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins floating-point gauge.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self(AtomicU64::new(0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Buckets: 1 underflow (`v <= 0` or non-finite negative), 256 octaves ×
+/// 4 linear sub-buckets, 1 overflow (non-finite positive).
+const N_BUCKETS: usize = 1 + 256 * 4 + 1;
+
+/// A lock-free log-linear histogram of positive values.
+///
+/// Values land in one of four linear sub-buckets per power of two, with
+/// the exponent clamped to ±128 — ~9 % relative resolution over any
+/// range this repo measures (picoseconds to kiloseconds, iteration
+/// counts, resistances).
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_obs::metrics::Histogram;
+///
+/// let h = Histogram::default();
+/// for v in [1.0, 1.1, 3.0, 3.2, 100.0] {
+///     h.observe(v);
+/// }
+/// let s = h.summary();
+/// assert_eq!(s.count, 5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 100.0);
+/// assert!(s.quantile(0.5) >= 1.0 && s.quantile(0.5) <= 4.0);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observed values, stored as f64 bits and updated by CAS.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+fn bucket_of(v: f64) -> usize {
+    if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        // NaN, zero and negatives share the underflow bucket…
+        return 0;
+    }
+    if v.is_infinite() {
+        // …positive infinity gets the overflow bucket.
+        return N_BUCKETS - 1;
+    }
+    let bits = v.to_bits();
+    let e = (((bits >> 52) & 0x7ff) as i64 - 1023).clamp(-128, 127);
+    let sub = ((bits >> 50) & 0b11) as i64;
+    (1 + (e + 128) * 4 + sub) as usize
+}
+
+/// Lower bound of bucket `idx` (1-based data buckets).
+fn bucket_lower(idx: usize) -> f64 {
+    debug_assert!((1..N_BUCKETS - 1).contains(&idx));
+    let k = (idx - 1) as i64;
+    let e = k / 4 - 128;
+    let sub = k % 4;
+    (1.0 + sub as f64 / 4.0) * (e as f64).exp2()
+}
+
+fn atomic_f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+        Some(f(f64::from_bits(bits)).to_bits())
+    });
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn observe(&self, v: f64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() {
+            atomic_f64_update(&self.sum_bits, |s| s + v);
+            atomic_f64_update(&self.min_bits, |m| m.min(v));
+            atomic_f64_update(&self.max_bits, |m| m.max(v));
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots the histogram.
+    pub fn summary(&self) -> HistogramSummary {
+        let buckets: Vec<(f64, u64)> = (1..N_BUCKETS - 1)
+            .filter_map(|i| {
+                let c = self.buckets[i].load(Ordering::Relaxed);
+                (c > 0).then(|| (bucket_lower(i), c))
+            })
+            .collect();
+        HistogramSummary {
+            count: self.count(),
+            underflow: self.buckets[0].load(Ordering::Relaxed),
+            overflow: self.buckets[N_BUCKETS - 1].load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits
+            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time snapshot of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Total recorded values (including under/overflow).
+    pub count: u64,
+    /// Values that were zero, negative or NaN.
+    pub underflow: u64,
+    /// Values that were +∞.
+    pub overflow: u64,
+    /// Sum of finite recorded values.
+    pub sum: f64,
+    /// Smallest finite recorded value (+∞ when empty).
+    pub min: f64,
+    /// Largest finite recorded value (−∞ when empty).
+    pub max: f64,
+    /// Non-empty data buckets as `(lower_bound, count)`, ascending.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSummary {
+    /// Mean of the finite recorded values.
+    pub fn mean(&self) -> f64 {
+        let finite = self.count - self.overflow;
+        if finite == 0 {
+            0.0
+        } else {
+            self.sum / finite as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in 0..=1) from the bucket counts; the
+    /// answer is a bucket lower bound, exact to the ~9 % bucket width.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.buckets.is_empty() {
+            return 0.0;
+        }
+        let in_buckets: u64 = self.buckets.iter().map(|&(_, c)| c).sum();
+        let target = ((q.clamp(0.0, 1.0) * in_buckets as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for &(lower, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                return lower;
+            }
+        }
+        self.buckets.last().map_or(0.0, |&(lower, _)| lower)
+    }
+
+    /// Renders the summary as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::Num(self.count as f64)),
+            ("underflow".into(), Json::Num(self.underflow as f64)),
+            ("overflow".into(), Json::Num(self.overflow as f64)),
+            ("sum".into(), Json::num_or_null(self.sum)),
+            (
+                "min".into(),
+                if self.count > self.overflow {
+                    Json::num_or_null(self.min)
+                } else {
+                    Json::Null
+                },
+            ),
+            (
+                "max".into(),
+                if self.count > self.overflow {
+                    Json::num_or_null(self.max)
+                } else {
+                    Json::Null
+                },
+            ),
+            ("mean".into(), Json::num_or_null(self.mean())),
+            ("p50".into(), Json::num_or_null(self.quantile(0.5))),
+            ("p90".into(), Json::num_or_null(self.quantile(0.9))),
+            ("p99".into(), Json::num_or_null(self.quantile(0.99))),
+            (
+                "buckets".into(),
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|&(lower, c)| {
+                            Json::Arr(vec![Json::num_or_null(lower), Json::Num(c as f64)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct MetricsRegistry {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+fn metrics_registry() -> &'static Mutex<MetricsRegistry> {
+    static REGISTRY: OnceLock<Mutex<MetricsRegistry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(MetricsRegistry::default()))
+}
+
+/// The counter registered under `name` (registered on first use).
+pub fn counter(name: &str) -> Arc<Counter> {
+    let mut reg = metrics_registry().lock().expect("metrics registry");
+    Arc::clone(reg.counters.entry(name.to_owned()).or_default())
+}
+
+/// The gauge registered under `name` (registered on first use).
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    let mut reg = metrics_registry().lock().expect("metrics registry");
+    Arc::clone(reg.gauges.entry(name.to_owned()).or_default())
+}
+
+/// The histogram registered under `name` (registered on first use).
+///
+/// Hot paths should call this once at setup and keep the `Arc`.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    let mut reg = metrics_registry().lock().expect("metrics registry");
+    Arc::clone(reg.histograms.entry(name.to_owned()).or_default())
+}
+
+/// Convenience single-shot observation (takes the registry lock; fine
+/// for cold paths).
+pub fn observe(name: &str, v: f64) {
+    histogram(name).observe(v);
+}
+
+/// Dumps every registered metric as a JSON object
+/// (`{"counters": {...}, "gauges": {...}, "histograms": {...}}`).
+pub fn dump_json() -> Json {
+    let reg = metrics_registry().lock().expect("metrics registry");
+    Json::Obj(vec![
+        (
+            "counters".into(),
+            Json::Obj(
+                reg.counters
+                    .iter()
+                    .map(|(k, c)| (k.clone(), Json::Num(c.get() as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges".into(),
+            Json::Obj(
+                reg.gauges
+                    .iter()
+                    .map(|(k, g)| (k.clone(), Json::num_or_null(g.get())))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms".into(),
+            Json::Obj(
+                reg.histograms
+                    .iter()
+                    .map(|(k, h)| (k.clone(), h.summary().to_json()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Zeroes every registered metric (registrations are kept, so cached
+/// handles stay valid).
+pub fn reset_metrics() {
+    let reg = metrics_registry().lock().expect("metrics registry");
+    for c in reg.counters.values() {
+        c.0.store(0, Ordering::Relaxed);
+    }
+    for g in reg.gauges.values() {
+        g.set(0.0);
+    }
+    for h in reg.histograms.values() {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_bracket_values() {
+        for v in [1e-12, 3.7e-9, 0.5, 1.0, 1.3, 2.0, 777.0, 1e15] {
+            let idx = bucket_of(v);
+            let lower = bucket_lower(idx);
+            assert!(lower <= v, "lower {lower} !<= v {v}");
+            let upper = if idx + 1 < N_BUCKETS - 1 {
+                bucket_lower(idx + 1)
+            } else {
+                f64::INFINITY
+            };
+            assert!(v < upper, "v {v} !< upper {upper}");
+        }
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(-1.0), 0);
+        assert_eq!(bucket_of(f64::NAN), 0);
+        assert_eq!(bucket_of(f64::INFINITY), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_summary_and_quantiles() {
+        let h = Histogram::default();
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+        let p50 = s.quantile(0.5);
+        assert!((40.0..=64.0).contains(&p50), "p50 = {p50}");
+        let p99 = s.quantile(0.99);
+        assert!(p99 >= 90.0, "p99 = {p99}");
+        assert!(s.to_json().render().contains("\"count\": 100"));
+    }
+
+    #[test]
+    fn histogram_is_thread_safe() {
+        let h = Histogram::default();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..1000 {
+                        h.observe(1.0 + (i % 10) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert!((h.summary().sum - 4.0 * (1000.0 + 4500.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn registry_roundtrip_and_reset() {
+        counter("test.a").add(3);
+        gauge("test.g").set(2.5);
+        histogram("test.h").observe(1.0);
+        assert_eq!(counter("test.a").get(), 3);
+        let dump = dump_json();
+        let c = dump
+            .get("counters")
+            .and_then(|c| c.get("test.a"))
+            .and_then(Json::as_f64);
+        assert_eq!(c, Some(3.0));
+        reset_metrics();
+        assert_eq!(counter("test.a").get(), 0);
+        assert_eq!(histogram("test.h").count(), 0);
+    }
+}

@@ -1,0 +1,562 @@
+//! Hierarchical span tracing.
+//!
+//! A *span* is a named region of execution. Spans nest: opening a span
+//! while another is open on the same thread makes it a child, so a run
+//! produces a tree of paths like `e3 > mc_population > mc_sample >
+//! transient > newton`. Each thread records into a thread-local
+//! collector (no locks on the enter/exit path beyond one relaxed atomic
+//! load); collectors aggregate by path and flush into the process-wide
+//! registry whenever their span stack empties and when the thread exits,
+//! so spans recorded inside `std::thread::scope` workers survive the
+//! join.
+//!
+//! When tracing is disabled (the default) the guard is inert: entering
+//! and dropping a span costs one relaxed atomic load and no allocation.
+//!
+//! Spans crossing threads: a worker has no parent span on its own stack,
+//! so fan-out code captures [`current_path`] before spawning and opens
+//! worker spans with [`SpanGuard::enter_under`], attaching them to the
+//! spawning span's path. Aggregated times of such spans sum CPU time
+//! across workers and may exceed their parent's wall time.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// Turns span tracing on or off process-wide.
+///
+/// Toggle only between runs: spans opened while tracing was off are not
+/// retroactively recorded, and spans open across a toggle record nothing.
+pub fn set_tracing(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// `true` when span tracing is enabled.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Opaque identifier of an interned span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathId(u32);
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// Aggregate of one numeric field across all closings of a span path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldAgg {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+}
+
+impl FieldAgg {
+    fn new(v: f64) -> Self {
+        Self {
+            count: 1,
+            sum: v,
+            min: v,
+            max: v,
+        }
+    }
+
+    fn add(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn merge(&mut self, other: &FieldAgg) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct SpanStat {
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+    fields: Vec<(&'static str, FieldAgg)>,
+}
+
+impl SpanStat {
+    fn merge(&mut self, other: &SpanStat) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.self_ns += other.self_ns;
+        for (k, agg) in &other.fields {
+            match self.fields.iter_mut().find(|(mk, _)| mk == k) {
+                Some((_, mine)) => mine.merge(agg),
+                None => self.fields.push((k, *agg)),
+            }
+        }
+    }
+}
+
+struct PathNode {
+    name: String,
+    parent: u32,
+}
+
+struct Registry {
+    paths: Vec<PathNode>,
+    /// parent id → (name → id)
+    index: HashMap<u32, HashMap<String, u32>>,
+    stats: Vec<SpanStat>,
+}
+
+impl Registry {
+    fn intern(&mut self, parent: u32, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(&parent).and_then(|m| m.get(name)) {
+            return id;
+        }
+        let id = self.paths.len() as u32;
+        self.paths.push(PathNode {
+            name: name.to_owned(),
+            parent,
+        });
+        self.stats.push(SpanStat::default());
+        self.index
+            .entry(parent)
+            .or_default()
+            .insert(name.to_owned(), id);
+        id
+    }
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry {
+            paths: Vec::new(),
+            index: HashMap::new(),
+            stats: Vec::new(),
+        })
+    })
+}
+
+struct Frame {
+    id: u32,
+    start: Instant,
+    child_ns: u64,
+    fields: Vec<(&'static str, f64)>,
+}
+
+#[derive(Default)]
+struct ThreadCollector {
+    stack: Vec<Frame>,
+    agg: HashMap<u32, SpanStat>,
+    /// Local mirror of the global intern table: parent id → name → id.
+    cache: HashMap<u32, HashMap<String, u32>>,
+}
+
+impl ThreadCollector {
+    fn intern(&mut self, parent: u32, name: &str) -> u32 {
+        if let Some(&id) = self.cache.get(&parent).and_then(|m| m.get(name)) {
+            return id;
+        }
+        let id = registry()
+            .lock()
+            .expect("span registry")
+            .intern(parent, name);
+        self.cache
+            .entry(parent)
+            .or_default()
+            .insert(name.to_owned(), id);
+        id
+    }
+
+    fn enter(&mut self, parent: u32, name: &str) -> usize {
+        let id = self.intern(parent, name);
+        self.stack.push(Frame {
+            id,
+            start: Instant::now(),
+            child_ns: 0,
+            fields: Vec::new(),
+        });
+        self.stack.len()
+    }
+
+    fn exit(&mut self) {
+        let Some(frame) = self.stack.pop() else {
+            return;
+        };
+        let elapsed = frame.start.elapsed().as_nanos() as u64;
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_ns += elapsed;
+        }
+        let stat = self.agg.entry(frame.id).or_default();
+        stat.count += 1;
+        stat.total_ns += elapsed;
+        stat.self_ns += elapsed.saturating_sub(frame.child_ns);
+        for (k, v) in frame.fields {
+            match stat.fields.iter_mut().find(|(mk, _)| *mk == k) {
+                Some((_, agg)) => agg.add(v),
+                None => stat.fields.push((k, FieldAgg::new(v))),
+            }
+        }
+        if self.stack.is_empty() {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.agg.is_empty() {
+            return;
+        }
+        let mut reg = registry().lock().expect("span registry");
+        for (id, stat) in self.agg.drain() {
+            reg.stats[id as usize].merge(&stat);
+        }
+    }
+}
+
+impl Drop for ThreadCollector {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<ThreadCollector> = RefCell::new(ThreadCollector::default());
+}
+
+/// The path of the innermost span open on this thread, for parenting
+/// spans opened on *other* threads via [`SpanGuard::enter_under`].
+pub fn current_path() -> Option<PathId> {
+    if !tracing_enabled() {
+        return None;
+    }
+    COLLECTOR.with(|c| c.borrow().stack.last().map(|f| PathId(f.id)))
+}
+
+/// RAII guard of an open span; the span closes when the guard drops.
+///
+/// Guards must drop in reverse open order on their thread (the natural
+/// behaviour when each guard is held in a local variable).
+#[must_use = "a span records its duration when the guard drops"]
+pub struct SpanGuard {
+    /// Stack depth at enter; 0 marks an inert guard (tracing disabled).
+    depth: usize,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name` under the innermost open span of the
+    /// current thread (or at the root when none is open).
+    #[inline]
+    pub fn enter(name: &str) -> SpanGuard {
+        if !tracing_enabled() {
+            return SpanGuard { depth: 0 };
+        }
+        Self::enter_impl(None, name)
+    }
+
+    /// Opens a span under an explicit parent path — the bridge for
+    /// work fanned out to threads that have no span stack of their own.
+    /// `parent = None` opens at the root.
+    #[inline]
+    pub fn enter_under(parent: Option<PathId>, name: &str) -> SpanGuard {
+        if !tracing_enabled() {
+            return SpanGuard { depth: 0 };
+        }
+        Self::enter_impl(parent, name)
+    }
+
+    fn enter_impl(parent: Option<PathId>, name: &str) -> SpanGuard {
+        COLLECTOR.with(|c| {
+            let mut col = c.borrow_mut();
+            let parent = match parent {
+                Some(PathId(p)) => p,
+                None => col.stack.last().map_or(NO_PARENT, |f| f.id),
+            };
+            let depth = col.enter(parent, name);
+            SpanGuard { depth }
+        })
+    }
+
+    /// Records a key/value field on this span; values aggregate
+    /// (count/sum/min/max) across all closings of the same path.
+    pub fn field(&self, key: &'static str, value: f64) {
+        if self.depth == 0 {
+            return;
+        }
+        COLLECTOR.with(|c| {
+            let mut col = c.borrow_mut();
+            if let Some(frame) = col.stack.get_mut(self.depth - 1) {
+                frame.fields.push((key, value));
+            }
+        });
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.depth == 0 {
+            return;
+        }
+        COLLECTOR.with(|c| c.borrow_mut().exit());
+    }
+}
+
+/// One aggregated span path in a [`SpanReport`], in depth-first order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEntry {
+    /// Full path, segments joined with `>`.
+    pub path: String,
+    /// Leaf name (last path segment).
+    pub name: String,
+    /// Nesting depth: 0 for root spans.
+    pub depth: usize,
+    /// Times the span closed.
+    pub count: u64,
+    /// Total time inside the span, seconds (sums across threads for
+    /// fanned-out spans).
+    pub total_seconds: f64,
+    /// Time not attributed to child spans, seconds.
+    pub self_seconds: f64,
+    /// Aggregated key/value fields.
+    pub fields: Vec<(String, FieldAgg)>,
+}
+
+/// A snapshot of every span path recorded since the last [`reset_spans`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanReport {
+    /// Entries in depth-first pre-order.
+    pub entries: Vec<SpanEntry>,
+}
+
+impl SpanReport {
+    /// Entries at nesting depth `depth`.
+    pub fn at_depth(&self, depth: usize) -> impl Iterator<Item = &SpanEntry> {
+        self.entries.iter().filter(move |e| e.depth == depth)
+    }
+
+    /// Sum of `total_seconds` over root (depth-0) entries.
+    pub fn root_seconds(&self) -> f64 {
+        self.at_depth(0).map(|e| e.total_seconds).sum()
+    }
+
+    /// Renders an indented text tree (for `--trace` output).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = write!(
+                out,
+                "{:indent$}{:<30} {:>9}x  total {:>11.6} s  self {:>11.6} s",
+                "",
+                e.name,
+                e.count,
+                e.total_seconds,
+                e.self_seconds,
+                indent = 2 * e.depth
+            );
+            for (k, agg) in &e.fields {
+                let _ = write!(
+                    out,
+                    "  {k}: mean {:.3} [{:.3}, {:.3}]",
+                    agg.mean(),
+                    agg.min,
+                    agg.max
+                );
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Flushes the calling thread's collector and snapshots the registry as
+/// a [`SpanReport`]. Call after the root span has closed; spans still
+/// open elsewhere are not included.
+pub fn span_report() -> SpanReport {
+    COLLECTOR.with(|c| c.borrow_mut().flush());
+    let reg = registry().lock().expect("span registry");
+    // Depth-first pre-order over ids with any recorded closings.
+    let n = reg.paths.len();
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut roots = Vec::new();
+    for (id, node) in reg.paths.iter().enumerate() {
+        if node.parent == NO_PARENT {
+            roots.push(id as u32);
+        } else {
+            children[node.parent as usize].push(id as u32);
+        }
+    }
+    let mut entries = Vec::new();
+    fn visit(
+        id: u32,
+        depth: usize,
+        prefix: &str,
+        reg: &Registry,
+        children: &[Vec<u32>],
+        entries: &mut Vec<SpanEntry>,
+    ) {
+        let node = &reg.paths[id as usize];
+        let stat = &reg.stats[id as usize];
+        let path = if prefix.is_empty() {
+            node.name.clone()
+        } else {
+            format!("{prefix}>{}", node.name)
+        };
+        if stat.count > 0 {
+            entries.push(SpanEntry {
+                path: path.clone(),
+                name: node.name.clone(),
+                depth,
+                count: stat.count,
+                total_seconds: stat.total_ns as f64 * 1e-9,
+                self_seconds: stat.self_ns as f64 * 1e-9,
+                fields: stat
+                    .fields
+                    .iter()
+                    .map(|(k, agg)| ((*k).to_owned(), *agg))
+                    .collect(),
+            });
+        }
+        for &c in &children[id as usize] {
+            visit(c, depth + 1, &path, reg, children, entries);
+        }
+    }
+    for &r in &roots {
+        visit(r, 0, "", &reg, &children, &mut entries);
+    }
+    SpanReport { entries }
+}
+
+/// Zeroes all recorded span statistics (interned paths are kept).
+///
+/// Also drops any pending aggregates of the calling thread. Other
+/// threads' pending (unflushed) aggregates are *not* cleared; call this
+/// between runs, after parallel sections have joined.
+pub fn reset_spans() {
+    COLLECTOR.with(|c| {
+        let mut col = c.borrow_mut();
+        col.agg.clear();
+    });
+    let mut reg = registry().lock().expect("span registry");
+    for s in reg.stats.iter_mut() {
+        *s = SpanStat::default();
+    }
+}
+
+/// Serializes tests that touch the process-wide span registry.
+#[cfg(test)]
+pub(crate) fn tests_gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lock_test() -> std::sync::MutexGuard<'static, ()> {
+        tests_gate()
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = lock_test();
+        set_tracing(false);
+        reset_spans();
+        {
+            let _s = SpanGuard::enter("ghost");
+        }
+        assert!(span_report().entries.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_build_a_tree() {
+        let _g = lock_test();
+        set_tracing(true);
+        reset_spans();
+        {
+            let _outer = SpanGuard::enter("outer");
+            for _ in 0..3 {
+                let inner = SpanGuard::enter("inner");
+                inner.field("work", 2.0);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let report = span_report();
+        set_tracing(false);
+        let outer = report
+            .entries
+            .iter()
+            .find(|e| e.path == "outer")
+            .expect("outer recorded");
+        let inner = report
+            .entries
+            .iter()
+            .find(|e| e.path == "outer>inner")
+            .expect("inner recorded");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 3);
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        // Children are contained in the parent, and the parent's self
+        // time excludes them.
+        assert!(inner.total_seconds <= outer.total_seconds);
+        assert!(outer.self_seconds <= outer.total_seconds - inner.total_seconds + 1e-6);
+        let (k, agg) = &inner.fields[0];
+        assert_eq!(k, "work");
+        assert_eq!(agg.count, 3);
+        assert!((agg.sum - 6.0).abs() < 1e-12);
+        assert!(!report.render_text().is_empty());
+    }
+
+    #[test]
+    fn worker_spans_attach_under_captured_parent() {
+        let _g = lock_test();
+        set_tracing(true);
+        reset_spans();
+        {
+            let _outer = SpanGuard::enter("fanout");
+            let parent = current_path();
+            std::thread::scope(|scope| {
+                for i in 0..4 {
+                    scope.spawn(move || {
+                        let s = SpanGuard::enter_under(parent, "worker");
+                        s.field("i", i as f64);
+                    });
+                }
+            });
+        }
+        let report = span_report();
+        set_tracing(false);
+        let worker = report
+            .entries
+            .iter()
+            .find(|e| e.path == "fanout>worker")
+            .expect("worker spans merged at join");
+        assert_eq!(worker.count, 4);
+        assert_eq!(worker.depth, 1);
+        let (_, agg) = &worker.fields[0];
+        assert_eq!(agg.count, 4);
+        assert!((agg.sum - 6.0).abs() < 1e-12); // 0+1+2+3
+    }
+}

@@ -105,6 +105,7 @@ impl Circuit {
     /// source stepping all fail, or [`SpiceError::SingularSystem`] if the
     /// MNA matrix is structurally singular.
     pub fn dcop(&self, spec: &DcOpSpec) -> Result<DcSolution, SpiceError> {
+        let _span = rotsv_obs::span!("dcop");
         let wall_start = Instant::now();
         let mut ws = MnaWorkspace::new(self);
         // DC solves start far from the solution (zero vector, homotopy

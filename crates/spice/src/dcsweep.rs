@@ -97,6 +97,7 @@ impl Circuit {
         stop: f64,
         steps: usize,
     ) -> Result<DcSweepResult, SpiceError> {
+        let _span = rotsv_obs::span!("dcsweep", "steps" = steps);
         if steps < 1 {
             return Err(SpiceError::InvalidSpec(
                 "dc sweep needs at least one step".to_owned(),

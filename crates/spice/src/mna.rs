@@ -63,6 +63,10 @@ pub(crate) struct MnaWorkspace {
     /// Work counters, accumulated across every solve through this
     /// workspace.
     pub stats: SolverStats,
+    /// Staleness-at-refactor histogram handle; resolved once at
+    /// construction (only when metrics are enabled) so the Newton hot
+    /// path never touches the metrics registry.
+    staleness_hist: Option<std::sync::Arc<rotsv_obs::Histogram>>,
 }
 
 /// Voltage of `node` under solution vector `x`.
@@ -163,6 +167,8 @@ impl MnaWorkspace {
             last_factored: Vec::new(),
             resid: vec![0.0; n],
             stats: SolverStats::default(),
+            staleness_hist: rotsv_obs::metrics_enabled()
+                .then(|| rotsv_obs::histogram("mna.factor_staleness")),
         }
     }
 
@@ -309,6 +315,10 @@ impl MnaWorkspace {
             }
         }
         self.stats.factorizations += 1;
+        if let Some(hist) = &self.staleness_hist {
+            // How many Newton iterations the replaced factors served.
+            hist.observe(self.stale_iters as f64);
+        }
         self.stale_iters = 0;
         self.last_factored.clear();
         self.last_factored.extend_from_slice(self.a.values());
@@ -368,6 +378,7 @@ pub(crate) fn newton_solve(
     caps: CapMode<'_>,
     opts: &NewtonOpts,
 ) -> Result<Vec<f64>, NewtonFailure> {
+    let _span = rotsv_obs::span!("newton");
     let n_nodes = ckt.node_count() - 1;
     let mut prev_rnorm = f64::INFINITY;
     // A damped update shrinks the residual slowly no matter how fresh the

@@ -324,7 +324,7 @@ impl Circuit {
     /// halving the step 12 times, and [`SpiceError::SingularSystem`] for a
     /// structurally singular system.
     pub fn transient(&self, spec: &TransientSpec) -> Result<TransientResult, SpiceError> {
-        let wall_start = Instant::now();
+        let _span = rotsv_obs::span!("transient");
         if spec.dt <= 0.0 || !spec.dt.is_finite() {
             return Err(SpiceError::InvalidSpec(format!(
                 "time step must be positive, got {}",
@@ -376,6 +376,21 @@ impl Circuit {
                 }
             }
             x0
+        };
+
+        // Wall-clock accounting starts *after* the seeding dcop: that
+        // analysis stamped its own wall time into `dc_stats`, which the
+        // final `merge` adds back, so every second of the run is counted
+        // exactly once and merged totals stay comparable to an enclosing
+        // span's wall time.
+        let wall_start = Instant::now();
+        let (newton_hist, lte_hist) = if rotsv_obs::metrics_enabled() {
+            (
+                Some(rotsv_obs::histogram("transient.newton_iters_per_step")),
+                Some(rotsv_obs::histogram("transient.lte_step_seconds")),
+            )
+        } else {
+            (None, None)
         };
 
         // Capacitor bookkeeping (in element order, matching CapMode::Companion).
@@ -494,6 +509,7 @@ impl Circuit {
                     }
                     _ => x.clone(),
                 };
+                let newton_before = ws.stats.newton_iterations;
                 match newton_solve(
                     &mut ws,
                     self,
@@ -543,6 +559,12 @@ impl Circuit {
                         t = t_next;
                         steps += 1;
                         ws.stats.steps_accepted += 1;
+                        if let Some(h) = &newton_hist {
+                            h.observe((ws.stats.newton_iterations - newton_before) as f64);
+                        }
+                        if let Some(h) = &lte_hist {
+                            h.observe(dt_try);
+                        }
                         record(t, &x, &mut time, &mut columns, &mut current_columns);
                         if let Some(StopCondition::RisingCrossings {
                             node,
@@ -593,8 +615,11 @@ impl Circuit {
         }
 
         let mut stats = ws.stats;
-        stats.merge(&dc_stats);
+        // Stamp the loop-exclusive wall first, then merge the seeding
+        // dcop's counters (including its wall) — the sum equals the
+        // analysis total without double-counting the dcop.
         stats.wall_seconds = wall_start.elapsed().as_secs_f64();
+        stats.merge(&dc_stats);
         Ok(TransientResult {
             time,
             columns,
@@ -730,6 +755,36 @@ mod tests {
         let w = res.waveform(vout);
         // Already at steady state: stays at 1 V throughout.
         assert!(w.values().iter().all(|v| (v - 1.0).abs() < 1e-6));
+    }
+
+    /// Regression test for wall-time accounting when a dcop seeds a
+    /// transient: the merged `wall_seconds` (dcop + stepping loop) must
+    /// track the wall time of the whole analysis — neither counting the
+    /// dcop twice (merge after an all-inclusive stamp) nor dropping it
+    /// (stamp after merge overwrites the dcop's share).
+    #[test]
+    fn dcop_seeded_wall_time_matches_outer_wall() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.add_vsource(vin, Circuit::GROUND, SourceWaveform::dc(1.0));
+        ckt.add_resistor(vin, vout, 1e3);
+        ckt.add_capacitor(vout, Circuit::GROUND, 1e-9);
+        // Enough fixed steps that the loop dominates scheduling noise.
+        let spec = TransientSpec::new(2e-5, 1e-9).record(&[vout]).from_dcop();
+        let outer = Instant::now();
+        let res = ckt.transient(&spec).unwrap();
+        let outer = outer.elapsed().as_secs_f64();
+        let merged = res.stats().wall_seconds;
+        assert!(merged > 0.0, "wall time recorded");
+        assert!(
+            merged <= outer * 1.10 + 2e-3,
+            "merged wall {merged} s exceeds outer wall {outer} s: dcop counted twice?"
+        );
+        assert!(
+            merged >= outer * 0.5,
+            "merged wall {merged} s far below outer wall {outer} s: a phase was dropped?"
+        );
     }
 
     #[test]
