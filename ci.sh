@@ -1,8 +1,27 @@
 #!/usr/bin/env bash
 # Repo CI gate: formatting, lints, build, tests, docs — all warnings
-# denied. Run from the repo root; exits nonzero on the first failure.
+# denied — plus the golden-result regression check and the solver
+# wall-time gate. Run from the repo root; exits nonzero on the first
+# failure. Artifacts (run manifest, golden diff) land in
+# target/ci-artifacts for the workflow to upload.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# Toolchain pin: rust-toolchain.toml tracks "stable" (offline
+# environments cannot resolve a versioned channel), so the exact
+# version lives here and in .github/workflows/ci.yml (RUSTUP_TOOLCHAIN).
+PINNED_RUST="1.95.0"
+have_rust="$(rustc --version | awk '{print $2}')"
+if [ "$have_rust" != "$PINNED_RUST" ]; then
+  if [ "${CI:-false}" = "true" ]; then
+    echo "CI requires rustc $PINNED_RUST, found $have_rust" >&2
+    exit 1
+  fi
+  echo "warning: rustc $have_rust differs from the pinned $PINNED_RUST" >&2
+fi
+
+artifacts="target/ci-artifacts"
+mkdir -p "$artifacts"
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -20,12 +39,13 @@ echo "==> cargo doc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 echo "==> observability smoke (e1 --fast --metrics-out)"
-smoke_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir"' EXIT
-./target/release/experiments e1 --fast --metrics-out --out "$smoke_dir"
-./target/release/experiments validate-manifest "$smoke_dir/manifest_e1.json"
+./target/release/experiments e1 --fast --metrics-out --out "$artifacts"
+./target/release/experiments validate-manifest "$artifacts/manifest_e1.json"
 
-echo "==> bench_solver --check (warn-only)"
-./target/release/bench_solver --check --warn
+echo "==> golden regression check (experiments golden --check)"
+./target/release/experiments golden --check 2>&1 | tee "$artifacts/golden-check.txt"
+
+echo "==> bench_solver --check (fail beyond 25 %, warn beyond 15 %)"
+./target/release/bench_solver --check
 
 echo "CI green."

@@ -1,0 +1,549 @@
+//! Golden signatures: canonical digests of ΔT population summaries.
+//!
+//! The paper's fault classification rests on Monte-Carlo ΔT
+//! populations, so a silent numerical drift anywhere in the
+//! solver/RO/measurement chain corrupts conclusions without failing a
+//! unit test. This module condenses each experiment's ledger into a
+//! per-fault-point summary (count, stuck count, mean, σ, quantiles),
+//! rounds every metric to [`ROUND_SIG_DIGITS`] significant digits, and
+//! fingerprints the sorted result with FNV-1a. The summaries plus
+//! digests live in a committed `GOLDEN.json`; `experiments golden
+//! --check` recomputes them and compares metric by metric with the
+//! tolerance bands below, naming exactly which fault point drifted and
+//! by how much.
+//!
+//! Tolerances (documented contract, mirrored in `GOLDEN.json`):
+//! - counts (`n`, `values`, `stuck`, `failed`): exact;
+//! - `mean` and the quantile metrics (`min`, `q25`, `median`, `q75`,
+//!   `max`): relative drift ≤ [`MEAN_TOLERANCE`];
+//! - `std_dev`: relative drift ≤ [`STD_TOLERANCE`] (σ of a small
+//!   population amplifies last-ulp differences);
+//! - absolute differences below [`ABS_FLOOR`] (a tenth of a
+//!   femtosecond — far under the counter's resolution) never count as
+//!   drift.
+
+use std::collections::BTreeMap;
+
+use rotsv_num::stats::{percentile, Summary};
+use rotsv_obs::{json_digest, Json};
+
+use crate::ledger::{LedgerEntry, SampleStatus};
+
+/// Significant decimal digits each metric is rounded to before
+/// digesting — the documented quantization of the golden fingerprint.
+pub const ROUND_SIG_DIGITS: u32 = 6;
+/// Relative tolerance for `mean` and quantile metrics.
+pub const MEAN_TOLERANCE: f64 = 2e-3;
+/// Relative tolerance for `std_dev`.
+pub const STD_TOLERANCE: f64 = 2e-2;
+/// Absolute drift floor in metric units (seconds for ΔT metrics).
+pub const ABS_FLOOR: f64 = 1e-16;
+/// Schema version of `GOLDEN.json`.
+pub const GOLDEN_SCHEMA_VERSION: f64 = 1.0;
+
+/// Rounds to [`ROUND_SIG_DIGITS`] significant decimal digits.
+pub fn round_metric(v: f64) -> f64 {
+    if !v.is_finite() {
+        return v;
+    }
+    format!("{v:.*e}", (ROUND_SIG_DIGITS - 1) as usize)
+        .parse()
+        .expect("formatted float reparses")
+}
+
+/// The ordered value metrics of a point summary.
+const VALUE_METRICS: [&str; 7] = ["mean", "std_dev", "min", "q25", "median", "q75", "max"];
+
+/// Summary of one fault point's sample population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSignature {
+    /// Fault-point label, e.g. `"vdd=1.10 open-1k"`.
+    pub point: String,
+    /// Total samples recorded at this point.
+    pub n: usize,
+    /// Samples that produced a usable value.
+    pub values: usize,
+    /// Samples whose ring stuck (a detection, not a failure).
+    pub stuck: usize,
+    /// Samples that failed (reference failures, solver errors, panics).
+    pub failed: usize,
+    /// `(metric, rounded value)` pairs in fixed order (`mean`,
+    /// `std_dev`, `min`, `q25`, `median`, `q75`, `max`); empty when no
+    /// sample produced a value.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl PointSignature {
+    fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("point".into(), Json::Str(self.point.clone())),
+            ("n".into(), Json::Num(self.n as f64)),
+            ("values".into(), Json::Num(self.values as f64)),
+            ("stuck".into(), Json::Num(self.stuck as f64)),
+            ("failed".into(), Json::Num(self.failed as f64)),
+        ];
+        for (name, value) in &self.metrics {
+            members.push((name.clone(), Json::num_or_null(*value)));
+        }
+        Json::Obj(members)
+    }
+}
+
+/// One experiment's golden signature: sorted point summaries plus their
+/// FNV-1a digest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSignature {
+    /// Experiment id.
+    pub experiment: String,
+    /// Campaign seed the populations were produced from.
+    pub seed: u64,
+    /// Point summaries, sorted by label.
+    pub points: Vec<PointSignature>,
+    /// FNV-1a digest of the canonical points array.
+    pub digest: String,
+}
+
+impl ExperimentSignature {
+    /// Condenses ledger entries of one experiment into its signature.
+    ///
+    /// Payload convention (see [`crate::SampleSet`]): objects with a
+    /// `"point"` label and a `"kind"` of `"value"` (with `"value"`),
+    /// `"stuck"`, or `"reference_failed"`. `failed` ledger entries
+    /// count into `failed` of the point they name, or of the synthetic
+    /// `"(unattributed)"` point when the failure payload has none.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when entries mix experiments or a payload
+    /// violates the convention.
+    pub fn from_entries(entries: &[LedgerEntry]) -> Result<ExperimentSignature, String> {
+        let first = entries.first().ok_or("cannot sign an empty ledger")?;
+        #[derive(Default)]
+        struct Acc {
+            values: Vec<f64>,
+            stuck: usize,
+            failed: usize,
+            n: usize,
+        }
+        let mut by_point: BTreeMap<String, Acc> = BTreeMap::new();
+        for e in entries {
+            if e.experiment != first.experiment {
+                return Err(format!(
+                    "mixed experiments in one signature: '{}' and '{}'",
+                    first.experiment, e.experiment
+                ));
+            }
+            let point = e
+                .payload
+                .get("point")
+                .and_then(Json::as_str)
+                .unwrap_or("(unattributed)")
+                .to_owned();
+            let acc = by_point.entry(point).or_default();
+            acc.n += 1;
+            if e.status == SampleStatus::Failed {
+                acc.failed += 1;
+                continue;
+            }
+            match e.payload.get("kind").and_then(Json::as_str) {
+                Some("value") => {
+                    let v = e
+                        .payload
+                        .get("value")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| {
+                            format!(
+                                "'{}' sample {}: kind 'value' without a numeric 'value'",
+                                e.experiment, e.index
+                            )
+                        })?;
+                    acc.values.push(v);
+                }
+                Some("stuck") => acc.stuck += 1,
+                Some("reference_failed") => acc.failed += 1,
+                other => {
+                    return Err(format!(
+                        "'{}' sample {}: unknown payload kind {other:?}",
+                        e.experiment, e.index
+                    ))
+                }
+            }
+        }
+        let points: Vec<PointSignature> = by_point
+            .into_iter()
+            .map(|(point, acc)| {
+                let metrics = if acc.values.is_empty() {
+                    Vec::new()
+                } else {
+                    let s = Summary::of(&acc.values);
+                    [
+                        s.mean,
+                        s.std_dev,
+                        s.min,
+                        percentile(&acc.values, 25.0),
+                        percentile(&acc.values, 50.0),
+                        percentile(&acc.values, 75.0),
+                        s.max,
+                    ]
+                    .iter()
+                    .zip(VALUE_METRICS)
+                    .map(|(v, name)| (name.to_owned(), round_metric(*v)))
+                    .collect()
+                };
+                PointSignature {
+                    point,
+                    n: acc.n,
+                    values: acc.values.len(),
+                    stuck: acc.stuck,
+                    failed: acc.failed,
+                    metrics,
+                }
+            })
+            .collect();
+        let digest = json_digest(&Json::Arr(
+            points.iter().map(PointSignature::to_json).collect(),
+        ));
+        Ok(ExperimentSignature {
+            experiment: first.experiment.clone(),
+            seed: first.seed,
+            points,
+            digest,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("experiment".into(), Json::Str(self.experiment.clone())),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            ("digest".into(), Json::Str(self.digest.clone())),
+            (
+                "points".into(),
+                Json::Arr(self.points.iter().map(PointSignature::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Builds the `GOLDEN.json` document for a set of signatures.
+pub fn golden_doc(signatures: &[ExperimentSignature], fidelity: &str) -> Json {
+    Json::Obj(vec![
+        ("schema_version".into(), Json::Num(GOLDEN_SCHEMA_VERSION)),
+        ("fidelity".into(), Json::Str(fidelity.to_owned())),
+        (
+            "rounding_sig_digits".into(),
+            Json::Num(f64::from(ROUND_SIG_DIGITS)),
+        ),
+        (
+            "tolerances".into(),
+            Json::Obj(vec![
+                ("mean".into(), Json::Num(MEAN_TOLERANCE)),
+                ("quantile".into(), Json::Num(MEAN_TOLERANCE)),
+                ("std_dev".into(), Json::Num(STD_TOLERANCE)),
+                ("abs_floor".into(), Json::Num(ABS_FLOOR)),
+            ]),
+        ),
+        (
+            "experiments".into(),
+            Json::Arr(
+                signatures
+                    .iter()
+                    .map(ExperimentSignature::to_json)
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// One out-of-tolerance difference between current results and the
+/// committed golden signatures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    /// Experiment id.
+    pub experiment: String,
+    /// Fault-point label (or `"(experiment)"` for experiment-level
+    /// problems such as a seed change).
+    pub point: String,
+    /// Metric that drifted (`"mean"`, `"stuck"`, `"presence"`, …).
+    pub metric: String,
+    /// Human-readable description including both values and the band.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} / {} / {}: {}",
+            self.experiment, self.point, self.metric, self.detail
+        )
+    }
+}
+
+fn tolerance_for(metric: &str) -> f64 {
+    if metric == "std_dev" {
+        STD_TOLERANCE
+    } else {
+        MEAN_TOLERANCE
+    }
+}
+
+fn count_of(doc: &Json, key: &str) -> f64 {
+    doc.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN)
+}
+
+fn diff_point(experiment: &str, current: &PointSignature, golden: &Json, drifts: &mut Vec<Drift>) {
+    for (key, now) in [
+        ("n", current.n),
+        ("values", current.values),
+        ("stuck", current.stuck),
+        ("failed", current.failed),
+    ] {
+        let then = count_of(golden, key);
+        if then != now as f64 {
+            drifts.push(Drift {
+                experiment: experiment.to_owned(),
+                point: current.point.clone(),
+                metric: key.to_owned(),
+                detail: format!("count changed: golden {then} -> current {now} (counts are exact)"),
+            });
+        }
+    }
+    let golden_metrics: Vec<(&str, Option<f64>)> = VALUE_METRICS
+        .iter()
+        .map(|m| (*m, golden.get(m).and_then(Json::as_f64)))
+        .collect();
+    for (name, then) in golden_metrics {
+        let now = current
+            .metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v);
+        match (then, now) {
+            (None, None) => {}
+            (Some(then), Some(now)) => {
+                let tol = tolerance_for(name);
+                let band = tol * then.abs().max(ABS_FLOOR);
+                let diff = (now - then).abs();
+                if diff > band.max(ABS_FLOOR) {
+                    let rel = if then != 0.0 {
+                        (now / then - 1.0) * 100.0
+                    } else {
+                        f64::INFINITY
+                    };
+                    drifts.push(Drift {
+                        experiment: experiment.to_owned(),
+                        point: current.point.clone(),
+                        metric: name.to_owned(),
+                        detail: format!(
+                            "golden {then:.6e} -> current {now:.6e} ({rel:+.2} %, tolerance ±{:.2} %)",
+                            tol * 100.0
+                        ),
+                    });
+                }
+            }
+            (then, now) => {
+                drifts.push(Drift {
+                    experiment: experiment.to_owned(),
+                    point: current.point.clone(),
+                    metric: name.to_owned(),
+                    detail: format!("metric presence changed: golden {then:?}, current {now:?}"),
+                });
+            }
+        }
+    }
+}
+
+/// Compares freshly computed signatures against a parsed `GOLDEN.json`.
+///
+/// Returns every out-of-tolerance drift (empty = pass). A digest match
+/// short-circuits an experiment: byte-identical canonical summaries
+/// cannot drift.
+///
+/// # Errors
+///
+/// Returns a description when the golden document is malformed or
+/// misses an experiment that was requested.
+pub fn diff_against_golden(
+    current: &[ExperimentSignature],
+    golden: &Json,
+) -> Result<Vec<Drift>, String> {
+    let experiments = golden
+        .get("experiments")
+        .and_then(Json::as_arr)
+        .ok_or("GOLDEN.json: missing 'experiments' array")?;
+    let mut drifts = Vec::new();
+    for sig in current {
+        let Some(gold) = experiments
+            .iter()
+            .find(|e| e.get("experiment").and_then(Json::as_str) == Some(&sig.experiment))
+        else {
+            return Err(format!(
+                "GOLDEN.json has no entry for '{}'; regenerate with `experiments golden --write`",
+                sig.experiment
+            ));
+        };
+        if gold.get("digest").and_then(Json::as_str) == Some(&sig.digest) {
+            continue;
+        }
+        if gold.get("seed").and_then(Json::as_f64) != Some(sig.seed as f64) {
+            drifts.push(Drift {
+                experiment: sig.experiment.clone(),
+                point: "(experiment)".into(),
+                metric: "seed".into(),
+                detail: format!(
+                    "seed changed (golden {:?}, current {}); goldens must be regenerated",
+                    gold.get("seed").and_then(Json::as_f64),
+                    sig.seed
+                ),
+            });
+            continue;
+        }
+        let gold_points = gold.get("points").and_then(Json::as_arr).unwrap_or(&[]);
+        for point in &sig.points {
+            match gold_points
+                .iter()
+                .find(|p| p.get("point").and_then(Json::as_str) == Some(&point.point))
+            {
+                Some(gp) => diff_point(&sig.experiment, point, gp, &mut drifts),
+                None => drifts.push(Drift {
+                    experiment: sig.experiment.clone(),
+                    point: point.point.clone(),
+                    metric: "presence".into(),
+                    detail: "fault point absent from GOLDEN.json".into(),
+                }),
+            }
+        }
+        for gp in gold_points {
+            let label = gp.get("point").and_then(Json::as_str).unwrap_or("?");
+            if !sig.points.iter().any(|p| p.point == label) {
+                drifts.push(Drift {
+                    experiment: sig.experiment.clone(),
+                    point: label.to_owned(),
+                    metric: "presence".into(),
+                    detail: "golden fault point missing from current results".into(),
+                });
+            }
+        }
+    }
+    Ok(drifts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value_entry(point: &str, index: usize, value: f64) -> LedgerEntry {
+        LedgerEntry {
+            experiment: "eX".into(),
+            index,
+            seed: 11,
+            git_rev: "rev".into(),
+            status: SampleStatus::Ok,
+            payload: Json::Obj(vec![
+                ("point".into(), Json::Str(point.into())),
+                ("kind".into(), Json::Str("value".into())),
+                ("value".into(), Json::Num(value)),
+            ]),
+        }
+    }
+
+    fn sample_entries() -> Vec<LedgerEntry> {
+        let mut entries = Vec::new();
+        for (i, v) in [1.0e-11, 1.1e-11, 1.2e-11, 0.9e-11].iter().enumerate() {
+            entries.push(value_entry("vdd=1.10 fault-free", i, *v));
+        }
+        for (i, v) in [0.7e-11, 0.75e-11, 0.72e-11].iter().enumerate() {
+            entries.push(value_entry("vdd=1.10 open-1k", 4 + i, *v));
+        }
+        entries
+    }
+
+    #[test]
+    fn signature_is_deterministic_and_order_insensitive() {
+        let a = ExperimentSignature::from_entries(&sample_entries()).unwrap();
+        let mut shuffled = sample_entries();
+        shuffled.reverse();
+        let b = ExperimentSignature::from_entries(&shuffled).unwrap();
+        assert_eq!(a, b, "grouping sorts points, so entry order is irrelevant");
+        assert_eq!(a.points.len(), 2);
+        assert_eq!(a.points[0].point, "vdd=1.10 fault-free");
+        assert_eq!(a.points[0].values, 4);
+    }
+
+    #[test]
+    fn rounding_is_six_significant_digits() {
+        assert_eq!(round_metric(1.234567891e-11), 1.23457e-11);
+        assert_eq!(round_metric(-9.876543e3), -9.87654e3);
+        assert_eq!(round_metric(0.0), 0.0);
+    }
+
+    #[test]
+    fn clean_check_passes_and_perturbed_mean_is_named() {
+        let sig = ExperimentSignature::from_entries(&sample_entries()).unwrap();
+        let golden = golden_doc(std::slice::from_ref(&sig), "fast");
+        assert_eq!(
+            diff_against_golden(std::slice::from_ref(&sig), &golden).unwrap(),
+            Vec::new(),
+            "identical signatures must not drift"
+        );
+
+        // A +1 % ΔT perturbation on the open point must be flagged and
+        // named; 1 % is five times the 0.2 % mean tolerance.
+        let perturbed: Vec<LedgerEntry> = sample_entries()
+            .into_iter()
+            .map(|mut e| {
+                if e.payload.get("point").and_then(Json::as_str) == Some("vdd=1.10 open-1k") {
+                    let v = e.payload.get("value").and_then(Json::as_f64).unwrap();
+                    e.payload = Json::Obj(vec![
+                        ("point".into(), Json::Str("vdd=1.10 open-1k".into())),
+                        ("kind".into(), Json::Str("value".into())),
+                        ("value".into(), Json::Num(v * 1.01)),
+                    ]);
+                }
+                e
+            })
+            .collect();
+        let drifted = ExperimentSignature::from_entries(&perturbed).unwrap();
+        assert_ne!(drifted.digest, sig.digest);
+        let drifts = diff_against_golden(std::slice::from_ref(&drifted), &golden).unwrap();
+        assert!(!drifts.is_empty());
+        assert!(
+            drifts.iter().all(|d| d.point == "vdd=1.10 open-1k"),
+            "only the perturbed fault point may drift: {drifts:?}"
+        );
+        assert!(
+            drifts
+                .iter()
+                .any(|d| d.metric == "mean" && d.detail.contains("+1.0")),
+            "the mean drift must be named with its size: {drifts:?}"
+        );
+    }
+
+    #[test]
+    fn stuck_and_failed_counts_are_exact() {
+        let mut entries = sample_entries();
+        entries.push(LedgerEntry {
+            experiment: "eX".into(),
+            index: 7,
+            seed: 11,
+            git_rev: "rev".into(),
+            status: SampleStatus::Ok,
+            payload: Json::Obj(vec![
+                ("point".into(), Json::Str("vdd=1.10 open-1k".into())),
+                ("kind".into(), Json::Str("stuck".into())),
+            ]),
+        });
+        let sig = ExperimentSignature::from_entries(&entries).unwrap();
+        let golden = golden_doc(std::slice::from_ref(&sig), "fast");
+
+        entries.pop();
+        let fewer = ExperimentSignature::from_entries(&entries).unwrap();
+        let drifts = diff_against_golden(std::slice::from_ref(&fewer), &golden).unwrap();
+        assert!(
+            drifts
+                .iter()
+                .any(|d| d.metric == "stuck" && d.point == "vdd=1.10 open-1k"),
+            "{drifts:?}"
+        );
+    }
+}

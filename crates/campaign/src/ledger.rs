@@ -1,0 +1,303 @@
+//! The append-only JSONL sample ledger.
+//!
+//! One line per completed sample, written in deterministic order
+//! (experiments in campaign order, sample indices ascending), so the
+//! ledger of an interrupted-then-resumed campaign is byte-identical to
+//! that of an uninterrupted run. Every entry is keyed by
+//! `(experiment, index, seed, git_rev)`; a resume only skips entries
+//! whose full key matches the current campaign, and refuses to mix
+//! revisions or seeds in one ledger.
+//!
+//! A crash can leave a partial trailing line (the process died inside a
+//! `write`). [`read_ledger`] tolerates that: it returns the entries of
+//! the valid prefix plus the prefix length in bytes, and the writer
+//! truncates the file back to that length before appending.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use rotsv_obs::Json;
+
+/// Outcome of one sample, as recorded in the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleStatus {
+    /// The sample completed and its payload is a measurement.
+    Ok,
+    /// The sample failed (solver error, or a worker panic that
+    /// persisted through one retry); the payload describes the failure.
+    Failed,
+}
+
+impl SampleStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            SampleStatus::Ok => "ok",
+            SampleStatus::Failed => "failed",
+        }
+    }
+}
+
+/// One ledger line: a keyed, self-describing sample record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntry {
+    /// Experiment id, e.g. `"e3"`.
+    pub experiment: String,
+    /// Sample index within the experiment's deterministic enumeration.
+    pub index: usize,
+    /// RNG seed of the experiment (every sample derives its own seed
+    /// from this and its index).
+    pub seed: u64,
+    /// Git revision the sample was produced by.
+    pub git_rev: String,
+    /// Whether the sample completed.
+    pub status: SampleStatus,
+    /// Sample payload (see [`crate::SampleSet`] for the convention), or
+    /// a failure description for [`SampleStatus::Failed`] entries.
+    pub payload: Json,
+}
+
+impl LedgerEntry {
+    /// Renders the entry as one compact JSON line (no trailing newline).
+    /// The key order is fixed so identical entries are byte-identical.
+    pub fn to_line(&self) -> String {
+        Json::Obj(vec![
+            ("experiment".into(), Json::Str(self.experiment.clone())),
+            ("index".into(), Json::Num(self.index as f64)),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            ("git_rev".into(), Json::Str(self.git_rev.clone())),
+            ("status".into(), Json::Str(self.status.as_str().to_owned())),
+            ("payload".into(), self.payload.clone()),
+        ])
+        .render()
+    }
+
+    /// Parses one ledger line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem (invalid JSON, missing
+    /// or mistyped key).
+    pub fn from_line(line: &str) -> Result<LedgerEntry, String> {
+        let doc = rotsv_obs::json::parse(line)?;
+        let experiment = doc
+            .get("experiment")
+            .and_then(Json::as_str)
+            .ok_or("missing 'experiment'")?
+            .to_owned();
+        let index = doc
+            .get("index")
+            .and_then(Json::as_f64)
+            .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+            .ok_or("missing or non-integral 'index'")? as usize;
+        let seed = doc
+            .get("seed")
+            .and_then(Json::as_f64)
+            .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+            .ok_or("missing or non-integral 'seed'")? as u64;
+        let git_rev = doc
+            .get("git_rev")
+            .and_then(Json::as_str)
+            .ok_or("missing 'git_rev'")?
+            .to_owned();
+        let status = match doc.get("status").and_then(Json::as_str) {
+            Some("ok") => SampleStatus::Ok,
+            Some("failed") => SampleStatus::Failed,
+            _ => return Err("missing or unknown 'status'".into()),
+        };
+        let payload = doc.get("payload").ok_or("missing 'payload'")?.clone();
+        Ok(LedgerEntry {
+            experiment,
+            index,
+            seed,
+            git_rev,
+            status,
+            payload,
+        })
+    }
+}
+
+/// A ledger file read back from disk.
+#[derive(Debug, Clone, Default)]
+pub struct LoadedLedger {
+    /// Entries of the valid prefix, in file order.
+    pub entries: Vec<LedgerEntry>,
+    /// Byte length of the valid prefix (every complete, parseable line).
+    pub valid_bytes: u64,
+    /// Whether a partial or unparseable trailing line was dropped.
+    pub truncated_tail: bool,
+}
+
+/// Reads a ledger file, tolerating a partial trailing line.
+///
+/// A line is part of the valid prefix only if it is newline-terminated
+/// *and* parses as a ledger entry; everything from the first bad line on
+/// is reported via `truncated_tail` and excluded from `valid_bytes`.
+/// A missing file reads as an empty ledger.
+///
+/// # Errors
+///
+/// Returns I/O errors (other than "not found") as strings.
+pub fn read_ledger(path: &Path) -> Result<LoadedLedger, String> {
+    let mut text = String::new();
+    match File::open(path) {
+        Ok(mut f) => f
+            .read_to_string(&mut text)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(LoadedLedger::default()),
+        Err(e) => return Err(format!("cannot open {}: {e}", path.display())),
+    };
+    let mut loaded = LoadedLedger::default();
+    let mut offset = 0usize;
+    while offset < text.len() {
+        let rest = &text[offset..];
+        let Some(nl) = rest.find('\n') else {
+            // Partial trailing line: the previous run died mid-write.
+            loaded.truncated_tail = true;
+            break;
+        };
+        match LedgerEntry::from_line(&rest[..nl]) {
+            Ok(entry) => {
+                loaded.entries.push(entry);
+                offset += nl + 1;
+                loaded.valid_bytes = offset as u64;
+            }
+            Err(_) => {
+                // Corrupt line: treat it and everything after as tail.
+                loaded.truncated_tail = true;
+                break;
+            }
+        }
+    }
+    Ok(loaded)
+}
+
+/// Appends ledger entries one line at a time, flushing after each line
+/// so a killed process loses at most the line being written.
+#[derive(Debug)]
+pub struct LedgerWriter {
+    path: PathBuf,
+    file: File,
+}
+
+impl LedgerWriter {
+    /// Opens `path` for appending, first truncating it to `valid_bytes`
+    /// (dropping any partial trailing line found by [`read_ledger`]).
+    /// Creates the file (and its parent directory) if missing.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors as strings.
+    pub fn open(path: &Path, valid_bytes: u64) -> Result<LedgerWriter, String> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        file.set_len(valid_bytes)
+            .map_err(|e| format!("cannot truncate {}: {e}", path.display()))?;
+        let mut w = LedgerWriter {
+            path: path.to_owned(),
+            file,
+        };
+        use std::io::Seek as _;
+        w.file
+            .seek(std::io::SeekFrom::End(0))
+            .map_err(|e| format!("cannot seek {}: {e}", w.path.display()))?;
+        Ok(w)
+    }
+
+    /// Appends one entry as a JSONL line and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors as strings.
+    pub fn append(&mut self, entry: &LedgerEntry) -> Result<(), String> {
+        let mut line = entry.to_line();
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| format!("cannot append to {}: {e}", self.path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(i: usize) -> LedgerEntry {
+        LedgerEntry {
+            experiment: "eX".into(),
+            index: i,
+            seed: 7,
+            git_rev: "deadbeef".into(),
+            status: if i == 2 {
+                SampleStatus::Failed
+            } else {
+                SampleStatus::Ok
+            },
+            payload: Json::Obj(vec![
+                ("point".into(), Json::Str(format!("p{}", i % 2))),
+                ("kind".into(), Json::Str("value".into())),
+                ("value".into(), Json::Num(1.5e-12 * (i as f64 + 1.0))),
+            ]),
+        }
+    }
+
+    #[test]
+    fn line_roundtrip_is_lossless() {
+        for i in 0..4 {
+            let e = entry(i);
+            let line = e.to_line();
+            assert!(!line.contains('\n'), "single line: {line}");
+            assert_eq!(LedgerEntry::from_line(&line).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn read_tolerates_and_reports_partial_tail() {
+        let dir = std::env::temp_dir().join("rotsv_ledger_partial_tail");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.jsonl");
+
+        let mut text = String::new();
+        for i in 0..3 {
+            text.push_str(&entry(i).to_line());
+            text.push('\n');
+        }
+        let full_len = text.len() as u64;
+        text.push_str("{\"experiment\": \"eX\", \"ind"); // torn write
+        std::fs::write(&path, &text).unwrap();
+
+        let loaded = read_ledger(&path).unwrap();
+        assert_eq!(loaded.entries.len(), 3);
+        assert_eq!(loaded.valid_bytes, full_len);
+        assert!(loaded.truncated_tail);
+
+        // Re-opening the writer drops the torn tail; appending entry 3
+        // yields exactly the uninterrupted file.
+        let mut w = LedgerWriter::open(&path, loaded.valid_bytes).unwrap();
+        w.append(&entry(3)).unwrap();
+        let reread = read_ledger(&path).unwrap();
+        assert_eq!(reread.entries.len(), 4);
+        assert!(!reread.truncated_tail);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_reads_as_empty() {
+        let loaded =
+            read_ledger(Path::new("/nonexistent/rotsv/ledger.jsonl")).expect("missing is empty");
+        assert!(loaded.entries.is_empty());
+        assert_eq!(loaded.valid_bytes, 0);
+    }
+}

@@ -1,0 +1,313 @@
+#![warn(missing_docs)]
+
+//! Resumable experiment campaigns with golden-result regression gating.
+//!
+//! A *campaign* runs an arbitrary set of experiments as one resumable
+//! unit: every per-sample result is streamed to an append-only JSONL
+//! [`ledger`] keyed by `(experiment, sample index, seed, git rev)`, so
+//! a killed or crashed run resumes exactly where it stopped — and
+//! because every sample derives its RNG from its own index, the
+//! resumed ledger is byte-identical to an uninterrupted one. Worker
+//! panics are isolated per sample: caught, retried once, and recorded
+//! as `failed` entries instead of aborting the campaign ([`runner`]).
+//!
+//! On top of the ledger sits the [`golden`] layer: each experiment's
+//! per-fault-point ΔT population summaries, rounded to a documented
+//! tolerance and FNV-fingerprinted, are committed as `GOLDEN.json`;
+//! `experiments golden --check` recomputes and diffs them with
+//! per-metric tolerance bands, turning silent numerical drift into a
+//! named, sized CI failure.
+//!
+//! The crate is deliberately independent of the circuit stack: an
+//! experiment plugs in by implementing [`SampleSet`], which enumerates
+//! its samples and runs one sample by index. The concrete sets for the
+//! paper's experiments live in `rotsv-experiments`.
+
+pub mod golden;
+pub mod ledger;
+pub mod runner;
+
+pub use golden::{
+    diff_against_golden, golden_doc, Drift, ExperimentSignature, PointSignature,
+    GOLDEN_SCHEMA_VERSION, MEAN_TOLERANCE, ROUND_SIG_DIGITS, STD_TOLERANCE,
+};
+pub use ledger::{read_ledger, LedgerEntry, LedgerWriter, LoadedLedger, SampleStatus};
+pub use runner::{collect_entries, run_campaign, run_one_sample, CampaignOptions, CampaignReport};
+
+pub use rotsv_obs::Json;
+
+/// A deterministic, index-addressable set of experiment samples.
+///
+/// Implementations must be pure in the sense that `run_sample(i)`
+/// depends only on `i` (plus the set's fixed configuration and seed):
+/// the campaign runner re-executes arbitrary subsets in arbitrary
+/// parallel order and relies on per-index determinism for byte-stable
+/// ledgers.
+///
+/// # Payload convention
+///
+/// `run_sample` returns a JSON object consumed by the golden layer:
+///
+/// - `{"point": <label>, "kind": "value", "value": <number>}` — a
+///   usable measurement (ΔT or delay, in seconds);
+/// - `{"point": <label>, "kind": "stuck"}` — the ring stuck (a
+///   detection outcome, not a failure);
+/// - `{"point": <label>, "kind": "reference_failed"}` — the fault-free
+///   reference run failed (flags a broken configuration).
+///
+/// The `point` label identifies the fault point — e.g.
+/// `"vdd=1.10 open-1k"` — and is the unit the golden check names when
+/// a drift is found. Use [`value_payload`], [`stuck_payload`] and
+/// [`reference_failed_payload`] to build conforming payloads.
+pub trait SampleSet: Sync {
+    /// Experiment id, e.g. `"e3"`.
+    fn experiment(&self) -> &str;
+    /// Base RNG seed; sample `i` must derive its own stream from
+    /// `(seed, i)`.
+    fn seed(&self) -> u64;
+    /// Number of samples in the set.
+    fn len(&self) -> usize;
+    /// `true` when the set has no samples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Runs sample `index`, returning its payload or an error text.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return a description of the failure; the runner
+    /// records it as a `failed` ledger entry and continues.
+    fn run_sample(&self, index: usize) -> Result<Json, String>;
+}
+
+/// Builds a `kind: "value"` payload for a usable measurement.
+pub fn value_payload(point: &str, value: f64) -> Json {
+    Json::Obj(vec![
+        ("point".into(), Json::Str(point.to_owned())),
+        ("kind".into(), Json::Str("value".into())),
+        ("value".into(), Json::num_or_null(value)),
+    ])
+}
+
+/// Builds a `kind: "stuck"` payload (ring stopped oscillating).
+pub fn stuck_payload(point: &str) -> Json {
+    Json::Obj(vec![
+        ("point".into(), Json::Str(point.to_owned())),
+        ("kind".into(), Json::Str("stuck".into())),
+    ])
+}
+
+/// Builds a `kind: "reference_failed"` payload.
+pub fn reference_failed_payload(point: &str) -> Json {
+    Json::Obj(vec![
+        ("point".into(), Json::Str(point.to_owned())),
+        ("kind".into(), Json::Str("reference_failed".into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A cheap deterministic sample set; panics persistently on
+    /// `poison` indices, errors on `broken` indices.
+    struct SynthSet {
+        id: &'static str,
+        seed: u64,
+        n: usize,
+        poison: Vec<usize>,
+        broken: Vec<usize>,
+    }
+
+    impl SynthSet {
+        fn clean(id: &'static str, seed: u64, n: usize) -> Self {
+            Self {
+                id,
+                seed,
+                n,
+                poison: Vec::new(),
+                broken: Vec::new(),
+            }
+        }
+    }
+
+    impl SampleSet for SynthSet {
+        fn experiment(&self) -> &str {
+            self.id
+        }
+        fn seed(&self) -> u64 {
+            self.seed
+        }
+        fn len(&self) -> usize {
+            self.n
+        }
+        fn run_sample(&self, index: usize) -> Result<Json, String> {
+            assert!(
+                self.poison.iter().all(|p| *p != index),
+                "poisoned sample {index}"
+            );
+            if self.broken.contains(&index) {
+                return Err(format!("sample {index} cannot converge"));
+            }
+            // Index-deterministic "measurement".
+            let value = (self.seed as f64 + 1.0) * 1e-12 * (index as f64 + 1.0);
+            Ok(value_payload(&format!("p{}", index % 2), value))
+        }
+    }
+
+    fn temp_ledger(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rotsv_campaign_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("ledger.jsonl")
+    }
+
+    fn sets() -> Vec<Box<dyn SampleSet>> {
+        vec![
+            Box::new(SynthSet::clean("s1", 3, 7)),
+            Box::new(SynthSet::clean("s2", 5, 9)),
+        ]
+    }
+
+    #[test]
+    fn interrupted_then_resumed_ledger_is_byte_identical() {
+        let uninterrupted = temp_ledger("uninterrupted");
+        let report = run_campaign(&sets(), &uninterrupted, &CampaignOptions::default()).unwrap();
+        assert!(report.complete());
+        assert_eq!(report.total, 16);
+        assert_eq!(report.ran, 16);
+        let want = std::fs::read(&uninterrupted).unwrap();
+
+        // Stop after 7 entries ("kill" mid-run, inside the first set's
+        // chunking), then resume.
+        let resumable = temp_ledger("resumable");
+        let opts = CampaignOptions {
+            stop_after: Some(7),
+            ..Default::default()
+        };
+        let stopped = run_campaign(&sets(), &resumable, &opts).unwrap();
+        assert!(stopped.stopped_early);
+        assert_eq!(stopped.ran, 7);
+        let resumed = run_campaign(&sets(), &resumable, &CampaignOptions::default()).unwrap();
+        assert!(resumed.complete());
+        assert_eq!(resumed.resumed, 7);
+        assert_eq!(resumed.ran, 9);
+        let got = std::fs::read(&resumable).unwrap();
+        assert_eq!(
+            got, want,
+            "merged ledger must match the uninterrupted run byte for byte"
+        );
+        let _ = std::fs::remove_dir_all(uninterrupted.parent().unwrap());
+        let _ = std::fs::remove_dir_all(resumable.parent().unwrap());
+    }
+
+    #[test]
+    fn resume_after_torn_tail_is_byte_identical() {
+        let clean = temp_ledger("torn_clean");
+        run_campaign(&sets(), &clean, &CampaignOptions::default()).unwrap();
+        let want = std::fs::read(&clean).unwrap();
+
+        // Simulate a crash mid-write: keep 5 full lines plus half a line.
+        let torn = temp_ledger("torn");
+        let mut bytes: Vec<u8> = Vec::new();
+        let mut lines = 0;
+        for (i, b) in want.iter().enumerate() {
+            bytes.push(*b);
+            if *b == b'\n' {
+                lines += 1;
+                if lines == 5 {
+                    bytes.extend_from_slice(&want[i + 1..i + 20]);
+                    break;
+                }
+            }
+        }
+        std::fs::write(&torn, &bytes).unwrap();
+        let resumed = run_campaign(&sets(), &torn, &CampaignOptions::default()).unwrap();
+        assert!(resumed.complete());
+        assert_eq!(resumed.resumed, 5, "the torn line is re-run, not trusted");
+        assert_eq!(std::fs::read(&torn).unwrap(), want);
+        let _ = std::fs::remove_dir_all(clean.parent().unwrap());
+        let _ = std::fs::remove_dir_all(torn.parent().unwrap());
+    }
+
+    #[test]
+    fn panics_and_errors_become_failed_entries_not_aborts() {
+        let path = temp_ledger("poison");
+        let sets: Vec<Box<dyn SampleSet>> = vec![Box::new(SynthSet {
+            id: "s1",
+            seed: 3,
+            n: 6,
+            poison: vec![2],
+            broken: vec![4],
+        })];
+        let report = run_campaign(&sets, &path, &CampaignOptions::default()).unwrap();
+        assert!(report.complete());
+        assert_eq!(report.failures.len(), 2, "{:?}", report.failures);
+        assert!(report.failures[0].1 == 2 && report.failures[0].2.contains("poisoned sample 2"));
+        assert!(report.failures[1].1 == 4 && report.failures[1].2.contains("cannot converge"));
+
+        let loaded = read_ledger(&path).unwrap();
+        assert_eq!(loaded.entries.len(), 6, "every sample is recorded");
+        assert_eq!(loaded.entries[2].status, SampleStatus::Failed);
+        assert!(loaded.entries[2]
+            .payload
+            .get("panic")
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("poisoned sample 2")));
+        assert_eq!(loaded.entries[4].status, SampleStatus::Failed);
+
+        // Resuming re-runs nothing: failed entries are recorded state.
+        let resumed = run_campaign(&sets, &path, &CampaignOptions::default()).unwrap();
+        assert_eq!(resumed.ran, 0);
+        assert_eq!(resumed.failures.len(), 2);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn transient_panic_is_retried_once() {
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        struct Flaky;
+        impl SampleSet for Flaky {
+            fn experiment(&self) -> &str {
+                "flaky"
+            }
+            fn seed(&self) -> u64 {
+                0
+            }
+            fn len(&self) -> usize {
+                1
+            }
+            fn run_sample(&self, _index: usize) -> Result<Json, String> {
+                assert!(
+                    CALLS.fetch_add(1, Ordering::SeqCst) > 0,
+                    "first attempt fails"
+                );
+                Ok(value_payload("p0", 1e-12))
+            }
+        }
+        let (status, payload) = run_one_sample(&Flaky, 0);
+        assert_eq!(status, SampleStatus::Ok, "{payload:?}");
+        assert_eq!(CALLS.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn mismatched_rev_or_seed_refuses_to_resume() {
+        let path = temp_ledger("mismatch");
+        run_campaign(&sets(), &path, &CampaignOptions::default()).unwrap();
+        let other: Vec<Box<dyn SampleSet>> = vec![Box::new(SynthSet::clean("s1", 99, 7))];
+        let err = run_campaign(&other, &path, &CampaignOptions::default()).unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+
+        // --fresh discards the conflicting ledger and starts over.
+        let opts = CampaignOptions {
+            fresh: true,
+            ..Default::default()
+        };
+        let report = run_campaign(&other, &path, &opts).unwrap();
+        assert!(report.complete());
+        assert_eq!(report.ran, 7);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

@@ -1,0 +1,258 @@
+//! The resumable campaign runner.
+//!
+//! Runs every pending sample of every [`SampleSet`] in campaign order,
+//! fanning chunks out across worker threads with
+//! [`rotsv_num::parallel::try_parallel_map`] so one panicking die never
+//! aborts the run: a panic is retried once and, if it persists,
+//! recorded as a `failed` ledger entry carrying the panic payload.
+//! Entries are appended in deterministic (experiment, index) order, so
+//! resuming an interrupted campaign reproduces the uninterrupted ledger
+//! byte for byte.
+
+use std::collections::HashSet;
+use std::path::Path;
+
+use rotsv_num::parallel::{effective_threads, try_parallel_map};
+use rotsv_obs::Json;
+
+use crate::ledger::{read_ledger, LedgerEntry, LedgerWriter, SampleStatus};
+use crate::SampleSet;
+
+/// Options controlling one [`run_campaign`] invocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CampaignOptions {
+    /// Discard any existing ledger instead of resuming from it.
+    pub fresh: bool,
+    /// Stop (cleanly, resumably) once the ledger holds this many
+    /// entries. Used by tests and drills to simulate a killed run at a
+    /// deterministic point.
+    pub stop_after: Option<usize>,
+}
+
+/// Summary of one campaign invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Total samples across all experiments in the campaign.
+    pub total: usize,
+    /// Samples already present in the ledger and skipped.
+    pub resumed: usize,
+    /// Samples executed by this invocation.
+    pub ran: usize,
+    /// Failed samples in the *entire* ledger after this invocation:
+    /// `(experiment, index, description)`.
+    pub failures: Vec<(String, usize, String)>,
+    /// `true` when `stop_after` ended the run before all samples were
+    /// recorded; the campaign can be resumed.
+    pub stopped_early: bool,
+}
+
+impl CampaignReport {
+    /// `true` once every sample of every experiment is in the ledger.
+    pub fn complete(&self) -> bool {
+        !self.stopped_early
+    }
+}
+
+fn failure_description(payload: &Json) -> String {
+    for key in ["panic", "error"] {
+        if let Some(msg) = payload.get(key).and_then(Json::as_str) {
+            return format!("{key}: {msg}");
+        }
+    }
+    payload.render()
+}
+
+type Attempt = Result<Result<Json, String>, rotsv_num::parallel::WorkerPanic>;
+
+/// One panic-guarded attempt at a sample.
+fn guarded_attempt(set: &dyn SampleSet, index: usize) -> Attempt {
+    try_parallel_map(1, |_| set.run_sample(index))
+        .pop()
+        .expect("one result")
+}
+
+/// Converts a first-attempt outcome into a final `(status, payload)`.
+///
+/// A panicking first attempt is retried exactly once (covering
+/// transient environment failures); a second panic — or a plain error
+/// from the sample set, which is deterministic and not worth retrying —
+/// yields a [`SampleStatus::Failed`] payload recording the panic
+/// payload or error text.
+fn flatten_attempt(set: &dyn SampleSet, index: usize, first: Attempt) -> (SampleStatus, Json) {
+    let retried;
+    let outcome = match first {
+        Err(_) => {
+            retried = guarded_attempt(set, index);
+            &retried
+        }
+        ref done => done,
+    };
+    match outcome {
+        Ok(Ok(payload)) => (SampleStatus::Ok, payload.clone()),
+        Ok(Err(msg)) => (
+            SampleStatus::Failed,
+            Json::Obj(vec![("error".into(), Json::Str(msg.clone()))]),
+        ),
+        Err(p) => (
+            SampleStatus::Failed,
+            Json::Obj(vec![("panic".into(), Json::Str(p.payload.clone()))]),
+        ),
+    }
+}
+
+/// Runs one sample with panic isolation and a single retry.
+pub fn run_one_sample(set: &dyn SampleSet, index: usize) -> (SampleStatus, Json) {
+    let first = guarded_attempt(set, index);
+    flatten_attempt(set, index, first)
+}
+
+/// Runs all samples of `set` in memory (no ledger), parallel and
+/// panic-isolated, returning the would-be ledger entries in index
+/// order. This is the path `golden --check` uses: same per-sample
+/// semantics as a campaign, no resume bookkeeping.
+pub fn collect_entries(set: &dyn SampleSet, git_rev: &str) -> Vec<LedgerEntry> {
+    let n = set.len();
+    try_parallel_map(n, |i| set.run_sample(i))
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let (status, payload) = flatten_attempt(set, i, r);
+            LedgerEntry {
+                experiment: set.experiment().to_owned(),
+                index: i,
+                seed: set.seed(),
+                git_rev: git_rev.to_owned(),
+                status,
+                payload,
+            }
+        })
+        .collect()
+}
+
+/// Runs (or resumes) a campaign over `sets`, appending per-sample
+/// entries to the JSONL ledger at `ledger_path`.
+///
+/// Resume semantics: entries already in the ledger whose
+/// `(experiment, index, seed, git_rev)` key matches the current
+/// campaign are skipped (including `failed` entries — a deterministic
+/// failure would only repeat). Entries for experiments not in `sets`
+/// are left untouched. An entry for a listed experiment recorded under
+/// a *different* seed or git revision is an error: mixing revisions in
+/// one ledger would silently blend incomparable populations — rerun
+/// with `fresh` instead.
+///
+/// # Errors
+///
+/// Returns I/O errors, ledger-key conflicts, and sample-set
+/// inconsistencies as strings. Per-sample failures are *not* errors;
+/// they are recorded in the ledger and reported in the
+/// [`CampaignReport`].
+pub fn run_campaign(
+    sets: &[Box<dyn SampleSet>],
+    ledger_path: &Path,
+    opts: &CampaignOptions,
+) -> Result<CampaignReport, String> {
+    let git_rev = rotsv_obs::git_rev();
+    if opts.fresh {
+        match std::fs::remove_file(ledger_path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("cannot remove {}: {e}", ledger_path.display())),
+        }
+    }
+    let loaded = read_ledger(ledger_path)?;
+
+    let ids: Vec<&str> = sets.iter().map(|s| s.experiment()).collect();
+    let mut done: Vec<HashSet<usize>> = vec![HashSet::new(); sets.len()];
+    let mut failures = Vec::new();
+    for entry in &loaded.entries {
+        let Some(pos) = ids.iter().position(|id| *id == entry.experiment) else {
+            continue;
+        };
+        let set = &sets[pos];
+        if entry.seed != set.seed() || entry.git_rev != git_rev {
+            return Err(format!(
+                "ledger {} holds '{}' sample {} from seed {} at rev {}, but this campaign \
+                 is seed {} at rev {}; resume requires a matching ledger (or --fresh)",
+                ledger_path.display(),
+                entry.experiment,
+                entry.index,
+                entry.seed,
+                entry.git_rev,
+                set.seed(),
+                git_rev,
+            ));
+        }
+        if entry.index >= set.len() {
+            return Err(format!(
+                "ledger {} holds '{}' sample {} but the experiment only has {} samples; \
+                 was it recorded at a different fidelity?",
+                ledger_path.display(),
+                entry.experiment,
+                entry.index,
+                set.len(),
+            ));
+        }
+        done[pos].insert(entry.index);
+        if entry.status == SampleStatus::Failed {
+            failures.push((
+                entry.experiment.clone(),
+                entry.index,
+                failure_description(&entry.payload),
+            ));
+        }
+    }
+
+    let mut writer = LedgerWriter::open(ledger_path, loaded.valid_bytes)?;
+    let mut written = loaded.entries.len();
+    let total: usize = sets.iter().map(|s| s.len()).sum();
+    let resumed: usize = done.iter().map(HashSet::len).sum();
+    let mut ran = 0usize;
+    let mut stopped_early = false;
+
+    'campaign: for (pos, set) in sets.iter().enumerate() {
+        let pending: Vec<usize> = (0..set.len()).filter(|i| !done[pos].contains(i)).collect();
+        // Chunked fan-out: results are appended in index order after
+        // each chunk, so the on-disk entry order is independent of
+        // thread scheduling and a stop/kill point only shortens the
+        // prefix.
+        let chunk_size = (effective_threads(pending.len()) * 4).max(1);
+        for chunk in pending.chunks(chunk_size) {
+            let attempts = try_parallel_map(chunk.len(), |k| set.run_sample(chunk[k]));
+            for (k, first) in attempts.into_iter().enumerate() {
+                let index = chunk[k];
+                let (status, payload) = flatten_attempt(set.as_ref(), index, first);
+                if status == SampleStatus::Failed {
+                    failures.push((
+                        set.experiment().to_owned(),
+                        index,
+                        failure_description(&payload),
+                    ));
+                }
+                writer.append(&LedgerEntry {
+                    experiment: set.experiment().to_owned(),
+                    index,
+                    seed: set.seed(),
+                    git_rev: git_rev.clone(),
+                    status,
+                    payload,
+                })?;
+                written += 1;
+                ran += 1;
+                if opts.stop_after.is_some_and(|limit| written >= limit) && written < total {
+                    stopped_early = true;
+                    break 'campaign;
+                }
+            }
+        }
+    }
+
+    failures.sort();
+    Ok(CampaignReport {
+        total,
+        resumed,
+        ran,
+        failures,
+        stopped_early,
+    })
+}

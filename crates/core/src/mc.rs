@@ -86,13 +86,15 @@ pub fn delta_t_population(
     // (per-thread collectors flush into the global registry when the
     // worker's stack empties and when its thread exits).
     let parent = rotsv_obs::current_path();
-    let results: Vec<Result<crate::measure::DeltaTMeasurement, SpiceError>> =
-        rotsv_num::parallel::parallel_map(samples, |i| {
-            let sample_span = rotsv_obs::span::SpanGuard::enter_under(parent, "mc_sample");
-            sample_span.field("i", i as f64);
-            let die = Die::new(spread, die_seed(seed, i));
-            bench.measure_delta_t(vdd, faults, under_test, &die)
-        });
+    // Panic-safe fan-out: a die whose worker panics is reported as
+    // `SpiceError::WorkerPanic` with its sample index instead of tearing
+    // down the other workers' scope with no context.
+    let results = rotsv_num::parallel::try_parallel_map(samples, |i| {
+        let sample_span = rotsv_obs::span::SpanGuard::enter_under(parent, "mc_sample");
+        sample_span.field("i", i as f64);
+        let die = Die::new(spread, die_seed(seed, i));
+        bench.measure_delta_t(vdd, faults, under_test, &die)
+    });
     let mut out = McDeltaT {
         deltas: Vec::with_capacity(samples),
         stuck_count: 0,
@@ -100,7 +102,10 @@ pub fn delta_t_population(
         stats: SolverStats::default(),
     };
     for r in results {
-        let m = r?;
+        let m = r.map_err(|p| SpiceError::WorkerPanic {
+            index: p.index,
+            payload: p.payload,
+        })??;
         out.stats.merge(&m.stats);
         if m.reference_failed() {
             out.reference_failures += 1;

@@ -1,0 +1,264 @@
+//! Campaign [`SampleSet`] definitions for the ledger-backed experiments.
+//!
+//! Each set enumerates one experiment's Monte-Carlo (or deterministic)
+//! samples in a fixed order and runs one sample by index, deriving the
+//! die from `(seed, sample index)` exactly as
+//! [`rotsv::mc::delta_t_population`] does — so a campaign's per-sample
+//! ledger reproduces the population experiments measurement for
+//! measurement, and an interrupted campaign resumes byte-identically.
+//!
+//! Sample enumeration (documented so ledger indices stay meaningful):
+//! the flat index walks fault points in declaration order, with the
+//! per-point Monte-Carlo sample index varying fastest. Fault-point
+//! labels (`"vdd=1.10 open-1k"`, …) are the units the golden layer
+//! names when a drift is found.
+
+use rotsv::mc::die_seed;
+use rotsv::mosfet::model::Nominal;
+use rotsv::num::units::Ohms;
+use rotsv::ro::io_cell::{step_response, IoCellConfig};
+use rotsv::tsv::TsvFault;
+use rotsv::variation::ProcessSpread;
+use rotsv::{Die, TestBench};
+use rotsv_campaign::{stuck_payload, value_payload, SampleSet};
+use rotsv_obs::Json;
+
+use crate::Fidelity;
+
+/// E1 (Fig. 4): the three deterministic I/O-cell step responses.
+pub struct E1Samples {
+    cases: Vec<(String, TsvFault)>,
+}
+
+/// Seed recorded for E1's ledger entries; the experiment is
+/// deterministic, so the seed is a constant key component.
+pub const E1_SEED: u64 = 0;
+
+impl E1Samples {
+    /// Builds the E1 set (fidelity-independent).
+    pub fn new() -> Self {
+        Self {
+            cases: vec![
+                ("fault-free".to_owned(), TsvFault::None),
+                (
+                    "open-3k@0.5".to_owned(),
+                    TsvFault::ResistiveOpen {
+                        x: 0.5,
+                        r: Ohms(3e3),
+                    },
+                ),
+                ("leak-3k".to_owned(), TsvFault::Leakage { r: Ohms(3e3) }),
+            ],
+        }
+    }
+}
+
+impl Default for E1Samples {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SampleSet for E1Samples {
+    fn experiment(&self) -> &str {
+        "e1"
+    }
+    fn seed(&self) -> u64 {
+        E1_SEED
+    }
+    fn len(&self) -> usize {
+        self.cases.len()
+    }
+    fn run_sample(&self, index: usize) -> Result<Json, String> {
+        let (label, fault) = &self.cases[index];
+        let r = step_response(&IoCellConfig::new(1.1).with_fault(*fault), &mut Nominal)
+            .map_err(|e| e.to_string())?;
+        match r.delay {
+            Some(delay) => Ok(value_payload(label, delay)),
+            None => Err(format!("case '{label}': output never switched")),
+        }
+    }
+}
+
+/// One fault point of a Monte-Carlo sample set.
+struct McPoint {
+    label: String,
+    vdd: f64,
+    faults: Vec<TsvFault>,
+}
+
+/// A Monte-Carlo experiment as a flat, index-addressable sample set:
+/// `samples_per_point` dies at each fault point, dies derived from
+/// `(seed, sample index within the point)` so fault-free and faulty
+/// points reuse the *same* dies (the paper's methodology).
+pub struct McSamples {
+    id: &'static str,
+    seed: u64,
+    bench: TestBench,
+    spread: ProcessSpread,
+    samples_per_point: usize,
+    points: Vec<McPoint>,
+}
+
+impl SampleSet for McSamples {
+    fn experiment(&self) -> &str {
+        self.id
+    }
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+    fn len(&self) -> usize {
+        self.points.len() * self.samples_per_point
+    }
+    fn run_sample(&self, index: usize) -> Result<Json, String> {
+        let point = &self.points[index / self.samples_per_point];
+        let i = index % self.samples_per_point;
+        let die = Die::new(self.spread, die_seed(self.seed, i));
+        let m = self
+            .bench
+            .measure_delta_t(point.vdd, &point.faults, &[0], &die)
+            .map_err(|e| format!("{}: {e}", point.label))?;
+        if m.reference_failed() {
+            Ok(Json::Obj(vec![
+                ("point".into(), Json::Str(point.label.clone())),
+                ("kind".into(), Json::Str("reference_failed".into())),
+            ]))
+        } else if m.is_stuck() {
+            Ok(stuck_payload(&point.label))
+        } else {
+            Ok(value_payload(
+                &point.label,
+                m.delta().expect("oscillating measurement has a delta"),
+            ))
+        }
+    }
+}
+
+/// E3 (Fig. 7): fault-free vs 1 kΩ resistive open across V_DD.
+/// Mirrors `e3::populations` (same bench, voltages, spread and seed).
+pub fn e3_samples(f: &Fidelity) -> McSamples {
+    let bench = TestBench::new(f.n_segments());
+    let ff = vec![TsvFault::None; bench.n_segments];
+    let mut open = ff.clone();
+    open[0] = TsvFault::ResistiveOpen {
+        x: 0.5,
+        r: Ohms(1e3),
+    };
+    let mut points = Vec::new();
+    for vdd in f.thin(&[0.8, 0.95, 1.1, 1.2]) {
+        points.push(McPoint {
+            label: format!("vdd={vdd:.2} fault-free"),
+            vdd,
+            faults: ff.clone(),
+        });
+        points.push(McPoint {
+            label: format!("vdd={vdd:.2} open-1k"),
+            vdd,
+            faults: open.clone(),
+        });
+    }
+    McSamples {
+        id: "e3",
+        seed: 1007,
+        bench,
+        spread: ProcessSpread::paper(),
+        samples_per_point: f.mc_samples(),
+        points,
+    }
+}
+
+/// E5 (Fig. 9): fault-free vs 3 kΩ leakage across V_DD.
+/// Mirrors `e5::populations` (same bench, voltages, spread and seed).
+pub fn e5_samples(f: &Fidelity) -> McSamples {
+    let bench = TestBench::fast(2);
+    let ff = vec![TsvFault::None; bench.n_segments];
+    let mut leak = ff.clone();
+    leak[0] = TsvFault::Leakage { r: Ohms(3e3) };
+    let voltages: Vec<f64> = if f.is_fast() {
+        vec![0.9, 1.1]
+    } else {
+        vec![0.9, 1.0, 1.1]
+    };
+    let mut points = Vec::new();
+    for vdd in voltages {
+        points.push(McPoint {
+            label: format!("vdd={vdd:.2} fault-free"),
+            vdd,
+            faults: ff.clone(),
+        });
+        points.push(McPoint {
+            label: format!("vdd={vdd:.2} leak-3k"),
+            vdd,
+            faults: leak.clone(),
+        });
+    }
+    McSamples {
+        id: "e5",
+        seed: 905,
+        bench,
+        spread: ProcessSpread::paper(),
+        samples_per_point: f.mc_samples(),
+        points,
+    }
+}
+
+/// The experiment ids that support campaigns and golden signatures.
+pub const CAMPAIGN_IDS: [&str; 3] = ["e1", "e3", "e5"];
+
+/// Builds the sample set for a campaign-capable experiment id, or
+/// `None` for ids without a campaign definition.
+pub fn sample_set(id: &str, f: &Fidelity) -> Option<Box<dyn SampleSet>> {
+    match id {
+        "e1" => Some(Box::new(E1Samples::new())),
+        "e3" => Some(Box::new(e3_samples(f))),
+        "e5" => Some(Box::new(e5_samples(f))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsv::mc::delta_t_population;
+
+    #[test]
+    fn e1_samples_match_the_report_path() {
+        let set = E1Samples::new();
+        assert_eq!(set.len(), 3);
+        let payload = set.run_sample(0).unwrap();
+        let delay = payload.get("value").and_then(Json::as_f64).unwrap();
+        assert!(delay > 0.0 && delay < 1e-9, "plausible delay: {delay}");
+    }
+
+    /// A campaign sample must reproduce the exact ΔT the population
+    /// path computes for the same (seed, index) — this is what makes
+    /// the ledger a faithful, resumable decomposition of e3/e5.
+    #[test]
+    fn mc_samples_match_delta_t_population_bit_for_bit() {
+        let f = Fidelity::fast();
+        let set = e3_samples(&f);
+        let samples = 2usize;
+        let pop = delta_t_population(
+            &set.bench,
+            0.8,
+            &set.points[0].faults,
+            &[0],
+            set.spread,
+            set.seed,
+            samples,
+        )
+        .unwrap();
+        for i in 0..samples {
+            let payload = set.run_sample(i).unwrap();
+            assert_eq!(
+                payload.get("point").and_then(Json::as_str),
+                Some("vdd=0.80 fault-free")
+            );
+            assert_eq!(
+                payload.get("value").and_then(Json::as_f64),
+                Some(pop.deltas[i]),
+                "sample {i} must match the population path exactly"
+            );
+        }
+    }
+}

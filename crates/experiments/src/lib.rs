@@ -26,6 +26,7 @@
 use std::fmt::Write as _;
 
 pub mod ablations;
+pub mod campaign_sets;
 pub mod e0;
 pub mod e1;
 pub mod e10;

@@ -3,6 +3,10 @@
 //! ```text
 //! experiments [e0 e1 … | all] [--fast] [--out DIR] [--json]
 //!             [--trace] [--metrics-out] [--threads N]
+//! experiments campaign e1,e3,e5 [--fast] [--ledger FILE] [--out DIR]
+//!             [--fresh] [--stop-after N] [--threads N]
+//! experiments golden --check|--write [--ids e1,e3,e5] [--perturb LBL]
+//!             [--golden FILE] [--threads N]
 //! experiments validate-manifest FILE
 //! ```
 //!
@@ -15,6 +19,11 @@
 //! `--trace` prints the hierarchical span tree to stderr after each
 //! experiment. `validate-manifest` checks a manifest file against the
 //! schema and exits nonzero when it does not conform.
+//!
+//! `campaign` runs a set of experiments as one resumable unit backed by
+//! an append-only JSONL ledger (see `rotsv-campaign`); `golden` checks
+//! (or intentionally regenerates) the committed `GOLDEN.json`
+//! regression signatures. See EXPERIMENTS.md for the workflow.
 
 use std::fs;
 use std::num::NonZeroUsize;
@@ -22,6 +31,11 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use rotsv_campaign::{
+    diff_against_golden, golden_doc, run_campaign, CampaignOptions, ExperimentSignature,
+    LedgerEntry, SampleSet,
+};
+use rotsv_experiments::campaign_sets::{sample_set, CAMPAIGN_IDS};
 use rotsv_experiments::{run_one, ExperimentReport, Fidelity};
 use rotsv_obs::Json;
 
@@ -29,8 +43,324 @@ fn usage() {
     eprintln!(
         "usage: experiments [e0..e11 a1..a3 | paper | all] [--fast] [--out DIR] \
          [--json] [--trace] [--metrics-out] [--threads N]\n\
+         \x20      experiments campaign IDS [--fast] [--ledger FILE] [--out DIR] \
+         [--fresh] [--stop-after N] [--threads N]\n\
+         \x20      experiments golden --check|--write [--ids IDS] [--perturb LBL] \
+         [--golden FILE] [--threads N]\n\
          \x20      experiments validate-manifest FILE"
     );
+}
+
+/// Parses a `--threads N` value and installs the process-wide cap.
+fn set_threads(value: Option<String>) -> Result<(), String> {
+    match value.and_then(|n| n.parse::<usize>().ok()) {
+        Some(n) => {
+            rotsv::num::parallel::set_thread_limit(NonZeroUsize::new(n));
+            Ok(())
+        }
+        None => Err("--threads requires a positive integer".into()),
+    }
+}
+
+/// Splits a comma-separated id list and resolves each id to its sample
+/// set, preserving order and rejecting duplicates or non-campaign ids.
+fn resolve_sets(ids_csv: &str, fidelity: &Fidelity) -> Result<Vec<Box<dyn SampleSet>>, String> {
+    let mut sets: Vec<Box<dyn SampleSet>> = Vec::new();
+    for id in ids_csv.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if sets.iter().any(|s| s.experiment() == id) {
+            return Err(format!("duplicate experiment id '{id}'"));
+        }
+        match sample_set(id, fidelity) {
+            Some(set) => sets.push(set),
+            None => {
+                return Err(format!(
+                    "'{id}' has no campaign definition (supported: {})",
+                    CAMPAIGN_IDS.join(", ")
+                ))
+            }
+        }
+    }
+    if sets.is_empty() {
+        return Err("no experiment ids given".into());
+    }
+    Ok(sets)
+}
+
+/// Groups ledger entries by experiment (in first-seen order) and
+/// computes each experiment's golden signature.
+fn signatures_of(entries: &[LedgerEntry]) -> Result<Vec<ExperimentSignature>, String> {
+    let mut order: Vec<&str> = Vec::new();
+    for e in entries {
+        if !order.contains(&e.experiment.as_str()) {
+            order.push(&e.experiment);
+        }
+    }
+    order
+        .iter()
+        .map(|id| {
+            let group: Vec<LedgerEntry> = entries
+                .iter()
+                .filter(|e| e.experiment == *id)
+                .cloned()
+                .collect();
+            ExperimentSignature::from_entries(&group)
+        })
+        .collect()
+}
+
+/// `campaign IDS …`: run (or resume) a resumable, ledger-backed
+/// campaign over the given experiments.
+fn campaign_cmd(mut args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    let mut ids: Option<String> = None;
+    let mut fast = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut ledger: Option<PathBuf> = None;
+    let mut opts = CampaignOptions::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--fresh" => opts.fresh = true,
+            "--stop-after" => {
+                opts.stop_after = Some(
+                    args.next()
+                        .and_then(|n| n.parse::<usize>().ok())
+                        .ok_or("--stop-after requires a positive integer")?,
+                );
+            }
+            "--ledger" => ledger = Some(PathBuf::from(args.next().ok_or("--ledger needs a file")?)),
+            "--out" => out_dir = PathBuf::from(args.next().ok_or("--out requires a directory")?),
+            "--threads" => set_threads(args.next())?,
+            other if !other.starts_with('-') && ids.is_none() => ids = Some(other.to_owned()),
+            other => return Err(format!("unknown campaign argument: {other}")),
+        }
+    }
+    let fidelity = if fast {
+        Fidelity::fast()
+    } else {
+        Fidelity::full()
+    };
+    let sets = resolve_sets(
+        &ids.ok_or("campaign requires experiment ids (e.g. e1,e3)")?,
+        &fidelity,
+    )?;
+    let ledger_path = ledger.unwrap_or_else(|| out_dir.join("campaign.jsonl"));
+    fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+
+    let names: Vec<&str> = sets.iter().map(|s| s.experiment()).collect();
+    eprintln!(
+        "campaign [{}] ({}) -> {}",
+        names.join(", "),
+        if fast { "fast" } else { "full" },
+        ledger_path.display()
+    );
+    let started = Instant::now();
+    let report = run_campaign(&sets, &ledger_path, &opts)?;
+    eprintln!(
+        "campaign: {} samples total, {} resumed from ledger, {} run now ({:.1} s)",
+        report.total,
+        report.resumed,
+        report.ran,
+        started.elapsed().as_secs_f64()
+    );
+    for (exp, index, detail) in &report.failures {
+        eprintln!("  FAILED {exp} sample {index}: {detail}");
+    }
+    if report.stopped_early {
+        eprintln!(
+            "campaign stopped early (--stop-after); rerun the same command to resume from {}",
+            ledger_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // Campaign complete: condense the ledger into golden signatures and
+    // write them next to the ledger for inspection / promotion.
+    let loaded = rotsv_campaign::read_ledger(&ledger_path)?;
+    let signatures = signatures_of(&loaded.entries)?;
+    for sig in &signatures {
+        eprintln!(
+            "  {}: {} fault points, digest {}",
+            sig.experiment,
+            sig.points.len(),
+            sig.digest
+        );
+    }
+    let doc = Json::Obj(vec![
+        ("git_rev".into(), Json::Str(rotsv_obs::git_rev())),
+        (
+            "ledger".into(),
+            Json::Str(ledger_path.display().to_string()),
+        ),
+        ("entries".into(), Json::Num(loaded.entries.len() as f64)),
+        ("failures".into(), Json::Num(report.failures.len() as f64)),
+        (
+            "golden".into(),
+            golden_doc(&signatures, if fast { "fast" } else { "full" }),
+        ),
+    ]);
+    let sig_path = out_dir.join("campaign_signatures.json");
+    fs::write(&sig_path, doc.render_pretty())
+        .map_err(|e| format!("cannot write {}: {e}", sig_path.display()))?;
+    eprintln!("  wrote {}", sig_path.display());
+    if report.failures.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "campaign completed with {} failed samples",
+            report.failures.len()
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// Applies the `--perturb` drill: scales every `kind: "value"` payload
+/// of fault points whose label contains `label` by +1 %.
+fn perturb_entries(entries: &mut [LedgerEntry], label: &str) -> usize {
+    let mut hit = 0;
+    for e in entries {
+        let point = e.payload.get("point").and_then(Json::as_str).unwrap_or("");
+        if !point.contains(label) {
+            continue;
+        }
+        if let Some(v) = e.payload.get("value").and_then(Json::as_f64) {
+            let point = point.to_owned();
+            e.payload = rotsv_campaign::value_payload(&point, v * 1.01);
+            hit += 1;
+        }
+    }
+    hit
+}
+
+/// `golden --check|--write …`: recompute golden signatures (always at
+/// fast fidelity — the profile `GOLDEN.json` pins) and compare against,
+/// or intentionally regenerate, the committed file.
+fn golden_cmd(mut args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    let mut check = false;
+    let mut write = false;
+    let mut ids = CAMPAIGN_IDS.join(",");
+    let mut golden_path = PathBuf::from("GOLDEN.json");
+    let mut perturb: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--write" => write = true,
+            "--ids" => ids = args.next().ok_or("--ids requires a csv list")?,
+            "--golden" => golden_path = PathBuf::from(args.next().ok_or("--golden needs a file")?),
+            "--perturb" => perturb = Some(args.next().ok_or("--perturb needs a point substring")?),
+            "--threads" => set_threads(args.next())?,
+            other => return Err(format!("unknown golden argument: {other}")),
+        }
+    }
+    if check == write {
+        return Err("golden requires exactly one of --check or --write".into());
+    }
+
+    let fidelity = Fidelity::fast();
+    let sets = resolve_sets(&ids, &fidelity)?;
+    let git_rev = rotsv_obs::git_rev();
+    let started = Instant::now();
+    let mut entries = Vec::new();
+    for set in &sets {
+        eprintln!(
+            "golden: running {} ({} samples) …",
+            set.experiment(),
+            set.len()
+        );
+        entries.extend(rotsv_campaign::collect_entries(set.as_ref(), &git_rev));
+    }
+    if let Some(label) = &perturb {
+        let hit = perturb_entries(&mut entries, label);
+        eprintln!("golden: perturbed {hit} sample values (+1 %) on points matching '{label}'");
+    }
+    let failed: Vec<&LedgerEntry> = entries
+        .iter()
+        .filter(|e| e.status == rotsv_campaign::SampleStatus::Failed)
+        .collect();
+    for e in &failed {
+        eprintln!(
+            "  FAILED {} sample {}: {}",
+            e.experiment,
+            e.index,
+            e.payload.render()
+        );
+    }
+    let signatures = signatures_of(&entries)?;
+    eprintln!(
+        "golden: {} experiments, {} samples in {:.1} s",
+        signatures.len(),
+        entries.len(),
+        started.elapsed().as_secs_f64()
+    );
+
+    if write {
+        let doc = golden_doc(&signatures, "fast");
+        fs::write(&golden_path, doc.render_pretty())
+            .map_err(|e| format!("cannot write {}: {e}", golden_path.display()))?;
+        for sig in &signatures {
+            println!(
+                "{}: digest {} ({} fault points)",
+                sig.experiment,
+                sig.digest,
+                sig.points.len()
+            );
+        }
+        println!("wrote {}", golden_path.display());
+        if !failed.is_empty() {
+            eprintln!(
+                "refusing to bless goldens with {} failed samples",
+                failed.len()
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let golden_text = fs::read_to_string(&golden_path)
+        .map_err(|e| format!("cannot read {}: {e}", golden_path.display()))?;
+    let golden = rotsv_obs::json::parse(&golden_text)
+        .map_err(|e| format!("{}: {e}", golden_path.display()))?;
+    let drifts = diff_against_golden(&signatures, &golden)?;
+    for sig in &signatures {
+        let stored = golden
+            .get("experiments")
+            .and_then(Json::as_arr)
+            .and_then(|arr| {
+                arr.iter()
+                    .find(|e| e.get("experiment").and_then(Json::as_str) == Some(&sig.experiment))
+            })
+            .and_then(|e| e.get("digest"))
+            .and_then(Json::as_str)
+            .unwrap_or("?");
+        println!(
+            "{}: digest {} vs golden {} ({})",
+            sig.experiment,
+            sig.digest,
+            stored,
+            if sig.digest == stored {
+                "identical"
+            } else {
+                "differs — checking tolerance bands"
+            }
+        );
+    }
+    if drifts.is_empty() && failed.is_empty() {
+        println!(
+            "golden check PASSED: {} experiments within tolerance of {}",
+            signatures.len(),
+            golden_path.display()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("golden check FAILED: {} drifted metrics", drifts.len());
+        for d in &drifts {
+            println!("  DRIFT {d}");
+        }
+        if !failed.is_empty() {
+            println!("  plus {} failed samples (see above)", failed.len());
+        }
+        Ok(ExitCode::FAILURE)
+    }
 }
 
 /// `validate-manifest FILE`: parse + schema-check one manifest.
@@ -84,6 +414,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "campaign" => {
+                return campaign_cmd(args).unwrap_or_else(|e| {
+                    eprintln!("campaign: {e}");
+                    usage();
+                    ExitCode::FAILURE
+                })
+            }
+            "golden" => {
+                return golden_cmd(args).unwrap_or_else(|e| {
+                    eprintln!("golden: {e}");
+                    usage();
+                    ExitCode::FAILURE
+                })
+            }
             "--fast" => fast = true,
             "--json" => json_out = true,
             "--trace" => trace = true,

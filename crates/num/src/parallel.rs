@@ -5,7 +5,9 @@
 //! `std::thread::scope` — results are deterministic because every sample
 //! derives its RNG from its own index, not from scheduling order.
 
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Process-wide worker cap; 0 means "auto" (available parallelism).
@@ -33,6 +35,83 @@ pub fn effective_threads(n: usize) -> usize {
     .min(n.max(1))
 }
 
+/// A worker panic captured by [`try_parallel_map`]: which index panicked
+/// and the rendered panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index whose closure panicked.
+    pub index: usize,
+    /// The panic payload as text (`&str` / `String` payloads verbatim;
+    /// other payload types are reported as opaque).
+    pub payload: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "worker panicked at index {}: {}",
+            self.index, self.payload
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+fn payload_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Applies `f` to every index in `0..n` in parallel, capturing panics
+/// per index instead of unwinding across the thread scope.
+///
+/// Returns one `Result` per index, in index order: `Ok(f(i))` for
+/// indices that completed, `Err(WorkerPanic)` for indices whose closure
+/// panicked. A panic on one index never prevents the remaining indices
+/// from running — the Monte-Carlo fan-out and the campaign runner rely
+/// on this to record a failed sample and continue.
+///
+/// `f` is wrapped in [`AssertUnwindSafe`]: callers must not rely on
+/// shared state mutated by a panicking invocation.
+pub fn try_parallel_map<T, F>(n: usize, f: F) -> Vec<Result<T, WorkerPanic>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let guarded = |i: usize| {
+        catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| WorkerPanic {
+            index: i,
+            payload: payload_text(payload),
+        })
+    };
+    let threads = effective_threads(n);
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(guarded).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut results: Vec<Option<Result<T, WorkerPanic>>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (c, slice) in results.chunks_mut(chunk).enumerate() {
+            let guarded = &guarded;
+            scope.spawn(move || {
+                for (j, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(guarded(c * chunk + j));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
 /// Applies `f` to every index in `0..n` in parallel and returns the
 /// results in index order.
 ///
@@ -42,7 +121,11 @@ pub fn effective_threads(n: usize) -> usize {
 ///
 /// # Panics
 ///
-/// Panics (propagates) if `f` panics on any index.
+/// Panics if `f` panics on any index, naming the lowest panicking index
+/// and its payload. Unlike a raw `std::thread::scope` unwind, every
+/// other index still runs to completion first ([`try_parallel_map`]
+/// exposes the per-index results when the caller wants to continue
+/// instead of panicking).
 ///
 /// # Examples
 ///
@@ -57,25 +140,12 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = effective_threads(n);
-    if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let chunk = n.div_ceil(threads);
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (c, slice) in results.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                for (j, slot) in slice.iter_mut().enumerate() {
-                    *slot = Some(f(c * chunk + j));
-                }
-            });
-        }
-    });
-    results
+    try_parallel_map(n, f)
         .into_iter()
-        .map(|r| r.expect("worker filled every slot"))
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(p) => panic!("parallel_map {p}"),
+        })
         .collect()
 }
 
@@ -105,6 +175,45 @@ mod tests {
         assert!(effective_threads(64) >= 1);
         let uncapped = parallel_map(50, |i| i * 3);
         assert_eq!(capped, uncapped);
+    }
+
+    #[test]
+    fn try_map_captures_panic_index_and_runs_the_rest() {
+        let out = try_parallel_map(40, |i| {
+            if i == 17 {
+                panic!("boom at {i}");
+            }
+            i * 2
+        });
+        assert_eq!(out.len(), 40);
+        for (i, r) in out.iter().enumerate() {
+            if i == 17 {
+                let p = r.as_ref().expect_err("index 17 panicked");
+                assert_eq!(p.index, 17);
+                assert!(p.payload.contains("boom at 17"), "{}", p.payload);
+            } else {
+                assert_eq!(*r.as_ref().expect("other indices complete"), i * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn map_panic_names_the_index() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(8, |i| {
+                if i == 3 {
+                    panic!("bad sample");
+                }
+                i
+            })
+        })
+        .expect_err("propagates");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("string payload")
+            .clone();
+        assert!(msg.contains("index 3"), "{msg}");
+        assert!(msg.contains("bad sample"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! FNV-1a hashing for canonical-JSON digests.
+//!
+//! The golden-signature layer fingerprints rounded ΔT population
+//! summaries so a drift anywhere in the solver/RO/measurement chain
+//! changes a short committed string. FNV-1a is not cryptographic — it
+//! is a fast, dependency-free, stable fingerprint; collisions only
+//! matter if an *accidental* drift produces the same 64-bit hash, which
+//! the per-metric tolerance comparison would still catch.
+
+use crate::json::Json;
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a.
+///
+/// # Examples
+///
+/// ```
+/// // Reference vectors from the FNV specification.
+/// assert_eq!(rotsv_obs::digest::fnv1a_64(b""), 0xcbf29ce484222325);
+/// assert_eq!(rotsv_obs::digest::fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+/// ```
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Digest of a JSON value: FNV-1a over its compact rendering, as a
+/// fixed-width lowercase hex string.
+///
+/// The compact rendering preserves object-key insertion order, so
+/// callers must build the document deterministically (sorted points,
+/// fixed metric order) for the digest to be meaningful.
+pub fn json_digest(doc: &Json) -> String {
+    format!("{:016x}", fnv1a_64(doc.render().as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_order_sensitive() {
+        let a = Json::Obj(vec![
+            ("x".into(), Json::Num(1.0)),
+            ("y".into(), Json::Num(2.0)),
+        ]);
+        let b = Json::Obj(vec![
+            ("y".into(), Json::Num(2.0)),
+            ("x".into(), Json::Num(1.0)),
+        ]);
+        assert_eq!(json_digest(&a), json_digest(&a));
+        assert_ne!(json_digest(&a), json_digest(&b));
+        assert_eq!(json_digest(&a).len(), 16);
+    }
+}

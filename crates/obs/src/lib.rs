@@ -1,6 +1,6 @@
 //! Observability for the rotsv pipeline.
 //!
-//! Three pieces, deliberately dependency-free so every crate in the
+//! Four pieces, deliberately dependency-free so every crate in the
 //! workspace can use them:
 //!
 //! - [`mod@span`] — hierarchical span tracing with nanosecond timings and
@@ -12,6 +12,8 @@
 //! - [`manifest`] — versioned, machine-readable run manifests
 //!   (`results/manifest_<exp>.json`) combining provenance, span
 //!   phases, metrics and solver statistics, with a schema validator.
+//! - [`digest`] — FNV-1a fingerprints of canonical JSON documents,
+//!   used by the campaign ledger and the golden-signature layer.
 //!
 //! # Quick start
 //!
@@ -32,11 +34,13 @@
 
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod span;
 
+pub use digest::{fnv1a_64, json_digest};
 pub use json::Json;
 pub use manifest::{build_manifest, git_rev, validate_manifest, ManifestInputs, SCHEMA_VERSION};
 pub use metrics::{

@@ -28,6 +28,15 @@ pub enum SpiceError {
     InvalidCircuit(String),
     /// An analysis specification is invalid (e.g. a non-positive time step).
     InvalidSpec(String),
+    /// A parallel worker panicked while simulating one sample of a
+    /// fan-out (e.g. one Monte-Carlo die). Carries the sample index so
+    /// the failing die can be reproduced in isolation.
+    WorkerPanic {
+        /// Index of the sample whose worker panicked.
+        index: usize,
+        /// Rendered panic payload.
+        payload: String,
+    },
 }
 
 impl fmt::Display for SpiceError {
@@ -46,6 +55,9 @@ impl fmt::Display for SpiceError {
             }
             SpiceError::InvalidCircuit(msg) => write!(f, "invalid circuit: {msg}"),
             SpiceError::InvalidSpec(msg) => write!(f, "invalid analysis spec: {msg}"),
+            SpiceError::WorkerPanic { index, payload } => {
+                write!(f, "worker panicked on sample {index}: {payload}")
+            }
         }
     }
 }
@@ -73,6 +85,17 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("transient"));
         assert!(s.contains("50"));
+    }
+
+    #[test]
+    fn worker_panic_names_the_sample() {
+        let e = SpiceError::WorkerPanic {
+            index: 12,
+            payload: "overflow".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("sample 12"), "{s}");
+        assert!(s.contains("overflow"), "{s}");
     }
 
     #[test]
