@@ -39,6 +39,7 @@ pub mod e6;
 pub mod e7;
 pub mod e8;
 pub mod e9;
+pub mod summary;
 
 pub use rotsv::spice::SpiceError;
 

@@ -539,16 +539,20 @@ fn main() -> ExitCode {
         println!("{}", arr.render_pretty());
     }
 
-    let mut summary = String::from("# Experiment summary\n\n");
-    summary.push_str(&format!(
-        "Fidelity: {}\n\n",
-        if fast { "fast" } else { "full" }
-    ));
-    for r in &reports {
-        summary.push_str(&r.markdown());
-        summary.push('\n');
-    }
+    // Merge into the existing summary (if any) section by section: a
+    // subset run must not delete the sections of experiments it did not
+    // touch. See `rotsv_experiments::summary`.
     let summary_path = out_dir.join("summary.md");
+    let existing = fs::read_to_string(&summary_path).ok();
+    let sections: Vec<(String, String)> = reports
+        .iter()
+        .map(|r| (r.id.to_owned(), r.markdown()))
+        .collect();
+    let summary = rotsv_experiments::summary::merge_summary(
+        existing.as_deref(),
+        &sections,
+        if fast { "fast" } else { "full" },
+    );
     if let Err(e) = fs::write(&summary_path, &summary) {
         eprintln!("cannot write {}: {e}", summary_path.display());
         return ExitCode::FAILURE;

@@ -1,0 +1,181 @@
+//! Section-wise merging of `results/summary.md`.
+//!
+//! The experiments binary can run any subset of the suite, but
+//! `summary.md` is a single committed artifact covering *all*
+//! experiments. Rewriting the whole file from just the experiments of
+//! the current invocation would silently delete every other section
+//! (and let the header keep claiming full coverage), so the writer
+//! merges instead: sections for experiments that just ran are replaced,
+//! all other sections are carried over verbatim, and the result is kept
+//! in canonical suite order (e0…e11, then a1…a3).
+//!
+//! The `Fidelity:` header line is only trusted when every section in
+//! the merged file was produced at the same fidelity; a subset run at a
+//! different fidelity than the carried-over sections downgrades it to
+//! `mixed`.
+
+/// Canonical position of an experiment section within `summary.md`.
+/// Unknown ids sort after all known ones, preserving their merge order.
+fn section_rank(id: &str) -> usize {
+    let parse_num = |s: &str| s.parse::<usize>().ok();
+    match id.split_at(1) {
+        ("e", n) => parse_num(n).map_or(usize::MAX, |n| n),
+        ("a", n) => parse_num(n).map_or(usize::MAX, |n| 100 + n),
+        _ => usize::MAX,
+    }
+}
+
+/// Splits an existing summary file into its fidelity label and its
+/// `## <id> — …` sections. Tolerates a missing header or no sections.
+fn parse_sections(text: &str) -> (Option<String>, Vec<(String, String)>) {
+    let mut fidelity = None;
+    let mut sections: Vec<(String, String)> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("Fidelity:") {
+            if sections.is_empty() && fidelity.is_none() {
+                fidelity = Some(rest.trim().to_owned());
+            }
+        }
+        if let Some(rest) = line.strip_prefix("## ") {
+            let id = rest.split_whitespace().next().unwrap_or("").to_owned();
+            sections.push((id, String::new()));
+        }
+        if let Some((_, body)) = sections.last_mut() {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    (fidelity, sections)
+}
+
+/// Merges freshly rendered experiment sections into an existing summary
+/// file, returning the new file contents.
+///
+/// `new_sections` holds `(experiment id, rendered markdown)` pairs for
+/// the experiments that just ran at `fidelity` (e.g. `"full"`);
+/// `existing` is the previous file contents, if any.
+pub fn merge_summary(
+    existing: Option<&str>,
+    new_sections: &[(String, String)],
+    fidelity: &str,
+) -> String {
+    let (old_fidelity, old_sections) = match existing {
+        Some(text) => parse_sections(text),
+        None => (None, Vec::new()),
+    };
+
+    let mut merged: Vec<(String, String)> = Vec::new();
+    let mut carried_over = false;
+    for (id, body) in &old_sections {
+        if new_sections.iter().any(|(new_id, _)| new_id == id) {
+            continue; // replaced by this run
+        }
+        carried_over = true;
+        merged.push((id.clone(), body.clone()));
+    }
+    for (id, body) in new_sections {
+        merged.push((id.clone(), body.clone()));
+    }
+    // Stable sort: unknown ids keep their relative order at the end.
+    merged.sort_by_key(|(id, _)| section_rank(id));
+
+    // The header may only claim one fidelity for the whole file. A
+    // subset run merged into sections produced at another fidelity
+    // (comparing the label's first word: "full (single-core…)" is still
+    // "full") makes the file mixed.
+    let first_word = |s: &str| s.split_whitespace().next().unwrap_or("").to_owned();
+    let label = match &old_fidelity {
+        Some(old) if carried_over && first_word(old) != first_word(fidelity) => {
+            "mixed (sections ran at different fidelities)".to_owned()
+        }
+        Some(old) if carried_over => old.clone(),
+        _ => fidelity.to_owned(),
+    };
+
+    let mut out = String::from("# Experiment summary\n\n");
+    out.push_str(&format!("Fidelity: {label}\n\n"));
+    for (_, body) in &merged {
+        out.push_str(body.trim_end_matches('\n'));
+        out.push_str("\n\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn section(id: &str, marker: &str) -> (String, String) {
+        (
+            id.to_owned(),
+            format!("## {id} — title\n\n| x |\n|---|\n| {marker} |\n"),
+        )
+    }
+
+    #[test]
+    fn fresh_file_contains_all_new_sections_in_order() {
+        let new = vec![section("e3", "new3"), section("e1", "new1")];
+        let text = merge_summary(None, &new, "full");
+        assert!(text.starts_with("# Experiment summary\n\nFidelity: full\n"));
+        let e1 = text.find("## e1").unwrap();
+        let e3 = text.find("## e3").unwrap();
+        assert!(e1 < e3, "sections must be in canonical order");
+    }
+
+    #[test]
+    fn subset_run_preserves_untouched_sections() {
+        let old = merge_summary(
+            None,
+            &[section("e0", "old0"), section("e4", "old4"), section("a1", "olda1")],
+            "full",
+        );
+        let text = merge_summary(Some(&old), &[section("e4", "new4")], "full");
+        assert!(text.contains("old0"), "e0 section must survive an e4-only run");
+        assert!(text.contains("olda1"), "a1 section must survive an e4-only run");
+        assert!(text.contains("new4"), "e4 section must be replaced");
+        assert!(!text.contains("old4"), "stale e4 section must be gone");
+        let e0 = text.find("## e0").unwrap();
+        let e4 = text.find("## e4").unwrap();
+        let a1 = text.find("## a1").unwrap();
+        assert!(e0 < e4 && e4 < a1);
+    }
+
+    #[test]
+    fn merge_is_idempotent_for_a_full_run() {
+        let new: Vec<_> = ["e0", "e1", "a1"]
+            .iter()
+            .map(|id| section(id, "v2"))
+            .collect();
+        let once = merge_summary(None, &new, "full");
+        let twice = merge_summary(Some(&once), &new, "full");
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn mixed_fidelity_is_reported_in_the_header() {
+        let old = merge_summary(None, &[section("e0", "old0")], "full");
+        let text = merge_summary(Some(&old), &[section("e1", "fast1")], "fast");
+        assert!(
+            text.contains("Fidelity: mixed"),
+            "carrying full sections into a fast run must mark the file mixed: {text}"
+        );
+        // Replacing every section resets the label.
+        let clean = merge_summary(
+            Some(&text),
+            &[section("e0", "f0"), section("e1", "f1")],
+            "fast",
+        );
+        assert!(clean.contains("Fidelity: fast\n"), "{clean}");
+    }
+
+    #[test]
+    fn seed_style_header_with_annotation_is_preserved() {
+        let old = "# Experiment summary\n\nFidelity: full (single-core settings; see EXPERIMENTS.md)\n\n## e0 — t\n\nbody\n";
+        let text = merge_summary(Some(old), &[section("e1", "n1")], "full");
+        assert!(
+            text.contains("Fidelity: full (single-core settings; see EXPERIMENTS.md)"),
+            "annotated matching label should be kept: {text}"
+        );
+        assert!(text.contains("## e0"));
+    }
+}

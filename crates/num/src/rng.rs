@@ -118,7 +118,14 @@ impl GaussianRng {
     /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "uniform range must be non-empty");
-        lo + (hi - lo) * self.rng.next_f64()
+        // `next_f64()` is < 1, but rounding in `(hi - lo) * f` can still
+        // land exactly on `hi - lo`; clamp so the interval stays half-open.
+        let x = lo + (hi - lo) * self.rng.next_f64();
+        if x >= hi {
+            hi.next_down()
+        } else {
+            x
+        }
     }
 
     /// Derives an independent child generator; used to give each
@@ -200,6 +207,19 @@ mod tests {
         let s = Summary::of(&xs);
         assert!((s.mean - 0.5).abs() < 0.02, "mean {}", s.mean);
         assert!(s.min < 0.01 && s.max > 0.99, "range [{}, {}]", s.min, s.max);
+    }
+
+    #[test]
+    fn uniform_upper_bound_is_exclusive_even_under_rounding() {
+        // With a range this narrow, f close to 1 rounds (hi - lo) * f up
+        // to exactly hi - lo, so without the clamp the result equals hi.
+        let lo = 1.0;
+        let hi = 1.0 + f64::EPSILON;
+        let mut rng = GaussianRng::seed_from(3);
+        for _ in 0..4096 {
+            let x = rng.uniform(lo, hi);
+            assert!(x >= lo && x < hi, "x = {x:e} not in [{lo:e}, {hi:e})");
+        }
     }
 
     #[test]
