@@ -42,6 +42,26 @@ echo "==> observability smoke (e1 --fast --metrics-out)"
 ./target/release/experiments e1 --fast --metrics-out --out "$artifacts"
 ./target/release/experiments validate-manifest "$artifacts/manifest_e1.json"
 
+echo "==> batched engine cross-check (agreement with the scalar engine)"
+cargo test -q -p rotsv --release --test batched_engine
+
+# The batched MC smoke: one real MC experiment on each engine at fast
+# fidelity. Fast fidelity intentionally misses some paper shape checks
+# (on both engines), so the gate is that the batched engine reaches the
+# same verdict on every check as the scalar engine — engine selection
+# must never change a conclusion. `|| true` tolerates the known fast-
+# fidelity check failures; a crashed run produces no verdict lines and
+# fails the diff.
+echo "==> batched MC engine smoke (e3 --fast, scalar vs batched verdicts)"
+./target/release/experiments e3 --fast --out "$artifacts/mc-scalar" \
+  | grep -E '✅|❌' | sed 's/ (.*//' > "$artifacts/mc-scalar-checks.txt" || true
+./target/release/experiments e3 --fast --engine batched:8 --out "$artifacts/mc-batched" \
+  | grep -E '✅|❌' | sed 's/ (.*//' > "$artifacts/mc-batched-checks.txt" || true
+diff "$artifacts/mc-scalar-checks.txt" "$artifacts/mc-batched-checks.txt"
+
+# Golden signatures are pinned to the scalar engine: no --engine flag
+# here (the golden subcommand does not take one), so this check is
+# independent of the batched engine by construction.
 echo "==> golden regression check (experiments golden --check)"
 ./target/release/experiments golden --check 2>&1 | tee "$artifacts/golden-check.txt"
 

@@ -1,0 +1,127 @@
+//! Microbenchmarks of the structure-of-arrays batching kernels: the
+//! MOSFET bank evaluation against the equivalent scalar per-lane loop
+//! (the autovectorization claim of the batched engine), and the
+//! lane-interleaved sparse refactor+solve against K independent scalar
+//! factorizations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rotsv::mosfet::model::MosDelta;
+use rotsv::mosfet::tech45::{self, DriveStrength};
+use rotsv::mosfet::{Mosfet, MosfetBank};
+use rotsv::num::sparse::{BatchedLu, SparseLu, SparseMatrix, SymbolicLu};
+use rotsv::spice::{Circuit, DeviceStamp, NonlinearDevice};
+use std::sync::Arc;
+
+/// K lane instances of one NMOS slot with per-lane variation deltas.
+fn lanes(k: usize) -> Vec<Mosfet> {
+    let mut ckt = Circuit::new();
+    let (d, g, s, b) = (ckt.node("d"), ckt.node("g"), ckt.node("s"), ckt.node("b"));
+    (0..k)
+        .map(|i| {
+            let delta = MosDelta {
+                dvth: 0.002 * i as f64,
+                dleff_rel: -0.001 * i as f64,
+            };
+            let params = tech45::nmos(DriveStrength::X2).with_delta(delta);
+            Mosfet::new("m", params, d, g, s, b)
+        })
+        .collect()
+}
+
+fn bench_mosfet_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_mosfet_eval");
+    for k in [1usize, 4, 8] {
+        let devs = lanes(k);
+        let refs: Vec<&Mosfet> = devs.iter().collect();
+        let mut bank = MosfetBank::try_new(&refs).expect("uniform lanes");
+        // A mid-transition bias, perturbed per lane like a Newton iterate.
+        let mut v = vec![0.0; 4 * k];
+        for (ti, base) in [0.6, 0.55, 0.0, 0.0].iter().enumerate() {
+            for lane in 0..k {
+                v[ti * k + lane] = base + 0.01 * lane as f64;
+            }
+        }
+        let mut current = vec![0.0; 4 * k];
+        let mut jacobian = vec![0.0; 16 * k];
+        group.bench_function(format!("bank_k{k}"), |b| {
+            b.iter(|| {
+                use rotsv::spice::BatchedDeviceEval;
+                bank.eval_lanes(std::hint::black_box(&v), &mut current, &mut jacobian);
+                current[0]
+            })
+        });
+        let mut stamp = DeviceStamp::new(4);
+        group.bench_function(format!("scalar_loop_k{k}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for (lane, dev) in devs.iter().enumerate() {
+                    let vl: Vec<f64> = (0..4).map(|ti| v[ti * k + lane]).collect();
+                    dev.eval(std::hint::black_box(&vl), &mut stamp);
+                    acc += stamp.current[0];
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Tridiagonal-plus-border MNA pattern (RC ladder), as in spice_kernels.
+fn ladder(n: usize) -> SparseMatrix {
+    let dim = n + 1;
+    let mut t = Vec::new();
+    for i in 0..n {
+        t.push((i, i, 2e-2));
+        if i + 1 < n {
+            t.push((i, i + 1, -1e-2));
+            t.push((i + 1, i, -1e-2));
+        }
+    }
+    t.push((0, n, 1.0));
+    t.push((n, 0, 1.0));
+    SparseMatrix::from_triplets(dim, &t)
+}
+
+fn bench_batched_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_lu");
+    let a = ladder(64);
+    let nnz = a.values().len();
+    let dim = a.dim();
+    for k in [1usize, 4, 8] {
+        // Lane-interleaved values: lane j scaled by (1 + j/16), the kind
+        // of spread process variation produces.
+        let mut values = vec![0.0; nnz * k];
+        for (s, &v) in a.values().iter().enumerate() {
+            for lane in 0..k {
+                values[s * k + lane] = v * (1.0 + lane as f64 / 16.0);
+            }
+        }
+        let sym = Arc::new(SymbolicLu::analyze(&a).unwrap());
+        let mut lu = BatchedLu::new(Arc::clone(&sym), k);
+        let mut b = vec![1.0; dim * k];
+        group.bench_function(format!("refactor_solve_k{k}"), |bench| {
+            bench.iter(|| {
+                lu.refactor(&a, std::hint::black_box(&values)).unwrap();
+                b.fill(1.0);
+                lu.solve_in_place(&mut b);
+                b[0]
+            })
+        });
+        let mut scalar_lus: Vec<SparseLu> = (0..k).map(|_| SparseLu::new(&a).unwrap()).collect();
+        let rhs = vec![1.0; dim];
+        group.bench_function(format!("scalar_refactor_solve_k{k}"), |bench| {
+            bench.iter(|| {
+                let mut acc = 0.0;
+                for lu in scalar_lus.iter_mut() {
+                    lu.refactor(std::hint::black_box(&a)).unwrap();
+                    acc += lu.solve(&rhs).unwrap()[0];
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mosfet_eval, bench_batched_lu);
+criterion_main!(benches);

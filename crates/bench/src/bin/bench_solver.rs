@@ -214,6 +214,62 @@ fn run_transients() -> Vec<Json> {
     out
 }
 
+/// Throughput of the lockstep batched Monte-Carlo engine against the
+/// scalar engine on the E3-shaped unit of work (one fault-free ring ΔT
+/// measurement per die, process variation on): dies per second at
+/// K = 1, 4, 8 lanes. The committed numbers back the "Batched MC"
+/// section of PERFORMANCE.md; the per-die wall times join the
+/// regression set.
+fn run_batched_vs_scalar() -> Vec<Json> {
+    use rotsv::mc::{delta_t_population_with_engine, McEngine};
+    use rotsv::variation::ProcessSpread;
+
+    const REPEATS: usize = 3;
+    let bench = TestBench::fast(1);
+    let faults = [TsvFault::None];
+    let spread = ProcessSpread::paper();
+    let mut out = Vec::new();
+    println!("batched vs scalar MC engine (ring ΔT per die, best of {REPEATS}):");
+    for k in [1usize, 4, 8, 16] {
+        let run = |engine: McEngine| -> f64 {
+            (0..REPEATS)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    std::hint::black_box(
+                        delta_t_population_with_engine(
+                            &bench,
+                            1.1,
+                            &faults,
+                            &[0],
+                            spread,
+                            1007,
+                            k,
+                            engine,
+                        )
+                        .expect("population succeeds"),
+                    );
+                    t0.elapsed().as_secs_f64() / k as f64
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let scalar = run(McEngine::Scalar);
+        let batched = run(McEngine::Batched { lanes: k });
+        let speedup = scalar / batched;
+        println!(
+            "  k={k}: scalar {:.2} dies/s, batched {:.2} dies/s ({speedup:.2}x)",
+            1.0 / scalar,
+            1.0 / batched
+        );
+        out.push(Json::Obj(vec![
+            ("k".into(), Json::Num(k as f64)),
+            ("scalar_s_per_die".into(), Json::Num(scalar)),
+            ("batched_s_per_die".into(), Json::Num(batched)),
+            ("batched_speedup".into(), Json::Num(speedup)),
+        ]));
+    }
+    out
+}
+
 /// Measures the instrumentation cost of the `rotsv-obs` layer on the
 /// ring ΔT workload: once with tracing and metrics fully disabled (the
 /// default — every span/observe call is one relaxed atomic load) and
@@ -346,6 +402,18 @@ fn wall_times(doc: &Json) -> Vec<(String, f64)> {
             }
         }
     }
+    if let Some(entries) = doc.get("batched_vs_scalar").and_then(Json::as_arr) {
+        for e in entries {
+            let Some(k) = e.get("k").and_then(Json::as_f64) else {
+                continue;
+            };
+            for key in ["scalar_s_per_die", "batched_s_per_die"] {
+                if let Some(v) = e.get(key).and_then(Json::as_f64) {
+                    out.push((format!("mc k={k} {key}"), v));
+                }
+            }
+        }
+    }
     out
 }
 
@@ -417,11 +485,13 @@ fn main() {
 
     let kernels = run_kernels();
     let transients = run_transients();
+    let batched = run_batched_vs_scalar();
     let obs_overhead = run_obs_overhead();
     let ledger_overhead = run_ledger_overhead();
     let doc = Json::Obj(vec![
         ("kernels".into(), Json::Arr(kernels)),
         ("transients".into(), Json::Arr(transients)),
+        ("batched_vs_scalar".into(), Json::Arr(batched)),
         ("obs_overhead".into(), obs_overhead),
         ("ledger_overhead".into(), ledger_overhead),
     ]);

@@ -77,7 +77,10 @@ pub use aliasing::{analyze_aliasing, AliasingAnalysis, FaultFamily};
 pub use classify::{DetectionThresholds, Verdict};
 pub use diagnose::DiagnosisCurve;
 pub use die::Die;
-pub use mc::{delta_t_population, McDeltaT};
+pub use mc::{
+    delta_t_population, delta_t_population_with_engine, mc_engine, set_mc_engine, McDeltaT,
+    McEngine,
+};
 pub use measure::{DeltaTMeasurement, TestBench};
 pub use plan::{MultiVoltagePlan, ScreenResult, VoltagePoint};
 

@@ -4,12 +4,62 @@
 //! process variation for fault-free and faulty dies. This module runs
 //! those populations — in parallel, reproducibly.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use rotsv_num::SymbolicCache;
 use rotsv_spice::{SolverStats, SpiceError};
 use rotsv_tsv::TsvFault;
 use rotsv_variation::ProcessSpread;
 
 use crate::die::Die;
-use crate::measure::TestBench;
+use crate::measure::{DeltaTMeasurement, TestBench};
+
+/// Which transient engine a Monte-Carlo population runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McEngine {
+    /// One scalar adaptive transient per run per die — the reference
+    /// engine; golden signatures and campaign ledgers are recorded
+    /// against it.
+    Scalar,
+    /// Lockstep structure-of-arrays batches of up to `lanes` dies per
+    /// transient (see `rotsv_spice::transient_batch`). Numerically
+    /// agrees with the scalar engine to well under 0.5 % per ΔT but is
+    /// *not* bit-identical: the lanes share one time grid.
+    Batched {
+        /// Dies simulated per lockstep batch (K).
+        lanes: usize,
+    },
+}
+
+/// Process-wide engine selection; 0 encodes [`McEngine::Scalar`],
+/// anything else is the batched lane count.
+static ENGINE_LANES: AtomicUsize = AtomicUsize::new(0);
+
+/// Selects the engine [`delta_t_population`] uses process-wide.
+///
+/// Backs the experiments binary's `--engine` flag (mirroring
+/// [`rotsv_num::parallel::set_thread_limit`] for `--threads`). Ledgered
+/// campaigns and golden checks always measure per-sample on the scalar
+/// engine and ignore this setting.
+pub fn set_mc_engine(engine: McEngine) {
+    let encoded = match engine {
+        McEngine::Scalar => 0,
+        McEngine::Batched { lanes } => {
+            assert!(lanes >= 1, "a batch needs at least one lane");
+            lanes
+        }
+    };
+    ENGINE_LANES.store(encoded, Ordering::Relaxed);
+}
+
+/// The engine [`delta_t_population`] currently uses.
+pub fn mc_engine() -> McEngine {
+    match ENGINE_LANES.load(Ordering::Relaxed) {
+        0 => McEngine::Scalar,
+        lanes => McEngine::Batched { lanes },
+    }
+}
 
 /// A Monte-Carlo population of ΔT values.
 #[derive(Debug, Clone)]
@@ -78,34 +128,59 @@ pub fn delta_t_population(
     seed: u64,
     samples: usize,
 ) -> Result<McDeltaT, SpiceError> {
+    delta_t_population_with_engine(
+        bench,
+        vdd,
+        faults,
+        under_test,
+        spread,
+        seed,
+        samples,
+        mc_engine(),
+    )
+}
+
+/// [`delta_t_population`] on an explicitly chosen engine, ignoring the
+/// process-wide [`set_mc_engine`] selection. Sample `i` is always the
+/// die `Die::new(spread, die_seed(seed, i))`, on either engine.
+///
+/// # Errors
+///
+/// Propagates the first simulator error encountered.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero or the bench/fault configuration is
+/// inconsistent.
+#[allow(clippy::too_many_arguments)]
+pub fn delta_t_population_with_engine(
+    bench: &TestBench,
+    vdd: f64,
+    faults: &[TsvFault],
+    under_test: &[usize],
+    spread: ProcessSpread,
+    seed: u64,
+    samples: usize,
+    engine: McEngine,
+) -> Result<McDeltaT, SpiceError> {
     assert!(samples > 0, "need at least one sample");
     let span = rotsv_obs::span!("mc_population", "samples" = samples);
     span.field("vdd", vdd);
-    // Workers have no span stack of their own: capture this path so each
-    // sample's spans attach under `mc_population` and survive the join
-    // (per-thread collectors flush into the global registry when the
-    // worker's stack empties and when its thread exits).
-    let parent = rotsv_obs::current_path();
-    // Panic-safe fan-out: a die whose worker panics is reported as
-    // `SpiceError::WorkerPanic` with its sample index instead of tearing
-    // down the other workers' scope with no context.
-    let results = rotsv_num::parallel::try_parallel_map(samples, |i| {
-        let sample_span = rotsv_obs::span::SpanGuard::enter_under(parent, "mc_sample");
-        sample_span.field("i", i as f64);
-        let die = Die::new(spread, die_seed(seed, i));
-        bench.measure_delta_t(vdd, faults, under_test, &die)
-    });
+    let measurements = match engine {
+        McEngine::Scalar => {
+            scalar_measurements(bench, vdd, faults, under_test, spread, seed, samples)?
+        }
+        McEngine::Batched { lanes } => {
+            batched_measurements(bench, vdd, faults, under_test, spread, seed, samples, lanes)?
+        }
+    };
     let mut out = McDeltaT {
         deltas: Vec::with_capacity(samples),
         stuck_count: 0,
         reference_failures: 0,
         stats: SolverStats::default(),
     };
-    for r in results {
-        let m = r.map_err(|p| SpiceError::WorkerPanic {
-            index: p.index,
-            payload: p.payload,
-        })??;
+    for m in measurements {
         out.stats.merge(&m.stats);
         if m.reference_failed() {
             out.reference_failures += 1;
@@ -123,6 +198,78 @@ pub fn delta_t_population(
         }
         rotsv_obs::counter("mc.samples").add(out.total() as u64);
         rotsv_obs::counter("mc.stuck").add(out.stuck_count as u64);
+    }
+    Ok(out)
+}
+
+/// One scalar two-run measurement per die, fanned out across threads.
+fn scalar_measurements(
+    bench: &TestBench,
+    vdd: f64,
+    faults: &[TsvFault],
+    under_test: &[usize],
+    spread: ProcessSpread,
+    seed: u64,
+    samples: usize,
+) -> Result<Vec<DeltaTMeasurement>, SpiceError> {
+    // Workers have no span stack of their own: capture this path so each
+    // sample's spans attach under `mc_population` and survive the join
+    // (per-thread collectors flush into the global registry when the
+    // worker's stack empties and when its thread exits).
+    let parent = rotsv_obs::current_path();
+    // Panic-safe fan-out: a die whose worker panics is reported as
+    // `SpiceError::WorkerPanic` with its sample index instead of tearing
+    // down the other workers' scope with no context.
+    let results = rotsv_num::parallel::try_parallel_map(samples, |i| {
+        let sample_span = rotsv_obs::span::SpanGuard::enter_under(parent, "mc_sample");
+        sample_span.field("i", i as f64);
+        let die = Die::new(spread, die_seed(seed, i));
+        bench.measure_delta_t(vdd, faults, under_test, &die)
+    });
+    results
+        .into_iter()
+        .map(|r| {
+            r.map_err(|p| SpiceError::WorkerPanic {
+                index: p.index,
+                payload: p.payload,
+            })?
+        })
+        .collect()
+}
+
+/// Lockstep batches of up to `lanes` dies, grouped in sample-index
+/// order so die derivation matches the scalar enumeration exactly. One
+/// symbolic cache spans the whole population: every batch of both runs
+/// shares the same matrix topology, so the population performs O(1)
+/// symbolic analyses instead of one per transient.
+#[allow(clippy::too_many_arguments)]
+fn batched_measurements(
+    bench: &TestBench,
+    vdd: f64,
+    faults: &[TsvFault],
+    under_test: &[usize],
+    spread: ProcessSpread,
+    seed: u64,
+    samples: usize,
+    lanes: usize,
+) -> Result<Vec<DeltaTMeasurement>, SpiceError> {
+    let lanes = lanes.max(1);
+    let cache = Arc::new(SymbolicCache::new());
+    let opts = bench.opts_for(vdd);
+    let mut out = Vec::with_capacity(samples);
+    let mut start = 0;
+    while start < samples {
+        let end = (start + lanes).min(samples);
+        let batch_span = rotsv_obs::span!("mc_batch", "start" = start);
+        batch_span.field("lanes", (end - start) as f64);
+        let dies: Vec<Die> = (start..end)
+            .map(|i| Die::new(spread, die_seed(seed, i)))
+            .collect();
+        let die_refs: Vec<&Die> = dies.iter().collect();
+        out.extend(
+            bench.measure_delta_t_batch_with(vdd, faults, under_test, &die_refs, &opts, &cache)?,
+        );
+        start = end;
     }
     Ok(out)
 }
@@ -201,6 +348,51 @@ mod tests {
         assert_eq!(a.newton_iterations, b.newton_iterations);
         assert_eq!(a.steps_accepted, b.steps_accepted);
         assert_eq!(a.steps_rejected, b.steps_rejected);
+    }
+
+    /// The batched engine must reproduce the scalar population die for
+    /// die: same sample enumeration, ΔT within the 0.5 % agreement
+    /// budget, same stuck classification.
+    #[test]
+    fn batched_population_matches_scalar() {
+        let bench = TestBench::fast(1);
+        let faults = [TsvFault::None];
+        let run = |engine| {
+            delta_t_population_with_engine(
+                &bench,
+                1.1,
+                &faults,
+                &[0],
+                ProcessSpread::paper(),
+                7,
+                5,
+                engine,
+            )
+            .unwrap()
+        };
+        let scalar = run(McEngine::Scalar);
+        // K = 2 over 5 samples: two full batches plus a remainder lane.
+        let batched = run(McEngine::Batched { lanes: 2 });
+        assert_eq!(scalar.deltas.len(), batched.deltas.len());
+        assert_eq!(scalar.stuck_count, batched.stuck_count);
+        assert_eq!(scalar.reference_failures, batched.reference_failures);
+        for (i, (s, b)) in scalar.deltas.iter().zip(&batched.deltas).enumerate() {
+            let rel = (s - b).abs() / s.abs();
+            assert!(rel < 5e-3, "sample {i}: scalar {s} vs batched {b} ({rel})");
+        }
+        // One topology per run pair for the whole population, shared
+        // through the population-wide cache: O(topologies), not
+        // O(samples) — against 2·samples analyses on the cache-less path.
+        assert_eq!(batched.stats.symbolic_analyses, 1);
+    }
+
+    #[test]
+    fn engine_selection_round_trips() {
+        assert_eq!(mc_engine(), McEngine::Scalar);
+        set_mc_engine(McEngine::Batched { lanes: 4 });
+        assert_eq!(mc_engine(), McEngine::Batched { lanes: 4 });
+        set_mc_engine(McEngine::Scalar);
+        assert_eq!(mc_engine(), McEngine::Scalar);
     }
 
     #[test]

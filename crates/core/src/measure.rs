@@ -1,5 +1,8 @@
 //! The two-run ΔT measurement procedure (Section IV-A of the paper).
 
+use std::sync::Arc;
+
+use rotsv_num::SymbolicCache;
 use rotsv_ro::{MeasureOpts, OscillationOutcome, RingOscillator, RoConfig};
 use rotsv_spice::{SolverStats, SpiceError};
 use rotsv_tsv::{TsvFault, TsvModel, TsvTech};
@@ -118,16 +121,125 @@ impl TestBench {
             enabled: vec![false; self.n_segments],
         };
 
+        // Both runs share one symbolic-analysis cache. They have the same
+        // topology (only the BY source *values* differ) and the first
+        // factorization of each run happens at the x = 0 first Newton
+        // iterate, where the matrix values depend only on device
+        // parameters — identical for the same die. Run 2 therefore reuses
+        // exactly the pivot order it would have derived itself: the
+        // analysis counter halves, the waveform bits do not change.
+        let cache = Arc::new(SymbolicCache::new());
         // Run 1: TSVs under test enabled.
         let enabled_config = config.clone().enable_only(under_test);
-        let (t1, stats1) = RingOscillator::build(&enabled_config, &mut die.variation())
-            .measure_with_stats(&opts)?;
+        let mut ro1 = RingOscillator::build(&enabled_config, &mut die.variation());
+        ro1.set_symbolic_cache(Arc::clone(&cache));
+        let (t1, stats1) = ro1.measure_with_stats(&opts)?;
         // Run 2: all bypassed. Same die — identical variation stream.
-        let (t2, stats2) =
-            RingOscillator::build(&config, &mut die.variation()).measure_with_stats(&opts)?;
+        let mut ro2 = RingOscillator::build(&config, &mut die.variation());
+        ro2.set_symbolic_cache(cache);
+        let (t2, stats2) = ro2.measure_with_stats(&opts)?;
         let mut stats = stats1;
         stats.merge(&stats2);
         Ok(DeltaTMeasurement { t1, t2, stats })
+    }
+
+    /// The two-run procedure on `dies.len()` dies at once, using the
+    /// lockstep batched transient engine: each run simulates all dies as
+    /// lanes of one structure-of-arrays transient
+    /// ([`RingOscillator::measure_batch_with_stats`]).
+    ///
+    /// Returns one measurement per die, in input order. Empty input
+    /// returns an empty vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`TestBench::measure_delta_t`].
+    pub fn measure_delta_t_batch(
+        &self,
+        vdd: f64,
+        faults: &[TsvFault],
+        under_test: &[usize],
+        dies: &[&Die],
+    ) -> Result<Vec<DeltaTMeasurement>, SpiceError> {
+        let cache = Arc::new(SymbolicCache::new());
+        self.measure_delta_t_batch_with(vdd, faults, under_test, dies, &self.opts_for(vdd), &cache)
+    }
+
+    /// Like [`TestBench::measure_delta_t_batch`] with explicit
+    /// measurement options and an externally owned symbolic cache — a
+    /// population run passes the same cache to every batch so the whole
+    /// population performs O(topologies) symbolic analyses, not
+    /// O(samples).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`TestBench::measure_delta_t`].
+    pub fn measure_delta_t_batch_with(
+        &self,
+        vdd: f64,
+        faults: &[TsvFault],
+        under_test: &[usize],
+        dies: &[&Die],
+        opts: &MeasureOpts,
+        cache: &Arc<SymbolicCache>,
+    ) -> Result<Vec<DeltaTMeasurement>, SpiceError> {
+        if dies.is_empty() {
+            return Ok(Vec::new());
+        }
+        let span = rotsv_obs::span!("measure_delta_t_batch", "vdd" = vdd);
+        span.field("lanes", dies.len() as f64);
+        assert_eq!(
+            faults.len(),
+            self.n_segments,
+            "fault list must cover every segment"
+        );
+        assert!(
+            !under_test.is_empty(),
+            "at least one TSV must be under test"
+        );
+        let config = RoConfig {
+            n_segments: self.n_segments,
+            vdd,
+            tech: self.tech,
+            tsv_model: self.tsv_model,
+            faults: faults.to_vec(),
+            enabled: vec![false; self.n_segments],
+        };
+        let enabled_config = config.clone().enable_only(under_test);
+        let build_all = |cfg: &RoConfig| -> Vec<RingOscillator> {
+            dies.iter()
+                .map(|die| {
+                    let mut ro = RingOscillator::build(cfg, &mut die.variation());
+                    ro.set_symbolic_cache(Arc::clone(cache));
+                    ro
+                })
+                .collect()
+        };
+        // Run 1: TSVs under test enabled, all dies in lockstep.
+        let ros1 = build_all(&enabled_config);
+        let refs1: Vec<&RingOscillator> = ros1.iter().collect();
+        let run1 = RingOscillator::measure_batch_with_stats(&refs1, opts)?;
+        // Run 2: all bypassed. Same dies — identical variation streams.
+        let ros2 = build_all(&config);
+        let refs2: Vec<&RingOscillator> = ros2.iter().collect();
+        let run2 = RingOscillator::measure_batch_with_stats(&refs2, opts)?;
+        Ok(run1
+            .into_iter()
+            .zip(run2)
+            .map(|((t1, stats1), (t2, stats2))| {
+                let mut stats = stats1;
+                stats.merge(&stats2);
+                DeltaTMeasurement { t1, t2, stats }
+            })
+            .collect())
     }
 }
 

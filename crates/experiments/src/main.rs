@@ -3,6 +3,7 @@
 //! ```text
 //! experiments [e0 e1 … | all] [--fast] [--out DIR] [--json]
 //!             [--trace] [--metrics-out] [--threads N]
+//!             [--engine scalar|batched[:K]]
 //! experiments campaign e1,e3,e5 [--fast] [--ledger FILE] [--out DIR]
 //!             [--fresh] [--stop-after N] [--threads N]
 //! experiments golden --check|--write [--ids e1,e3,e5] [--perturb LBL]
@@ -19,6 +20,14 @@
 //! `--trace` prints the hierarchical span tree to stderr after each
 //! experiment. `validate-manifest` checks a manifest file against the
 //! schema and exits nonzero when it does not conform.
+//!
+//! `--engine` selects the Monte-Carlo transient engine for the figure
+//! runs: `scalar` (the default) or `batched[:K]` — the lockstep K-lane
+//! engine (default K = 8), which agrees with scalar to well under 0.5 %
+//! per ΔT. The `campaign` and `golden` subcommands do not take the flag:
+//! ledgers and golden signatures are always recorded on the scalar
+//! engine so their byte-identical resume/regression contracts never
+//! depend on engine selection.
 //!
 //! `campaign` runs a set of experiments as one resumable unit backed by
 //! an append-only JSONL ledger (see `rotsv-campaign`); `golden` checks
@@ -42,7 +51,8 @@ use rotsv_obs::Json;
 fn usage() {
     eprintln!(
         "usage: experiments [e0..e11 a1..a3 | paper | all] [--fast] [--out DIR] \
-         [--json] [--trace] [--metrics-out] [--threads N]\n\
+         [--json] [--trace] [--metrics-out] [--threads N] \
+         [--engine scalar|batched[:K]]\n\
          \x20      experiments campaign IDS [--fast] [--ledger FILE] [--out DIR] \
          [--fresh] [--stop-after N] [--threads N]\n\
          \x20      experiments golden --check|--write [--ids IDS] [--perturb LBL] \
@@ -59,6 +69,20 @@ fn set_threads(value: Option<String>) -> Result<(), String> {
             Ok(())
         }
         None => Err("--threads requires a positive integer".into()),
+    }
+}
+
+/// Parses an `--engine scalar|batched[:K]` value.
+fn parse_engine(value: &str) -> Result<rotsv::McEngine, String> {
+    match value {
+        "scalar" => Ok(rotsv::McEngine::Scalar),
+        "batched" => Ok(rotsv::McEngine::Batched { lanes: 8 }),
+        other => match other.strip_prefix("batched:").map(str::parse::<usize>) {
+            Some(Ok(lanes)) if lanes > 0 => Ok(rotsv::McEngine::Batched { lanes }),
+            _ => Err(format!(
+                "--engine expects 'scalar' or 'batched[:K]', got '{other}'"
+            )),
+        },
     }
 }
 
@@ -436,6 +460,17 @@ fn main() -> ExitCode {
                 Some(n) => rotsv::num::parallel::set_thread_limit(NonZeroUsize::new(n)),
                 None => {
                     eprintln!("--threads requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--engine" => match args.next().as_deref().map(parse_engine) {
+                Some(Ok(engine)) => rotsv::set_mc_engine(engine),
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--engine requires a value (scalar or batched[:K])");
                     return ExitCode::FAILURE;
                 }
             },

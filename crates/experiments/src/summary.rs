@@ -126,12 +126,22 @@ mod tests {
     fn subset_run_preserves_untouched_sections() {
         let old = merge_summary(
             None,
-            &[section("e0", "old0"), section("e4", "old4"), section("a1", "olda1")],
+            &[
+                section("e0", "old0"),
+                section("e4", "old4"),
+                section("a1", "olda1"),
+            ],
             "full",
         );
         let text = merge_summary(Some(&old), &[section("e4", "new4")], "full");
-        assert!(text.contains("old0"), "e0 section must survive an e4-only run");
-        assert!(text.contains("olda1"), "a1 section must survive an e4-only run");
+        assert!(
+            text.contains("old0"),
+            "e0 section must survive an e4-only run"
+        );
+        assert!(
+            text.contains("olda1"),
+            "a1 section must survive an e4-only run"
+        );
         assert!(text.contains("new4"), "e4 section must be replaced");
         assert!(!text.contains("old4"), "stale e4 section must be gone");
         let e0 = text.find("## e0").unwrap();

@@ -1,7 +1,8 @@
 //! Integration of the compact model with the circuit simulator.
 
-use rotsv_spice::{DeviceStamp, NodeId, NonlinearDevice};
+use rotsv_spice::{BatchedDeviceEval, DeviceStamp, NodeId, NonlinearDevice};
 
+use crate::batch::MosfetBank;
 use crate::model::MosParams;
 
 /// A MOSFET instance wired into a circuit.
@@ -66,6 +67,18 @@ impl NonlinearDevice for Mosfet {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn batch_with(&self, lanes: &[&dyn NonlinearDevice]) -> Option<Box<dyn BatchedDeviceEval>> {
+        let mosfets: Option<Vec<&Mosfet>> = lanes
+            .iter()
+            .map(|d| d.as_any().and_then(|a| a.downcast_ref::<Mosfet>()))
+            .collect();
+        MosfetBank::try_new(&mosfets?).map(|bank| Box::new(bank) as Box<dyn BatchedDeviceEval>)
     }
 }
 

@@ -37,9 +37,11 @@
 //! assert_eq!(nmos.polarity, Polarity::Nmos);
 //! ```
 
+pub mod batch;
 pub mod device;
 pub mod model;
 pub mod tech45;
 
+pub use batch::MosfetBank;
 pub use device::Mosfet;
 pub use model::{MosDelta, MosParams, Nominal, Polarity, VariationSource};

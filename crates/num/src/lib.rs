@@ -11,7 +11,11 @@
 //!   Newton loops of the DC and transient analyses,
 //! * [`sparse`] — CSR sparse matrices and a sparse LU with one-time
 //!   symbolic analysis and value-only refactorization (the simulator's
-//!   workhorse; includes the [`sparse::SolverStats`] work counters),
+//!   workhorse; includes the [`sparse::SolverStats`] work counters), a
+//!   topology-keyed [`sparse::SymbolicCache`], and a lane-interleaved
+//!   [`sparse::BatchedLu`] for lockstep Monte-Carlo batches,
+//! * [`lanes`] — branch-free elementary functions (`exp`, softplus)
+//!   written so lane loops over them autovectorize,
 //! * [`stats`] — population statistics for Monte-Carlo spread/overlap
 //!   analysis (Figs. 7, 9 and 10 of the paper),
 //! * [`rng`] — seeded Gaussian sampling for process variation,
@@ -42,6 +46,7 @@
 //! ```
 
 pub mod interp;
+pub mod lanes;
 pub mod linsolve;
 pub mod matrix;
 pub mod parallel;
@@ -52,5 +57,5 @@ pub mod units;
 
 pub use linsolve::{LuFactors, SolveError};
 pub use matrix::Matrix;
-pub use sparse::{SolverStats, SparseLu, SparseMatrix};
+pub use sparse::{BatchedLu, SolverStats, SparseLu, SparseMatrix, SymbolicCache, SymbolicLu};
 pub use stats::Summary;

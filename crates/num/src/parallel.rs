@@ -1,9 +1,17 @@
-//! A minimal scoped-thread parallel map.
+//! A minimal scoped-thread parallel map with self-scheduling workers.
 //!
 //! Monte-Carlo experiments run hundreds of independent transient
 //! simulations; this fans them out across CPU cores with plain
 //! `std::thread::scope` — results are deterministic because every sample
 //! derives its RNG from its own index, not from scheduling order.
+//!
+//! Work is distributed through a shared atomic index rather than static
+//! contiguous chunks: per-item cost varies wildly in Monte-Carlo sweeps
+//! (a stuck die bails after a cheap transient, an oscillating one runs
+//! to the crossing count), so pre-assigned chunks strand workers idle
+//! behind whichever chunk drew the expensive dies. With self-scheduling
+//! every worker pulls the next unclaimed index the moment it finishes
+//! its current one.
 
 use std::fmt;
 use std::num::NonZeroUsize;
@@ -94,21 +102,47 @@ where
     if threads <= 1 || n <= 1 {
         return (0..n).map(guarded).collect();
     }
-    let chunk = n.div_ceil(threads);
-    let mut results: Vec<Option<Result<T, WorkerPanic>>> = (0..n).map(|_| None).collect();
+    run_self_scheduled(n, threads, &guarded)
+}
+
+/// Fans `0..n` out over `threads` workers that pull indices from a
+/// shared atomic counter (self-scheduling). Each worker keeps its own
+/// `(index, result)` list; the lists are scattered back into index
+/// order after all workers join, so the output is independent of which
+/// worker ran which index.
+fn run_self_scheduled<T, F>(n: usize, threads: usize, guarded: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for (c, slice) in results.chunks_mut(chunk).enumerate() {
-            let guarded = &guarded;
-            scope.spawn(move || {
-                for (j, slot) in slice.iter_mut().enumerate() {
-                    *slot = Some(guarded(c * chunk + j));
-                }
-            });
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        mine.push((i, guarded(i)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("worker closures never unwind") {
+                results[i] = Some(r);
+            }
         }
     });
     results
         .into_iter()
-        .map(|r| r.expect("worker filled every slot"))
+        .map(|r| r.expect("every index claimed exactly once"))
         .collect()
 }
 
@@ -214,6 +248,43 @@ mod tests {
             .clone();
         assert!(msg.contains("index 3"), "{msg}");
         assert!(msg.contains("bad sample"), "{msg}");
+    }
+
+    /// One item sleeps 30× longer than the rest. With the old static
+    /// chunking the worker that owned the slow item's chunk was also
+    /// stuck with its whole contiguous chunk (n/threads items); with
+    /// self-scheduling the other workers drain the queue while the slow
+    /// item runs, so the slow item's worker ends up with only a handful
+    /// of items. Driven through `run_self_scheduled` directly so the
+    /// scheduler is exercised even on single-core machines (where
+    /// `effective_threads` would fall back to the serial path).
+    #[test]
+    fn self_scheduling_balances_skewed_work() {
+        use std::sync::Mutex;
+        use std::thread::ThreadId;
+        use std::time::Duration;
+
+        let n = 32;
+        let threads = 4;
+        let who: Mutex<Vec<Option<ThreadId>>> = Mutex::new(vec![None; n]);
+        let guarded = |i: usize| {
+            std::thread::sleep(Duration::from_millis(if i == 0 { 60 } else { 2 }));
+            who.lock().unwrap()[i] = Some(std::thread::current().id());
+            i * 2
+        };
+        let out = run_self_scheduled(n, threads, &guarded);
+        assert_eq!(out, (0..n).map(|i| i * 2).collect::<Vec<_>>());
+
+        let who = who.lock().unwrap();
+        let slow = who[0].expect("index 0 ran");
+        let slow_count = who.iter().filter(|t| **t == Some(slow)).count();
+        // Static chunking would pin exactly n/threads = 8 items on the
+        // slow worker; self-scheduling leaves it with far fewer because
+        // the 60 ms sleep covers the other workers draining the queue.
+        assert!(
+            slow_count < n / threads,
+            "slow worker ran {slow_count} of {n} items; the queue was not stolen from it"
+        );
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! See `PERFORMANCE.md` at the repository root for the measured cost
 //! model (why this wins at ring sizes N = 5..50).
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use crate::linsolve::{LuFactors, SolveError};
 use crate::matrix::Matrix;
 
@@ -196,6 +199,74 @@ impl SparseMatrix {
         y
     }
 
+    /// Lane-batched sparse matrix–vector product over `k` lanes sharing
+    /// this matrix's sparsity pattern.
+    ///
+    /// `values` holds the nonzeros lane-interleaved (`values[s*k + lane]`
+    /// is slot `s` of lane `lane`), as does `x` per row and `y` on
+    /// output. The lane loop is innermost and branch-free so it
+    /// autovectorizes; this is the residual kernel of the batched
+    /// Newton solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values`, `x` or `y` lengths do not match
+    /// `nnz()*k` / `n*k` / `n*k`.
+    pub fn mul_vec_lanes_into(&self, values: &[f64], k: usize, x: &[f64], y: &mut [f64]) {
+        assert_eq!(
+            values.len(),
+            self.values.len() * k,
+            "values length mismatch"
+        );
+        assert_eq!(x.len(), self.n * k, "vector length mismatch");
+        assert_eq!(y.len(), self.n * k, "output length mismatch");
+        match k {
+            1 => self.mul_vec_lanes_k::<1>(values, x, y),
+            2 => self.mul_vec_lanes_k::<2>(values, x, y),
+            3 => self.mul_vec_lanes_k::<3>(values, x, y),
+            4 => self.mul_vec_lanes_k::<4>(values, x, y),
+            5 => self.mul_vec_lanes_k::<5>(values, x, y),
+            6 => self.mul_vec_lanes_k::<6>(values, x, y),
+            7 => self.mul_vec_lanes_k::<7>(values, x, y),
+            8 => self.mul_vec_lanes_k::<8>(values, x, y),
+            16 => self.mul_vec_lanes_k::<16>(values, x, y),
+            _ => self.mul_vec_lanes_dyn(values, k, x, y),
+        }
+    }
+
+    /// Monomorphized body of [`SparseMatrix::mul_vec_lanes_into`]: the
+    /// per-row accumulator lives in `K` registers instead of memory.
+    fn mul_vec_lanes_k<const K: usize>(&self, values: &[f64], x: &[f64], y: &mut [f64]) {
+        for i in 0..self.n {
+            let mut acc = [0.0; K];
+            for s in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let col = self.col_idx[s];
+                let vs = &values[s * K..(s + 1) * K];
+                let xs = &x[col * K..(col + 1) * K];
+                for lane in 0..K {
+                    acc[lane] += vs[lane] * xs[lane];
+                }
+            }
+            y[i * K..(i + 1) * K].copy_from_slice(&acc);
+        }
+    }
+
+    /// Fallback for lane counts without a monomorphized kernel.
+    fn mul_vec_lanes_dyn(&self, values: &[f64], k: usize, x: &[f64], y: &mut [f64]) {
+        for i in 0..self.n {
+            let yi = &mut y[i * k..(i + 1) * k];
+            yi.fill(0.0);
+            for s in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let col = self.col_idx[s];
+                let vs = &values[s * k..(s + 1) * k];
+                let xs = &x[col * k..(col + 1) * k];
+                for lane in 0..k {
+                    yi[lane] += vs[lane] * xs[lane];
+                }
+            }
+        }
+    }
+
     /// Densifies into a [`Matrix`] (for tests and the one-time pivot
     /// analysis).
     pub fn to_dense(&self) -> Matrix {
@@ -223,50 +294,16 @@ const PIVOT_EPS: f64 = 1e-300;
 /// when a reused pivot falls this far below its row's largest entry.
 const PIVOT_DRIFT_RATIO: f64 = 1e-12;
 
-/// Sparse LU factorization with a reusable symbolic analysis.
+/// The value-independent part of a sparse LU factorization: pivot order
+/// and fill-in pattern.
 ///
-/// Construction ([`SparseLu::new`]) performs the expensive part once: a
-/// partial-pivoting factorization chooses the row permutation, and a
-/// symbolic elimination of the permuted pattern records the fill-in
-/// structure of `L + U`. Subsequent [`SparseLu::refactor`] calls reuse
-/// both, reducing the per-iteration cost from O(n³) to O(nnz(LU)) — the
-/// dominant win of the simulator's Newton loops, where the matrix values
-/// change every iteration but the pattern never does.
-///
-/// If the values drift so far that a reused pivot becomes unusable,
-/// `refactor` transparently falls back to a fresh analysis (and reports
-/// it, so [`SolverStats`] can count re-analyses).
-///
-/// # Examples
-///
-/// ```
-/// use rotsv_num::sparse::{SparseLu, SparseMatrix};
-///
-/// # fn main() -> Result<(), rotsv_num::linsolve::SolveError> {
-/// let mut a = SparseMatrix::from_triplets(
-///     3,
-///     &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0), (2, 2, 2.0)],
-/// );
-/// let mut lu = SparseLu::new(&a)?;
-/// let x = lu.solve(&[5.0, 4.0, 2.0])?;
-/// assert!((x[0] - 1.0).abs() < 1e-12);
-/// assert!((x[1] - 1.0).abs() < 1e-12);
-/// assert!((x[2] - 1.0).abs() < 1e-12);
-///
-/// // Same pattern, new values: refactor without re-analysis.
-/// a = SparseMatrix::from_triplets(
-///     3,
-///     &[(0, 0, 2.0), (0, 1, 0.0), (1, 0, 0.0), (1, 1, 5.0), (2, 2, 1.0)],
-/// );
-/// let reanalyzed = lu.refactor(&a)?;
-/// assert!(!reanalyzed);
-/// let x = lu.solve(&[2.0, 5.0, 1.0])?;
-/// assert!(x.iter().all(|v| (v - 1.0).abs() < 1e-12));
-/// # Ok(())
-/// # }
-/// ```
-#[derive(Debug, Clone)]
-pub struct SparseLu {
+/// The pattern of an MNA matrix is fixed by the netlist topology, so one
+/// analysis can be shared — behind an [`Arc`] — by every factorization
+/// of that topology: the T1/T2 runs of one ΔT measurement, and all lanes
+/// of a [`BatchedLu`]. Produced by [`SymbolicLu::analyze`]; consumed by
+/// [`SparseLu::with_symbolic`] and [`BatchedLu::new`].
+#[derive(Debug)]
+pub struct SymbolicLu {
     n: usize,
     /// Row permutation: position `i` of `P·A` holds original row `perm[i]`.
     perm: Vec<usize>,
@@ -274,22 +311,18 @@ pub struct SparseLu {
     /// and above the diagonal), rows in permuted order, columns sorted.
     lu_row_ptr: Vec<usize>,
     lu_col_idx: Vec<usize>,
-    lu_values: Vec<f64>,
     /// Slot of the diagonal entry in each LU row.
     diag_slot: Vec<usize>,
-    /// Dense scatter workspace reused by refactor.
-    work: Vec<f64>,
 }
 
-impl SparseLu {
-    /// Analyzes and factors `a`: chooses a pivot order by partial
-    /// pivoting, records the fill-in pattern, and computes the numeric
-    /// factors.
+impl SymbolicLu {
+    /// Analyzes `a`: chooses a pivot order by dense partial pivoting on
+    /// the current values and records the fill-in pattern of `L + U`.
     ///
     /// # Errors
     ///
     /// Returns [`SolveError::Singular`] when no usable pivot exists.
-    pub fn new(a: &SparseMatrix) -> Result<Self, SolveError> {
+    pub fn analyze(a: &SparseMatrix) -> Result<Self, SolveError> {
         let _span = rotsv_obs::span!("lu_analyze", "n" = a.dim());
         // 1. Pivot order from a dense partial-pivoting factorization.
         //    O(n³), but paid once per topology and amortized over every
@@ -354,14 +387,110 @@ impl SparseLu {
             lu_row_ptr.push(lu_col_idx.len());
         }
 
-        let mut lu = Self {
+        Ok(Self {
             n,
             perm,
             lu_row_ptr,
-            lu_values: vec![0.0; lu_col_idx.len()],
             lu_col_idx,
             diag_slot,
-            work: vec![0.0; n],
+        })
+    }
+
+    /// Dimension of the analyzed system.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of entries in the `L + U` pattern.
+    pub fn lu_nnz(&self) -> usize {
+        self.lu_col_idx.len()
+    }
+}
+
+/// Sparse LU factorization with a reusable symbolic analysis.
+///
+/// Construction ([`SparseLu::new`]) performs the expensive part once: a
+/// partial-pivoting factorization chooses the row permutation, and a
+/// symbolic elimination of the permuted pattern records the fill-in
+/// structure of `L + U`. Subsequent [`SparseLu::refactor`] calls reuse
+/// both, reducing the per-iteration cost from O(n³) to O(nnz(LU)) — the
+/// dominant win of the simulator's Newton loops, where the matrix values
+/// change every iteration but the pattern never does.
+///
+/// If the values drift so far that a reused pivot becomes unusable,
+/// `refactor` transparently falls back to a fresh analysis (and reports
+/// it, so [`SolverStats`] can count re-analyses).
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_num::sparse::{SparseLu, SparseMatrix};
+///
+/// # fn main() -> Result<(), rotsv_num::linsolve::SolveError> {
+/// let mut a = SparseMatrix::from_triplets(
+///     3,
+///     &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0), (2, 2, 2.0)],
+/// );
+/// let mut lu = SparseLu::new(&a)?;
+/// let x = lu.solve(&[5.0, 4.0, 2.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// assert!((x[2] - 1.0).abs() < 1e-12);
+///
+/// // Same pattern, new values: refactor without re-analysis.
+/// a = SparseMatrix::from_triplets(
+///     3,
+///     &[(0, 0, 2.0), (0, 1, 0.0), (1, 0, 0.0), (1, 1, 5.0), (2, 2, 1.0)],
+/// );
+/// let reanalyzed = lu.refactor(&a)?;
+/// assert!(!reanalyzed);
+/// let x = lu.solve(&[2.0, 5.0, 1.0])?;
+/// assert!(x.iter().all(|v| (v - 1.0).abs() < 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    /// Shared pivot order and fill-in pattern.
+    sym: Arc<SymbolicLu>,
+    lu_values: Vec<f64>,
+    /// Dense scatter workspace reused by refactor.
+    work: Vec<f64>,
+}
+
+impl SparseLu {
+    /// Analyzes and factors `a`: chooses a pivot order by partial
+    /// pivoting, records the fill-in pattern, and computes the numeric
+    /// factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] when no usable pivot exists.
+    pub fn new(a: &SparseMatrix) -> Result<Self, SolveError> {
+        let sym = Arc::new(SymbolicLu::analyze(a)?);
+        Self::with_symbolic(sym, a)
+    }
+
+    /// Factors `a` reusing an existing symbolic analysis of the same
+    /// pattern (no `lu_analyze` is performed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] if `a`'s dimension
+    /// differs from the analyzed one, and [`SolveError::Singular`] when
+    /// the recorded pivot order is unusable for `a`'s values (callers
+    /// fall back to a fresh [`SparseLu::new`]).
+    pub fn with_symbolic(sym: Arc<SymbolicLu>, a: &SparseMatrix) -> Result<Self, SolveError> {
+        if a.dim() != sym.n {
+            return Err(SolveError::DimensionMismatch {
+                expected: sym.n,
+                actual: a.dim(),
+            });
+        }
+        let mut lu = Self {
+            lu_values: vec![0.0; sym.lu_nnz()],
+            work: vec![0.0; sym.n],
+            sym,
         };
         lu.refactor_in_place(a)?;
         Ok(lu)
@@ -369,12 +498,17 @@ impl SparseLu {
 
     /// Dimension of the factored system.
     pub fn dim(&self) -> usize {
-        self.n
+        self.sym.n
     }
 
     /// Number of stored entries in `L + U` (a measure of fill-in).
     pub fn lu_nnz(&self) -> usize {
-        self.lu_col_idx.len()
+        self.sym.lu_nnz()
+    }
+
+    /// The shared symbolic analysis backing this factorization.
+    pub fn symbolic(&self) -> &Arc<SymbolicLu> {
+        &self.sym
     }
 
     /// Recomputes the numeric factors of `a` (same pattern as analyzed)
@@ -389,9 +523,9 @@ impl SparseLu {
     /// dimension.
     pub fn refactor(&mut self, a: &SparseMatrix) -> Result<bool, SolveError> {
         let _span = rotsv_obs::span!("lu_refactor");
-        if a.dim() != self.n {
+        if a.dim() != self.sym.n {
             return Err(SolveError::DimensionMismatch {
-                expected: self.n,
+                expected: self.sym.n,
                 actual: a.dim(),
             });
         }
@@ -410,36 +544,37 @@ impl SparseLu {
     /// Numeric refactorization along the fixed pattern (Doolittle by
     /// rows with a dense scatter workspace).
     fn refactor_in_place(&mut self, a: &SparseMatrix) -> Result<(), SolveError> {
-        for i in 0..self.n {
-            let (lo, hi) = (self.lu_row_ptr[i], self.lu_row_ptr[i + 1]);
+        let sym = &self.sym;
+        for i in 0..sym.n {
+            let (lo, hi) = (sym.lu_row_ptr[i], sym.lu_row_ptr[i + 1]);
             // Scatter row perm[i] of A over the LU pattern.
             for k in lo..hi {
-                self.work[self.lu_col_idx[k]] = 0.0;
+                self.work[sym.lu_col_idx[k]] = 0.0;
             }
-            let (cols, vals) = a.row(self.perm[i]);
+            let (cols, vals) = a.row(sym.perm[i]);
             for (&c, &v) in cols.iter().zip(vals) {
                 self.work[c] = v;
             }
             // Eliminate columns j < i in ascending order.
             let mut row_max = 0.0f64;
-            for k in lo..self.diag_slot[i] {
-                let j = self.lu_col_idx[k];
-                let ujj = self.lu_values[self.diag_slot[j]];
+            for k in lo..sym.diag_slot[i] {
+                let j = sym.lu_col_idx[k];
+                let ujj = self.lu_values[sym.diag_slot[j]];
                 let l = self.work[j] / ujj;
                 self.work[j] = l;
                 if l != 0.0 {
-                    for m in (self.diag_slot[j] + 1)..self.lu_row_ptr[j + 1] {
-                        self.work[self.lu_col_idx[m]] -= l * self.lu_values[m];
+                    for m in (sym.diag_slot[j] + 1)..sym.lu_row_ptr[j + 1] {
+                        self.work[sym.lu_col_idx[m]] -= l * self.lu_values[m];
                     }
                 }
             }
             // Gather the finished row and check the pivot.
             for k in lo..hi {
-                let v = self.work[self.lu_col_idx[k]];
+                let v = self.work[sym.lu_col_idx[k]];
                 self.lu_values[k] = v;
                 row_max = row_max.max(v.abs());
             }
-            let piv = self.lu_values[self.diag_slot[i]].abs();
+            let piv = self.lu_values[sym.diag_slot[i]].abs();
             if piv <= PIVOT_EPS || !piv.is_finite() || piv < PIVOT_DRIFT_RATIO * row_max {
                 return Err(SolveError::Singular { column: i });
             }
@@ -455,30 +590,496 @@ impl SparseLu {
     /// match the dimension.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
         let _span = rotsv_obs::span!("lu_solve");
-        if b.len() != self.n {
+        let sym = &self.sym;
+        if b.len() != sym.n {
             return Err(SolveError::DimensionMismatch {
-                expected: self.n,
+                expected: sym.n,
                 actual: b.len(),
             });
         }
-        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        let mut x: Vec<f64> = sym.perm.iter().map(|&i| b[i]).collect();
         // Forward substitution with unit-diagonal L.
-        for i in 0..self.n {
+        for i in 0..sym.n {
             let mut acc = x[i];
-            for k in self.lu_row_ptr[i]..self.diag_slot[i] {
-                acc -= self.lu_values[k] * x[self.lu_col_idx[k]];
+            for k in sym.lu_row_ptr[i]..sym.diag_slot[i] {
+                acc -= self.lu_values[k] * x[sym.lu_col_idx[k]];
             }
             x[i] = acc;
         }
         // Back substitution with U.
-        for i in (0..self.n).rev() {
+        for i in (0..sym.n).rev() {
             let mut acc = x[i];
-            for k in (self.diag_slot[i] + 1)..self.lu_row_ptr[i + 1] {
-                acc -= self.lu_values[k] * x[self.lu_col_idx[k]];
+            for k in (sym.diag_slot[i] + 1)..sym.lu_row_ptr[i + 1] {
+                acc -= self.lu_values[k] * x[sym.lu_col_idx[k]];
             }
-            x[i] = acc / self.lu_values[self.diag_slot[i]];
+            x[i] = acc / self.lu_values[sym.diag_slot[i]];
         }
         Ok(x)
+    }
+}
+
+/// A process-scoped, topology-keyed cache of symbolic LU analyses.
+///
+/// Keyed by the exact CSR pattern `(n, row_ptr, col_idx)`, so two
+/// matrices share an entry iff they have the same topology. The cache is
+/// deliberately *not* global: callers create one per deterministic scope
+/// (e.g. one ΔT measurement, whose T1 and T2 transients share a netlist
+/// pattern) so that cache hits can never depend on thread scheduling or
+/// leak between unrelated runs.
+///
+/// Sharing is numerically exact for the simulator's use: the first
+/// factorization of every transient happens at the zero-voltage initial
+/// Newton iterate, where the assembled matrix — and therefore the pivot
+/// order a fresh analysis would choose — is identical for every run of
+/// the same netlist and die. A cache hit that nevertheless fails the
+/// pivot check falls back to a fresh analysis instead of poisoning the
+/// scope.
+#[derive(Debug, Default)]
+pub struct SymbolicCache {
+    inner: Mutex<HashMap<PatternKey, Arc<SymbolicLu>>>,
+}
+
+#[derive(Debug, Hash, PartialEq, Eq)]
+struct PatternKey {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+}
+
+impl SymbolicCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct topologies analyzed so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").len()
+    }
+
+    /// `true` when no topology has been analyzed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cached symbolic analysis for `a`'s pattern, computing and
+    /// inserting it on first use. The `bool` is `true` when this call
+    /// performed the analysis (callers count it in
+    /// [`SolverStats::symbolic_analyses`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] when a required fresh analysis
+    /// finds no usable pivot. Failed analyses are not cached.
+    pub fn symbolic_for(&self, a: &SparseMatrix) -> Result<(Arc<SymbolicLu>, bool), SolveError> {
+        let key = PatternKey {
+            n: a.dim(),
+            row_ptr: a.row_ptr.clone(),
+            col_idx: a.col_idx.clone(),
+        };
+        let mut inner = self.inner.lock().expect("cache lock");
+        if let Some(sym) = inner.get(&key) {
+            return Ok((Arc::clone(sym), false));
+        }
+        let sym = Arc::new(SymbolicLu::analyze(a)?);
+        inner.insert(key, Arc::clone(&sym));
+        Ok((sym, true))
+    }
+
+    /// Factors `a`, reusing the cached symbolic analysis of its pattern
+    /// when present. Returns the factorization and the number of fresh
+    /// analyses this call performed (0 on a clean cache hit, 1 on a
+    /// miss — or on a hit whose pivot order proved unusable for `a`'s
+    /// values, where a private re-analysis takes over).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] when even a fresh analysis
+    /// cannot factor `a`.
+    pub fn factor(&self, a: &SparseMatrix) -> Result<(SparseLu, u64), SolveError> {
+        let (sym, analyzed) = self.symbolic_for(a)?;
+        let analyses = u64::from(analyzed);
+        match SparseLu::with_symbolic(sym, a) {
+            Ok(lu) => Ok((lu, analyses)),
+            Err(SolveError::Singular { .. }) => {
+                // The shared pivot order does not suit these values; fall
+                // back to a private analysis without touching the cache.
+                Ok((SparseLu::new(a)?, analyses + 1))
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// A lane-batched sparse LU: one shared symbolic analysis, `k`
+/// lane-interleaved value sets factored and solved in lockstep.
+///
+/// Storage is lane-interleaved (`values[slot * k + lane]`) so the
+/// per-slot elimination and substitution loops run over contiguous
+/// lanes and autovectorize. All lanes share the pivot order; when one
+/// lane's values make that order unusable, the batch transparently
+/// re-analyzes from the offending lane — valid for every lane because
+/// the pattern is shared — and reports the number of analyses spent.
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_num::sparse::{BatchedLu, SparseMatrix, SymbolicLu};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), rotsv_num::linsolve::SolveError> {
+/// let a = SparseMatrix::from_triplets(2, &[(0, 0, 4.0), (0, 1, 1.0), (1, 1, 2.0)]);
+/// let sym = Arc::new(SymbolicLu::analyze(&a)?);
+/// let mut lu = BatchedLu::new(sym, 2);
+/// // Lane-interleaved values for two lanes: lane 0 = a, lane 1 = 2a.
+/// let vals: Vec<f64> = a.values().iter().flat_map(|&v| [v, 2.0 * v]).collect();
+/// lu.refactor(&a, &vals)?;
+/// let mut b = vec![5.0, 10.0, 2.0, 4.0]; // rhs per lane, interleaved
+/// lu.solve_in_place(&mut b);
+/// assert!((b[0] - 1.0).abs() < 1e-12 && (b[1] - 1.0).abs() < 1e-12);
+/// assert!((b[2] - 1.0).abs() < 1e-12 && (b[3] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BatchedLu {
+    sym: Arc<SymbolicLu>,
+    k: usize,
+    /// `lu_nnz * k`, lane-interleaved.
+    lu_values: Vec<f64>,
+    /// `n * k` dense scatter workspace.
+    work: Vec<f64>,
+    /// `k` multiplier scratch for the elimination inner loop.
+    lrow: Vec<f64>,
+    /// `n * k` scratch for the permuted solve.
+    xbuf: Vec<f64>,
+}
+
+impl BatchedLu {
+    /// Creates a batched factorization of `k` lanes over a shared
+    /// symbolic analysis. Values are supplied per [`BatchedLu::refactor`].
+    pub fn new(sym: Arc<SymbolicLu>, k: usize) -> Self {
+        assert!(k > 0, "a batch needs at least one lane");
+        Self {
+            k,
+            lu_values: vec![0.0; sym.lu_nnz() * k],
+            work: vec![0.0; sym.n * k],
+            lrow: vec![0.0; k],
+            xbuf: vec![0.0; sym.n * k],
+            sym,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.k
+    }
+
+    /// The shared symbolic analysis.
+    pub fn symbolic(&self) -> &Arc<SymbolicLu> {
+        &self.sym
+    }
+
+    /// Refactors all lanes from `values` — `a.nnz() * k` lane-interleaved
+    /// entries over `pattern`'s CSR slots. Returns the number of fresh
+    /// symbolic analyses performed (0 on the fast path; ≥ 1 when pivot
+    /// drift in some lane forced a shared re-analysis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] when a lane stays singular after
+    /// re-analysis, [`SolveError::DimensionMismatch`] on a pattern of
+    /// the wrong dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != pattern.nnz() * lanes`.
+    pub fn refactor(&mut self, pattern: &SparseMatrix, values: &[f64]) -> Result<u64, SolveError> {
+        let _span = rotsv_obs::span!("lu_refactor_batch", "k" = self.k);
+        assert_eq!(
+            values.len(),
+            pattern.nnz() * self.k,
+            "lane-interleaved value length mismatch"
+        );
+        if pattern.dim() != self.sym.n {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.sym.n,
+                actual: pattern.dim(),
+            });
+        }
+        let mut analyses = 0u64;
+        loop {
+            let swept = match self.k {
+                1 => self.refactor_lanes_k::<1>(pattern, values),
+                2 => self.refactor_lanes_k::<2>(pattern, values),
+                3 => self.refactor_lanes_k::<3>(pattern, values),
+                4 => self.refactor_lanes_k::<4>(pattern, values),
+                5 => self.refactor_lanes_k::<5>(pattern, values),
+                6 => self.refactor_lanes_k::<6>(pattern, values),
+                7 => self.refactor_lanes_k::<7>(pattern, values),
+                8 => self.refactor_lanes_k::<8>(pattern, values),
+                16 => self.refactor_lanes_k::<16>(pattern, values),
+                _ => self.refactor_lanes(pattern, values),
+            };
+            match swept {
+                Ok(()) => return Ok(analyses),
+                Err((lane, SolveError::Singular { .. })) if analyses < 2 => {
+                    // The shared pivot order failed for `lane`: re-analyze
+                    // from that lane's values. The new order applies to
+                    // every lane (the pattern is shared).
+                    let mut probe = pattern.clone();
+                    probe.zero_values();
+                    for s in 0..pattern.nnz() {
+                        probe.add_slot(s, values[s * self.k + lane]);
+                    }
+                    let sym = Arc::new(SymbolicLu::analyze(&probe)?);
+                    analyses += 1;
+                    self.lu_values = vec![0.0; sym.lu_nnz() * self.k];
+                    self.sym = sym;
+                }
+                Err((_, e)) => return Err(e),
+            }
+        }
+    }
+
+    /// Monomorphized Doolittle sweep: same elimination order as
+    /// [`BatchedLu::refactor_lanes`] (bit-identical results), with the
+    /// multiplier row in `K` registers and const-length lane loops that
+    /// compile to straight vector code.
+    // Lane loops deliberately index several parallel arrays by `lane`;
+    // the iterator forms clippy suggests obscure that symmetry.
+    #[allow(clippy::needless_range_loop)]
+    fn refactor_lanes_k<const K: usize>(
+        &mut self,
+        pattern: &SparseMatrix,
+        values: &[f64],
+    ) -> Result<(), (usize, SolveError)> {
+        debug_assert_eq!(self.k, K);
+        let sym = &self.sym;
+        for i in 0..sym.n {
+            let (lo, hi) = (sym.lu_row_ptr[i], sym.lu_row_ptr[i + 1]);
+            for s in lo..hi {
+                let base = sym.lu_col_idx[s] * K;
+                self.work[base..base + K].fill(0.0);
+            }
+            // Scatter row perm[i] of A (all lanes at once).
+            let r = sym.perm[i];
+            let (alo, ahi) = (pattern.row_ptr[r], pattern.row_ptr[r + 1]);
+            for s in alo..ahi {
+                let dst = pattern.col_idx[s] * K;
+                self.work[dst..dst + K].copy_from_slice(&values[s * K..(s + 1) * K]);
+            }
+            // Eliminate columns j < i in ascending order, lanes in lockstep.
+            for s in lo..sym.diag_slot[i] {
+                let j = sym.lu_col_idx[s];
+                let dj = sym.diag_slot[j] * K;
+                let mut lrow = [0.0; K];
+                for lane in 0..K {
+                    let l = self.work[j * K + lane] / self.lu_values[dj + lane];
+                    lrow[lane] = l;
+                    self.work[j * K + lane] = l;
+                }
+                for m in (sym.diag_slot[j] + 1)..sym.lu_row_ptr[j + 1] {
+                    let dst = sym.lu_col_idx[m] * K;
+                    let lum = m * K;
+                    for lane in 0..K {
+                        self.work[dst + lane] -= lrow[lane] * self.lu_values[lum + lane];
+                    }
+                }
+            }
+            // Gather the finished row and check every lane's pivot.
+            let mut row_max = [0.0f64; K];
+            for s in lo..hi {
+                let src = sym.lu_col_idx[s] * K;
+                let dst = s * K;
+                for lane in 0..K {
+                    let v = self.work[src + lane];
+                    self.lu_values[dst + lane] = v;
+                    row_max[lane] = row_max[lane].max(v.abs());
+                }
+            }
+            let dslot = sym.diag_slot[i] * K;
+            for lane in 0..K {
+                let piv = self.lu_values[dslot + lane].abs();
+                if piv <= PIVOT_EPS || !piv.is_finite() || piv < PIVOT_DRIFT_RATIO * row_max[lane] {
+                    return Err((lane, SolveError::Singular { column: i }));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One Doolittle sweep over all lanes; fails with the first lane
+    /// whose pivot is unusable.
+    fn refactor_lanes(
+        &mut self,
+        pattern: &SparseMatrix,
+        values: &[f64],
+    ) -> Result<(), (usize, SolveError)> {
+        let sym = &self.sym;
+        let k = self.k;
+        for i in 0..sym.n {
+            let (lo, hi) = (sym.lu_row_ptr[i], sym.lu_row_ptr[i + 1]);
+            for s in lo..hi {
+                let base = sym.lu_col_idx[s] * k;
+                self.work[base..base + k].fill(0.0);
+            }
+            // Scatter row perm[i] of A (all lanes at once).
+            let r = sym.perm[i];
+            let (alo, ahi) = (pattern.row_ptr[r], pattern.row_ptr[r + 1]);
+            for s in alo..ahi {
+                let dst = pattern.col_idx[s] * k;
+                self.work[dst..dst + k].copy_from_slice(&values[s * k..(s + 1) * k]);
+            }
+            // Eliminate columns j < i in ascending order, lanes in lockstep.
+            for s in lo..sym.diag_slot[i] {
+                let j = sym.lu_col_idx[s];
+                let dj = sym.diag_slot[j] * k;
+                for lane in 0..k {
+                    let l = self.work[j * k + lane] / self.lu_values[dj + lane];
+                    self.lrow[lane] = l;
+                    self.work[j * k + lane] = l;
+                }
+                for m in (sym.diag_slot[j] + 1)..sym.lu_row_ptr[j + 1] {
+                    let dst = sym.lu_col_idx[m] * k;
+                    let lum = m * k;
+                    for lane in 0..k {
+                        self.work[dst + lane] -= self.lrow[lane] * self.lu_values[lum + lane];
+                    }
+                }
+            }
+            // Gather the finished row and check every lane's pivot.
+            for s in lo..hi {
+                let src = sym.lu_col_idx[s] * k;
+                let dst = s * k;
+                self.lu_values[dst..dst + k].copy_from_slice(&self.work[src..src + k]);
+            }
+            let dslot = sym.diag_slot[i] * k;
+            for lane in 0..k {
+                let mut row_max = 0.0f64;
+                for s in lo..hi {
+                    row_max = row_max.max(self.lu_values[s * k + lane].abs());
+                }
+                let piv = self.lu_values[dslot + lane].abs();
+                if piv <= PIVOT_EPS || !piv.is_finite() || piv < PIVOT_DRIFT_RATIO * row_max {
+                    return Err((lane, SolveError::Singular { column: i }));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves all lanes in place: `b` holds `n * k` lane-interleaved
+    /// right-hand sides on entry and the solutions on return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim * lanes`.
+    pub fn solve_in_place(&mut self, b: &mut [f64]) {
+        let _span = rotsv_obs::span!("lu_solve_batch", "k" = self.k);
+        assert_eq!(
+            b.len(),
+            self.sym.n * self.k,
+            "lane-interleaved rhs length mismatch"
+        );
+        match self.k {
+            1 => self.solve_in_place_k::<1>(b),
+            2 => self.solve_in_place_k::<2>(b),
+            3 => self.solve_in_place_k::<3>(b),
+            4 => self.solve_in_place_k::<4>(b),
+            5 => self.solve_in_place_k::<5>(b),
+            6 => self.solve_in_place_k::<6>(b),
+            7 => self.solve_in_place_k::<7>(b),
+            8 => self.solve_in_place_k::<8>(b),
+            16 => self.solve_in_place_k::<16>(b),
+            _ => self.solve_in_place_dyn(b),
+        }
+    }
+
+    /// Monomorphized substitution: each row's lanes accumulate in `K`
+    /// registers across the inner loops instead of read-modify-write
+    /// memory traffic per entry. Same operation order as the dynamic
+    /// path, so results are bit-identical.
+    // Lane loops deliberately index several parallel arrays by `lane`;
+    // the iterator forms clippy suggests obscure that symmetry.
+    #[allow(clippy::needless_range_loop)]
+    fn solve_in_place_k<const K: usize>(&mut self, b: &mut [f64]) {
+        debug_assert_eq!(self.k, K);
+        let sym = &self.sym;
+        // Permute rows (all lanes at once).
+        for i in 0..sym.n {
+            let src = sym.perm[i] * K;
+            self.xbuf[i * K..(i + 1) * K].copy_from_slice(&b[src..src + K]);
+        }
+        let x = &mut self.xbuf;
+        // Forward substitution with unit-diagonal L.
+        for i in 0..sym.n {
+            let mut acc = [0.0; K];
+            acc.copy_from_slice(&x[i * K..(i + 1) * K]);
+            for s in sym.lu_row_ptr[i]..sym.diag_slot[i] {
+                let c = sym.lu_col_idx[s] * K;
+                let lus = s * K;
+                for lane in 0..K {
+                    acc[lane] -= self.lu_values[lus + lane] * x[c + lane];
+                }
+            }
+            x[i * K..(i + 1) * K].copy_from_slice(&acc);
+        }
+        // Back substitution with U.
+        for i in (0..sym.n).rev() {
+            let mut acc = [0.0; K];
+            acc.copy_from_slice(&x[i * K..(i + 1) * K]);
+            for s in (sym.diag_slot[i] + 1)..sym.lu_row_ptr[i + 1] {
+                let c = sym.lu_col_idx[s] * K;
+                let lus = s * K;
+                for lane in 0..K {
+                    acc[lane] -= self.lu_values[lus + lane] * x[c + lane];
+                }
+            }
+            let d = sym.diag_slot[i] * K;
+            for lane in 0..K {
+                acc[lane] /= self.lu_values[d + lane];
+            }
+            x[i * K..(i + 1) * K].copy_from_slice(&acc);
+        }
+        b.copy_from_slice(x);
+    }
+
+    /// Fallback for lane counts without a monomorphized kernel.
+    fn solve_in_place_dyn(&mut self, b: &mut [f64]) {
+        let sym = &self.sym;
+        let k = self.k;
+        // Permute rows (all lanes at once).
+        for i in 0..sym.n {
+            let src = sym.perm[i] * k;
+            self.xbuf[i * k..(i + 1) * k].copy_from_slice(&b[src..src + k]);
+        }
+        let x = &mut self.xbuf;
+        // Forward substitution with unit-diagonal L.
+        for i in 0..sym.n {
+            for s in sym.lu_row_ptr[i]..sym.diag_slot[i] {
+                let c = sym.lu_col_idx[s] * k;
+                let lus = s * k;
+                for lane in 0..k {
+                    x[i * k + lane] -= self.lu_values[lus + lane] * x[c + lane];
+                }
+            }
+        }
+        // Back substitution with U.
+        for i in (0..sym.n).rev() {
+            for s in (sym.diag_slot[i] + 1)..sym.lu_row_ptr[i + 1] {
+                let c = sym.lu_col_idx[s] * k;
+                let lus = s * k;
+                for lane in 0..k {
+                    x[i * k + lane] -= self.lu_values[lus + lane] * x[c + lane];
+                }
+            }
+            let d = sym.diag_slot[i] * k;
+            for lane in 0..k {
+                x[i * k + lane] /= self.lu_values[d + lane];
+            }
+        }
+        b.copy_from_slice(x);
     }
 }
 
@@ -757,5 +1358,266 @@ mod tests {
         assert_eq!(s.newton_iterations, 5);
         assert_eq!(s.steps_rejected, 3);
         assert!((s.wall_seconds - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symbolic_cache_counts_one_analysis_per_topology() {
+        let cache = SymbolicCache::new();
+        let a = SparseMatrix::from_triplets(
+            3,
+            &[
+                (0, 0, 2e-3),
+                (0, 1, -1e-3),
+                (0, 2, 1.0),
+                (1, 0, -1e-3),
+                (1, 1, 2e-3),
+                (2, 0, 1.0),
+            ],
+        );
+        // Same pattern, different values — as a second die would assemble.
+        let mut a2 = a.clone();
+        a2.zero_values();
+        for s in 0..a.nnz() {
+            a2.add_slot(s, a.values()[s] * 1.3);
+        }
+        let (lu, n1) = cache.factor(&a).unwrap();
+        let (lu2, n2) = cache.factor(&a2).unwrap();
+        assert_eq!((n1, n2), (1, 0), "second factor must hit the cache");
+        assert_eq!(cache.len(), 1);
+        assert!(Arc::ptr_eq(lu.symbolic(), lu2.symbolic()));
+        let b = [0.0, 0.0, 2.0];
+        assert!(residual_inf(&a, &lu.solve(&b).unwrap(), &b) < 1e-12);
+        assert!(residual_inf(&a2, &lu2.solve(&b).unwrap(), &b) < 1e-12);
+
+        // A different topology gets its own analysis.
+        let c = SparseMatrix::from_triplets(2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let (_, n3) = cache.factor(&c).unwrap();
+        assert_eq!(n3, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn symbolic_cache_reanalyzes_when_shared_pivots_fail() {
+        // First matrix pivots naturally at (0,0); the second zeroes that
+        // entry so the cached order is unusable and a private analysis
+        // (counted, not cached) must take over.
+        let cache = SymbolicCache::new();
+        let a =
+            SparseMatrix::from_triplets(2, &[(0, 0, 5.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 0.1)]);
+        let (_, n1) = cache.factor(&a).unwrap();
+        let drifted =
+            SparseMatrix::from_triplets(2, &[(0, 0, 0.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 0.1)]);
+        let (lu, n2) = cache.factor(&drifted).unwrap();
+        assert_eq!((n1, n2), (1, 1), "hit + pivot fallback = one analysis");
+        assert_eq!(cache.len(), 1, "fallback analysis must not poison cache");
+        let x = lu.solve(&[1.0, 2.0]).unwrap();
+        assert!(residual_inf(&drifted, &x, &[1.0, 2.0]) < 1e-12);
+    }
+
+    #[test]
+    fn cached_factor_matches_fresh_factor_bitwise() {
+        // `with_symbolic` over a cached analysis must produce the same
+        // factors a fresh `SparseLu::new` would — the bit-neutrality the
+        // scalar engine's per-measurement sharing relies on.
+        let a = SparseMatrix::from_triplets(
+            3,
+            &[
+                (0, 0, 2e-3),
+                (0, 1, -1e-3),
+                (0, 2, 1.0),
+                (1, 0, -1e-3),
+                (1, 1, 2e-3),
+                (2, 0, 1.0),
+            ],
+        );
+        let cache = SymbolicCache::new();
+        cache.symbolic_for(&a).unwrap();
+        let (cached, _) = cache.factor(&a).unwrap();
+        let fresh = SparseLu::new(&a).unwrap();
+        let b = [0.25, -1.5, 3.0];
+        assert_eq!(
+            cached.solve(&b).unwrap(),
+            fresh.solve(&b).unwrap(),
+            "shared symbolic analysis must be bit-neutral"
+        );
+    }
+
+    #[test]
+    fn mul_vec_lanes_matches_scalar_mul_vec() {
+        let a = SparseMatrix::from_triplets(
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 2, -1.0),
+                (1, 1, 3.0),
+                (2, 0, 0.5),
+                (2, 2, 4.0),
+            ],
+        );
+        let k = 2;
+        let scale = [1.0, -0.3];
+        let mut vals = Vec::with_capacity(a.nnz() * k);
+        for s in 0..a.nnz() {
+            for &sc in &scale {
+                vals.push(a.values()[s] * sc);
+            }
+        }
+        let x = [1.0, -2.0, 0.25];
+        let xi: Vec<f64> = x.iter().flat_map(|&v| vec![v, 2.0 * v]).collect();
+        let mut y = vec![0.0; 3 * k];
+        a.mul_vec_lanes_into(&vals, k, &xi, &mut y);
+        let y0 = a.mul_vec(&x);
+        for i in 0..3 {
+            assert!((y[i * k] - y0[i] * scale[0]).abs() < 1e-15);
+            assert!((y[i * k + 1] - y0[i] * scale[1] * 2.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn batched_lu_matches_per_lane_scalar_lu() {
+        // MNA-shaped system with fill, three lanes of perturbed values.
+        let n = 6;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0 + i as f64));
+            if i + 1 < n {
+                t.push((i, n - 1, 1.0));
+                t.push((n - 1, i, 1.0));
+            }
+        }
+        let a = SparseMatrix::from_triplets(n, &t);
+        let k = 3;
+        let scale = [1.0, 1.07, 0.91];
+        let mut vals = Vec::with_capacity(a.nnz() * k);
+        for s in 0..a.nnz() {
+            for &sc in &scale {
+                vals.push(a.values()[s] * sc);
+            }
+        }
+        let sym = Arc::new(SymbolicLu::analyze(&a).unwrap());
+        let mut blu = BatchedLu::new(Arc::clone(&sym), k);
+        assert_eq!(blu.refactor(&a, &vals).unwrap(), 0);
+
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 2.5).collect();
+        let mut bb: Vec<f64> = b.iter().flat_map(|&v| vec![v; k]).collect();
+        blu.solve_in_place(&mut bb);
+
+        for (lane, sc) in scale.iter().enumerate() {
+            let mut al = a.clone();
+            al.zero_values();
+            for s in 0..a.nnz() {
+                al.add_slot(s, a.values()[s] * sc);
+            }
+            let lu = SparseLu::with_symbolic(Arc::clone(&sym), &al).unwrap();
+            let want = lu.solve(&b).unwrap();
+            for i in 0..n {
+                assert!(
+                    (bb[i * k + lane] - want[i]).abs() < 1e-12,
+                    "lane {lane} row {i}: {} vs {}",
+                    bb[i * k + lane],
+                    want[i]
+                );
+            }
+        }
+    }
+
+    /// Every monomorphized lane width (and one dynamic-fallback width)
+    /// must produce the same solutions: the dispatch arm is a codegen
+    /// choice, not a numerical one.
+    #[test]
+    fn batched_lu_widths_match_per_lane_scalar_lu() {
+        let n = 6;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0 + i as f64));
+            if i + 1 < n {
+                t.push((i, n - 1, 1.0));
+                t.push((n - 1, i, 1.0));
+            }
+        }
+        let a = SparseMatrix::from_triplets(n, &t);
+        let sym = Arc::new(SymbolicLu::analyze(&a).unwrap());
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 2.5).collect();
+        for k in [1usize, 2, 4, 8, 16, 11] {
+            let scale: Vec<f64> = (0..k).map(|l| 1.0 + 0.03 * l as f64).collect();
+            let mut vals = Vec::with_capacity(a.nnz() * k);
+            for s in 0..a.nnz() {
+                for &sc in &scale {
+                    vals.push(a.values()[s] * sc);
+                }
+            }
+            let mut blu = BatchedLu::new(Arc::clone(&sym), k);
+            assert_eq!(blu.refactor(&a, &vals).unwrap(), 0);
+            let mut bb: Vec<f64> = b.iter().flat_map(|&v| vec![v; k]).collect();
+            blu.solve_in_place(&mut bb);
+            for (lane, sc) in scale.iter().enumerate() {
+                let mut al = a.clone();
+                al.zero_values();
+                for s in 0..a.nnz() {
+                    al.add_slot(s, a.values()[s] * sc);
+                }
+                let lu = SparseLu::with_symbolic(Arc::clone(&sym), &al).unwrap();
+                let want = lu.solve(&b).unwrap();
+                for i in 0..n {
+                    assert!(
+                        (bb[i * k + lane] - want[i]).abs() < 1e-12,
+                        "k {k} lane {lane} row {i}: {} vs {}",
+                        bb[i * k + lane],
+                        want[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_lu_reanalyzes_from_the_offending_lane() {
+        // Lane 1 zeroes the entry the shared pivot order leads with; the
+        // batch must re-analyze once and still solve every lane.
+        let a =
+            SparseMatrix::from_triplets(2, &[(0, 0, 5.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 0.1)]);
+        let sym = Arc::new(SymbolicLu::analyze(&a).unwrap());
+        let k = 2;
+        let lane_vals = [[5.0, 1.0, 1.0, 0.1], [0.0, 1.0, 1.0, 0.1]];
+        let vals: Vec<f64> = (0..a.nnz())
+            .flat_map(|s| (0..k).map(move |lane| lane_vals[lane][s]))
+            .collect();
+        let mut blu = BatchedLu::new(sym, k);
+        let analyses = blu.refactor(&a, &vals).unwrap();
+        assert_eq!(analyses, 1);
+
+        let rhs = [1.0, 2.0];
+        let mut bb: Vec<f64> = rhs.iter().flat_map(|&v| vec![v; k]).collect();
+        blu.solve_in_place(&mut bb);
+        for lane in 0..k {
+            let al = SparseMatrix::from_triplets(
+                2,
+                &[
+                    (0, 0, lane_vals[lane][0]),
+                    (0, 1, lane_vals[lane][1]),
+                    (1, 0, lane_vals[lane][2]),
+                    (1, 1, lane_vals[lane][3]),
+                ],
+            );
+            let x: Vec<f64> = (0..2).map(|i| bb[i * k + lane]).collect();
+            assert!(residual_inf(&al, &x, &rhs) < 1e-12, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn batched_lu_reports_singular_lane() {
+        let a =
+            SparseMatrix::from_triplets(2, &[(0, 0, 3.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 2.0)]);
+        // Lane 0 is fine (identity-ish), lane 1 is genuinely singular.
+        let lane_vals = [[1.0, 0.0, 0.0, 1.0], [1.0, 2.0, 2.0, 4.0]];
+        let vals: Vec<f64> = (0..a.nnz())
+            .flat_map(|s| (0..2).map(move |lane| lane_vals[lane][s]))
+            .collect();
+        let sym = Arc::new(SymbolicLu::analyze(&a).unwrap());
+        let mut blu = BatchedLu::new(sym, 2);
+        assert!(matches!(
+            blu.refactor(&a, &vals),
+            Err(SolveError::Singular { .. })
+        ));
     }
 }

@@ -1,10 +1,13 @@
 //! Ring-oscillator netlist construction and period measurement.
 
+use std::sync::Arc;
+
 use rotsv_mosfet::model::VariationSource;
 use rotsv_mosfet::tech45::DriveStrength;
+use rotsv_num::SymbolicCache;
 use rotsv_spice::{
-    Circuit, IntegrationMethod, NodeId, PeriodMeasurement, SolverStats, SourceWaveform, SpiceError,
-    StepControl, TransientSpec, Waveform,
+    transient_batch, Circuit, IntegrationMethod, NodeId, PeriodMeasurement, SolverStats,
+    SourceWaveform, SpiceError, StepControl, TransientSpec, Waveform,
 };
 use rotsv_stdcell::CellBuilder;
 use rotsv_tsv::{Tsv, TsvFault, TsvModel, TsvTech};
@@ -302,6 +305,13 @@ impl RingOscillator {
         &self.circuit
     }
 
+    /// Shares a symbolic-analysis cache with this ring's transients:
+    /// runs over the same matrix sparsity pattern reuse one fill-in
+    /// analysis and pivot order instead of re-deriving them per run.
+    pub fn set_symbolic_cache(&mut self, cache: Arc<SymbolicCache>) {
+        self.circuit.set_symbolic_cache(cache);
+    }
+
     /// Simulates the ring and extracts the oscillation period.
     ///
     /// # Errors
@@ -332,24 +342,80 @@ impl RingOscillator {
         opts: &MeasureOpts,
     ) -> Result<(OscillationOutcome, SolverStats), SpiceError> {
         opts.validate();
-        let threshold = self.vdd / 2.0;
+        let res = self.circuit.transient(&self.measure_spec(opts))?;
+        Ok(self.extract_outcome(&res, opts))
+    }
+
+    /// The transient specification of one period measurement.
+    fn measure_spec(&self, opts: &MeasureOpts) -> TransientSpec {
         let needed = opts.skip_cycles + opts.cycles + 2;
-        let spec = TransientSpec::new(opts.max_time, opts.dt)
+        TransientSpec::new(opts.max_time, opts.dt)
             .record(&[self.probe])
             .method(opts.method)
             .step_control(opts.step)
-            .stop_after_rising(self.probe, threshold, needed);
-        let res = self.circuit.transient(&spec)?;
+            .stop_after_rising(self.probe, self.vdd / 2.0, needed)
+    }
+
+    /// Period extraction from a finished transient (shared by the scalar
+    /// and batched measurement paths).
+    fn extract_outcome(
+        &self,
+        res: &rotsv_spice::TransientResult,
+        opts: &MeasureOpts,
+    ) -> (OscillationOutcome, SolverStats) {
         let stats = res.stats();
         let wave = res.waveform(self.probe);
-        let outcome = match wave.period(threshold, opts.skip_cycles) {
+        let outcome = match wave.period(self.vdd / 2.0, opts.skip_cycles) {
             Some(m) => OscillationOutcome::Oscillating(m),
             None => OscillationOutcome::Stuck {
                 final_voltage: wave.final_value(),
                 swing: wave.max() - wave.min(),
             },
         };
-        Ok((outcome, stats))
+        (outcome, stats)
+    }
+
+    /// Measures `ros` — same-topology rings differing only in element
+    /// values (process variation, fault severity) — in one lockstep
+    /// batched transient ([`transient_batch`]): one shared symbolic
+    /// analysis, one Newton loop evaluating all lanes, per-lane
+    /// retirement as each ring's crossing count completes.
+    ///
+    /// Returns one `(outcome, stats)` per ring, in input order. Empty
+    /// input returns an empty vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; [`SpiceError::InvalidCircuit`] when
+    /// the rings are not topology-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts` is invalid or the rings disagree on V_DD or
+    /// probe node (different build configurations).
+    pub fn measure_batch_with_stats(
+        ros: &[&RingOscillator],
+        opts: &MeasureOpts,
+    ) -> Result<Vec<(OscillationOutcome, SolverStats)>, SpiceError> {
+        let Some(first) = ros.first() else {
+            return Ok(Vec::new());
+        };
+        opts.validate();
+        for ro in ros {
+            assert_eq!(ro.vdd, first.vdd, "batched rings must share V_DD");
+            assert_eq!(
+                ro.probe, first.probe,
+                "batched rings must share the probe node"
+            );
+        }
+        let spec = first.measure_spec(opts);
+        let circuits: Vec<&Circuit> = ros.iter().map(|ro| ro.circuit()).collect();
+        let results = transient_batch(&circuits, &spec)?;
+        Ok(ros
+            .iter()
+            .zip(&results)
+            .map(|(ro, res)| ro.extract_outcome(res, opts))
+            .collect())
     }
 
     /// Simulates the ring and returns the probe waveform (for plotting
@@ -480,6 +546,39 @@ mod tests {
                 .unwrap();
         let rel = (with_hidden_fault - clean).abs() / clean;
         assert!(rel < 0.01, "bypassed fault changed period by {rel}");
+    }
+
+    /// One lockstep batch over rings that differ only in fault severity
+    /// must agree with per-ring scalar measurements to well under the
+    /// engine's 0.5 % acceptance budget, while performing a single
+    /// symbolic analysis for the whole batch.
+    #[test]
+    fn batched_measure_matches_scalar() {
+        let opts = MeasureOpts::fast();
+        let configs: Vec<RoConfig> = [2000.0, 4000.0, 8000.0]
+            .iter()
+            .map(|&r| {
+                RoConfig::new(1, 1.1)
+                    .enable_only(&[0])
+                    .with_fault(0, TsvFault::Leakage { r: Ohms(r) })
+            })
+            .collect();
+        let ros: Vec<RingOscillator> = configs
+            .iter()
+            .map(|c| RingOscillator::build(c, &mut Nominal))
+            .collect();
+        let refs: Vec<&RingOscillator> = ros.iter().collect();
+        let batched = RingOscillator::measure_batch_with_stats(&refs, &opts).unwrap();
+        assert_eq!(batched.len(), ros.len());
+        let analyses: u64 = batched.iter().map(|(_, s)| s.symbolic_analyses).sum();
+        assert_eq!(analyses, 1, "one symbolic analysis for the whole batch");
+        for (ro, (outcome, _)) in ros.iter().zip(&batched) {
+            let scalar = ro.measure(&opts).unwrap();
+            let t_b = outcome.period().expect("batched lane oscillates");
+            let t_s = scalar.period().expect("scalar run oscillates");
+            let rel = (t_b - t_s).abs() / t_s;
+            assert!(rel < 5e-3, "batched {t_b} vs scalar {t_s} (rel {rel})");
+        }
     }
 
     #[test]

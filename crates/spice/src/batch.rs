@@ -1,0 +1,1478 @@
+//! Lane-batched transient analysis: K same-topology circuits in lockstep.
+//!
+//! A Monte-Carlo population simulates hundreds of dies that share one
+//! netlist and differ only in element *values* (process variation
+//! perturbs threshold voltages and geometries, never connectivity). The
+//! scalar engine pays the full per-transient cost per die; this module
+//! amortizes everything that depends on topology alone across a batch of
+//! K dies ("lanes"):
+//!
+//! * **one** symbolic LU analysis and pivot order for the whole batch
+//!   ([`rotsv_num::sparse::BatchedLu`]),
+//! * one stamp-coordinate walk and slot-replay sequence,
+//! * structure-of-arrays device evaluation
+//!   ([`crate::device::BatchedDeviceEval`]) with the lane index as the
+//!   innermost, branch-free loop so the compiler autovectorizes it.
+//!
+//! Time stepping is lockstep: every lane takes the same `dt`, chosen as
+//! the *minimum* over the active lanes' local-truncation-error proposals,
+//! and a step is redone when **any** active lane rejects it. Lanes whose
+//! stop condition fires *retire*: their solution is frozen, they stop
+//! recording and stop voting on `dt`, but their values keep riding along
+//! in the factorization (masked occupancy — the continuous-batching
+//! pattern). The `mc.batch_occupancy` histogram records the active
+//! fraction per accepted step so the cost of stragglers is observable.
+//!
+//! Numerics match the scalar engine's formulation exactly (same Newton
+//! delta form, damping, staleness policy, LTE test and step bounds); the
+//! results differ from scalar runs only through lockstep-`dt` coupling
+//! and the vectorized elementary functions, both far inside the cross-
+//! check tolerance the batched↔scalar agreement tests enforce.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rotsv_num::sparse::{BatchedLu, SolverStats, SparseMatrix, SymbolicCache, SymbolicLu};
+
+use crate::circuit::{Circuit, Element};
+use crate::device::{BatchedDeviceEval, DeviceStamp, NonlinearDevice};
+use crate::error::SpiceError;
+use crate::mna::{row_of, stamp_coords, NewtonOpts, STALL_RATIO};
+use crate::node::NodeId;
+use crate::source::SourceWaveform;
+use crate::transient::{
+    IntegrationMethod, StepControl, StopCondition, TransientResult, TransientSpec,
+};
+
+/// Per-element data precomputed at batch construction so `assemble`
+/// never re-matches enum variants per lane.
+enum BatchElem {
+    /// Per-lane conductances.
+    Resistor { a: NodeId, b: NodeId, g: Vec<f64> },
+    /// Values arrive per step through the companion array.
+    Capacitor { a: NodeId, b: NodeId },
+    /// Per-lane waveforms (lanes may drive different VDD levels).
+    VSource {
+        pos: NodeId,
+        neg: NodeId,
+        branch: usize,
+        waves: Vec<SourceWaveform>,
+    },
+    ISource {
+        from: NodeId,
+        to: NodeId,
+        waves: Vec<SourceWaveform>,
+    },
+    /// Index into the device table.
+    Device(usize),
+}
+
+/// How one nonlinear-device slot evaluates its K lanes.
+enum DeviceKind {
+    /// Structure-of-arrays lockstep kernel.
+    Batched(Box<dyn BatchedDeviceEval>),
+    /// Per-lane scalar fallback through [`NonlinearDevice::eval`].
+    PerLane(DeviceStamp),
+}
+
+/// One nonlinear-device slot across all lanes, with lane-interleaved
+/// scratch buffers.
+struct BatchDevice {
+    nodes: Vec<NodeId>,
+    kind: DeviceKind,
+    /// `terminals * k` trial voltages.
+    vbuf: Vec<f64>,
+    /// `terminals * k` terminal currents.
+    cbuf: Vec<f64>,
+    /// `terminals² * k` Jacobian entries, `[(r*t + c)*k + lane]`.
+    jbuf: Vec<f64>,
+}
+
+/// Reusable assembly/factorization workspace for a K-lane batch.
+struct BatchWorkspace {
+    k: usize,
+    n: usize,
+    n_node_unknowns: usize,
+    gmin: f64,
+    /// Shared sparsity pattern (values unused except as analysis probe).
+    pattern: SparseMatrix,
+    /// `nnz * k` lane-interleaved matrix values.
+    values: Vec<f64>,
+    /// `n * k` lane-interleaved right-hand side.
+    b: Vec<f64>,
+    /// CSR value-slot replay sequence, identical to the scalar engine's.
+    slots: Vec<usize>,
+    elems: Vec<BatchElem>,
+    devices: Vec<BatchDevice>,
+    lu: Option<BatchedLu>,
+    cache: Option<Arc<SymbolicCache>>,
+    stale_iters: usize,
+    last_factored: Vec<f64>,
+    /// `n * k` residual scratch.
+    resid: Vec<f64>,
+    /// `k` per-terminal rhs scratch.
+    rhs: Vec<f64>,
+    /// Per-lane work counters.
+    stats: Vec<SolverStats>,
+}
+
+/// Checks that every lane has the topology of lane 0: same nodes, same
+/// element sequence (kinds, terminals, branches), same gmin. Values
+/// (resistances, capacitances, waveforms, device parameters) may differ.
+fn validate_topology(ckts: &[&Circuit]) -> Result<(), SpiceError> {
+    let c0 = ckts[0];
+    for (lane, c) in ckts.iter().enumerate().skip(1) {
+        let mismatch = |what: &str| {
+            Err(SpiceError::InvalidCircuit(format!(
+                "batch lane {lane} differs from lane 0 in {what}"
+            )))
+        };
+        if c.node_count() != c0.node_count() {
+            return mismatch("node count");
+        }
+        if c.vsource_count() != c0.vsource_count() {
+            return mismatch("voltage-source count");
+        }
+        if c.element_count() != c0.element_count() {
+            return mismatch("element count");
+        }
+        if c.gmin() != c0.gmin() {
+            return mismatch("gmin");
+        }
+        for (ei, (e0, e)) in c0.elements.iter().zip(&c.elements).enumerate() {
+            let same = match (e0, e) {
+                (Element::Resistor { a, b, .. }, Element::Resistor { a: a2, b: b2, .. }) => {
+                    a == a2 && b == b2
+                }
+                (Element::Capacitor { a, b, .. }, Element::Capacitor { a: a2, b: b2, .. }) => {
+                    a == a2 && b == b2
+                }
+                (
+                    Element::VSource {
+                        pos, neg, branch, ..
+                    },
+                    Element::VSource {
+                        pos: p2,
+                        neg: n2,
+                        branch: b2,
+                        ..
+                    },
+                ) => pos == p2 && neg == n2 && branch == b2,
+                (
+                    Element::ISource { from, to, .. },
+                    Element::ISource {
+                        from: f2, to: t2, ..
+                    },
+                ) => from == f2 && to == t2,
+                (Element::Nonlinear(d0), Element::Nonlinear(d)) => d0.nodes() == d.nodes(),
+                _ => false,
+            };
+            if !same {
+                return mismatch(&format!("element {ei}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+impl BatchWorkspace {
+    fn new(ckts: &[&Circuit]) -> Result<Self, SpiceError> {
+        validate_topology(ckts)?;
+        let c0 = ckts[0];
+        let k = ckts.len();
+        let n = c0.unknown_count();
+        let coords = stamp_coords(c0);
+        let (pattern, slots) = SparseMatrix::from_coords(n, &coords);
+
+        let mut elems = Vec::with_capacity(c0.elements.len());
+        let mut devices = Vec::new();
+        for (ei, elem) in c0.elements.iter().enumerate() {
+            elems.push(match elem {
+                Element::Resistor { a, b, .. } => {
+                    let g = ckts
+                        .iter()
+                        .map(|c| match &c.elements[ei] {
+                            Element::Resistor { ohms, .. } => 1.0 / ohms,
+                            _ => unreachable!("validated topology"),
+                        })
+                        .collect();
+                    BatchElem::Resistor { a: *a, b: *b, g }
+                }
+                Element::Capacitor { a, b, .. } => BatchElem::Capacitor { a: *a, b: *b },
+                Element::VSource {
+                    pos, neg, branch, ..
+                } => {
+                    let waves = ckts
+                        .iter()
+                        .map(|c| match &c.elements[ei] {
+                            Element::VSource { wave, .. } => wave.clone(),
+                            _ => unreachable!("validated topology"),
+                        })
+                        .collect();
+                    BatchElem::VSource {
+                        pos: *pos,
+                        neg: *neg,
+                        branch: *branch,
+                        waves,
+                    }
+                }
+                Element::ISource { from, to, .. } => {
+                    let waves = ckts
+                        .iter()
+                        .map(|c| match &c.elements[ei] {
+                            Element::ISource { wave, .. } => wave.clone(),
+                            _ => unreachable!("validated topology"),
+                        })
+                        .collect();
+                    BatchElem::ISource {
+                        from: *from,
+                        to: *to,
+                        waves,
+                    }
+                }
+                Element::Nonlinear(d0) => {
+                    let lanes: Vec<&dyn NonlinearDevice> = ckts
+                        .iter()
+                        .map(|c| match &c.elements[ei] {
+                            Element::Nonlinear(d) => d.as_ref(),
+                            _ => unreachable!("validated topology"),
+                        })
+                        .collect();
+                    let nt = d0.nodes().len();
+                    let kind = match d0.batch_with(&lanes) {
+                        Some(b) => DeviceKind::Batched(b),
+                        None => DeviceKind::PerLane(DeviceStamp::new(nt)),
+                    };
+                    devices.push(BatchDevice {
+                        nodes: d0.nodes().to_vec(),
+                        kind,
+                        vbuf: vec![0.0; nt * k],
+                        cbuf: vec![0.0; nt * k],
+                        jbuf: vec![0.0; nt * nt * k],
+                    });
+                    BatchElem::Device(devices.len() - 1)
+                }
+            });
+        }
+
+        Ok(Self {
+            k,
+            n,
+            n_node_unknowns: c0.node_count() - 1,
+            gmin: c0.gmin(),
+            values: vec![0.0; pattern.nnz() * k],
+            b: vec![0.0; n * k],
+            pattern,
+            slots,
+            elems,
+            devices,
+            lu: None,
+            cache: c0.symbolic_cache().cloned(),
+            stale_iters: 0,
+            last_factored: Vec::new(),
+            resid: vec![0.0; n * k],
+            rhs: vec![0.0; k],
+            stats: vec![SolverStats::default(); k],
+        })
+    }
+
+    /// Adds per-lane values into one CSR slot.
+    #[inline]
+    fn add_lanes(values: &mut [f64], k: usize, slot: usize, g: &[f64], sign: f64) {
+        let dst = &mut values[slot * k..(slot + 1) * k];
+        for lane in 0..k {
+            dst[lane] += sign * g[lane];
+        }
+    }
+
+    /// Stamps a two-terminal conductance (per-lane values `g`) following
+    /// the scalar engine's slot order; returns the advanced cursor.
+    fn stamp_conductance(&mut self, mut cursor: usize, a: NodeId, b: NodeId, g: &[f64]) -> usize {
+        let k = self.k;
+        match (row_of(a), row_of(b)) {
+            (Some(_), Some(_)) => {
+                Self::add_lanes(&mut self.values, k, self.slots[cursor], g, 1.0);
+                Self::add_lanes(&mut self.values, k, self.slots[cursor + 1], g, 1.0);
+                Self::add_lanes(&mut self.values, k, self.slots[cursor + 2], g, -1.0);
+                Self::add_lanes(&mut self.values, k, self.slots[cursor + 3], g, -1.0);
+                cursor += 4;
+            }
+            (Some(_), None) | (None, Some(_)) => {
+                Self::add_lanes(&mut self.values, k, self.slots[cursor], g, 1.0);
+                cursor += 1;
+            }
+            (None, None) => {}
+        }
+        cursor
+    }
+
+    /// Monomorphized assembly for `K == self.k`: identical stamp order
+    /// and arithmetic to [`BatchWorkspace::assemble`], with const-length
+    /// lane loops that unroll and vectorize.
+    // Lane loops deliberately index several parallel arrays by `lane`;
+    // the iterator forms clippy suggests obscure that symmetry.
+    #[allow(clippy::needless_range_loop)]
+    fn assemble_k<const K: usize>(
+        &mut self,
+        ckts: &[&Circuit],
+        x: &[f64],
+        t: f64,
+        companions: &[(f64, f64)],
+    ) {
+        debug_assert_eq!(self.k, K);
+        self.values.fill(0.0);
+        self.b.fill(0.0);
+        let mut cursor = 0usize;
+        for _ in 0..self.n_node_unknowns {
+            let slot = self.slots[cursor];
+            let dst = &mut self.values[slot * K..(slot + 1) * K];
+            for lane in 0..K {
+                dst[lane] += self.gmin;
+            }
+            cursor += 1;
+        }
+        let mut cap_idx = 0usize;
+        // Move the element list out so `self` stays borrowable.
+        let elems = std::mem::take(&mut self.elems);
+        for (ei, elem) in elems.iter().enumerate() {
+            match elem {
+                BatchElem::Resistor { a, b, g } => {
+                    cursor = self.stamp_conductance_k::<K>(cursor, *a, *b, g);
+                }
+                BatchElem::Capacitor { a, b } => {
+                    let base = cap_idx * K;
+                    let mut g = [0.0; K];
+                    for lane in 0..K {
+                        g[lane] = companions[base + lane].0;
+                    }
+                    cursor = self.stamp_conductance_k::<K>(cursor, *a, *b, &g);
+                    if let Some(ra) = row_of(*a) {
+                        for lane in 0..K {
+                            self.b[ra * K + lane] -= companions[base + lane].1;
+                        }
+                    }
+                    if let Some(rb) = row_of(*b) {
+                        for lane in 0..K {
+                            self.b[rb * K + lane] += companions[base + lane].1;
+                        }
+                    }
+                    cap_idx += 1;
+                }
+                BatchElem::VSource {
+                    pos,
+                    neg,
+                    branch,
+                    waves,
+                } => {
+                    let rb = self.n_node_unknowns + branch;
+                    if row_of(*pos).is_some() {
+                        for s in [self.slots[cursor], self.slots[cursor + 1]] {
+                            for lane in 0..K {
+                                self.values[s * K + lane] += 1.0;
+                            }
+                        }
+                        cursor += 2;
+                    }
+                    if row_of(*neg).is_some() {
+                        for s in [self.slots[cursor], self.slots[cursor + 1]] {
+                            for lane in 0..K {
+                                self.values[s * K + lane] -= 1.0;
+                            }
+                        }
+                        cursor += 2;
+                    }
+                    for (lane, wave) in waves.iter().enumerate() {
+                        self.b[rb * K + lane] = wave.value(t);
+                    }
+                }
+                BatchElem::ISource { from, to, waves } => {
+                    for (lane, wave) in waves.iter().enumerate() {
+                        let i = wave.value(t);
+                        if let Some(rf) = row_of(*from) {
+                            self.b[rf * K + lane] -= i;
+                        }
+                        if let Some(rt) = row_of(*to) {
+                            self.b[rt * K + lane] += i;
+                        }
+                    }
+                }
+                BatchElem::Device(di) => {
+                    cursor = self.stamp_device_k::<K>(ckts, ei, *di, x, cursor);
+                }
+            }
+        }
+        self.elems = elems;
+        debug_assert_eq!(cursor, self.slots.len(), "stamp replay out of sync");
+    }
+
+    /// Monomorphized two-terminal conductance stamp (see
+    /// [`BatchWorkspace::stamp_conductance`]).
+    fn stamp_conductance_k<const K: usize>(
+        &mut self,
+        mut cursor: usize,
+        a: NodeId,
+        b: NodeId,
+        g: &[f64],
+    ) -> usize {
+        let g = &g[..K];
+        match (row_of(a), row_of(b)) {
+            (Some(_), Some(_)) => {
+                for (c, sign) in [(0, 1.0), (1, 1.0), (2, -1.0), (3, -1.0)] {
+                    let dst = &mut self.values[self.slots[cursor + c] * K..][..K];
+                    for lane in 0..K {
+                        dst[lane] += sign * g[lane];
+                    }
+                }
+                cursor += 4;
+            }
+            (Some(_), None) | (None, Some(_)) => {
+                let dst = &mut self.values[self.slots[cursor] * K..][..K];
+                for lane in 0..K {
+                    dst[lane] += g[lane];
+                }
+                cursor += 1;
+            }
+            (None, None) => {}
+        }
+        cursor
+    }
+
+    /// Monomorphized device stamp: gather, evaluate, Norton-accumulate
+    /// with the per-terminal right-hand side in `K` registers.
+    // Lane loops deliberately index several parallel arrays by `lane`;
+    // the iterator forms clippy suggests obscure that symmetry.
+    #[allow(clippy::needless_range_loop)]
+    fn stamp_device_k<const K: usize>(
+        &mut self,
+        ckts: &[&Circuit],
+        elem_idx: usize,
+        dev_idx: usize,
+        x: &[f64],
+        mut cursor: usize,
+    ) -> usize {
+        let dev = &mut self.devices[dev_idx];
+        let nt = dev.nodes.len();
+        for (ti, &node) in dev.nodes.iter().enumerate() {
+            match row_of(node) {
+                Some(r) => dev.vbuf[ti * K..(ti + 1) * K].copy_from_slice(&x[r * K..(r + 1) * K]),
+                None => dev.vbuf[ti * K..(ti + 1) * K].fill(0.0),
+            }
+        }
+        match &mut dev.kind {
+            DeviceKind::Batched(bank) => {
+                bank.eval_lanes(&dev.vbuf, &mut dev.cbuf, &mut dev.jbuf);
+            }
+            DeviceKind::PerLane(stamp) => {
+                let mut v = vec![0.0; nt];
+                for lane in 0..K {
+                    let Element::Nonlinear(d) = &ckts[lane].elements[elem_idx] else {
+                        unreachable!("validated topology");
+                    };
+                    for ti in 0..nt {
+                        v[ti] = dev.vbuf[ti * K + lane];
+                    }
+                    stamp.clear();
+                    d.eval(&v, stamp);
+                    for ti in 0..nt {
+                        dev.cbuf[ti * K + lane] = stamp.current[ti];
+                        for tj in 0..nt {
+                            dev.jbuf[(ti * nt + tj) * K + lane] = stamp.jacobian[(ti, tj)];
+                        }
+                    }
+                }
+            }
+        }
+        for (ti, &nk_node) in dev.nodes.iter().enumerate() {
+            let Some(rk) = row_of(nk_node) else { continue };
+            let mut rhs = [0.0; K];
+            for lane in 0..K {
+                rhs[lane] = -dev.cbuf[ti * K + lane];
+            }
+            for (tj, &nj_node) in dev.nodes.iter().enumerate() {
+                let jbase = (ti * nt + tj) * K;
+                let jrow = &dev.jbuf[jbase..jbase + K];
+                let vrow = &dev.vbuf[tj * K..(tj + 1) * K];
+                for lane in 0..K {
+                    rhs[lane] += jrow[lane] * vrow[lane];
+                }
+                if row_of(nj_node).is_some() {
+                    let slot = self.slots[cursor];
+                    cursor += 1;
+                    let dst = &mut self.values[slot * K..(slot + 1) * K];
+                    for lane in 0..K {
+                        dst[lane] += jrow[lane];
+                    }
+                }
+            }
+            for lane in 0..K {
+                self.b[rk * K + lane] += rhs[lane];
+            }
+        }
+        cursor
+    }
+
+    /// Assembles all lanes at the interleaved iterate `x` and time `t`.
+    /// `companions[cap*k + lane]` holds the Norton `(geq, ieq)` pair of
+    /// each capacitor (always companion mode: a batched run is always a
+    /// transient).
+    // Lane loops deliberately index several parallel arrays by `lane`;
+    // the iterator forms clippy suggests obscure that symmetry.
+    #[allow(clippy::needless_range_loop)]
+    fn assemble(&mut self, ckts: &[&Circuit], x: &[f64], t: f64, companions: &[(f64, f64)]) {
+        let k = self.k;
+        self.values.fill(0.0);
+        self.b.fill(0.0);
+        let mut cursor = 0usize;
+        for _ in 0..self.n_node_unknowns {
+            let slot = self.slots[cursor];
+            let dst = &mut self.values[slot * k..(slot + 1) * k];
+            for lane in 0..k {
+                dst[lane] += self.gmin;
+            }
+            cursor += 1;
+        }
+        let mut cap_idx = 0usize;
+        // Move the element list out so `self` stays borrowable.
+        let elems = std::mem::take(&mut self.elems);
+        for (ei, elem) in elems.iter().enumerate() {
+            match elem {
+                BatchElem::Resistor { a, b, g } => {
+                    cursor = self.stamp_conductance(cursor, *a, *b, g);
+                }
+                BatchElem::Capacitor { a, b } => {
+                    let base = cap_idx * k;
+                    // Reuse the rhs scratch to carry per-lane geq.
+                    for lane in 0..k {
+                        self.rhs[lane] = companions[base + lane].0;
+                    }
+                    let g = std::mem::take(&mut self.rhs);
+                    cursor = self.stamp_conductance(cursor, *a, *b, &g);
+                    self.rhs = g;
+                    if let Some(ra) = row_of(*a) {
+                        for lane in 0..k {
+                            self.b[ra * k + lane] -= companions[base + lane].1;
+                        }
+                    }
+                    if let Some(rb) = row_of(*b) {
+                        for lane in 0..k {
+                            self.b[rb * k + lane] += companions[base + lane].1;
+                        }
+                    }
+                    cap_idx += 1;
+                }
+                BatchElem::VSource {
+                    pos,
+                    neg,
+                    branch,
+                    waves,
+                } => {
+                    let rb = self.n_node_unknowns + branch;
+                    if row_of(*pos).is_some() {
+                        for s in [self.slots[cursor], self.slots[cursor + 1]] {
+                            for lane in 0..k {
+                                self.values[s * k + lane] += 1.0;
+                            }
+                        }
+                        cursor += 2;
+                    }
+                    if row_of(*neg).is_some() {
+                        for s in [self.slots[cursor], self.slots[cursor + 1]] {
+                            for lane in 0..k {
+                                self.values[s * k + lane] -= 1.0;
+                            }
+                        }
+                        cursor += 2;
+                    }
+                    for (lane, wave) in waves.iter().enumerate() {
+                        self.b[rb * k + lane] = wave.value(t);
+                    }
+                }
+                BatchElem::ISource { from, to, waves } => {
+                    for (lane, wave) in waves.iter().enumerate() {
+                        let i = wave.value(t);
+                        if let Some(rf) = row_of(*from) {
+                            self.b[rf * k + lane] -= i;
+                        }
+                        if let Some(rt) = row_of(*to) {
+                            self.b[rt * k + lane] += i;
+                        }
+                    }
+                }
+                BatchElem::Device(di) => {
+                    cursor = self.stamp_device(ckts, ei, *di, x, cursor);
+                }
+            }
+        }
+        self.elems = elems;
+        debug_assert_eq!(cursor, self.slots.len(), "stamp replay out of sync");
+    }
+
+    /// Evaluates and stamps one device slot across all lanes.
+    // Lane loops deliberately index several parallel arrays by `lane`;
+    // the iterator forms clippy suggests obscure that symmetry.
+    #[allow(clippy::needless_range_loop)]
+    fn stamp_device(
+        &mut self,
+        ckts: &[&Circuit],
+        elem_idx: usize,
+        dev_idx: usize,
+        x: &[f64],
+        mut cursor: usize,
+    ) -> usize {
+        let k = self.k;
+        let dev = &mut self.devices[dev_idx];
+        let nt = dev.nodes.len();
+        // Gather lane-interleaved terminal voltages.
+        for (ti, &node) in dev.nodes.iter().enumerate() {
+            match row_of(node) {
+                Some(r) => dev.vbuf[ti * k..(ti + 1) * k].copy_from_slice(&x[r * k..(r + 1) * k]),
+                None => dev.vbuf[ti * k..(ti + 1) * k].fill(0.0),
+            }
+        }
+        match &mut dev.kind {
+            DeviceKind::Batched(bank) => {
+                bank.eval_lanes(&dev.vbuf, &mut dev.cbuf, &mut dev.jbuf);
+            }
+            DeviceKind::PerLane(stamp) => {
+                let mut v = vec![0.0; nt];
+                for lane in 0..k {
+                    let Element::Nonlinear(d) = &ckts[lane].elements[elem_idx] else {
+                        unreachable!("validated topology");
+                    };
+                    for ti in 0..nt {
+                        v[ti] = dev.vbuf[ti * k + lane];
+                    }
+                    stamp.clear();
+                    d.eval(&v, stamp);
+                    for ti in 0..nt {
+                        dev.cbuf[ti * k + lane] = stamp.current[ti];
+                        for tj in 0..nt {
+                            dev.jbuf[(ti * nt + tj) * k + lane] = stamp.jacobian[(ti, tj)];
+                        }
+                    }
+                }
+            }
+        }
+        // Norton linearization, lane loops innermost (see the scalar
+        // engine for the formulation).
+        for (ti, &nk_node) in dev.nodes.iter().enumerate() {
+            let Some(rk) = row_of(nk_node) else { continue };
+            for lane in 0..k {
+                self.rhs[lane] = -dev.cbuf[ti * k + lane];
+            }
+            for (tj, &nj_node) in dev.nodes.iter().enumerate() {
+                let jbase = (ti * nt + tj) * k;
+                for lane in 0..k {
+                    self.rhs[lane] += dev.jbuf[jbase + lane] * dev.vbuf[tj * k + lane];
+                }
+                if row_of(nj_node).is_some() {
+                    let slot = self.slots[cursor];
+                    cursor += 1;
+                    let dst = &mut self.values[slot * k..(slot + 1) * k];
+                    for lane in 0..k {
+                        dst[lane] += dev.jbuf[jbase + lane];
+                    }
+                }
+            }
+            for lane in 0..k {
+                self.b[rk * k + lane] += self.rhs[lane];
+            }
+        }
+        cursor
+    }
+
+    /// (Re)factors the current lane values.
+    ///
+    /// Counter attribution keeps population sums meaningful: symbolic
+    /// analyses are charged to lane 0 only (the batch performs
+    /// O(topologies) analyses, not O(lanes)), while factorizations are
+    /// charged to every *active* lane (each lane's values were factored).
+    fn refactor(&mut self, t: f64, active: &[bool]) -> Result<(), SpiceError> {
+        if self.lu.is_some() && self.last_factored == self.values {
+            self.stale_iters = 0;
+            return Ok(());
+        }
+        let map_err = |source| SpiceError::SingularSystem { time: t, source };
+        if self.lu.is_none() {
+            // First factorization: analyze (or fetch from the shared
+            // cache) using lane 0's values as the probe. Every lane
+            // shares the pattern, so the pivot order transfers; a lane
+            // it fails for triggers BatchedLu's internal re-analysis.
+            let mut probe = self.pattern.clone();
+            probe.zero_values();
+            for s in 0..self.pattern.nnz() {
+                probe.add_slot(s, self.values[s * self.k]);
+            }
+            let (sym, analyses) = match &self.cache {
+                Some(cache) => {
+                    let (sym, fresh) = cache.symbolic_for(&probe).map_err(map_err)?;
+                    (sym, u64::from(fresh))
+                }
+                None => (Arc::new(SymbolicLu::analyze(&probe).map_err(map_err)?), 1),
+            };
+            self.stats[0].symbolic_analyses += analyses;
+            self.lu = Some(BatchedLu::new(sym, self.k));
+        }
+        let lu = self.lu.as_mut().expect("installed above");
+        let reanalyses = lu.refactor(&self.pattern, &self.values).map_err(map_err)?;
+        self.stats[0].symbolic_analyses += reanalyses;
+        for (lane, stats) in self.stats.iter_mut().enumerate() {
+            if active[lane] {
+                stats.factorizations += 1;
+            }
+        }
+        self.stale_iters = 0;
+        self.last_factored.clear();
+        self.last_factored.extend_from_slice(&self.values);
+        Ok(())
+    }
+}
+
+/// Runs the lockstep Newton iteration for one trial step.
+///
+/// `x` holds the lane-interleaved iterate and is updated in place for
+/// *active* lanes only (retired lanes stay frozen). Returns `Ok(true)`
+/// when every active lane converged, `Ok(false)` for plain
+/// non-convergence (the caller halves the step, as in the scalar
+/// engine).
+fn newton_batch(
+    ws: &mut BatchWorkspace,
+    ckts: &[&Circuit],
+    x: &mut [f64],
+    t: f64,
+    companions: &[(f64, f64)],
+    active: &[bool],
+    opts: &NewtonOpts,
+) -> Result<bool, SpiceError> {
+    let _span = rotsv_obs::span!("newton_batch", "k" = ws.k);
+    // Monomorphized hot path for the common batch widths; the dynamic
+    // body below is the fallback (and the reference: each pair of arms
+    // performs bit-identical arithmetic in the same order).
+    match ws.k {
+        1 => return newton_batch_k::<1>(ws, ckts, x, t, companions, active, opts),
+        2 => return newton_batch_k::<2>(ws, ckts, x, t, companions, active, opts),
+        3 => return newton_batch_k::<3>(ws, ckts, x, t, companions, active, opts),
+        4 => return newton_batch_k::<4>(ws, ckts, x, t, companions, active, opts),
+        5 => return newton_batch_k::<5>(ws, ckts, x, t, companions, active, opts),
+        6 => return newton_batch_k::<6>(ws, ckts, x, t, companions, active, opts),
+        7 => return newton_batch_k::<7>(ws, ckts, x, t, companions, active, opts),
+        8 => return newton_batch_k::<8>(ws, ckts, x, t, companions, active, opts),
+        16 => return newton_batch_k::<16>(ws, ckts, x, t, companions, active, opts),
+        _ => {}
+    }
+    let k = ws.k;
+    let n = ws.n;
+    let n_nodes = ws.n_node_unknowns;
+    let mut prev_rnorm = vec![f64::INFINITY; k];
+    let mut rnorm = vec![0.0f64; k];
+    let mut prev_damped = false;
+    let mut delta = vec![0.0f64; n * k];
+    for _ in 0..opts.max_iterations {
+        for (lane, stats) in ws.stats.iter_mut().enumerate() {
+            if active[lane] {
+                stats.newton_iterations += 1;
+            }
+        }
+        ws.assemble(ckts, x, t, companions);
+        // Residual r = b − A·x per lane.
+        let mut resid = std::mem::take(&mut ws.resid);
+        ws.pattern.mul_vec_lanes_into(&ws.values, k, x, &mut resid);
+        for (ri, bi) in resid.iter_mut().zip(&ws.b) {
+            *ri = *bi - *ri;
+        }
+        rnorm.fill(0.0);
+        for i in 0..n {
+            for (lane, rn) in rnorm.iter_mut().enumerate() {
+                *rn = rn.max(resid[i * k + lane].abs());
+            }
+        }
+        // Stall/refresh policy is batch-wide: the factorization is
+        // shared, so any active lane's stall refreshes all lanes.
+        let stalled = !prev_damped
+            && active
+                .iter()
+                .zip(rnorm.iter().zip(&prev_rnorm))
+                .any(|(&a, (&rn, &prn))| a && rn > STALL_RATIO * prn);
+        if ws.lu.is_none() || ws.stale_iters >= opts.max_stale || stalled || prev_damped {
+            if let Err(e) = ws.refactor(t, active) {
+                ws.resid = resid;
+                return Err(e);
+            }
+        } else {
+            ws.stale_iters += 1;
+        }
+        delta.copy_from_slice(&resid);
+        ws.resid = resid;
+        ws.lu
+            .as_mut()
+            .expect("factorization exists after refactor")
+            .solve_in_place(&mut delta);
+        for (lane, stats) in ws.stats.iter_mut().enumerate() {
+            if active[lane] {
+                stats.solves += 1;
+            }
+        }
+        prev_rnorm.copy_from_slice(&rnorm);
+
+        let mut all_converged = true;
+        let mut any_damped = false;
+        let mut scale = vec![1.0f64; k];
+        for (lane, &is_active) in active.iter().enumerate() {
+            if !is_active {
+                continue;
+            }
+            let mut max_dv = 0.0f64;
+            let mut finite = true;
+            for i in 0..n {
+                let d = delta[i * k + lane];
+                finite &= d.is_finite();
+                if i < n_nodes {
+                    max_dv = max_dv.max(d.abs());
+                }
+            }
+            if !finite {
+                return Ok(false);
+            }
+            let mut converged = max_dv <= opts.v_abstol;
+            if !converged {
+                converged = (0..n_nodes).all(|i| {
+                    let d = delta[i * k + lane];
+                    d.abs() <= opts.v_abstol + opts.reltol * (x[i * k + lane] + d).abs()
+                });
+            }
+            all_converged &= converged;
+            if max_dv > opts.v_step_limit {
+                any_damped = true;
+                scale[lane] = opts.v_step_limit / max_dv;
+            }
+        }
+        if all_converged {
+            for (lane, &is_active) in active.iter().enumerate() {
+                if is_active {
+                    for i in 0..n {
+                        x[i * k + lane] += delta[i * k + lane];
+                    }
+                }
+            }
+            return Ok(true);
+        }
+        for (lane, &is_active) in active.iter().enumerate() {
+            if is_active {
+                let s = scale[lane];
+                for i in 0..n {
+                    x[i * k + lane] += s * delta[i * k + lane];
+                }
+            }
+        }
+        prev_damped = any_damped;
+    }
+    Ok(false)
+}
+
+/// Monomorphized body of [`newton_batch`] for `K == ws.k`: per-lane
+/// norms and damping scales live in `K`-element register arrays and all
+/// lane loops have const trip counts.
+fn newton_batch_k<const K: usize>(
+    ws: &mut BatchWorkspace,
+    ckts: &[&Circuit],
+    x: &mut [f64],
+    t: f64,
+    companions: &[(f64, f64)],
+    active: &[bool],
+    opts: &NewtonOpts,
+) -> Result<bool, SpiceError> {
+    debug_assert_eq!(ws.k, K);
+    let n = ws.n;
+    let n_nodes = ws.n_node_unknowns;
+    let mut prev_rnorm = [f64::INFINITY; K];
+    let mut prev_damped = false;
+    let mut delta = vec![0.0f64; n * K];
+    for _ in 0..opts.max_iterations {
+        for (lane, stats) in ws.stats.iter_mut().enumerate() {
+            if active[lane] {
+                stats.newton_iterations += 1;
+            }
+        }
+        ws.assemble_k::<K>(ckts, x, t, companions);
+        // Residual r = b − A·x per lane.
+        let mut resid = std::mem::take(&mut ws.resid);
+        ws.pattern.mul_vec_lanes_into(&ws.values, K, x, &mut resid);
+        for (ri, bi) in resid.iter_mut().zip(&ws.b) {
+            *ri = *bi - *ri;
+        }
+        let mut rnorm = [0.0f64; K];
+        for i in 0..n {
+            for (lane, rn) in rnorm.iter_mut().enumerate() {
+                *rn = rn.max(resid[i * K + lane].abs());
+            }
+        }
+        // Stall/refresh policy is batch-wide: the factorization is
+        // shared, so any active lane's stall refreshes all lanes.
+        let stalled = !prev_damped
+            && active
+                .iter()
+                .zip(rnorm.iter().zip(&prev_rnorm))
+                .any(|(&a, (&rn, &prn))| a && rn > STALL_RATIO * prn);
+        if ws.lu.is_none() || ws.stale_iters >= opts.max_stale || stalled || prev_damped {
+            if let Err(e) = ws.refactor(t, active) {
+                ws.resid = resid;
+                return Err(e);
+            }
+        } else {
+            ws.stale_iters += 1;
+        }
+        delta.copy_from_slice(&resid);
+        ws.resid = resid;
+        ws.lu
+            .as_mut()
+            .expect("factorization exists after refactor")
+            .solve_in_place(&mut delta);
+        for (lane, stats) in ws.stats.iter_mut().enumerate() {
+            if active[lane] {
+                stats.solves += 1;
+            }
+        }
+        prev_rnorm = rnorm;
+
+        let mut all_converged = true;
+        let mut any_damped = false;
+        let mut scale = [1.0f64; K];
+        for (lane, &is_active) in active.iter().enumerate() {
+            if !is_active {
+                continue;
+            }
+            let mut max_dv = 0.0f64;
+            let mut finite = true;
+            for i in 0..n {
+                let d = delta[i * K + lane];
+                finite &= d.is_finite();
+                if i < n_nodes {
+                    max_dv = max_dv.max(d.abs());
+                }
+            }
+            if !finite {
+                return Ok(false);
+            }
+            let mut converged = max_dv <= opts.v_abstol;
+            if !converged {
+                converged = (0..n_nodes).all(|i| {
+                    let d = delta[i * K + lane];
+                    d.abs() <= opts.v_abstol + opts.reltol * (x[i * K + lane] + d).abs()
+                });
+            }
+            all_converged &= converged;
+            if max_dv > opts.v_step_limit {
+                any_damped = true;
+                scale[lane] = opts.v_step_limit / max_dv;
+            }
+        }
+        if all_converged {
+            for (lane, &is_active) in active.iter().enumerate() {
+                if is_active {
+                    for i in 0..n {
+                        x[i * K + lane] += delta[i * K + lane];
+                    }
+                }
+            }
+            return Ok(true);
+        }
+        for (lane, &is_active) in active.iter().enumerate() {
+            if is_active {
+                let s = scale[lane];
+                for i in 0..n {
+                    x[i * K + lane] += s * delta[i * K + lane];
+                }
+            }
+        }
+        prev_damped = any_damped;
+    }
+    Ok(false)
+}
+
+/// Per-lane capacitor history (voltage across and branch current).
+#[derive(Clone, Copy, Default)]
+struct CapLane {
+    v: f64,
+    i: f64,
+}
+
+/// Runs one transient analysis over `ckts.len()` same-topology circuits
+/// in lockstep, returning one [`TransientResult`] per lane.
+///
+/// All lanes share `spec` (grid, stop condition, recorded nodes); lanes
+/// differ through their circuits' element values. Per-lane
+/// [`SolverStats`] attribute symbolic analyses to lane 0 only and split
+/// wall time equally, so summing lanes matches the batch totals.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::InvalidCircuit`] when the lanes' topologies
+/// differ, [`SpiceError::InvalidSpec`] for a bad grid or a
+/// `start_from_dcop` request (the batched engine starts from
+/// `initial_voltages` only — ring measurements never use a dcop seed),
+/// and the scalar engine's convergence/singularity errors otherwise.
+pub fn transient_batch(
+    ckts: &[&Circuit],
+    spec: &TransientSpec,
+) -> Result<Vec<TransientResult>, SpiceError> {
+    if ckts.is_empty() {
+        return Ok(Vec::new());
+    }
+    let k = ckts.len();
+    let span = rotsv_obs::span!("transient_batch", "k" = k);
+    let _ = &span;
+    if spec.dt <= 0.0 || !spec.dt.is_finite() {
+        return Err(SpiceError::InvalidSpec(format!(
+            "time step must be positive, got {}",
+            spec.dt
+        )));
+    }
+    if spec.t_stop <= 0.0 || !spec.t_stop.is_finite() {
+        return Err(SpiceError::InvalidSpec(format!(
+            "stop time must be positive, got {}",
+            spec.t_stop
+        )));
+    }
+    if spec.start_from_dcop {
+        return Err(SpiceError::InvalidSpec(
+            "batched transient does not support start_from_dcop".into(),
+        ));
+    }
+    if let StepControl::Adaptive(c) = &spec.step {
+        let sane = c.lte_reltol > 0.0
+            && c.lte_abstol > 0.0
+            && c.min_shrink > 0.0
+            && c.min_shrink <= 1.0
+            && c.max_stretch >= 1.0
+            && c.max_growth > 1.0
+            && c.reject_threshold >= 1.0;
+        if !sane {
+            return Err(SpiceError::InvalidSpec(format!(
+                "inconsistent adaptive step control: {c:?}"
+            )));
+        }
+    }
+    for &(node, _) in &spec.initial_voltages {
+        if node.index() >= ckts[0].node_count() {
+            return Err(SpiceError::InvalidCircuit(format!(
+                "initial condition on unknown node {node}"
+            )));
+        }
+    }
+
+    let mut ws = BatchWorkspace::new(ckts)?;
+    let wall_start = Instant::now();
+    let n = ws.n;
+    let n_node_unknowns = ws.n_node_unknowns;
+
+    // Initial iterate: every lane starts from the same initial voltages.
+    let mut x = vec![0.0f64; n * k];
+    for &(node, v) in &spec.initial_voltages {
+        if let Some(r) = row_of(node) {
+            for lane in 0..k {
+                x[r * k + lane] = v;
+            }
+        }
+    }
+
+    // Per-lane capacitor state and values, cap-major lane-interleaved.
+    let cap_nodes: Vec<(NodeId, NodeId)> = ckts[0]
+        .elements
+        .iter()
+        .filter_map(|e| match e {
+            Element::Capacitor { a, b, .. } => Some((*a, *b)),
+            _ => None,
+        })
+        .collect();
+    let n_caps = cap_nodes.len();
+    let mut farads = vec![0.0f64; n_caps * k];
+    for (lane, c) in ckts.iter().enumerate() {
+        let mut ci = 0usize;
+        for e in &c.elements {
+            if let Element::Capacitor { farads: f, .. } = e {
+                farads[ci * k + lane] = *f;
+                ci += 1;
+            }
+        }
+    }
+    let lane_voltage = |x: &[f64], node: NodeId, lane: usize| -> f64 {
+        match row_of(node) {
+            Some(r) => x[r * k + lane],
+            None => 0.0,
+        }
+    };
+    let mut caps = vec![CapLane::default(); n_caps * k];
+    for (ci, &(a, b)) in cap_nodes.iter().enumerate() {
+        for lane in 0..k {
+            caps[ci * k + lane].v = lane_voltage(&x, a, lane) - lane_voltage(&x, b, lane);
+        }
+    }
+    let mut companions = vec![(0.0f64, 0.0f64); n_caps * k];
+
+    // Per-lane recording.
+    let record_nodes: Vec<NodeId> = if spec.record_nodes.is_empty() {
+        (0..ckts[0].node_count()).map(NodeId).collect()
+    } else {
+        let mut nodes = spec.record_nodes.clone();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    };
+    let mut time: Vec<Vec<f64>> = vec![Vec::new(); k];
+    let mut columns: Vec<BTreeMap<NodeId, Vec<f64>>> = (0..k)
+        .map(|_| record_nodes.iter().map(|&nd| (nd, Vec::new())).collect())
+        .collect();
+    let mut current_columns: Vec<BTreeMap<usize, Vec<f64>>> = (0..k)
+        .map(|_| {
+            spec.record_currents
+                .iter()
+                .map(|vs| (vs.0, Vec::new()))
+                .collect()
+        })
+        .collect();
+    let record_lane = |lane: usize,
+                       t: f64,
+                       x: &[f64],
+                       time: &mut [Vec<f64>],
+                       columns: &mut [BTreeMap<NodeId, Vec<f64>>],
+                       currents: &mut [BTreeMap<usize, Vec<f64>>]| {
+        time[lane].push(t);
+        for (&node, col) in columns[lane].iter_mut() {
+            col.push(match row_of(node) {
+                Some(r) => x[r * k + lane],
+                None => 0.0,
+            });
+        }
+        for (&branch, col) in currents[lane].iter_mut() {
+            col.push(x[(n_node_unknowns + branch) * k + lane]);
+        }
+    };
+    for lane in 0..k {
+        record_lane(lane, 0.0, &x, &mut time, &mut columns, &mut current_columns);
+    }
+
+    // Per-lane stop/retirement tracking.
+    let mut active = vec![true; k];
+    let mut stopped_early = vec![false; k];
+    let mut steps_taken = vec![0usize; k];
+    let mut crossings_seen = vec![0usize; k];
+    let mut stop_prev: Vec<Option<f64>> = (0..k)
+        .map(|lane| {
+            spec.stop
+                .as_ref()
+                .map(|StopCondition::RisingCrossings { node, .. }| lane_voltage(&x, *node, lane))
+        })
+        .collect();
+    let occupancy_hist =
+        rotsv_obs::metrics_enabled().then(|| rotsv_obs::histogram("mc.batch_occupancy"));
+
+    let opts = NewtonOpts {
+        max_iterations: spec.max_newton,
+        ..NewtonOpts::default()
+    };
+    let adaptive = match spec.step {
+        StepControl::Fixed => None,
+        StepControl::Adaptive(c) => Some(c),
+    };
+    let dt_min = adaptive.map_or(spec.dt, |c| spec.dt * c.min_shrink);
+    let dt_max = adaptive.map_or(spec.dt, |c| spec.dt * c.max_stretch);
+    let mut dt_next = spec.dt;
+    let mut hist: Option<(Vec<f64>, f64)> = None;
+
+    let mut t = 0.0f64;
+    let mut steps = 0usize;
+    const MAX_HALVINGS: u32 = 12;
+
+    'outer: while t < spec.t_stop - 1e-18 && active.iter().any(|&a| a) {
+        let mut dt_try = dt_next.min(spec.t_stop - t);
+        let mut halvings = 0u32;
+        loop {
+            let use_trap = spec.method == IntegrationMethod::Trapezoidal && steps >= 2;
+            for (idx, comp) in companions.iter_mut().enumerate() {
+                let c = caps[idx];
+                let f = farads[idx];
+                *comp = if f == 0.0 {
+                    (0.0, 0.0)
+                } else if use_trap {
+                    let geq = 2.0 * f / dt_try;
+                    (geq, -(geq * c.v + c.i))
+                } else {
+                    let geq = f / dt_try;
+                    (geq, -geq * c.v)
+                };
+            }
+            let t_next = t + dt_try;
+            // Linear extrapolation start, per active lane; retired lanes
+            // stay at their frozen solution.
+            let mut x_try = x.clone();
+            if let Some((x_prev, dt_prev)) = &hist {
+                if steps >= 2 {
+                    let scale = dt_try / dt_prev;
+                    for i in 0..n {
+                        for (lane, &is_active) in active.iter().enumerate() {
+                            if is_active {
+                                let xi = x[i * k + lane];
+                                x_try[i * k + lane] = xi + (xi - x_prev[i * k + lane]) * scale;
+                            }
+                        }
+                    }
+                }
+            }
+            match newton_batch(
+                &mut ws,
+                ckts,
+                &mut x_try,
+                t_next,
+                &companions,
+                &active,
+                &opts,
+            ) {
+                Ok(true) => {
+                    // LTE test: worst scaled error over the active lanes;
+                    // the shared dt is effectively min over lane proposals.
+                    if let (Some(c), Some((x_prev, dt_prev))) = (adaptive.as_ref(), hist.as_ref()) {
+                        if steps >= 2 {
+                            let scale = dt_try / dt_prev;
+                            let mut err = 0.0f64;
+                            for i in 0..n_node_unknowns {
+                                for (lane, &is_active) in active.iter().enumerate() {
+                                    if !is_active {
+                                        continue;
+                                    }
+                                    let xi = x[i * k + lane];
+                                    let pred = xi + (xi - x_prev[i * k + lane]) * scale;
+                                    let sol = x_try[i * k + lane];
+                                    let tol = c.lte_abstol + c.lte_reltol * sol.abs().max(xi.abs());
+                                    err = err.max((sol - pred).abs() / tol);
+                                }
+                            }
+                            if err > c.reject_threshold && dt_try > dt_min * (1.0 + 1e-9) {
+                                for (lane, stats) in ws.stats.iter_mut().enumerate() {
+                                    if active[lane] {
+                                        stats.steps_rejected += 1;
+                                    }
+                                }
+                                dt_try = (dt_try * (0.9 / err.sqrt()).clamp(0.1, 0.5)).max(dt_min);
+                                continue;
+                            }
+                            let grow = (0.9 / err.max(1e-12).sqrt()).min(c.max_growth);
+                            dt_next = (dt_try * grow).clamp(dt_min, dt_max);
+                        }
+                    }
+                    for (ci, &(a, b)) in cap_nodes.iter().enumerate() {
+                        for (lane, &is_active) in active.iter().enumerate() {
+                            if !is_active {
+                                continue;
+                            }
+                            let idx = ci * k + lane;
+                            let v_new =
+                                lane_voltage(&x_try, a, lane) - lane_voltage(&x_try, b, lane);
+                            let (geq, ieq) = companions[idx];
+                            caps[idx].i = geq * v_new + ieq;
+                            caps[idx].v = v_new;
+                        }
+                    }
+                    hist = Some((std::mem::replace(&mut x, x_try), dt_try));
+                    t = t_next;
+                    steps += 1;
+                    let n_active = active.iter().filter(|&&a| a).count();
+                    if let Some(h) = &occupancy_hist {
+                        h.observe(n_active as f64 / k as f64);
+                    }
+                    for lane in 0..k {
+                        if !active[lane] {
+                            continue;
+                        }
+                        ws.stats[lane].steps_accepted += 1;
+                        steps_taken[lane] += 1;
+                        record_lane(lane, t, &x, &mut time, &mut columns, &mut current_columns);
+                        if let Some(StopCondition::RisingCrossings {
+                            node,
+                            threshold,
+                            count,
+                        }) = &spec.stop
+                        {
+                            let v_now = lane_voltage(&x, *node, lane);
+                            let prev = stop_prev[lane].replace(v_now).unwrap_or(v_now);
+                            if prev < *threshold && v_now >= *threshold {
+                                crossings_seen[lane] += 1;
+                                if crossings_seen[lane] >= *count {
+                                    // Retire: freeze the lane, stop
+                                    // recording, stop voting on dt.
+                                    stopped_early[lane] = true;
+                                    active[lane] = false;
+                                }
+                            }
+                        }
+                    }
+                    if !active.iter().any(|&a| a) {
+                        break 'outer;
+                    }
+                    break;
+                }
+                Ok(false) => {
+                    for (lane, stats) in ws.stats.iter_mut().enumerate() {
+                        if active[lane] {
+                            stats.steps_rejected += 1;
+                        }
+                    }
+                    if adaptive.is_some() {
+                        if dt_try <= dt_min * (1.0 + 1e-9) {
+                            return Err(SpiceError::NoConvergence {
+                                analysis: "transient_batch",
+                                time: t_next,
+                                iterations: opts.max_iterations,
+                            });
+                        }
+                        dt_try = (dt_try * 0.5).max(dt_min);
+                    } else {
+                        halvings += 1;
+                        if halvings > MAX_HALVINGS {
+                            return Err(SpiceError::NoConvergence {
+                                analysis: "transient_batch",
+                                time: t_next,
+                                iterations: opts.max_iterations,
+                            });
+                        }
+                        dt_try *= 0.5;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // Wall time split equally: lanes ran in lockstep, so each lane's
+    // share of the batch is 1/k (summing lanes matches the batch total).
+    let wall = wall_start.elapsed().as_secs_f64();
+    let mut out = Vec::with_capacity(k);
+    for (lane, ((time, columns), current_columns)) in time
+        .into_iter()
+        .zip(columns)
+        .zip(current_columns)
+        .enumerate()
+    {
+        let mut stats = ws.stats[lane];
+        stats.wall_seconds = wall / k as f64;
+        out.push(TransientResult::from_parts(
+            time,
+            columns,
+            current_columns,
+            stopped_early[lane],
+            steps_taken[lane],
+            stats,
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceWaveform;
+    use crate::transient::TransientSpec;
+
+    fn rc_circuit(r: f64, c: f64) -> (Circuit, NodeId) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.add_vsource(vin, Circuit::GROUND, SourceWaveform::dc(1.0));
+        ckt.add_resistor(vin, vout, r);
+        ckt.add_capacitor(vout, Circuit::GROUND, c);
+        (ckt, vout)
+    }
+
+    #[test]
+    fn batched_rc_matches_scalar_per_lane() {
+        // Three RC lanes with different time constants; fixed grid so the
+        // scalar and batched runs share every time point exactly.
+        let lanes = [(1e3, 1e-9), (1.3e3, 1e-9), (1e3, 0.7e-9)];
+        let built: Vec<(Circuit, NodeId)> = lanes.iter().map(|&(r, c)| rc_circuit(r, c)).collect();
+        let ckts: Vec<&Circuit> = built.iter().map(|(c, _)| c).collect();
+        let spec = TransientSpec::new(3e-6, 2e-9).record(&[built[0].1]);
+        let batched = transient_batch(&ckts, &spec).unwrap();
+        assert_eq!(batched.len(), 3);
+        for ((ckt, vout), res) in built.iter().zip(&batched) {
+            let scalar = ckt.transient(&spec).unwrap();
+            let wb = res.waveform(*vout);
+            let ws = scalar.waveform(*vout);
+            assert_eq!(wb.time().len(), ws.time().len());
+            for (a, b) in wb.values().iter().zip(ws.values()) {
+                assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_adaptive_tracks_scalar_within_tolerance() {
+        // Identical lanes under adaptive stepping: every lane must agree
+        // with the scalar adaptive run to interpolation accuracy.
+        let (ckt, vout) = rc_circuit(1e3, 1e-9);
+        let ckts = [&ckt, &ckt];
+        let spec = TransientSpec::new(3e-6, 2e-9)
+            .record(&[vout])
+            .step_control(StepControl::adaptive());
+        let batched = transient_batch(&ckts, &spec).unwrap();
+        let scalar = ckt.transient(&spec).unwrap();
+        for res in &batched {
+            let wb = res.waveform(vout);
+            for frac in [0.5f64, 1.0, 2.0] {
+                let t = frac * 1e-6;
+                let expect = scalar.waveform(vout).value_at(t);
+                assert!((wb.value_at(t) - expect).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_retirement_freezes_finished_lanes() {
+        // Lane 1's RC is much faster, so its rising crossing fires far
+        // earlier; it must retire with fewer recorded points while lane 0
+        // runs on.
+        let built = [rc_circuit(1e3, 1e-9), rc_circuit(1e2, 1e-10)];
+        let ckts: Vec<&Circuit> = built.iter().map(|(c, _)| c).collect();
+        let vout = built[0].1;
+        let spec = TransientSpec::new(3e-6, 2e-9)
+            .record(&[vout])
+            .stop_after_rising(vout, 0.5, 1);
+        let res = transient_batch(&ckts, &spec).unwrap();
+        assert!(res[0].stopped_early());
+        assert!(res[1].stopped_early());
+        assert!(
+            res[1].time().len() < res[0].time().len(),
+            "fast lane must retire earlier: {} vs {}",
+            res[1].time().len(),
+            res[0].time().len()
+        );
+        // Retired lane's final sample is at its own stop time.
+        assert!(res[1].time().last().unwrap() < res[0].time().last().unwrap());
+    }
+
+    #[test]
+    fn topology_mismatch_is_rejected() {
+        let (a, _) = rc_circuit(1e3, 1e-9);
+        let mut b = Circuit::new();
+        let n1 = b.node("in");
+        b.add_resistor(n1, Circuit::GROUND, 1e3);
+        let err = transient_batch(&[&a, &b], &TransientSpec::new(1e-6, 1e-9)).unwrap_err();
+        assert!(matches!(err, SpiceError::InvalidCircuit(_)));
+    }
+
+    #[test]
+    fn dcop_start_is_rejected() {
+        let (a, _) = rc_circuit(1e3, 1e-9);
+        let err = transient_batch(&[&a], &TransientSpec::new(1e-6, 1e-9).from_dcop()).unwrap_err();
+        assert!(matches!(err, SpiceError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn batch_shares_one_symbolic_analysis() {
+        let built = [rc_circuit(1e3, 1e-9), rc_circuit(1.1e3, 1e-9)];
+        let ckts: Vec<&Circuit> = built.iter().map(|(c, _)| c).collect();
+        let res = transient_batch(&ckts, &TransientSpec::new(1e-7, 1e-9)).unwrap();
+        let analyses: u64 = res.iter().map(|r| r.stats().symbolic_analyses).sum();
+        assert_eq!(analyses, 1, "one analysis for the whole batch");
+        assert!(res[1].stats().factorizations > 0);
+    }
+}

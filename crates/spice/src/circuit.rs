@@ -1,6 +1,9 @@
 //! Netlist construction.
 
 use std::fmt;
+use std::sync::Arc;
+
+use rotsv_num::SymbolicCache;
 
 use crate::device::NonlinearDevice;
 use crate::node::NodeId;
@@ -77,6 +80,7 @@ pub struct Circuit {
     pub(crate) n_vsources: usize,
     pub(crate) n_capacitors: usize,
     gmin: f64,
+    symbolic_cache: Option<Arc<SymbolicCache>>,
 }
 
 impl Default for Circuit {
@@ -97,6 +101,7 @@ impl Circuit {
             n_vsources: 0,
             n_capacitors: 0,
             gmin: DEFAULT_GMIN,
+            symbolic_cache: None,
         }
     }
 
@@ -235,6 +240,23 @@ impl Circuit {
     /// Number of elements in the netlist.
     pub fn element_count(&self) -> usize {
         self.elements.len()
+    }
+
+    /// Attaches a shared topology-keyed symbolic-analysis cache.
+    ///
+    /// Analyses on this circuit then go through the cache, so circuits
+    /// with the same sparsity pattern (e.g. the T1 and T2 rings of one
+    /// ΔT measurement, or all dies of an MC population) pay one
+    /// `lu_analyze` per topology instead of one per transient.
+    /// Correctness is unaffected: the cached pivot order re-analyzes
+    /// automatically if a circuit's values make it unstable.
+    pub fn set_symbolic_cache(&mut self, cache: Arc<SymbolicCache>) {
+        self.symbolic_cache = Some(cache);
+    }
+
+    /// The symbolic-analysis cache attached to this circuit, if any.
+    pub fn symbolic_cache(&self) -> Option<&Arc<SymbolicCache>> {
+        self.symbolic_cache.as_ref()
     }
 }
 

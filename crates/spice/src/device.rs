@@ -67,6 +67,42 @@ pub trait NonlinearDevice: std::fmt::Debug + Send + Sync {
     fn name(&self) -> &str {
         "device"
     }
+
+    /// Downcast hook for the batched engine; `None` (the default) means
+    /// the device type opts out of batching and falls back to per-lane
+    /// scalar [`Self::eval`] calls.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Builds a structure-of-arrays batched evaluator for this device
+    /// slot across `lanes` (one device per die, `self` is lane 0's).
+    ///
+    /// Called once per device slot when a batched transient is set up.
+    /// Returning `None` (the default) keeps the slot on the per-lane
+    /// scalar fallback; implementations should also return `None` when
+    /// the lanes are not same-typed or differ in a way the SoA kernel
+    /// cannot express.
+    fn batch_with(&self, lanes: &[&dyn NonlinearDevice]) -> Option<Box<dyn BatchedDeviceEval>> {
+        let _ = lanes;
+        None
+    }
+}
+
+/// Lockstep evaluator for one device slot across K lanes of a batched
+/// transient, with every buffer lane-interleaved.
+///
+/// For a device with `t` terminals and `k` lanes:
+/// * `v[m*k + lane]` — trial voltage of terminal `m` in `lane`,
+/// * `current[m*k + lane]` — terminal current (same sign convention as
+///   [`NonlinearDevice::eval`]),
+/// * `jacobian[(r*t + c)*k + lane]` — `dI_r / dV_c`.
+///
+/// Buffers are **not** pre-zeroed: `eval_lanes` must write every entry
+/// it owns each call, including exact zeros.
+pub trait BatchedDeviceEval: Send {
+    /// Evaluates all lanes at the interleaved trial voltages `v`.
+    fn eval_lanes(&mut self, v: &[f64], current: &mut [f64], jacobian: &mut [f64]);
 }
 
 #[cfg(test)]

@@ -42,6 +42,7 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod circuit;
 pub mod dcop;
 pub mod dcsweep;
@@ -53,10 +54,11 @@ pub mod source;
 pub mod transient;
 pub mod waveform;
 
+pub use batch::transient_batch;
 pub use circuit::{Circuit, VSourceId};
 pub use dcop::{DcOpSpec, DcSolution};
 pub use dcsweep::DcSweepResult;
-pub use device::{DeviceStamp, NonlinearDevice};
+pub use device::{BatchedDeviceEval, DeviceStamp, NonlinearDevice};
 pub use error::SpiceError;
 pub use node::NodeId;
 pub use rotsv_num::sparse::SolverStats;

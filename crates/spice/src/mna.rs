@@ -21,7 +21,9 @@
 //! check triggers an early refresh, giving modified-Newton savings on the
 //! smooth stretches and full-Newton robustness on the switching edges.
 
-use rotsv_num::sparse::{SolverStats, SparseLu, SparseMatrix};
+use std::sync::Arc;
+
+use rotsv_num::sparse::{SolverStats, SparseLu, SparseMatrix, SymbolicCache};
 
 use crate::circuit::{Circuit, Element};
 use crate::device::DeviceStamp;
@@ -60,6 +62,9 @@ pub(crate) struct MnaWorkspace {
     last_factored: Vec<f64>,
     /// Residual scratch buffer.
     resid: Vec<f64>,
+    /// Topology-keyed symbolic-analysis cache inherited from the
+    /// circuit; `None` keeps the workspace fully private.
+    cache: Option<Arc<SymbolicCache>>,
     /// Work counters, accumulated across every solve through this
     /// workspace.
     pub stats: SolverStats,
@@ -79,8 +84,9 @@ pub(crate) fn node_voltage(x: &[f64], node: NodeId) -> f64 {
     }
 }
 
+/// MNA row of `node`'s voltage unknown; `None` for ground.
 #[inline]
-fn row_of(node: NodeId) -> Option<usize> {
+pub(crate) fn row_of(node: NodeId) -> Option<usize> {
     if node.is_ground() {
         None
     } else {
@@ -104,6 +110,48 @@ fn conductance_coords(a: NodeId, b: NodeId, coords: &mut Vec<(usize, usize)>) {
     }
 }
 
+/// One topology walk recording every stamp coordinate in the exact
+/// order the scalar and batched `assemble` replays produce values.
+pub(crate) fn stamp_coords(ckt: &Circuit) -> Vec<(usize, usize)> {
+    let n_nodes = ckt.node_count() - 1;
+    let mut coords = Vec::new();
+    for i in 0..n_nodes {
+        coords.push((i, i)); // gmin shunt
+    }
+    for elem in &ckt.elements {
+        match elem {
+            Element::Resistor { a, b, .. } | Element::Capacitor { a, b, .. } => {
+                conductance_coords(*a, *b, &mut coords);
+            }
+            Element::VSource {
+                pos, neg, branch, ..
+            } => {
+                let rb = n_nodes + branch;
+                if let Some(rp) = row_of(*pos) {
+                    coords.push((rp, rb));
+                    coords.push((rb, rp));
+                }
+                if let Some(rn) = row_of(*neg) {
+                    coords.push((rn, rb));
+                    coords.push((rb, rn));
+                }
+            }
+            Element::ISource { .. } => {}
+            Element::Nonlinear(dev) => {
+                for &nk in dev.nodes() {
+                    let Some(rk) = row_of(nk) else { continue };
+                    for &nj in dev.nodes() {
+                        if let Some(cj) = row_of(nj) {
+                            coords.push((rk, cj));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    coords
+}
+
 impl MnaWorkspace {
     pub fn new(ckt: &Circuit) -> Self {
         let n = ckt.unknown_count();
@@ -117,43 +165,7 @@ impl MnaWorkspace {
             })
             .collect();
 
-        // One topology walk records every stamp coordinate in the exact
-        // order `assemble` will produce values.
-        let mut coords = Vec::new();
-        for i in 0..n_nodes {
-            coords.push((i, i)); // gmin shunt
-        }
-        for elem in &ckt.elements {
-            match elem {
-                Element::Resistor { a, b, .. } | Element::Capacitor { a, b, .. } => {
-                    conductance_coords(*a, *b, &mut coords);
-                }
-                Element::VSource {
-                    pos, neg, branch, ..
-                } => {
-                    let rb = n_nodes + branch;
-                    if let Some(rp) = row_of(*pos) {
-                        coords.push((rp, rb));
-                        coords.push((rb, rp));
-                    }
-                    if let Some(rn) = row_of(*neg) {
-                        coords.push((rn, rb));
-                        coords.push((rb, rn));
-                    }
-                }
-                Element::ISource { .. } => {}
-                Element::Nonlinear(dev) => {
-                    for &nk in dev.nodes() {
-                        let Some(rk) = row_of(nk) else { continue };
-                        for &nj in dev.nodes() {
-                            if let Some(cj) = row_of(nj) {
-                                coords.push((rk, cj));
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        let coords = stamp_coords(ckt);
         let (a, slots) = SparseMatrix::from_coords(n, &coords);
 
         Self {
@@ -166,6 +178,7 @@ impl MnaWorkspace {
             stale_iters: 0,
             last_factored: Vec::new(),
             resid: vec![0.0; n],
+            cache: ckt.symbolic_cache().cloned(),
             stats: SolverStats::default(),
             staleness_hist: rotsv_obs::metrics_enabled()
                 .then(|| rotsv_obs::histogram("mna.factor_staleness")),
@@ -303,9 +316,24 @@ impl MnaWorkspace {
         let map_err = |source| SpiceError::SingularSystem { time: t, source };
         match &mut self.lu {
             None => {
-                let lu = SparseLu::new(&self.a).map_err(map_err)?;
+                // First factorization: go through the shared symbolic
+                // cache when the circuit carries one, so same-topology
+                // workspaces pay one analysis between them. The cache
+                // reports how many fresh analyses this call performed
+                // (0 on a hit), keeping the counters honest.
+                let lu = match &self.cache {
+                    Some(cache) => {
+                        let (lu, analyses) = cache.factor(&self.a).map_err(map_err)?;
+                        self.stats.symbolic_analyses += analyses;
+                        lu
+                    }
+                    None => {
+                        let lu = SparseLu::new(&self.a).map_err(map_err)?;
+                        self.stats.symbolic_analyses += 1;
+                        lu
+                    }
+                };
                 self.lu = Some(lu);
-                self.stats.symbolic_analyses += 1;
             }
             Some(lu) => {
                 let reanalyzed = lu.refactor(&self.a).map_err(map_err)?;
@@ -357,7 +385,7 @@ impl Default for NewtonOpts {
 
 /// A stale factorization is refreshed early when the residual norm fails
 /// to shrink by at least this factor between iterations.
-const STALL_RATIO: f64 = 0.3;
+pub(crate) const STALL_RATIO: f64 = 0.3;
 
 /// Runs Newton iterations from initial iterate `x`, assembling with the
 /// provided parameters, until the update is below tolerance.

@@ -236,6 +236,26 @@ pub struct TransientResult {
 }
 
 impl TransientResult {
+    /// Assembles a result from raw pieces (used by the batched engine,
+    /// which records per-lane columns outside `Circuit::transient`).
+    pub(crate) fn from_parts(
+        time: Vec<f64>,
+        columns: BTreeMap<NodeId, Vec<f64>>,
+        current_columns: BTreeMap<usize, Vec<f64>>,
+        stopped_early: bool,
+        steps_taken: usize,
+        stats: SolverStats,
+    ) -> Self {
+        Self {
+            time,
+            columns,
+            current_columns,
+            stopped_early,
+            steps_taken,
+            stats,
+        }
+    }
+
     /// Simulation time points, seconds.
     pub fn time(&self) -> &[f64] {
         &self.time

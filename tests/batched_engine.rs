@@ -1,0 +1,201 @@
+//! Cross-check of the lockstep batched Monte-Carlo engine against the
+//! scalar reference. The batched engine shares one time grid across all
+//! lanes of a batch (dt = the worst active lane's LTE proposal), so it
+//! is not bit-identical to per-die scalar transients — but every
+//! per-fault-point ΔT must agree to well under 0.5 %, stuck dies must
+//! classify identically, and the whole population must cost
+//! O(topologies) symbolic analyses rather than one per transient.
+
+use rotsv::mc::delta_t_population_with_engine;
+use rotsv::num::units::Ohms;
+use rotsv::ro::{MeasureOpts, OscillationOutcome, RingOscillator, RoConfig};
+use rotsv::tsv::TsvFault;
+use rotsv::variation::ProcessSpread;
+use rotsv::{McEngine, TestBench};
+
+const SAMPLES: usize = 4;
+const LANES: usize = 4;
+
+fn population(faults: &[TsvFault], engine: McEngine) -> rotsv::McDeltaT {
+    let bench = TestBench::fast(1);
+    delta_t_population_with_engine(
+        &bench,
+        1.1,
+        faults,
+        &[0],
+        ProcessSpread::paper(),
+        23,
+        SAMPLES,
+        engine,
+    )
+    .unwrap()
+}
+
+fn assert_populations_agree(label: &str, faults: &[TsvFault]) {
+    let scalar = population(faults, McEngine::Scalar);
+    let batched = population(faults, McEngine::Batched { lanes: LANES });
+    assert_eq!(
+        scalar.deltas.len(),
+        batched.deltas.len(),
+        "{label}: population sizes differ"
+    );
+    assert_eq!(scalar.stuck_count, batched.stuck_count, "{label}: stuck");
+    assert_eq!(
+        scalar.reference_failures, batched.reference_failures,
+        "{label}: reference failures"
+    );
+    for (i, (s, b)) in scalar.deltas.iter().zip(&batched.deltas).enumerate() {
+        let rel = (s - b).abs() / s.abs();
+        assert!(
+            rel < 5e-3,
+            "{label} sample {i}: scalar ΔT {s} vs batched {b} (rel {rel})"
+        );
+    }
+}
+
+#[test]
+fn fault_free_population_agrees() {
+    assert_populations_agree("fault-free", &[TsvFault::None]);
+}
+
+#[test]
+fn resistive_open_population_agrees() {
+    assert_populations_agree(
+        "open-3k",
+        &[TsvFault::ResistiveOpen {
+            x: 0.5,
+            r: Ohms(3e3),
+        }],
+    );
+}
+
+#[test]
+fn leakage_population_agrees() {
+    assert_populations_agree("leak-3k", &[TsvFault::Leakage { r: Ohms(3e3) }]);
+}
+
+/// Strong leakage sticks every die: the batched engine must classify
+/// them exactly as the scalar engine does (stuck, not errors, not
+/// deltas) even though no lane ever reaches its crossing count.
+#[test]
+fn stuck_population_classifies_identically() {
+    let faults = [TsvFault::Leakage { r: Ohms(300.0) }];
+    let scalar = population(&faults, McEngine::Scalar);
+    let batched = population(&faults, McEngine::Batched { lanes: LANES });
+    assert_eq!(scalar.stuck_count, SAMPLES);
+    assert_eq!(batched.stuck_count, SAMPLES);
+    assert!(batched.deltas.is_empty());
+    assert_eq!(batched.reference_failures, 0);
+}
+
+/// A mixed batch where one lane sticks (strong leakage) while the other
+/// oscillates and retires early: the stuck lane must not disturb the
+/// finished lane's period, and both outcomes must match their scalar
+/// runs. Lanes differ only in the leakage resistor's *value*, so they
+/// are topology-identical and batchable.
+#[test]
+fn stuck_lane_retirement_leaves_other_lanes_intact() {
+    use rotsv::mosfet::model::Nominal;
+
+    let opts = MeasureOpts::fast();
+    let configs: Vec<RoConfig> = [300.0, 3000.0]
+        .iter()
+        .map(|&r| {
+            RoConfig::new(1, 1.1)
+                .enable_only(&[0])
+                .with_fault(0, TsvFault::Leakage { r: Ohms(r) })
+        })
+        .collect();
+    let ros: Vec<RingOscillator> = configs
+        .iter()
+        .map(|c| RingOscillator::build(c, &mut Nominal))
+        .collect();
+    let refs: Vec<&RingOscillator> = ros.iter().collect();
+    let batched = RingOscillator::measure_batch_with_stats(&refs, &opts).unwrap();
+
+    // Lane 0: strong leakage — stuck, exactly as the scalar run says.
+    let (stuck_outcome, _) = &batched[0];
+    assert!(
+        !stuck_outcome.is_oscillating(),
+        "300 Ω leakage lane must stick"
+    );
+    assert!(!ros[0].measure(&opts).unwrap().is_oscillating());
+
+    // Lane 1: mild leakage — oscillates; period within 0.5 % of scalar.
+    let (osc_outcome, _) = &batched[1];
+    let t_batched = match osc_outcome {
+        OscillationOutcome::Oscillating(m) => m.mean,
+        OscillationOutcome::Stuck { .. } => panic!("3 kΩ leakage lane must oscillate"),
+    };
+    let t_scalar = ros[1].measure(&opts).unwrap().period().unwrap();
+    let rel = (t_batched - t_scalar).abs() / t_scalar;
+    assert!(
+        rel < 5e-3,
+        "batched period {t_batched} vs scalar {t_scalar} (rel {rel})"
+    );
+}
+
+/// The cost contract of the batched engine: one symbolic analysis per
+/// topology for the whole population (the population-wide cache spans
+/// batches and both runs of each batch), not one per transient. The
+/// scalar engine performs one per *measurement* (its cache spans the
+/// two runs of one die), i.e. O(samples).
+#[test]
+fn symbolic_analyses_are_per_topology_not_per_sample() {
+    let faults = [TsvFault::None];
+    let batched = population(&faults, McEngine::Batched { lanes: 2 });
+    assert_eq!(
+        batched.stats.symbolic_analyses, 1,
+        "population-wide cache must reduce analyses to O(topologies)"
+    );
+    let scalar = population(&faults, McEngine::Scalar);
+    assert_eq!(
+        scalar.stats.symbolic_analyses, SAMPLES as u64,
+        "scalar path shares analyses only within a measurement"
+    );
+}
+
+/// Diagnostic (run with `-- --ignored probe_spans --nocapture`): span
+/// tree of a batched k=4 population next to the scalar one, for finding
+/// where batch time goes without an external profiler.
+#[test]
+#[ignore]
+fn probe_spans() {
+    rotsv_obs::set_tracing(true);
+    let faults = [TsvFault::None];
+    let _b4 = population(&faults, McEngine::Batched { lanes: 4 });
+    eprintln!("{}", rotsv_obs::span_report().render_text());
+    rotsv_obs::reset();
+    let _s = population(&faults, McEngine::Scalar);
+    eprintln!("{}", rotsv_obs::span_report().render_text());
+    rotsv_obs::set_tracing(false);
+}
+
+/// Diagnostic (run with `-- --ignored probe_counters --nocapture`):
+/// work counters of scalar vs batched runs — the lockstep step/Newton
+/// inflation numbers quoted in PERFORMANCE.md come from here.
+#[test]
+#[ignore]
+fn probe_counters() {
+    let faults = [TsvFault::None];
+    let scalar = population(&faults, McEngine::Scalar);
+    let b1 = population(&faults, McEngine::Batched { lanes: 1 });
+    let b4 = population(&faults, McEngine::Batched { lanes: 4 });
+    for (name, p) in [
+        ("scalar", &scalar),
+        ("batched k=1", &b1),
+        ("batched k=4", &b4),
+    ] {
+        let s = &p.stats;
+        eprintln!(
+            "{name}: steps {}+{}r newton {} factor {} solves {} analyses {} wall {:.3}",
+            s.steps_accepted,
+            s.steps_rejected,
+            s.newton_iterations,
+            s.factorizations,
+            s.solves,
+            s.symbolic_analyses,
+            s.wall_seconds
+        );
+    }
+}
