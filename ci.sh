@@ -47,21 +47,26 @@ cargo test -q -p rotsv --release --test batched_engine
 
 # The batched MC smoke: one real MC experiment on each engine at fast
 # fidelity. Fast fidelity intentionally misses some paper shape checks
-# (on both engines), so the gate is that the batched engine reaches the
-# same verdict on every check as the scalar engine — engine selection
-# must never change a conclusion. `|| true` tolerates the known fast-
-# fidelity check failures; a crashed run produces no verdict lines and
-# fails the diff.
-echo "==> batched MC engine smoke (e3 --fast, scalar vs batched verdicts)"
-./target/release/experiments e3 --fast --out "$artifacts/mc-scalar" \
-  | grep -E '✅|❌' | sed 's/ (.*//' > "$artifacts/mc-scalar-checks.txt" || true
-./target/release/experiments e3 --fast --engine batched:8 --out "$artifacts/mc-batched" \
-  | grep -E '✅|❌' | sed 's/ (.*//' > "$artifacts/mc-batched-checks.txt" || true
-diff "$artifacts/mc-scalar-checks.txt" "$artifacts/mc-batched-checks.txt"
+# (on both engines), so the gate is that the default engine (auto,
+# which resolves to the batched refill queue at figure population
+# sizes) reaches the same verdict on every check as the pinned scalar
+# cross-check engine — engine selection must never change a conclusion.
+# `|| true` tolerates the known fast-fidelity check failures; a crashed
+# run produces no verdict lines and fails the diff.
+echo "==> batched MC engine smoke (e3/e5 --fast, scalar vs default-auto verdicts)"
+for exp in e3 e5; do
+  ./target/release/experiments "$exp" --fast --engine scalar --out "$artifacts/mc-scalar" \
+    | grep -E '✅|❌' | sed 's/ (.*//' > "$artifacts/mc-scalar-checks-$exp.txt" || true
+  ./target/release/experiments "$exp" --fast --out "$artifacts/mc-auto" \
+    | grep -E '✅|❌' | sed 's/ (.*//' > "$artifacts/mc-auto-checks-$exp.txt" || true
+  diff "$artifacts/mc-scalar-checks-$exp.txt" "$artifacts/mc-auto-checks-$exp.txt"
+done
 
 # Golden signatures are pinned to the scalar engine: no --engine flag
-# here (the golden subcommand does not take one), so this check is
-# independent of the batched engine by construction.
+# here (the golden subcommand does not take one, and its per-sample
+# measurements bypass engine selection entirely), so this check holds
+# under the new auto default by construction — and proves it by running
+# in the same binary whose figure default is auto.
 echo "==> golden regression check (experiments golden --check)"
 ./target/release/experiments golden --check 2>&1 | tee "$artifacts/golden-check.txt"
 

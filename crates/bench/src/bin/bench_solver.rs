@@ -214,12 +214,13 @@ fn run_transients() -> Vec<Json> {
     out
 }
 
-/// Throughput of the lockstep batched Monte-Carlo engine against the
-/// scalar engine on the E3-shaped unit of work (one fault-free ring ΔT
+/// Throughput of the batched Monte-Carlo engine against the scalar
+/// engine on the E3-shaped unit of work (one fault-free ring ΔT
 /// measurement per die, process variation on): dies per second at
-/// K = 1, 4, 8 lanes. The committed numbers back the "Batched MC"
-/// section of PERFORMANCE.md; the per-die wall times join the
-/// regression set.
+/// K = 1, 4, 8, 16 lanes, population == K (so refill never fires — this
+/// isolates the SIMD engine itself; `run_batched_refill` measures the
+/// scheduler). The committed numbers back the "Batched MC" section of
+/// PERFORMANCE.md; the per-die wall times join the regression set.
 fn run_batched_vs_scalar() -> Vec<Json> {
     use rotsv::mc::{delta_t_population_with_engine, McEngine};
     use rotsv::variation::ProcessSpread;
@@ -268,6 +269,82 @@ fn run_batched_vs_scalar() -> Vec<Json> {
         ]));
     }
     out
+}
+
+/// Throughput of the refill queue against the chunked (no-refill)
+/// scheduling on a population much larger than the lane count: 32 dies
+/// streamed through K = 4, 8, 16 lanes. Chunked batches decay toward
+/// one busy lane as each batch drains; refill keeps every lane seated
+/// until the queue empties, so the gap widens with K. Also measures the
+/// scalar→batched crossover population size that `--engine auto` uses
+/// (the smallest population the batched queue already wins).
+fn run_batched_refill() -> Json {
+    use rotsv::mc::{delta_t_population_with_engine, McEngine};
+    use rotsv::variation::ProcessSpread;
+
+    const REPEATS: usize = 3;
+    const POPULATION: usize = 32;
+    let bench = TestBench::fast(1);
+    let faults = [TsvFault::None];
+    let spread = ProcessSpread::paper();
+    let time_pop = |samples: usize, engine: McEngine| -> f64 {
+        (0..REPEATS)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(
+                    delta_t_population_with_engine(
+                        &bench,
+                        1.1,
+                        &faults,
+                        &[0],
+                        spread,
+                        1007,
+                        samples,
+                        engine,
+                    )
+                    .expect("population succeeds"),
+                );
+                t0.elapsed().as_secs_f64() / samples as f64
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    let mut entries = Vec::new();
+    println!("refill vs chunked batching ({POPULATION} dies, best of {REPEATS}):");
+    for k in [4usize, 8, 16] {
+        let refill = time_pop(POPULATION, McEngine::Batched { lanes: k });
+        let chunked = time_pop(POPULATION, McEngine::BatchedChunked { lanes: k });
+        let speedup = chunked / refill;
+        println!(
+            "  k={k}: refill {:.2} dies/s, chunked {:.2} dies/s ({speedup:.2}x)",
+            1.0 / refill,
+            1.0 / chunked
+        );
+        entries.push(Json::Obj(vec![
+            ("k".into(), Json::Num(k as f64)),
+            ("refill_s_per_die".into(), Json::Num(refill)),
+            ("chunked_s_per_die".into(), Json::Num(chunked)),
+            ("refill_speedup".into(), Json::Num(speedup)),
+        ]));
+    }
+
+    // Crossover: the smallest population where the batched queue (at
+    // `auto`'s lane choice) beats the scalar engine. Everything at and
+    // above it runs batched under `--engine auto`.
+    let mut crossover = POPULATION;
+    for n in [1usize, 2, 3, 4, 6, 8] {
+        let scalar = time_pop(n, McEngine::Scalar);
+        let batched = time_pop(n, McEngine::Batched { lanes: n.min(16) });
+        if batched <= scalar {
+            crossover = n;
+            break;
+        }
+    }
+    println!("  scalar->batched crossover: {crossover} samples");
+    Json::Obj(vec![
+        ("entries".into(), Json::Arr(entries)),
+        ("crossover_samples".into(), Json::Num(crossover as f64)),
+    ])
 }
 
 /// Measures the instrumentation cost of the `rotsv-obs` layer on the
@@ -414,6 +491,22 @@ fn wall_times(doc: &Json) -> Vec<(String, f64)> {
             }
         }
     }
+    if let Some(entries) = doc
+        .get("batched_refill")
+        .and_then(|r| r.get("entries"))
+        .and_then(Json::as_arr)
+    {
+        for e in entries {
+            let Some(k) = e.get("k").and_then(Json::as_f64) else {
+                continue;
+            };
+            for key in ["refill_s_per_die", "chunked_s_per_die"] {
+                if let Some(v) = e.get(key).and_then(Json::as_f64) {
+                    out.push((format!("mc refill k={k} {key}"), v));
+                }
+            }
+        }
+    }
     out
 }
 
@@ -486,12 +579,14 @@ fn main() {
     let kernels = run_kernels();
     let transients = run_transients();
     let batched = run_batched_vs_scalar();
+    let refill = run_batched_refill();
     let obs_overhead = run_obs_overhead();
     let ledger_overhead = run_ledger_overhead();
     let doc = Json::Obj(vec![
         ("kernels".into(), Json::Arr(kernels)),
         ("transients".into(), Json::Arr(transients)),
         ("batched_vs_scalar".into(), Json::Arr(batched)),
+        ("batched_refill".into(), refill),
         ("obs_overhead".into(), obs_overhead),
         ("ledger_overhead".into(), ledger_overhead),
     ]);

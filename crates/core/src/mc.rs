@@ -22,19 +22,56 @@ pub enum McEngine {
     /// engine; golden signatures and campaign ledgers are recorded
     /// against it.
     Scalar,
-    /// Lockstep structure-of-arrays batches of up to `lanes` dies per
-    /// transient (see `rotsv_spice::transient_batch`). Numerically
-    /// agrees with the scalar engine to well under 0.5 % per ΔT but is
-    /// *not* bit-identical: the lanes share one time grid.
+    /// Picks [`McEngine::Scalar`] or [`McEngine::Batched`] per
+    /// population from its sample count and the measured crossover
+    /// ([`set_auto_crossover`]) — the default for the figure
+    /// experiments.
+    Auto,
+    /// Streams the whole population through `lanes` structure-of-arrays
+    /// SIMD lanes in one transient per run, with mid-transient lane
+    /// refill and cohort scheduling (see
+    /// `rotsv_spice::transient_queue`). Per-die results are
+    /// bit-identical to [`McEngine::BatchedChunked`] and agree with the
+    /// scalar engine to well under 0.5 % per ΔT.
     Batched {
-        /// Dies simulated per lockstep batch (K).
+        /// SIMD lanes the queue streams through (K).
+        lanes: usize,
+    },
+    /// Fixed batches of up to `lanes` dies per transient in sample
+    /// order, with no refill between batches — the v1 scheduling, kept
+    /// as the cross-check for the refill path (its results must be
+    /// bit-identical to [`McEngine::Batched`] at any lane count).
+    BatchedChunked {
+        /// Dies simulated per batch (K).
         lanes: usize,
     },
 }
 
+/// High bit of [`ENGINE_LANES`] marks the chunked (no-refill) variant.
+const CHUNKED_FLAG: usize = 1 << (usize::BITS - 1);
+
 /// Process-wide engine selection; 0 encodes [`McEngine::Scalar`],
-/// anything else is the batched lane count.
+/// `usize::MAX` encodes [`McEngine::Auto`], and otherwise the batched
+/// lane count, with [`CHUNKED_FLAG`] set for the chunked variant.
 static ENGINE_LANES: AtomicUsize = AtomicUsize::new(0);
+
+/// Population size (in samples) at which [`McEngine::Auto`] switches
+/// from scalar to batched. The conservative default of 2 reflects that
+/// the v2 engine's K=1 overhead is within a few percent of scalar; the
+/// experiments binary overwrites it with the crossover measured by
+/// `bench_solver` when a benchmark baseline is available.
+static AUTO_CROSSOVER: AtomicUsize = AtomicUsize::new(2);
+
+/// Sets the scalar→batched crossover population size used by
+/// [`McEngine::Auto`].
+pub fn set_auto_crossover(samples: usize) {
+    AUTO_CROSSOVER.store(samples.max(1), Ordering::Relaxed);
+}
+
+/// The current [`McEngine::Auto`] crossover population size.
+pub fn auto_crossover() -> usize {
+    AUTO_CROSSOVER.load(Ordering::Relaxed)
+}
 
 /// Selects the engine [`delta_t_population`] uses process-wide.
 ///
@@ -42,13 +79,21 @@ static ENGINE_LANES: AtomicUsize = AtomicUsize::new(0);
 /// [`rotsv_num::parallel::set_thread_limit`] for `--threads`). Ledgered
 /// campaigns and golden checks always measure per-sample on the scalar
 /// engine and ignore this setting.
+///
+/// # Panics
+///
+/// Panics on a zero or flag-colliding lane count.
 pub fn set_mc_engine(engine: McEngine) {
+    let check = |lanes: usize| {
+        assert!(lanes >= 1, "a batch needs at least one lane");
+        assert!(lanes < CHUNKED_FLAG, "lane count out of range");
+        lanes
+    };
     let encoded = match engine {
         McEngine::Scalar => 0,
-        McEngine::Batched { lanes } => {
-            assert!(lanes >= 1, "a batch needs at least one lane");
-            lanes
-        }
+        McEngine::Auto => usize::MAX,
+        McEngine::Batched { lanes } => check(lanes),
+        McEngine::BatchedChunked { lanes } => check(lanes) | CHUNKED_FLAG,
     };
     ENGINE_LANES.store(encoded, Ordering::Relaxed);
 }
@@ -57,7 +102,31 @@ pub fn set_mc_engine(engine: McEngine) {
 pub fn mc_engine() -> McEngine {
     match ENGINE_LANES.load(Ordering::Relaxed) {
         0 => McEngine::Scalar,
+        usize::MAX => McEngine::Auto,
+        v if v & CHUNKED_FLAG != 0 => McEngine::BatchedChunked {
+            lanes: v & !CHUNKED_FLAG,
+        },
         lanes => McEngine::Batched { lanes },
+    }
+}
+
+/// Resolves [`McEngine::Auto`] for a population of `samples` dies:
+/// scalar below the measured crossover, otherwise the refill queue at up
+/// to 16 lanes (wider lanes stop paying off once the working set
+/// outgrows the cache lines the SoA kernels stream). Explicit engine
+/// choices pass through unchanged.
+pub fn resolve_engine(engine: McEngine, samples: usize) -> McEngine {
+    match engine {
+        McEngine::Auto => {
+            if samples < auto_crossover() {
+                McEngine::Scalar
+            } else {
+                McEngine::Batched {
+                    lanes: samples.min(16),
+                }
+            }
+        }
+        other => other,
     }
 }
 
@@ -166,11 +235,15 @@ pub fn delta_t_population_with_engine(
     assert!(samples > 0, "need at least one sample");
     let span = rotsv_obs::span!("mc_population", "samples" = samples);
     span.field("vdd", vdd);
-    let measurements = match engine {
+    let measurements = match resolve_engine(engine, samples) {
         McEngine::Scalar => {
             scalar_measurements(bench, vdd, faults, under_test, spread, seed, samples)?
         }
+        McEngine::Auto => unreachable!("resolve_engine returns a concrete engine"),
         McEngine::Batched { lanes } => {
+            queued_measurements(bench, vdd, faults, under_test, spread, seed, samples, lanes)?
+        }
+        McEngine::BatchedChunked { lanes } => {
             batched_measurements(bench, vdd, faults, under_test, spread, seed, samples, lanes)?
         }
     };
@@ -235,6 +308,63 @@ fn scalar_measurements(
             })?
         })
         .collect()
+}
+
+/// Orders the sample indices into variation cohorts: dies of similar
+/// variation magnitude become lane neighbors in the refill queue, so
+/// co-resident lanes propose similar step sizes and drain at similar
+/// rates. The per-die trajectories are composition-independent (the
+/// engine steps every lane by its own policies), so cohort order is
+/// pure scheduling — results are un-permuted back to sample order.
+///
+/// The score is the magnitude of the die's first threshold-voltage
+/// delta: the dominant variation axis, drawn from the same
+/// index-deterministic stream the circuit build replays.
+fn cohort_order(spread: ProcessSpread, seed: u64, samples: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..samples).collect();
+    let score: Vec<f64> = (0..samples)
+        .map(|i| Die::new(spread, die_seed(seed, i)).first_delta().dvth.abs())
+        .collect();
+    order.sort_by(|&a, &b| score[a].total_cmp(&score[b]).then(a.cmp(&b)));
+    order
+}
+
+/// The refill queue: the whole population streams through `lanes` SIMD
+/// lanes in one transient per run, re-seating a lane with the next
+/// queued die the moment its current die's measurement completes. Dies
+/// enter in cohort order ([`cohort_order`]); results return in sample
+/// order. One symbolic cache spans both runs, so the population
+/// performs O(topologies) symbolic analyses, not O(samples).
+#[allow(clippy::too_many_arguments)]
+fn queued_measurements(
+    bench: &TestBench,
+    vdd: f64,
+    faults: &[TsvFault],
+    under_test: &[usize],
+    spread: ProcessSpread,
+    seed: u64,
+    samples: usize,
+    lanes: usize,
+) -> Result<Vec<DeltaTMeasurement>, SpiceError> {
+    let lanes = lanes.max(1);
+    let cache = Arc::new(SymbolicCache::new());
+    let opts = bench.opts_for(vdd);
+    let order = cohort_order(spread, seed, samples);
+    let dies: Vec<Die> = order
+        .iter()
+        .map(|&i| Die::new(spread, die_seed(seed, i)))
+        .collect();
+    let die_refs: Vec<&Die> = dies.iter().collect();
+    let queued = bench
+        .measure_delta_t_queue_with(vdd, faults, under_test, &die_refs, lanes, &opts, &cache)?;
+    let mut out: Vec<Option<DeltaTMeasurement>> = vec![None; samples];
+    for (&i, m) in order.iter().zip(queued) {
+        out[i] = Some(m);
+    }
+    Ok(out
+        .into_iter()
+        .map(|m| m.expect("every sample measured exactly once"))
+        .collect())
 }
 
 /// Lockstep batches of up to `lanes` dies, grouped in sample-index
@@ -389,10 +519,82 @@ mod tests {
     #[test]
     fn engine_selection_round_trips() {
         assert_eq!(mc_engine(), McEngine::Scalar);
-        set_mc_engine(McEngine::Batched { lanes: 4 });
-        assert_eq!(mc_engine(), McEngine::Batched { lanes: 4 });
-        set_mc_engine(McEngine::Scalar);
-        assert_eq!(mc_engine(), McEngine::Scalar);
+        for engine in [
+            McEngine::Batched { lanes: 4 },
+            McEngine::BatchedChunked { lanes: 7 },
+            McEngine::Auto,
+            McEngine::Scalar,
+        ] {
+            set_mc_engine(engine);
+            assert_eq!(mc_engine(), engine);
+        }
+    }
+
+    #[test]
+    fn auto_engine_resolves_by_population_size() {
+        // Explicit engines pass through untouched.
+        assert_eq!(resolve_engine(McEngine::Scalar, 100), McEngine::Scalar);
+        assert_eq!(
+            resolve_engine(McEngine::BatchedChunked { lanes: 4 }, 1),
+            McEngine::BatchedChunked { lanes: 4 }
+        );
+        // Auto: scalar below the crossover, capped refill queue above.
+        let saved = auto_crossover();
+        set_auto_crossover(2);
+        assert_eq!(resolve_engine(McEngine::Auto, 1), McEngine::Scalar);
+        assert_eq!(
+            resolve_engine(McEngine::Auto, 2),
+            McEngine::Batched { lanes: 2 }
+        );
+        assert_eq!(
+            resolve_engine(McEngine::Auto, 500),
+            McEngine::Batched { lanes: 16 }
+        );
+        set_auto_crossover(8);
+        assert_eq!(resolve_engine(McEngine::Auto, 7), McEngine::Scalar);
+        assert_eq!(
+            resolve_engine(McEngine::Auto, 8),
+            McEngine::Batched { lanes: 8 }
+        );
+        set_auto_crossover(saved);
+    }
+
+    /// The refill satellite contract: streaming the population through a
+    /// refill queue must be per-die **bit-identical** to the chunked
+    /// (no-refill) batches — cohort reordering and mid-transient
+    /// re-seating are pure scheduling — and within the 0.5 % agreement
+    /// budget of the scalar reference.
+    #[test]
+    fn refill_population_is_bit_identical_to_chunked() {
+        let bench = TestBench::fast(1);
+        let faults = [TsvFault::None];
+        let run = |engine| {
+            delta_t_population_with_engine(
+                &bench,
+                1.1,
+                &faults,
+                &[0],
+                ProcessSpread::paper(),
+                19,
+                5,
+                engine,
+            )
+            .unwrap()
+        };
+        // 5 samples through 2 lanes: three refills in the queue, a full
+        // batch pair plus a remainder in the chunked run.
+        let queued = run(McEngine::Batched { lanes: 2 });
+        let chunked = run(McEngine::BatchedChunked { lanes: 2 });
+        assert_eq!(
+            queued, chunked,
+            "refill must be bit-identical to chunked batching"
+        );
+        let scalar = run(McEngine::Scalar);
+        assert_eq!(scalar.deltas.len(), queued.deltas.len());
+        for (i, (s, q)) in scalar.deltas.iter().zip(&queued.deltas).enumerate() {
+            let rel = (s - q).abs() / s.abs();
+            assert!(rel < 5e-3, "sample {i}: scalar {s} vs queued {q} ({rel})");
+        }
     }
 
     #[test]

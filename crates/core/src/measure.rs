@@ -144,8 +144,8 @@ impl TestBench {
     }
 
     /// The two-run procedure on `dies.len()` dies at once, using the
-    /// lockstep batched transient engine: each run simulates all dies as
-    /// lanes of one structure-of-arrays transient
+    /// batched transient engine: each run simulates all dies as lanes
+    /// of one structure-of-arrays transient, each lane on its own clock
     /// ([`RingOscillator::measure_batch_with_stats`]).
     ///
     /// Returns one measurement per die, in input order. Empty input
@@ -223,7 +223,7 @@ impl TestBench {
                 })
                 .collect()
         };
-        // Run 1: TSVs under test enabled, all dies in lockstep.
+        // Run 1: TSVs under test enabled, all dies as lanes.
         let ros1 = build_all(&enabled_config);
         let refs1: Vec<&RingOscillator> = ros1.iter().collect();
         let run1 = RingOscillator::measure_batch_with_stats(&refs1, opts)?;
@@ -231,6 +231,87 @@ impl TestBench {
         let ros2 = build_all(&config);
         let refs2: Vec<&RingOscillator> = ros2.iter().collect();
         let run2 = RingOscillator::measure_batch_with_stats(&refs2, opts)?;
+        Ok(run1
+            .into_iter()
+            .zip(run2)
+            .map(|((t1, stats1), (t2, stats2))| {
+                let mut stats = stats1;
+                stats.merge(&stats2);
+                DeltaTMeasurement { t1, t2, stats }
+            })
+            .collect())
+    }
+
+    /// The two-run procedure on a whole die queue streamed through
+    /// `lanes` SIMD lanes with mid-transient refill
+    /// ([`RingOscillator::measure_queue_with_stats`]): each run simulates
+    /// the *entire* population in one transient, seating the next die
+    /// into a lane the moment its predecessor's measurement completes.
+    /// Per-die results are bit-identical to
+    /// [`TestBench::measure_delta_t_batch_with`] over the same dies.
+    ///
+    /// Returns one measurement per die, in input order. Empty input
+    /// returns an empty vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`TestBench::measure_delta_t`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_delta_t_queue_with(
+        &self,
+        vdd: f64,
+        faults: &[TsvFault],
+        under_test: &[usize],
+        dies: &[&Die],
+        lanes: usize,
+        opts: &MeasureOpts,
+        cache: &Arc<SymbolicCache>,
+    ) -> Result<Vec<DeltaTMeasurement>, SpiceError> {
+        if dies.is_empty() {
+            return Ok(Vec::new());
+        }
+        let span = rotsv_obs::span!("measure_delta_t_queue", "vdd" = vdd);
+        span.field("lanes", lanes as f64);
+        span.field("dies", dies.len() as f64);
+        assert_eq!(
+            faults.len(),
+            self.n_segments,
+            "fault list must cover every segment"
+        );
+        assert!(
+            !under_test.is_empty(),
+            "at least one TSV must be under test"
+        );
+        let config = RoConfig {
+            n_segments: self.n_segments,
+            vdd,
+            tech: self.tech,
+            tsv_model: self.tsv_model,
+            faults: faults.to_vec(),
+            enabled: vec![false; self.n_segments],
+        };
+        let enabled_config = config.clone().enable_only(under_test);
+        let build_all = |cfg: &RoConfig| -> Vec<RingOscillator> {
+            dies.iter()
+                .map(|die| {
+                    let mut ro = RingOscillator::build(cfg, &mut die.variation());
+                    ro.set_symbolic_cache(Arc::clone(cache));
+                    ro
+                })
+                .collect()
+        };
+        // Run 1: TSVs under test enabled, the whole queue streamed.
+        let ros1 = build_all(&enabled_config);
+        let refs1: Vec<&RingOscillator> = ros1.iter().collect();
+        let run1 = RingOscillator::measure_queue_with_stats(&refs1, lanes, opts)?;
+        // Run 2: all bypassed. Same dies — identical variation streams.
+        let ros2 = build_all(&config);
+        let refs2: Vec<&RingOscillator> = ros2.iter().collect();
+        let run2 = RingOscillator::measure_queue_with_stats(&refs2, lanes, opts)?;
         Ok(run1
             .into_iter()
             .zip(run2)

@@ -22,10 +22,20 @@
 //! schema and exits nonzero when it does not conform.
 //!
 //! `--engine` selects the Monte-Carlo transient engine for the figure
-//! runs: `scalar` (the default) or `batched[:K]` — the lockstep K-lane
-//! engine (default K = 8), which agrees with scalar to well under 0.5 %
-//! per ΔT. The `campaign` and `golden` subcommands do not take the flag:
-//! ledgers and golden signatures are always recorded on the scalar
+//! runs:
+//!
+//! * `auto` (the default) — scalar below the measured crossover
+//!   population size (read from `BENCH_solver.json` when present),
+//!   otherwise the batched refill queue at up to 16 lanes;
+//! * `scalar` — the per-die reference engine;
+//! * `batched[:K]` — the asynchronous K-lane refill queue (default
+//!   K = 8), bit-identical per die across lane counts and within 0.5 %
+//!   of scalar per ΔT;
+//! * `batched-chunked[:K]` — fixed K-die batches without refill, kept
+//!   as the cross-check for the refill scheduler.
+//!
+//! The `campaign` and `golden` subcommands do not take the flag: ledgers
+//! and golden signatures are always recorded per-sample on the scalar
 //! engine so their byte-identical resume/regression contracts never
 //! depend on engine selection.
 //!
@@ -52,7 +62,7 @@ fn usage() {
     eprintln!(
         "usage: experiments [e0..e11 a1..a3 | paper | all] [--fast] [--out DIR] \
          [--json] [--trace] [--metrics-out] [--threads N] \
-         [--engine scalar|batched[:K]]\n\
+         [--engine auto|scalar|batched[:K]|batched-chunked[:K]]\n\
          \x20      experiments campaign IDS [--fast] [--ledger FILE] [--out DIR] \
          [--fresh] [--stop-after N] [--threads N]\n\
          \x20      experiments golden --check|--write [--ids IDS] [--perturb LBL] \
@@ -72,17 +82,54 @@ fn set_threads(value: Option<String>) -> Result<(), String> {
     }
 }
 
-/// Parses an `--engine scalar|batched[:K]` value.
+/// Parses an `--engine auto|scalar|batched[:K]|batched-chunked[:K]`
+/// value.
 fn parse_engine(value: &str) -> Result<rotsv::McEngine, String> {
     match value {
+        "auto" => Ok(rotsv::McEngine::Auto),
         "scalar" => Ok(rotsv::McEngine::Scalar),
         "batched" => Ok(rotsv::McEngine::Batched { lanes: 8 }),
-        other => match other.strip_prefix("batched:").map(str::parse::<usize>) {
-            Some(Ok(lanes)) if lanes > 0 => Ok(rotsv::McEngine::Batched { lanes }),
-            _ => Err(format!(
-                "--engine expects 'scalar' or 'batched[:K]', got '{other}'"
-            )),
-        },
+        "batched-chunked" => Ok(rotsv::McEngine::BatchedChunked { lanes: 8 }),
+        other => {
+            if let Some(Ok(lanes)) = other.strip_prefix("batched:").map(str::parse::<usize>) {
+                if lanes > 0 {
+                    return Ok(rotsv::McEngine::Batched { lanes });
+                }
+            }
+            if let Some(Ok(lanes)) = other
+                .strip_prefix("batched-chunked:")
+                .map(str::parse::<usize>)
+            {
+                if lanes > 0 {
+                    return Ok(rotsv::McEngine::BatchedChunked { lanes });
+                }
+            }
+            Err(format!(
+                "--engine expects 'auto', 'scalar', 'batched[:K]' or \
+                 'batched-chunked[:K]', got '{other}'"
+            ))
+        }
+    }
+}
+
+/// Installs the measured scalar→batched crossover from the committed
+/// benchmark baseline, when one is present. `--engine auto` consults it
+/// per population; without a baseline the library default (2) holds.
+fn load_auto_crossover() {
+    let Ok(text) = fs::read_to_string("BENCH_solver.json") else {
+        return;
+    };
+    let Ok(doc) = rotsv_obs::json::parse(&text) else {
+        return;
+    };
+    if let Some(n) = doc
+        .get("batched_refill")
+        .and_then(|r| r.get("crossover_samples"))
+        .and_then(Json::as_f64)
+    {
+        if n >= 1.0 && n.fract() == 0.0 {
+            rotsv::mc::set_auto_crossover(n as usize);
+        }
     }
 }
 
@@ -428,6 +475,11 @@ fn main() -> ExitCode {
     let mut trace = false;
     let mut metrics_out = false;
     let mut out_dir = PathBuf::from("results");
+    // Figure runs default to the auto engine; an explicit --engine
+    // overrides it below. Campaign/golden are unaffected: they measure
+    // per-sample on the scalar path regardless of this selection.
+    rotsv::set_mc_engine(rotsv::McEngine::Auto);
+    load_auto_crossover();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {

@@ -17,7 +17,7 @@
 //! agreement budget against the scalar engine.
 
 use rotsv_num::lanes;
-use rotsv_spice::BatchedDeviceEval;
+use rotsv_spice::{BatchedDeviceEval, NonlinearDevice};
 
 use crate::device::Mosfet;
 use crate::model::{MosParams, Polarity, PHI_T};
@@ -39,6 +39,9 @@ pub struct MosfetBank {
     sqrt_phi: f64,
     theta: f64,
     lambda: f64,
+    /// Uniformity fingerprint of the founding lanes; a refill re-seat
+    /// must match it (plus `phi`) to reuse the shared-parameter kernel.
+    key: (Polarity, [f64; 8]),
 }
 
 /// The parameters that must be uniform across lanes for the SoA kernel
@@ -88,6 +91,7 @@ impl MosfetBank {
             sqrt_phi: first.phi.sqrt(),
             theta: first.theta,
             lambda: first.lambda,
+            key,
         })
     }
 
@@ -288,6 +292,23 @@ impl BatchedDeviceEval for MosfetBank {
             _ => self.eval_dyn(v, current, jacobian),
         }
     }
+
+    /// O(1) refill re-seat: only the two per-lane arrays depend on the
+    /// die, so seating a new die's transistor into `lane` is two stores —
+    /// provided its shared parameters match the bank's fingerprint.
+    fn reseat_lane(&mut self, lane: usize, device: &dyn NonlinearDevice) -> bool {
+        debug_assert!(lane < self.k);
+        let Some(m) = device.as_any().and_then(|a| a.downcast_ref::<Mosfet>()) else {
+            return false;
+        };
+        let p = m.params();
+        if uniform_key(p) != self.key || p.phi != self.phi {
+            return false;
+        }
+        self.vth_base[lane] = p.vth0 + p.delta.dvth;
+        self.wl[lane] = p.kp * p.w / p.l_eff();
+        true
+    }
 }
 
 #[cfg(test)]
@@ -394,6 +415,48 @@ mod tests {
         let n = Mosfet::new("n", tech45::nmos(DriveStrength::X1), d, g, s, b);
         let p = Mosfet::new("p", tech45::pmos(DriveStrength::X1), d, g, s, b);
         assert!(MosfetBank::try_new(&[&n, &p]).is_none());
+    }
+
+    /// Re-seating a lane must be indistinguishable from building a fresh
+    /// bank over the swapped composition (bit-identical evaluation), and
+    /// must refuse devices whose shared parameters differ.
+    #[test]
+    fn reseat_lane_matches_a_fresh_bank() {
+        let devs = lane_devices_n(false, 4);
+        let refs: Vec<&Mosfet> = devs.iter().collect();
+        let mut bank = MosfetBank::try_new(&refs).unwrap();
+        let k = bank.lanes();
+        let [d, g, s, b] = four_nodes();
+        let incoming = Mosfet::new(
+            "m",
+            tech45::nmos(DriveStrength::X2).with_delta(MosDelta {
+                dvth: 0.011,
+                dleff_rel: 0.027,
+            }),
+            d,
+            g,
+            s,
+            b,
+        );
+        assert!(BatchedDeviceEval::reseat_lane(&mut bank, 2, &incoming));
+        let swapped: Vec<&Mosfet> = vec![&devs[0], &devs[1], &incoming, &devs[3]];
+        let mut fresh = MosfetBank::try_new(&swapped).unwrap();
+        let v: Vec<f64> = (0..4 * k).map(|i| 0.1 + 0.07 * i as f64).collect();
+        let (mut c0, mut j0) = (vec![0.0; 4 * k], vec![0.0; 16 * k]);
+        let (mut c1, mut j1) = (vec![0.0; 4 * k], vec![0.0; 16 * k]);
+        bank.eval_lanes(&v, &mut c0, &mut j0);
+        fresh.eval_lanes(&v, &mut c1, &mut j1);
+        assert_eq!(c0, c1, "re-seated bank currents drifted");
+        assert_eq!(j0, j1, "re-seated bank jacobians drifted");
+
+        // A different drive strength breaks uniformity: the bank must
+        // refuse so the workspace rebuilds (or degrades) the slot.
+        let alien = Mosfet::new("m", tech45::nmos(DriveStrength::X1), d, g, s, b);
+        assert!(!BatchedDeviceEval::reseat_lane(&mut bank, 1, &alien));
+        let mut c2 = vec![0.0; 4 * k];
+        let mut j2 = vec![0.0; 16 * k];
+        bank.eval_lanes(&v, &mut c2, &mut j2);
+        assert_eq!(c0, c2, "a refused re-seat must not touch the bank");
     }
 
     #[test]

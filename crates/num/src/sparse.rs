@@ -842,6 +842,132 @@ impl BatchedLu {
         }
     }
 
+    /// Refactors only the lanes with `mask[lane] == true`, leaving every
+    /// other lane's stored factors untouched. This is the entry point for
+    /// asynchronous batched transients, where lanes request fresh factors
+    /// at different iterations: each lane is swept by a scalar Doolittle
+    /// pass with the same per-lane operation order as
+    /// [`BatchedLu::refactor`], so a lane's factors are bit-identical no
+    /// matter which other lanes factor alongside it.
+    ///
+    /// Returns `(analyses, invalidated)`: `analyses` counts fresh symbolic
+    /// analyses; `invalidated` is `true` when pivot drift in a masked lane
+    /// forced a shared re-analysis, which destroys the stored factors of
+    /// every *unmasked* lane (the masked ones are refactored under the new
+    /// pivot order before returning). The caller must then refresh the
+    /// unmasked lanes before their next solve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] when a masked lane stays singular
+    /// after re-analysis, [`SolveError::DimensionMismatch`] on a pattern
+    /// of the wrong dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != pattern.nnz() * lanes` or
+    /// `mask.len() != lanes`.
+    pub fn refactor_masked(
+        &mut self,
+        pattern: &SparseMatrix,
+        values: &[f64],
+        mask: &[bool],
+    ) -> Result<(u64, bool), SolveError> {
+        let _span = rotsv_obs::span!("lu_refactor_masked", "k" = self.k);
+        assert_eq!(
+            values.len(),
+            pattern.nnz() * self.k,
+            "lane-interleaved value length mismatch"
+        );
+        assert_eq!(mask.len(), self.k, "mask length mismatch");
+        if pattern.dim() != self.sym.n {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.sym.n,
+                actual: pattern.dim(),
+            });
+        }
+        let mut analyses = 0u64;
+        let mut invalidated = false;
+        'retry: loop {
+            for lane in 0..self.k {
+                if !mask[lane] {
+                    continue;
+                }
+                match self.refactor_lane(pattern, values, lane) {
+                    Ok(()) => {}
+                    Err(SolveError::Singular { .. }) if analyses < 2 => {
+                        // The shared pivot order failed for `lane`:
+                        // re-analyze from that lane's values. The new order
+                        // applies to every lane, so all previously stored
+                        // factors are gone.
+                        let mut probe = pattern.clone();
+                        probe.zero_values();
+                        for s in 0..pattern.nnz() {
+                            probe.add_slot(s, values[s * self.k + lane]);
+                        }
+                        let sym = Arc::new(SymbolicLu::analyze(&probe)?);
+                        analyses += 1;
+                        invalidated = true;
+                        self.lu_values = vec![0.0; sym.lu_nnz() * self.k];
+                        self.work = vec![0.0; sym.n * self.k];
+                        self.xbuf = vec![0.0; sym.n * self.k];
+                        self.sym = sym;
+                        continue 'retry;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            return Ok((analyses, invalidated));
+        }
+    }
+
+    /// Scalar Doolittle sweep of a single lane over the strided storage.
+    /// Per-lane operation order matches [`BatchedLu::refactor_lanes`]
+    /// exactly (scatter row `perm[i]`, eliminate columns `j < i` in
+    /// ascending order, gather, pivot check), so the lane's factors are
+    /// bit-identical to a full-batch refactor of the same values.
+    fn refactor_lane(
+        &mut self,
+        pattern: &SparseMatrix,
+        values: &[f64],
+        lane: usize,
+    ) -> Result<(), SolveError> {
+        let sym = Arc::clone(&self.sym);
+        let k = self.k;
+        for i in 0..sym.n {
+            let (lo, hi) = (sym.lu_row_ptr[i], sym.lu_row_ptr[i + 1]);
+            for s in lo..hi {
+                self.work[sym.lu_col_idx[s] * k + lane] = 0.0;
+            }
+            // Scatter row perm[i] of A (this lane only).
+            let r = sym.perm[i];
+            for s in pattern.row_ptr[r]..pattern.row_ptr[r + 1] {
+                self.work[pattern.col_idx[s] * k + lane] = values[s * k + lane];
+            }
+            // Eliminate columns j < i in ascending order.
+            for s in lo..sym.diag_slot[i] {
+                let j = sym.lu_col_idx[s];
+                let l = self.work[j * k + lane] / self.lu_values[sym.diag_slot[j] * k + lane];
+                self.work[j * k + lane] = l;
+                for m in (sym.diag_slot[j] + 1)..sym.lu_row_ptr[j + 1] {
+                    self.work[sym.lu_col_idx[m] * k + lane] -= l * self.lu_values[m * k + lane];
+                }
+            }
+            // Gather the finished row and check the pivot.
+            let mut row_max = 0.0f64;
+            for s in lo..hi {
+                let v = self.work[sym.lu_col_idx[s] * k + lane];
+                self.lu_values[s * k + lane] = v;
+                row_max = row_max.max(v.abs());
+            }
+            let piv = self.lu_values[sym.diag_slot[i] * k + lane].abs();
+            if piv <= PIVOT_EPS || !piv.is_finite() || piv < PIVOT_DRIFT_RATIO * row_max {
+                return Err(SolveError::Singular { column: i });
+            }
+        }
+        Ok(())
+    }
+
     /// Monomorphized Doolittle sweep: same elimination order as
     /// [`BatchedLu::refactor_lanes`] (bit-identical results), with the
     /// multiplier row in `K` registers and const-length lane loops that
@@ -1586,6 +1712,92 @@ mod tests {
         let analyses = blu.refactor(&a, &vals).unwrap();
         assert_eq!(analyses, 1);
 
+        let rhs = [1.0, 2.0];
+        let mut bb: Vec<f64> = rhs.iter().flat_map(|&v| vec![v; k]).collect();
+        blu.solve_in_place(&mut bb);
+        for lane in 0..k {
+            let al = SparseMatrix::from_triplets(
+                2,
+                &[
+                    (0, 0, lane_vals[lane][0]),
+                    (0, 1, lane_vals[lane][1]),
+                    (1, 0, lane_vals[lane][2]),
+                    (1, 1, lane_vals[lane][3]),
+                ],
+            );
+            let x: Vec<f64> = (0..2).map(|i| bb[i * k + lane]).collect();
+            assert!(residual_inf(&al, &x, &rhs) < 1e-12, "lane {lane}");
+        }
+    }
+
+    /// A masked, lane-at-a-time refactor must store bit-identical factors
+    /// to one full-batch sweep of the same values — this is what lets the
+    /// asynchronous engine refresh lanes at different iterations without
+    /// perturbing their trajectories.
+    #[test]
+    fn masked_refactor_is_bit_identical_to_full_refactor() {
+        let n = 6;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0 + i as f64));
+            if i + 1 < n {
+                t.push((i, n - 1, 1.0));
+                t.push((n - 1, i, 1.0));
+            }
+        }
+        let a = SparseMatrix::from_triplets(n, &t);
+        let sym = Arc::new(SymbolicLu::analyze(&a).unwrap());
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 2.5).collect();
+        for k in [1usize, 3, 4, 16] {
+            let scale: Vec<f64> = (0..k).map(|l| 1.0 + 0.03 * l as f64).collect();
+            let mut vals = Vec::with_capacity(a.nnz() * k);
+            for s in 0..a.nnz() {
+                for &sc in &scale {
+                    vals.push(a.values()[s] * sc);
+                }
+            }
+            let mut full = BatchedLu::new(Arc::clone(&sym), k);
+            assert_eq!(full.refactor(&a, &vals).unwrap(), 0);
+            let mut masked = BatchedLu::new(Arc::clone(&sym), k);
+            // Refresh lanes one at a time, in scrambled order.
+            for lane in (0..k).rev() {
+                let mut mask = vec![false; k];
+                mask[lane] = true;
+                let (analyses, invalidated) = masked.refactor_masked(&a, &vals, &mask).unwrap();
+                assert_eq!(analyses, 0);
+                assert!(!invalidated);
+            }
+            let mut x_full: Vec<f64> = b.iter().flat_map(|&v| vec![v; k]).collect();
+            let mut x_masked = x_full.clone();
+            full.solve_in_place(&mut x_full);
+            masked.solve_in_place(&mut x_masked);
+            assert_eq!(x_full, x_masked, "k {k}: masked factors drifted");
+        }
+    }
+
+    /// Pivot drift in a masked lane forces a shared re-analysis, which the
+    /// call must report so the caller can refresh the unmasked lanes.
+    #[test]
+    fn masked_refactor_reports_invalidation_on_reanalysis() {
+        let a =
+            SparseMatrix::from_triplets(2, &[(0, 0, 5.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 0.1)]);
+        let sym = Arc::new(SymbolicLu::analyze(&a).unwrap());
+        let k = 2;
+        let lane_vals = [[5.0, 1.0, 1.0, 0.1], [0.0, 1.0, 1.0, 0.1]];
+        let vals: Vec<f64> = (0..a.nnz())
+            .flat_map(|s| (0..k).map(move |lane| lane_vals[lane][s]))
+            .collect();
+        let mut blu = BatchedLu::new(sym, k);
+        // Lane 0 factors fine under the original order.
+        let (analyses, invalidated) = blu.refactor_masked(&a, &vals, &[true, false]).unwrap();
+        assert_eq!((analyses, invalidated), (0, false));
+        // Lane 1 needs a new pivot order: lane 0's factors are now gone.
+        let (analyses, invalidated) = blu.refactor_masked(&a, &vals, &[false, true]).unwrap();
+        assert_eq!(analyses, 1);
+        assert!(invalidated);
+        // Refreshing lane 0 under the new order restores a solvable batch.
+        let (analyses, _) = blu.refactor_masked(&a, &vals, &[true, false]).unwrap();
+        assert_eq!(analyses, 0);
         let rhs = [1.0, 2.0];
         let mut bb: Vec<f64> = rhs.iter().flat_map(|&v| vec![v; k]).collect();
         blu.solve_in_place(&mut bb);

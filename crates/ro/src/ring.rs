@@ -6,8 +6,8 @@ use rotsv_mosfet::model::VariationSource;
 use rotsv_mosfet::tech45::DriveStrength;
 use rotsv_num::SymbolicCache;
 use rotsv_spice::{
-    transient_batch, Circuit, IntegrationMethod, NodeId, PeriodMeasurement, SolverStats,
-    SourceWaveform, SpiceError, StepControl, TransientSpec, Waveform,
+    transient_batch, transient_queue, Circuit, IntegrationMethod, NodeId, PeriodMeasurement,
+    SolverStats, SourceWaveform, SpiceError, StepControl, TransientSpec, Waveform,
 };
 use rotsv_stdcell::CellBuilder;
 use rotsv_tsv::{Tsv, TsvFault, TsvModel, TsvTech};
@@ -376,10 +376,10 @@ impl RingOscillator {
     }
 
     /// Measures `ros` — same-topology rings differing only in element
-    /// values (process variation, fault severity) — in one lockstep
-    /// batched transient ([`transient_batch`]): one shared symbolic
-    /// analysis, one Newton loop evaluating all lanes, per-lane
-    /// retirement as each ring's crossing count completes.
+    /// values (process variation, fault severity) — in one batched
+    /// transient ([`transient_batch`]): one shared symbolic analysis,
+    /// one Newton loop evaluating all lanes (each on its own clock),
+    /// per-lane retirement as each ring's crossing count completes.
     ///
     /// Returns one `(outcome, stats)` per ring, in input order. Empty
     /// input returns an empty vector.
@@ -411,6 +411,49 @@ impl RingOscillator {
         let spec = first.measure_spec(opts);
         let circuits: Vec<&Circuit> = ros.iter().map(|ro| ro.circuit()).collect();
         let results = transient_batch(&circuits, &spec)?;
+        Ok(ros
+            .iter()
+            .zip(&results)
+            .map(|(ro, res)| ro.extract_outcome(res, opts))
+            .collect())
+    }
+
+    /// Like [`RingOscillator::measure_batch_with_stats`], but streams the
+    /// whole ring queue through `lanes` SIMD lanes with mid-transient
+    /// refill ([`transient_queue`]): when a ring's crossing count
+    /// completes, the next queued ring is seated into its lane
+    /// immediately, so a large population never decays to a half-empty
+    /// batch. Per-ring outcomes are bit-identical to
+    /// [`RingOscillator::measure_batch_with_stats`] at any lane count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; [`SpiceError::InvalidCircuit`] when
+    /// the rings are not topology-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts` is invalid or the rings disagree on V_DD or
+    /// probe node (different build configurations).
+    pub fn measure_queue_with_stats(
+        ros: &[&RingOscillator],
+        lanes: usize,
+        opts: &MeasureOpts,
+    ) -> Result<Vec<(OscillationOutcome, SolverStats)>, SpiceError> {
+        let Some(first) = ros.first() else {
+            return Ok(Vec::new());
+        };
+        opts.validate();
+        for ro in ros {
+            assert_eq!(ro.vdd, first.vdd, "batched rings must share V_DD");
+            assert_eq!(
+                ro.probe, first.probe,
+                "batched rings must share the probe node"
+            );
+        }
+        let spec = first.measure_spec(opts);
+        let circuits: Vec<&Circuit> = ros.iter().map(|ro| ro.circuit()).collect();
+        let results = transient_queue(&circuits, lanes, &spec)?;
         Ok(ros
             .iter()
             .zip(&results)
@@ -548,8 +591,8 @@ mod tests {
         assert!(rel < 0.01, "bypassed fault changed period by {rel}");
     }
 
-    /// One lockstep batch over rings that differ only in fault severity
-    /// must agree with per-ring scalar measurements to well under the
+    /// One batch over rings that differ only in fault severity must
+    /// agree with per-ring scalar measurements to well under the
     /// engine's 0.5 % acceptance budget, while performing a single
     /// symbolic analysis for the whole batch.
     #[test]

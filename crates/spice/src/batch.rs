@@ -1,38 +1,62 @@
-//! Lane-batched transient analysis: K same-topology circuits in lockstep.
+//! Lane-batched transient analysis: a die queue streamed through K
+//! asynchronous SIMD lanes.
 //!
 //! A Monte-Carlo population simulates hundreds of dies that share one
 //! netlist and differ only in element *values* (process variation
 //! perturbs threshold voltages and geometries, never connectivity). The
 //! scalar engine pays the full per-transient cost per die; this module
-//! amortizes everything that depends on topology alone across a batch of
-//! K dies ("lanes"):
+//! amortizes everything that depends on topology alone across K lanes:
 //!
-//! * **one** symbolic LU analysis and pivot order for the whole batch
+//! * **one** symbolic LU analysis and pivot order for the whole queue
 //!   ([`rotsv_num::sparse::BatchedLu`]),
 //! * one stamp-coordinate walk and slot-replay sequence,
 //! * structure-of-arrays device evaluation
 //!   ([`crate::device::BatchedDeviceEval`]) with the lane index as the
 //!   innermost, branch-free loop so the compiler autovectorizes it.
 //!
-//! Time stepping is lockstep: every lane takes the same `dt`, chosen as
-//! the *minimum* over the active lanes' local-truncation-error proposals,
-//! and a step is redone when **any** active lane rejects it. Lanes whose
-//! stop condition fires *retire*: their solution is frozen, they stop
-//! recording and stop voting on `dt`, but their values keep riding along
-//! in the factorization (masked occupancy — the continuous-batching
-//! pattern). The `mc.batch_occupancy` histogram records the active
-//! fraction per accepted step so the cost of stragglers is observable.
+//! Unlike the v1 lockstep engine (which marched all lanes on one shared
+//! time grid, `dt = min` over lane proposals), lanes here are
+//! **asynchronous**: the lockstep unit is one Newton *iteration*, not one
+//! time step. Every lane carries its own clock, step size, Newton state,
+//! integration history and factorization-staleness budget, and follows
+//! the scalar engine's policies *per lane* — same Newton delta form,
+//! damping, stall/staleness refresh, LTE test and step bounds, applied to
+//! that lane alone. Each super-iteration assembles all lanes at their own
+//! `(x, t)` trial points, performs one vectorized residual + solve, and
+//! retires/advances lanes individually. Because every per-lane decision
+//! depends only on that lane's values, **a die's trajectory is
+//! bit-identical regardless of lane count, lane index, or which dies ride
+//! alongside it** — the property the refill scheduler and the
+//! chunked-vs-streamed cross-checks rely on.
 //!
-//! Numerics match the scalar engine's formulation exactly (same Newton
-//! delta form, damping, staleness policy, LTE test and step bounds); the
-//! results differ from scalar runs only through lockstep-`dt` coupling
-//! and the vectorized elementary functions, both far inside the cross-
-//! check tolerance the batched↔scalar agreement tests enforce.
+//! **Refill:** [`transient_queue`] seats the first K dies of the
+//! population into the K lanes; whenever a lane finishes (its stop
+//! condition fires or it reaches `t_stop`), the next queued die is seated
+//! into that lane *mid-flight* — state, element values, device-bank
+//! parameters and factorization flags are re-seeded from the incoming
+//! die — so lanes never idle while work remains. Occupancy is observed
+//! per super-iteration in the `mc.batch_occupancy` histogram, and the
+//! `mc.dt_drag` histogram records, per accepted lane-step, the ratio of
+//! the lane's accepted `dt` to the smallest `dt` among co-resident busy
+//! lanes — the slow-lane drag a lockstep grid would have imposed (the
+//! asynchronous engine grants every proposal, so this is the drag it
+//! *eliminates*; cohort scheduling in `rotsv-core` shrinks it further by
+//! co-seating dies of similar variation magnitude).
+//!
+//! The only shared numerical object is the symbolic pivot order. In the
+//! pathological case where a lane's values defeat it, the re-analysis
+//! replaces the order for every lane ([`BatchedLu::refactor_masked`]
+//! reports this) and co-resident lanes get freshly factored — their
+//! Newton iterations remain correct (the delta formulation tolerates any
+//! factorization) but their trajectories may then differ from a solo run.
+//! This never happens on the workloads in this repository and the scalar
+//! engine has the same per-die fallback.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
+use rotsv_num::linsolve::SolveError;
 use rotsv_num::sparse::{BatchedLu, SolverStats, SparseMatrix, SymbolicCache, SymbolicLu};
 
 use crate::circuit::{Circuit, Element};
@@ -89,7 +113,8 @@ struct BatchDevice {
     jbuf: Vec<f64>,
 }
 
-/// Reusable assembly/factorization workspace for a K-lane batch.
+/// Reusable assembly/factorization workspace for a K-lane batch over an
+/// N-die population (`lane_die` maps each lane to its current die).
 struct BatchWorkspace {
     k: usize,
     n: usize,
@@ -107,17 +132,26 @@ struct BatchWorkspace {
     devices: Vec<BatchDevice>,
     lu: Option<BatchedLu>,
     cache: Option<Arc<SymbolicCache>>,
-    stale_iters: usize,
+    /// Which die occupies each lane (index into the population).
+    lane_die: Vec<usize>,
+    /// Per-lane: are the stored LU factors usable?
+    lu_valid: Vec<bool>,
+    /// Per-lane: has the lane ever been factored (gates the
+    /// skip-if-unchanged comparison against `last_factored`)?
+    factored_once: Vec<bool>,
+    /// `nnz * k` values at each lane's last factorization.
     last_factored: Vec<f64>,
+    /// `k` scratch for the masked-refactor lane set.
+    refactor_mask: Vec<bool>,
     /// `n * k` residual scratch.
     resid: Vec<f64>,
     /// `k` per-terminal rhs scratch.
     rhs: Vec<f64>,
-    /// Per-lane work counters.
+    /// Per-**die** work counters (population order, length N).
     stats: Vec<SolverStats>,
 }
 
-/// Checks that every lane has the topology of lane 0: same nodes, same
+/// Checks that every die has the topology of die 0: same nodes, same
 /// element sequence (kinds, terminals, branches), same gmin. Values
 /// (resistances, capacitances, waveforms, device parameters) may differ.
 fn validate_topology(ckts: &[&Circuit]) -> Result<(), SpiceError> {
@@ -177,20 +211,22 @@ fn validate_topology(ckts: &[&Circuit]) -> Result<(), SpiceError> {
 }
 
 impl BatchWorkspace {
-    fn new(ckts: &[&Circuit]) -> Result<Self, SpiceError> {
+    /// Builds a K-lane workspace over the population `ckts`, seating dies
+    /// `0..k` into the lanes initially.
+    fn new(ckts: &[&Circuit], k: usize) -> Result<Self, SpiceError> {
         validate_topology(ckts)?;
         let c0 = ckts[0];
-        let k = ckts.len();
         let n = c0.unknown_count();
         let coords = stamp_coords(c0);
         let (pattern, slots) = SparseMatrix::from_coords(n, &coords);
+        let seated = &ckts[..k];
 
         let mut elems = Vec::with_capacity(c0.elements.len());
         let mut devices = Vec::new();
         for (ei, elem) in c0.elements.iter().enumerate() {
             elems.push(match elem {
                 Element::Resistor { a, b, .. } => {
-                    let g = ckts
+                    let g = seated
                         .iter()
                         .map(|c| match &c.elements[ei] {
                             Element::Resistor { ohms, .. } => 1.0 / ohms,
@@ -203,7 +239,7 @@ impl BatchWorkspace {
                 Element::VSource {
                     pos, neg, branch, ..
                 } => {
-                    let waves = ckts
+                    let waves = seated
                         .iter()
                         .map(|c| match &c.elements[ei] {
                             Element::VSource { wave, .. } => wave.clone(),
@@ -218,7 +254,7 @@ impl BatchWorkspace {
                     }
                 }
                 Element::ISource { from, to, .. } => {
-                    let waves = ckts
+                    let waves = seated
                         .iter()
                         .map(|c| match &c.elements[ei] {
                             Element::ISource { wave, .. } => wave.clone(),
@@ -232,7 +268,7 @@ impl BatchWorkspace {
                     }
                 }
                 Element::Nonlinear(d0) => {
-                    let lanes: Vec<&dyn NonlinearDevice> = ckts
+                    let lanes: Vec<&dyn NonlinearDevice> = seated
                         .iter()
                         .map(|c| match &c.elements[ei] {
                             Element::Nonlinear(d) => d.as_ref(),
@@ -263,18 +299,83 @@ impl BatchWorkspace {
             gmin: c0.gmin(),
             values: vec![0.0; pattern.nnz() * k],
             b: vec![0.0; n * k],
+            last_factored: vec![0.0; pattern.nnz() * k],
             pattern,
             slots,
             elems,
             devices,
             lu: None,
             cache: c0.symbolic_cache().cloned(),
-            stale_iters: 0,
-            last_factored: Vec::new(),
+            lane_die: (0..k).collect(),
+            lu_valid: vec![false; k],
+            factored_once: vec![false; k],
+            refactor_mask: vec![false; k],
             resid: vec![0.0; n * k],
             rhs: vec![0.0; k],
-            stats: vec![SolverStats::default(); k],
+            stats: vec![SolverStats::default(); ckts.len()],
         })
+    }
+
+    /// Seats `die` into `lane`: re-extracts that lane's element values
+    /// (conductances, waveforms), re-seats or rebuilds the device banks,
+    /// and invalidates the lane's stored LU factors. The caller re-seeds
+    /// the dynamic state (`x`, capacitor history, lane clock).
+    fn reseat_lane(&mut self, ckts: &[&Circuit], lane: usize, die: usize) {
+        self.lane_die[lane] = die;
+        self.lu_valid[lane] = false;
+        self.factored_once[lane] = false;
+        let c = ckts[die];
+        for (ei, elem) in self.elems.iter_mut().enumerate() {
+            match elem {
+                BatchElem::Resistor { g, .. } => {
+                    let Element::Resistor { ohms, .. } = &c.elements[ei] else {
+                        unreachable!("validated topology");
+                    };
+                    g[lane] = 1.0 / ohms;
+                }
+                BatchElem::Capacitor { .. } => {}
+                BatchElem::VSource { waves, .. } => {
+                    let Element::VSource { wave, .. } = &c.elements[ei] else {
+                        unreachable!("validated topology");
+                    };
+                    waves[lane] = wave.clone();
+                }
+                BatchElem::ISource { waves, .. } => {
+                    let Element::ISource { wave, .. } = &c.elements[ei] else {
+                        unreachable!("validated topology");
+                    };
+                    waves[lane] = wave.clone();
+                }
+                BatchElem::Device(di) => {
+                    let Element::Nonlinear(d) = &c.elements[ei] else {
+                        unreachable!("validated topology");
+                    };
+                    let dev = &mut self.devices[*di];
+                    let rebuild = match &mut dev.kind {
+                        // O(1) in-place re-seat when the bank accepts the
+                        // incoming device (uniform shared parameters).
+                        DeviceKind::Batched(bank) => !bank.reseat_lane(lane, d.as_ref()),
+                        // Per-lane fallback reads `ckts[lane_die[lane]]`
+                        // directly at stamp time — nothing to update.
+                        DeviceKind::PerLane(_) => false,
+                    };
+                    if rebuild {
+                        let lanes_refs: Vec<&dyn NonlinearDevice> = self
+                            .lane_die
+                            .iter()
+                            .map(|&ld| match &ckts[ld].elements[ei] {
+                                Element::Nonlinear(dd) => dd.as_ref(),
+                                _ => unreachable!("validated topology"),
+                            })
+                            .collect();
+                        dev.kind = match lanes_refs[0].batch_with(&lanes_refs) {
+                            Some(b) => DeviceKind::Batched(b),
+                            None => DeviceKind::PerLane(DeviceStamp::new(dev.nodes.len())),
+                        };
+                    }
+                }
+            }
+        }
     }
 
     /// Adds per-lane values into one CSR slot.
@@ -307,9 +408,28 @@ impl BatchWorkspace {
         cursor
     }
 
+    /// Dispatches to the monomorphized assembly for the common lane
+    /// counts; the dynamic body is the fallback (and the reference: each
+    /// pair of arms performs bit-identical per-lane arithmetic).
+    fn assemble(&mut self, ckts: &[&Circuit], x: &[f64], t: &[f64], companions: &[(f64, f64)]) {
+        match self.k {
+            1 => self.assemble_k::<1>(ckts, x, t, companions),
+            2 => self.assemble_k::<2>(ckts, x, t, companions),
+            3 => self.assemble_k::<3>(ckts, x, t, companions),
+            4 => self.assemble_k::<4>(ckts, x, t, companions),
+            5 => self.assemble_k::<5>(ckts, x, t, companions),
+            6 => self.assemble_k::<6>(ckts, x, t, companions),
+            7 => self.assemble_k::<7>(ckts, x, t, companions),
+            8 => self.assemble_k::<8>(ckts, x, t, companions),
+            16 => self.assemble_k::<16>(ckts, x, t, companions),
+            _ => self.assemble_dyn(ckts, x, t, companions),
+        }
+    }
+
     /// Monomorphized assembly for `K == self.k`: identical stamp order
-    /// and arithmetic to [`BatchWorkspace::assemble`], with const-length
-    /// lane loops that unroll and vectorize.
+    /// and arithmetic to [`BatchWorkspace::assemble_dyn`], with
+    /// const-length lane loops that unroll and vectorize. Each lane is
+    /// evaluated at its own time `t[lane]` (lanes step asynchronously).
     // Lane loops deliberately index several parallel arrays by `lane`;
     // the iterator forms clippy suggests obscure that symmetry.
     #[allow(clippy::needless_range_loop)]
@@ -317,7 +437,7 @@ impl BatchWorkspace {
         &mut self,
         ckts: &[&Circuit],
         x: &[f64],
-        t: f64,
+        t: &[f64],
         companions: &[(f64, f64)],
     ) {
         debug_assert_eq!(self.k, K);
@@ -383,12 +503,12 @@ impl BatchWorkspace {
                         cursor += 2;
                     }
                     for (lane, wave) in waves.iter().enumerate() {
-                        self.b[rb * K + lane] = wave.value(t);
+                        self.b[rb * K + lane] = wave.value(t[lane]);
                     }
                 }
                 BatchElem::ISource { from, to, waves } => {
                     for (lane, wave) in waves.iter().enumerate() {
-                        let i = wave.value(t);
+                        let i = wave.value(t[lane]);
                         if let Some(rf) = row_of(*from) {
                             self.b[rf * K + lane] -= i;
                         }
@@ -466,7 +586,8 @@ impl BatchWorkspace {
             DeviceKind::PerLane(stamp) => {
                 let mut v = vec![0.0; nt];
                 for lane in 0..K {
-                    let Element::Nonlinear(d) = &ckts[lane].elements[elem_idx] else {
+                    let Element::Nonlinear(d) = &ckts[self.lane_die[lane]].elements[elem_idx]
+                    else {
                         unreachable!("validated topology");
                     };
                     for ti in 0..nt {
@@ -512,14 +633,15 @@ impl BatchWorkspace {
         cursor
     }
 
-    /// Assembles all lanes at the interleaved iterate `x` and time `t`.
-    /// `companions[cap*k + lane]` holds the Norton `(geq, ieq)` pair of
-    /// each capacitor (always companion mode: a batched run is always a
-    /// transient).
+    /// Assembles all lanes at the interleaved iterate `x`, per-lane times
+    /// `t[lane]`. `companions[cap*k + lane]` holds the Norton `(geq,
+    /// ieq)` pair of each capacitor (always companion mode: a batched run
+    /// is always a transient). Idle lanes are stamped at their frozen
+    /// state — their values stay finite and are never solved or factored.
     // Lane loops deliberately index several parallel arrays by `lane`;
     // the iterator forms clippy suggests obscure that symmetry.
     #[allow(clippy::needless_range_loop)]
-    fn assemble(&mut self, ckts: &[&Circuit], x: &[f64], t: f64, companions: &[(f64, f64)]) {
+    fn assemble_dyn(&mut self, ckts: &[&Circuit], x: &[f64], t: &[f64], companions: &[(f64, f64)]) {
         let k = self.k;
         self.values.fill(0.0);
         self.b.fill(0.0);
@@ -585,12 +707,12 @@ impl BatchWorkspace {
                         cursor += 2;
                     }
                     for (lane, wave) in waves.iter().enumerate() {
-                        self.b[rb * k + lane] = wave.value(t);
+                        self.b[rb * k + lane] = wave.value(t[lane]);
                     }
                 }
                 BatchElem::ISource { from, to, waves } => {
                     for (lane, wave) in waves.iter().enumerate() {
-                        let i = wave.value(t);
+                        let i = wave.value(t[lane]);
                         if let Some(rf) = row_of(*from) {
                             self.b[rf * k + lane] -= i;
                         }
@@ -637,7 +759,8 @@ impl BatchWorkspace {
             DeviceKind::PerLane(stamp) => {
                 let mut v = vec![0.0; nt];
                 for lane in 0..k {
-                    let Element::Nonlinear(d) = &ckts[lane].elements[elem_idx] else {
+                    let Element::Nonlinear(d) = &ckts[self.lane_die[lane]].elements[elem_idx]
+                    else {
                         unreachable!("validated topology");
                     };
                     for ti in 0..nt {
@@ -682,27 +805,57 @@ impl BatchWorkspace {
         cursor
     }
 
-    /// (Re)factors the current lane values.
+    /// (Re)factors the lanes whose refresh policy fired (`want`),
+    /// per-lane: each wanted lane whose values changed since its last
+    /// factorization is swept individually (bit-identical to any other
+    /// lane composition), unchanged lanes keep their factors (the scalar
+    /// skip-if-unchanged, applied per lane).
     ///
     /// Counter attribution keeps population sums meaningful: symbolic
-    /// analyses are charged to lane 0 only (the batch performs
-    /// O(topologies) analyses, not O(lanes)), while factorizations are
-    /// charged to every *active* lane (each lane's values were factored).
-    fn refactor(&mut self, t: f64, active: &[bool]) -> Result<(), SpiceError> {
-        if self.lu.is_some() && self.last_factored == self.values {
-            self.stale_iters = 0;
+    /// analyses are charged to die 0 only (the queue performs
+    /// O(topologies) analyses, not O(dies)), while factorizations are
+    /// charged to the die seated in each factored lane.
+    ///
+    /// If pivot drift in a factored lane forces a shared re-analysis,
+    /// every other lane's factors die with the old pivot order; the busy
+    /// ones are refreshed here from their current assembled values (their
+    /// delta-form Newton iterations stay correct with fresh factors).
+    // Lane loops deliberately index several parallel arrays by `lane`;
+    // the iterator forms clippy suggests obscure that symmetry.
+    #[allow(clippy::needless_range_loop)]
+    fn refactor_lanes(&mut self, t: f64, want: &[bool], busy: &[bool]) -> Result<(), SpiceError> {
+        let k = self.k;
+        let nnz = self.pattern.nnz();
+        let map_err = |source| SpiceError::SingularSystem { time: t, source };
+        let mut any = false;
+        for lane in 0..k {
+            let mut need = false;
+            if want[lane] {
+                need = true;
+                if self.lu_valid[lane] && self.factored_once[lane] {
+                    let unchanged = (0..nnz)
+                        .all(|s| self.values[s * k + lane] == self.last_factored[s * k + lane]);
+                    if unchanged {
+                        need = false;
+                    }
+                }
+            }
+            self.refactor_mask[lane] = need;
+            any |= need;
+        }
+        if !any {
             return Ok(());
         }
-        let map_err = |source| SpiceError::SingularSystem { time: t, source };
         if self.lu.is_none() {
             // First factorization: analyze (or fetch from the shared
-            // cache) using lane 0's values as the probe. Every lane
-            // shares the pattern, so the pivot order transfers; a lane
-            // it fails for triggers BatchedLu's internal re-analysis.
+            // cache) using the first wanted lane's values as the probe.
+            // Every lane shares the pattern, so the pivot order transfers;
+            // a lane it fails for triggers the masked re-analysis below.
+            let probe_lane = (0..k).find(|&l| self.refactor_mask[l]).unwrap_or(0);
             let mut probe = self.pattern.clone();
             probe.zero_values();
-            for s in 0..self.pattern.nnz() {
-                probe.add_slot(s, self.values[s * self.k]);
+            for s in 0..nnz {
+                probe.add_slot(s, self.values[s * k + probe_lane]);
             }
             let (sym, analyses) = match &self.cache {
                 Some(cache) => {
@@ -712,282 +865,53 @@ impl BatchWorkspace {
                 None => (Arc::new(SymbolicLu::analyze(&probe).map_err(map_err)?), 1),
             };
             self.stats[0].symbolic_analyses += analyses;
-            self.lu = Some(BatchedLu::new(sym, self.k));
+            self.lu = Some(BatchedLu::new(sym, k));
         }
-        let lu = self.lu.as_mut().expect("installed above");
-        let reanalyses = lu.refactor(&self.pattern, &self.values).map_err(map_err)?;
-        self.stats[0].symbolic_analyses += reanalyses;
-        for (lane, stats) in self.stats.iter_mut().enumerate() {
-            if active[lane] {
-                stats.factorizations += 1;
+        let mut rounds = 0u32;
+        loop {
+            rounds += 1;
+            if rounds > 4 {
+                // Two lanes ping-ponging the shared pivot order — no
+                // order satisfies the batch.
+                return Err(map_err(SolveError::Singular { column: 0 }));
+            }
+            let lu = self.lu.as_mut().expect("installed above");
+            let (analyses, invalidated) = lu
+                .refactor_masked(&self.pattern, &self.values, &self.refactor_mask)
+                .map_err(map_err)?;
+            self.stats[0].symbolic_analyses += analyses;
+            for lane in 0..k {
+                if !self.refactor_mask[lane] {
+                    continue;
+                }
+                self.stats[self.lane_die[lane]].factorizations += 1;
+                self.lu_valid[lane] = true;
+                self.factored_once[lane] = true;
+                for s in 0..nnz {
+                    self.last_factored[s * k + lane] = self.values[s * k + lane];
+                }
+            }
+            if !invalidated {
+                return Ok(());
+            }
+            // The shared pivot order changed: every unmasked lane's
+            // stored factors are gone. Refresh the busy ones now (their
+            // assembled values are current); idle lanes are refreshed
+            // when a refill re-seats them.
+            let mut any2 = false;
+            for lane in 0..k {
+                let died = !self.refactor_mask[lane];
+                if died {
+                    self.lu_valid[lane] = false;
+                }
+                self.refactor_mask[lane] = died && busy[lane];
+                any2 |= self.refactor_mask[lane];
+            }
+            if !any2 {
+                return Ok(());
             }
         }
-        self.stale_iters = 0;
-        self.last_factored.clear();
-        self.last_factored.extend_from_slice(&self.values);
-        Ok(())
     }
-}
-
-/// Runs the lockstep Newton iteration for one trial step.
-///
-/// `x` holds the lane-interleaved iterate and is updated in place for
-/// *active* lanes only (retired lanes stay frozen). Returns `Ok(true)`
-/// when every active lane converged, `Ok(false)` for plain
-/// non-convergence (the caller halves the step, as in the scalar
-/// engine).
-fn newton_batch(
-    ws: &mut BatchWorkspace,
-    ckts: &[&Circuit],
-    x: &mut [f64],
-    t: f64,
-    companions: &[(f64, f64)],
-    active: &[bool],
-    opts: &NewtonOpts,
-) -> Result<bool, SpiceError> {
-    let _span = rotsv_obs::span!("newton_batch", "k" = ws.k);
-    // Monomorphized hot path for the common batch widths; the dynamic
-    // body below is the fallback (and the reference: each pair of arms
-    // performs bit-identical arithmetic in the same order).
-    match ws.k {
-        1 => return newton_batch_k::<1>(ws, ckts, x, t, companions, active, opts),
-        2 => return newton_batch_k::<2>(ws, ckts, x, t, companions, active, opts),
-        3 => return newton_batch_k::<3>(ws, ckts, x, t, companions, active, opts),
-        4 => return newton_batch_k::<4>(ws, ckts, x, t, companions, active, opts),
-        5 => return newton_batch_k::<5>(ws, ckts, x, t, companions, active, opts),
-        6 => return newton_batch_k::<6>(ws, ckts, x, t, companions, active, opts),
-        7 => return newton_batch_k::<7>(ws, ckts, x, t, companions, active, opts),
-        8 => return newton_batch_k::<8>(ws, ckts, x, t, companions, active, opts),
-        16 => return newton_batch_k::<16>(ws, ckts, x, t, companions, active, opts),
-        _ => {}
-    }
-    let k = ws.k;
-    let n = ws.n;
-    let n_nodes = ws.n_node_unknowns;
-    let mut prev_rnorm = vec![f64::INFINITY; k];
-    let mut rnorm = vec![0.0f64; k];
-    let mut prev_damped = false;
-    let mut delta = vec![0.0f64; n * k];
-    for _ in 0..opts.max_iterations {
-        for (lane, stats) in ws.stats.iter_mut().enumerate() {
-            if active[lane] {
-                stats.newton_iterations += 1;
-            }
-        }
-        ws.assemble(ckts, x, t, companions);
-        // Residual r = b − A·x per lane.
-        let mut resid = std::mem::take(&mut ws.resid);
-        ws.pattern.mul_vec_lanes_into(&ws.values, k, x, &mut resid);
-        for (ri, bi) in resid.iter_mut().zip(&ws.b) {
-            *ri = *bi - *ri;
-        }
-        rnorm.fill(0.0);
-        for i in 0..n {
-            for (lane, rn) in rnorm.iter_mut().enumerate() {
-                *rn = rn.max(resid[i * k + lane].abs());
-            }
-        }
-        // Stall/refresh policy is batch-wide: the factorization is
-        // shared, so any active lane's stall refreshes all lanes.
-        let stalled = !prev_damped
-            && active
-                .iter()
-                .zip(rnorm.iter().zip(&prev_rnorm))
-                .any(|(&a, (&rn, &prn))| a && rn > STALL_RATIO * prn);
-        if ws.lu.is_none() || ws.stale_iters >= opts.max_stale || stalled || prev_damped {
-            if let Err(e) = ws.refactor(t, active) {
-                ws.resid = resid;
-                return Err(e);
-            }
-        } else {
-            ws.stale_iters += 1;
-        }
-        delta.copy_from_slice(&resid);
-        ws.resid = resid;
-        ws.lu
-            .as_mut()
-            .expect("factorization exists after refactor")
-            .solve_in_place(&mut delta);
-        for (lane, stats) in ws.stats.iter_mut().enumerate() {
-            if active[lane] {
-                stats.solves += 1;
-            }
-        }
-        prev_rnorm.copy_from_slice(&rnorm);
-
-        let mut all_converged = true;
-        let mut any_damped = false;
-        let mut scale = vec![1.0f64; k];
-        for (lane, &is_active) in active.iter().enumerate() {
-            if !is_active {
-                continue;
-            }
-            let mut max_dv = 0.0f64;
-            let mut finite = true;
-            for i in 0..n {
-                let d = delta[i * k + lane];
-                finite &= d.is_finite();
-                if i < n_nodes {
-                    max_dv = max_dv.max(d.abs());
-                }
-            }
-            if !finite {
-                return Ok(false);
-            }
-            let mut converged = max_dv <= opts.v_abstol;
-            if !converged {
-                converged = (0..n_nodes).all(|i| {
-                    let d = delta[i * k + lane];
-                    d.abs() <= opts.v_abstol + opts.reltol * (x[i * k + lane] + d).abs()
-                });
-            }
-            all_converged &= converged;
-            if max_dv > opts.v_step_limit {
-                any_damped = true;
-                scale[lane] = opts.v_step_limit / max_dv;
-            }
-        }
-        if all_converged {
-            for (lane, &is_active) in active.iter().enumerate() {
-                if is_active {
-                    for i in 0..n {
-                        x[i * k + lane] += delta[i * k + lane];
-                    }
-                }
-            }
-            return Ok(true);
-        }
-        for (lane, &is_active) in active.iter().enumerate() {
-            if is_active {
-                let s = scale[lane];
-                for i in 0..n {
-                    x[i * k + lane] += s * delta[i * k + lane];
-                }
-            }
-        }
-        prev_damped = any_damped;
-    }
-    Ok(false)
-}
-
-/// Monomorphized body of [`newton_batch`] for `K == ws.k`: per-lane
-/// norms and damping scales live in `K`-element register arrays and all
-/// lane loops have const trip counts.
-fn newton_batch_k<const K: usize>(
-    ws: &mut BatchWorkspace,
-    ckts: &[&Circuit],
-    x: &mut [f64],
-    t: f64,
-    companions: &[(f64, f64)],
-    active: &[bool],
-    opts: &NewtonOpts,
-) -> Result<bool, SpiceError> {
-    debug_assert_eq!(ws.k, K);
-    let n = ws.n;
-    let n_nodes = ws.n_node_unknowns;
-    let mut prev_rnorm = [f64::INFINITY; K];
-    let mut prev_damped = false;
-    let mut delta = vec![0.0f64; n * K];
-    for _ in 0..opts.max_iterations {
-        for (lane, stats) in ws.stats.iter_mut().enumerate() {
-            if active[lane] {
-                stats.newton_iterations += 1;
-            }
-        }
-        ws.assemble_k::<K>(ckts, x, t, companions);
-        // Residual r = b − A·x per lane.
-        let mut resid = std::mem::take(&mut ws.resid);
-        ws.pattern.mul_vec_lanes_into(&ws.values, K, x, &mut resid);
-        for (ri, bi) in resid.iter_mut().zip(&ws.b) {
-            *ri = *bi - *ri;
-        }
-        let mut rnorm = [0.0f64; K];
-        for i in 0..n {
-            for (lane, rn) in rnorm.iter_mut().enumerate() {
-                *rn = rn.max(resid[i * K + lane].abs());
-            }
-        }
-        // Stall/refresh policy is batch-wide: the factorization is
-        // shared, so any active lane's stall refreshes all lanes.
-        let stalled = !prev_damped
-            && active
-                .iter()
-                .zip(rnorm.iter().zip(&prev_rnorm))
-                .any(|(&a, (&rn, &prn))| a && rn > STALL_RATIO * prn);
-        if ws.lu.is_none() || ws.stale_iters >= opts.max_stale || stalled || prev_damped {
-            if let Err(e) = ws.refactor(t, active) {
-                ws.resid = resid;
-                return Err(e);
-            }
-        } else {
-            ws.stale_iters += 1;
-        }
-        delta.copy_from_slice(&resid);
-        ws.resid = resid;
-        ws.lu
-            .as_mut()
-            .expect("factorization exists after refactor")
-            .solve_in_place(&mut delta);
-        for (lane, stats) in ws.stats.iter_mut().enumerate() {
-            if active[lane] {
-                stats.solves += 1;
-            }
-        }
-        prev_rnorm = rnorm;
-
-        let mut all_converged = true;
-        let mut any_damped = false;
-        let mut scale = [1.0f64; K];
-        for (lane, &is_active) in active.iter().enumerate() {
-            if !is_active {
-                continue;
-            }
-            let mut max_dv = 0.0f64;
-            let mut finite = true;
-            for i in 0..n {
-                let d = delta[i * K + lane];
-                finite &= d.is_finite();
-                if i < n_nodes {
-                    max_dv = max_dv.max(d.abs());
-                }
-            }
-            if !finite {
-                return Ok(false);
-            }
-            let mut converged = max_dv <= opts.v_abstol;
-            if !converged {
-                converged = (0..n_nodes).all(|i| {
-                    let d = delta[i * K + lane];
-                    d.abs() <= opts.v_abstol + opts.reltol * (x[i * K + lane] + d).abs()
-                });
-            }
-            all_converged &= converged;
-            if max_dv > opts.v_step_limit {
-                any_damped = true;
-                scale[lane] = opts.v_step_limit / max_dv;
-            }
-        }
-        if all_converged {
-            for (lane, &is_active) in active.iter().enumerate() {
-                if is_active {
-                    for i in 0..n {
-                        x[i * K + lane] += delta[i * K + lane];
-                    }
-                }
-            }
-            return Ok(true);
-        }
-        for (lane, &is_active) in active.iter().enumerate() {
-            if is_active {
-                let s = scale[lane];
-                for i in 0..n {
-                    x[i * K + lane] += s * delta[i * K + lane];
-                }
-            }
-        }
-        prev_damped = any_damped;
-    }
-    Ok(false)
 }
 
 /// Per-lane capacitor history (voltage across and branch current).
@@ -997,31 +921,655 @@ struct CapLane {
     i: f64,
 }
 
-/// Runs one transient analysis over `ckts.len()` same-topology circuits
-/// in lockstep, returning one [`TransientResult`] per lane.
-///
-/// All lanes share `spec` (grid, stop condition, recorded nodes); lanes
-/// differ through their circuits' element values. Per-lane
-/// [`SolverStats`] attribute symbolic analyses to lane 0 only and split
-/// wall time equally, so summing lanes matches the batch totals.
-///
-/// # Errors
-///
-/// Returns [`SpiceError::InvalidCircuit`] when the lanes' topologies
-/// differ, [`SpiceError::InvalidSpec`] for a bad grid or a
-/// `start_from_dcop` request (the batched engine starts from
-/// `initial_voltages` only — ring measurements never use a dcop seed),
-/// and the scalar engine's convergence/singularity errors otherwise.
-pub fn transient_batch(
-    ckts: &[&Circuit],
-    spec: &TransientSpec,
-) -> Result<Vec<TransientResult>, SpiceError> {
-    if ckts.is_empty() {
-        return Ok(Vec::new());
+/// Where a lane is inside its current time step.
+#[derive(Clone, Copy, PartialEq)]
+enum LanePhase {
+    /// Begin a fresh step: pick `dt_try` from `dt_next`, reset halvings.
+    StartStep,
+    /// Redo the current step at the already-shrunk `dt_try`.
+    Retry,
+    /// Mid-Newton on the current trial step.
+    Newton,
+}
+
+/// Outcome of one super-iteration for one lane.
+#[derive(Clone, Copy, PartialEq)]
+enum Outcome {
+    /// Still iterating (or idle).
+    Pending,
+    /// Newton converged; step acceptance (LTE) pending.
+    Converged,
+    /// Newton exhausted its budget or produced a non-finite update.
+    Failed,
+}
+
+/// The scalar transient-stepping state of one lane, advanced per lane
+/// with exactly the scalar engine's policies.
+#[derive(Clone, Copy)]
+struct LaneState {
+    busy: bool,
+    phase: LanePhase,
+    /// Lane clock: last accepted time.
+    t: f64,
+    /// End time of the current trial step.
+    t_next: f64,
+    /// Current trial step size.
+    dt_try: f64,
+    /// Next step-size proposal (LTE-grown).
+    dt_next: f64,
+    /// Size of the last accepted step (predictor/LTE reference).
+    dt_prev: f64,
+    /// Is `x_prev` valid for this lane?
+    has_hist: bool,
+    /// Accepted steps on this lane's current die.
+    steps: usize,
+    /// Newton-failure halvings within the current step (fixed grid).
+    halvings: u32,
+    /// Newton iterations spent on the current trial step.
+    iter: usize,
+    prev_rnorm: f64,
+    prev_damped: bool,
+    /// Iterations since this lane's factors were refreshed.
+    stale_iters: usize,
+    /// Rising crossings seen so far (stop condition).
+    crossings: usize,
+    /// Stop-node voltage at the previous accepted step.
+    stop_prev: f64,
+}
+
+/// Reads node voltage of `lane` from a lane-interleaved vector.
+#[inline]
+fn lane_voltage(x: &[f64], k: usize, node: NodeId, lane: usize) -> f64 {
+    match row_of(node) {
+        Some(r) => x[r * k + lane],
+        None => 0.0,
     }
-    let k = ckts.len();
-    let span = rotsv_obs::span!("transient_batch", "k" = k);
-    let _ = &span;
+}
+
+const MAX_HALVINGS: u32 = 12;
+
+/// The asynchronous K-lane engine streaming an N-die queue.
+struct QueueEngine<'a> {
+    ckts: &'a [&'a Circuit],
+    spec: &'a TransientSpec,
+    ws: BatchWorkspace,
+    k: usize,
+    n: usize,
+    n_node_unknowns: usize,
+    /// Initial unknown vector shared by every die.
+    x0: Vec<f64>,
+    /// `n * k` last accepted solution per lane.
+    x: Vec<f64>,
+    /// `n * k` Newton iterate per lane.
+    x_try: Vec<f64>,
+    /// `n * k` previous accepted solution per lane (predictor/LTE).
+    x_prev: Vec<f64>,
+    cap_nodes: Vec<(NodeId, NodeId)>,
+    /// `caps * k` per-lane capacitances.
+    farads: Vec<f64>,
+    /// `caps * k` per-lane Norton companions of the current trial step.
+    companions: Vec<(f64, f64)>,
+    /// `caps * k` per-lane integration history.
+    caps: Vec<CapLane>,
+    /// `k` per-lane evaluation times (busy: trial end; idle: frozen).
+    t_eval: Vec<f64>,
+    lanes: Vec<LaneState>,
+    /// Per-die recording (population order).
+    time: Vec<Vec<f64>>,
+    columns: Vec<BTreeMap<NodeId, Vec<f64>>>,
+    current_columns: Vec<BTreeMap<usize, Vec<f64>>>,
+    stopped_early: Vec<bool>,
+    steps_taken: Vec<usize>,
+    /// Next queued die (population index).
+    next_die: usize,
+}
+
+impl<'a> QueueEngine<'a> {
+    fn new(ckts: &'a [&'a Circuit], k: usize, spec: &'a TransientSpec) -> Result<Self, SpiceError> {
+        let ws = BatchWorkspace::new(ckts, k)?;
+        let n = ws.n;
+        let n_node_unknowns = ws.n_node_unknowns;
+        let n_dies = ckts.len();
+
+        let mut x0 = vec![0.0f64; n];
+        for &(node, v) in &spec.initial_voltages {
+            if let Some(r) = row_of(node) {
+                x0[r] = v;
+            }
+        }
+
+        let cap_nodes: Vec<(NodeId, NodeId)> = ckts[0]
+            .elements
+            .iter()
+            .filter_map(|e| match e {
+                Element::Capacitor { a, b, .. } => Some((*a, *b)),
+                _ => None,
+            })
+            .collect();
+        let n_caps = cap_nodes.len();
+
+        let record_nodes: Vec<NodeId> = if spec.record_nodes.is_empty() {
+            (0..ckts[0].node_count()).map(NodeId).collect()
+        } else {
+            let mut nodes = spec.record_nodes.clone();
+            nodes.sort_unstable();
+            nodes.dedup();
+            nodes
+        };
+        let columns: Vec<BTreeMap<NodeId, Vec<f64>>> = (0..n_dies)
+            .map(|_| record_nodes.iter().map(|&nd| (nd, Vec::new())).collect())
+            .collect();
+        let current_columns: Vec<BTreeMap<usize, Vec<f64>>> = (0..n_dies)
+            .map(|_| {
+                spec.record_currents
+                    .iter()
+                    .map(|vs| (vs.0, Vec::new()))
+                    .collect()
+            })
+            .collect();
+
+        Ok(Self {
+            ckts,
+            spec,
+            ws,
+            k,
+            n,
+            n_node_unknowns,
+            x0,
+            x: vec![0.0; n * k],
+            x_try: vec![0.0; n * k],
+            x_prev: vec![0.0; n * k],
+            cap_nodes,
+            farads: vec![0.0; n_caps * k],
+            companions: vec![(0.0, 0.0); n_caps * k],
+            caps: vec![CapLane::default(); n_caps * k],
+            t_eval: vec![0.0; k],
+            lanes: vec![
+                LaneState {
+                    busy: false,
+                    phase: LanePhase::StartStep,
+                    t: 0.0,
+                    t_next: 0.0,
+                    dt_try: spec.dt,
+                    dt_next: spec.dt,
+                    dt_prev: spec.dt,
+                    has_hist: false,
+                    steps: 0,
+                    halvings: 0,
+                    iter: 0,
+                    prev_rnorm: f64::INFINITY,
+                    prev_damped: false,
+                    stale_iters: 0,
+                    crossings: 0,
+                    stop_prev: 0.0,
+                };
+                k
+            ],
+            time: vec![Vec::new(); n_dies],
+            columns,
+            current_columns,
+            stopped_early: vec![false; n_dies],
+            steps_taken: vec![0usize; n_dies],
+            next_die: 0,
+        })
+    }
+
+    /// Appends the current accepted state of `lane` to its die's record.
+    fn record(&mut self, die: usize, lane: usize, t: f64) {
+        let k = self.k;
+        self.time[die].push(t);
+        for (&node, col) in self.columns[die].iter_mut() {
+            col.push(match row_of(node) {
+                Some(r) => self.x[r * k + lane],
+                None => 0.0,
+            });
+        }
+        for (&branch, col) in self.current_columns[die].iter_mut() {
+            col.push(self.x[(self.n_node_unknowns + branch) * k + lane]);
+        }
+    }
+
+    /// Seats `die` into `lane` at its own t = 0: re-seeds the unknown
+    /// vector, capacitor values and history, lane clock and stop
+    /// tracking, re-extracts the lane's element values and device-bank
+    /// parameters, and invalidates the lane's factors. The incoming
+    /// die's variation deltas and waveforms come from its own circuit
+    /// (index-deterministic per die), so trajectories are independent of
+    /// when and where the die is seated.
+    fn seat(&mut self, lane: usize, die: usize) {
+        let k = self.k;
+        for i in 0..self.n {
+            self.x[i * k + lane] = self.x0[i];
+            self.x_try[i * k + lane] = self.x0[i];
+        }
+        let c = self.ckts[die];
+        let mut ci = 0usize;
+        for e in &c.elements {
+            if let Element::Capacitor { farads: f, .. } = e {
+                self.farads[ci * k + lane] = *f;
+                ci += 1;
+            }
+        }
+        for (ci, &(a, b)) in self.cap_nodes.iter().enumerate() {
+            let v = lane_voltage(&self.x, k, a, lane) - lane_voltage(&self.x, k, b, lane);
+            self.caps[ci * k + lane] = CapLane { v, i: 0.0 };
+        }
+        self.t_eval[lane] = 0.0;
+        let stop_prev = match &self.spec.stop {
+            Some(StopCondition::RisingCrossings { node, .. }) => {
+                lane_voltage(&self.x, k, *node, lane)
+            }
+            None => 0.0,
+        };
+        self.lanes[lane] = LaneState {
+            busy: true,
+            phase: LanePhase::StartStep,
+            t: 0.0,
+            t_next: 0.0,
+            dt_try: self.spec.dt,
+            dt_next: self.spec.dt,
+            dt_prev: self.spec.dt,
+            has_hist: false,
+            steps: 0,
+            halvings: 0,
+            iter: 0,
+            prev_rnorm: f64::INFINITY,
+            prev_damped: false,
+            stale_iters: 0,
+            crossings: 0,
+            stop_prev,
+        };
+        self.ws.reseat_lane(self.ckts, lane, die);
+        self.record(die, lane, 0.0);
+    }
+
+    /// The super-iteration loop: one Newton iteration across all busy
+    /// lanes per pass, with per-lane trial setup, step acceptance,
+    /// retirement and refill around it.
+    // Lane loops deliberately index several parallel arrays by `lane`;
+    // the iterator forms clippy suggests obscure that symmetry.
+    #[allow(clippy::needless_range_loop)]
+    fn run(&mut self) -> Result<(), SpiceError> {
+        let opts = NewtonOpts {
+            max_iterations: self.spec.max_newton,
+            ..NewtonOpts::default()
+        };
+        let adaptive = match self.spec.step {
+            StepControl::Fixed => None,
+            StepControl::Adaptive(c) => Some(c),
+        };
+        let dt_min = adaptive.map_or(self.spec.dt, |c| self.spec.dt * c.min_shrink);
+        let dt_max = adaptive.map_or(self.spec.dt, |c| self.spec.dt * c.max_stretch);
+        let t_stop = self.spec.t_stop;
+        let trap = self.spec.method == IntegrationMethod::Trapezoidal;
+        let k = self.k;
+        let n = self.n;
+        let n_nodes = self.n_node_unknowns;
+        let n_caps = self.cap_nodes.len();
+        let occupancy_hist =
+            rotsv_obs::metrics_enabled().then(|| rotsv_obs::histogram("mc.batch_occupancy"));
+        let drag_hist = rotsv_obs::metrics_enabled().then(|| rotsv_obs::histogram("mc.dt_drag"));
+        // Same per-accepted-step observations the scalar transient makes,
+        // so manifests keep these histograms regardless of engine choice.
+        let newton_hist = rotsv_obs::metrics_enabled()
+            .then(|| rotsv_obs::histogram("transient.newton_iters_per_step"));
+        let lte_hist = rotsv_obs::metrics_enabled()
+            .then(|| rotsv_obs::histogram("transient.lte_step_seconds"));
+
+        let mut delta = vec![0.0f64; n * k];
+        let mut rnorm = vec![0.0f64; k];
+        let mut want = vec![false; k];
+        let mut busy = vec![false; k];
+        let mut outcome = vec![Outcome::Pending; k];
+
+        while self.lanes.iter().any(|l| l.busy) {
+            // Trial setup for lanes starting (or redoing) a step.
+            for lane in 0..k {
+                busy[lane] = self.lanes[lane].busy;
+                if !busy[lane] || self.lanes[lane].phase == LanePhase::Newton {
+                    continue;
+                }
+                {
+                    let ls = &mut self.lanes[lane];
+                    if ls.phase == LanePhase::StartStep {
+                        ls.dt_try = ls.dt_next.min(t_stop - ls.t);
+                        ls.halvings = 0;
+                    }
+                    ls.t_next = ls.t + ls.dt_try;
+                }
+                let ls = self.lanes[lane];
+                let use_trap = trap && ls.steps >= 2;
+                for ci in 0..n_caps {
+                    let idx = ci * k + lane;
+                    let c = self.caps[idx];
+                    let f = self.farads[idx];
+                    self.companions[idx] = if f == 0.0 {
+                        (0.0, 0.0)
+                    } else if use_trap {
+                        let geq = 2.0 * f / ls.dt_try;
+                        (geq, -(geq * c.v + c.i))
+                    } else {
+                        let geq = f / ls.dt_try;
+                        (geq, -geq * c.v)
+                    };
+                }
+                // Linear extrapolation start (the scalar predictor),
+                // else restart from the last accepted solution.
+                if ls.has_hist && ls.steps >= 2 {
+                    let scale = ls.dt_try / ls.dt_prev;
+                    for i in 0..n {
+                        let xi = self.x[i * k + lane];
+                        self.x_try[i * k + lane] = xi + (xi - self.x_prev[i * k + lane]) * scale;
+                    }
+                } else {
+                    for i in 0..n {
+                        self.x_try[i * k + lane] = self.x[i * k + lane];
+                    }
+                }
+                self.t_eval[lane] = ls.t_next;
+                let ls = &mut self.lanes[lane];
+                ls.iter = 0;
+                ls.prev_rnorm = f64::INFINITY;
+                ls.prev_damped = false;
+                ls.phase = LanePhase::Newton;
+            }
+
+            // One Newton iteration across all busy lanes: assemble every
+            // lane at its own (x_try, t), one vectorized residual + solve.
+            for lane in 0..k {
+                if busy[lane] {
+                    self.ws.stats[self.ws.lane_die[lane]].newton_iterations += 1;
+                }
+            }
+            self.ws
+                .assemble(self.ckts, &self.x_try, &self.t_eval, &self.companions);
+            let mut resid = std::mem::take(&mut self.ws.resid);
+            self.ws
+                .pattern
+                .mul_vec_lanes_into(&self.ws.values, k, &self.x_try, &mut resid);
+            for (ri, bi) in resid.iter_mut().zip(&self.ws.b) {
+                *ri = *bi - *ri;
+            }
+            rnorm.fill(0.0);
+            for i in 0..n {
+                for (lane, rn) in rnorm.iter_mut().enumerate() {
+                    *rn = rn.max(resid[i * k + lane].abs());
+                }
+            }
+            // Per-lane refresh policy, exactly the scalar rules applied
+            // to each lane's own state.
+            for lane in 0..k {
+                want[lane] = false;
+                if !busy[lane] {
+                    continue;
+                }
+                let ls = self.lanes[lane];
+                let stalled = !ls.prev_damped && rnorm[lane] > STALL_RATIO * ls.prev_rnorm;
+                want[lane] = !self.ws.lu_valid[lane]
+                    || ls.stale_iters >= opts.max_stale
+                    || stalled
+                    || ls.prev_damped;
+            }
+            let t_repr = (0..k)
+                .find(|&l| want[l])
+                .map(|l| self.t_eval[l])
+                .unwrap_or(0.0);
+            if let Err(e) = self.ws.refactor_lanes(t_repr, &want, &busy) {
+                self.ws.resid = resid;
+                return Err(e);
+            }
+            for lane in 0..k {
+                if busy[lane] {
+                    if want[lane] {
+                        self.lanes[lane].stale_iters = 0;
+                    } else {
+                        self.lanes[lane].stale_iters += 1;
+                    }
+                }
+            }
+            delta.copy_from_slice(&resid);
+            self.ws.resid = resid;
+            self.ws
+                .lu
+                .as_mut()
+                .expect("factorization exists after refactor")
+                .solve_in_place(&mut delta);
+            for lane in 0..k {
+                if busy[lane] {
+                    self.ws.stats[self.ws.lane_die[lane]].solves += 1;
+                    self.lanes[lane].prev_rnorm = rnorm[lane];
+                }
+            }
+
+            // Per-lane convergence, damping and update application.
+            for lane in 0..k {
+                outcome[lane] = Outcome::Pending;
+                if !busy[lane] {
+                    continue;
+                }
+                let mut max_dv = 0.0f64;
+                let mut finite = true;
+                for i in 0..n {
+                    let d = delta[i * k + lane];
+                    finite &= d.is_finite();
+                    if i < n_nodes {
+                        max_dv = max_dv.max(d.abs());
+                    }
+                }
+                if !finite {
+                    outcome[lane] = Outcome::Failed;
+                    continue;
+                }
+                let mut converged = max_dv <= opts.v_abstol;
+                if !converged {
+                    converged = (0..n_nodes).all(|i| {
+                        let d = delta[i * k + lane];
+                        d.abs()
+                            <= opts.v_abstol + opts.reltol * (self.x_try[i * k + lane] + d).abs()
+                    });
+                }
+                if converged {
+                    for i in 0..n {
+                        self.x_try[i * k + lane] += delta[i * k + lane];
+                    }
+                    outcome[lane] = Outcome::Converged;
+                    continue;
+                }
+                let damped = max_dv > opts.v_step_limit;
+                let s = if damped {
+                    opts.v_step_limit / max_dv
+                } else {
+                    1.0
+                };
+                for i in 0..n {
+                    self.x_try[i * k + lane] += s * delta[i * k + lane];
+                }
+                let ls = &mut self.lanes[lane];
+                ls.prev_damped = damped;
+                ls.iter += 1;
+                if ls.iter >= opts.max_iterations {
+                    outcome[lane] = Outcome::Failed;
+                }
+            }
+
+            // The smallest trial dt among busy lanes: the lockstep grid a
+            // v1-style engine would have imposed on everyone.
+            let mut min_dt = f64::INFINITY;
+            for lane in 0..k {
+                if busy[lane] {
+                    min_dt = min_dt.min(self.lanes[lane].dt_try);
+                }
+            }
+
+            // Step outcomes: LTE accept/reject, retirement, refill.
+            for lane in 0..k {
+                match outcome[lane] {
+                    Outcome::Pending => {}
+                    Outcome::Converged => {
+                        let ls = self.lanes[lane];
+                        if let Some(c) = adaptive.as_ref() {
+                            if ls.steps >= 2 && ls.has_hist {
+                                let scale = ls.dt_try / ls.dt_prev;
+                                let mut err = 0.0f64;
+                                for i in 0..n_nodes {
+                                    let xi = self.x[i * k + lane];
+                                    let pred = xi + (xi - self.x_prev[i * k + lane]) * scale;
+                                    let sol = self.x_try[i * k + lane];
+                                    let tol = c.lte_abstol + c.lte_reltol * sol.abs().max(xi.abs());
+                                    err = err.max((sol - pred).abs() / tol);
+                                }
+                                if err > c.reject_threshold && ls.dt_try > dt_min * (1.0 + 1e-9) {
+                                    self.ws.stats[self.ws.lane_die[lane]].steps_rejected += 1;
+                                    let ls = &mut self.lanes[lane];
+                                    ls.dt_try = (ls.dt_try * (0.9 / err.sqrt()).clamp(0.1, 0.5))
+                                        .max(dt_min);
+                                    ls.phase = LanePhase::Retry;
+                                    continue;
+                                }
+                                let grow = (0.9 / err.max(1e-12).sqrt()).min(c.max_growth);
+                                self.lanes[lane].dt_next = (ls.dt_try * grow).clamp(dt_min, dt_max);
+                            }
+                        }
+                        // Accept: commit capacitor history, roll the
+                        // solution, advance the lane clock.
+                        for ci in 0..n_caps {
+                            let idx = ci * k + lane;
+                            let (a, b) = self.cap_nodes[ci];
+                            let v_new = lane_voltage(&self.x_try, k, a, lane)
+                                - lane_voltage(&self.x_try, k, b, lane);
+                            let (geq, ieq) = self.companions[idx];
+                            self.caps[idx].i = geq * v_new + ieq;
+                            self.caps[idx].v = v_new;
+                        }
+                        for i in 0..n {
+                            let idx = i * k + lane;
+                            self.x_prev[idx] = self.x[idx];
+                            self.x[idx] = self.x_try[idx];
+                        }
+                        {
+                            let ls = &mut self.lanes[lane];
+                            ls.dt_prev = ls.dt_try;
+                            ls.has_hist = true;
+                            ls.t = ls.t_next;
+                            ls.steps += 1;
+                        }
+                        let die = self.ws.lane_die[lane];
+                        self.ws.stats[die].steps_accepted += 1;
+                        self.steps_taken[die] += 1;
+                        let t_now = self.lanes[lane].t;
+                        self.record(die, lane, t_now);
+                        if let Some(h) = &drag_hist {
+                            h.observe(self.lanes[lane].dt_prev / min_dt);
+                        }
+                        if let Some(h) = &newton_hist {
+                            // `iter` counts the non-converging iterations of
+                            // this attempt; the converging one makes +1,
+                            // matching the scalar engine's per-solve count.
+                            h.observe((ls.iter + 1) as f64);
+                        }
+                        if let Some(h) = &lte_hist {
+                            h.observe(self.lanes[lane].dt_prev);
+                        }
+                        let mut finished = false;
+                        let mut early = false;
+                        if let Some(StopCondition::RisingCrossings {
+                            node,
+                            threshold,
+                            count,
+                        }) = &self.spec.stop
+                        {
+                            let v_now = lane_voltage(&self.x, k, *node, lane);
+                            let ls = &mut self.lanes[lane];
+                            let prev = ls.stop_prev;
+                            ls.stop_prev = v_now;
+                            if prev < *threshold && v_now >= *threshold {
+                                ls.crossings += 1;
+                                if ls.crossings >= *count {
+                                    finished = true;
+                                    early = true;
+                                }
+                            }
+                        }
+                        if !finished && t_now >= t_stop - 1e-18 {
+                            finished = true;
+                        }
+                        if finished {
+                            self.stopped_early[die] = early;
+                            self.lanes[lane].busy = false;
+                            if self.next_die < self.ckts.len() {
+                                let incoming = self.next_die;
+                                self.next_die += 1;
+                                self.seat(lane, incoming);
+                            }
+                        } else {
+                            self.lanes[lane].phase = LanePhase::StartStep;
+                        }
+                    }
+                    Outcome::Failed => {
+                        self.ws.stats[self.ws.lane_die[lane]].steps_rejected += 1;
+                        let ls = &mut self.lanes[lane];
+                        if adaptive.is_some() {
+                            if ls.dt_try <= dt_min * (1.0 + 1e-9) {
+                                return Err(SpiceError::NoConvergence {
+                                    analysis: "transient_batch",
+                                    time: ls.t_next,
+                                    iterations: opts.max_iterations,
+                                });
+                            }
+                            ls.dt_try = (ls.dt_try * 0.5).max(dt_min);
+                        } else {
+                            ls.halvings += 1;
+                            if ls.halvings > MAX_HALVINGS {
+                                return Err(SpiceError::NoConvergence {
+                                    analysis: "transient_batch",
+                                    time: ls.t_next,
+                                    iterations: opts.max_iterations,
+                                });
+                            }
+                            ls.dt_try *= 0.5;
+                        }
+                        ls.phase = LanePhase::Retry;
+                    }
+                }
+            }
+
+            if let Some(h) = &occupancy_hist {
+                let n_busy = busy.iter().filter(|&&b| b).count();
+                h.observe(n_busy as f64 / k as f64);
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes the engine into per-die results, in population order.
+    fn into_results(self, wall: f64) -> Vec<TransientResult> {
+        let n_dies = self.ckts.len();
+        let mut out = Vec::with_capacity(n_dies);
+        for (die, ((time, columns), current_columns)) in self
+            .time
+            .into_iter()
+            .zip(self.columns)
+            .zip(self.current_columns)
+            .enumerate()
+        {
+            let mut stats = self.ws.stats[die];
+            // Wall time split equally per die: summing dies matches the
+            // whole queue's wall clock.
+            stats.wall_seconds = wall / n_dies as f64;
+            out.push(TransientResult::from_parts(
+                time,
+                columns,
+                current_columns,
+                self.stopped_early[die],
+                self.steps_taken[die],
+                stats,
+            ));
+        }
+        out
+    }
+}
+
+fn validate_spec(ckts: &[&Circuit], spec: &TransientSpec) -> Result<(), SpiceError> {
     if spec.dt <= 0.0 || !spec.dt.is_finite() {
         return Err(SpiceError::InvalidSpec(format!(
             "time step must be positive, got {}",
@@ -1060,311 +1608,70 @@ pub fn transient_batch(
             )));
         }
     }
+    Ok(())
+}
 
-    let mut ws = BatchWorkspace::new(ckts)?;
+/// Runs one transient analysis per circuit with all of them sharing one
+/// K-wide SIMD workspace, `K == ckts.len()` (no refill queue). Each die's
+/// trajectory follows the scalar stepping policies independently and is
+/// bit-identical to any other lane composition containing it — see
+/// [`transient_queue`] for the streaming form.
+///
+/// All lanes share `spec` (grid, stop condition, recorded nodes); lanes
+/// differ through their circuits' element values. Per-lane
+/// [`SolverStats`] attribute symbolic analyses to lane 0 only and split
+/// wall time equally, so summing lanes matches the batch totals.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::InvalidCircuit`] when the lanes' topologies
+/// differ, [`SpiceError::InvalidSpec`] for a bad grid or a
+/// `start_from_dcop` request (the batched engine starts from
+/// `initial_voltages` only — ring measurements never use a dcop seed),
+/// and the scalar engine's convergence/singularity errors otherwise.
+pub fn transient_batch(
+    ckts: &[&Circuit],
+    spec: &TransientSpec,
+) -> Result<Vec<TransientResult>, SpiceError> {
+    transient_queue(ckts, ckts.len(), spec)
+}
+
+/// Streams the `ckts` die queue through `lanes` SIMD lanes with
+/// mid-transient refill: when a lane's die finishes (stop condition or
+/// `t_stop`), the next queued die is seated into the lane immediately, so
+/// lanes stay busy until the queue drains. Results are returned in
+/// population order.
+///
+/// Because every stepping decision is per-lane, the per-die results are
+/// **bit-identical** to [`transient_batch`] over the same dies at any
+/// lane count — refill and lane assignment are pure scheduling.
+///
+/// # Errors
+///
+/// As [`transient_batch`]; an unrecoverable lane (Newton failure at the
+/// minimum step, singular system) aborts the whole queue, matching the
+/// scalar engine's per-die error behavior.
+pub fn transient_queue(
+    ckts: &[&Circuit],
+    lanes: usize,
+    spec: &TransientSpec,
+) -> Result<Vec<TransientResult>, SpiceError> {
+    if ckts.is_empty() {
+        return Ok(Vec::new());
+    }
+    validate_spec(ckts, spec)?;
+    let k = lanes.clamp(1, ckts.len());
+    let span = rotsv_obs::span!("transient_batch", "k" = k);
+    let _ = &span;
+    let mut eng = QueueEngine::new(ckts, k, spec)?;
     let wall_start = Instant::now();
-    let n = ws.n;
-    let n_node_unknowns = ws.n_node_unknowns;
-
-    // Initial iterate: every lane starts from the same initial voltages.
-    let mut x = vec![0.0f64; n * k];
-    for &(node, v) in &spec.initial_voltages {
-        if let Some(r) = row_of(node) {
-            for lane in 0..k {
-                x[r * k + lane] = v;
-            }
-        }
-    }
-
-    // Per-lane capacitor state and values, cap-major lane-interleaved.
-    let cap_nodes: Vec<(NodeId, NodeId)> = ckts[0]
-        .elements
-        .iter()
-        .filter_map(|e| match e {
-            Element::Capacitor { a, b, .. } => Some((*a, *b)),
-            _ => None,
-        })
-        .collect();
-    let n_caps = cap_nodes.len();
-    let mut farads = vec![0.0f64; n_caps * k];
-    for (lane, c) in ckts.iter().enumerate() {
-        let mut ci = 0usize;
-        for e in &c.elements {
-            if let Element::Capacitor { farads: f, .. } = e {
-                farads[ci * k + lane] = *f;
-                ci += 1;
-            }
-        }
-    }
-    let lane_voltage = |x: &[f64], node: NodeId, lane: usize| -> f64 {
-        match row_of(node) {
-            Some(r) => x[r * k + lane],
-            None => 0.0,
-        }
-    };
-    let mut caps = vec![CapLane::default(); n_caps * k];
-    for (ci, &(a, b)) in cap_nodes.iter().enumerate() {
-        for lane in 0..k {
-            caps[ci * k + lane].v = lane_voltage(&x, a, lane) - lane_voltage(&x, b, lane);
-        }
-    }
-    let mut companions = vec![(0.0f64, 0.0f64); n_caps * k];
-
-    // Per-lane recording.
-    let record_nodes: Vec<NodeId> = if spec.record_nodes.is_empty() {
-        (0..ckts[0].node_count()).map(NodeId).collect()
-    } else {
-        let mut nodes = spec.record_nodes.clone();
-        nodes.sort_unstable();
-        nodes.dedup();
-        nodes
-    };
-    let mut time: Vec<Vec<f64>> = vec![Vec::new(); k];
-    let mut columns: Vec<BTreeMap<NodeId, Vec<f64>>> = (0..k)
-        .map(|_| record_nodes.iter().map(|&nd| (nd, Vec::new())).collect())
-        .collect();
-    let mut current_columns: Vec<BTreeMap<usize, Vec<f64>>> = (0..k)
-        .map(|_| {
-            spec.record_currents
-                .iter()
-                .map(|vs| (vs.0, Vec::new()))
-                .collect()
-        })
-        .collect();
-    let record_lane = |lane: usize,
-                       t: f64,
-                       x: &[f64],
-                       time: &mut [Vec<f64>],
-                       columns: &mut [BTreeMap<NodeId, Vec<f64>>],
-                       currents: &mut [BTreeMap<usize, Vec<f64>>]| {
-        time[lane].push(t);
-        for (&node, col) in columns[lane].iter_mut() {
-            col.push(match row_of(node) {
-                Some(r) => x[r * k + lane],
-                None => 0.0,
-            });
-        }
-        for (&branch, col) in currents[lane].iter_mut() {
-            col.push(x[(n_node_unknowns + branch) * k + lane]);
-        }
-    };
     for lane in 0..k {
-        record_lane(lane, 0.0, &x, &mut time, &mut columns, &mut current_columns);
+        eng.seat(lane, lane);
     }
-
-    // Per-lane stop/retirement tracking.
-    let mut active = vec![true; k];
-    let mut stopped_early = vec![false; k];
-    let mut steps_taken = vec![0usize; k];
-    let mut crossings_seen = vec![0usize; k];
-    let mut stop_prev: Vec<Option<f64>> = (0..k)
-        .map(|lane| {
-            spec.stop
-                .as_ref()
-                .map(|StopCondition::RisingCrossings { node, .. }| lane_voltage(&x, *node, lane))
-        })
-        .collect();
-    let occupancy_hist =
-        rotsv_obs::metrics_enabled().then(|| rotsv_obs::histogram("mc.batch_occupancy"));
-
-    let opts = NewtonOpts {
-        max_iterations: spec.max_newton,
-        ..NewtonOpts::default()
-    };
-    let adaptive = match spec.step {
-        StepControl::Fixed => None,
-        StepControl::Adaptive(c) => Some(c),
-    };
-    let dt_min = adaptive.map_or(spec.dt, |c| spec.dt * c.min_shrink);
-    let dt_max = adaptive.map_or(spec.dt, |c| spec.dt * c.max_stretch);
-    let mut dt_next = spec.dt;
-    let mut hist: Option<(Vec<f64>, f64)> = None;
-
-    let mut t = 0.0f64;
-    let mut steps = 0usize;
-    const MAX_HALVINGS: u32 = 12;
-
-    'outer: while t < spec.t_stop - 1e-18 && active.iter().any(|&a| a) {
-        let mut dt_try = dt_next.min(spec.t_stop - t);
-        let mut halvings = 0u32;
-        loop {
-            let use_trap = spec.method == IntegrationMethod::Trapezoidal && steps >= 2;
-            for (idx, comp) in companions.iter_mut().enumerate() {
-                let c = caps[idx];
-                let f = farads[idx];
-                *comp = if f == 0.0 {
-                    (0.0, 0.0)
-                } else if use_trap {
-                    let geq = 2.0 * f / dt_try;
-                    (geq, -(geq * c.v + c.i))
-                } else {
-                    let geq = f / dt_try;
-                    (geq, -geq * c.v)
-                };
-            }
-            let t_next = t + dt_try;
-            // Linear extrapolation start, per active lane; retired lanes
-            // stay at their frozen solution.
-            let mut x_try = x.clone();
-            if let Some((x_prev, dt_prev)) = &hist {
-                if steps >= 2 {
-                    let scale = dt_try / dt_prev;
-                    for i in 0..n {
-                        for (lane, &is_active) in active.iter().enumerate() {
-                            if is_active {
-                                let xi = x[i * k + lane];
-                                x_try[i * k + lane] = xi + (xi - x_prev[i * k + lane]) * scale;
-                            }
-                        }
-                    }
-                }
-            }
-            match newton_batch(
-                &mut ws,
-                ckts,
-                &mut x_try,
-                t_next,
-                &companions,
-                &active,
-                &opts,
-            ) {
-                Ok(true) => {
-                    // LTE test: worst scaled error over the active lanes;
-                    // the shared dt is effectively min over lane proposals.
-                    if let (Some(c), Some((x_prev, dt_prev))) = (adaptive.as_ref(), hist.as_ref()) {
-                        if steps >= 2 {
-                            let scale = dt_try / dt_prev;
-                            let mut err = 0.0f64;
-                            for i in 0..n_node_unknowns {
-                                for (lane, &is_active) in active.iter().enumerate() {
-                                    if !is_active {
-                                        continue;
-                                    }
-                                    let xi = x[i * k + lane];
-                                    let pred = xi + (xi - x_prev[i * k + lane]) * scale;
-                                    let sol = x_try[i * k + lane];
-                                    let tol = c.lte_abstol + c.lte_reltol * sol.abs().max(xi.abs());
-                                    err = err.max((sol - pred).abs() / tol);
-                                }
-                            }
-                            if err > c.reject_threshold && dt_try > dt_min * (1.0 + 1e-9) {
-                                for (lane, stats) in ws.stats.iter_mut().enumerate() {
-                                    if active[lane] {
-                                        stats.steps_rejected += 1;
-                                    }
-                                }
-                                dt_try = (dt_try * (0.9 / err.sqrt()).clamp(0.1, 0.5)).max(dt_min);
-                                continue;
-                            }
-                            let grow = (0.9 / err.max(1e-12).sqrt()).min(c.max_growth);
-                            dt_next = (dt_try * grow).clamp(dt_min, dt_max);
-                        }
-                    }
-                    for (ci, &(a, b)) in cap_nodes.iter().enumerate() {
-                        for (lane, &is_active) in active.iter().enumerate() {
-                            if !is_active {
-                                continue;
-                            }
-                            let idx = ci * k + lane;
-                            let v_new =
-                                lane_voltage(&x_try, a, lane) - lane_voltage(&x_try, b, lane);
-                            let (geq, ieq) = companions[idx];
-                            caps[idx].i = geq * v_new + ieq;
-                            caps[idx].v = v_new;
-                        }
-                    }
-                    hist = Some((std::mem::replace(&mut x, x_try), dt_try));
-                    t = t_next;
-                    steps += 1;
-                    let n_active = active.iter().filter(|&&a| a).count();
-                    if let Some(h) = &occupancy_hist {
-                        h.observe(n_active as f64 / k as f64);
-                    }
-                    for lane in 0..k {
-                        if !active[lane] {
-                            continue;
-                        }
-                        ws.stats[lane].steps_accepted += 1;
-                        steps_taken[lane] += 1;
-                        record_lane(lane, t, &x, &mut time, &mut columns, &mut current_columns);
-                        if let Some(StopCondition::RisingCrossings {
-                            node,
-                            threshold,
-                            count,
-                        }) = &spec.stop
-                        {
-                            let v_now = lane_voltage(&x, *node, lane);
-                            let prev = stop_prev[lane].replace(v_now).unwrap_or(v_now);
-                            if prev < *threshold && v_now >= *threshold {
-                                crossings_seen[lane] += 1;
-                                if crossings_seen[lane] >= *count {
-                                    // Retire: freeze the lane, stop
-                                    // recording, stop voting on dt.
-                                    stopped_early[lane] = true;
-                                    active[lane] = false;
-                                }
-                            }
-                        }
-                    }
-                    if !active.iter().any(|&a| a) {
-                        break 'outer;
-                    }
-                    break;
-                }
-                Ok(false) => {
-                    for (lane, stats) in ws.stats.iter_mut().enumerate() {
-                        if active[lane] {
-                            stats.steps_rejected += 1;
-                        }
-                    }
-                    if adaptive.is_some() {
-                        if dt_try <= dt_min * (1.0 + 1e-9) {
-                            return Err(SpiceError::NoConvergence {
-                                analysis: "transient_batch",
-                                time: t_next,
-                                iterations: opts.max_iterations,
-                            });
-                        }
-                        dt_try = (dt_try * 0.5).max(dt_min);
-                    } else {
-                        halvings += 1;
-                        if halvings > MAX_HALVINGS {
-                            return Err(SpiceError::NoConvergence {
-                                analysis: "transient_batch",
-                                time: t_next,
-                                iterations: opts.max_iterations,
-                            });
-                        }
-                        dt_try *= 0.5;
-                    }
-                }
-                Err(e) => return Err(e),
-            }
-        }
-    }
-
-    // Wall time split equally: lanes ran in lockstep, so each lane's
-    // share of the batch is 1/k (summing lanes matches the batch total).
+    eng.next_die = k;
+    eng.run()?;
     let wall = wall_start.elapsed().as_secs_f64();
-    let mut out = Vec::with_capacity(k);
-    for (lane, ((time, columns), current_columns)) in time
-        .into_iter()
-        .zip(columns)
-        .zip(current_columns)
-        .enumerate()
-    {
-        let mut stats = ws.stats[lane];
-        stats.wall_seconds = wall / k as f64;
-        out.push(TransientResult::from_parts(
-            time,
-            columns,
-            current_columns,
-            stopped_early[lane],
-            steps_taken[lane],
-            stats,
-        ));
-    }
-    Ok(out)
+    Ok(eng.into_results(wall))
 }
 
 #[cfg(test)]
@@ -1474,5 +1781,72 @@ mod tests {
         let analyses: u64 = res.iter().map(|r| r.stats().symbolic_analyses).sum();
         assert_eq!(analyses, 1, "one analysis for the whole batch");
         assert!(res[1].stats().factorizations > 0);
+    }
+
+    /// The composition-independence contract: streaming five dies through
+    /// two lanes with refill must reproduce, bit for bit, both the solo
+    /// (k = 1) run of every die and the all-at-once k = 5 batch —
+    /// including the per-die step and Newton counters.
+    #[test]
+    fn queue_refill_is_bit_identical_across_lane_counts() {
+        let rs = [1e3, 1.2e3, 0.8e3, 1.5e3, 0.9e3];
+        let built: Vec<(Circuit, NodeId)> = rs.iter().map(|&r| rc_circuit(r, 1e-9)).collect();
+        let ckts: Vec<&Circuit> = built.iter().map(|(c, _)| c).collect();
+        let vout = built[0].1;
+        let spec = TransientSpec::new(3e-6, 2e-9)
+            .record(&[vout])
+            .step_control(StepControl::adaptive())
+            .stop_after_rising(vout, 0.5, 1);
+        let queued = transient_queue(&ckts, 2, &spec).unwrap();
+        let full = transient_batch(&ckts, &spec).unwrap();
+        for (die, (ckt, _)) in built.iter().enumerate() {
+            let solo = transient_batch(&[ckt], &spec).unwrap().remove(0);
+            for other in [&queued[die], &full[die]] {
+                assert_eq!(solo.time(), other.time(), "die {die}: time grid diverged");
+                assert_eq!(
+                    solo.waveform(vout).values(),
+                    other.waveform(vout).values(),
+                    "die {die}: waveform diverged"
+                );
+                assert_eq!(solo.stopped_early(), other.stopped_early(), "die {die}");
+                let (a, b) = (solo.stats(), other.stats());
+                assert_eq!(a.steps_accepted, b.steps_accepted, "die {die}: steps");
+                assert_eq!(a.steps_rejected, b.steps_rejected, "die {die}: rejects");
+                assert_eq!(
+                    a.newton_iterations, b.newton_iterations,
+                    "die {die}: newton"
+                );
+                assert_eq!(a.solves, b.solves, "die {die}: solves");
+            }
+        }
+    }
+
+    /// Refill keeps the results in population order even though dies
+    /// finish out of order across lanes.
+    #[test]
+    fn queue_results_stay_in_population_order() {
+        // Alternate slow/fast time constants so lane completion order
+        // scrambles relative to the queue order.
+        let built = [
+            rc_circuit(1e3, 1e-9),
+            rc_circuit(1e2, 1e-10),
+            rc_circuit(2e3, 1e-9),
+            rc_circuit(1.5e2, 1e-10),
+        ];
+        let ckts: Vec<&Circuit> = built.iter().map(|(c, _)| c).collect();
+        let vout = built[0].1;
+        let spec = TransientSpec::new(3e-6, 2e-9)
+            .record(&[vout])
+            .stop_after_rising(vout, 0.5, 1);
+        let queued = transient_queue(&ckts, 2, &spec).unwrap();
+        assert_eq!(queued.len(), 4);
+        for (die, (ckt, _)) in built.iter().enumerate() {
+            let solo = transient_batch(&[ckt], &spec).unwrap().remove(0);
+            assert_eq!(
+                solo.time(),
+                queued[die].time(),
+                "die {die} not in queue order"
+            );
+        }
     }
 }

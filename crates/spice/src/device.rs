@@ -103,6 +103,16 @@ pub trait NonlinearDevice: std::fmt::Debug + Send + Sync {
 pub trait BatchedDeviceEval: Send {
     /// Evaluates all lanes at the interleaved trial voltages `v`.
     fn eval_lanes(&mut self, v: &[f64], current: &mut [f64], jacobian: &mut [f64]);
+
+    /// Re-seats `lane` with `device` (the corresponding slot of a new die
+    /// being seated into that lane by the refill scheduler). Returns
+    /// `true` when the bank absorbed the device in place; `false` (the
+    /// default) tells the caller to rebuild the bank for the new lane
+    /// composition instead.
+    fn reseat_lane(&mut self, lane: usize, device: &dyn NonlinearDevice) -> bool {
+        let _ = (lane, device);
+        false
+    }
 }
 
 #[cfg(test)]
