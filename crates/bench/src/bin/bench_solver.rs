@@ -81,6 +81,35 @@ fn ladder_triplets(n: usize, g: f64) -> (Vec<(usize, usize, f64)>, usize) {
     (t, dim)
 }
 
+/// Five-point conductance mesh (`rows x cols` grid Laplacian plus a
+/// small ground leak per node) with a voltage-source border pinning the
+/// corner node: the sparsity of a 2-D power-grid MNA system, and the
+/// shape the staged kernel is built for — the border row has a
+/// structural zero diagonal (BTF must match it off-diagonal) and the
+/// grid interior rewards the fill-reducing ordering.
+fn mesh_triplets(rows: usize, cols: usize, g: f64) -> (Vec<(usize, usize, f64)>, usize) {
+    let dim = rows * cols + 1;
+    let mut t = Vec::new();
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            t.push((id(r, c), id(r, c), 1e-9));
+            for (nr, nc) in [(r + 1, c), (r, c + 1)] {
+                if nr < rows && nc < cols {
+                    let (a, b) = (id(r, c), id(nr, nc));
+                    t.push((a, a, g));
+                    t.push((b, b, g));
+                    t.push((a, b, -g));
+                    t.push((b, a, -g));
+                }
+            }
+        }
+    }
+    t.push((0, dim - 1, 1.0));
+    t.push((dim - 1, 0, 1.0));
+    (t, dim)
+}
+
 fn rc_ladder(n: usize) -> Circuit {
     let mut ckt = Circuit::new();
     let vin = ckt.node("in");
@@ -156,6 +185,57 @@ fn run_kernels() -> Vec<Json> {
             ("sparse_analyze_s".into(), Json::Num(analyze)),
             ("sparse_refactor_solve_s".into(), Json::Num(refactor)),
         ]));
+    }
+
+    // KLU-scale meshes: the staged kernel (BTF + min-degree + scaling)
+    // at power-grid sizes. Dense comparison at n=1000 only; at n=10000
+    // a dense factor would be O(n^3) ~ minutes and 800 MB. Per-call
+    // times here are tens of milliseconds, so a single ~50 ms timing
+    // window holds only a few calls — take the best of three windows
+    // to keep the regression gate out of scheduler noise.
+    let best3 = |f: &mut dyn FnMut() -> f64| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
+    for (rows, cols) in [(27usize, 37usize), (99, 101)] {
+        let (triplets, dim) = mesh_triplets(rows, cols, 1e-2);
+        let sm = SparseMatrix::from_triplets(dim, &triplets);
+        let rhs = vec![1.0; dim];
+        let analyze = best3(&mut || time_per_call(|| SparseLu::new(&sm).unwrap()));
+        let mut lu = SparseLu::new(&sm).unwrap();
+        let refactor = best3(&mut || {
+            time_per_call(|| {
+                lu.refactor(&sm).unwrap();
+                lu.solve(&rhs).unwrap()
+            })
+        });
+        let fill = lu.lu_nnz() as f64 / sm.nnz() as f64;
+
+        let mut entry = vec![
+            ("n".into(), Json::Num(dim as f64)),
+            ("sparse_analyze_s".into(), Json::Num(analyze)),
+            ("sparse_refactor_solve_s".into(), Json::Num(refactor)),
+            ("fill_ratio".into(), Json::Num(fill)),
+        ];
+        if dim <= 1000 {
+            let dense_a = sm.to_dense();
+            let dense = best3(&mut || {
+                time_per_call(|| {
+                    let lu = LuFactors::factor(dense_a.clone()).unwrap();
+                    lu.solve(&rhs).unwrap()
+                })
+            });
+            println!(
+                "  n={dim:5} (mesh {rows}x{cols})  dense_factor_solve {dense:.3e} s  \
+                 sparse_analyze {analyze:.3e} s  sparse_refactor_solve {refactor:.3e} s  \
+                 ({:.0}x, fill {fill:.2}x)",
+                dense / refactor
+            );
+            entry.insert(1, ("dense_factor_solve_s".into(), Json::Num(dense)));
+        } else {
+            println!(
+                "  n={dim:5} (mesh {rows}x{cols})  sparse_analyze {analyze:.3e} s  \
+                 sparse_refactor_solve {refactor:.3e} s  (fill {fill:.2}x)"
+            );
+        }
+        out.push(Json::Obj(entry));
     }
     out
 }

@@ -50,7 +50,7 @@ pub fn exp(x: f64) -> f64 {
     let n = t - SHIFT;
     // r = x - n·ln2 in two pieces to keep the reduction exact.
     let r = (x - n * LN2_HI) - n * LN2_LO;
-    // exp(r) on |r| ≤ 0.3466 by Horner; remainder < 1e-16 relative.
+    // exp(r) on |r| ≤ 0.3466 in Estrin form; remainder < 1e-16 relative.
     let p = poly_exp(r);
     // 2ⁿ via the exponent field; |n| ≤ 87 so no overflow handling.
     let ni = n as i64;
@@ -166,9 +166,16 @@ pub fn softplus_sig(t: f64) -> (f64, f64) {
 }
 
 /// Array form of [`exp`]: all `K` lanes advance through the range
-/// reduction and the Horner polynomial together, so each step is one
-/// vector instruction and the (long) latency chain of the polynomial is
-/// hidden across lanes.
+/// reduction and the Estrin polynomial together, so each step is one
+/// vector instruction and the polynomial's latency chain is hidden
+/// across lanes.
+///
+/// The per-lane arithmetic repeats the scalar [`exp`] operation for
+/// operation — same reduction, same polynomial association, same
+/// exponent reassembly — so `exp_k([x; K])[l]` is **bit-identical** to
+/// `exp(x)` for every lane. The batched Monte-Carlo engine relies on
+/// this: a die simulated in a K-wide batch must produce the same bits
+/// as the same die simulated alone.
 ///
 /// # Examples
 ///
@@ -205,7 +212,8 @@ pub fn exp_k<const K: usize>(x: [f64; K]) -> [f64; K] {
 }
 
 /// Array form of [`ln1p01`]; same domain (`u ∈ [0, 1]`), lanes in
-/// lockstep.
+/// lockstep, each lane bit-identical to the scalar function (same
+/// Estrin association per lane).
 #[inline(always)]
 pub fn ln1p01_k<const K: usize>(u: [f64; K]) -> [f64; K] {
     let d = &LN_D;

@@ -9,9 +9,12 @@
 //!   systems (tens to a few hundred unknowns),
 //! * [`linsolve`] — LU factorization with partial pivoting used by the
 //!   Newton loops of the DC and transient analyses,
-//! * [`sparse`] — CSR sparse matrices and a sparse LU with one-time
-//!   symbolic analysis and value-only refactorization (the simulator's
-//!   workhorse; includes the [`sparse::SolverStats`] work counters), a
+//! * [`sparse`] — CSR sparse matrices and a staged, KLU-style sparse LU
+//!   (BTF decomposition, per-block minimum-degree ordering, optional
+//!   power-of-two equilibration, threshold partial pivoting) whose
+//!   one-time symbolic analysis turns every later factorization into a
+//!   value-only refactor (the simulator's workhorse; includes the
+//!   [`sparse::SolverStats`] work counters), an options-aware
 //!   topology-keyed [`sparse::SymbolicCache`], and a lane-interleaved
 //!   [`sparse::BatchedLu`] for lockstep Monte-Carlo batches,
 //! * [`lanes`] — branch-free elementary functions (`exp`, softplus)
@@ -57,5 +60,8 @@ pub mod units;
 
 pub use linsolve::{LuFactors, SolveError};
 pub use matrix::Matrix;
-pub use sparse::{BatchedLu, SolverStats, SparseLu, SparseMatrix, SymbolicCache, SymbolicLu};
+pub use sparse::{
+    AnalyzeOptions, BatchedLu, OrderingStrategy, Scaling, SolverStats, SparseLu, SparseMatrix,
+    SymbolicCache, SymbolicLu,
+};
 pub use stats::Summary;

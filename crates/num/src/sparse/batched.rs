@@ -1,0 +1,620 @@
+//! Lane-batched numeric stage: `k` value sets factored and solved in
+//! lockstep over one shared symbolic analysis.
+
+use std::sync::Arc;
+
+use crate::linsolve::SolveError;
+
+use super::symbolic::SymbolicLu;
+use super::{SparseMatrix, PIVOT_EPS, PIVOT_GROWTH_LIMIT};
+
+/// A lane-batched sparse LU: one shared symbolic analysis, `k`
+/// lane-interleaved value sets factored and solved in lockstep.
+///
+/// Storage is lane-interleaved (`values[slot * k + lane]`) so the
+/// per-slot elimination and substitution loops run over contiguous
+/// lanes and autovectorize. All lanes share the permutations, scaling
+/// and pivot order of the analysis; when one lane's values make that
+/// order unusable, the batch transparently re-analyzes from the
+/// offending lane — under the same [`AnalyzeOptions`](super::AnalyzeOptions),
+/// valid for every lane because the pattern is shared — and reports the
+/// number of analyses spent.
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_num::sparse::{BatchedLu, SparseMatrix, SymbolicLu};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), rotsv_num::linsolve::SolveError> {
+/// let a = SparseMatrix::from_triplets(2, &[(0, 0, 4.0), (0, 1, 1.0), (1, 1, 2.0)]);
+/// let sym = Arc::new(SymbolicLu::analyze(&a)?);
+/// let mut lu = BatchedLu::new(sym, 2);
+/// // Lane-interleaved values for two lanes: lane 0 = a, lane 1 = 2a.
+/// let vals: Vec<f64> = a.values().iter().flat_map(|&v| [v, 2.0 * v]).collect();
+/// lu.refactor(&a, &vals)?;
+/// let mut b = vec![5.0, 10.0, 2.0, 4.0]; // rhs per lane, interleaved
+/// lu.solve_in_place(&mut b);
+/// assert!((b[0] - 1.0).abs() < 1e-12 && (b[1] - 1.0).abs() < 1e-12);
+/// assert!((b[2] - 1.0).abs() < 1e-12 && (b[3] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BatchedLu {
+    sym: Arc<SymbolicLu>,
+    k: usize,
+    /// Block-diagonal `L + U` values, lane-interleaved.
+    lu_values: Vec<f64>,
+    /// Scaled below-block values, lane-interleaved.
+    off_values: Vec<f64>,
+    /// `n * k` dense scatter workspace.
+    work: Vec<f64>,
+    /// `k` multiplier scratch for the elimination inner loop.
+    lrow: Vec<f64>,
+    /// `n * k` scratch for the permuted solve.
+    xbuf: Vec<f64>,
+}
+
+impl BatchedLu {
+    /// Creates a batched factorization of `k` lanes over a shared
+    /// symbolic analysis. Values are supplied per [`BatchedLu::refactor`].
+    pub fn new(sym: Arc<SymbolicLu>, k: usize) -> Self {
+        assert!(k > 0, "a batch needs at least one lane");
+        Self {
+            k,
+            lu_values: vec![0.0; sym.lu_col_idx.len() * k],
+            off_values: vec![0.0; sym.off_col_idx.len() * k],
+            work: vec![0.0; sym.n * k],
+            lrow: vec![0.0; k],
+            xbuf: vec![0.0; sym.n * k],
+            sym,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.k
+    }
+
+    /// The shared symbolic analysis.
+    pub fn symbolic(&self) -> &Arc<SymbolicLu> {
+        &self.sym
+    }
+
+    /// Replaces the analysis after a pivot-drift re-analysis, resizing
+    /// every value buffer to the new fill pattern.
+    fn adopt(&mut self, sym: Arc<SymbolicLu>) {
+        self.lu_values = vec![0.0; sym.lu_col_idx.len() * self.k];
+        self.off_values = vec![0.0; sym.off_col_idx.len() * self.k];
+        self.work = vec![0.0; sym.n * self.k];
+        self.xbuf = vec![0.0; sym.n * self.k];
+        self.sym = sym;
+    }
+
+    /// Rebuilds a scalar probe matrix from one lane's values and
+    /// re-analyzes it under the batch's existing options.
+    fn reanalyze_from_lane(
+        &self,
+        pattern: &SparseMatrix,
+        values: &[f64],
+        lane: usize,
+    ) -> Result<Arc<SymbolicLu>, SolveError> {
+        let mut probe = pattern.clone();
+        probe.zero_values();
+        for s in 0..pattern.nnz() {
+            probe.add_slot(s, values[s * self.k + lane]);
+        }
+        Ok(Arc::new(SymbolicLu::analyze_with(&probe, self.sym.opts)?))
+    }
+
+    /// Refactors all lanes from `values` — `a.nnz() * k` lane-interleaved
+    /// entries over `pattern`'s CSR slots. Returns the number of fresh
+    /// symbolic analyses performed (0 on the fast path; ≥ 1 when pivot
+    /// drift in some lane forced a shared re-analysis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] when a lane stays singular after
+    /// re-analysis, [`SolveError::DimensionMismatch`] on a pattern of
+    /// the wrong dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != pattern.nnz() * lanes`.
+    pub fn refactor(&mut self, pattern: &SparseMatrix, values: &[f64]) -> Result<u64, SolveError> {
+        let _span = rotsv_obs::span!("lu_refactor_batch", "k" = self.k);
+        assert_eq!(
+            values.len(),
+            pattern.nnz() * self.k,
+            "lane-interleaved value length mismatch"
+        );
+        if pattern.dim() != self.sym.n {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.sym.n,
+                actual: pattern.dim(),
+            });
+        }
+        let mut analyses = 0u64;
+        loop {
+            let swept = match self.k {
+                1 => self.refactor_lanes_k::<1>(pattern, values),
+                2 => self.refactor_lanes_k::<2>(pattern, values),
+                3 => self.refactor_lanes_k::<3>(pattern, values),
+                4 => self.refactor_lanes_k::<4>(pattern, values),
+                5 => self.refactor_lanes_k::<5>(pattern, values),
+                6 => self.refactor_lanes_k::<6>(pattern, values),
+                7 => self.refactor_lanes_k::<7>(pattern, values),
+                8 => self.refactor_lanes_k::<8>(pattern, values),
+                16 => self.refactor_lanes_k::<16>(pattern, values),
+                _ => self.refactor_lanes(pattern, values),
+            };
+            match swept {
+                Ok(()) => return Ok(analyses),
+                Err((lane, SolveError::Singular { .. })) if analyses < 2 => {
+                    // The shared pivot order failed for `lane`: re-analyze
+                    // from that lane's values. The new order applies to
+                    // every lane (the pattern is shared).
+                    let sym = self.reanalyze_from_lane(pattern, values, lane)?;
+                    analyses += 1;
+                    self.adopt(sym);
+                }
+                Err((_, e)) => return Err(e),
+            }
+        }
+    }
+
+    /// Refactors only the lanes with `mask[lane] == true`, leaving every
+    /// other lane's stored factors untouched. This is the entry point for
+    /// asynchronous batched transients, where lanes request fresh factors
+    /// at different iterations: each lane is swept by a scalar Doolittle
+    /// pass with the same per-lane operation order as
+    /// [`BatchedLu::refactor`], so a lane's factors are bit-identical no
+    /// matter which other lanes factor alongside it.
+    ///
+    /// Returns `(analyses, invalidated)`: `analyses` counts fresh symbolic
+    /// analyses; `invalidated` is `true` when pivot drift in a masked lane
+    /// forced a shared re-analysis, which destroys the stored factors of
+    /// every *unmasked* lane (the masked ones are refactored under the new
+    /// pivot order before returning). The caller must then refresh the
+    /// unmasked lanes before their next solve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] when a masked lane stays singular
+    /// after re-analysis, [`SolveError::DimensionMismatch`] on a pattern
+    /// of the wrong dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != pattern.nnz() * lanes` or
+    /// `mask.len() != lanes`.
+    pub fn refactor_masked(
+        &mut self,
+        pattern: &SparseMatrix,
+        values: &[f64],
+        mask: &[bool],
+    ) -> Result<(u64, bool), SolveError> {
+        let _span = rotsv_obs::span!("lu_refactor_masked", "k" = self.k);
+        assert_eq!(
+            values.len(),
+            pattern.nnz() * self.k,
+            "lane-interleaved value length mismatch"
+        );
+        assert_eq!(mask.len(), self.k, "mask length mismatch");
+        if pattern.dim() != self.sym.n {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.sym.n,
+                actual: pattern.dim(),
+            });
+        }
+        let mut analyses = 0u64;
+        let mut invalidated = false;
+        'retry: loop {
+            for (lane, &refresh) in mask.iter().enumerate() {
+                if !refresh {
+                    continue;
+                }
+                match self.refactor_lane(pattern, values, lane) {
+                    Ok(()) => {}
+                    Err(SolveError::Singular { .. }) if analyses < 2 => {
+                        // The shared pivot order failed for `lane`:
+                        // re-analyze from that lane's values. The new order
+                        // applies to every lane, so all previously stored
+                        // factors are gone.
+                        let sym = self.reanalyze_from_lane(pattern, values, lane)?;
+                        analyses += 1;
+                        invalidated = true;
+                        self.adopt(sym);
+                        continue 'retry;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            return Ok((analyses, invalidated));
+        }
+    }
+
+    /// Scalar Doolittle sweep of a single lane over the strided storage.
+    /// Per-lane operation order matches [`BatchedLu::refactor_lanes`]
+    /// exactly (scatter row `perm[i]` through the analysis map, eliminate
+    /// in-block columns `j < i` in ascending order, gather, pivot check),
+    /// so the lane's factors are bit-identical to a full-batch refactor
+    /// of the same values.
+    fn refactor_lane(
+        &mut self,
+        pattern: &SparseMatrix,
+        values: &[f64],
+        lane: usize,
+    ) -> Result<(), SolveError> {
+        let sym = Arc::clone(&self.sym);
+        let k = self.k;
+        for i in 0..sym.n {
+            let (lo, hi) = (sym.lu_row_ptr[i], sym.lu_row_ptr[i + 1]);
+            for s in lo..hi {
+                self.work[sym.lu_col_idx[s] * k + lane] = 0.0;
+            }
+            // Scatter row perm[i] of A (this lane only) through the
+            // analysis map: scale, then route in-block or off-block.
+            let abase = pattern.row_ptr[sym.perm[i]];
+            for (t, q) in (sym.amap_ptr[i]..sym.amap_ptr[i + 1]).enumerate() {
+                let v = values[(abase + t) * k + lane] * sym.amap_scale[q];
+                let dest = sym.amap_dest[q];
+                if dest & 1 == 0 {
+                    self.work[(dest >> 1) * k + lane] = v;
+                } else {
+                    self.off_values[(dest >> 1) * k + lane] = v;
+                }
+            }
+            // Eliminate in-block columns j < i in ascending order.
+            for s in lo..sym.diag_slot[i] {
+                let j = sym.lu_col_idx[s];
+                let l = self.work[j * k + lane] / self.lu_values[sym.diag_slot[j] * k + lane];
+                self.work[j * k + lane] = l;
+                for m in (sym.diag_slot[j] + 1)..sym.lu_row_ptr[j + 1] {
+                    self.work[sym.lu_col_idx[m] * k + lane] -= l * self.lu_values[m * k + lane];
+                }
+            }
+            // Gather the finished row, then check the pivot and the
+            // multiplier growth (the slots left of the diagonal hold the
+            // row's L multipliers).
+            for s in lo..hi {
+                self.lu_values[s * k + lane] = self.work[sym.lu_col_idx[s] * k + lane];
+            }
+            let mut lmax = 0.0f64;
+            for s in lo..sym.diag_slot[i] {
+                lmax = lmax.max(self.lu_values[s * k + lane].abs());
+            }
+            let piv = self.lu_values[sym.diag_slot[i] * k + lane].abs();
+            if piv <= PIVOT_EPS || !piv.is_finite() || lmax > PIVOT_GROWTH_LIMIT {
+                return Err(SolveError::Singular { column: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Monomorphized Doolittle sweep: same elimination order as
+    /// [`BatchedLu::refactor_lanes`] (bit-identical results), with the
+    /// multiplier row in `K` registers and const-length lane loops that
+    /// compile to straight vector code.
+    // Lane loops deliberately index several parallel arrays by `lane`;
+    // the iterator forms clippy suggests obscure that symmetry.
+    #[allow(clippy::needless_range_loop)]
+    fn refactor_lanes_k<const K: usize>(
+        &mut self,
+        pattern: &SparseMatrix,
+        values: &[f64],
+    ) -> Result<(), (usize, SolveError)> {
+        debug_assert_eq!(self.k, K);
+        let sym = &self.sym;
+        for i in 0..sym.n {
+            let (lo, hi) = (sym.lu_row_ptr[i], sym.lu_row_ptr[i + 1]);
+            for s in lo..hi {
+                let base = sym.lu_col_idx[s] * K;
+                self.work[base..base + K].fill(0.0);
+            }
+            // Scatter row perm[i] of A (all lanes at once) through the
+            // analysis map.
+            let abase = pattern.row_ptr[sym.perm[i]];
+            for (t, q) in (sym.amap_ptr[i]..sym.amap_ptr[i + 1]).enumerate() {
+                let sc = sym.amap_scale[q];
+                let src = (abase + t) * K;
+                let dest = sym.amap_dest[q];
+                let dst = (dest >> 1) * K;
+                if dest & 1 == 0 {
+                    for lane in 0..K {
+                        self.work[dst + lane] = values[src + lane] * sc;
+                    }
+                } else {
+                    for lane in 0..K {
+                        self.off_values[dst + lane] = values[src + lane] * sc;
+                    }
+                }
+            }
+            // Eliminate in-block columns j < i in ascending order, lanes
+            // in lockstep.
+            for s in lo..sym.diag_slot[i] {
+                let j = sym.lu_col_idx[s];
+                let dj = sym.diag_slot[j] * K;
+                let mut lrow = [0.0; K];
+                for lane in 0..K {
+                    let l = self.work[j * K + lane] / self.lu_values[dj + lane];
+                    lrow[lane] = l;
+                    self.work[j * K + lane] = l;
+                }
+                for m in (sym.diag_slot[j] + 1)..sym.lu_row_ptr[j + 1] {
+                    let dst = sym.lu_col_idx[m] * K;
+                    let lum = m * K;
+                    for lane in 0..K {
+                        self.work[dst + lane] -= lrow[lane] * self.lu_values[lum + lane];
+                    }
+                }
+            }
+            // Gather the finished row, then check every lane's pivot and
+            // multiplier growth (the slots left of the diagonal hold the
+            // row's L multipliers).
+            for s in lo..hi {
+                let src = sym.lu_col_idx[s] * K;
+                let dst = s * K;
+                for lane in 0..K {
+                    self.lu_values[dst + lane] = self.work[src + lane];
+                }
+            }
+            let mut lmax = [0.0f64; K];
+            for s in lo..sym.diag_slot[i] {
+                let base = s * K;
+                for lane in 0..K {
+                    lmax[lane] = lmax[lane].max(self.lu_values[base + lane].abs());
+                }
+            }
+            let dslot = sym.diag_slot[i] * K;
+            for lane in 0..K {
+                let piv = self.lu_values[dslot + lane].abs();
+                if piv <= PIVOT_EPS || !piv.is_finite() || lmax[lane] > PIVOT_GROWTH_LIMIT {
+                    return Err((lane, SolveError::Singular { column: i }));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One Doolittle sweep over all lanes; fails with the first lane
+    /// whose pivot is unusable.
+    fn refactor_lanes(
+        &mut self,
+        pattern: &SparseMatrix,
+        values: &[f64],
+    ) -> Result<(), (usize, SolveError)> {
+        let sym = &self.sym;
+        let k = self.k;
+        for i in 0..sym.n {
+            let (lo, hi) = (sym.lu_row_ptr[i], sym.lu_row_ptr[i + 1]);
+            for s in lo..hi {
+                let base = sym.lu_col_idx[s] * k;
+                self.work[base..base + k].fill(0.0);
+            }
+            // Scatter row perm[i] of A (all lanes at once) through the
+            // analysis map.
+            let abase = pattern.row_ptr[sym.perm[i]];
+            for (t, q) in (sym.amap_ptr[i]..sym.amap_ptr[i + 1]).enumerate() {
+                let sc = sym.amap_scale[q];
+                let src = (abase + t) * k;
+                let dest = sym.amap_dest[q];
+                let dst = (dest >> 1) * k;
+                if dest & 1 == 0 {
+                    for lane in 0..k {
+                        self.work[dst + lane] = values[src + lane] * sc;
+                    }
+                } else {
+                    for lane in 0..k {
+                        self.off_values[dst + lane] = values[src + lane] * sc;
+                    }
+                }
+            }
+            // Eliminate in-block columns j < i in ascending order, lanes
+            // in lockstep.
+            for s in lo..sym.diag_slot[i] {
+                let j = sym.lu_col_idx[s];
+                let dj = sym.diag_slot[j] * k;
+                for lane in 0..k {
+                    let l = self.work[j * k + lane] / self.lu_values[dj + lane];
+                    self.lrow[lane] = l;
+                    self.work[j * k + lane] = l;
+                }
+                for m in (sym.diag_slot[j] + 1)..sym.lu_row_ptr[j + 1] {
+                    let dst = sym.lu_col_idx[m] * k;
+                    let lum = m * k;
+                    for lane in 0..k {
+                        self.work[dst + lane] -= self.lrow[lane] * self.lu_values[lum + lane];
+                    }
+                }
+            }
+            // Gather the finished row, then check every lane's pivot and
+            // multiplier growth (the slots left of the diagonal hold the
+            // row's L multipliers).
+            for s in lo..hi {
+                let src = sym.lu_col_idx[s] * k;
+                let dst = s * k;
+                self.lu_values[dst..dst + k].copy_from_slice(&self.work[src..src + k]);
+            }
+            let dslot = sym.diag_slot[i] * k;
+            for lane in 0..k {
+                let mut lmax = 0.0f64;
+                for s in lo..sym.diag_slot[i] {
+                    lmax = lmax.max(self.lu_values[s * k + lane].abs());
+                }
+                let piv = self.lu_values[dslot + lane].abs();
+                if piv <= PIVOT_EPS || !piv.is_finite() || lmax > PIVOT_GROWTH_LIMIT {
+                    return Err((lane, SolveError::Singular { column: i }));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves all lanes in place: `b` holds `n * k` lane-interleaved
+    /// right-hand sides on entry and the solutions on return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim * lanes`.
+    pub fn solve_in_place(&mut self, b: &mut [f64]) {
+        let _span = rotsv_obs::span!("lu_solve_batch", "k" = self.k);
+        assert_eq!(
+            b.len(),
+            self.sym.n * self.k,
+            "lane-interleaved rhs length mismatch"
+        );
+        match self.k {
+            1 => self.solve_in_place_k::<1>(b),
+            2 => self.solve_in_place_k::<2>(b),
+            3 => self.solve_in_place_k::<3>(b),
+            4 => self.solve_in_place_k::<4>(b),
+            5 => self.solve_in_place_k::<5>(b),
+            6 => self.solve_in_place_k::<6>(b),
+            7 => self.solve_in_place_k::<7>(b),
+            8 => self.solve_in_place_k::<8>(b),
+            16 => self.solve_in_place_k::<16>(b),
+            _ => self.solve_in_place_dyn(b),
+        }
+    }
+
+    /// Monomorphized substitution: each row's lanes accumulate in `K`
+    /// registers across the inner loops instead of read-modify-write
+    /// memory traffic per entry. Same operation order as the dynamic
+    /// path, so results are bit-identical.
+    // Lane loops deliberately index several parallel arrays by `lane`;
+    // the iterator forms clippy suggests obscure that symmetry.
+    #[allow(clippy::needless_range_loop)]
+    fn solve_in_place_k<const K: usize>(&mut self, b: &mut [f64]) {
+        debug_assert_eq!(self.k, K);
+        let sym = &self.sym;
+        // Permute and row-scale the right-hand sides (all lanes at once).
+        for i in 0..sym.n {
+            let r = sym.perm[i];
+            let rs = sym.row_scale[r];
+            let src = r * K;
+            for lane in 0..K {
+                self.xbuf[i * K + lane] = b[src + lane] * rs;
+            }
+        }
+        let x = &mut self.xbuf;
+        for bidx in 0..sym.block_ptr.len() - 1 {
+            let (bs, be) = (sym.block_ptr[bidx], sym.block_ptr[bidx + 1]);
+            // Subtract the couplings to earlier (already solved) blocks.
+            for i in bs..be {
+                let mut acc = [0.0; K];
+                acc.copy_from_slice(&x[i * K..(i + 1) * K]);
+                for s in sym.off_row_ptr[i]..sym.off_row_ptr[i + 1] {
+                    let c = sym.off_col_idx[s] * K;
+                    let ov = s * K;
+                    for lane in 0..K {
+                        acc[lane] -= self.off_values[ov + lane] * x[c + lane];
+                    }
+                }
+                x[i * K..(i + 1) * K].copy_from_slice(&acc);
+            }
+            // Forward substitution with unit-diagonal L.
+            for i in bs..be {
+                let mut acc = [0.0; K];
+                acc.copy_from_slice(&x[i * K..(i + 1) * K]);
+                for s in sym.lu_row_ptr[i]..sym.diag_slot[i] {
+                    let c = sym.lu_col_idx[s] * K;
+                    let lus = s * K;
+                    for lane in 0..K {
+                        acc[lane] -= self.lu_values[lus + lane] * x[c + lane];
+                    }
+                }
+                x[i * K..(i + 1) * K].copy_from_slice(&acc);
+            }
+            // Back substitution with U.
+            for i in (bs..be).rev() {
+                let mut acc = [0.0; K];
+                acc.copy_from_slice(&x[i * K..(i + 1) * K]);
+                for s in (sym.diag_slot[i] + 1)..sym.lu_row_ptr[i + 1] {
+                    let c = sym.lu_col_idx[s] * K;
+                    let lus = s * K;
+                    for lane in 0..K {
+                        acc[lane] -= self.lu_values[lus + lane] * x[c + lane];
+                    }
+                }
+                let d = sym.diag_slot[i] * K;
+                for lane in 0..K {
+                    acc[lane] /= self.lu_values[d + lane];
+                }
+                x[i * K..(i + 1) * K].copy_from_slice(&acc);
+            }
+        }
+        // Undo the column permutation and scaling.
+        for j in 0..sym.n {
+            let c = sym.cperm[j];
+            let cs = sym.col_scale[c];
+            let dst = c * K;
+            for lane in 0..K {
+                b[dst + lane] = cs * x[j * K + lane];
+            }
+        }
+    }
+
+    /// Fallback for lane counts without a monomorphized kernel.
+    fn solve_in_place_dyn(&mut self, b: &mut [f64]) {
+        let sym = &self.sym;
+        let k = self.k;
+        // Permute and row-scale the right-hand sides (all lanes at once).
+        for i in 0..sym.n {
+            let r = sym.perm[i];
+            let rs = sym.row_scale[r];
+            let src = r * k;
+            for lane in 0..k {
+                self.xbuf[i * k + lane] = b[src + lane] * rs;
+            }
+        }
+        let x = &mut self.xbuf;
+        for bidx in 0..sym.block_ptr.len() - 1 {
+            let (bs, be) = (sym.block_ptr[bidx], sym.block_ptr[bidx + 1]);
+            // Subtract the couplings to earlier (already solved) blocks.
+            for i in bs..be {
+                for s in sym.off_row_ptr[i]..sym.off_row_ptr[i + 1] {
+                    let c = sym.off_col_idx[s] * k;
+                    let ov = s * k;
+                    for lane in 0..k {
+                        x[i * k + lane] -= self.off_values[ov + lane] * x[c + lane];
+                    }
+                }
+            }
+            // Forward substitution with unit-diagonal L.
+            for i in bs..be {
+                for s in sym.lu_row_ptr[i]..sym.diag_slot[i] {
+                    let c = sym.lu_col_idx[s] * k;
+                    let lus = s * k;
+                    for lane in 0..k {
+                        x[i * k + lane] -= self.lu_values[lus + lane] * x[c + lane];
+                    }
+                }
+            }
+            // Back substitution with U.
+            for i in (bs..be).rev() {
+                for s in (sym.diag_slot[i] + 1)..sym.lu_row_ptr[i + 1] {
+                    let c = sym.lu_col_idx[s] * k;
+                    let lus = s * k;
+                    for lane in 0..k {
+                        x[i * k + lane] -= self.lu_values[lus + lane] * x[c + lane];
+                    }
+                }
+                let d = sym.diag_slot[i] * k;
+                for lane in 0..k {
+                    x[i * k + lane] /= self.lu_values[d + lane];
+                }
+            }
+        }
+        // Undo the column permutation and scaling.
+        for j in 0..sym.n {
+            let c = sym.cperm[j];
+            let cs = sym.col_scale[c];
+            let dst = c * k;
+            for lane in 0..k {
+                b[dst + lane] = cs * x[j * k + lane];
+            }
+        }
+    }
+}

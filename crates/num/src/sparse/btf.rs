@@ -1,0 +1,312 @@
+//! Stage 1 of the symbolic pipeline: permutation to block (lower)
+//! triangular form.
+//!
+//! A maximum matching of the bipartite row/column graph (MC21-style
+//! augmenting paths) puts a structural nonzero on every diagonal
+//! position; Tarjan's algorithm then condenses the matched digraph into
+//! strongly connected components. Emitting the components in Tarjan
+//! completion order yields a block *lower* triangular permutation: every
+//! entry of the permuted matrix lies in its diagonal block or in the
+//! columns of an earlier block, so LU factorization can proceed block by
+//! block and the off-diagonal blocks never fill in.
+//!
+//! Both passes are purely structural (they look only at the pattern,
+//! never at values, so explicit zeros count as entries — the analysis
+//! must stay valid for every value set stamped over the topology) and
+//! iterative (no recursion, so 10k-node systems cannot overflow the
+//! stack).
+
+const NONE: usize = usize::MAX;
+
+/// A block-triangular permutation of a square pattern.
+pub(super) struct BtfForm {
+    /// Row permutation: permuted position `i` holds original row `rperm[i]`.
+    pub(super) rperm: Vec<usize>,
+    /// Column permutation: permuted position `j` holds original column
+    /// `cperm[j]`. Positions pair up: `(rperm[p], cperm[p])` is a matched
+    /// structural nonzero, so every diagonal of the permuted matrix is an
+    /// entry of the pattern.
+    pub(super) cperm: Vec<usize>,
+    /// Block boundaries in permuted index space: block `b` spans
+    /// `block_ptr[b]..block_ptr[b + 1]`.
+    pub(super) block_ptr: Vec<usize>,
+}
+
+/// The trivial decomposition: identity permutations, one block.
+pub(super) fn natural(n: usize) -> BtfForm {
+    BtfForm {
+        rperm: (0..n).collect(),
+        cperm: (0..n).collect(),
+        block_ptr: if n == 0 { vec![0] } else { vec![0, n] },
+    }
+}
+
+/// Decomposes the pattern `(n, row_ptr, col_idx)` to block lower
+/// triangular form. Fails with the first unmatchable column when the
+/// pattern is structurally singular.
+pub(super) fn decompose(n: usize, row_ptr: &[usize], col_idx: &[usize]) -> Result<BtfForm, usize> {
+    let row_of_col = maximum_matching(n, row_ptr, col_idx)?;
+    Ok(condense(n, row_ptr, col_idx, &row_of_col))
+}
+
+/// MC21-style maximum matching: returns, for every column, the row
+/// matched to it, or `Err(col)` for the first column no augmenting path
+/// can reach a free row for (the pattern is structurally singular).
+fn maximum_matching(n: usize, row_ptr: &[usize], col_idx: &[usize]) -> Result<Vec<usize>, usize> {
+    let mut row_of_col = vec![NONE; n];
+    let mut col_of_row = vec![NONE; n];
+    // Cheap pass: greedily take the first free column of every row.
+    for r in 0..n {
+        for &c in &col_idx[row_ptr[r]..row_ptr[r + 1]] {
+            if row_of_col[c] == NONE {
+                row_of_col[c] = r;
+                col_of_row[r] = c;
+                break;
+            }
+        }
+    }
+    // Augmenting-path pass for the rows the cheap pass missed. The DFS
+    // is iterative; `visited` carries a per-start stamp so it resets in
+    // O(1) between starts.
+    let mut visited = vec![0u32; n];
+    let mut stamp = 0u32;
+    // Frame: (row, next CSR slot to scan, column chosen on this level).
+    let mut stack: Vec<(usize, usize, usize)> = Vec::new();
+    for start in 0..n {
+        if col_of_row[start] != NONE {
+            continue;
+        }
+        stamp += 1;
+        stack.clear();
+        stack.push((start, row_ptr[start], NONE));
+        let mut augmented = false;
+        'dfs: while let Some(&mut (r, ref mut pos, ref mut chosen)) = stack.last_mut() {
+            // Advance to the next unvisited column of row r.
+            let mut next = NONE;
+            while *pos < row_ptr[r + 1] {
+                let c = col_idx[*pos];
+                *pos += 1;
+                if visited[c] != stamp {
+                    visited[c] = stamp;
+                    next = c;
+                    break;
+                }
+            }
+            if next == NONE {
+                stack.pop();
+                continue;
+            }
+            *chosen = next;
+            let occupant = row_of_col[next];
+            if occupant == NONE {
+                // Free column: flip the matching along the whole path.
+                for &(fr, _, fc) in &stack {
+                    row_of_col[fc] = fr;
+                    col_of_row[fr] = fc;
+                }
+                augmented = true;
+                break 'dfs;
+            }
+            stack.push((occupant, row_ptr[occupant], NONE));
+        }
+        if !augmented {
+            // No augmenting path from `start`: some column is structurally
+            // unmatchable. Report the first still-free column.
+            let col = row_of_col.iter().position(|&r| r == NONE).unwrap_or(start);
+            return Err(col);
+        }
+    }
+    Ok(row_of_col)
+}
+
+/// Tarjan SCC condensation of the matched digraph. Nodes are columns;
+/// column `u` has an edge to column `v` when row `row_of_col[u]` holds an
+/// entry in column `v`. Components are emitted in completion order, which
+/// is reverse topological — exactly the block *lower* triangular order.
+fn condense(n: usize, row_ptr: &[usize], col_idx: &[usize], row_of_col: &[usize]) -> BtfForm {
+    let mut index = vec![NONE; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut scc_stack: Vec<usize> = Vec::new();
+    // Frame: (node, next CSR slot of its row).
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    let mut counter = 0usize;
+    let mut rperm = Vec::with_capacity(n);
+    let mut cperm = Vec::with_capacity(n);
+    let mut block_ptr = vec![0usize];
+
+    for root in 0..n {
+        if index[root] != NONE {
+            continue;
+        }
+        index[root] = counter;
+        low[root] = counter;
+        counter += 1;
+        scc_stack.push(root);
+        on_stack[root] = true;
+        call.push((root, row_ptr[row_of_col[root]]));
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            let row = row_of_col[v];
+            if *pos < row_ptr[row + 1] {
+                let w = col_idx[*pos];
+                *pos += 1;
+                if w == v {
+                    continue; // self loop: the matched diagonal itself
+                }
+                if index[w] == NONE {
+                    index[w] = counter;
+                    low[w] = counter;
+                    counter += 1;
+                    scc_stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, row_ptr[row_of_col[w]]));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+                continue;
+            }
+            // Node finished: emit its component if it is a root.
+            if low[v] == index[v] {
+                let base = cperm.len();
+                loop {
+                    let w = scc_stack.pop().expect("SCC stack underflow");
+                    on_stack[w] = false;
+                    cperm.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                // Deterministic member order inside the block (the
+                // fill-reducing pass reorders it anyway).
+                cperm[base..].sort_unstable();
+                block_ptr.push(cperm.len());
+            }
+            call.pop();
+            if let Some(&mut (parent, _)) = call.last_mut() {
+                low[parent] = low[parent].min(low[v]);
+            }
+        }
+    }
+    for &c in &cperm {
+        rperm.push(row_of_col[c]);
+    }
+    BtfForm {
+        rperm,
+        cperm,
+        block_ptr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::SparseMatrix;
+
+    fn decompose_matrix(a: &SparseMatrix) -> Result<BtfForm, usize> {
+        decompose(a.n, &a.row_ptr, &a.col_idx)
+    }
+
+    /// Checks the defining invariant: every entry of the permuted matrix
+    /// lies in its diagonal block or in the columns of an earlier block.
+    fn assert_block_lower(a: &SparseMatrix, f: &BtfForm) {
+        let n = a.dim();
+        let mut cinv = vec![0usize; n];
+        for (p, &c) in f.cperm.iter().enumerate() {
+            cinv[c] = p;
+        }
+        let block_of = |p: usize| f.block_ptr.iter().position(|&b| b > p).unwrap() - 1;
+        for (p, &r) in f.rperm.iter().enumerate() {
+            let rb = block_of(p);
+            let (cols, _) = a.row(r);
+            for &c in cols {
+                assert!(
+                    block_of(cinv[c]) <= rb,
+                    "entry ({r}, {c}) lands above the block diagonal"
+                );
+            }
+        }
+        // Matched diagonal: (rperm[p], cperm[p]) is always a pattern entry.
+        for p in 0..n {
+            assert!(a.slot_of(f.rperm[p], f.cperm[p]).is_some());
+        }
+    }
+
+    #[test]
+    fn lower_triangular_pattern_gives_singleton_blocks() {
+        let a = SparseMatrix::from_triplets(
+            4,
+            &[
+                (0, 0, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 1.0),
+                (2, 1, 1.0),
+                (2, 2, 1.0),
+                (3, 3, 1.0),
+            ],
+        );
+        let f = decompose_matrix(&a).unwrap();
+        assert_eq!(f.block_ptr.len() - 1, 4);
+        assert_block_lower(&a, &f);
+    }
+
+    #[test]
+    fn zero_diagonal_vsource_shape_is_matched() {
+        // MNA vsource branch: structural zero at (2, 2) forces the
+        // matching to pair row 2 with column 0 and row 0 with column 2.
+        let a = SparseMatrix::from_triplets(
+            3,
+            &[
+                (0, 0, 2e-3),
+                (0, 1, -1e-3),
+                (0, 2, 1.0),
+                (1, 0, -1e-3),
+                (1, 1, 2e-3),
+                (2, 0, 1.0),
+            ],
+        );
+        let f = decompose_matrix(&a).unwrap();
+        assert_block_lower(&a, &f);
+        assert_eq!(f.block_ptr.len() - 1, 3, "this shape condenses fully");
+    }
+
+    #[test]
+    fn strongly_connected_pattern_is_one_block() {
+        // Arrow matrix: every node couples through the last one.
+        let n = 5;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 1.0));
+            if i + 1 < n {
+                t.push((i, n - 1, 1.0));
+                t.push((n - 1, i, 1.0));
+            }
+        }
+        let a = SparseMatrix::from_triplets(n, &t);
+        let f = decompose_matrix(&a).unwrap();
+        assert_eq!(f.block_ptr, vec![0, n]);
+        assert_block_lower(&a, &f);
+    }
+
+    #[test]
+    fn structurally_singular_pattern_is_rejected() {
+        // Column 1 has no entries at all.
+        let a = SparseMatrix::from_triplets(2, &[(0, 0, 1.0), (1, 0, 1.0)]);
+        assert!(decompose_matrix(&a).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_decomposes() {
+        let (a, _) = SparseMatrix::from_coords(0, &[]);
+        let f = decompose_matrix(&a).unwrap();
+        assert_eq!(f.block_ptr, vec![0]);
+    }
+
+    #[test]
+    fn explicit_zeros_count_as_structure() {
+        // The (1, 1) entry is numerically zero but structurally present;
+        // matching must still use the full pattern.
+        let a = SparseMatrix::from_triplets(2, &[(0, 0, 0.0), (0, 1, 1.0), (1, 1, 0.0)]);
+        let f = decompose_matrix(&a).unwrap();
+        assert_block_lower(&a, &f);
+    }
+}

@@ -1,0 +1,279 @@
+//! Numeric stage: refactorization along a fixed analysis and the
+//! block-triangular solve.
+
+use std::sync::Arc;
+
+use crate::linsolve::SolveError;
+
+use super::symbolic::{AnalyzeOptions, SymbolicLu};
+use super::{SparseMatrix, PIVOT_EPS, PIVOT_GROWTH_LIMIT};
+
+/// Sparse LU factorization with a reusable symbolic analysis.
+///
+/// Construction ([`SparseLu::new`]) performs the expensive part once:
+/// the staged analysis ([`SymbolicLu::analyze`] — BTF, fill-reducing
+/// ordering, optional scaling, threshold partial pivoting) chooses the
+/// permutations and records the fill-in structure of `L + U`. Subsequent
+/// [`SparseLu::refactor`] calls reuse both, reducing the per-iteration
+/// cost from O(n³) to O(nnz(LU)) — the dominant win of the simulator's
+/// Newton loops, where the matrix values change every iteration but the
+/// pattern never does.
+///
+/// If the values drift so far that a reused pivot becomes unusable,
+/// `refactor` transparently falls back to a fresh analysis under the
+/// same [`AnalyzeOptions`] (and reports it, so
+/// [`SolverStats`](super::SolverStats) can count re-analyses).
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_num::sparse::{SparseLu, SparseMatrix};
+///
+/// # fn main() -> Result<(), rotsv_num::linsolve::SolveError> {
+/// let mut a = SparseMatrix::from_triplets(
+///     3,
+///     &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0), (2, 2, 2.0)],
+/// );
+/// let mut lu = SparseLu::new(&a)?;
+/// let x = lu.solve(&[5.0, 4.0, 2.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// assert!((x[2] - 1.0).abs() < 1e-12);
+///
+/// // Same pattern, new values: refactor without re-analysis.
+/// a = SparseMatrix::from_triplets(
+///     3,
+///     &[(0, 0, 2.0), (0, 1, 0.0), (1, 0, 0.0), (1, 1, 5.0), (2, 2, 1.0)],
+/// );
+/// let reanalyzed = lu.refactor(&a)?;
+/// assert!(!reanalyzed);
+/// let x = lu.solve(&[2.0, 5.0, 1.0])?;
+/// assert!(x.iter().all(|v| (v - 1.0).abs() < 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    /// Shared permutations, scaling and fill-in pattern.
+    sym: Arc<SymbolicLu>,
+    /// Values of the block-diagonal `L + U` (parallel to the analysis'
+    /// LU pattern).
+    lu_values: Vec<f64>,
+    /// Scaled values of the below-block entries (parallel to the
+    /// analysis' off pattern).
+    off_values: Vec<f64>,
+    /// Dense scatter workspace reused by refactor.
+    work: Vec<f64>,
+}
+
+impl SparseLu {
+    /// Analyzes and factors `a` under [`AnalyzeOptions::default`]: BTF
+    /// decomposition, per-block minimum-degree ordering, automatic
+    /// scaling, threshold partial pivoting, and the numeric factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] when no usable pivot exists.
+    pub fn new(a: &SparseMatrix) -> Result<Self, SolveError> {
+        Self::new_with(a, AnalyzeOptions::default())
+    }
+
+    /// [`SparseLu::new`] with explicit [`AnalyzeOptions`]. Pivot-drift
+    /// re-analyses triggered later by [`SparseLu::refactor`] keep these
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] when no usable pivot exists.
+    pub fn new_with(a: &SparseMatrix, opts: AnalyzeOptions) -> Result<Self, SolveError> {
+        let sym = Arc::new(SymbolicLu::analyze_with(a, opts)?);
+        Self::with_symbolic(sym, a)
+    }
+
+    /// Factors `a` reusing an existing symbolic analysis of the same
+    /// pattern (no `lu_analyze` is performed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] if `a`'s dimension
+    /// differs from the analyzed one, and [`SolveError::Singular`] when
+    /// the recorded pivot order is unusable for `a`'s values (callers
+    /// fall back to a fresh [`SparseLu::new`]).
+    pub fn with_symbolic(sym: Arc<SymbolicLu>, a: &SparseMatrix) -> Result<Self, SolveError> {
+        if a.dim() != sym.n {
+            return Err(SolveError::DimensionMismatch {
+                expected: sym.n,
+                actual: a.dim(),
+            });
+        }
+        let mut lu = Self {
+            lu_values: vec![0.0; sym.lu_col_idx.len()],
+            off_values: vec![0.0; sym.off_col_idx.len()],
+            work: vec![0.0; sym.n],
+            sym,
+        };
+        lu.refactor_in_place(a)?;
+        Ok(lu)
+    }
+
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        self.sym.n
+    }
+
+    /// Number of stored entries in the factors (a measure of fill-in);
+    /// see [`SymbolicLu::lu_nnz`].
+    pub fn lu_nnz(&self) -> usize {
+        self.sym.lu_nnz()
+    }
+
+    /// The shared symbolic analysis backing this factorization.
+    pub fn symbolic(&self) -> &Arc<SymbolicLu> {
+        &self.sym
+    }
+
+    /// Recomputes the numeric factors of `a` (same pattern as analyzed)
+    /// with the recorded pivot order. Returns `true` when pivot drift
+    /// forced a fresh analysis, `false` on the fast path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] when the matrix is numerically
+    /// singular even after re-analysis, and
+    /// [`SolveError::DimensionMismatch`] if `a` has a different
+    /// dimension.
+    pub fn refactor(&mut self, a: &SparseMatrix) -> Result<bool, SolveError> {
+        let _span = rotsv_obs::span!("lu_refactor");
+        if a.dim() != self.sym.n {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.sym.n,
+                actual: a.dim(),
+            });
+        }
+        match self.refactor_in_place(a) {
+            Ok(()) => Ok(false),
+            Err(SolveError::Singular { .. }) => {
+                // Values drifted away from the analyzed pivot order: redo
+                // the full analysis (new permutations, new fill pattern)
+                // under the same options.
+                *self = Self::new_with(a, self.sym.opts)?;
+                Ok(true)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Numeric refactorization along the fixed pattern (Doolittle by
+    /// rows with a dense scatter workspace). The analysis' scatter map
+    /// routes each entry of `a` — scaled by its equilibration factor —
+    /// to its in-block work position or its off-block slot; elimination
+    /// runs only inside the diagonal blocks.
+    fn refactor_in_place(&mut self, a: &SparseMatrix) -> Result<(), SolveError> {
+        let sym = &self.sym;
+        assert_eq!(
+            a.nnz(),
+            sym.a_nnz,
+            "matrix pattern differs from the analyzed one"
+        );
+        for i in 0..sym.n {
+            let (lo, hi) = (sym.lu_row_ptr[i], sym.lu_row_ptr[i + 1]);
+            // Scatter row perm[i] of A over the LU pattern.
+            for k in lo..hi {
+                self.work[sym.lu_col_idx[k]] = 0.0;
+            }
+            let abase = a.row_ptr[sym.perm[i]];
+            for (t, q) in (sym.amap_ptr[i]..sym.amap_ptr[i + 1]).enumerate() {
+                let v = a.values[abase + t] * sym.amap_scale[q];
+                let dest = sym.amap_dest[q];
+                if dest & 1 == 0 {
+                    self.work[dest >> 1] = v;
+                } else {
+                    self.off_values[dest >> 1] = v;
+                }
+            }
+            // Eliminate in-block columns j < i in ascending order.
+            for k in lo..sym.diag_slot[i] {
+                let j = sym.lu_col_idx[k];
+                let ujj = self.lu_values[sym.diag_slot[j]];
+                let l = self.work[j] / ujj;
+                self.work[j] = l;
+                if l != 0.0 {
+                    for m in (sym.diag_slot[j] + 1)..sym.lu_row_ptr[j + 1] {
+                        self.work[sym.lu_col_idx[m]] -= l * self.lu_values[m];
+                    }
+                }
+            }
+            // Gather the finished row, then check the pivot and the
+            // multiplier growth: the gathered slots left of the diagonal
+            // hold the row's L multipliers.
+            for k in lo..hi {
+                self.lu_values[k] = self.work[sym.lu_col_idx[k]];
+            }
+            let mut lmax = 0.0f64;
+            for k in lo..sym.diag_slot[i] {
+                lmax = lmax.max(self.lu_values[k].abs());
+            }
+            let piv = self.lu_values[sym.diag_slot[i]].abs();
+            if piv <= PIVOT_EPS || !piv.is_finite() || lmax > PIVOT_GROWTH_LIMIT {
+                return Err(SolveError::Singular { column: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `A·x = b` with the current factors: scaling and row
+    /// permutation of `b`, then block-by-block forward/back substitution
+    /// down the block triangle (each block first subtracts its couplings
+    /// to the already-solved earlier blocks), then the column
+    /// permutation and scaling back to the original variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] if `b.len()` does not
+    /// match the dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        let _span = rotsv_obs::span!("lu_solve");
+        let sym = &self.sym;
+        if b.len() != sym.n {
+            return Err(SolveError::DimensionMismatch {
+                expected: sym.n,
+                actual: b.len(),
+            });
+        }
+        // Permute and row-scale the right-hand side.
+        let mut z: Vec<f64> = sym.perm.iter().map(|&r| b[r] * sym.row_scale[r]).collect();
+        for bidx in 0..sym.block_ptr.len() - 1 {
+            let (bs, be) = (sym.block_ptr[bidx], sym.block_ptr[bidx + 1]);
+            // Subtract the couplings to earlier (already solved) blocks.
+            for i in bs..be {
+                let mut acc = z[i];
+                for k in sym.off_row_ptr[i]..sym.off_row_ptr[i + 1] {
+                    acc -= self.off_values[k] * z[sym.off_col_idx[k]];
+                }
+                z[i] = acc;
+            }
+            // Forward substitution with unit-diagonal L.
+            for i in bs..be {
+                let mut acc = z[i];
+                for k in sym.lu_row_ptr[i]..sym.diag_slot[i] {
+                    acc -= self.lu_values[k] * z[sym.lu_col_idx[k]];
+                }
+                z[i] = acc;
+            }
+            // Back substitution with U.
+            for i in (bs..be).rev() {
+                let mut acc = z[i];
+                for k in (sym.diag_slot[i] + 1)..sym.lu_row_ptr[i + 1] {
+                    acc -= self.lu_values[k] * z[sym.lu_col_idx[k]];
+                }
+                z[i] = acc / self.lu_values[sym.diag_slot[i]];
+            }
+        }
+        // Undo the column permutation and scaling.
+        let mut x = vec![0.0; sym.n];
+        for (j, &c) in sym.cperm.iter().enumerate() {
+            x[c] = sym.col_scale[c] * z[j];
+        }
+        Ok(x)
+    }
+}

@@ -1,0 +1,141 @@
+//! Stage 3 of the symbolic pipeline: optional row/column equilibration.
+//!
+//! MNA Jacobians mix unit-magnitude voltage-source stamps with device
+//! conductances that collapse toward zero at low V_DD, so row magnitudes
+//! can straddle many decades. Equilibration divides each row, then each
+//! column, by a power of two near its largest magnitude. Powers of two
+//! multiply exactly in binary floating point: scaling changes exponents
+//! only, never mantissas, so it cannot introduce rounding of its own —
+//! it only improves the pivot comparisons made on the scaled values.
+//!
+//! The factors are computed once per symbolic analysis (from the values
+//! the analysis saw) and stored in the [`SymbolicLu`](super::SymbolicLu),
+//! so every refactor and solve that reuses the analysis applies the same
+//! exact scaling.
+
+use super::SparseMatrix;
+
+/// Row/column equilibration policy for the symbolic analysis, part of
+/// [`AnalyzeOptions`](super::AnalyzeOptions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scaling {
+    /// Never scale. Factors are identity; the kernel behaves like the
+    /// unscaled classic path.
+    Off,
+    /// Scale only when the row magnitudes are badly spread (their maxima
+    /// straddle more than [`AUTO_SPREAD`] ×). The default: well-scaled
+    /// systems keep bit-identical arithmetic with `Off`, badly scaled
+    /// ones get equilibrated pivoting.
+    #[default]
+    Auto,
+    /// Always scale.
+    Full,
+}
+
+/// `Auto` enables scaling when `max(row max) / min(row max)` exceeds
+/// this spread.
+pub const AUTO_SPREAD: f64 = 1e6;
+
+/// Computes `(row_scale, col_scale, scaled)` for `a` under `mode`. The
+/// factors are exact powers of two; when `scaled` is false both vectors
+/// are all ones.
+pub(super) fn equilibrate(a: &SparseMatrix, mode: Scaling) -> (Vec<f64>, Vec<f64>, bool) {
+    let n = a.dim();
+    let identity = || (vec![1.0; n], vec![1.0; n], false);
+    if matches!(mode, Scaling::Off) || n == 0 {
+        return identity();
+    }
+    // Row maxima of |A|.
+    let mut row_max = vec![0.0f64; n];
+    for (i, rm) in row_max.iter_mut().enumerate() {
+        for s in a.row_ptr[i]..a.row_ptr[i + 1] {
+            *rm = rm.max(a.values[s].abs());
+        }
+    }
+    if matches!(mode, Scaling::Auto) {
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for &m in &row_max {
+            if m > 0.0 && m.is_finite() {
+                lo = lo.min(m);
+                hi = hi.max(m);
+            }
+        }
+        if hi <= lo * AUTO_SPREAD {
+            return identity();
+        }
+    }
+    let row_scale: Vec<f64> = row_max.iter().map(|&m| pow2_recip(m)).collect();
+    // Column maxima of the row-scaled matrix.
+    let mut col_max = vec![0.0f64; n];
+    for (i, &rs) in row_scale.iter().enumerate() {
+        for s in a.row_ptr[i]..a.row_ptr[i + 1] {
+            let v = (a.values[s] * rs).abs();
+            col_max[a.col_idx[s]] = col_max[a.col_idx[s]].max(v);
+        }
+    }
+    let col_scale: Vec<f64> = col_max.iter().map(|&m| pow2_recip(m)).collect();
+    (row_scale, col_scale, true)
+}
+
+/// The reciprocal power of two nearest `m`'s magnitude: an exact factor
+/// that maps `m` into `[1, 2)`. Zero, infinite or NaN magnitudes scale
+/// by 1 (they carry no usable exponent).
+fn pow2_recip(m: f64) -> f64 {
+    if !m.is_finite() || m <= 0.0 {
+        return 1.0;
+    }
+    // Clamp to the normal range so the reciprocal is itself a normal
+    // power of two (subnormal rows would otherwise overflow the factor).
+    let e = (m.log2().floor() as i32).clamp(-1000, 1000);
+    2.0f64.powi(-e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_identity() {
+        let a = SparseMatrix::from_triplets(2, &[(0, 0, 1e9), (1, 1, 1e-9)]);
+        let (rs, cs, scaled) = equilibrate(&a, Scaling::Off);
+        assert!(!scaled);
+        assert!(rs.iter().chain(&cs).all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn auto_skips_well_scaled_systems() {
+        let a = SparseMatrix::from_triplets(2, &[(0, 0, 2.0), (0, 1, 1.0), (1, 1, 0.5)]);
+        let (_, _, scaled) = equilibrate(&a, Scaling::Auto);
+        assert!(!scaled);
+    }
+
+    #[test]
+    fn auto_engages_on_badly_spread_rows() {
+        let a = SparseMatrix::from_triplets(2, &[(0, 0, 1e9), (0, 1, 1e8), (1, 1, 1e-9)]);
+        let (rs, _, scaled) = equilibrate(&a, Scaling::Auto);
+        assert!(scaled);
+        // Scaled row maxima land in [1, 2).
+        assert!((1.0..2.0).contains(&(1e9 * rs[0])));
+        assert!((1.0..2.0).contains(&(1e-9 * rs[1])));
+    }
+
+    #[test]
+    fn factors_are_exact_powers_of_two() {
+        let a = SparseMatrix::from_triplets(2, &[(0, 0, 3.7e12), (1, 0, 1.0), (1, 1, 5.1e-13)]);
+        let (rs, cs, scaled) = equilibrate(&a, Scaling::Full);
+        assert!(scaled);
+        for &f in rs.iter().chain(&cs) {
+            assert!(f > 0.0);
+            // A power of two has an all-zero mantissa field.
+            assert_eq!(f.to_bits() & ((1u64 << 52) - 1), 0, "{f} is not 2^k");
+        }
+    }
+
+    #[test]
+    fn degenerate_magnitudes_scale_by_one() {
+        assert_eq!(pow2_recip(0.0), 1.0);
+        assert_eq!(pow2_recip(f64::INFINITY), 1.0);
+        assert_eq!(pow2_recip(f64::NAN), 1.0);
+    }
+}

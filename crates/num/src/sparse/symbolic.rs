@@ -1,0 +1,491 @@
+//! Stage 4 of the symbolic pipeline: the left-looking Gilbert–Peierls
+//! analysis that fixes pivot order and fill pattern.
+//!
+//! [`SymbolicLu::analyze_with`] chains the stages: equilibration
+//! ([`super::scale`]) → BTF permutation ([`super::btf`]) → per-block
+//! minimum-degree ([`super::order`]) → per-block Gilbert–Peierls
+//! factorization with threshold partial pivoting. The last stage is
+//! numeric (it factors the probe values it is given, preferring the
+//! matched diagonal unless a competitor is ≥ 1000× larger), but its
+//! *output* is purely structural: a row permutation and the exact fill
+//! pattern of `L + U`, which every subsequent
+//! [`SparseLu::refactor`](super::SparseLu::refactor) reuses at
+//! O(nnz(LU)) cost.
+
+use crate::linsolve::SolveError;
+
+use super::{btf, order, scale, Scaling, SparseMatrix, PIVOT_EPS};
+
+/// Threshold for partial pivoting inside the analysis: the matched
+/// diagonal keeps the pivot unless some other candidate in its column is
+/// more than `1 / PARTIAL_PIVOT_TAU` times larger. Diagonal preference
+/// keeps the BTF structure intact and the fill pattern close to the
+/// minimum-degree prediction; the threshold still bounds element growth.
+const PARTIAL_PIVOT_TAU: f64 = 1e-3;
+
+/// How the symbolic analysis permutes the system before factoring.
+///
+/// Part of [`AnalyzeOptions`]; the [`SymbolicCache`](super::SymbolicCache)
+/// keys on it, so analyses made under different strategies never mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OrderingStrategy {
+    /// The full staged pipeline: block-triangular decomposition, then a
+    /// minimum-degree fill-reducing ordering inside each diagonal block.
+    /// The default, and the only mode that scales past a few hundred
+    /// unknowns.
+    #[default]
+    BtfMinDegree,
+    /// Keep the natural (stamp) order: one block, no reordering. Pivoting
+    /// still runs, so the factorization stays correct — this mode exists
+    /// as a fallback and as the baseline the benches compare against.
+    Natural,
+}
+
+/// Options controlling a symbolic analysis.
+///
+/// The defaults (BTF + minimum degree, automatic scaling) are right for
+/// MNA systems; [`SymbolicCache`](super::SymbolicCache) keys include the
+/// options so differently-configured analyses coexist.
+///
+/// # Examples
+///
+/// ```
+/// use rotsv_num::sparse::{AnalyzeOptions, OrderingStrategy, Scaling};
+///
+/// let opts = AnalyzeOptions::default();
+/// assert_eq!(opts.ordering, OrderingStrategy::BtfMinDegree);
+/// assert_eq!(opts.scaling, Scaling::Auto);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AnalyzeOptions {
+    /// Permutation strategy (BTF + minimum degree, or natural order).
+    pub ordering: OrderingStrategy,
+    /// Row/column equilibration policy.
+    pub scaling: Scaling,
+}
+
+/// The value-independent part of a sparse LU factorization: permutations,
+/// block structure, scaling factors and fill-in pattern.
+///
+/// The pattern of an MNA matrix is fixed by the netlist topology, so one
+/// analysis can be shared — behind an [`Arc`](std::sync::Arc) — by every
+/// factorization of that topology: the T1/T2 runs of one ΔT measurement,
+/// and all lanes of a [`BatchedLu`](super::BatchedLu). Produced by
+/// [`SymbolicLu::analyze`]; consumed by
+/// [`SparseLu::with_symbolic`](super::SparseLu::with_symbolic) and
+/// [`BatchedLu::new`](super::BatchedLu::new).
+///
+/// Internally the analysis stores the system in *doubly permuted, scaled*
+/// form `P · S_r · A · S_c · Q`: `P`/`Q` are the row/column permutations
+/// chosen by BTF + minimum degree + pivoting, `S_r`/`S_c` the optional
+/// equilibration factors. The permuted matrix is block lower triangular;
+/// only the diagonal blocks carry `L + U` fill, while entries below the
+/// blocks are stored verbatim and handled by substitution.
+#[derive(Debug)]
+pub struct SymbolicLu {
+    pub(super) n: usize,
+    pub(super) opts: AnalyzeOptions,
+    /// Entry count of the analyzed pattern (refactor sanity check).
+    pub(super) a_nnz: usize,
+    /// Row permutation: position `i` of the permuted system holds
+    /// original row `perm[i]`.
+    pub(super) perm: Vec<usize>,
+    /// Column permutation: position `j` holds original column `cperm[j]`.
+    pub(super) cperm: Vec<usize>,
+    /// Diagonal-block boundaries in permuted index space.
+    pub(super) block_ptr: Vec<usize>,
+    /// Equilibration factors (all ones when `scaled` is false), indexed
+    /// by *original* row/column.
+    pub(super) row_scale: Vec<f64>,
+    pub(super) col_scale: Vec<f64>,
+    pub(super) scaled: bool,
+    /// CSR pattern of the block-diagonal `L + U` (unit-diagonal `L`
+    /// strictly below, `U` on and above the diagonal): rows in permuted
+    /// order, columns as sorted permuted positions within the row's block.
+    pub(super) lu_row_ptr: Vec<usize>,
+    pub(super) lu_col_idx: Vec<usize>,
+    /// Slot of the diagonal entry in each LU row.
+    pub(super) diag_slot: Vec<usize>,
+    /// Below-block entries per permuted row (columns of earlier blocks,
+    /// as permuted positions). These never fill in or eliminate; numeric
+    /// stages store their scaled values verbatim.
+    pub(super) off_row_ptr: Vec<usize>,
+    pub(super) off_col_idx: Vec<usize>,
+    /// Scatter map: entries `amap_ptr[i]..amap_ptr[i+1]` parallel the CSR
+    /// slots of original row `perm[i]`. `amap_dest` is tagged
+    /// `(work_position << 1)` for in-block entries and
+    /// `(off_slot << 1) | 1` for below-block entries; `amap_scale` is the
+    /// combined row × column equilibration factor of the slot.
+    pub(super) amap_ptr: Vec<usize>,
+    pub(super) amap_dest: Vec<usize>,
+    pub(super) amap_scale: Vec<f64>,
+}
+
+impl SymbolicLu {
+    /// Analyzes `a` under [`AnalyzeOptions::default`]: scaling decision,
+    /// BTF decomposition, per-block minimum-degree ordering, and a
+    /// threshold-pivoting Gilbert–Peierls factorization of the current
+    /// values that fixes the pivot order and the fill pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] when the pattern is structurally
+    /// singular or no usable pivot exists for the current values.
+    pub fn analyze(a: &SparseMatrix) -> Result<Self, SolveError> {
+        Self::analyze_with(a, AnalyzeOptions::default())
+    }
+
+    /// [`SymbolicLu::analyze`] with explicit [`AnalyzeOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] when the pattern is structurally
+    /// singular or no usable pivot exists for the current values.
+    pub fn analyze_with(a: &SparseMatrix, opts: AnalyzeOptions) -> Result<Self, SolveError> {
+        let n = a.dim();
+        let _span = rotsv_obs::span!("lu_analyze", "n" = n);
+        // Stage 1: equilibration (exact powers of two; see scale.rs).
+        let (row_scale, col_scale, scaled) = scale::equilibrate(a, opts.scaling);
+        // Stage 2: block triangular form. The matching runs on the full
+        // structural pattern (explicit zeros included) so the analysis
+        // stays valid for every value set stamped over this topology.
+        let form = match opts.ordering {
+            OrderingStrategy::BtfMinDegree => btf::decompose(n, &a.row_ptr, &a.col_idx)
+                .map_err(|column| SolveError::Singular { column })?,
+            OrderingStrategy::Natural => btf::natural(n),
+        };
+        let btf::BtfForm {
+            mut rperm,
+            mut cperm,
+            block_ptr,
+        } = form;
+        // Stage 3: fill-reducing ordering inside each diagonal block.
+        if matches!(opts.ordering, OrderingStrategy::BtfMinDegree) {
+            order::refine_blocks(
+                n, &a.row_ptr, &a.col_idx, &mut rperm, &mut cperm, &block_ptr,
+            );
+        }
+        let mut cinv = vec![0usize; n];
+        for (p, &c) in cperm.iter().enumerate() {
+            cinv[c] = p;
+        }
+        // Stage 4: per-block Gilbert–Peierls with threshold partial
+        // pivoting. Finalizes the row order inside each block and records
+        // the exact structural fill of `L + U`.
+        let mut row_cols: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for b in 0..block_ptr.len() - 1 {
+            factor_block(
+                a,
+                &mut rperm,
+                &cinv,
+                block_ptr[b],
+                block_ptr[b + 1],
+                &row_scale,
+                &col_scale,
+                &mut row_cols,
+            )?;
+        }
+
+        // Assemble the global row-major CSR of the block-diagonal L + U.
+        let mut lu_row_ptr = Vec::with_capacity(n + 1);
+        let mut lu_col_idx = Vec::new();
+        let mut diag_slot = Vec::with_capacity(n);
+        lu_row_ptr.push(0);
+        for (i, cols) in row_cols.iter_mut().enumerate() {
+            cols.sort_unstable();
+            let base = lu_col_idx.len();
+            lu_col_idx.extend_from_slice(cols);
+            let d = cols
+                .binary_search(&i)
+                .expect("the pivot diagonal is always in the pattern");
+            diag_slot.push(base + d);
+            lu_row_ptr.push(lu_col_idx.len());
+        }
+
+        // Off-block pattern and the scatter map that routes each A slot
+        // of a permuted row to its in-block work position or off slot.
+        let mut block_start = vec![0usize; n];
+        let mut block_end = vec![0usize; n];
+        for b in 0..block_ptr.len() - 1 {
+            for p in block_ptr[b]..block_ptr[b + 1] {
+                block_start[p] = block_ptr[b];
+                block_end[p] = block_ptr[b + 1];
+            }
+        }
+        let mut off_row_ptr = Vec::with_capacity(n + 1);
+        let mut off_col_idx = Vec::new();
+        let mut amap_ptr = Vec::with_capacity(n + 1);
+        let mut amap_dest = Vec::with_capacity(a.nnz());
+        let mut amap_scale = Vec::with_capacity(a.nnz());
+        off_row_ptr.push(0);
+        amap_ptr.push(0);
+        for i in 0..n {
+            let r = rperm[i];
+            for s in a.row_ptr[r]..a.row_ptr[r + 1] {
+                let c = a.col_idx[s];
+                let q = cinv[c];
+                debug_assert!(q < block_end[i], "entry above the block diagonal");
+                if q >= block_start[i] {
+                    amap_dest.push(q << 1);
+                } else {
+                    amap_dest.push((off_col_idx.len() << 1) | 1);
+                    off_col_idx.push(q);
+                }
+                amap_scale.push(row_scale[r] * col_scale[c]);
+            }
+            off_row_ptr.push(off_col_idx.len());
+            amap_ptr.push(amap_dest.len());
+        }
+
+        Ok(Self {
+            n,
+            opts,
+            a_nnz: a.nnz(),
+            perm: rperm,
+            cperm,
+            block_ptr,
+            row_scale,
+            col_scale,
+            scaled,
+            lu_row_ptr,
+            lu_col_idx,
+            diag_slot,
+            off_row_ptr,
+            off_col_idx,
+            amap_ptr,
+            amap_dest,
+            amap_scale,
+        })
+    }
+
+    /// Dimension of the analyzed system.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries across the factors: the block-diagonal
+    /// `L + U` pattern plus the unfactored below-block entries. Always at
+    /// least `nnz(A)` — the excess is the fill-in.
+    pub fn lu_nnz(&self) -> usize {
+        self.lu_col_idx.len() + self.off_col_idx.len()
+    }
+
+    /// Number of irreducible diagonal blocks found by the BTF stage
+    /// (1 under [`OrderingStrategy::Natural`]).
+    pub fn block_count(&self) -> usize {
+        self.block_ptr.len() - 1
+    }
+
+    /// Dimension of the largest diagonal block — the only part of the
+    /// system that pays elimination cost.
+    pub fn max_block_dim(&self) -> usize {
+        self.block_ptr
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `true` when equilibration scaling is active in this analysis.
+    pub fn is_scaled(&self) -> bool {
+        self.scaled
+    }
+
+    /// The options this analysis was made under.
+    pub fn options(&self) -> AnalyzeOptions {
+        self.opts
+    }
+}
+
+/// Gilbert–Peierls left-looking factorization of one diagonal block
+/// (permuted positions `s0..s1`), with threshold partial pivoting that
+/// prefers the matched diagonal. Rewrites `rperm[s0..s1]` into the final
+/// pivot order and appends each row's within-block `L + U` columns to
+/// `row_cols` (as global permuted positions).
+#[allow(clippy::too_many_arguments)]
+fn factor_block(
+    a: &SparseMatrix,
+    rperm: &mut [usize],
+    cinv: &[usize],
+    s0: usize,
+    s1: usize,
+    row_scale: &[f64],
+    col_scale: &[f64],
+    row_cols: &mut [Vec<usize>],
+) -> Result<(), SolveError> {
+    const UNSET: usize = usize::MAX;
+    let m = s1 - s0;
+    if m == 0 {
+        return Ok(());
+    }
+    // The block in local column-major form, values scaled.
+    let mut col_ptr = vec![0usize; m + 1];
+    for p in 0..m {
+        let r = rperm[s0 + p];
+        for &c in &a.col_idx[a.row_ptr[r]..a.row_ptr[r + 1]] {
+            let q = cinv[c];
+            if q >= s0 && q < s1 {
+                col_ptr[q - s0 + 1] += 1;
+            }
+        }
+    }
+    for j in 0..m {
+        col_ptr[j + 1] += col_ptr[j];
+    }
+    let mut col_rows = vec![0usize; col_ptr[m]];
+    let mut col_vals = vec![0.0f64; col_ptr[m]];
+    let mut fill = col_ptr.clone();
+    for p in 0..m {
+        let r = rperm[s0 + p];
+        for s in a.row_ptr[r]..a.row_ptr[r + 1] {
+            let c = a.col_idx[s];
+            let q = cinv[c];
+            if q >= s0 && q < s1 {
+                let j = q - s0;
+                col_rows[fill[j]] = p;
+                col_vals[fill[j]] = a.values[s] * row_scale[r] * col_scale[c];
+                fill[j] += 1;
+            }
+        }
+    }
+
+    // Left-looking elimination. `L` columns are stored by pivot position
+    // (local rows as node ids); `x` is the dense accumulator, cleared
+    // per column over the reached set only.
+    let mut pinv = vec![UNSET; m]; // local row -> pivot position
+    let mut lcol_ptr = vec![0usize; m + 1];
+    let mut lcol_rows: Vec<usize> = Vec::new();
+    let mut lcol_vals: Vec<f64> = Vec::new();
+    let mut x = vec![0.0f64; m];
+    let mut marked = vec![false; m];
+    let mut topo: Vec<usize> = Vec::with_capacity(m);
+    let mut dfs: Vec<(usize, usize)> = Vec::new();
+    // Deferred L-pattern entries (local row, local col): the row's final
+    // position is only known once the whole block is pivoted.
+    let mut lpat: Vec<(usize, usize)> = Vec::new();
+
+    for j in 0..m {
+        // Symbolic: the reach of A(:, j) through the finished L columns.
+        // Iterative DFS; `topo` collects the postorder, whose reverse is
+        // a topological order of the update dependencies.
+        topo.clear();
+        let l_start = |r: usize, pinv: &[usize], lcol_ptr: &[usize]| {
+            if pinv[r] == UNSET {
+                (0, 0)
+            } else {
+                (lcol_ptr[pinv[r]], lcol_ptr[pinv[r] + 1])
+            }
+        };
+        for &r0 in &col_rows[col_ptr[j]..col_ptr[j + 1]] {
+            if marked[r0] {
+                continue;
+            }
+            marked[r0] = true;
+            let (start, _) = l_start(r0, &pinv, &lcol_ptr);
+            dfs.push((r0, start));
+            while let Some(&mut (r, ref mut pos)) = dfs.last_mut() {
+                let (_, end) = l_start(r, &pinv, &lcol_ptr);
+                let mut descended = false;
+                while *pos < end {
+                    let child = lcol_rows[*pos];
+                    *pos += 1;
+                    if !marked[child] {
+                        marked[child] = true;
+                        let (cs, _) = l_start(child, &pinv, &lcol_ptr);
+                        dfs.push((child, cs));
+                        descended = true;
+                        break;
+                    }
+                }
+                if !descended {
+                    topo.push(r);
+                    dfs.pop();
+                }
+            }
+        }
+        // Numeric: scatter the column, apply the reached L columns in
+        // topological order.
+        for &r in &topo {
+            x[r] = 0.0;
+        }
+        for s in col_ptr[j]..col_ptr[j + 1] {
+            x[col_rows[s]] = col_vals[s];
+        }
+        for &r in topo.iter().rev() {
+            if pinv[r] == UNSET {
+                continue;
+            }
+            let xr = x[r];
+            if xr != 0.0 {
+                for s in lcol_ptr[pinv[r]]..lcol_ptr[pinv[r] + 1] {
+                    x[lcol_rows[s]] -= xr * lcol_vals[s];
+                }
+            }
+        }
+        // Threshold partial pivoting with diagonal preference: keep the
+        // matched/min-degree diagonal row unless a competitor is more
+        // than 1/tau times larger.
+        let mut best = UNSET;
+        let mut best_abs = -1.0f64;
+        for &r in &topo {
+            if pinv[r] == UNSET {
+                let v = x[r].abs();
+                if best == UNSET || v > best_abs {
+                    best = r;
+                    best_abs = v;
+                }
+            }
+        }
+        if best == UNSET {
+            for &r in &topo {
+                marked[r] = false;
+            }
+            return Err(SolveError::Singular { column: s0 + j });
+        }
+        let piv = if pinv[j] == UNSET
+            && marked[j]
+            && x[j].abs() > PIVOT_EPS
+            && x[j].abs() >= PARTIAL_PIVOT_TAU * best_abs
+        {
+            j
+        } else {
+            best
+        };
+        let pv = x[piv];
+        if pv.abs() <= PIVOT_EPS || !pv.is_finite() {
+            for &r in &topo {
+                marked[r] = false;
+            }
+            return Err(SolveError::Singular { column: s0 + j });
+        }
+        pinv[piv] = j;
+        // Record the patterns: the pivot's diagonal, U entries at already
+        // assigned rows (their pivot position is final), L entries at the
+        // still-unassigned rows (deferred until the block is done).
+        row_cols[s0 + j].push(s0 + j);
+        for &r in &topo {
+            marked[r] = false;
+            if r == piv {
+                continue;
+            }
+            if pinv[r] == UNSET {
+                lpat.push((r, j));
+                lcol_rows.push(r);
+                lcol_vals.push(x[r] / pv);
+            } else {
+                row_cols[s0 + pinv[r]].push(s0 + j);
+            }
+        }
+        lcol_ptr[j + 1] = lcol_rows.len();
+    }
+
+    // Final pivot order of the block, then resolve the deferred L rows.
+    let old: Vec<usize> = rperm[s0..s1].to_vec();
+    for p in 0..m {
+        rperm[s0 + pinv[p]] = old[p];
+    }
+    for &(r, j) in &lpat {
+        row_cols[s0 + pinv[r]].push(s0 + j);
+    }
+    Ok(())
+}

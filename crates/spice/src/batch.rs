@@ -57,7 +57,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use rotsv_num::linsolve::SolveError;
-use rotsv_num::sparse::{BatchedLu, SolverStats, SparseMatrix, SymbolicCache, SymbolicLu};
+use rotsv_num::sparse::{
+    AnalyzeOptions, BatchedLu, SolverStats, SparseMatrix, SymbolicCache, SymbolicLu,
+};
 
 use crate::circuit::{Circuit, Element};
 use crate::device::{BatchedDeviceEval, DeviceStamp, NonlinearDevice};
@@ -132,6 +134,9 @@ struct BatchWorkspace {
     devices: Vec<BatchDevice>,
     lu: Option<BatchedLu>,
     cache: Option<Arc<SymbolicCache>>,
+    /// Analysis options shared by every lane (inherited from the first
+    /// circuit of the population).
+    opts: AnalyzeOptions,
     /// Which die occupies each lane (index into the population).
     lane_die: Vec<usize>,
     /// Per-lane: are the stored LU factors usable?
@@ -306,6 +311,7 @@ impl BatchWorkspace {
             devices,
             lu: None,
             cache: c0.symbolic_cache().cloned(),
+            opts: c0.solver_options(),
             lane_die: (0..k).collect(),
             lu_valid: vec![false; k],
             factored_once: vec![false; k],
@@ -859,10 +865,15 @@ impl BatchWorkspace {
             }
             let (sym, analyses) = match &self.cache {
                 Some(cache) => {
-                    let (sym, fresh) = cache.symbolic_for(&probe).map_err(map_err)?;
+                    let (sym, fresh) = cache
+                        .symbolic_for_with(&probe, self.opts)
+                        .map_err(map_err)?;
                     (sym, u64::from(fresh))
                 }
-                None => (Arc::new(SymbolicLu::analyze(&probe).map_err(map_err)?), 1),
+                None => (
+                    Arc::new(SymbolicLu::analyze_with(&probe, self.opts).map_err(map_err)?),
+                    1,
+                ),
             };
             self.stats[0].symbolic_analyses += analyses;
             self.lu = Some(BatchedLu::new(sym, k));

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use rotsv_num::sparse::AnalyzeOptions;
 use rotsv_num::SymbolicCache;
 
 use crate::device::NonlinearDevice;
@@ -81,6 +82,7 @@ pub struct Circuit {
     pub(crate) n_capacitors: usize,
     gmin: f64,
     symbolic_cache: Option<Arc<SymbolicCache>>,
+    solver_options: AnalyzeOptions,
 }
 
 impl Default for Circuit {
@@ -102,6 +104,7 @@ impl Circuit {
             n_capacitors: 0,
             gmin: DEFAULT_GMIN,
             symbolic_cache: None,
+            solver_options: AnalyzeOptions::default(),
         }
     }
 
@@ -257,6 +260,23 @@ impl Circuit {
     /// The symbolic-analysis cache attached to this circuit, if any.
     pub fn symbolic_cache(&self) -> Option<&Arc<SymbolicCache>> {
         self.symbolic_cache.as_ref()
+    }
+
+    /// Chooses how the sparse solver analyzes this circuit's Jacobian
+    /// (BTF + minimum-degree ordering, equilibration scaling). The
+    /// default [`AnalyzeOptions`] suit MNA systems; tests and benchmarks
+    /// override them to isolate individual pipeline stages.
+    ///
+    /// Options participate in the [`SymbolicCache`] key, so circuits
+    /// sharing a cache but analyzed under different options never share
+    /// an analysis.
+    pub fn set_solver_options(&mut self, opts: AnalyzeOptions) {
+        self.solver_options = opts;
+    }
+
+    /// The analysis options the sparse solver uses for this circuit.
+    pub fn solver_options(&self) -> AnalyzeOptions {
+        self.solver_options
     }
 }
 

@@ -61,7 +61,7 @@ pub use dcsweep::DcSweepResult;
 pub use device::{BatchedDeviceEval, DeviceStamp, NonlinearDevice};
 pub use error::SpiceError;
 pub use node::NodeId;
-pub use rotsv_num::sparse::SolverStats;
+pub use rotsv_num::sparse::{AnalyzeOptions, OrderingStrategy, Scaling, SolverStats};
 pub use source::SourceWaveform;
 pub use transient::{
     AdaptiveControl, IntegrationMethod, StepControl, StopCondition, TransientResult, TransientSpec,

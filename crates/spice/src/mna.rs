@@ -23,7 +23,7 @@
 
 use std::sync::Arc;
 
-use rotsv_num::sparse::{SolverStats, SparseLu, SparseMatrix, SymbolicCache};
+use rotsv_num::sparse::{AnalyzeOptions, SolverStats, SparseLu, SparseMatrix, SymbolicCache};
 
 use crate::circuit::{Circuit, Element};
 use crate::device::DeviceStamp;
@@ -65,6 +65,10 @@ pub(crate) struct MnaWorkspace {
     /// Topology-keyed symbolic-analysis cache inherited from the
     /// circuit; `None` keeps the workspace fully private.
     cache: Option<Arc<SymbolicCache>>,
+    /// Analysis options inherited from the circuit; every analysis of
+    /// this workspace's Jacobian (first factor and drift fallbacks) uses
+    /// them.
+    opts: AnalyzeOptions,
     /// Work counters, accumulated across every solve through this
     /// workspace.
     pub stats: SolverStats,
@@ -179,6 +183,7 @@ impl MnaWorkspace {
             last_factored: Vec::new(),
             resid: vec![0.0; n],
             cache: ckt.symbolic_cache().cloned(),
+            opts: ckt.solver_options(),
             stats: SolverStats::default(),
             staleness_hist: rotsv_obs::metrics_enabled()
                 .then(|| rotsv_obs::histogram("mna.factor_staleness")),
@@ -323,12 +328,13 @@ impl MnaWorkspace {
                 // (0 on a hit), keeping the counters honest.
                 let lu = match &self.cache {
                     Some(cache) => {
-                        let (lu, analyses) = cache.factor(&self.a).map_err(map_err)?;
+                        let (lu, analyses) =
+                            cache.factor_with(&self.a, self.opts).map_err(map_err)?;
                         self.stats.symbolic_analyses += analyses;
                         lu
                     }
                     None => {
-                        let lu = SparseLu::new(&self.a).map_err(map_err)?;
+                        let lu = SparseLu::new_with(&self.a, self.opts).map_err(map_err)?;
                         self.stats.symbolic_analyses += 1;
                         lu
                     }
@@ -543,6 +549,53 @@ mod tests {
         // Linear circuit: one analysis, one factorization.
         assert_eq!(ws.stats.symbolic_analyses, 1);
         assert_eq!(ws.stats.factorizations, 1);
+    }
+
+    #[test]
+    fn solver_options_flow_into_the_analysis_and_its_cache_key() {
+        use rotsv_num::sparse::{OrderingStrategy, Scaling, SymbolicCache};
+
+        let build = |opts: AnalyzeOptions, cache: &Arc<SymbolicCache>| {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            ckt.add_vsource(a, Circuit::GROUND, SourceWaveform::dc(2.0));
+            ckt.add_resistor(a, b, 1e3);
+            ckt.add_resistor(b, Circuit::GROUND, 1e3);
+            ckt.set_symbolic_cache(Arc::clone(cache));
+            ckt.set_solver_options(opts);
+            let mut ws = MnaWorkspace::new(&ckt);
+            let x = newton_solve(
+                &mut ws,
+                &ckt,
+                vec![0.0; ckt.unknown_count()],
+                0.0,
+                1.0,
+                ckt.gmin(),
+                CapMode::Open,
+                &NewtonOpts::default(),
+            )
+            .unwrap();
+            (node_voltage(&x, b), ws.stats.symbolic_analyses)
+        };
+
+        let cache = Arc::new(SymbolicCache::new());
+        let staged = AnalyzeOptions::default();
+        let classic = AnalyzeOptions {
+            ordering: OrderingStrategy::Natural,
+            scaling: Scaling::Off,
+        };
+        let (v_staged, n1) = build(staged, &cache);
+        let (v_classic, n2) = build(classic, &cache);
+        assert_eq!((n1, n2), (1, 1));
+        // Same topology under different options: two distinct cache
+        // entries, never a shared analysis.
+        assert_eq!(cache.len(), 2);
+        assert!((v_staged - v_classic).abs() < 1e-9);
+        // Re-running either configuration hits its cache entry.
+        let (_, n3) = build(staged, &cache);
+        assert_eq!(n3, 0);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]
