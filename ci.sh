@@ -41,6 +41,17 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 echo "==> observability smoke (e1 --fast --metrics-out)"
 ./target/release/experiments e1 --fast --metrics-out --out "$artifacts"
 ./target/release/experiments validate-manifest "$artifacts/manifest_e1.json"
+test -s "$artifacts/metrics.prom" || { echo "missing Prometheus snapshot" >&2; exit 1; }
+
+# Telemetry smoke: one MC experiment with the event ring on must emit a
+# Chrome trace that parses and carries at least one mc_sample slice and
+# one counter track (validate-trace enforces exactly that contract).
+# `|| true` tolerates the known fast-fidelity shape-check failures; a
+# crashed run writes no trace and fails validate-trace.
+echo "==> telemetry smoke (e3 --fast --trace-out)"
+./target/release/experiments e3 --fast --trace-out "$artifacts/trace_e3.json" \
+  --out "$artifacts/mc-trace" >/dev/null || true
+./target/release/experiments validate-trace "$artifacts/trace_e3.json"
 
 echo "==> batched engine cross-check (agreement with the scalar engine)"
 cargo test -q -p rotsv --release --test batched_engine

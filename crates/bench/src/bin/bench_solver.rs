@@ -483,6 +483,86 @@ fn run_obs_overhead() -> Json {
     ])
 }
 
+/// Measures the event-ring cost on the batched Monte-Carlo engine: an
+/// 8-die population through 4 refill lanes, once with the ring (and
+/// every other switch) disabled — the default shipping configuration,
+/// where each feed point is one relaxed load and a branch — and once
+/// with events + tracing enabled so lane seat/retire/step events and
+/// mirrored spans actually hit the ring. `disabled_s` is the number the
+/// 1 % disabled-overhead budget gates across commits (it lands in the
+/// regression set via [`wall_times`]); the enabled ratio is
+/// informational.
+fn run_ring_overhead() -> Json {
+    use rotsv::mc::{delta_t_population_with_engine, McEngine};
+    use rotsv::variation::ProcessSpread;
+
+    const POPULATION: usize = 8;
+    let bench = TestBench::fast(1);
+    let faults = [TsvFault::None];
+    let spread = ProcessSpread::paper();
+    let one = || {
+        std::hint::black_box(
+            delta_t_population_with_engine(
+                &bench,
+                1.1,
+                &faults,
+                &[0],
+                spread,
+                1007,
+                POPULATION,
+                McEngine::Batched { lanes: 4 },
+            )
+            .expect("population succeeds"),
+        );
+    };
+    let best_of = |runs: usize, f: &dyn Fn() -> f64| -> f64 {
+        (0..runs).map(|_| f()).fold(f64::INFINITY, f64::min)
+    };
+
+    rotsv_obs::set_tracing(false);
+    rotsv_obs::set_metrics(false);
+    rotsv_obs::set_events(false);
+    let disabled = best_of(3, &|| {
+        let t0 = Instant::now();
+        one();
+        t0.elapsed().as_secs_f64()
+    });
+
+    rotsv_obs::set_tracing(true);
+    rotsv_obs::set_events(true);
+    let enabled = best_of(3, &|| {
+        rotsv_obs::reset();
+        let t0 = Instant::now();
+        one();
+        t0.elapsed().as_secs_f64()
+    });
+    let recorded = rotsv_obs::event_ring().snapshot().len();
+    let dropped = rotsv_obs::event_ring().dropped();
+    rotsv_obs::set_tracing(false);
+    rotsv_obs::set_events(false);
+    rotsv_obs::reset();
+
+    println!(
+        "event-ring overhead (batched population, best of 3): disabled {disabled:.4} s, \
+         enabled {enabled:.4} s ({:+.1} %), {recorded} events recorded, {dropped} dropped",
+        (enabled / disabled - 1.0) * 100.0
+    );
+    Json::Obj(vec![
+        (
+            "workload".into(),
+            Json::Str("batched_population_events".to_owned()),
+        ),
+        ("disabled_s".into(), Json::Num(disabled)),
+        ("enabled_s".into(), Json::Num(enabled)),
+        (
+            "enabled_over_disabled".into(),
+            Json::Num(enabled / disabled),
+        ),
+        ("events_recorded".into(), Json::Num(recorded as f64)),
+        ("ring_dropped".into(), Json::Num(dropped as f64)),
+    ])
+}
+
 /// Measures the campaign ledger-write overhead: seconds per appended
 /// JSONL entry (write + flush, the durability a resumable campaign
 /// pays per sample) against the seconds one ring ΔT sample costs — the
@@ -587,6 +667,15 @@ fn wall_times(doc: &Json) -> Vec<(String, f64)> {
             }
         }
     }
+    // The ring's disabled path is a budgeted contract (the feed points
+    // ride in the engine's hot loop), so it joins the regression set.
+    if let Some(v) = doc
+        .get("ring_overhead")
+        .and_then(|r| r.get("disabled_s"))
+        .and_then(Json::as_f64)
+    {
+        out.push(("ring_overhead disabled_s".into(), v));
+    }
     out
 }
 
@@ -661,6 +750,7 @@ fn main() {
     let batched = run_batched_vs_scalar();
     let refill = run_batched_refill();
     let obs_overhead = run_obs_overhead();
+    let ring_overhead = run_ring_overhead();
     let ledger_overhead = run_ledger_overhead();
     let doc = Json::Obj(vec![
         ("kernels".into(), Json::Arr(kernels)),
@@ -668,6 +758,7 @@ fn main() {
         ("batched_vs_scalar".into(), Json::Arr(batched)),
         ("batched_refill".into(), refill),
         ("obs_overhead".into(), obs_overhead),
+        ("ring_overhead".into(), ring_overhead),
         ("ledger_overhead".into(), ledger_overhead),
     ]);
 

@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! experiments [e0 e1 … | all] [--fast] [--out DIR] [--json]
-//!             [--trace] [--metrics-out] [--threads N]
+//!             [--trace] [--trace-out FILE] [--metrics-out] [--threads N]
 //!             [--engine scalar|batched[:K]]
 //! experiments campaign e1,e3,e5 [--fast] [--ledger FILE] [--out DIR]
 //!             [--fresh] [--stop-after N] [--threads N]
 //! experiments golden --check|--write [--ids e1,e3,e5] [--perturb LBL]
 //!             [--golden FILE] [--threads N]
 //! experiments validate-manifest FILE
+//! experiments validate-trace FILE
+//! experiments report [--out DIR] [--bench FILE]
 //! ```
 //!
 //! Writes one CSV per experiment into the output directory (default
@@ -16,10 +18,20 @@
 //! reports to stdout. With `--json` the stdout reports are a single JSON
 //! array instead. With `--metrics-out` each experiment additionally
 //! writes a machine-readable run manifest `manifest_<id>.json` (git rev,
-//! seed, per-phase wall breakdown, metric histograms, solver counters).
+//! seed, per-phase wall breakdown, metric histograms, solver counters)
+//! and keeps a live Prometheus snapshot (`metrics.prom` in the output
+//! directory) refreshed once a second while the run is in flight.
 //! `--trace` prints the hierarchical span tree to stderr after each
-//! experiment. `validate-manifest` checks a manifest file against the
-//! schema and exits nonzero when it does not conform.
+//! experiment. `--trace-out FILE` turns on the event ring and writes a
+//! Chrome trace-event timeline (Perfetto-loadable) per experiment — to
+//! `FILE` exactly when one experiment runs, to `FILE` with `_<id>`
+//! appended to the stem otherwise. `validate-manifest` checks a
+//! manifest file against the schema and exits nonzero when it does not
+//! conform (a newer minor schema version only warns). `validate-trace`
+//! checks that a trace file parses and carries at least one `mc_sample`
+//! slice and one counter track — the CI smoke contract. `report`
+//! aggregates the manifests in the output directory (plus
+//! `BENCH_solver.json` when present) into one markdown trend table.
 //!
 //! `--engine` selects the Monte-Carlo transient engine for the figure
 //! runs:
@@ -61,13 +73,15 @@ use rotsv_obs::Json;
 fn usage() {
     eprintln!(
         "usage: experiments [e0..e11 a1..a3 | paper | all] [--fast] [--out DIR] \
-         [--json] [--trace] [--metrics-out] [--threads N] \
+         [--json] [--trace] [--trace-out FILE] [--metrics-out] [--threads N] \
          [--engine auto|scalar|batched[:K]|batched-chunked[:K]]\n\
          \x20      experiments campaign IDS [--fast] [--ledger FILE] [--out DIR] \
          [--fresh] [--stop-after N] [--threads N]\n\
          \x20      experiments golden --check|--write [--ids IDS] [--perturb LBL] \
          [--golden FILE] [--threads N]\n\
-         \x20      experiments validate-manifest FILE"
+         \x20      experiments validate-manifest FILE\n\
+         \x20      experiments validate-trace FILE\n\
+         \x20      experiments report [--out DIR] [--bench FILE]"
     );
 }
 
@@ -451,7 +465,10 @@ fn validate_manifest_file(path: &str) -> ExitCode {
         }
     };
     match rotsv_obs::validate_manifest(&doc) {
-        Ok(()) => {
+        Ok(warnings) => {
+            for w in &warnings {
+                eprintln!("{path}: warning: {w}");
+            }
             eprintln!(
                 "{path}: valid manifest (schema v{})",
                 rotsv_obs::SCHEMA_VERSION
@@ -468,11 +485,241 @@ fn validate_manifest_file(path: &str) -> ExitCode {
     }
 }
 
+/// `validate-trace FILE`: the CI smoke contract for trace exports — the
+/// file must parse as JSON, carry a `traceEvents` array with at least
+/// one `mc_sample` complete-event slice, and at least one counter track.
+fn validate_trace_file(path: &str) -> ExitCode {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match rotsv_obs::json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(events) = doc.get("traceEvents").and_then(Json::as_arr) else {
+        eprintln!("{path}: missing 'traceEvents' array");
+        return ExitCode::FAILURE;
+    };
+    let ph = |e: &Json| e.get("ph").and_then(Json::as_str).map(str::to_owned);
+    let samples = events
+        .iter()
+        .filter(|e| {
+            e.get("name").and_then(Json::as_str) == Some("mc_sample")
+                && ph(e).as_deref() == Some("X")
+        })
+        .count();
+    let counters = events
+        .iter()
+        .filter(|e| ph(e).as_deref() == Some("C"))
+        .count();
+    let mut problems = Vec::new();
+    if samples == 0 {
+        problems.push("no 'mc_sample' slices (ph \"X\")".to_owned());
+    }
+    if counters == 0 {
+        problems.push("no counter tracks (ph \"C\")".to_owned());
+    }
+    if problems.is_empty() {
+        eprintln!(
+            "{path}: valid trace ({} events, {samples} mc_sample slices, {counters} counter points)",
+            events.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{path}: INVALID trace:");
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// One manifest's row of the `report` trend table.
+struct ReportRow {
+    experiment: String,
+    fidelity: String,
+    wall_seconds: f64,
+    checks_passed: f64,
+    checks_failed: f64,
+    factorizations: Option<f64>,
+    reanalyses: Option<f64>,
+    lu_numeric: Option<(f64, f64)>, // (count, mean seconds)
+    ring_dropped: Option<f64>,
+}
+
+fn report_row(doc: &Json) -> Option<ReportRow> {
+    let hist_stat = |name: &str| -> Option<(f64, f64)> {
+        let h = doc.get("metrics")?.get("histograms")?.get(name)?;
+        Some((
+            h.get("count").and_then(Json::as_f64)?,
+            h.get("mean").and_then(Json::as_f64)?,
+        ))
+    };
+    Some(ReportRow {
+        experiment: doc.get("experiment")?.as_str()?.to_owned(),
+        fidelity: doc
+            .get("fidelity")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_owned(),
+        wall_seconds: doc.get("wall_seconds").and_then(Json::as_f64)?,
+        checks_passed: doc
+            .get("checks")
+            .and_then(|c| c.get("passed"))
+            .and_then(Json::as_f64)?,
+        checks_failed: doc
+            .get("checks")
+            .and_then(|c| c.get("failed"))
+            .and_then(Json::as_f64)?,
+        factorizations: doc
+            .get("solver_stats")
+            .and_then(|s| s.get("factorizations"))
+            .and_then(Json::as_f64),
+        reanalyses: doc
+            .get("solver_stats")
+            .and_then(|s| s.get("symbolic_analyses"))
+            .and_then(Json::as_f64),
+        lu_numeric: hist_stat("lu.numeric"),
+        ring_dropped: doc
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get("mc.ring_dropped_events"))
+            .and_then(Json::as_f64),
+    })
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "—".to_owned(), |n| format!("{n}"))
+}
+
+/// `report [--out DIR] [--bench FILE]`: aggregate every
+/// `manifest_<id>.json` in the output directory — plus the committed
+/// solver benchmark baseline when present — into one markdown trend
+/// table on stdout.
+fn report_cmd(mut args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    let mut out_dir = PathBuf::from("results");
+    let mut bench_path = PathBuf::from("BENCH_solver.json");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_dir = PathBuf::from(args.next().ok_or("--out requires a directory")?),
+            "--bench" => bench_path = PathBuf::from(args.next().ok_or("--bench needs a file")?),
+            other => return Err(format!("unknown report argument: {other}")),
+        }
+    }
+
+    let mut rows: Vec<ReportRow> = Vec::new();
+    let entries =
+        fs::read_dir(&out_dir).map_err(|e| format!("cannot read {}: {e}", out_dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("manifest_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    for path in &paths {
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let doc = rotsv_obs::json::parse(&text)
+            .map_err(|e| format!("{}: not valid JSON: {e}", path.display()))?;
+        match rotsv_obs::validate_manifest(&doc) {
+            Ok(warnings) => {
+                for w in warnings {
+                    eprintln!("{}: warning: {w}", path.display());
+                }
+            }
+            Err(problems) => {
+                eprintln!(
+                    "{}: skipped, fails manifest schema: {}",
+                    path.display(),
+                    problems.join("; ")
+                );
+                continue;
+            }
+        }
+        if let Some(row) = report_row(&doc) {
+            rows.push(row);
+        }
+    }
+    if rows.is_empty() {
+        eprintln!(
+            "report: no valid manifest_<id>.json under {} (run with --metrics-out first)",
+            out_dir.display()
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+
+    println!("# Experiment report\n");
+    println!(
+        "| experiment | fidelity | wall s | checks | factorizations | analyses | \
+         lu.numeric n | lu.numeric mean µs | ring drops |"
+    );
+    println!("|---|---|---:|---:|---:|---:|---:|---:|---:|");
+    for r in &rows {
+        println!(
+            "| {} | {} | {:.2} | {}/{} | {} | {} | {} | {} | {} |",
+            r.experiment,
+            r.fidelity,
+            r.wall_seconds,
+            r.checks_passed,
+            r.checks_passed + r.checks_failed,
+            fmt_opt(r.factorizations),
+            fmt_opt(r.reanalyses),
+            fmt_opt(r.lu_numeric.map(|(n, _)| n)),
+            fmt_opt(
+                r.lu_numeric
+                    .map(|(_, mean)| (mean * 1e6 * 1e3).round() / 1e3)
+            ),
+            fmt_opt(r.ring_dropped),
+        );
+    }
+
+    // The committed solver baseline, for trend context next to the runs.
+    if let Ok(text) = fs::read_to_string(&bench_path) {
+        if let Ok(doc) = rotsv_obs::json::parse(&text) {
+            let mut bench_rows: Vec<(String, f64)> = Vec::new();
+            if let Json::Obj(sections) = &doc {
+                for (section, body) in sections {
+                    if let Json::Obj(fields) = body {
+                        for (key, value) in fields {
+                            if let Some(v) = value.as_f64() {
+                                if key.ends_with("_s") || key.ends_with("seconds") {
+                                    bench_rows.push((format!("{section}.{key}"), v));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !bench_rows.is_empty() {
+                println!("\n## Solver baseline ({})\n", bench_path.display());
+                println!("| measurement | seconds |");
+                println!("|---|---:|");
+                for (name, v) in &bench_rows {
+                    println!("| {name} | {v:.6} |");
+                }
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
     let mut fast = false;
     let mut json_out = false;
     let mut trace = false;
+    let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out = false;
     let mut out_dir = PathBuf::from("results");
     // Figure runs default to the auto engine; an explicit --engine
@@ -490,6 +737,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "validate-trace" => match args.next() {
+                Some(file) => return validate_trace_file(&file),
+                None => {
+                    eprintln!("validate-trace requires a file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "report" => {
+                return report_cmd(args).unwrap_or_else(|e| {
+                    eprintln!("report: {e}");
+                    usage();
+                    ExitCode::FAILURE
+                })
+            }
             "campaign" => {
                 return campaign_cmd(args).unwrap_or_else(|e| {
                     eprintln!("campaign: {e}");
@@ -507,6 +768,13 @@ fn main() -> ExitCode {
             "--fast" => fast = true,
             "--json" => json_out = true,
             "--trace" => trace = true,
+            "--trace-out" => match args.next() {
+                Some(file) => trace_out = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("--trace-out requires a file");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--metrics-out" => metrics_out = true,
             "--threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) => rotsv::num::parallel::set_thread_limit(NonZeroUsize::new(n)),
@@ -554,12 +822,17 @@ fn main() -> ExitCode {
 
     // The manifest's phase breakdown comes from spans, so --metrics-out
     // implies tracing; --trace alone leaves the metrics registry off.
-    let instrument = trace || metrics_out;
+    // --trace-out additionally turns on the event ring (spans alone
+    // cannot render the lane timeline).
+    let instrument = trace || metrics_out || trace_out.is_some();
     if instrument {
         rotsv_obs::set_tracing(true);
     }
     if metrics_out {
         rotsv_obs::set_metrics(true);
+    }
+    if trace_out.is_some() {
+        rotsv_obs::set_events(true);
     }
 
     let fidelity = if fast {
@@ -571,6 +844,14 @@ fn main() -> ExitCode {
         eprintln!("cannot create {}: {e}", out_dir.display());
         return ExitCode::FAILURE;
     }
+    // Live Prometheus exposition while the run is in flight; dropping
+    // the flusher (any exit path) writes one final snapshot.
+    let _flusher = metrics_out.then(|| {
+        rotsv_obs::PrometheusFlusher::start(
+            out_dir.join("metrics.prom"),
+            std::time::Duration::from_secs(1),
+        )
+    });
 
     let mut reports: Vec<ExperimentReport> = Vec::new();
     for id in &ids {
@@ -601,6 +882,21 @@ fn main() -> ExitCode {
                 }
                 if trace {
                     eprint!("{}", rotsv_obs::span_report().render_text());
+                }
+                if let Some(base) = &trace_out {
+                    // Write before the next experiment's reset clears
+                    // the ring; one run gets the exact path, a multi-id
+                    // run derives one file per experiment.
+                    let path = if ids.len() == 1 {
+                        base.clone()
+                    } else {
+                        trace_path_for(base, id)
+                    };
+                    if let Err(e) = rotsv_obs::write_chrome_trace(&path) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("  wrote {}", path.display());
                 }
                 if metrics_out {
                     if let Err(e) = write_manifest(&report, fast, wall, &out_dir) {
@@ -659,6 +955,16 @@ fn main() -> ExitCode {
     }
 }
 
+/// `target/trace.json` + `e3` → `target/trace_e3.json`.
+fn trace_path_for(base: &std::path::Path, id: &str) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let name = match base.extension().and_then(|s| s.to_str()) {
+        Some(ext) => format!("{stem}_{id}.{ext}"),
+        None => format!("{stem}_{id}"),
+    };
+    base.with_file_name(name)
+}
+
 /// Builds and writes `manifest_<id>.json` for one finished experiment.
 fn write_manifest(
     report: &ExperimentReport,
@@ -679,12 +985,19 @@ fn write_manifest(
     };
     let manifest =
         rotsv_obs::build_manifest(&inputs, &rotsv_obs::span_report(), rotsv_obs::dump_json());
-    if let Err(problems) = rotsv_obs::validate_manifest(&manifest) {
-        return Err(format!(
-            "manifest for {} fails its own schema: {}",
-            report.id,
-            problems.join("; ")
-        ));
+    match rotsv_obs::validate_manifest(&manifest) {
+        Ok(warnings) => {
+            for w in warnings {
+                eprintln!("  manifest warning ({}): {w}", report.id);
+            }
+        }
+        Err(problems) => {
+            return Err(format!(
+                "manifest for {} fails its own schema: {}",
+                report.id,
+                problems.join("; ")
+            ));
+        }
     }
     let path = out_dir.join(format!("manifest_{}.json", report.id));
     fs::write(&path, manifest.render_pretty())

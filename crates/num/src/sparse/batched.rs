@@ -54,6 +54,10 @@ pub struct BatchedLu {
     lrow: Vec<f64>,
     /// `n * k` scratch for the permuted solve.
     xbuf: Vec<f64>,
+    /// `lu.numeric` timing handle, resolved once at construction;
+    /// `None` when metrics were disabled then (the sweep paths pay one
+    /// `Option` check).
+    numeric_hist: Option<Arc<rotsv_obs::Histogram>>,
 }
 
 impl BatchedLu {
@@ -69,7 +73,25 @@ impl BatchedLu {
             lrow: vec![0.0; k],
             xbuf: vec![0.0; sym.n * k],
             sym,
+            numeric_hist: rotsv_obs::metrics_enabled().then(|| rotsv_obs::histogram("lu.numeric")),
         }
+    }
+
+    /// Records a numeric sweep's wall time into `lu.numeric` (drift
+    /// re-analyses attribute to the `lu.*` stage histograms instead).
+    /// `t0` comes from [`BatchedLu::sweep_clock`]; both are `None` when
+    /// metrics were disabled at construction.
+    fn observe_sweep(&self, t0: Option<std::time::Instant>) {
+        if let (Some(hist), Some(t0)) = (&self.numeric_hist, t0) {
+            hist.observe(t0.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Reads the clock only when the `lu.numeric` handle is live.
+    fn sweep_clock(&self) -> Option<std::time::Instant> {
+        self.numeric_hist
+            .as_ref()
+            .map(|_| std::time::Instant::now())
     }
 
     /// Number of lanes.
@@ -137,6 +159,7 @@ impl BatchedLu {
         }
         let mut analyses = 0u64;
         loop {
+            let t0 = self.sweep_clock();
             let swept = match self.k {
                 1 => self.refactor_lanes_k::<1>(pattern, values),
                 2 => self.refactor_lanes_k::<2>(pattern, values),
@@ -149,6 +172,7 @@ impl BatchedLu {
                 16 => self.refactor_lanes_k::<16>(pattern, values),
                 _ => self.refactor_lanes(pattern, values),
             };
+            self.observe_sweep(t0);
             match swept {
                 Ok(()) => return Ok(analyses),
                 Err((lane, SolveError::Singular { .. })) if analyses < 2 => {
@@ -215,7 +239,10 @@ impl BatchedLu {
                 if !refresh {
                     continue;
                 }
-                match self.refactor_lane(pattern, values, lane) {
+                let t0 = self.sweep_clock();
+                let swept = self.refactor_lane(pattern, values, lane);
+                self.observe_sweep(t0);
+                match swept {
                     Ok(()) => {}
                     Err(SolveError::Singular { .. }) if analyses < 2 => {
                         // The shared pivot order failed for `lane`:

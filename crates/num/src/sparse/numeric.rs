@@ -64,6 +64,11 @@ pub struct SparseLu {
     off_values: Vec<f64>,
     /// Dense scatter workspace reused by refactor.
     work: Vec<f64>,
+    /// `lu.numeric` timing handle, resolved once at construction (the
+    /// established hot-path metrics idiom); `None` when metrics were
+    /// disabled at that point, making the per-refactor cost a plain
+    /// `Option` check.
+    numeric_hist: Option<Arc<rotsv_obs::Histogram>>,
 }
 
 impl SparseLu {
@@ -111,6 +116,7 @@ impl SparseLu {
             off_values: vec![0.0; sym.off_col_idx.len()],
             work: vec![0.0; sym.n],
             sym,
+            numeric_hist: rotsv_obs::metrics_enabled().then(|| rotsv_obs::histogram("lu.numeric")),
         };
         lu.refactor_in_place(a)?;
         Ok(lu)
@@ -169,6 +175,18 @@ impl SparseLu {
     /// to its in-block work position or its off-block slot; elimination
     /// runs only inside the diagonal blocks.
     fn refactor_in_place(&mut self, a: &SparseMatrix) -> Result<(), SolveError> {
+        let t0 = self
+            .numeric_hist
+            .as_ref()
+            .map(|_| std::time::Instant::now());
+        let result = self.refactor_in_place_inner(a);
+        if let (Some(hist), Some(t0)) = (&self.numeric_hist, t0) {
+            hist.observe(t0.elapsed().as_secs_f64());
+        }
+        result
+    }
+
+    fn refactor_in_place_inner(&mut self, a: &SparseMatrix) -> Result<(), SolveError> {
         let sym = &self.sym;
         assert_eq!(
             a.nnz(),

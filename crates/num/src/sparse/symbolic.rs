@@ -23,6 +23,32 @@ use super::{btf, order, scale, Scaling, SparseMatrix, PIVOT_EPS};
 /// minimum-degree prediction; the threshold still bounds element growth.
 const PARTIAL_PIVOT_TAU: f64 = 1e-3;
 
+/// Attributes the wall time of the analysis stages to the `lu.scale` /
+/// `lu.btf` / `lu.order` / `lu.symbolic` histograms, so a re-analysis
+/// storm is diagnosable per stage. Inert (no clock reads) when metrics
+/// are disabled; analysis is a cold path, so the per-lap registry
+/// lookup is acceptable.
+struct StageTimer {
+    last: Option<std::time::Instant>,
+}
+
+impl StageTimer {
+    fn start() -> StageTimer {
+        StageTimer {
+            last: rotsv_obs::metrics_enabled().then(std::time::Instant::now),
+        }
+    }
+
+    /// Records the time since the previous lap (or start) under `hist`.
+    fn lap(&mut self, hist: &str) {
+        if let Some(last) = self.last.as_mut() {
+            let now = std::time::Instant::now();
+            rotsv_obs::metrics::observe(hist, (now - *last).as_secs_f64());
+            *last = now;
+        }
+    }
+}
+
 /// How the symbolic analysis permutes the system before factoring.
 ///
 /// Part of [`AnalyzeOptions`]; the [`SymbolicCache`](super::SymbolicCache)
@@ -144,8 +170,10 @@ impl SymbolicLu {
     pub fn analyze_with(a: &SparseMatrix, opts: AnalyzeOptions) -> Result<Self, SolveError> {
         let n = a.dim();
         let _span = rotsv_obs::span!("lu_analyze", "n" = n);
+        let mut stages = StageTimer::start();
         // Stage 1: equilibration (exact powers of two; see scale.rs).
         let (row_scale, col_scale, scaled) = scale::equilibrate(a, opts.scaling);
+        stages.lap("lu.scale");
         // Stage 2: block triangular form. The matching runs on the full
         // structural pattern (explicit zeros included) so the analysis
         // stays valid for every value set stamped over this topology.
@@ -159,12 +187,14 @@ impl SymbolicLu {
             mut cperm,
             block_ptr,
         } = form;
+        stages.lap("lu.btf");
         // Stage 3: fill-reducing ordering inside each diagonal block.
         if matches!(opts.ordering, OrderingStrategy::BtfMinDegree) {
             order::refine_blocks(
                 n, &a.row_ptr, &a.col_idx, &mut rperm, &mut cperm, &block_ptr,
             );
         }
+        stages.lap("lu.order");
         let mut cinv = vec![0usize; n];
         for (p, &c) in cperm.iter().enumerate() {
             cinv[c] = p;
@@ -236,6 +266,10 @@ impl SymbolicLu {
             off_row_ptr.push(off_col_idx.len());
             amap_ptr.push(amap_dest.len());
         }
+        // Stage 4 (pivoting sweep, fill recording, scatter-map
+        // assembly) attributes as one bucket: it shares data and can't
+        // be re-run in isolation.
+        stages.lap("lu.symbolic");
 
         Ok(Self {
             n,

@@ -1,0 +1,96 @@
+//! Cross-thread span parenting under worker panics: a panicking
+//! `try_parallel_map` index must not orphan its span (the guard unwinds
+//! and closes it exactly once), and retrying the failed index — the
+//! campaign runner's recovery path — must not double-count any
+//! completed `mc_sample` duration.
+//!
+//! Own test binary: the obs tracing switch and span registry are
+//! process-global, so this must not share a process with other tests
+//! that toggle or reset them.
+
+use rotsv_num::parallel::try_parallel_map;
+use rotsv_obs::{current_path, span_report, SpanGuard};
+
+#[test]
+fn worker_panic_and_retry_keep_span_accounting_exact() {
+    rotsv_obs::set_tracing(true);
+    rotsv_obs::reset();
+
+    const ATTEMPTS: usize = 8;
+    const PANIC_AT: usize = 3;
+    {
+        let _root = SpanGuard::enter("mc_population");
+        let parent = current_path();
+        let results = try_parallel_map(ATTEMPTS, |i| {
+            let guard = SpanGuard::enter_under(parent, "mc_sample");
+            guard.field("index", i as f64);
+            if i == PANIC_AT {
+                panic!("injected failure at {i}");
+            }
+            i
+        });
+        assert_eq!(results.len(), ATTEMPTS);
+        let failed: Vec<usize> = results
+            .iter()
+            .filter_map(|r| r.as_ref().err().map(|p| p.index))
+            .collect();
+        assert_eq!(failed, vec![PANIC_AT], "exactly the injected index fails");
+        for (i, r) in results.iter().enumerate() {
+            if i != PANIC_AT {
+                assert_eq!(*r.as_ref().expect("non-injected index completes"), i);
+            }
+        }
+
+        // Retry the failed index, as the campaign runner would, under
+        // the same captured parent.
+        let rerun = try_parallel_map(1, |_| {
+            let guard = SpanGuard::enter_under(parent, "mc_sample");
+            guard.field("index", PANIC_AT as f64);
+            PANIC_AT
+        });
+        assert_eq!(*rerun[0].as_ref().expect("retry succeeds"), PANIC_AT);
+    }
+
+    let report = span_report();
+    rotsv_obs::set_tracing(false);
+
+    // No orphans: every sample span sits under the captured parent —
+    // there is exactly one mc_sample path, and it is not a root.
+    let sample_paths: Vec<_> = report
+        .entries
+        .iter()
+        .filter(|e| e.name == "mc_sample")
+        .collect();
+    assert_eq!(
+        sample_paths.len(),
+        1,
+        "mc_sample must appear under exactly one path, got {:?}",
+        sample_paths.iter().map(|e| &e.path).collect::<Vec<_>>()
+    );
+    let sample = sample_paths[0];
+    assert_eq!(sample.path, "mc_population>mc_sample");
+    assert_eq!(sample.depth, 1);
+
+    // No double counting: the panicked attempt's guard unwound and
+    // closed once, so closings = attempts + the one retry, exactly.
+    assert_eq!(
+        sample.count,
+        (ATTEMPTS + 1) as u64,
+        "each enter/exit pair must be counted exactly once"
+    );
+    let (key, agg) = &sample.fields[0];
+    assert_eq!(key, "index");
+    assert_eq!(agg.count, (ATTEMPTS + 1) as u64);
+    // Σ indices 0..8 plus the retried index 3.
+    let expected_sum = (0..ATTEMPTS).sum::<usize>() + PANIC_AT;
+    assert!((agg.sum - expected_sum as f64).abs() < 1e-12);
+
+    // The root closed once and the worker stacks rebalanced (a corrupt
+    // stack would leave pending aggregates that shift these numbers).
+    let root = report
+        .entries
+        .iter()
+        .find(|e| e.path == "mc_population")
+        .expect("root span recorded");
+    assert_eq!(root.count, 1);
+}

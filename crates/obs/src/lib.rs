@@ -1,6 +1,6 @@
 //! Observability for the rotsv pipeline.
 //!
-//! Four pieces, deliberately dependency-free so every crate in the
+//! Seven pieces, deliberately dependency-free so every crate in the
 //! workspace can use them:
 //!
 //! - [`mod@span`] — hierarchical span tracing with nanosecond timings and
@@ -9,6 +9,16 @@
 //!   atomic load and no allocation.
 //! - [`metrics`] — a process-wide registry of counters, gauges and
 //!   log-linear histograms, dumpable as JSON.
+//! - [`event`] — a bounded lock-free ring of timestamped events (lane
+//!   lifecycle, accepted steps, shallow span open/close) fed live by
+//!   the batched Monte-Carlo engine, with drop counting instead of
+//!   blocking on overflow.
+//! - [`trace`] — a Chrome trace-event exporter over the event ring:
+//!   `trace_<id>.json` files loadable in Perfetto, with span slices
+//!   and per-lane occupancy tracks.
+//! - [`prom`] — Prometheus text exposition over the metrics registry,
+//!   on demand ([`prom::render_prometheus`]) or via a periodic flush
+//!   thread ([`prom::PrometheusFlusher`]).
 //! - [`manifest`] — versioned, machine-readable run manifests
 //!   (`results/manifest_<exp>.json`) combining provenance, span
 //!   phases, metrics and solver statistics, with a schema validator.
@@ -35,28 +45,39 @@
 #![warn(missing_docs)]
 
 pub mod digest;
+pub mod event;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
+pub mod prom;
 pub mod span;
+pub mod trace;
 
 pub use digest::{fnv1a_64, json_digest};
+pub use event::{
+    event_ring, events_enabled, record_event, reset_events, set_events, Event, EventKind,
+    EventRing, LANE_NONE,
+};
 pub use json::Json;
 pub use manifest::{build_manifest, git_rev, validate_manifest, ManifestInputs, SCHEMA_VERSION};
 pub use metrics::{
     counter, dump_json, gauge, histogram, metrics_enabled, reset_metrics, set_metrics, Counter,
     Gauge, Histogram, HistogramSummary,
 };
+pub use prom::{render_prometheus, write_prometheus, PrometheusFlusher};
 pub use span::{
     current_path, reset_spans, set_tracing, span_report, tracing_enabled, FieldAgg, PathId,
     SpanEntry, SpanGuard, SpanReport,
 };
+pub use trace::{render_chrome_trace, write_chrome_trace};
 
-/// Zeroes all recorded span statistics and all registered metrics.
-/// Call between experiment runs so each manifest covers one run only.
+/// Zeroes all recorded span statistics, all registered metrics, and
+/// the event ring. Call between experiment runs so each manifest and
+/// trace covers one run only.
 pub fn reset() {
     reset_spans();
     reset_metrics();
+    reset_events();
 }
 
 /// Opens a span and returns its RAII guard; the span closes when the

@@ -151,19 +151,32 @@ fn require_str(doc: &Json, key: &str, errors: &mut Vec<String>) {
 
 /// Validates a parsed document against the version-1 manifest schema.
 /// Returns every violation found, so CI output names all problems at
-/// once; an empty `Ok(())` means the document conforms.
-pub fn validate_manifest(doc: &Json) -> Result<(), Vec<String>> {
+/// once.
+///
+/// Schema versions are `major.minor` encoded as a number. An unknown
+/// *major* (`trunc(v) != 1`) is an error — field meanings may have
+/// changed. A newer *minor* within the known major (e.g. `1.2` when
+/// this validator knows `1.0`) is forward-compatible by contract
+/// (minors only add fields), so the document is validated against the
+/// known fields and the mismatch is reported as a warning in `Ok`.
+pub fn validate_manifest(doc: &Json) -> Result<Vec<String>, Vec<String>> {
     let mut errors = Vec::new();
+    let mut warnings = Vec::new();
     if !matches!(doc, Json::Obj(_)) {
         return Err(vec!["manifest must be a JSON object".into()]);
     }
-    match require_num(doc, "schema_version", &mut errors) {
-        Some(v) if v != SCHEMA_VERSION => {
+    if let Some(v) = require_num(doc, "schema_version", &mut errors) {
+        if v.trunc() != SCHEMA_VERSION.trunc() {
             errors.push(format!(
-                "unsupported schema_version {v} (expected {SCHEMA_VERSION})"
+                "unsupported schema_version {v} (this validator understands major version {})",
+                SCHEMA_VERSION.trunc()
+            ));
+        } else if v > SCHEMA_VERSION {
+            warnings.push(format!(
+                "schema_version {v} is newer than the supported {SCHEMA_VERSION}; \
+                 validating against the known version-{SCHEMA_VERSION} fields only"
             ));
         }
-        _ => {}
     }
     require_str(doc, "experiment", &mut errors);
     require_str(doc, "git_rev", &mut errors);
@@ -216,7 +229,7 @@ pub fn validate_manifest(doc: &Json) -> Result<(), Vec<String>> {
         None => {}
     }
     if errors.is_empty() {
-        Ok(())
+        Ok(warnings)
     } else {
         Err(errors)
     }
@@ -274,6 +287,53 @@ mod tests {
         let manifest = build_manifest(&inputs, &SpanReport::default(), crate::metrics::dump_json());
         validate_manifest(&manifest).expect("nullable fields validate");
         assert_eq!(manifest.get("seed"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn schema_version_major_minor_semantics() {
+        fn with_version(doc: &Json, v: f64) -> Json {
+            let Json::Obj(fields) = doc else {
+                panic!("manifest is an object")
+            };
+            Json::Obj(
+                fields
+                    .iter()
+                    .map(|(k, val)| {
+                        if k == "schema_version" {
+                            (k.clone(), Json::Num(v))
+                        } else {
+                            (k.clone(), val.clone())
+                        }
+                    })
+                    .collect(),
+            )
+        }
+        let manifest = build_manifest(
+            &sample_inputs(),
+            &SpanReport::default(),
+            crate::metrics::dump_json(),
+        );
+        // The current version validates without warnings…
+        assert!(validate_manifest(&manifest)
+            .expect("current version")
+            .is_empty());
+        // …an older minor of the same major too…
+        assert!(validate_manifest(&with_version(&manifest, 1.0))
+            .expect("known minor")
+            .is_empty());
+        // …a newer minor passes but warns…
+        let warnings =
+            validate_manifest(&with_version(&manifest, 1.7)).expect("newer minor accepted");
+        assert!(warnings.iter().any(|w| w.contains("newer")), "{warnings:?}");
+        // …and an unknown major fails outright, both up and down.
+        for major in [2.0, 2.3, 0.9] {
+            let errors = validate_manifest(&with_version(&manifest, major))
+                .expect_err("unknown major rejected");
+            assert!(
+                errors.iter().any(|e| e.contains("schema_version")),
+                "{errors:?}"
+            );
+        }
     }
 
     #[test]

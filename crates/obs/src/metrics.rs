@@ -69,16 +69,26 @@ impl Gauge {
     }
 }
 
-/// Buckets: 1 underflow (`v <= 0` or non-finite negative), 256 octaves ×
-/// 4 linear sub-buckets, 1 overflow (non-finite positive).
+/// Buckets: 1 underflow, 256 octaves × 4 linear sub-buckets covering
+/// exactly `[2⁻¹²⁸, 2¹²⁸)`, 1 overflow.
 const N_BUCKETS: usize = 1 + 256 * 4 + 1;
+
+/// Biased-exponent bounds of the tracked range: values with a biased
+/// exponent below `MIN_BIASED_EXP` (all subnormals included) underflow,
+/// values above `MAX_BIASED_EXP` (including +∞) overflow.
+const MIN_BIASED_EXP: i64 = 1023 - 128;
+const MAX_BIASED_EXP: i64 = 1023 + 127;
 
 /// A lock-free log-linear histogram of positive values.
 ///
-/// Values land in one of four linear sub-buckets per power of two, with
-/// the exponent clamped to ±128 — ~9 % relative resolution over any
-/// range this repo measures (picoseconds to kiloseconds, iteration
-/// counts, resistances).
+/// Values land in one of four linear sub-buckets per power of two over
+/// the range `[2⁻¹²⁸, 2¹²⁸)` — ~9 % relative resolution over any range
+/// this repo measures (picoseconds to kiloseconds, iteration counts,
+/// resistances). Buckets are left-closed: a sample exactly on a bucket
+/// boundary deterministically lands in the bucket it opens. Values
+/// outside the range go to dedicated underflow/overflow buckets (zero,
+/// negatives, NaN and all subnormals underflow; `≥ 2¹²⁸` and +∞
+/// overflow).
 ///
 /// # Examples
 ///
@@ -117,17 +127,32 @@ impl Default for Histogram {
     }
 }
 
+/// Bucket index of `v`.
+///
+/// Data buckets are left-closed/right-open: a sample exactly on a
+/// bucket boundary `(1 + sub/4)·2^e` lands in the bucket that boundary
+/// *opens* (its bits are exactly the boundary's, so the exponent and
+/// sub-bucket fields select it directly), never the one below. Values
+/// outside the tracked range `[2⁻¹²⁸, 2¹²⁸)` — zero, negatives, NaN,
+/// every subnormal and any tinier normal on one side; `≥ 2¹²⁸` and +∞
+/// on the other — go to the underflow/overflow buckets, so every data
+/// bucket's lower bound really bounds its samples.
 fn bucket_of(v: f64) -> usize {
     if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         // NaN, zero and negatives share the underflow bucket…
         return 0;
     }
-    if v.is_infinite() {
-        // …positive infinity gets the overflow bucket.
+    let bits = v.to_bits();
+    let be = ((bits >> 52) & 0x7ff) as i64;
+    if be < MIN_BIASED_EXP {
+        // …as do positive values below 2⁻¹²⁸ (subnormals included).
+        return 0;
+    }
+    if be > MAX_BIASED_EXP {
+        // 2¹²⁸ and up — +∞ included — get the overflow bucket.
         return N_BUCKETS - 1;
     }
-    let bits = v.to_bits();
-    let e = (((bits >> 52) & 0x7ff) as i64 - 1023).clamp(-128, 127);
+    let e = be - 1023;
     let sub = ((bits >> 50) & 0b11) as i64;
     (1 + (e + 128) * 4 + sub) as usize
 }
@@ -139,6 +164,22 @@ fn bucket_lower(idx: usize) -> f64 {
     let e = k / 4 - 128;
     let sub = k % 4;
     (1.0 + sub as f64 / 4.0) * (e as f64).exp2()
+}
+
+/// Exclusive upper bound of the data bucket opened at `lower` — the
+/// next boundary up, or `2¹²⁸` for the topmost bucket. Used by the
+/// Prometheus renderer to turn `(lower, count)` pairs into cumulative
+/// `le` buckets. `lower` must be an exact bucket boundary (as produced
+/// by [`HistogramSummary::buckets`]).
+pub(crate) fn bucket_upper(lower: f64) -> f64 {
+    let idx = bucket_of(lower);
+    debug_assert!((1..N_BUCKETS - 1).contains(&idx));
+    debug_assert_eq!(bucket_lower(idx), lower, "not a bucket boundary");
+    if idx + 1 < N_BUCKETS - 1 {
+        bucket_lower(idx + 1)
+    } else {
+        128f64.exp2()
+    }
 }
 
 fn atomic_f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
@@ -201,9 +242,10 @@ impl Histogram {
 pub struct HistogramSummary {
     /// Total recorded values (including under/overflow).
     pub count: u64,
-    /// Values that were zero, negative or NaN.
+    /// Values below the tracked range: zero, negative, NaN, or a
+    /// positive value below `2⁻¹²⁸` (all subnormals included).
     pub underflow: u64,
-    /// Values that were +∞.
+    /// Values at or above `2¹²⁸`, +∞ included.
     pub overflow: u64,
     /// Sum of finite recorded values.
     pub sum: f64,
@@ -359,6 +401,35 @@ pub fn dump_json() -> Json {
     ])
 }
 
+/// Counter, gauge and histogram (name, value) series in registration
+/// order — the shape [`snapshot_all`] hands to external renderers.
+pub(crate) type MetricsSnapshot = (
+    Vec<(String, u64)>,
+    Vec<(String, f64)>,
+    Vec<(String, HistogramSummary)>,
+);
+
+/// Point-in-time copy of every registered metric, for renderers that
+/// live outside this module (the registry maps stay private so all
+/// registration goes through [`counter`]/[`gauge`]/[`histogram`]).
+pub(crate) fn snapshot_all() -> MetricsSnapshot {
+    let reg = metrics_registry().lock().expect("metrics registry");
+    (
+        reg.counters
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect(),
+        reg.gauges
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect(),
+        reg.histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.summary()))
+            .collect(),
+    )
+}
+
 /// Zeroes every registered metric (registrations are kept, so cached
 /// handles stay valid).
 pub fn reset_metrics() {
@@ -377,6 +448,93 @@ pub fn reset_metrics() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn boundary_samples_land_left_closed() {
+        // A sample exactly on a bucket boundary opens its own bucket:
+        // the bucket's lower bound equals the sample.
+        for v in [1.0, 1.25, 1.5, 1.75, 2.0, 0.5, 4.0, 2.5, 1e-30] {
+            let idx = bucket_of(v);
+            if v == 1e-30 {
+                // Not a boundary; just confirm it stays in range.
+                assert!((1..N_BUCKETS - 1).contains(&idx));
+                continue;
+            }
+            assert_eq!(bucket_lower(idx), v, "boundary {v} must open its bucket");
+            // One ULP below the boundary falls in the bucket below.
+            let below = f64::from_bits(v.to_bits() - 1);
+            assert_eq!(bucket_of(below), idx - 1, "just below {v}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_under_and_overflow() {
+        let min = (-128f64).exp2();
+        let max = 128f64.exp2();
+        assert_eq!(bucket_of(min), 1);
+        assert_eq!(bucket_of(f64::from_bits(min.to_bits() - 1)), 0);
+        assert_eq!(bucket_of(f64::MIN_POSITIVE), 0); // smallest normal
+        assert_eq!(bucket_of(5e-324), 0); // smallest subnormal
+        assert_eq!(bucket_of(max), N_BUCKETS - 1);
+        assert_eq!(bucket_of(f64::from_bits(max.to_bits() - 1)), N_BUCKETS - 2);
+        assert_eq!(bucket_of(f64::MAX), N_BUCKETS - 1);
+        let h = Histogram::default();
+        h.observe(1e-300); // normal but below 2⁻¹²⁸
+        h.observe(5e-324);
+        assert_eq!(h.summary().underflow, 2);
+        assert!(h.summary().buckets.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(2048))]
+
+        /// Every f64 bit pattern routes to a valid bucket, and data
+        /// buckets really bracket their samples (the tracked range is
+        /// exactly [2⁻¹²⁸, 2¹²⁸)).
+        #[test]
+        fn bucket_invariants_for_arbitrary_bits(bits in 0u64..u64::MAX) {
+            let v = f64::from_bits(bits);
+            let idx = bucket_of(v);
+            prop_assert!(idx < N_BUCKETS);
+            let min = (-128f64).exp2();
+            let max = 128f64.exp2();
+            if idx == 0 {
+                // NaN belongs to the underflow bucket too.
+                prop_assert!(v < min || v.is_nan(), "underflowed but v = {v:e}");
+            } else if idx == N_BUCKETS - 1 {
+                prop_assert!(v >= max, "overflowed but v = {v:e}");
+            } else {
+                let lower = bucket_lower(idx);
+                let upper = bucket_upper(lower);
+                prop_assert!(
+                    lower <= v && v < upper,
+                    "v = {v:e} outside [{lower:e}, {upper:e})"
+                );
+            }
+        }
+
+        /// Exact boundaries land deterministically in the bucket they
+        /// open, for every octave and sub-bucket.
+        #[test]
+        fn boundaries_open_their_bucket(e in 0i64..256, sub in 0i64..4) {
+            let lower = (1.0 + sub as f64 / 4.0) * ((e - 128) as f64).exp2();
+            let idx = (1 + e * 4 + sub) as usize;
+            prop_assert_eq!(bucket_of(lower), idx);
+            prop_assert_eq!(bucket_lower(idx), lower);
+            let below = f64::from_bits(lower.to_bits() - 1);
+            prop_assert_eq!(bucket_of(below), idx - 1);
+        }
+
+        /// All subnormals (biased exponent 0) underflow rather than
+        /// polluting the bottom octave with out-of-order samples.
+        #[test]
+        fn subnormals_underflow(mantissa in 1u64..(1u64 << 52)) {
+            let v = f64::from_bits(mantissa);
+            prop_assert!(v > 0.0 && v < f64::MIN_POSITIVE);
+            prop_assert_eq!(bucket_of(v), 0);
+        }
+    }
 
     #[test]
     fn bucket_bounds_bracket_values() {

@@ -1,0 +1,245 @@
+//! Prometheus text exposition over the metrics registry.
+//!
+//! [`render_prometheus`] snapshots every registered counter, gauge and
+//! histogram as Prometheus text format (version 0.0.4) — the interface
+//! a resident screening server will serve on `/metrics`, and the one
+//! `promtool`/Prometheus agents already speak. Until that server
+//! exists, [`PrometheusFlusher`] gives the same data as a file: a
+//! background thread rewrites a snapshot atomically (write-to-temp +
+//! rename) on a fixed interval, so an external scraper — or a human
+//! with `watch cat` — always sees a complete document.
+//!
+//! Names are prefixed `rotsv_` and dots become underscores
+//! (`mc.samples` → `rotsv_mc_samples`). Histograms expose the usual
+//! cumulative `_bucket{le="…"}` series (upper bounds of the log-linear
+//! buckets; underflow is cumulative from the first bucket on),
+//! `_sum` and `_count`.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::{bucket_upper, snapshot_all, HistogramSummary};
+
+/// `mc.batch_occupancy` → `rotsv_mc_batch_occupancy`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("rotsv_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Prometheus float literal (`NaN`, `+Inf`, `-Inf` spelled out).
+fn num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, s: &HistogramSummary) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    // Prometheus buckets are cumulative; underflowed samples are below
+    // every bound, so they seed the running total.
+    let mut cumulative = s.underflow;
+    for &(lower, count) in &s.buckets {
+        cumulative += count;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            num(bucket_upper(lower))
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", s.count);
+    let _ = writeln!(out, "{name}_sum {}", num(s.sum));
+    let _ = writeln!(out, "{name}_count {}", s.count);
+}
+
+fn render_from(
+    counters: &[(String, u64)],
+    gauges: &[(String, f64)],
+    histograms: &[(String, HistogramSummary)],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, value) in counters {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in gauges {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", num(*value));
+    }
+    for (name, summary) in histograms {
+        render_histogram(&mut out, &sanitize(name), summary);
+    }
+    out
+}
+
+/// Renders every registered metric in Prometheus text format.
+pub fn render_prometheus() -> String {
+    let (counters, gauges, histograms) = snapshot_all();
+    render_from(&counters, &gauges, &histograms)
+}
+
+/// Writes a [`render_prometheus`] snapshot to `path` atomically
+/// (write-to-temp in the same directory, then rename).
+///
+/// # Errors
+///
+/// Propagates the underlying file-system error.
+pub fn write_prometheus(path: &Path) -> io::Result<()> {
+    let tmp = path.with_extension("prom.tmp");
+    std::fs::write(&tmp, render_prometheus())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Handle of the periodic Prometheus snapshot thread; the thread stops
+/// (after one final snapshot) when this drops or [`stop`] is called.
+///
+/// [`stop`]: PrometheusFlusher::stop
+///
+/// # Examples
+///
+/// ```no_run
+/// let flusher = rotsv_obs::prom::PrometheusFlusher::start(
+///     "results/metrics.prom",
+///     std::time::Duration::from_secs(1),
+/// );
+/// // ... run experiments; the file refreshes every second ...
+/// flusher.stop();
+/// ```
+pub struct PrometheusFlusher {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+    path: PathBuf,
+}
+
+impl PrometheusFlusher {
+    /// Spawns the flush thread writing to `path` every `interval`.
+    /// Periodic write errors are ignored (telemetry must never take a
+    /// run down); the final flush's result is reported by
+    /// [`PrometheusFlusher::stop`].
+    pub fn start(path: impl Into<PathBuf>, interval: Duration) -> PrometheusFlusher {
+        let path = path.into();
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_stop = Arc::clone(&stop);
+        let thread_path = path.clone();
+        let handle = std::thread::Builder::new()
+            .name("prom-flush".into())
+            .spawn(move || {
+                let (lock, cvar) = &*thread_stop;
+                let mut stopped = lock.lock().expect("prom flusher flag");
+                loop {
+                    if *stopped {
+                        return;
+                    }
+                    let (next, _timeout) = cvar
+                        .wait_timeout(stopped, interval)
+                        .expect("prom flusher wait");
+                    stopped = next;
+                    if *stopped {
+                        return;
+                    }
+                    let _ = write_prometheus(&thread_path);
+                }
+            })
+            .expect("spawn prom-flush thread");
+        PrometheusFlusher {
+            stop,
+            handle: Some(handle),
+            path,
+        }
+    }
+
+    /// Stops the flush thread, joins it, and writes one final snapshot
+    /// so the file reflects end-of-run state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the final snapshot's file-system error.
+    pub fn stop(mut self) -> io::Result<()> {
+        self.shutdown()
+    }
+
+    fn shutdown(&mut self) -> io::Result<()> {
+        let Some(handle) = self.handle.take() else {
+            return Ok(());
+        };
+        {
+            let (lock, cvar) = &*self.stop;
+            *lock.lock().expect("prom flusher flag") = true;
+            cvar.notify_all();
+        }
+        let _ = handle.join();
+        write_prometheus(&self.path)
+    }
+}
+
+impl Drop for PrometheusFlusher {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let h = Histogram::default();
+        h.observe(1.0);
+        h.observe(1.0); // boundary: both land in [1.0, 1.25)
+        h.observe(3.0);
+        h.observe(f64::NAN); // underflow, excluded from the sum
+        let text = render_from(
+            &[("mc.samples".into(), 7)],
+            &[("queue.depth".into(), 2.5), ("bad".into(), f64::NAN)],
+            &[("lu.numeric".into(), h.summary())],
+        );
+        assert!(text.contains("# TYPE rotsv_mc_samples counter\nrotsv_mc_samples 7\n"));
+        assert!(text.contains("# TYPE rotsv_queue_depth gauge\nrotsv_queue_depth 2.5\n"));
+        assert!(text.contains("rotsv_bad NaN\n"));
+        assert!(text.contains("# TYPE rotsv_lu_numeric histogram"));
+        // Cumulative buckets: underflow (1) + two at le=1.25, + one in
+        // [3.0, 3.5); +Inf equals total count.
+        assert!(text.contains("rotsv_lu_numeric_bucket{le=\"1.25\"} 3\n"));
+        assert!(text.contains("rotsv_lu_numeric_bucket{le=\"3.5\"} 4\n"));
+        assert!(text.contains("rotsv_lu_numeric_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("rotsv_lu_numeric_sum 5\n"));
+        assert!(text.contains("rotsv_lu_numeric_count 4\n"));
+    }
+
+    #[test]
+    fn flusher_writes_snapshots_and_stops() {
+        let dir = std::env::temp_dir().join(format!("rotsv_prom_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("metrics.prom");
+        let flusher = PrometheusFlusher::start(&path, Duration::from_millis(5));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !path.exists() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        flusher.stop().expect("final snapshot");
+        assert!(path.exists(), "flusher never wrote a snapshot");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

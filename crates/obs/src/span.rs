@@ -119,7 +119,16 @@ impl SpanStat {
 struct PathNode {
     name: String,
     parent: u32,
+    /// Nesting depth of the path (0 for roots) — cheap to carry here,
+    /// needed on the enter path for the event-mirroring cutoff.
+    depth: u32,
 }
+
+/// Span paths at most this deep mirror their open/close into the event
+/// ring (when events are enabled). Deeper spans — per-iteration solver
+/// internals — would flood the ring for no timeline value; their time
+/// still aggregates in the registry.
+const SPAN_EVENT_MAX_DEPTH: u32 = 2;
 
 struct Registry {
     paths: Vec<PathNode>,
@@ -129,21 +138,27 @@ struct Registry {
 }
 
 impl Registry {
-    fn intern(&mut self, parent: u32, name: &str) -> u32 {
+    fn intern(&mut self, parent: u32, name: &str) -> (u32, u32) {
         if let Some(&id) = self.index.get(&parent).and_then(|m| m.get(name)) {
-            return id;
+            return (id, self.paths[id as usize].depth);
         }
         let id = self.paths.len() as u32;
+        let depth = if parent == NO_PARENT {
+            0
+        } else {
+            self.paths[parent as usize].depth + 1
+        };
         self.paths.push(PathNode {
             name: name.to_owned(),
             parent,
+            depth,
         });
         self.stats.push(SpanStat::default());
         self.index
             .entry(parent)
             .or_default()
             .insert(name.to_owned(), id);
-        id
+        (id, depth)
     }
 }
 
@@ -163,39 +178,54 @@ struct Frame {
     start: Instant,
     child_ns: u64,
     fields: Vec<(&'static str, f64)>,
+    /// This frame emitted a `SpanBegin` event, so its exit must emit
+    /// the matching `SpanEnd` even if events were switched off
+    /// mid-span.
+    ring: bool,
 }
 
 #[derive(Default)]
 struct ThreadCollector {
     stack: Vec<Frame>,
     agg: HashMap<u32, SpanStat>,
-    /// Local mirror of the global intern table: parent id → name → id.
-    cache: HashMap<u32, HashMap<String, u32>>,
+    /// Local mirror of the global intern table: parent id → name →
+    /// (id, depth).
+    cache: HashMap<u32, HashMap<String, (u32, u32)>>,
 }
 
 impl ThreadCollector {
-    fn intern(&mut self, parent: u32, name: &str) -> u32 {
-        if let Some(&id) = self.cache.get(&parent).and_then(|m| m.get(name)) {
-            return id;
+    fn intern(&mut self, parent: u32, name: &str) -> (u32, u32) {
+        if let Some(&hit) = self.cache.get(&parent).and_then(|m| m.get(name)) {
+            return hit;
         }
-        let id = registry()
+        let hit = registry()
             .lock()
             .expect("span registry")
             .intern(parent, name);
         self.cache
             .entry(parent)
             .or_default()
-            .insert(name.to_owned(), id);
-        id
+            .insert(name.to_owned(), hit);
+        hit
     }
 
     fn enter(&mut self, parent: u32, name: &str) -> usize {
-        let id = self.intern(parent, name);
+        let (id, depth) = self.intern(parent, name);
+        let ring = depth <= SPAN_EVENT_MAX_DEPTH && crate::event::events_enabled();
+        if ring {
+            crate::event::record_event(
+                crate::event::EventKind::SpanBegin,
+                id,
+                crate::event::current_tid(),
+                0.0,
+            );
+        }
         self.stack.push(Frame {
             id,
             start: Instant::now(),
             child_ns: 0,
             fields: Vec::new(),
+            ring,
         });
         self.stack.len()
     }
@@ -205,6 +235,14 @@ impl ThreadCollector {
             return;
         };
         let elapsed = frame.start.elapsed().as_nanos() as u64;
+        if frame.ring {
+            crate::event::event_ring().push(
+                crate::event::EventKind::SpanEnd,
+                frame.id,
+                crate::event::current_tid(),
+                0.0,
+            );
+        }
         if let Some(parent) = self.stack.last_mut() {
             parent.child_ns += elapsed;
         }
@@ -445,6 +483,14 @@ pub fn span_report() -> SpanReport {
         visit(r, 0, "", &reg, &children, &mut entries);
     }
     SpanReport { entries }
+}
+
+/// Leaf names of every interned span path, indexed by path id — lets
+/// the trace exporter resolve the path ids carried by ring events.
+/// Interned paths survive [`reset_spans`], so this works after a run.
+pub(crate) fn path_names() -> Vec<String> {
+    let reg = registry().lock().expect("span registry");
+    reg.paths.iter().map(|p| p.name.clone()).collect()
 }
 
 /// Zeroes all recorded span statistics (interned paths are kept).

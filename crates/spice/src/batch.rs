@@ -891,6 +891,18 @@ impl BatchWorkspace {
                 .refactor_masked(&self.pattern, &self.values, &self.refactor_mask)
                 .map_err(map_err)?;
             self.stats[0].symbolic_analyses += analyses;
+            if analyses > 0 && rotsv_obs::events_enabled() {
+                // Pivot drift forced a shared re-analysis; attribute the
+                // instant to the first lane factored this round (the one
+                // whose values broke the old order, or its successor).
+                let culprit = (0..k).find(|&l| self.refactor_mask[l]).unwrap_or(0);
+                rotsv_obs::record_event(
+                    rotsv_obs::EventKind::Reanalysis,
+                    culprit as u32,
+                    analyses as u32,
+                    0.0,
+                );
+            }
             for lane in 0..k {
                 if !self.refactor_mask[lane] {
                     continue;
@@ -1226,12 +1238,20 @@ impl<'a> QueueEngine<'a> {
             .then(|| rotsv_obs::histogram("transient.newton_iters_per_step"));
         let lte_hist = rotsv_obs::metrics_enabled()
             .then(|| rotsv_obs::histogram("transient.lte_step_seconds"));
+        // Same idiom for the event ring: one relaxed load up front, then
+        // a plain bool on the hot paths. Ring pushes never block — on
+        // overflow they drop and count.
+        let ring = rotsv_obs::events_enabled();
 
         let mut delta = vec![0.0f64; n * k];
         let mut rnorm = vec![0.0f64; k];
         let mut want = vec![false; k];
         let mut busy = vec![false; k];
         let mut outcome = vec![Outcome::Pending; k];
+        // Occupancy only moves on retire/refill; recording the counter
+        // track on change keeps the ring footprint proportional to the
+        // number of seatings, not super-iterations.
+        let mut last_occ = usize::MAX;
 
         while self.lanes.iter().any(|l| l.busy) {
             // Trial setup for lanes starting (or redoing) a step.
@@ -1481,6 +1501,14 @@ impl<'a> QueueEngine<'a> {
                         if let Some(h) = &lte_hist {
                             h.observe(self.lanes[lane].dt_prev);
                         }
+                        if ring {
+                            rotsv_obs::record_event(
+                                rotsv_obs::EventKind::StepAccepted,
+                                lane as u32,
+                                (ls.iter + 1) as u32,
+                                ls.dt_try,
+                            );
+                        }
                         let mut finished = false;
                         let mut early = false;
                         if let Some(StopCondition::RisingCrossings {
@@ -1507,9 +1535,25 @@ impl<'a> QueueEngine<'a> {
                         if finished {
                             self.stopped_early[die] = early;
                             self.lanes[lane].busy = false;
+                            if ring {
+                                rotsv_obs::record_event(
+                                    rotsv_obs::EventKind::LaneRetire,
+                                    lane as u32,
+                                    die as u32,
+                                    0.0,
+                                );
+                            }
                             if self.next_die < self.ckts.len() {
                                 let incoming = self.next_die;
                                 self.next_die += 1;
+                                if ring {
+                                    rotsv_obs::record_event(
+                                        rotsv_obs::EventKind::LaneRefill,
+                                        lane as u32,
+                                        incoming as u32,
+                                        0.0,
+                                    );
+                                }
                                 self.seat(lane, incoming);
                             }
                         } else {
@@ -1544,9 +1588,20 @@ impl<'a> QueueEngine<'a> {
                 }
             }
 
-            if let Some(h) = &occupancy_hist {
+            if occupancy_hist.is_some() || ring {
                 let n_busy = busy.iter().filter(|&&b| b).count();
-                h.observe(n_busy as f64 / k as f64);
+                if let Some(h) = &occupancy_hist {
+                    h.observe(n_busy as f64 / k as f64);
+                }
+                if ring && n_busy != last_occ {
+                    last_occ = n_busy;
+                    rotsv_obs::record_event(
+                        rotsv_obs::EventKind::Occupancy,
+                        n_busy as u32,
+                        k as u32,
+                        n_busy as f64 / k as f64,
+                    );
+                }
             }
         }
         Ok(())
@@ -1676,12 +1731,30 @@ pub fn transient_queue(
     let _ = &span;
     let mut eng = QueueEngine::new(ckts, k, spec)?;
     let wall_start = Instant::now();
+    let ring = rotsv_obs::events_enabled();
+    let dropped_before = ring.then(|| rotsv_obs::event_ring().dropped());
     for lane in 0..k {
+        if ring {
+            rotsv_obs::record_event(
+                rotsv_obs::EventKind::LaneSeat,
+                lane as u32,
+                lane as u32,
+                0.0,
+            );
+        }
         eng.seat(lane, lane);
     }
     eng.next_die = k;
     eng.run()?;
     let wall = wall_start.elapsed().as_secs_f64();
+    // First-class drop accounting: anything the ring shed during this
+    // run surfaces as a counter the agreement suite asserts to be zero.
+    if let Some(before) = dropped_before {
+        if rotsv_obs::metrics_enabled() {
+            let delta = rotsv_obs::event_ring().dropped().saturating_sub(before);
+            rotsv_obs::metrics::counter("mc.ring_dropped_events").add(delta);
+        }
+    }
     Ok(eng.into_results(wall))
 }
 

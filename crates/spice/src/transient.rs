@@ -585,6 +585,15 @@ impl Circuit {
                         if let Some(h) = &lte_hist {
                             h.observe(dt_try);
                         }
+                        // Scalar engine has no lane: the ring still sees
+                        // every accepted step so traces and drop counts
+                        // stay engine-agnostic.
+                        rotsv_obs::record_event(
+                            rotsv_obs::EventKind::StepAccepted,
+                            rotsv_obs::LANE_NONE,
+                            (ws.stats.newton_iterations - newton_before) as u32,
+                            dt_try,
+                        );
                         record(t, &x, &mut time, &mut columns, &mut current_columns);
                         if let Some(StopCondition::RisingCrossings {
                             node,
