@@ -607,6 +607,67 @@ fn run_ledger_overhead() -> Json {
     ])
 }
 
+/// Drives the resident screening server with the load generator and
+/// reports sustained verdict throughput plus client-observed latency
+/// percentiles. The server runs in-process on an ephemeral port with
+/// the same lane/worker shape the CI smoke uses, so the numbers track
+/// the continuous-batching scheduler rather than network conditions.
+fn run_server_loadgen() -> Json {
+    use rotsv_server::{loadgen, Server, ServerConfig};
+    let server = Server::start(ServerConfig {
+        lanes: 4,
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("start in-process server");
+    let config = loadgen::LoadgenConfig {
+        addr: server.addr().to_string(),
+        jobs: 6,
+        dies_per_job: 3,
+        interarrival: std::time::Duration::from_millis(10),
+        n_segments_mix: vec![1, 2],
+        vdd: 1.1,
+        seed: 1007,
+        fast: true,
+    };
+    let report = loadgen::run(&config).expect("loadgen run");
+    server.stop().expect("server drains");
+    assert_eq!(report.rejected, 0, "default queue must absorb the load");
+    assert_eq!(
+        report.total_verdicts,
+        config.jobs * config.dies_per_job,
+        "every submitted die must produce a verdict"
+    );
+    println!(
+        "server loadgen: {} dies in {:.2} s ({:.1} dies/s), verdict latency \
+         p50 {:.3} s / p95 {:.3} s / p99 {:.3} s",
+        report.total_verdicts,
+        report.wall_s,
+        report.dies_per_s,
+        report.p50_s,
+        report.p95_s,
+        report.p99_s
+    );
+    Json::Obj(vec![
+        ("jobs".into(), Json::Num(config.jobs as f64)),
+        ("dies_per_job".into(), Json::Num(config.dies_per_job as f64)),
+        (
+            "total_verdicts".into(),
+            Json::Num(report.total_verdicts as f64),
+        ),
+        ("rejected".into(), Json::Num(report.rejected as f64)),
+        ("wall_s".into(), Json::Num(report.wall_s)),
+        ("dies_per_s".into(), Json::Num(report.dies_per_s)),
+        (
+            "s_per_die".into(),
+            Json::Num(report.wall_s / report.total_verdicts.max(1) as f64),
+        ),
+        ("p50_s".into(), Json::Num(report.p50_s)),
+        ("p95_s".into(), Json::Num(report.p95_s)),
+        ("p99_s".into(), Json::Num(report.p99_s)),
+    ])
+}
+
 /// Flattens a benchmark document into `(workload, wall_seconds)` pairs
 /// usable for regression comparison.
 fn wall_times(doc: &Json) -> Vec<(String, f64)> {
@@ -675,6 +736,15 @@ fn wall_times(doc: &Json) -> Vec<(String, f64)> {
         .and_then(Json::as_f64)
     {
         out.push(("ring_overhead disabled_s".into(), v));
+    }
+    // Server-mode screening: per-die service time and the latency tail
+    // are both lower-is-better, so they slot into the same gate.
+    if let Some(lg) = doc.get("server_loadgen") {
+        for key in ["s_per_die", "p50_s", "p95_s", "p99_s"] {
+            if let Some(v) = lg.get(key).and_then(Json::as_f64) {
+                out.push((format!("server_loadgen {key}"), v));
+            }
+        }
     }
     out
 }
@@ -752,6 +822,7 @@ fn main() {
     let obs_overhead = run_obs_overhead();
     let ring_overhead = run_ring_overhead();
     let ledger_overhead = run_ledger_overhead();
+    let server_loadgen = run_server_loadgen();
     let doc = Json::Obj(vec![
         ("kernels".into(), Json::Arr(kernels)),
         ("transients".into(), Json::Arr(transients)),
@@ -760,6 +831,7 @@ fn main() {
         ("obs_overhead".into(), obs_overhead),
         ("ring_overhead".into(), ring_overhead),
         ("ledger_overhead".into(), ledger_overhead),
+        ("server_loadgen".into(), server_loadgen),
     ]);
 
     if check {

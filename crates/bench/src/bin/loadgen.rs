@@ -1,0 +1,119 @@
+//! Standalone load generator for the screening daemon.
+//!
+//! Drives a server at a fixed arrival rate and prints sustained
+//! dies/sec plus client-observed verdict-latency percentiles as a
+//! JSON report on stdout. Point it at a running daemon with `--addr`,
+//! or omit the flag to benchmark an in-process server (the
+//! configuration `bench_solver` gates on).
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--jobs N] [--dies N]
+//!         [--interarrival-ms MS] [--mix N,N,...] [--vdd V] [--seed S]
+//! ```
+
+use std::time::Duration;
+
+use rotsv_obs::Json;
+use rotsv_server::loadgen::{run, LoadgenConfig};
+use rotsv_server::{Server, ServerConfig};
+
+fn parse_args(args: &[String]) -> Result<(Option<String>, LoadgenConfig), String> {
+    let mut addr: Option<String> = None;
+    let mut config = LoadgenConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--jobs" => {
+                config.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--dies" => {
+                config.dies_per_job = value("--dies")?
+                    .parse()
+                    .map_err(|e| format!("--dies: {e}"))?;
+            }
+            "--interarrival-ms" => {
+                let ms: u64 = value("--interarrival-ms")?
+                    .parse()
+                    .map_err(|e| format!("--interarrival-ms: {e}"))?;
+                config.interarrival = Duration::from_millis(ms);
+            }
+            "--mix" => {
+                config.n_segments_mix = value("--mix")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--mix: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if config.n_segments_mix.is_empty() {
+                    return Err("--mix needs at least one ring size".into());
+                }
+            }
+            "--vdd" => {
+                config.vdd = value("--vdd")?.parse().map_err(|e| format!("--vdd: {e}"))?;
+            }
+            "--seed" => {
+                config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok((addr, config))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, mut config) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+    // No --addr: benchmark a private in-process server.
+    let server = if let Some(addr) = addr {
+        config.addr = addr;
+        None
+    } else {
+        let server = Server::start(ServerConfig {
+            lanes: 4,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .expect("start in-process server");
+        config.addr = server.addr().to_string();
+        Some(server)
+    };
+    let report = match run(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(server) = server {
+        server.stop().expect("server drains");
+    }
+    let doc = Json::Obj(vec![
+        ("jobs".into(), Json::Num(config.jobs as f64)),
+        ("dies_per_job".into(), Json::Num(config.dies_per_job as f64)),
+        (
+            "total_verdicts".into(),
+            Json::Num(report.total_verdicts as f64),
+        ),
+        ("rejected".into(), Json::Num(report.rejected as f64)),
+        ("wall_s".into(), Json::Num(report.wall_s)),
+        ("dies_per_s".into(), Json::Num(report.dies_per_s)),
+        ("p50_s".into(), Json::Num(report.p50_s)),
+        ("p95_s".into(), Json::Num(report.p95_s)),
+        ("p99_s".into(), Json::Num(report.p99_s)),
+    ]);
+    println!("{}", doc.render_pretty());
+}

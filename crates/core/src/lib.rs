@@ -78,8 +78,8 @@ pub use classify::{DetectionThresholds, Verdict};
 pub use diagnose::DiagnosisCurve;
 pub use die::Die;
 pub use mc::{
-    delta_t_population, delta_t_population_with_engine, mc_engine, set_mc_engine, McDeltaT,
-    McEngine,
+    delta_t_population, delta_t_population_with_engine, die_seed, mc_engine, set_mc_engine,
+    McDeltaT, McEngine,
 };
 pub use measure::{DeltaTMeasurement, TestBench};
 pub use plan::{MultiVoltagePlan, ScreenResult, VoltagePoint};

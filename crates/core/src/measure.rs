@@ -61,6 +61,45 @@ impl TestBench {
         }
     }
 
+    /// The `(enabled, bypassed)` ring configurations of the two-run
+    /// procedure at `vdd`: run 1 with the TSVs in `under_test` enabled,
+    /// run 2 with every TSV bypassed. This is the single source of the
+    /// configuration construction — every measurement path (scalar,
+    /// batched, queued, and a screening server's streamed units) builds
+    /// from it, which is what makes their per-die results comparable
+    /// bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults.len() != self.n_segments`, `under_test` is
+    /// empty or out of range, or `vdd` is not positive.
+    pub fn ro_configs(
+        &self,
+        vdd: f64,
+        faults: &[TsvFault],
+        under_test: &[usize],
+    ) -> (RoConfig, RoConfig) {
+        assert_eq!(
+            faults.len(),
+            self.n_segments,
+            "fault list must cover every segment"
+        );
+        assert!(
+            !under_test.is_empty(),
+            "at least one TSV must be under test"
+        );
+        let bypassed = RoConfig {
+            n_segments: self.n_segments,
+            vdd,
+            tech: self.tech,
+            tsv_model: self.tsv_model,
+            faults: faults.to_vec(),
+            enabled: vec![false; self.n_segments],
+        };
+        let enabled = bypassed.clone().enable_only(under_test);
+        (enabled, bypassed)
+    }
+
     /// Runs the full two-run procedure on one die at one voltage:
     /// run 1 with the TSVs listed in `under_test` enabled, run 2 with all
     /// TSVs bypassed.
@@ -102,24 +141,8 @@ impl TestBench {
         opts: &MeasureOpts,
     ) -> Result<DeltaTMeasurement, SpiceError> {
         let _span = rotsv_obs::span!("measure_delta_t", "vdd" = vdd);
-        assert_eq!(
-            faults.len(),
-            self.n_segments,
-            "fault list must cover every segment"
-        );
-        assert!(
-            !under_test.is_empty(),
-            "at least one TSV must be under test"
-        );
         let opts = *opts;
-        let config = RoConfig {
-            n_segments: self.n_segments,
-            vdd,
-            tech: self.tech,
-            tsv_model: self.tsv_model,
-            faults: faults.to_vec(),
-            enabled: vec![false; self.n_segments],
-        };
+        let (enabled_config, config) = self.ro_configs(vdd, faults, under_test);
 
         // Both runs share one symbolic-analysis cache. They have the same
         // topology (only the BY source *values* differ) and the first
@@ -130,7 +153,6 @@ impl TestBench {
         // analysis counter halves, the waveform bits do not change.
         let cache = Arc::new(SymbolicCache::new());
         // Run 1: TSVs under test enabled.
-        let enabled_config = config.clone().enable_only(under_test);
         let mut ro1 = RingOscillator::build(&enabled_config, &mut die.variation());
         ro1.set_symbolic_cache(Arc::clone(&cache));
         let (t1, stats1) = ro1.measure_with_stats(&opts)?;
@@ -196,24 +218,7 @@ impl TestBench {
         }
         let span = rotsv_obs::span!("measure_delta_t_batch", "vdd" = vdd);
         span.field("lanes", dies.len() as f64);
-        assert_eq!(
-            faults.len(),
-            self.n_segments,
-            "fault list must cover every segment"
-        );
-        assert!(
-            !under_test.is_empty(),
-            "at least one TSV must be under test"
-        );
-        let config = RoConfig {
-            n_segments: self.n_segments,
-            vdd,
-            tech: self.tech,
-            tsv_model: self.tsv_model,
-            faults: faults.to_vec(),
-            enabled: vec![false; self.n_segments],
-        };
-        let enabled_config = config.clone().enable_only(under_test);
+        let (enabled_config, config) = self.ro_configs(vdd, faults, under_test);
         let build_all = |cfg: &RoConfig| -> Vec<RingOscillator> {
             dies.iter()
                 .map(|die| {
@@ -277,24 +282,7 @@ impl TestBench {
         let span = rotsv_obs::span!("measure_delta_t_queue", "vdd" = vdd);
         span.field("lanes", lanes as f64);
         span.field("dies", dies.len() as f64);
-        assert_eq!(
-            faults.len(),
-            self.n_segments,
-            "fault list must cover every segment"
-        );
-        assert!(
-            !under_test.is_empty(),
-            "at least one TSV must be under test"
-        );
-        let config = RoConfig {
-            n_segments: self.n_segments,
-            vdd,
-            tech: self.tech,
-            tsv_model: self.tsv_model,
-            faults: faults.to_vec(),
-            enabled: vec![false; self.n_segments],
-        };
-        let enabled_config = config.clone().enable_only(under_test);
+        let (enabled_config, config) = self.ro_configs(vdd, faults, under_test);
         let build_all = |cfg: &RoConfig| -> Vec<RingOscillator> {
             dies.iter()
                 .map(|die| {

@@ -6,8 +6,9 @@ use rotsv_mosfet::model::VariationSource;
 use rotsv_mosfet::tech45::DriveStrength;
 use rotsv_num::SymbolicCache;
 use rotsv_spice::{
-    transient_batch, transient_queue, Circuit, IntegrationMethod, NodeId, PeriodMeasurement,
-    SolverStats, SourceWaveform, SpiceError, StepControl, TransientSpec, Waveform,
+    transient_batch, transient_queue, transient_stream, Circuit, IntegrationMethod, NodeId,
+    PeriodMeasurement, SolverStats, SourceWaveform, SpiceError, StepControl, TransientResult,
+    TransientSpec, Waveform,
 };
 use rotsv_stdcell::CellBuilder;
 use rotsv_tsv::{Tsv, TsvFault, TsvModel, TsvTech};
@@ -176,6 +177,28 @@ impl OscillationOutcome {
     pub fn is_oscillating(&self) -> bool {
         matches!(self, OscillationOutcome::Oscillating(_))
     }
+}
+
+/// Period extraction from a finished transient: everything it needs
+/// (probe node, V_DD) is shared across a measurement group, so the
+/// streaming path can extract outcomes without keeping the consumed
+/// [`RingOscillator`] alive.
+fn extract_outcome_at(
+    res: &TransientResult,
+    probe: NodeId,
+    vdd: f64,
+    opts: &MeasureOpts,
+) -> (OscillationOutcome, SolverStats) {
+    let stats = res.stats();
+    let wave = res.waveform(probe);
+    let outcome = match wave.period(vdd / 2.0, opts.skip_cycles) {
+        Some(m) => OscillationOutcome::Oscillating(m),
+        None => OscillationOutcome::Stuck {
+            final_voltage: wave.final_value(),
+            swing: wave.max() - wave.min(),
+        },
+    };
+    (outcome, stats)
 }
 
 /// A fully built ring-oscillator DfT group.
@@ -360,19 +383,10 @@ impl RingOscillator {
     /// and batched measurement paths).
     fn extract_outcome(
         &self,
-        res: &rotsv_spice::TransientResult,
+        res: &TransientResult,
         opts: &MeasureOpts,
     ) -> (OscillationOutcome, SolverStats) {
-        let stats = res.stats();
-        let wave = res.waveform(self.probe);
-        let outcome = match wave.period(self.vdd / 2.0, opts.skip_cycles) {
-            Some(m) => OscillationOutcome::Oscillating(m),
-            None => OscillationOutcome::Stuck {
-                final_voltage: wave.final_value(),
-                swing: wave.max() - wave.min(),
-            },
-        };
-        (outcome, stats)
+        extract_outcome_at(res, self.probe, self.vdd, opts)
     }
 
     /// Measures `ros` — same-topology rings differing only in element
@@ -459,6 +473,70 @@ impl RingOscillator {
             .zip(&results)
             .map(|(ro, res)| ro.extract_outcome(res, opts))
             .collect())
+    }
+
+    /// Open-ended streaming form of
+    /// [`RingOscillator::measure_queue_with_stats`], built on
+    /// [`transient_stream`]: retiring lanes refill from `source`
+    /// instead of a fixed population, and each ring's `(outcome,
+    /// stats)` is handed to `sink` the moment its measurement
+    /// completes. This is the measurement loop a resident screening
+    /// server drives — rings admitted while a group is mid-transient
+    /// seat into retiring lanes without draining the batch.
+    ///
+    /// The rings are consumed: the engine owns their circuits for the
+    /// lifetime of the streaming session. `source` is polled
+    /// non-blockingly at each retirement; returning `None` idles the
+    /// lane for the rest of the session. `sink` receives the ring index
+    /// (0-based over `initial` then each sourced ring, in pull order).
+    /// Per-ring outcomes are bit-identical to every other measurement
+    /// path over the same circuits. Returns the number of rings
+    /// measured and delivered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; [`SpiceError::InvalidCircuit`] when
+    /// a sourced ring is not topology-identical to the first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts` is invalid or any ring disagrees with the first
+    /// on V_DD or probe node (different build configurations).
+    pub fn measure_stream_with_stats(
+        initial: Vec<RingOscillator>,
+        lanes: usize,
+        opts: &MeasureOpts,
+        source: &mut dyn FnMut() -> Option<RingOscillator>,
+        sink: &mut dyn FnMut(usize, OscillationOutcome, SolverStats),
+    ) -> Result<usize, SpiceError> {
+        opts.validate();
+        let mut initial = initial;
+        if initial.is_empty() {
+            match source() {
+                Some(ro) => initial.push(ro),
+                None => return Ok(0),
+            }
+        }
+        let (probe, vdd) = (initial[0].probe, initial[0].vdd);
+        let spec = initial[0].measure_spec(opts);
+        let check = |ro: &RingOscillator| {
+            assert_eq!(ro.vdd, vdd, "streamed rings must share V_DD");
+            assert_eq!(ro.probe, probe, "streamed rings must share the probe node");
+        };
+        initial.iter().for_each(check);
+        let circuits: Vec<Arc<Circuit>> =
+            initial.into_iter().map(|ro| Arc::new(ro.circuit)).collect();
+        let mut ckt_source = || {
+            source().map(|ro| {
+                check(&ro);
+                Arc::new(ro.circuit)
+            })
+        };
+        let mut ckt_sink = |die: usize, res: TransientResult| {
+            let (outcome, stats) = extract_outcome_at(&res, probe, vdd, opts);
+            sink(die, outcome, stats);
+        };
+        transient_stream(circuits, lanes, &spec, &mut ckt_source, &mut ckt_sink)
     }
 
     /// Simulates the ring and returns the probe waveform (for plotting

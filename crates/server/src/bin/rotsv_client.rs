@@ -1,0 +1,113 @@
+//! Minimal line-protocol client for the screening daemon — what the
+//! CI smoke uses to submit a job mix and collect streamed verdicts.
+//!
+//! Subcommands:
+//!
+//! * `submit ADDR JSON...` — send each JSON request line, then print
+//!   every response line until all submitted jobs are done (or
+//!   rejected). Exits non-zero on error verdicts or protocol errors.
+//! * `metrics ADDR` — print the server's Prometheus exposition.
+//! * `shutdown ADDR` — ask the server to drain and exit.
+
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+use rotsv_obs::Json;
+
+const USAGE: &str = "usage: rotsv-client submit ADDR JSON... | metrics ADDR | shutdown ADDR";
+
+fn connect(addr: &str) -> Result<(BufReader<TcpStream>, BufWriter<TcpStream>), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let read_half = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    Ok((BufReader::new(read_half), BufWriter::new(stream)))
+}
+
+fn read_doc(reader: &mut BufReader<TcpStream>) -> Result<Json, String> {
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read: {e}"))?;
+    if n == 0 {
+        return Err("server closed the connection".into());
+    }
+    println!("{}", line.trim());
+    rotsv_obs::json::parse(line.trim()).map_err(|e| format!("unparsable response: {e}"))
+}
+
+fn submit(addr: &str, requests: &[String]) -> Result<(), String> {
+    let (mut reader, mut writer) = connect(addr)?;
+    let mut open = 0usize;
+    for req in requests {
+        let doc = rotsv_obs::json::parse(req).map_err(|e| format!("bad request {req:?}: {e}"))?;
+        if doc.get("type").and_then(Json::as_str) == Some("submit") {
+            open += 1;
+        }
+        writeln!(writer, "{req}").map_err(|e| format!("send: {e}"))?;
+    }
+    writer.flush().map_err(|e| format!("send flush: {e}"))?;
+    let mut failures = 0usize;
+    while open > 0 {
+        let doc = read_doc(&mut reader)?;
+        match doc.get("type").and_then(Json::as_str).unwrap_or("") {
+            "done" => open -= 1,
+            "rejected" => {
+                open -= 1;
+                failures += 1;
+            }
+            "verdict" if doc.get("status").and_then(Json::as_str) == Some("error") => {
+                failures += 1;
+            }
+            "error" => failures += 1,
+            _ => {}
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} failure responses"));
+    }
+    Ok(())
+}
+
+fn one_shot(addr: &str, request: &str, expect: &str) -> Result<Json, String> {
+    let (mut reader, mut writer) = connect(addr)?;
+    writeln!(writer, "{request}").map_err(|e| format!("send: {e}"))?;
+    writer.flush().map_err(|e| format!("send flush: {e}"))?;
+    let doc = read_doc(&mut reader)?;
+    let ty = doc.get("type").and_then(Json::as_str).unwrap_or("");
+    if ty != expect {
+        return Err(format!("expected {expect:?} response, got {ty:?}"));
+    }
+    Ok(doc)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("submit") if args.len() >= 3 => submit(&args[1], &args[2..]),
+        Some("metrics") if args.len() == 2 => {
+            let doc = one_shot(&args[1], r#"{"type":"metrics"}"#, "metrics")?;
+            let text = doc
+                .get("text")
+                .and_then(Json::as_str)
+                .ok_or("metrics response lacks text")?;
+            print!("{text}");
+            Ok(())
+        }
+        Some("shutdown") if args.len() == 2 => {
+            one_shot(&args[1], r#"{"type":"shutdown"}"#, "shutting_down").map(|_| ())
+        }
+        _ => Err(USAGE.into()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rotsv-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

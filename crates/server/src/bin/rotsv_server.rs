@@ -1,0 +1,48 @@
+//! The `rotsv-server` daemon: binds, prints the listen address, and
+//! serves screening jobs until a client sends `{"type":"shutdown"}`.
+
+use std::process::ExitCode;
+
+use rotsv_server::{Server, ServerConfig};
+
+const USAGE: &str = "\
+usage: rotsv-server [flags]
+  --listen ADDR             listen address (default 127.0.0.1:0)
+  --lanes N                 transient lanes per engine session (default 8)
+  --workers N               engine worker threads (default 2)
+  --queue-cap N             admission queue capacity in units (default 4096)
+  --max-dies N              per-job die cap (default 1024)
+  --metrics-out PATH        write Prometheus snapshots to PATH
+  --metrics-interval-ms MS  snapshot interval (default 1000)
+  --port-file PATH          write the bound host:port to PATH";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let config = match ServerConfig::parse_args(&args) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("rotsv-server: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("rotsv-server: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The CI smoke and scripts scrape this line for the bound port.
+    println!("listening on {}", server.addr());
+    match server.wait() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rotsv-server: shutdown error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

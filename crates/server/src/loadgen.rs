@@ -1,0 +1,181 @@
+//! Closed-form load generator for the screening server: submits jobs
+//! at a fixed arrival rate over one connection and reports sustained
+//! throughput plus verdict-latency percentiles.
+//!
+//! Latency here is *client-observed*: the wall time from a job's
+//! submit to each of its verdict lines arriving back, which includes
+//! queueing, engine scheduling, and the socket round trip — the number
+//! a wafer-screening floor actually experiences.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use rotsv_obs::Json;
+
+use crate::protocol::render_line;
+
+/// What the load generator drives at the server.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:4173`.
+    pub addr: String,
+    /// Jobs to submit in total.
+    pub jobs: usize,
+    /// Dies per job.
+    pub dies_per_job: usize,
+    /// Target interarrival gap between submits.
+    pub interarrival: Duration,
+    /// Ring sizes cycled across jobs (a topology mix exercises the
+    /// group-keyed cache and cross-group scheduling).
+    pub n_segments_mix: Vec<usize>,
+    /// Supply voltage for every job.
+    pub vdd: f64,
+    /// Base RNG seed; job `i` uses `seed + i` so populations differ.
+    pub seed: u64,
+    /// `true` = coarse fast-fidelity benches (the benchmark setting).
+    pub fast: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            jobs: 8,
+            dies_per_job: 4,
+            interarrival: Duration::from_millis(20),
+            n_segments_mix: vec![1, 2],
+            vdd: 1.1,
+            seed: 1007,
+            fast: true,
+        }
+    }
+}
+
+/// What a loadgen run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Verdicts received (one per die per voltage).
+    pub total_verdicts: usize,
+    /// Jobs the server rejected (backpressure).
+    pub rejected: usize,
+    /// Wall time from first submit to last `done` trailer.
+    pub wall_s: f64,
+    /// Sustained verdict throughput.
+    pub dies_per_s: f64,
+    /// Median client-observed verdict latency.
+    pub p50_s: f64,
+    /// 95th-percentile verdict latency.
+    pub p95_s: f64,
+    /// 99th-percentile verdict latency.
+    pub p99_s: f64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[pos.min(sorted.len() - 1)]
+}
+
+/// Runs the load against a listening server and blocks until every
+/// submitted job has finished (or been rejected).
+///
+/// # Errors
+///
+/// Socket errors, or a textual error when the server misbehaves
+/// (unparsable response line, connection closed mid-run).
+pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    let stream =
+        TcpStream::connect(&config.addr).map_err(|e| format!("connect {}: {e}", config.addr))?;
+    let reader_stream = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    let mut writer = BufWriter::new(stream);
+    let mut reader = BufReader::new(reader_stream);
+
+    let start = Instant::now();
+    let mut submitted_at: HashMap<u64, Instant> = HashMap::new();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut total_verdicts = 0usize;
+    let mut rejected = 0usize;
+    let mut open_jobs = 0usize;
+    let mut line = String::new();
+
+    for i in 0..config.jobs {
+        // Responses queue in the socket buffer and the server's
+        // unbounded writer channel while we pace submits; they are
+        // drained below without risk of backpressure deadlock.
+        let due = start + config.interarrival * i as u32;
+        loop {
+            let now = Instant::now();
+            if now >= due {
+                break;
+            }
+            std::thread::sleep((due - now).min(Duration::from_millis(2)));
+        }
+        let n_segments = config.n_segments_mix[i % config.n_segments_mix.len()];
+        let job_id = i as u64;
+        submitted_at.insert(job_id, Instant::now());
+        open_jobs += 1;
+        let req = render_line(vec![
+            ("type".into(), Json::Str("submit".into())),
+            ("id".into(), Json::Num(job_id as f64)),
+            ("n_segments".into(), Json::Num(n_segments as f64)),
+            ("dies".into(), Json::Num(config.dies_per_job as f64)),
+            ("vdd".into(), Json::Num(config.vdd)),
+            ("seed".into(), Json::Num((config.seed + i as u64) as f64)),
+            ("fast".into(), Json::Bool(config.fast)),
+        ]);
+        writeln!(writer, "{req}").map_err(|e| format!("submit: {e}"))?;
+        writer.flush().map_err(|e| format!("submit flush: {e}"))?;
+    }
+
+    while open_jobs > 0 {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read response: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection mid-run".into());
+        }
+        let doc = rotsv_obs::json::parse(line.trim())
+            .map_err(|e| format!("unparsable response {line:?}: {e}"))?;
+        let ty = doc.get("type").and_then(Json::as_str).unwrap_or("");
+        match ty {
+            "verdict" => {
+                total_verdicts += 1;
+                let id = doc.get("id").and_then(Json::as_f64).unwrap_or(-1.0) as u64;
+                if let Some(t0) = submitted_at.get(&id) {
+                    latencies.push(t0.elapsed().as_secs_f64());
+                }
+            }
+            "done" => open_jobs -= 1,
+            "rejected" => {
+                rejected += 1;
+                open_jobs -= 1;
+            }
+            "admitted" | "pong" | "metrics" | "shutting_down" => {}
+            "error" => return Err(format!("server error: {}", line.trim())),
+            other => return Err(format!("unexpected response type {other:?}")),
+        }
+    }
+
+    let wall_s = start.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    Ok(LoadgenReport {
+        total_verdicts,
+        rejected,
+        wall_s,
+        dies_per_s: if wall_s > 0.0 {
+            total_verdicts as f64 / wall_s
+        } else {
+            0.0
+        },
+        p50_s: percentile(&latencies, 0.50),
+        p95_s: percentile(&latencies, 0.95),
+        p99_s: percentile(&latencies, 0.99),
+    })
+}

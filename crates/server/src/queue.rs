@@ -1,0 +1,182 @@
+//! Cross-request admission queue with bounded depth and group claims.
+//!
+//! Every submitted job expands into measurement *units* — one
+//! `(die, V_DD, run)` triple each — keyed by the job's engine-group key
+//! (topology + shared transient spec). Workers claim whole groups;
+//! within a claimed group the engine pulls units one at a time at lane
+//! retirement, which is what turns per-request batching into
+//! continuous batching: a unit admitted while the group is mid-
+//! transient seats into the next retiring lane instead of waiting for
+//! a fresh batch.
+//!
+//! The queue is bounded in *units* (not jobs): a submit either admits
+//! entirely or is rejected with a backpressure response — partial
+//! admission would deadlock a job's verdict accounting.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+use crate::server::Unit;
+
+/// Why a submit was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The bounded queue cannot take the job's units.
+    Full {
+        /// Units currently queued.
+        depth: usize,
+        /// Queue capacity in units.
+        cap: usize,
+    },
+    /// The server is draining; no new work is accepted.
+    ShuttingDown,
+}
+
+#[derive(Default)]
+struct Group {
+    pending: VecDeque<Unit>,
+    /// A worker is running an engine session over this group.
+    claimed: bool,
+}
+
+struct Inner {
+    groups: BTreeMap<String, Group>,
+    /// Total queued units across groups.
+    depth: usize,
+    shutdown: bool,
+}
+
+/// The bounded, group-keyed admission queue.
+pub struct AdmissionQueue {
+    cap: usize,
+    inner: Mutex<Inner>,
+    /// Signalled on admit and on shutdown; workers wait here.
+    work: Condvar,
+}
+
+impl AdmissionQueue {
+    /// A queue admitting at most `cap` units.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            inner: Mutex::new(Inner {
+                groups: BTreeMap::new(),
+                depth: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        }
+    }
+
+    fn publish_depth(depth: usize) {
+        if rotsv_obs::metrics_enabled() {
+            rotsv_obs::gauge("server.queue_depth").set(depth as f64);
+        }
+    }
+
+    /// Admits every `(key, unit)` pair atomically, or none of them.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::Full`] when the batch would exceed the bound,
+    /// [`AdmitError::ShuttingDown`] once draining has begun.
+    pub fn admit(&self, units: Vec<(String, Unit)>) -> Result<usize, AdmitError> {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        if inner.shutdown {
+            return Err(AdmitError::ShuttingDown);
+        }
+        if inner.depth + units.len() > self.cap {
+            return Err(AdmitError::Full {
+                depth: inner.depth,
+                cap: self.cap,
+            });
+        }
+        inner.depth += units.len();
+        for (key, unit) in units {
+            inner.groups.entry(key).or_default().pending.push_back(unit);
+        }
+        let depth = inner.depth;
+        Self::publish_depth(depth);
+        self.work.notify_all();
+        Ok(depth)
+    }
+
+    /// Blocks until an unclaimed non-empty group exists (returning its
+    /// key, now claimed by the caller) or the queue is shut down *and*
+    /// empty (returning `None` — the worker should exit).
+    pub fn claim(&self) -> Option<String> {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        loop {
+            if let Some(key) = inner
+                .groups
+                .iter()
+                .find(|(_, g)| !g.claimed && !g.pending.is_empty())
+                .map(|(k, _)| k.clone())
+            {
+                inner
+                    .groups
+                    .get_mut(&key)
+                    .expect("group just found")
+                    .claimed = true;
+                return Some(key);
+            }
+            if inner.shutdown && inner.depth == 0 {
+                return None;
+            }
+            inner = self.work.wait(inner).expect("admission queue poisoned");
+        }
+    }
+
+    /// Drains every pending unit of the claimed group `key`.
+    pub fn take_all(&self, key: &str) -> Vec<Unit> {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        let Some(group) = inner.groups.get_mut(key) else {
+            return Vec::new();
+        };
+        let taken: Vec<Unit> = group.pending.drain(..).collect();
+        inner.depth -= taken.len();
+        Self::publish_depth(inner.depth);
+        taken
+    }
+
+    /// Pops one pending unit of the claimed group `key`, without
+    /// blocking — the engine calls this from a retiring lane.
+    pub fn take_one(&self, key: &str) -> Option<Unit> {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        let unit = inner.groups.get_mut(key)?.pending.pop_front()?;
+        inner.depth -= 1;
+        Self::publish_depth(inner.depth);
+        Some(unit)
+    }
+
+    /// Releases the claim on `key` if the group is still empty; returns
+    /// `false` (claim retained) when units arrived since the last
+    /// `take_*`, so the caller loops instead of racing a lost wakeup.
+    pub fn release_if_empty(&self, key: &str) -> bool {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        let Some(group) = inner.groups.get_mut(key) else {
+            return true;
+        };
+        if group.pending.is_empty() {
+            group.claimed = false;
+            inner.groups.remove(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Begins draining: new submits fail, blocked workers wake, and
+    /// [`AdmissionQueue::claim`] returns `None` once the queue empties.
+    pub fn begin_shutdown(&self) {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        inner.shutdown = true;
+        drop(inner);
+        self.work.notify_all();
+    }
+
+    /// Units currently queued (for backpressure responses).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("admission queue poisoned").depth
+    }
+}

@@ -156,6 +156,48 @@ struct BatchWorkspace {
     stats: Vec<SolverStats>,
 }
 
+/// The die population an engine streams: either borrowed up front (the
+/// [`transient_batch`]/[`transient_queue`] form, population known and
+/// fixed) or owned and grown mid-run as a [`transient_stream`] source
+/// hands over newly admitted dies.
+enum Population<'a> {
+    /// The whole population, borrowed at construction.
+    Borrowed(&'a [&'a Circuit]),
+    /// An owned population that grows as the source yields circuits.
+    Streamed(Vec<Arc<Circuit>>),
+}
+
+impl Population<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Population::Borrowed(s) => s.len(),
+            Population::Streamed(v) => v.len(),
+        }
+    }
+
+    fn get(&self, die: usize) -> &Circuit {
+        match self {
+            Population::Borrowed(s) => s[die],
+            Population::Streamed(v) => &v[die],
+        }
+    }
+
+    /// Borrows every die (construction-time use only; the hot paths
+    /// index through [`Population::get`]).
+    fn refs(&self) -> Vec<&Circuit> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+
+    fn push(&mut self, ckt: Arc<Circuit>) {
+        match self {
+            Population::Streamed(v) => v.push(ckt),
+            Population::Borrowed(_) => {
+                unreachable!("only a streaming engine pulls from a source")
+            }
+        }
+    }
+}
+
 /// Checks that every die has the topology of die 0: same nodes, same
 /// element sequence (kinds, terminals, branches), same gmin. Values
 /// (resistances, capacitances, waveforms, device parameters) may differ.
@@ -326,11 +368,11 @@ impl BatchWorkspace {
     /// (conductances, waveforms), re-seats or rebuilds the device banks,
     /// and invalidates the lane's stored LU factors. The caller re-seeds
     /// the dynamic state (`x`, capacitor history, lane clock).
-    fn reseat_lane(&mut self, ckts: &[&Circuit], lane: usize, die: usize) {
+    fn reseat_lane(&mut self, ckts: &Population, lane: usize, die: usize) {
         self.lane_die[lane] = die;
         self.lu_valid[lane] = false;
         self.factored_once[lane] = false;
-        let c = ckts[die];
+        let c = ckts.get(die);
         for (ei, elem) in self.elems.iter_mut().enumerate() {
             match elem {
                 BatchElem::Resistor { g, .. } => {
@@ -369,7 +411,7 @@ impl BatchWorkspace {
                         let lanes_refs: Vec<&dyn NonlinearDevice> = self
                             .lane_die
                             .iter()
-                            .map(|&ld| match &ckts[ld].elements[ei] {
+                            .map(|&ld| match &ckts.get(ld).elements[ei] {
                                 Element::Nonlinear(dd) => dd.as_ref(),
                                 _ => unreachable!("validated topology"),
                             })
@@ -417,7 +459,7 @@ impl BatchWorkspace {
     /// Dispatches to the monomorphized assembly for the common lane
     /// counts; the dynamic body is the fallback (and the reference: each
     /// pair of arms performs bit-identical per-lane arithmetic).
-    fn assemble(&mut self, ckts: &[&Circuit], x: &[f64], t: &[f64], companions: &[(f64, f64)]) {
+    fn assemble(&mut self, ckts: &Population, x: &[f64], t: &[f64], companions: &[(f64, f64)]) {
         match self.k {
             1 => self.assemble_k::<1>(ckts, x, t, companions),
             2 => self.assemble_k::<2>(ckts, x, t, companions),
@@ -441,7 +483,7 @@ impl BatchWorkspace {
     #[allow(clippy::needless_range_loop)]
     fn assemble_k<const K: usize>(
         &mut self,
-        ckts: &[&Circuit],
+        ckts: &Population,
         x: &[f64],
         t: &[f64],
         companions: &[(f64, f64)],
@@ -571,7 +613,7 @@ impl BatchWorkspace {
     #[allow(clippy::needless_range_loop)]
     fn stamp_device_k<const K: usize>(
         &mut self,
-        ckts: &[&Circuit],
+        ckts: &Population,
         elem_idx: usize,
         dev_idx: usize,
         x: &[f64],
@@ -592,7 +634,7 @@ impl BatchWorkspace {
             DeviceKind::PerLane(stamp) => {
                 let mut v = vec![0.0; nt];
                 for lane in 0..K {
-                    let Element::Nonlinear(d) = &ckts[self.lane_die[lane]].elements[elem_idx]
+                    let Element::Nonlinear(d) = &ckts.get(self.lane_die[lane]).elements[elem_idx]
                     else {
                         unreachable!("validated topology");
                     };
@@ -647,7 +689,7 @@ impl BatchWorkspace {
     // Lane loops deliberately index several parallel arrays by `lane`;
     // the iterator forms clippy suggests obscure that symmetry.
     #[allow(clippy::needless_range_loop)]
-    fn assemble_dyn(&mut self, ckts: &[&Circuit], x: &[f64], t: &[f64], companions: &[(f64, f64)]) {
+    fn assemble_dyn(&mut self, ckts: &Population, x: &[f64], t: &[f64], companions: &[(f64, f64)]) {
         let k = self.k;
         self.values.fill(0.0);
         self.b.fill(0.0);
@@ -742,7 +784,7 @@ impl BatchWorkspace {
     #[allow(clippy::needless_range_loop)]
     fn stamp_device(
         &mut self,
-        ckts: &[&Circuit],
+        ckts: &Population,
         elem_idx: usize,
         dev_idx: usize,
         x: &[f64],
@@ -765,7 +807,7 @@ impl BatchWorkspace {
             DeviceKind::PerLane(stamp) => {
                 let mut v = vec![0.0; nt];
                 for lane in 0..k {
-                    let Element::Nonlinear(d) = &ckts[self.lane_die[lane]].elements[elem_idx]
+                    let Element::Nonlinear(d) = &ckts.get(self.lane_die[lane]).elements[elem_idx]
                     else {
                         unreachable!("validated topology");
                     };
@@ -1013,7 +1055,7 @@ const MAX_HALVINGS: u32 = 12;
 
 /// The asynchronous K-lane engine streaming an N-die queue.
 struct QueueEngine<'a> {
-    ckts: &'a [&'a Circuit],
+    ckts: Population<'a>,
     spec: &'a TransientSpec,
     ws: BatchWorkspace,
     k: usize,
@@ -1045,11 +1087,28 @@ struct QueueEngine<'a> {
     steps_taken: Vec<usize>,
     /// Next queued die (population index).
     next_die: usize,
+    /// Recorded-node template, kept so streamed dies admitted mid-run
+    /// get the same column layout as the initial population.
+    record_nodes: Vec<NodeId>,
+    /// Per-lane seat instants; a streamed die's `wall_seconds` is its
+    /// lane-resident time (seat to retire).
+    seat_at: Vec<Instant>,
+    /// Streaming source, pulled (non-blockingly) at lane retirement
+    /// once the initial population is exhausted.
+    source: Option<&'a mut dyn FnMut() -> Option<Arc<Circuit>>>,
+    /// Streaming sink: each die's result is delivered the moment it
+    /// retires, keeping recorded waveforms O(active lanes).
+    sink: Option<&'a mut dyn FnMut(usize, TransientResult)>,
+    /// Dies delivered through `sink`.
+    delivered: usize,
 }
 
 impl<'a> QueueEngine<'a> {
-    fn new(ckts: &'a [&'a Circuit], k: usize, spec: &'a TransientSpec) -> Result<Self, SpiceError> {
-        let ws = BatchWorkspace::new(ckts, k)?;
+    fn new(ckts: Population<'a>, k: usize, spec: &'a TransientSpec) -> Result<Self, SpiceError> {
+        let ws = {
+            let refs = ckts.refs();
+            BatchWorkspace::new(&refs, k)?
+        };
         let n = ws.n;
         let n_node_unknowns = ws.n_node_unknowns;
         let n_dies = ckts.len();
@@ -1061,7 +1120,8 @@ impl<'a> QueueEngine<'a> {
             }
         }
 
-        let cap_nodes: Vec<(NodeId, NodeId)> = ckts[0]
+        let cap_nodes: Vec<(NodeId, NodeId)> = ckts
+            .get(0)
             .elements
             .iter()
             .filter_map(|e| match e {
@@ -1072,7 +1132,7 @@ impl<'a> QueueEngine<'a> {
         let n_caps = cap_nodes.len();
 
         let record_nodes: Vec<NodeId> = if spec.record_nodes.is_empty() {
-            (0..ckts[0].node_count()).map(NodeId).collect()
+            (0..ckts.get(0).node_count()).map(NodeId).collect()
         } else {
             let mut nodes = spec.record_nodes.clone();
             nodes.sort_unstable();
@@ -1134,6 +1194,11 @@ impl<'a> QueueEngine<'a> {
             stopped_early: vec![false; n_dies],
             steps_taken: vec![0usize; n_dies],
             next_die: 0,
+            record_nodes,
+            seat_at: vec![Instant::now(); k],
+            source: None,
+            sink: None,
+            delivered: 0,
         })
     }
 
@@ -1165,7 +1230,7 @@ impl<'a> QueueEngine<'a> {
             self.x[i * k + lane] = self.x0[i];
             self.x_try[i * k + lane] = self.x0[i];
         }
-        let c = self.ckts[die];
+        let c = self.ckts.get(die);
         let mut ci = 0usize;
         for e in &c.elements {
             if let Element::Capacitor { farads: f, .. } = e {
@@ -1202,7 +1267,8 @@ impl<'a> QueueEngine<'a> {
             crossings: 0,
             stop_prev,
         };
-        self.ws.reseat_lane(self.ckts, lane, die);
+        self.ws.reseat_lane(&self.ckts, lane, die);
+        self.seat_at[lane] = Instant::now();
         self.record(die, lane, 0.0);
     }
 
@@ -1313,7 +1379,7 @@ impl<'a> QueueEngine<'a> {
                 }
             }
             self.ws
-                .assemble(self.ckts, &self.x_try, &self.t_eval, &self.companions);
+                .assemble(&self.ckts, &self.x_try, &self.t_eval, &self.companions);
             let mut resid = std::mem::take(&mut self.ws.resid);
             self.ws
                 .pattern
@@ -1543,9 +1609,10 @@ impl<'a> QueueEngine<'a> {
                                     0.0,
                                 );
                             }
-                            if self.next_die < self.ckts.len() {
-                                let incoming = self.next_die;
-                                self.next_die += 1;
+                            if self.sink.is_some() {
+                                self.deliver(die, lane);
+                            }
+                            if let Some(incoming) = self.pull_next()? {
                                 if ring {
                                     rotsv_obs::record_event(
                                         rotsv_obs::EventKind::LaneRefill,
@@ -1605,6 +1672,76 @@ impl<'a> QueueEngine<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Hands a retired die's recorded waveforms to the streaming sink.
+    /// The per-die vectors are taken, not cloned, so a long-running
+    /// stream holds recorded data only for dies still in flight.
+    /// `wall_seconds` is the die's lane-resident time (seat to retire);
+    /// summing dies approximates `k ×` the stream's wall clock.
+    fn deliver(&mut self, die: usize, lane: usize) {
+        let time = std::mem::take(&mut self.time[die]);
+        let columns = std::mem::take(&mut self.columns[die]);
+        let current_columns = std::mem::take(&mut self.current_columns[die]);
+        let mut stats = self.ws.stats[die];
+        stats.wall_seconds = self.seat_at[lane].elapsed().as_secs_f64();
+        let res = TransientResult::from_parts(
+            time,
+            columns,
+            current_columns,
+            self.stopped_early[die],
+            self.steps_taken[die],
+            stats,
+        );
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink(die, res);
+        }
+        self.delivered += 1;
+    }
+
+    /// Picks the next die to seat: the remaining initial population
+    /// first, then (in streaming mode) one non-blocking pull from the
+    /// source. A sourced circuit is topology-checked against die 0 and
+    /// given freshly grown per-die recording storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidCircuit`] when the source yields a
+    /// circuit whose topology differs from the population's.
+    fn pull_next(&mut self) -> Result<Option<usize>, SpiceError> {
+        if self.next_die < self.ckts.len() {
+            let die = self.next_die;
+            self.next_die += 1;
+            return Ok(Some(die));
+        }
+        let Some(source) = self.source.as_deref_mut() else {
+            return Ok(None);
+        };
+        let Some(ckt) = source() else {
+            return Ok(None);
+        };
+        validate_topology(&[self.ckts.get(0), ckt.as_ref()])?;
+        self.ckts.push(ckt);
+        self.time.push(Vec::new());
+        self.columns.push(
+            self.record_nodes
+                .iter()
+                .map(|&nd| (nd, Vec::new()))
+                .collect(),
+        );
+        self.current_columns.push(
+            self.spec
+                .record_currents
+                .iter()
+                .map(|vs| (vs.0, Vec::new()))
+                .collect(),
+        );
+        self.stopped_early.push(false);
+        self.steps_taken.push(0);
+        self.ws.stats.push(SolverStats::default());
+        let die = self.next_die;
+        self.next_die += 1;
+        Ok(Some(die))
     }
 
     /// Consumes the engine into per-die results, in population order.
@@ -1729,7 +1866,7 @@ pub fn transient_queue(
     let k = lanes.clamp(1, ckts.len());
     let span = rotsv_obs::span!("transient_batch", "k" = k);
     let _ = &span;
-    let mut eng = QueueEngine::new(ckts, k, spec)?;
+    let mut eng = QueueEngine::new(Population::Borrowed(ckts), k, spec)?;
     let wall_start = Instant::now();
     let ring = rotsv_obs::events_enabled();
     let dropped_before = ring.then(|| rotsv_obs::event_ring().dropped());
@@ -1756,6 +1893,94 @@ pub fn transient_queue(
         }
     }
     Ok(eng.into_results(wall))
+}
+
+/// Open-ended streaming form of [`transient_queue`]: lanes refill from
+/// `source` instead of a fixed population, and each die's result is
+/// handed to `sink` the moment its lane retires.
+///
+/// This is the continuous-batching seam a resident screening server
+/// builds on — retired lanes pull the next admitted die mid-transient,
+/// so the engine never drains between requests that share a topology.
+/// `source` is polled **non-blockingly** at each retirement (and once
+/// up-front to top the initial batch up to `lanes`); returning `None`
+/// leaves the lane idle for the rest of the session — a server source
+/// should pop from its admission queue without waiting, and start a new
+/// engine session when more work arrives after a drain. `sink` receives
+/// `(die_index, result)` in retirement order (not population order);
+/// indices count from 0 over `initial` then each sourced circuit in
+/// pull order. Recorded waveforms are moved into the sink as dies
+/// retire, so memory stays proportional to the active lanes, not the
+/// session length. Each result's `wall_seconds` is the die's
+/// lane-resident time.
+///
+/// Per-die trajectories are bit-identical to [`transient_batch`] /
+/// [`transient_queue`] over the same circuits: every stepping decision
+/// is per-lane, so admission order and lane assignment are pure
+/// scheduling (see the module docs on composition independence).
+///
+/// Returns the number of dies completed and delivered to `sink`.
+///
+/// # Errors
+///
+/// As [`transient_queue`], plus [`SpiceError::InvalidCircuit`] when
+/// `source` yields a circuit whose topology differs from the first
+/// die's. With an empty `initial` the source is polled once; if it
+/// yields nothing, the call returns `Ok(0)`.
+pub fn transient_stream(
+    initial: Vec<Arc<Circuit>>,
+    lanes: usize,
+    spec: &TransientSpec,
+    source: &mut dyn FnMut() -> Option<Arc<Circuit>>,
+    sink: &mut dyn FnMut(usize, TransientResult),
+) -> Result<usize, SpiceError> {
+    let mut pop = initial;
+    if pop.is_empty() {
+        match source() {
+            Some(ckt) => pop.push(ckt),
+            None => return Ok(0),
+        }
+    }
+    // Top the batch up to the lane count before construction so the
+    // engine starts as full as the queue allows.
+    while pop.len() < lanes {
+        match source() {
+            Some(ckt) => pop.push(ckt),
+            None => break,
+        }
+    }
+    {
+        let refs: Vec<&Circuit> = pop.iter().map(|c| c.as_ref()).collect();
+        validate_spec(&refs, spec)?;
+    }
+    let k = lanes.clamp(1, pop.len());
+    let span = rotsv_obs::span!("transient_stream", "k" = k);
+    let _ = &span;
+    let ring = rotsv_obs::events_enabled();
+    let dropped_before = ring.then(|| rotsv_obs::event_ring().dropped());
+    let mut eng = QueueEngine::new(Population::Streamed(pop), k, spec)?;
+    eng.source = Some(source);
+    eng.sink = Some(sink);
+    for lane in 0..k {
+        if ring {
+            rotsv_obs::record_event(
+                rotsv_obs::EventKind::LaneSeat,
+                lane as u32,
+                lane as u32,
+                0.0,
+            );
+        }
+        eng.seat(lane, lane);
+    }
+    eng.next_die = k;
+    eng.run()?;
+    if let Some(before) = dropped_before {
+        if rotsv_obs::metrics_enabled() {
+            let delta = rotsv_obs::event_ring().dropped().saturating_sub(before);
+            rotsv_obs::metrics::counter("mc.ring_dropped_events").add(delta);
+        }
+    }
+    Ok(eng.delivered)
 }
 
 #[cfg(test)]
@@ -1903,6 +2128,75 @@ mod tests {
                 assert_eq!(a.solves, b.solves, "die {die}: solves");
             }
         }
+    }
+
+    /// The streaming engine (mid-run admission from a source, delivery
+    /// through a sink at retirement) reproduces the fixed-population
+    /// queue bit for bit, with every die delivered exactly once.
+    #[test]
+    fn stream_matches_queue_bit_for_bit() {
+        let rs = [1e3, 1.2e3, 0.8e3, 1.5e3, 0.9e3, 1.1e3];
+        let built: Vec<(Circuit, NodeId)> = rs.iter().map(|&r| rc_circuit(r, 1e-9)).collect();
+        let ckts: Vec<&Circuit> = built.iter().map(|(c, _)| c).collect();
+        let vout = built[0].1;
+        let spec = TransientSpec::new(3e-6, 2e-9)
+            .record(&[vout])
+            .step_control(StepControl::adaptive())
+            .stop_after_rising(vout, 0.5, 1);
+        let queued = transient_queue(&ckts, 2, &spec).unwrap();
+
+        // Start with one die seated; feed the rest one at a time from
+        // the source, exactly as a server admission queue would.
+        // Construction is deterministic, so rebuilding from the same
+        // parameters gives circuits identical to the queue run's.
+        let mut pending: std::collections::VecDeque<Arc<Circuit>> = rs
+            .iter()
+            .skip(1)
+            .map(|&r| Arc::new(rc_circuit(r, 1e-9).0))
+            .collect();
+        let initial = vec![Arc::new(rc_circuit(rs[0], 1e-9).0)];
+        let mut delivered: Vec<Option<TransientResult>> = (0..rs.len()).map(|_| None).collect();
+        let mut source = || pending.pop_front();
+        let mut sink = |die: usize, res: TransientResult| {
+            assert!(delivered[die].is_none(), "die {die} delivered twice");
+            delivered[die] = Some(res);
+        };
+        let n = transient_stream(initial, 2, &spec, &mut source, &mut sink).unwrap();
+        assert_eq!(n, rs.len());
+
+        for (die, res) in delivered.iter().enumerate() {
+            let res = res.as_ref().expect("every die delivered");
+            let q = &queued[die];
+            assert_eq!(q.time(), res.time(), "die {die}: time grid diverged");
+            assert_eq!(
+                q.waveform(vout).values(),
+                res.waveform(vout).values(),
+                "die {die}: waveform diverged"
+            );
+            assert_eq!(q.stopped_early(), res.stopped_early(), "die {die}");
+            let (a, b) = (q.stats(), res.stats());
+            assert_eq!(a.steps_accepted, b.steps_accepted, "die {die}: steps");
+            assert_eq!(a.newton_iterations, b.newton_iterations, "die {die}");
+        }
+    }
+
+    /// A sourced circuit with a different topology aborts the stream.
+    #[test]
+    fn stream_rejects_mismatched_source_topology() {
+        let (a, vout) = rc_circuit(1e3, 1e-9);
+        let mut b = Circuit::new();
+        let n1 = b.node("in");
+        b.add_resistor(n1, Circuit::GROUND, 1e3);
+        let spec = TransientSpec::new(3e-6, 2e-9)
+            .record(&[vout])
+            .stop_after_rising(vout, 0.5, 1);
+        let mut fed = false;
+        let bad = Arc::new(b);
+        let mut source = move || (!std::mem::replace(&mut fed, true)).then(|| Arc::clone(&bad));
+        let mut sink = |_die: usize, _res: TransientResult| {};
+        let err =
+            transient_stream(vec![Arc::new(a)], 1, &spec, &mut source, &mut sink).unwrap_err();
+        assert!(matches!(err, SpiceError::InvalidCircuit(_)));
     }
 
     /// Refill keeps the results in population order even though dies
