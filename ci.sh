@@ -5,7 +5,8 @@
 #   ./ci.sh lint    # fmt, clippy, rustdoc — all warnings denied
 #   ./ci.sh test    # release build + full test suite
 #   ./ci.sh gate    # smokes, golden regression, bench + server gates
-#   ./ci.sh         # all three, in order
+#   ./ci.sh portable # RUSTFLAGS-cleared build, scalar-dispatch agreement
+#   ./ci.sh         # all four, in order
 #
 # Run from the repo root; exits nonzero on the first failure.
 # Artifacts (run manifest, traces, golden diff, server smoke logs)
@@ -33,8 +34,8 @@ fi
 
 stage="${1:-all}"
 case "$stage" in
-  lint|test|gate|all) ;;
-  *) echo "usage: ci.sh [lint|test|gate|all]" >&2; exit 2 ;;
+  lint|test|gate|portable|all) ;;
+  *) echo "usage: ci.sh [lint|test|gate|portable|all]" >&2; exit 2 ;;
 esac
 
 artifacts="target/ci-artifacts"
@@ -186,14 +187,33 @@ gate_stage() {
   ./target/release/bench_solver --check
 }
 
+portable_stage() {
+  # The tree carries no target-cpu pin (runtime dispatch covers the
+  # wide vectors), so "portable" here means: any ambient RUSTFLAGS
+  # cleared, and the runtime dispatch forced down to the scalar
+  # fallback via ROTSV_SIMD=scalar — the configuration a machine
+  # without AVX lands on. The agreement suites then prove that path
+  # produces the same bits as the vectorised arms (the wide-lane suite
+  # re-raises the level internally, so on an AVX host it compares
+  # scalar against AVX2/AVX-512 output directly).
+  echo "==> portable build (RUSTFLAGS cleared, ROTSV_SIMD=scalar)"
+  RUSTFLAGS="" cargo build --release -p rotsv
+
+  echo "==> scalar-dispatch agreement suites (batched_engine, simd_wide_lanes)"
+  RUSTFLAGS="" ROTSV_SIMD=scalar cargo test -q -p rotsv --release \
+    --test batched_engine --test simd_wide_lanes
+}
+
 case "$stage" in
   lint) lint_stage ;;
   test) test_stage ;;
   gate) gate_stage ;;
+  portable) portable_stage ;;
   all)
     lint_stage
     test_stage
     gate_stage
+    portable_stage
     ;;
 esac
 

@@ -1,8 +1,10 @@
 //! Microbenchmarks of the structure-of-arrays batching kernels: the
 //! MOSFET bank evaluation against the equivalent scalar per-lane loop
-//! (the autovectorization claim of the batched engine), and the
+//! (the explicit-SIMD claim of the batched engine — `eval_lanes`
+//! dispatches to AVX-512/AVX2/scalar bodies at runtime), and the
 //! lane-interleaved sparse refactor+solve against K independent scalar
-//! factorizations.
+//! factorizations. The per-kernel table in PERFORMANCE.md's "SIMD
+//! dispatch" section quotes this bench.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rotsv::mosfet::model::MosDelta;
@@ -30,7 +32,7 @@ fn lanes(k: usize) -> Vec<Mosfet> {
 
 fn bench_mosfet_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("batched_mosfet_eval");
-    for k in [1usize, 4, 8] {
+    for k in [1usize, 4, 8, 16, 32, 64] {
         let devs = lanes(k);
         let refs: Vec<&Mosfet> = devs.iter().collect();
         let mut bank = MosfetBank::try_new(&refs).expect("uniform lanes");
@@ -87,7 +89,7 @@ fn bench_batched_lu(c: &mut Criterion) {
     let a = ladder(64);
     let nnz = a.values().len();
     let dim = a.dim();
-    for k in [1usize, 4, 8] {
+    for k in [1usize, 4, 8, 16, 32, 64] {
         // Lane-interleaved values: lane j scaled by (1 + j/16), the kind
         // of spread process variation produces.
         let mut values = vec![0.0; nnz * k];

@@ -5,7 +5,7 @@
 //! those populations — in parallel, reproducibly.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use rotsv_num::SymbolicCache;
 use rotsv_spice::{SolverStats, SpiceError};
@@ -73,6 +73,109 @@ pub fn auto_crossover() -> usize {
     AUTO_CROSSOVER.load(Ordering::Relaxed)
 }
 
+/// Measured lane table for [`McEngine::Auto`]: rows of
+/// `(population_floor, lanes)`. Empty means "use the built-in default"
+/// ([`DEFAULT_AUTO_LANE_TABLE`]).
+static AUTO_LANE_TABLE: Mutex<Vec<(usize, usize)>> = Mutex::new(Vec::new());
+
+/// The conservative built-in lane table: up to 16 lanes at any
+/// population size, matching the pre-measurement behavior. The
+/// experiments binary overwrites it with the table derived from
+/// `bench_solver`'s `batched_vs_scalar` rows when a benchmark baseline
+/// is available (wider K rows only enter once measured faster).
+pub const DEFAULT_AUTO_LANE_TABLE: &[(usize, usize)] = &[(1, 16)];
+
+/// Installs the measured lane table used by [`McEngine::Auto`]: each
+/// row `(floor, lanes)` says "populations of at least `floor` samples
+/// run best at `lanes` lanes". Rows are sorted by floor; the resolver
+/// picks the last row the population reaches and never exceeds the
+/// population itself. An empty table restores
+/// [`DEFAULT_AUTO_LANE_TABLE`].
+pub fn set_auto_lane_table(table: &[(usize, usize)]) {
+    let mut t: Vec<(usize, usize)> = table
+        .iter()
+        .copied()
+        .filter(|&(_, lanes)| lanes >= 1)
+        .collect();
+    t.sort_unstable();
+    *AUTO_LANE_TABLE.lock().expect("lane table lock") = t;
+}
+
+/// The lane table [`McEngine::Auto`] currently resolves against.
+pub fn auto_lane_table() -> Vec<(usize, usize)> {
+    let t = AUTO_LANE_TABLE.lock().expect("lane table lock");
+    if t.is_empty() {
+        DEFAULT_AUTO_LANE_TABLE.to_vec()
+    } else {
+        t.clone()
+    }
+}
+
+/// The lane width [`McEngine::Auto`] picks for a population of
+/// `samples` dies (before capping at the population size).
+fn auto_lanes_for(samples: usize) -> usize {
+    let mut lanes = 1;
+    for (floor, l) in auto_lane_table() {
+        if samples >= floor {
+            lanes = l;
+        } else {
+            break;
+        }
+    }
+    lanes
+}
+
+/// Installs the measured scalar→batched crossover
+/// ([`set_auto_crossover`]) and Auto lane table
+/// ([`set_auto_lane_table`]) from a `bench_solver` baseline file
+/// (`BENCH_solver.json`'s `batched_refill.crossover_samples` and
+/// `batched_refill.auto_lane_table` members). Returns `true` when
+/// anything was installed; a missing or malformed file leaves the
+/// defaults untouched. Both the experiments binary and the screening
+/// server load through here so every frontend resolves `Auto` the same
+/// way.
+pub fn load_measured_tuning(path: &std::path::Path) -> bool {
+    use rotsv_obs::json::Json;
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return false;
+    };
+    let Ok(doc) = rotsv_obs::json::parse(&text) else {
+        return false;
+    };
+    let refill = doc.get("batched_refill");
+    let mut installed = false;
+    if let Some(n) = refill
+        .and_then(|r| r.get("crossover_samples"))
+        .and_then(Json::as_f64)
+    {
+        if n >= 1.0 && n.fract() == 0.0 {
+            set_auto_crossover(n as usize);
+            installed = true;
+        }
+    }
+    if let Some(rows) = refill
+        .and_then(|r| r.get("auto_lane_table"))
+        .and_then(Json::as_arr)
+    {
+        let mut table = Vec::new();
+        for row in rows {
+            let Some(pair) = row.as_arr() else { continue };
+            let floor = pair.first().and_then(Json::as_f64);
+            let lanes = pair.get(1).and_then(Json::as_f64);
+            if let (Some(f), Some(l)) = (floor, lanes) {
+                if f >= 1.0 && f.fract() == 0.0 && l >= 1.0 && l.fract() == 0.0 {
+                    table.push((f as usize, l as usize));
+                }
+            }
+        }
+        if !table.is_empty() {
+            set_auto_lane_table(&table);
+            installed = true;
+        }
+    }
+    installed
+}
+
 /// Selects the engine [`delta_t_population`] uses process-wide.
 ///
 /// Backs the experiments binary's `--engine` flag (mirroring
@@ -111,10 +214,10 @@ pub fn mc_engine() -> McEngine {
 }
 
 /// Resolves [`McEngine::Auto`] for a population of `samples` dies:
-/// scalar below the measured crossover, otherwise the refill queue at up
-/// to 16 lanes (wider lanes stop paying off once the working set
-/// outgrows the cache lines the SoA kernels stream). Explicit engine
-/// choices pass through unchanged.
+/// scalar below the measured crossover, otherwise the refill queue at
+/// the lane width the measured lane table ([`set_auto_lane_table`])
+/// assigns to this population size, capped at the population itself.
+/// Explicit engine choices pass through unchanged.
 pub fn resolve_engine(engine: McEngine, samples: usize) -> McEngine {
     match engine {
         McEngine::Auto => {
@@ -122,7 +225,7 @@ pub fn resolve_engine(engine: McEngine, samples: usize) -> McEngine {
                 McEngine::Scalar
             } else {
                 McEngine::Batched {
-                    lanes: samples.min(16),
+                    lanes: samples.min(auto_lanes_for(samples)),
                 }
             }
         }
@@ -247,8 +350,14 @@ pub fn delta_t_population_with_engine(
             batched_measurements(bench, vdd, faults, under_test, spread, seed, samples, lanes)?
         }
     };
+    Ok(collect_population(measurements))
+}
+
+/// Folds per-die measurements into an [`McDeltaT`] and feeds the
+/// population metrics.
+fn collect_population(measurements: Vec<DeltaTMeasurement>) -> McDeltaT {
     let mut out = McDeltaT {
-        deltas: Vec::with_capacity(samples),
+        deltas: Vec::with_capacity(measurements.len()),
         stuck_count: 0,
         reference_failures: 0,
         stats: SolverStats::default(),
@@ -272,7 +381,152 @@ pub fn delta_t_population_with_engine(
         rotsv_obs::counter("mc.samples").add(out.total() as u64);
         rotsv_obs::counter("mc.stuck").add(out.stuck_count as u64);
     }
-    Ok(out)
+    out
+}
+
+/// A heterogeneous fault-sweep population: die `i` is measured under its
+/// *own* fault list `per_die_faults[i]` (all lists must share one matrix
+/// topology, e.g. a [`TsvFault::Leakage`] resistance ladder from
+/// hard-stuck to effectively fault-free). Sample `i` is still the die
+/// `Die::new(spread, die_seed(seed, i))`, so the sweep reuses the same
+/// dies as a homogeneous population with the same seed.
+///
+/// On the batched engines the whole sweep streams through one refill
+/// queue (or fixed chunks) per run — stuck dies retire their lanes
+/// early, which is exactly the workload where mid-transient refill and
+/// cohort scheduling pay off over chunking.
+///
+/// # Errors
+///
+/// Propagates the first simulator error encountered.
+///
+/// # Panics
+///
+/// Panics if `per_die_faults` is empty, its lists disagree with the
+/// bench segment count, or the fault lists mix matrix topologies.
+pub fn delta_t_fault_sweep(
+    bench: &TestBench,
+    vdd: f64,
+    per_die_faults: &[Vec<TsvFault>],
+    under_test: &[usize],
+    spread: ProcessSpread,
+    seed: u64,
+) -> Result<McDeltaT, SpiceError> {
+    delta_t_fault_sweep_with_engine(
+        bench,
+        vdd,
+        per_die_faults,
+        under_test,
+        spread,
+        seed,
+        mc_engine(),
+    )
+}
+
+/// [`delta_t_fault_sweep`] on an explicitly chosen engine, ignoring the
+/// process-wide [`set_mc_engine`] selection.
+///
+/// # Errors
+///
+/// Propagates the first simulator error encountered.
+///
+/// # Panics
+///
+/// Same conditions as [`delta_t_fault_sweep`].
+pub fn delta_t_fault_sweep_with_engine(
+    bench: &TestBench,
+    vdd: f64,
+    per_die_faults: &[Vec<TsvFault>],
+    under_test: &[usize],
+    spread: ProcessSpread,
+    seed: u64,
+    engine: McEngine,
+) -> Result<McDeltaT, SpiceError> {
+    let samples = per_die_faults.len();
+    assert!(samples > 0, "need at least one sample");
+    let span = rotsv_obs::span!("mc_fault_sweep", "samples" = samples);
+    span.field("vdd", vdd);
+    let measurements = match resolve_engine(engine, samples) {
+        McEngine::Scalar => {
+            let parent = rotsv_obs::current_path();
+            let results = rotsv_num::parallel::try_parallel_map(samples, |i| {
+                let sample_span = rotsv_obs::span::SpanGuard::enter_under(parent, "mc_sample");
+                sample_span.field("i", i as f64);
+                let die = Die::new(spread, die_seed(seed, i));
+                bench.measure_delta_t(vdd, &per_die_faults[i], under_test, &die)
+            });
+            results
+                .into_iter()
+                .map(|r| {
+                    r.map_err(|p| SpiceError::WorkerPanic {
+                        index: p.index,
+                        payload: p.payload,
+                    })?
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        }
+        McEngine::Auto => unreachable!("resolve_engine returns a concrete engine"),
+        McEngine::Batched { lanes } => {
+            let lanes = lanes.max(1);
+            let cache = Arc::new(SymbolicCache::new());
+            let opts = bench.opts_for(vdd);
+            // Cohort order applies to the dies *and* their fault lists
+            // together: the permutation is pure scheduling either way.
+            let order = cohort_order(spread, seed, samples);
+            let dies: Vec<Die> = order
+                .iter()
+                .map(|&i| Die::new(spread, die_seed(seed, i)))
+                .collect();
+            let die_refs: Vec<&Die> = dies.iter().collect();
+            let fault_refs: Vec<&[TsvFault]> = order
+                .iter()
+                .map(|&i| per_die_faults[i].as_slice())
+                .collect();
+            let queued = bench.measure_delta_t_queue_hetero_with(
+                vdd,
+                &fault_refs,
+                under_test,
+                &die_refs,
+                lanes,
+                &opts,
+                &cache,
+            )?;
+            let mut out: Vec<Option<DeltaTMeasurement>> = vec![None; samples];
+            for (&i, m) in order.iter().zip(queued) {
+                out[i] = Some(m);
+            }
+            out.into_iter()
+                .map(|m| m.expect("every sample measured exactly once"))
+                .collect()
+        }
+        McEngine::BatchedChunked { lanes } => {
+            let lanes = lanes.max(1);
+            let cache = Arc::new(SymbolicCache::new());
+            let opts = bench.opts_for(vdd);
+            let mut out = Vec::with_capacity(samples);
+            let mut start = 0;
+            while start < samples {
+                let end = (start + lanes).min(samples);
+                let dies: Vec<Die> = (start..end)
+                    .map(|i| Die::new(spread, die_seed(seed, i)))
+                    .collect();
+                let die_refs: Vec<&Die> = dies.iter().collect();
+                let fault_refs: Vec<&[TsvFault]> =
+                    (start..end).map(|i| per_die_faults[i].as_slice()).collect();
+                out.extend(bench.measure_delta_t_batch_hetero_with(
+                    vdd,
+                    &fault_refs,
+                    under_test,
+                    &die_refs,
+                    &opts,
+                    &cache,
+                )?);
+                start = end;
+            }
+            out
+        }
+    };
+    Ok(collect_population(measurements))
 }
 
 /// One scalar two-run measurement per die, fanned out across threads.
@@ -556,6 +810,38 @@ mod tests {
             resolve_engine(McEngine::Auto, 8),
             McEngine::Batched { lanes: 8 }
         );
+
+        // A measured lane table widens (or narrows) the pick per
+        // population size; the population itself still caps the width.
+        set_auto_crossover(2);
+        set_auto_lane_table(&[(1, 8), (32, 32), (64, 64)]);
+        assert_eq!(
+            resolve_engine(McEngine::Auto, 16),
+            McEngine::Batched { lanes: 8 }
+        );
+        assert_eq!(
+            resolve_engine(McEngine::Auto, 32),
+            McEngine::Batched { lanes: 32 }
+        );
+        assert_eq!(
+            resolve_engine(McEngine::Auto, 48),
+            McEngine::Batched { lanes: 32 }
+        );
+        assert_eq!(
+            resolve_engine(McEngine::Auto, 500),
+            McEngine::Batched { lanes: 64 }
+        );
+        assert_eq!(
+            resolve_engine(McEngine::Auto, 3),
+            McEngine::Batched { lanes: 3 }
+        );
+        // Empty table restores the built-in default.
+        set_auto_lane_table(&[]);
+        assert_eq!(auto_lane_table(), DEFAULT_AUTO_LANE_TABLE.to_vec());
+        assert_eq!(
+            resolve_engine(McEngine::Auto, 500),
+            McEngine::Batched { lanes: 16 }
+        );
         set_auto_crossover(saved);
     }
 
@@ -590,6 +876,49 @@ mod tests {
             "refill must be bit-identical to chunked batching"
         );
         let scalar = run(McEngine::Scalar);
+        assert_eq!(scalar.deltas.len(), queued.deltas.len());
+        for (i, (s, q)) in scalar.deltas.iter().zip(&queued.deltas).enumerate() {
+            let rel = (s - q).abs() / s.abs();
+            assert!(rel < 5e-3, "sample {i}: scalar {s} vs queued {q} ({rel})");
+        }
+    }
+
+    /// The heterogeneous fault-sweep contract: a mixed stuck/oscillating
+    /// leakage ladder must classify every die exactly as the scalar
+    /// engine does, and the refill queue must stay bit-identical to the
+    /// chunked cross-check even as stuck dies retire lanes early.
+    #[test]
+    fn hetero_fault_sweep_matches_scalar_and_is_refill_invariant() {
+        let bench = TestBench::fast(1);
+        // Leakage ladder: hard-stuck (300 Ω), then progressively weaker
+        // leaks up to effectively fault-free (1 GΩ) — one topology.
+        let ladder = [300.0, 500.0, 1e5, 1e7, 1e8, 1e9];
+        let per_die_faults: Vec<Vec<TsvFault>> = ladder
+            .iter()
+            .map(|&r| vec![TsvFault::Leakage { r: Ohms(r) }])
+            .collect();
+        let run = |engine| {
+            delta_t_fault_sweep_with_engine(
+                &bench,
+                1.1,
+                &per_die_faults,
+                &[0],
+                ProcessSpread::paper(),
+                23,
+                engine,
+            )
+            .unwrap()
+        };
+        let scalar = run(McEngine::Scalar);
+        let queued = run(McEngine::Batched { lanes: 2 });
+        let chunked = run(McEngine::BatchedChunked { lanes: 2 });
+        assert_eq!(
+            queued, chunked,
+            "hetero refill must be bit-identical to chunked batching"
+        );
+        assert!(scalar.stuck_count >= 1, "the 300 Ω die must be stuck");
+        assert_eq!(scalar.stuck_count, queued.stuck_count);
+        assert_eq!(scalar.reference_failures, queued.reference_failures);
         assert_eq!(scalar.deltas.len(), queued.deltas.len());
         for (i, (s, q)) in scalar.deltas.iter().zip(&queued.deltas).enumerate() {
             let rel = (s - q).abs() / s.abs();

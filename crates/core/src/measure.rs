@@ -310,6 +310,143 @@ impl TestBench {
             })
             .collect())
     }
+
+    /// Heterogeneous variant of [`TestBench::measure_delta_t_queue_with`]:
+    /// die `i` carries its *own* fault list `per_die_faults[i]` — a fault
+    /// sweep (e.g. a leakage-resistance ladder from hard-stuck to
+    /// effectively fault-free) streamed through one refill queue instead
+    /// of one transient per fault value.
+    ///
+    /// Every die's faults must produce the same matrix topology (e.g.
+    /// all [`rotsv_tsv::TsvFault::Leakage`] with different resistances):
+    /// the queue engine asserts topology uniformity across seated lanes.
+    /// Per-die results are bit-identical to measuring each die alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`TestBench::measure_delta_t`], plus a
+    /// `per_die_faults`/`dies` length mismatch or mixed-topology faults.
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_delta_t_queue_hetero_with(
+        &self,
+        vdd: f64,
+        per_die_faults: &[&[TsvFault]],
+        under_test: &[usize],
+        dies: &[&Die],
+        lanes: usize,
+        opts: &MeasureOpts,
+        cache: &Arc<SymbolicCache>,
+    ) -> Result<Vec<DeltaTMeasurement>, SpiceError> {
+        assert_eq!(
+            per_die_faults.len(),
+            dies.len(),
+            "one fault list per die in a heterogeneous sweep"
+        );
+        if dies.is_empty() {
+            return Ok(Vec::new());
+        }
+        let span = rotsv_obs::span!("measure_delta_t_queue_hetero", "vdd" = vdd);
+        span.field("lanes", lanes as f64);
+        span.field("dies", dies.len() as f64);
+        let build_all = |enabled: bool| -> Vec<RingOscillator> {
+            dies.iter()
+                .zip(per_die_faults)
+                .map(|(die, faults)| {
+                    let (en, by) = self.ro_configs(vdd, faults, under_test);
+                    let cfg = if enabled { en } else { by };
+                    let mut ro = RingOscillator::build(&cfg, &mut die.variation());
+                    ro.set_symbolic_cache(Arc::clone(cache));
+                    ro
+                })
+                .collect()
+        };
+        // Run 1: TSVs under test enabled, the whole sweep streamed.
+        let ros1 = build_all(true);
+        let refs1: Vec<&RingOscillator> = ros1.iter().collect();
+        let run1 = RingOscillator::measure_queue_with_stats(&refs1, lanes, opts)?;
+        // Run 2: all bypassed. Same dies — identical variation streams.
+        let ros2 = build_all(false);
+        let refs2: Vec<&RingOscillator> = ros2.iter().collect();
+        let run2 = RingOscillator::measure_queue_with_stats(&refs2, lanes, opts)?;
+        Ok(run1
+            .into_iter()
+            .zip(run2)
+            .map(|((t1, stats1), (t2, stats2))| {
+                let mut stats = stats1;
+                stats.merge(&stats2);
+                DeltaTMeasurement { t1, t2, stats }
+            })
+            .collect())
+    }
+
+    /// Heterogeneous variant of [`TestBench::measure_delta_t_batch_with`]
+    /// (fixed lockstep batch, no refill): die `i` carries its own fault
+    /// list. Same topology-uniformity requirement as
+    /// [`TestBench::measure_delta_t_queue_hetero_with`]; the chunked
+    /// cross-check for the heterogeneous refill benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as
+    /// [`TestBench::measure_delta_t_queue_hetero_with`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_delta_t_batch_hetero_with(
+        &self,
+        vdd: f64,
+        per_die_faults: &[&[TsvFault]],
+        under_test: &[usize],
+        dies: &[&Die],
+        opts: &MeasureOpts,
+        cache: &Arc<SymbolicCache>,
+    ) -> Result<Vec<DeltaTMeasurement>, SpiceError> {
+        assert_eq!(
+            per_die_faults.len(),
+            dies.len(),
+            "one fault list per die in a heterogeneous sweep"
+        );
+        if dies.is_empty() {
+            return Ok(Vec::new());
+        }
+        let span = rotsv_obs::span!("measure_delta_t_batch_hetero", "vdd" = vdd);
+        span.field("lanes", dies.len() as f64);
+        let build_all = |enabled: bool| -> Vec<RingOscillator> {
+            dies.iter()
+                .zip(per_die_faults)
+                .map(|(die, faults)| {
+                    let (en, by) = self.ro_configs(vdd, faults, under_test);
+                    let cfg = if enabled { en } else { by };
+                    let mut ro = RingOscillator::build(&cfg, &mut die.variation());
+                    ro.set_symbolic_cache(Arc::clone(cache));
+                    ro
+                })
+                .collect()
+        };
+        // Run 1: TSVs under test enabled, all dies as lanes.
+        let ros1 = build_all(true);
+        let refs1: Vec<&RingOscillator> = ros1.iter().collect();
+        let run1 = RingOscillator::measure_batch_with_stats(&refs1, opts)?;
+        // Run 2: all bypassed. Same dies — identical variation streams.
+        let ros2 = build_all(false);
+        let refs2: Vec<&RingOscillator> = ros2.iter().collect();
+        let run2 = RingOscillator::measure_batch_with_stats(&refs2, opts)?;
+        Ok(run1
+            .into_iter()
+            .zip(run2)
+            .map(|((t1, stats1), (t2, stats2))| {
+                let mut stats = stats1;
+                stats.merge(&stats2);
+                DeltaTMeasurement { t1, t2, stats }
+            })
+            .collect())
+    }
 }
 
 /// The pair of oscillation measurements of the two-run procedure.

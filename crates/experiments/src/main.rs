@@ -128,25 +128,12 @@ fn parse_engine(value: &str) -> Result<rotsv::McEngine, String> {
     }
 }
 
-/// Installs the measured scalar→batched crossover from the committed
-/// benchmark baseline, when one is present. `--engine auto` consults it
-/// per population; without a baseline the library default (2) holds.
+/// Installs the measured scalar→batched crossover and Auto lane table
+/// from the committed benchmark baseline, when one is present.
+/// `--engine auto` consults both per population; without a baseline the
+/// library defaults hold (crossover 2, up to 16 lanes).
 fn load_auto_crossover() {
-    let Ok(text) = fs::read_to_string("BENCH_solver.json") else {
-        return;
-    };
-    let Ok(doc) = rotsv_obs::json::parse(&text) else {
-        return;
-    };
-    if let Some(n) = doc
-        .get("batched_refill")
-        .and_then(|r| r.get("crossover_samples"))
-        .and_then(Json::as_f64)
-    {
-        if n >= 1.0 && n.fract() == 0.0 {
-            rotsv::mc::set_auto_crossover(n as usize);
-        }
-    }
+    rotsv::mc::load_measured_tuning(std::path::Path::new("BENCH_solver.json"));
 }
 
 /// Splits a comma-separated id list and resolves each id to its sample

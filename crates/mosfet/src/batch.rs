@@ -5,18 +5,24 @@
 //! [`MosfetBank`] therefore keeps the two varying quantities as per-lane
 //! arrays — the effective threshold `vth0 + ΔV_th` and the geometry
 //! factor `kp·W/L_eff` — and every other parameter once, then evaluates
-//! all lanes in one straight-line pass. The lane loop is branch-free
-//! (drain/source mirroring and the saturation selects compile to blends,
-//! the elementary functions come from `rotsv_num::lanes`), which is what
-//! lets the compiler autovectorize the model evaluation that dominates
-//! every transient's wall time.
+//! all lanes in one straight-line pass. The model body is written once,
+//! generic over a [`rotsv_num::simd::Simd`] ISA token (drain/source
+//! mirroring and the saturation selects are compare + blend, the
+//! elementary functions are the vector forms from `rotsv_num::lanes`),
+//! and dispatched at runtime to AVX-512, AVX2 or scalar lanes — the
+//! model evaluation dominates every transient's wall time, so this is
+//! the kernel the explicit-SIMD port pays off most on.
 //!
 //! Accuracy: identical formulation to [`MosParams::ids_with_grad`], with
-//! `lanes::softplus_sig` in place of `libm` — a few ulp of relative
-//! difference, orders of magnitude inside the batched engine's 0.5 %
-//! agreement budget against the scalar engine.
+//! the `lanes` elementary functions in place of `libm` — a few ulp of
+//! relative difference, orders of magnitude inside the batched engine's
+//! 0.5 % agreement budget against the scalar engine. Across its own
+//! dispatch arms the bank is *bit*-identical: every arm performs the
+//! same IEEE-exact operations in the same association order, with
+//! select-form conditionals and no fused multiply-adds.
 
 use rotsv_num::lanes;
+use rotsv_num::simd::{ScalarLanes, Simd};
 use rotsv_spice::{BatchedDeviceEval, NonlinearDevice};
 
 use crate::device::Mosfet;
@@ -102,95 +108,164 @@ impl MosfetBank {
 }
 
 impl MosfetBank {
-    /// Monomorphized evaluation: all `K == self.k` lanes advance through
-    /// the model together as `[f64; K]` arrays, so every model step
-    /// compiles to vector instructions and the serial latency of the
-    /// elementary-function polynomials is hidden across lanes.
+    /// Monomorphized evaluation: dispatches the lane sweep to the widest
+    /// SIMD arm `K` is a multiple of. Lane results are bit-identical
+    /// across arms (identical operations, association and selects), so
+    /// the dispatch decision never changes a transient.
     fn eval_k<const K: usize>(&self, v: &[f64], current: &mut [f64], jacobian: &mut [f64]) {
         debug_assert_eq!(self.k, K);
-        let (sign, s) = (self.sign, self.s);
-        let (gamma, phi, sqrt_phi) = (self.gamma, self.phi, self.sqrt_phi);
-        let (theta, lambda) = (self.theta, self.lambda);
-        // Lane-interleaved layout means one terminal's K lanes are
-        // contiguous: plain slice loads, no gathers.
-        let mut vd = [0.0; K];
-        let mut vg = [0.0; K];
-        let mut vs = [0.0; K];
-        let mut vb = [0.0; K];
-        for l in 0..K {
-            vd[l] = sign * v[l];
-            vg[l] = sign * v[K + l];
-            vs[l] = sign * v[2 * K + l];
-            vb[l] = sign * v[3 * K + l];
+        #[cfg(target_arch = "x86_64")]
+        {
+            use rotsv_num::simd::{self, Level};
+            let level = simd::level();
+            if K.is_multiple_of(8) && level == Level::Avx512 {
+                // SAFETY: `level()` is clamped to detected features.
+                return unsafe { self.eval_avx512::<K>(v, current, jacobian) };
+            }
+            if K.is_multiple_of(4) && level >= Level::Avx2 {
+                // SAFETY: `level()` is clamped to detected features.
+                return unsafe { self.eval_avx2::<K>(v, current, jacobian) };
+            }
         }
-        let mut fwd = [false; K];
-        let mut t0 = [0.0; K];
-        let mut vds = [0.0; K];
-        let mut vgs = [0.0; K];
-        let mut vsb = [0.0; K];
-        for l in 0..K {
-            fwd[l] = vd[l] >= vs[l];
-            let lo = if fwd[l] { vs[l] } else { vd[l] };
-            let hi = if fwd[l] { vd[l] } else { vs[l] };
-            vds[l] = hi - lo;
-            vgs[l] = vg[l] - lo;
-            vsb[l] = lo - vb[l];
-            t0[l] = (vsb[l] + phi) / s;
-        }
-        let (sp0, sig0) = lanes::softplus_sig_k(t0);
-        let mut vth = [0.0; K];
-        let mut dvth_dvsb = [0.0; K];
-        let mut t1 = [0.0; K];
-        for l in 0..K {
-            let vsb_eff = s * sp0[l];
-            let sqrt_vsb_eff = vsb_eff.sqrt();
-            vth[l] = self.vth_base[l] + gamma * (sqrt_vsb_eff - sqrt_phi);
-            dvth_dvsb[l] = gamma * sig0[l] / (2.0 * sqrt_vsb_eff);
-            t1[l] = (vgs[l] - vth[l]) / s;
-        }
-        let (sp1, sig1) = lanes::softplus_sig_k(t1);
-        for l in 0..K {
-            let vov = s * sp1[l];
-            let theta_den = 1.0 + theta * vov;
-            let beta = self.wl[l] / theta_den;
-            let dbeta_dvov = -beta * theta / theta_den;
-            let vdsat = vov.max(1e-12);
-            let u = vds[l] / vdsat;
-            let u2 = u * u;
-            let u4 = u2 * u2;
-            let den = (1.0 + u4).sqrt().sqrt();
-            let vds_eff = vds[l] / den;
-            let den4 = den * den * den * den;
-            let dveff_dvds = 1.0 / (den4 * den);
-            let dveff_dvdsat = if vov > 1e-12 {
-                u4 * u * dveff_dvds
-            } else {
-                0.0
-            };
-            let clm = 1.0 + lambda * vds[l];
-            let q = (vov - vds_eff / 2.0) * vds_eff;
-            let i_core = beta * q * clm;
-            let dq_dveff = vov - vds_eff;
-            let d_vds = beta * clm * dq_dveff * dveff_dvds + beta * q * lambda;
-            let di_dvov = (dbeta_dvov * q + beta * (vds_eff + dq_dveff * dveff_dvdsat)) * clm;
-            let d_vgs = di_dvov * sig1[l];
-            let d_vsb = -di_dvov * sig1[l] * dvth_dvsb[l];
-            let (i_n, gd, gg, gs, gb) = if fwd[l] {
-                (i_core, d_vds, d_vgs, -d_vds - d_vgs + d_vsb, -d_vsb)
-            } else {
-                (-i_core, d_vds + d_vgs - d_vsb, -d_vgs, -d_vds, d_vsb)
-            };
-            let id = sign * i_n;
-            current[l] = id;
-            current[K + l] = 0.0;
-            current[2 * K + l] = -id;
-            current[3 * K + l] = 0.0;
-            let grad = [gd, gg, gs, gb];
-            for (j, g) in grad.iter().enumerate() {
-                jacobian[j * K + l] = *g;
-                jacobian[(4 + j) * K + l] = 0.0;
-                jacobian[(8 + j) * K + l] = -g;
-                jacobian[(12 + j) * K + l] = 0.0;
+        // SAFETY: the scalar arm has no ISA requirements.
+        unsafe { self.eval_body::<K, ScalarLanes>(v, current, jacobian) }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    fn eval_avx512<const K: usize>(&self, v: &[f64], current: &mut [f64], jacobian: &mut [f64]) {
+        // SAFETY: caller verified avx512f; we are in a matching region.
+        unsafe { self.eval_body::<K, rotsv_num::simd::Avx512Lanes>(v, current, jacobian) }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    fn eval_avx2<const K: usize>(&self, v: &[f64], current: &mut [f64], jacobian: &mut [f64]) {
+        // SAFETY: caller verified avx2; we are in a matching region.
+        unsafe { self.eval_body::<K, rotsv_num::simd::Avx2Lanes>(v, current, jacobian) }
+    }
+
+    /// The model sweep: `K` lanes in `K / S::W` vector chunks. Every
+    /// operation mirrors [`MosfetBank::eval_dyn`] exactly — same IEEE
+    /// ops, same association, compare + blend for every conditional
+    /// (`max` included), no fused multiply-adds — so all dispatch arms
+    /// and the dynamic fallback agree to the bit.
+    ///
+    /// # Safety
+    ///
+    /// `S`'s ISA must be available and enabled in the enclosing region;
+    /// `K` must be a multiple of `S::W` and equal `self.k` (slices sized
+    /// as in [`BatchedDeviceEval::eval_lanes`]).
+    #[inline(always)]
+    unsafe fn eval_body<const K: usize, S: Simd>(
+        &self,
+        v: &[f64],
+        current: &mut [f64],
+        jacobian: &mut [f64],
+    ) {
+        debug_assert_eq!(K % S::W, 0);
+        let vp = v.as_ptr();
+        let cp = current.as_mut_ptr();
+        let jp = jacobian.as_mut_ptr();
+        let vthp = self.vth_base.as_ptr();
+        let wlp = self.wl.as_ptr();
+        // SAFETY (whole body): all offsets stay inside the 4·K / 16·K /
+        // K-sized slices asserted by `eval_lanes`; chunks are W-aligned
+        // within each terminal's contiguous K-lane group.
+        unsafe {
+            let sign = S::splat(self.sign);
+            let s = S::splat(self.s);
+            let phi = S::splat(self.phi);
+            let sqrt_phi = S::splat(self.sqrt_phi);
+            let gamma = S::splat(self.gamma);
+            let theta = S::splat(self.theta);
+            let lambda = S::splat(self.lambda);
+            let zero = S::splat(0.0);
+            let one = S::splat(1.0);
+            let two = S::splat(2.0);
+            let eps = S::splat(1e-12);
+            for c in (0..K).step_by(S::W) {
+                // Polarity mirror; lane-interleaved layout means one
+                // terminal's K lanes are contiguous: plain vector loads.
+                let vd = S::mul(sign, S::ld(vp.add(c)));
+                let vg = S::mul(sign, S::ld(vp.add(K + c)));
+                let vs = S::mul(sign, S::ld(vp.add(2 * K + c)));
+                let vb = S::mul(sign, S::ld(vp.add(3 * K + c)));
+                // Drain/source symmetry: operate on the lower terminal
+                // as source (compare + blend).
+                let fwd = S::ge(vd, vs);
+                let lo = S::sel(fwd, vs, vd);
+                let hi = S::sel(fwd, vd, vs);
+                let vds = S::sub(hi, lo);
+                let vgs = S::sub(vg, lo);
+                let vsb = S::sub(lo, vb);
+                // Body effect with the smooth clamp.
+                let (sp0, sig0) = lanes::softplus_sig_v::<S>(S::div(S::add(vsb, phi), s));
+                let vsb_eff = S::mul(s, sp0);
+                let sqrt_vsb_eff = S::sqrt(vsb_eff);
+                let vth = S::add(
+                    S::ld(vthp.add(c)),
+                    S::mul(gamma, S::sub(sqrt_vsb_eff, sqrt_phi)),
+                );
+                let dvth_dvsb = S::div(S::mul(gamma, sig0), S::mul(two, sqrt_vsb_eff));
+                // Smooth effective overdrive.
+                let (sp1, sig1) = lanes::softplus_sig_v::<S>(S::div(S::sub(vgs, vth), s));
+                let vov = S::mul(s, sp1);
+                let theta_den = S::add(one, S::mul(theta, vov));
+                let beta = S::div(S::ld(wlp.add(c)), theta_den);
+                let dbeta_dvov = S::div(S::mul(S::neg(beta), theta), theta_den);
+                // `vov.max(1e-12)` in select form: identical values
+                // (vov ≥ 0 by construction; a NaN picks eps both ways).
+                let vov_big = S::gt(vov, eps);
+                let vdsat = S::sel(vov_big, vov, eps);
+                let u = S::div(vds, vdsat);
+                let u2 = S::mul(u, u);
+                let u4 = S::mul(u2, u2);
+                let den = S::sqrt(S::sqrt(S::add(one, u4)));
+                let vds_eff = S::div(vds, den);
+                let den4 = S::mul(S::mul(S::mul(den, den), den), den);
+                let dveff_dvds = S::div(one, S::mul(den4, den));
+                let dveff_dvdsat = S::sel(vov_big, S::mul(S::mul(u4, u), dveff_dvds), zero);
+                let clm = S::add(one, S::mul(lambda, vds));
+                let q = S::mul(S::sub(vov, S::div(vds_eff, two)), vds_eff);
+                let i_core = S::mul(S::mul(beta, q), clm);
+                let dq_dveff = S::sub(vov, vds_eff);
+                let d_vds = S::add(
+                    S::mul(S::mul(S::mul(beta, clm), dq_dveff), dveff_dvds),
+                    S::mul(S::mul(beta, q), lambda),
+                );
+                let di_dvov = S::mul(
+                    S::add(
+                        S::mul(dbeta_dvov, q),
+                        S::mul(beta, S::add(vds_eff, S::mul(dq_dveff, dveff_dvdsat))),
+                    ),
+                    clm,
+                );
+                let d_vgs = S::mul(di_dvov, sig1);
+                let d_vsb = S::mul(S::mul(S::neg(di_dvov), sig1), dvth_dvsb);
+                // Un-mirror drain/source, then polarity.
+                let i_n = S::sel(fwd, i_core, S::neg(i_core));
+                let gd = S::sel(fwd, d_vds, S::sub(S::add(d_vds, d_vgs), d_vsb));
+                let gg = S::sel(fwd, d_vgs, S::neg(d_vgs));
+                let gs = S::sel(
+                    fwd,
+                    S::add(S::sub(S::neg(d_vds), d_vgs), d_vsb),
+                    S::neg(d_vds),
+                );
+                let gb = S::sel(fwd, S::neg(d_vsb), d_vsb);
+                let id = S::mul(sign, i_n);
+                // Channel current drain → source; gate and bulk rows zero.
+                S::st(cp.add(c), id);
+                S::st(cp.add(K + c), zero);
+                S::st(cp.add(2 * K + c), S::neg(id));
+                S::st(cp.add(3 * K + c), zero);
+                let grad = [gd, gg, gs, gb];
+                for (j, &g) in grad.iter().enumerate() {
+                    S::st(jp.add(j * K + c), g); // row 0: drain
+                    S::st(jp.add((4 + j) * K + c), zero); // row 1: gate
+                    S::st(jp.add((8 + j) * K + c), S::neg(g)); // row 2: source
+                    S::st(jp.add((12 + j) * K + c), zero); // row 3: bulk
+                }
             }
         }
     }
@@ -281,14 +356,17 @@ impl BatchedDeviceEval for MosfetBank {
         debug_assert_eq!(current.len(), 4 * k);
         debug_assert_eq!(jacobian.len(), 16 * k);
         // Monomorphized kernels for the common batch widths; lane results
-        // are bit-identical across the dispatch arms (the array-form
-        // elementary functions match the scalar ones bit for bit).
+        // are bit-identical across the dispatch arms and the dynamic
+        // fallback (the vector-form elementary functions match the
+        // scalar ones bit for bit).
         match k {
             1 => self.eval_k::<1>(v, current, jacobian),
             2 => self.eval_k::<2>(v, current, jacobian),
             4 => self.eval_k::<4>(v, current, jacobian),
             8 => self.eval_k::<8>(v, current, jacobian),
             16 => self.eval_k::<16>(v, current, jacobian),
+            32 => self.eval_k::<32>(v, current, jacobian),
+            64 => self.eval_k::<64>(v, current, jacobian),
             _ => self.eval_dyn(v, current, jacobian),
         }
     }

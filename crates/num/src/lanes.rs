@@ -12,6 +12,15 @@
 //! the simulator's operating range), far inside the batched engine's
 //! 0.5 % agreement budget against the scalar engine — which keeps using
 //! `libm` so the golden results stay untouched.
+//!
+//! Three forms of each function coexist, all bit-identical per lane:
+//! the scalar reference (`exp`), the const-K array form (`exp_k`, the
+//! autovectorizing fallback), and the explicit vector form (`exp_v`,
+//! generic over a [`crate::simd::Simd`] ISA token, used by the
+//! runtime-dispatched kernels). Identity holds because every form
+//! performs the same IEEE-exact operations in the same association
+//! order, uses select-form conditionals (never `maxpd`-style min/max),
+//! and never fuses a multiply-add.
 
 /// log2(e).
 const LOG2_E: f64 = std::f64::consts::LOG2_E;
@@ -21,6 +30,34 @@ const LN2_HI: f64 = f64::from_bits(0x3FE6_2E42_FEE0_0000); // ≈ 6.931471803691
 const LN2_LO: f64 = f64::from_bits(0x3DEA_39EF_3579_3C76); // ≈ 1.90821492927058770e-10
 /// 1.5 · 2⁵², the round-to-nearest-integer shifter.
 const SHIFT: f64 = 6_755_399_441_055_744.0;
+
+/// Select-form clamp to `[-60, 60]`, shared by every `exp` form.
+/// Identical to `f64::clamp(-60.0, 60.0)` for all inputs (including
+/// NaN, which passes through both) but expressed as two compares +
+/// selects so the scalar and vector arms lower to the same semantics.
+#[inline(always)]
+fn clamp_pm60(x: f64) -> f64 {
+    let x = if -60.0 > x { -60.0 } else { x };
+    if x > 60.0 {
+        60.0
+    } else {
+        x
+    }
+}
+
+/// Select-form `max(t, 0.0)`, shared by every softplus form. Identical
+/// in value to `f64::max(t, 0.0)` everywhere the result is consumed
+/// (NaN → 0.0 both ways; a `-0.0` vs `+0.0` pick is erased by the
+/// following add), but expressed as compare + select so scalar and
+/// vector arms match.
+#[inline(always)]
+fn max0(t: f64) -> f64 {
+    if t > 0.0 {
+        t
+    } else {
+        0.0
+    }
+}
 
 /// Branch-free `exp(x)` with the same `[-60, 60]` argument clamp as the
 /// scalar model's `safe_exp`.
@@ -43,7 +80,7 @@ const SHIFT: f64 = 6_755_399_441_055_744.0;
 /// ```
 #[inline(always)]
 pub fn exp(x: f64) -> f64 {
-    let x = x.clamp(-60.0, 60.0);
+    let x = clamp_pm60(x);
     // n = round(x / ln2) without a round() call: adding 1.5·2⁵² forces
     // the low mantissa bits to hold the rounded integer.
     let t = x * LOG2_E + SHIFT;
@@ -157,7 +194,7 @@ pub fn softplus_sig(t: f64) -> (f64, f64) {
     // clamp inside `exp` mirrors the scalar model's safe_exp.
     let e = exp(-t.abs());
     let q = e / (1.0 + e); // σ(-|t|) ∈ (0, 1/2]
-    let sp = t.max(0.0) + ln1p01(e);
+    let sp = max0(t) + ln1p01(e);
     let big = t > 30.0;
     let sp = if big { t } else { sp };
     let sig_pos = if big { 1.0 } else { 1.0 - q };
@@ -188,7 +225,7 @@ pub fn exp_k<const K: usize>(x: [f64; K]) -> [f64; K] {
     let mut n = [0.0; K];
     let mut r = [0.0; K];
     for l in 0..K {
-        let xl = x[l].clamp(-60.0, 60.0);
+        let xl = clamp_pm60(x[l]);
         let t = xl * LOG2_E + SHIFT;
         n[l] = t - SHIFT;
         r[l] = (xl - n[l] * LN2_HI) - n[l] * LN2_LO;
@@ -247,13 +284,138 @@ pub fn softplus_sig_k<const K: usize>(t: [f64; K]) -> ([f64; K], [f64; K]) {
     let mut sig = [0.0; K];
     for l in 0..K {
         let q = e[l] / (1.0 + e[l]);
-        let sp0 = t[l].max(0.0) + ln[l];
+        let sp0 = max0(t[l]) + ln[l];
         let big = t[l] > 30.0;
         sp[l] = if big { t[l] } else { sp0 };
         let sig_pos = if big { 1.0 } else { 1.0 - q };
         sig[l] = if t[l] >= 0.0 { sig_pos } else { q };
     }
     (sp, sig)
+}
+
+use crate::simd::Simd;
+
+/// Explicit vector form of [`exp`], generic over an ISA token.
+///
+/// Performs the scalar function's operations — select-form clamp,
+/// shift-trick range reduction, the same Estrin association, exponent
+/// reassembly via [`Simd::exp2_from_shifted`] — one vector at a time,
+/// so every lane is **bit-identical** to [`exp`] of that lane.
+///
+/// # Safety
+///
+/// Instantiating at a wide token executes that ISA's instructions: the
+/// caller must guarantee the features are available (see
+/// [`crate::simd::level`]) and should call from a matching
+/// `#[target_feature]` region.
+#[inline(always)]
+pub unsafe fn exp_v<S: Simd>(x: S::V) -> S::V {
+    // SAFETY: caller upholds the ISA contract; ops are lane-wise exact.
+    unsafe {
+        let lo = S::splat(-60.0);
+        let hi = S::splat(60.0);
+        let x = S::sel(S::gt(lo, x), lo, x);
+        let x = S::sel(S::gt(x, hi), hi, x);
+        let t = S::add(S::mul(x, S::splat(LOG2_E)), S::splat(SHIFT));
+        let n = S::sub(t, S::splat(SHIFT));
+        let r = S::sub(
+            S::sub(x, S::mul(n, S::splat(LN2_HI))),
+            S::mul(n, S::splat(LN2_LO)),
+        );
+        let c = &EXP_C;
+        let r2 = S::mul(r, r);
+        let r4 = S::mul(r2, r2);
+        let a0 = S::add(
+            S::add(S::splat(c[0]), S::mul(S::splat(c[1]), r)),
+            S::mul(r2, S::add(S::splat(c[2]), S::mul(S::splat(c[3]), r))),
+        );
+        let a1 = S::add(
+            S::add(S::splat(c[4]), S::mul(S::splat(c[5]), r)),
+            S::mul(r2, S::add(S::splat(c[6]), S::mul(S::splat(c[7]), r))),
+        );
+        let a2 = S::add(
+            S::add(S::splat(c[8]), S::mul(S::splat(c[9]), r)),
+            S::mul(r2, S::add(S::splat(c[10]), S::mul(S::splat(c[11]), r))),
+        );
+        let a3 = S::add(S::splat(c[12]), S::mul(S::splat(c[13]), r));
+        let p = S::add(
+            a0,
+            S::mul(r4, S::add(a1, S::mul(r4, S::add(a2, S::mul(r4, a3))))),
+        );
+        S::mul(p, S::exp2_from_shifted(t))
+    }
+}
+
+/// Explicit vector form of [`ln1p01`] (domain `u ∈ [0, 1]` per lane);
+/// bit-identical per lane to the scalar function.
+///
+/// # Safety
+///
+/// Same ISA contract as [`exp_v`].
+#[inline(always)]
+pub unsafe fn ln1p01_v<S: Simd>(u: S::V) -> S::V {
+    // SAFETY: caller upholds the ISA contract; ops are lane-wise exact.
+    unsafe {
+        let d = &LN_D;
+        let w = S::div(u, S::add(S::splat(2.0), u));
+        let w2 = S::mul(w, w);
+        let w4 = S::mul(w2, w2);
+        let w8 = S::mul(w4, w4);
+        let b0 = S::add(
+            S::add(S::splat(d[0]), S::mul(S::splat(d[1]), w2)),
+            S::mul(w4, S::add(S::splat(d[2]), S::mul(S::splat(d[3]), w2))),
+        );
+        let b1 = S::add(
+            S::add(S::splat(d[4]), S::mul(S::splat(d[5]), w2)),
+            S::mul(w4, S::add(S::splat(d[6]), S::mul(S::splat(d[7]), w2))),
+        );
+        let b2 = S::add(
+            S::add(S::splat(d[8]), S::mul(S::splat(d[9]), w2)),
+            S::mul(w4, S::add(S::splat(d[10]), S::mul(S::splat(d[11]), w2))),
+        );
+        let b3 = S::add(
+            S::add(S::splat(d[12]), S::mul(S::splat(d[13]), w2)),
+            S::mul(w4, S::add(S::splat(d[14]), S::mul(S::splat(d[15]), w2))),
+        );
+        let s = S::add(
+            b0,
+            S::mul(
+                w8,
+                S::add(
+                    b1,
+                    S::mul(
+                        w8,
+                        S::add(b2, S::mul(w8, S::add(b3, S::mul(w8, S::splat(d[16]))))),
+                    ),
+                ),
+            ),
+        );
+        S::mul(S::mul(S::splat(2.0), w), s)
+    }
+}
+
+/// Explicit vector form of [`softplus_sig`]: `(softplus, sigma)` per
+/// lane, bit-identical to the scalar pair (same select structure — the
+/// big-argument short-circuit and the sign split are blends).
+///
+/// # Safety
+///
+/// Same ISA contract as [`exp_v`].
+#[inline(always)]
+pub unsafe fn softplus_sig_v<S: Simd>(t: S::V) -> (S::V, S::V) {
+    // SAFETY: caller upholds the ISA contract; ops are lane-wise exact.
+    unsafe {
+        let e = exp_v::<S>(S::neg(S::abs(t)));
+        let one = S::splat(1.0);
+        let zero = S::splat(0.0);
+        let q = S::div(e, S::add(one, e));
+        let sp0 = S::add(S::sel(S::gt(t, zero), t, zero), ln1p01_v::<S>(e));
+        let big = S::gt(t, S::splat(30.0));
+        let sp = S::sel(big, t, sp0);
+        let sig_pos = S::sel(big, one, S::sub(one, q));
+        let sig = S::sel(S::ge(t, zero), sig_pos, q);
+        (sp, sig)
+    }
 }
 
 #[cfg(test)]
@@ -349,6 +511,124 @@ mod tests {
             }
             t += 0.391;
         }
+    }
+
+    /// The explicit vector forms must be bit-identical to the scalar
+    /// reference at every ISA level the hardware supports — this is the
+    /// foundation the dispatched kernels' bit-identity contract rests
+    /// on.
+    #[test]
+    fn vector_forms_are_bit_identical_to_scalar() {
+        use crate::simd::{detected, Level, ScalarLanes, Simd};
+
+        #[inline(always)]
+        unsafe fn sweep<S: Simd>(xs: &[f64], sp: &mut [f64], sig: &mut [f64], ex: &mut [f64]) {
+            let mut i = 0;
+            while i + S::W <= xs.len() {
+                // SAFETY: chunk bounds checked; caller provides the ISA.
+                unsafe {
+                    let t = S::ld(xs.as_ptr().add(i));
+                    let (a, b) = softplus_sig_v::<S>(t);
+                    S::st(sp.as_mut_ptr().add(i), a);
+                    S::st(sig.as_mut_ptr().add(i), b);
+                    S::st(ex.as_mut_ptr().add(i), exp_v::<S>(t));
+                }
+                i += S::W;
+            }
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        fn sweep_avx2(xs: &[f64], sp: &mut [f64], sig: &mut [f64], ex: &mut [f64]) {
+            // SAFETY: inside an avx2 region.
+            unsafe { sweep::<crate::simd::Avx2Lanes>(xs, sp, sig, ex) }
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx512f")]
+        fn sweep_avx512(xs: &[f64], sp: &mut [f64], sig: &mut [f64], ex: &mut [f64]) {
+            // SAFETY: inside an avx512f region.
+            unsafe { sweep::<crate::simd::Avx512Lanes>(xs, sp, sig, ex) }
+        }
+
+        let mut xs: Vec<f64> = Vec::new();
+        let mut t = -70.0;
+        while t < 70.0 {
+            xs.push(t);
+            t += 0.173;
+        }
+        xs.extend_from_slice(&[
+            0.0,
+            -0.0,
+            29.999,
+            30.0,
+            30.001,
+            60.0,
+            -60.0,
+            1e9,
+            -1e9,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ]);
+        while !xs.len().is_multiple_of(8) {
+            xs.push(0.5);
+        }
+        let n = xs.len();
+
+        let mut want_sp = vec![0.0; n];
+        let mut want_sig = vec![0.0; n];
+        let mut want_ex = vec![0.0; n];
+        for (i, &x) in xs.iter().enumerate() {
+            let (a, b) = softplus_sig(x);
+            want_sp[i] = a;
+            want_sig[i] = b;
+            want_ex[i] = exp(x);
+        }
+
+        let check = |name: &str, sp: &[f64], sig: &[f64], ex: &[f64]| {
+            for i in 0..n {
+                assert_eq!(
+                    sp[i].to_bits(),
+                    want_sp[i].to_bits(),
+                    "{name} sp at {}",
+                    xs[i]
+                );
+                assert_eq!(
+                    sig[i].to_bits(),
+                    want_sig[i].to_bits(),
+                    "{name} sig at {}",
+                    xs[i]
+                );
+                assert_eq!(
+                    ex[i].to_bits(),
+                    want_ex[i].to_bits(),
+                    "{name} exp at {}",
+                    xs[i]
+                );
+            }
+        };
+
+        let (mut sp, mut sig, mut ex) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        // SAFETY: the scalar arm has no ISA requirements.
+        unsafe { sweep::<ScalarLanes>(&xs, &mut sp, &mut sig, &mut ex) };
+        check("scalar", &sp, &sig, &ex);
+
+        #[cfg(target_arch = "x86_64")]
+        {
+            if detected() >= Level::Avx2 {
+                let (mut sp, mut sig, mut ex) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+                // SAFETY: detection confirmed avx2.
+                unsafe { sweep_avx2(&xs, &mut sp, &mut sig, &mut ex) };
+                check("avx2", &sp, &sig, &ex);
+            }
+            if detected() >= Level::Avx512 {
+                let (mut sp, mut sig, mut ex) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+                // SAFETY: detection confirmed avx512f.
+                unsafe { sweep_avx512(&xs, &mut sp, &mut sig, &mut ex) };
+                check("avx512", &sp, &sig, &ex);
+            }
+        }
+        let _ = detected();
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //!   topology-keyed [`sparse::SymbolicCache`], and a lane-interleaved
 //!   [`sparse::BatchedLu`] for lockstep Monte-Carlo batches,
 //! * [`lanes`] — branch-free elementary functions (`exp`, softplus)
-//!   written so lane loops over them autovectorize,
+//!   written so lane loops over them autovectorize, plus explicit
+//!   vector forms generic over a [`simd`] ISA token,
+//! * [`simd`] — runtime-dispatched `f64` lane vectors (AVX-512 / AVX2 /
+//!   scalar, detected once per process) that the batched hot kernels
+//!   are written against,
 //! * [`stats`] — population statistics for Monte-Carlo spread/overlap
 //!   analysis (Figs. 7, 9 and 10 of the paper),
 //! * [`rng`] — seeded Gaussian sampling for process variation,
@@ -54,6 +58,7 @@ pub mod linsolve;
 pub mod matrix;
 pub mod parallel;
 pub mod rng;
+pub mod simd;
 pub mod sparse;
 pub mod stats;
 pub mod units;

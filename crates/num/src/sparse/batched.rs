@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use crate::linsolve::SolveError;
+use crate::simd::{self, ScalarLanes, Simd};
 
 use super::symbolic::SymbolicLu;
 use super::{SparseMatrix, PIVOT_EPS, PIVOT_GROWTH_LIMIT};
@@ -170,6 +171,8 @@ impl BatchedLu {
                 7 => self.refactor_lanes_k::<7>(pattern, values),
                 8 => self.refactor_lanes_k::<8>(pattern, values),
                 16 => self.refactor_lanes_k::<16>(pattern, values),
+                32 => self.refactor_lanes_k::<32>(pattern, values),
+                64 => self.refactor_lanes_k::<64>(pattern, values),
                 _ => self.refactor_lanes(pattern, values),
             };
             self.observe_sweep(t0);
@@ -302,15 +305,18 @@ impl BatchedLu {
                     self.work[sym.lu_col_idx[m] * k + lane] -= l * self.lu_values[m * k + lane];
                 }
             }
-            // Gather the finished row, then check the pivot and the
-            // multiplier growth (the slots left of the diagonal hold the
-            // row's L multipliers).
-            for s in lo..hi {
-                self.lu_values[s * k + lane] = self.work[sym.lu_col_idx[s] * k + lane];
-            }
+            // Gather the finished row, accumulating the multiplier
+            // growth in the same pass (the slots left of the diagonal
+            // hold the row's L multipliers), then check the pivot.
             let mut lmax = 0.0f64;
             for s in lo..sym.diag_slot[i] {
-                lmax = lmax.max(self.lu_values[s * k + lane].abs());
+                let v = self.work[sym.lu_col_idx[s] * k + lane];
+                self.lu_values[s * k + lane] = v;
+                let a = v.abs();
+                lmax = if a > lmax { a } else { lmax };
+            }
+            for s in sym.diag_slot[i]..hi {
+                self.lu_values[s * k + lane] = self.work[sym.lu_col_idx[s] * k + lane];
             }
             let piv = self.lu_values[sym.diag_slot[i] * k + lane].abs();
             if piv <= PIVOT_EPS || !piv.is_finite() || lmax > PIVOT_GROWTH_LIMIT {
@@ -320,85 +326,160 @@ impl BatchedLu {
         Ok(())
     }
 
-    /// Monomorphized Doolittle sweep: same elimination order as
-    /// [`BatchedLu::refactor_lanes`] (bit-identical results), with the
-    /// multiplier row in `K` registers and const-length lane loops that
-    /// compile to straight vector code.
-    // Lane loops deliberately index several parallel arrays by `lane`;
-    // the iterator forms clippy suggests obscure that symmetry.
-    #[allow(clippy::needless_range_loop)]
+    /// Monomorphized Doolittle sweep, dispatched to the widest SIMD arm
+    /// the detected ISA supports and `K` is a multiple of. All arms run
+    /// [`BatchedLu::refactor_sweep_body`] — same elimination order,
+    /// IEEE-exact lane-wise ops only — so results are bit-identical
+    /// across dispatch levels and to [`BatchedLu::refactor_lane`].
     fn refactor_lanes_k<const K: usize>(
         &mut self,
         pattern: &SparseMatrix,
         values: &[f64],
     ) -> Result<(), (usize, SolveError)> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use crate::simd::Level;
+            let level = simd::level();
+            if K.is_multiple_of(8) && level == Level::Avx512 {
+                // SAFETY: `level()` is clamped to detected features.
+                return unsafe { self.refactor_sweep_avx512::<K>(pattern, values) };
+            }
+            if K.is_multiple_of(4) && level >= Level::Avx2 {
+                // SAFETY: `level()` is clamped to detected features.
+                return unsafe { self.refactor_sweep_avx2::<K>(pattern, values) };
+            }
+        }
+        // SAFETY: the scalar arm has no ISA requirements.
+        unsafe { self.refactor_sweep_body::<K, ScalarLanes>(pattern, values) }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    fn refactor_sweep_avx512<const K: usize>(
+        &mut self,
+        pattern: &SparseMatrix,
+        values: &[f64],
+    ) -> Result<(), (usize, SolveError)> {
+        // SAFETY: caller verified avx512f; we are in a matching region.
+        unsafe { self.refactor_sweep_body::<K, crate::simd::Avx512Lanes>(pattern, values) }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    fn refactor_sweep_avx2<const K: usize>(
+        &mut self,
+        pattern: &SparseMatrix,
+        values: &[f64],
+    ) -> Result<(), (usize, SolveError)> {
+        // SAFETY: caller verified avx2; we are in a matching region.
+        unsafe { self.refactor_sweep_body::<K, crate::simd::Avx2Lanes>(pattern, values) }
+    }
+
+    /// The Doolittle sweep kernel: `K` lanes in `K / S::W` vector
+    /// chunks. Per-lane arithmetic and ordering are exactly those of
+    /// [`BatchedLu::refactor_lane`]; the multiplier-growth maximum is
+    /// accumulated during the L-part gather (one pass, select-form
+    /// max), and the pivot acceptance check stays scalar so error
+    /// classification is identical in every arm.
+    ///
+    /// # Safety
+    ///
+    /// `S`'s ISA must be available and enabled in the enclosing region;
+    /// `K` must be a multiple of `S::W` and equal `self.k`.
+    #[inline(always)]
+    unsafe fn refactor_sweep_body<const K: usize, S: Simd>(
+        &mut self,
+        pattern: &SparseMatrix,
+        values: &[f64],
+    ) -> Result<(), (usize, SolveError)> {
         debug_assert_eq!(self.k, K);
-        let sym = &self.sym;
-        for i in 0..sym.n {
-            let (lo, hi) = (sym.lu_row_ptr[i], sym.lu_row_ptr[i + 1]);
-            for s in lo..hi {
-                let base = sym.lu_col_idx[s] * K;
-                self.work[base..base + K].fill(0.0);
-            }
-            // Scatter row perm[i] of A (all lanes at once) through the
-            // analysis map.
-            let abase = pattern.row_ptr[sym.perm[i]];
-            for (t, q) in (sym.amap_ptr[i]..sym.amap_ptr[i + 1]).enumerate() {
-                let sc = sym.amap_scale[q];
-                let src = (abase + t) * K;
-                let dest = sym.amap_dest[q];
-                let dst = (dest >> 1) * K;
-                if dest & 1 == 0 {
-                    for lane in 0..K {
-                        self.work[dst + lane] = values[src + lane] * sc;
-                    }
-                } else {
-                    for lane in 0..K {
-                        self.off_values[dst + lane] = values[src + lane] * sc;
+        debug_assert_eq!(K % S::W, 0);
+        debug_assert_eq!(values.len(), pattern.nnz() * K);
+        let sym = Arc::clone(&self.sym);
+        let wp = self.work.as_mut_ptr();
+        let lup = self.lu_values.as_mut_ptr();
+        let offp = self.off_values.as_mut_ptr();
+        let vp = values.as_ptr();
+        // SAFETY (whole body): all indices come from the symbolic
+        // analysis, which the constructor sized every buffer against;
+        // chunks stay inside `slot * K + K` because `K % S::W == 0`.
+        unsafe {
+            let zero = S::splat(0.0);
+            for i in 0..sym.n {
+                let (lo, hi) = (sym.lu_row_ptr[i], sym.lu_row_ptr[i + 1]);
+                for s in lo..hi {
+                    let base = sym.lu_col_idx[s] * K;
+                    for c in (0..K).step_by(S::W) {
+                        S::st(wp.add(base + c), zero);
                     }
                 }
-            }
-            // Eliminate in-block columns j < i in ascending order, lanes
-            // in lockstep.
-            for s in lo..sym.diag_slot[i] {
-                let j = sym.lu_col_idx[s];
-                let dj = sym.diag_slot[j] * K;
-                let mut lrow = [0.0; K];
-                for lane in 0..K {
-                    let l = self.work[j * K + lane] / self.lu_values[dj + lane];
-                    lrow[lane] = l;
-                    self.work[j * K + lane] = l;
-                }
-                for m in (sym.diag_slot[j] + 1)..sym.lu_row_ptr[j + 1] {
-                    let dst = sym.lu_col_idx[m] * K;
-                    let lum = m * K;
-                    for lane in 0..K {
-                        self.work[dst + lane] -= lrow[lane] * self.lu_values[lum + lane];
+                // Scatter row perm[i] of A (all lanes at once) through
+                // the analysis map.
+                let abase = pattern.row_ptr[sym.perm[i]];
+                for (t, q) in (sym.amap_ptr[i]..sym.amap_ptr[i + 1]).enumerate() {
+                    let sc = S::splat(sym.amap_scale[q]);
+                    let src = (abase + t) * K;
+                    let dest = sym.amap_dest[q];
+                    let dst = (dest >> 1) * K;
+                    let out = if dest & 1 == 0 { wp } else { offp };
+                    for c in (0..K).step_by(S::W) {
+                        let v = S::mul(S::ld(vp.add(src + c)), sc);
+                        S::st(out.add(dst + c), v);
                     }
                 }
-            }
-            // Gather the finished row, then check every lane's pivot and
-            // multiplier growth (the slots left of the diagonal hold the
-            // row's L multipliers).
-            for s in lo..hi {
-                let src = sym.lu_col_idx[s] * K;
-                let dst = s * K;
-                for lane in 0..K {
-                    self.lu_values[dst + lane] = self.work[src + lane];
+                // Eliminate in-block columns j < i in ascending order,
+                // lanes in lockstep (chunk-outer keeps the multiplier in
+                // a register across the update row).
+                for s in lo..sym.diag_slot[i] {
+                    let j = sym.lu_col_idx[s];
+                    let dj = sym.diag_slot[j] * K;
+                    let jb = j * K;
+                    let m_lo = sym.diag_slot[j] + 1;
+                    let m_hi = sym.lu_row_ptr[j + 1];
+                    for c in (0..K).step_by(S::W) {
+                        let l = S::div(S::ld(wp.add(jb + c)), S::ld(lup.add(dj + c)));
+                        S::st(wp.add(jb + c), l);
+                        for m in m_lo..m_hi {
+                            let dst = sym.lu_col_idx[m] * K + c;
+                            let cur = S::ld(wp.add(dst));
+                            S::st(
+                                wp.add(dst),
+                                S::sub(cur, S::mul(l, S::ld(lup.add(m * K + c)))),
+                            );
+                        }
+                    }
                 }
-            }
-            let mut lmax = [0.0f64; K];
-            for s in lo..sym.diag_slot[i] {
-                let base = s * K;
-                for lane in 0..K {
-                    lmax[lane] = lmax[lane].max(self.lu_values[base + lane].abs());
+                // Gather the finished row; the L part accumulates the
+                // per-lane multiplier growth in the same pass.
+                let dsl = sym.diag_slot[i];
+                let mut lmax = [0.0f64; K];
+                let lmp = lmax.as_mut_ptr();
+                for s in lo..dsl {
+                    let src = sym.lu_col_idx[s] * K;
+                    let dst = s * K;
+                    for c in (0..K).step_by(S::W) {
+                        let v = S::ld(wp.add(src + c));
+                        S::st(lup.add(dst + c), v);
+                        let acc = S::ld(lmp.add(c) as *const f64);
+                        S::st(lmp.add(c), S::max_sel(S::abs(v), acc));
+                    }
                 }
-            }
-            let dslot = sym.diag_slot[i] * K;
-            for lane in 0..K {
-                let piv = self.lu_values[dslot + lane].abs();
-                if piv <= PIVOT_EPS || !piv.is_finite() || lmax[lane] > PIVOT_GROWTH_LIMIT {
-                    return Err((lane, SolveError::Singular { column: i }));
+                for s in dsl..hi {
+                    let src = sym.lu_col_idx[s] * K;
+                    let dst = s * K;
+                    for c in (0..K).step_by(S::W) {
+                        S::st(lup.add(dst + c), S::ld(wp.add(src + c)));
+                    }
+                }
+                // Scalar pivot acceptance, identical in every arm. Reads
+                // go through the same raw pointer as the writes so the
+                // pointer's provenance stays valid for the next row.
+                let dslot = dsl * K;
+                for (lane, &lm) in lmax.iter().enumerate() {
+                    let piv = (*lup.add(dslot + lane)).abs();
+                    if piv <= PIVOT_EPS || !piv.is_finite() || lm > PIVOT_GROWTH_LIMIT {
+                        return Err((lane, SolveError::Singular { column: i }));
+                    }
                 }
             }
         }
@@ -502,83 +583,126 @@ impl BatchedLu {
             7 => self.solve_in_place_k::<7>(b),
             8 => self.solve_in_place_k::<8>(b),
             16 => self.solve_in_place_k::<16>(b),
+            32 => self.solve_in_place_k::<32>(b),
+            64 => self.solve_in_place_k::<64>(b),
             _ => self.solve_in_place_dyn(b),
         }
     }
 
-    /// Monomorphized substitution: each row's lanes accumulate in `K`
-    /// registers across the inner loops instead of read-modify-write
-    /// memory traffic per entry. Same operation order as the dynamic
-    /// path, so results are bit-identical.
-    // Lane loops deliberately index several parallel arrays by `lane`;
-    // the iterator forms clippy suggests obscure that symmetry.
-    #[allow(clippy::needless_range_loop)]
+    /// Monomorphized substitution, dispatched like
+    /// [`BatchedLu::refactor_lanes_k`]: each row's lanes accumulate in
+    /// vector registers across the inner loops instead of
+    /// read-modify-write memory traffic per entry. Same operation order
+    /// as the dynamic path, so results are bit-identical.
     fn solve_in_place_k<const K: usize>(&mut self, b: &mut [f64]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use crate::simd::Level;
+            let level = simd::level();
+            if K.is_multiple_of(8) && level == Level::Avx512 {
+                // SAFETY: `level()` is clamped to detected features.
+                return unsafe { self.solve_avx512::<K>(b) };
+            }
+            if K.is_multiple_of(4) && level >= Level::Avx2 {
+                // SAFETY: `level()` is clamped to detected features.
+                return unsafe { self.solve_avx2::<K>(b) };
+            }
+        }
+        // SAFETY: the scalar arm has no ISA requirements.
+        unsafe { self.solve_body::<K, ScalarLanes>(b) }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    fn solve_avx512<const K: usize>(&mut self, b: &mut [f64]) {
+        // SAFETY: caller verified avx512f; we are in a matching region.
+        unsafe { self.solve_body::<K, crate::simd::Avx512Lanes>(b) }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    fn solve_avx2<const K: usize>(&mut self, b: &mut [f64]) {
+        // SAFETY: caller verified avx2; we are in a matching region.
+        unsafe { self.solve_body::<K, crate::simd::Avx2Lanes>(b) }
+    }
+
+    /// The substitution kernel: `K` lanes in `K / S::W` vector chunks,
+    /// accumulators held in registers across each row's inner loop.
+    ///
+    /// # Safety
+    ///
+    /// `S`'s ISA must be available and enabled in the enclosing region;
+    /// `K` must be a multiple of `S::W` and equal `self.k`.
+    #[inline(always)]
+    unsafe fn solve_body<const K: usize, S: Simd>(&mut self, b: &mut [f64]) {
         debug_assert_eq!(self.k, K);
-        let sym = &self.sym;
-        // Permute and row-scale the right-hand sides (all lanes at once).
-        for i in 0..sym.n {
-            let r = sym.perm[i];
-            let rs = sym.row_scale[r];
-            let src = r * K;
-            for lane in 0..K {
-                self.xbuf[i * K + lane] = b[src + lane] * rs;
+        debug_assert_eq!(K % S::W, 0);
+        debug_assert_eq!(b.len(), self.sym.n * K);
+        let sym = Arc::clone(&self.sym);
+        let xp = self.xbuf.as_mut_ptr();
+        let lup = self.lu_values.as_ptr();
+        let offp = self.off_values.as_ptr();
+        let bp = b.as_mut_ptr();
+        // SAFETY (whole body): indices come from the symbolic analysis
+        // the buffers were sized against; `K % S::W == 0` keeps chunks
+        // inside each slot's lane group.
+        unsafe {
+            // Permute and row-scale the right-hand sides.
+            for i in 0..sym.n {
+                let r = sym.perm[i];
+                let rs = S::splat(sym.row_scale[r]);
+                for c in (0..K).step_by(S::W) {
+                    S::st(xp.add(i * K + c), S::mul(S::ld(bp.add(r * K + c)), rs));
+                }
             }
-        }
-        let x = &mut self.xbuf;
-        for bidx in 0..sym.block_ptr.len() - 1 {
-            let (bs, be) = (sym.block_ptr[bidx], sym.block_ptr[bidx + 1]);
-            // Subtract the couplings to earlier (already solved) blocks.
-            for i in bs..be {
-                let mut acc = [0.0; K];
-                acc.copy_from_slice(&x[i * K..(i + 1) * K]);
-                for s in sym.off_row_ptr[i]..sym.off_row_ptr[i + 1] {
-                    let c = sym.off_col_idx[s] * K;
-                    let ov = s * K;
-                    for lane in 0..K {
-                        acc[lane] -= self.off_values[ov + lane] * x[c + lane];
+            for bidx in 0..sym.block_ptr.len() - 1 {
+                let (bs, be) = (sym.block_ptr[bidx], sym.block_ptr[bidx + 1]);
+                // Subtract the couplings to earlier (already solved)
+                // blocks.
+                for i in bs..be {
+                    for c in (0..K).step_by(S::W) {
+                        let mut acc = S::ld(xp.add(i * K + c));
+                        for s in sym.off_row_ptr[i]..sym.off_row_ptr[i + 1] {
+                            let col = sym.off_col_idx[s] * K + c;
+                            acc =
+                                S::sub(acc, S::mul(S::ld(offp.add(s * K + c)), S::ld(xp.add(col))));
+                        }
+                        S::st(xp.add(i * K + c), acc);
                     }
                 }
-                x[i * K..(i + 1) * K].copy_from_slice(&acc);
-            }
-            // Forward substitution with unit-diagonal L.
-            for i in bs..be {
-                let mut acc = [0.0; K];
-                acc.copy_from_slice(&x[i * K..(i + 1) * K]);
-                for s in sym.lu_row_ptr[i]..sym.diag_slot[i] {
-                    let c = sym.lu_col_idx[s] * K;
-                    let lus = s * K;
-                    for lane in 0..K {
-                        acc[lane] -= self.lu_values[lus + lane] * x[c + lane];
+                // Forward substitution with unit-diagonal L.
+                for i in bs..be {
+                    for c in (0..K).step_by(S::W) {
+                        let mut acc = S::ld(xp.add(i * K + c));
+                        for s in sym.lu_row_ptr[i]..sym.diag_slot[i] {
+                            let col = sym.lu_col_idx[s] * K + c;
+                            acc =
+                                S::sub(acc, S::mul(S::ld(lup.add(s * K + c)), S::ld(xp.add(col))));
+                        }
+                        S::st(xp.add(i * K + c), acc);
                     }
                 }
-                x[i * K..(i + 1) * K].copy_from_slice(&acc);
-            }
-            // Back substitution with U.
-            for i in (bs..be).rev() {
-                let mut acc = [0.0; K];
-                acc.copy_from_slice(&x[i * K..(i + 1) * K]);
-                for s in (sym.diag_slot[i] + 1)..sym.lu_row_ptr[i + 1] {
-                    let c = sym.lu_col_idx[s] * K;
-                    let lus = s * K;
-                    for lane in 0..K {
-                        acc[lane] -= self.lu_values[lus + lane] * x[c + lane];
+                // Back substitution with U.
+                for i in (bs..be).rev() {
+                    let d = sym.diag_slot[i] * K;
+                    for c in (0..K).step_by(S::W) {
+                        let mut acc = S::ld(xp.add(i * K + c));
+                        for s in (sym.diag_slot[i] + 1)..sym.lu_row_ptr[i + 1] {
+                            let col = sym.lu_col_idx[s] * K + c;
+                            acc =
+                                S::sub(acc, S::mul(S::ld(lup.add(s * K + c)), S::ld(xp.add(col))));
+                        }
+                        S::st(xp.add(i * K + c), S::div(acc, S::ld(lup.add(d + c))));
                     }
                 }
-                let d = sym.diag_slot[i] * K;
-                for lane in 0..K {
-                    acc[lane] /= self.lu_values[d + lane];
-                }
-                x[i * K..(i + 1) * K].copy_from_slice(&acc);
             }
-        }
-        // Undo the column permutation and scaling.
-        for j in 0..sym.n {
-            let c = sym.cperm[j];
-            let cs = sym.col_scale[c];
-            let dst = c * K;
-            for lane in 0..K {
-                b[dst + lane] = cs * x[j * K + lane];
+            // Undo the column permutation and scaling.
+            for j in 0..sym.n {
+                let col = sym.cperm[j];
+                let cs = S::splat(sym.col_scale[col]);
+                for c in (0..K).step_by(S::W) {
+                    S::st(bp.add(col * K + c), S::mul(cs, S::ld(xp.add(j * K + c))));
+                }
             }
         }
     }

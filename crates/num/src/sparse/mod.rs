@@ -264,24 +264,83 @@ impl SparseMatrix {
             7 => self.mul_vec_lanes_k::<7>(values, x, y),
             8 => self.mul_vec_lanes_k::<8>(values, x, y),
             16 => self.mul_vec_lanes_k::<16>(values, x, y),
+            32 => self.mul_vec_lanes_k::<32>(values, x, y),
+            64 => self.mul_vec_lanes_k::<64>(values, x, y),
             _ => self.mul_vec_lanes_dyn(values, k, x, y),
         }
     }
 
-    /// Monomorphized body of [`SparseMatrix::mul_vec_lanes_into`]: the
-    /// per-row accumulator lives in `K` registers instead of memory.
+    /// Monomorphized body of [`SparseMatrix::mul_vec_lanes_into`],
+    /// dispatched to the widest SIMD arm `K` is a multiple of: the
+    /// per-row accumulator lives in vector registers.
     fn mul_vec_lanes_k<const K: usize>(&self, values: &[f64], x: &[f64], y: &mut [f64]) {
-        for i in 0..self.n {
-            let mut acc = [0.0; K];
-            for s in self.row_ptr[i]..self.row_ptr[i + 1] {
-                let col = self.col_idx[s];
-                let vs = &values[s * K..(s + 1) * K];
-                let xs = &x[col * K..(col + 1) * K];
-                for lane in 0..K {
-                    acc[lane] += vs[lane] * xs[lane];
+        #[cfg(target_arch = "x86_64")]
+        {
+            use crate::simd::{self, Level};
+            let level = simd::level();
+            if K.is_multiple_of(8) && level == Level::Avx512 {
+                // SAFETY: `level()` is clamped to detected features.
+                return unsafe { self.mul_vec_lanes_avx512::<K>(values, x, y) };
+            }
+            if K.is_multiple_of(4) && level >= Level::Avx2 {
+                // SAFETY: `level()` is clamped to detected features.
+                return unsafe { self.mul_vec_lanes_avx2::<K>(values, x, y) };
+            }
+        }
+        // SAFETY: the scalar arm has no ISA requirements.
+        unsafe { self.mul_vec_lanes_body::<K, crate::simd::ScalarLanes>(values, x, y) }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    fn mul_vec_lanes_avx512<const K: usize>(&self, values: &[f64], x: &[f64], y: &mut [f64]) {
+        // SAFETY: caller verified avx512f; we are in a matching region.
+        unsafe { self.mul_vec_lanes_body::<K, crate::simd::Avx512Lanes>(values, x, y) }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    fn mul_vec_lanes_avx2<const K: usize>(&self, values: &[f64], x: &[f64], y: &mut [f64]) {
+        // SAFETY: caller verified avx2; we are in a matching region.
+        unsafe { self.mul_vec_lanes_body::<K, crate::simd::Avx2Lanes>(values, x, y) }
+    }
+
+    /// The SpMV kernel: `K` lanes in `K / S::W` vector chunks, per-lane
+    /// accumulation order identical to the dynamic fallback (ascending
+    /// slots), so results are bit-identical across arms.
+    ///
+    /// # Safety
+    ///
+    /// `S`'s ISA must be available and enabled in the enclosing region;
+    /// `K` must be a multiple of `S::W` and match the interleave factor
+    /// of `values`/`x`/`y` (checked by the public entry point).
+    #[inline(always)]
+    unsafe fn mul_vec_lanes_body<const K: usize, S: crate::simd::Simd>(
+        &self,
+        values: &[f64],
+        x: &[f64],
+        y: &mut [f64],
+    ) {
+        debug_assert_eq!(K % S::W, 0);
+        let vp = values.as_ptr();
+        let xpt = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        // SAFETY (whole body): slot/row indices are bounds the public
+        // entry point asserted; chunks stay inside each lane group.
+        unsafe {
+            for i in 0..self.n {
+                for c in (0..K).step_by(S::W) {
+                    let mut acc = S::splat(0.0);
+                    for s in self.row_ptr[i]..self.row_ptr[i + 1] {
+                        let col = self.col_idx[s];
+                        acc = S::add(
+                            acc,
+                            S::mul(S::ld(vp.add(s * K + c)), S::ld(xpt.add(col * K + c))),
+                        );
+                    }
+                    S::st(yp.add(i * K + c), acc);
                 }
             }
-            y[i * K..(i + 1) * K].copy_from_slice(&acc);
         }
     }
 

@@ -347,9 +347,22 @@ impl ServerConfig {
             match flag.as_str() {
                 "--listen" => cfg.addr = value("--listen")?,
                 "--lanes" => {
-                    cfg.lanes = value("--lanes")?
-                        .parse()
-                        .map_err(|e| format!("--lanes: {e}"))?;
+                    let v = value("--lanes")?;
+                    cfg.lanes = if v == "auto" {
+                        // Widest measured lane width: the daemon streams
+                        // an unbounded population, so the large-N row of
+                        // the benchmark-derived table applies
+                        // (BENCH_solver.json in the working directory,
+                        // else the built-in 16-lane default).
+                        rotsv::mc::load_measured_tuning(std::path::Path::new("BENCH_solver.json"));
+                        rotsv::mc::auto_lane_table()
+                            .iter()
+                            .map(|&(_, lanes)| lanes)
+                            .max()
+                            .unwrap_or(16)
+                    } else {
+                        v.parse().map_err(|e| format!("--lanes: {e}"))?
+                    };
                 }
                 "--workers" => {
                     cfg.workers = value("--workers")?

@@ -57,6 +57,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use rotsv_num::linsolve::SolveError;
+use rotsv_num::simd::{ScalarLanes, Simd};
 use rotsv_num::sparse::{
     AnalyzeOptions, BatchedLu, SolverStats, SparseMatrix, SymbolicCache, SymbolicLu,
 };
@@ -470,17 +471,17 @@ impl BatchWorkspace {
             7 => self.assemble_k::<7>(ckts, x, t, companions),
             8 => self.assemble_k::<8>(ckts, x, t, companions),
             16 => self.assemble_k::<16>(ckts, x, t, companions),
+            32 => self.assemble_k::<32>(ckts, x, t, companions),
+            64 => self.assemble_k::<64>(ckts, x, t, companions),
             _ => self.assemble_dyn(ckts, x, t, companions),
         }
     }
 
-    /// Monomorphized assembly for `K == self.k`: identical stamp order
-    /// and arithmetic to [`BatchWorkspace::assemble_dyn`], with
-    /// const-length lane loops that unroll and vectorize. Each lane is
-    /// evaluated at its own time `t[lane]` (lanes step asynchronously).
-    // Lane loops deliberately index several parallel arrays by `lane`;
-    // the iterator forms clippy suggests obscure that symmetry.
-    #[allow(clippy::needless_range_loop)]
+    /// Monomorphized assembly for `K == self.k`: dispatches the lane
+    /// sweeps to the widest SIMD arm `K` is a multiple of. Identical
+    /// stamp order and per-lane arithmetic to
+    /// [`BatchWorkspace::assemble_dyn`] on every arm, so the dispatch
+    /// decision never changes a transient.
     fn assemble_k<const K: usize>(
         &mut self,
         ckts: &Population,
@@ -489,16 +490,87 @@ impl BatchWorkspace {
         companions: &[(f64, f64)],
     ) {
         debug_assert_eq!(self.k, K);
+        #[cfg(target_arch = "x86_64")]
+        {
+            use rotsv_num::simd::{self, Level};
+            let level = simd::level();
+            if K.is_multiple_of(8) && level == Level::Avx512 {
+                // SAFETY: `level()` is clamped to detected features.
+                return unsafe { self.assemble_avx512::<K>(ckts, x, t, companions) };
+            }
+            if K.is_multiple_of(4) && level >= Level::Avx2 {
+                // SAFETY: `level()` is clamped to detected features.
+                return unsafe { self.assemble_avx2::<K>(ckts, x, t, companions) };
+            }
+        }
+        // SAFETY: the scalar arm has no ISA requirements.
+        unsafe { self.assemble_body::<K, ScalarLanes>(ckts, x, t, companions) }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    fn assemble_avx512<const K: usize>(
+        &mut self,
+        ckts: &Population,
+        x: &[f64],
+        t: &[f64],
+        companions: &[(f64, f64)],
+    ) {
+        // SAFETY: caller verified avx512f; we are in a matching region.
+        unsafe { self.assemble_body::<K, rotsv_num::simd::Avx512Lanes>(ckts, x, t, companions) }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    fn assemble_avx2<const K: usize>(
+        &mut self,
+        ckts: &Population,
+        x: &[f64],
+        t: &[f64],
+        companions: &[(f64, f64)],
+    ) {
+        // SAFETY: caller verified avx2; we are in a matching region.
+        unsafe { self.assemble_body::<K, rotsv_num::simd::Avx2Lanes>(ckts, x, t, companions) }
+    }
+
+    /// The assembly sweep, generic over the ISA token. Each lane is
+    /// evaluated at its own time `t[lane]` (lanes step asynchronously);
+    /// waveform evaluation and the capacitor-companion gathers stay
+    /// scalar (strided or call-bearing), the value/rhs lane loops run in
+    /// `K / S::W` vector chunks.
+    ///
+    /// # Safety
+    ///
+    /// `S`'s ISA must be available and enabled in the enclosing region;
+    /// `K` must be a multiple of `S::W` and equal `self.k`.
+    // Lane loops deliberately index several parallel arrays by `lane`;
+    // the iterator forms clippy suggests obscure that symmetry.
+    #[allow(clippy::needless_range_loop)]
+    #[inline(always)]
+    unsafe fn assemble_body<const K: usize, S: Simd>(
+        &mut self,
+        ckts: &Population,
+        x: &[f64],
+        t: &[f64],
+        companions: &[(f64, f64)],
+    ) {
+        debug_assert_eq!(K % S::W, 0);
         self.values.fill(0.0);
         self.b.fill(0.0);
         let mut cursor = 0usize;
-        for _ in 0..self.n_node_unknowns {
-            let slot = self.slots[cursor];
-            let dst = &mut self.values[slot * K..(slot + 1) * K];
-            for lane in 0..K {
-                dst[lane] += self.gmin;
+        // SAFETY (lane chunks throughout): every `slot * K` / `row * K`
+        // group is K f64s inside `self.values` / `self.b`, sized at
+        // construction; chunks are W-aligned within a group.
+        unsafe {
+            let gmin = S::splat(self.gmin);
+            for _ in 0..self.n_node_unknowns {
+                let slot = self.slots[cursor];
+                let dst = self.values.as_mut_ptr().add(slot * K);
+                for c in (0..K).step_by(S::W) {
+                    S::st(dst.add(c), S::add(S::ld(dst.add(c)), gmin));
+                }
+                cursor += 1;
             }
-            cursor += 1;
         }
         let mut cap_idx = 0usize;
         // Move the element list out so `self` stays borrowable.
@@ -506,7 +578,8 @@ impl BatchWorkspace {
         for (ei, elem) in elems.iter().enumerate() {
             match elem {
                 BatchElem::Resistor { a, b, g } => {
-                    cursor = self.stamp_conductance_k::<K>(cursor, *a, *b, g);
+                    // SAFETY: propagated from the caller.
+                    cursor = unsafe { self.stamp_conductance_body::<K, S>(cursor, *a, *b, g) };
                 }
                 BatchElem::Capacitor { a, b } => {
                     let base = cap_idx * K;
@@ -514,7 +587,8 @@ impl BatchWorkspace {
                     for lane in 0..K {
                         g[lane] = companions[base + lane].0;
                     }
-                    cursor = self.stamp_conductance_k::<K>(cursor, *a, *b, &g);
+                    // SAFETY: propagated from the caller.
+                    cursor = unsafe { self.stamp_conductance_body::<K, S>(cursor, *a, *b, &g) };
                     if let Some(ra) = row_of(*a) {
                         for lane in 0..K {
                             self.b[ra * K + lane] -= companions[base + lane].1;
@@ -534,21 +608,27 @@ impl BatchWorkspace {
                     waves,
                 } => {
                     let rb = self.n_node_unknowns + branch;
-                    if row_of(*pos).is_some() {
-                        for s in [self.slots[cursor], self.slots[cursor + 1]] {
-                            for lane in 0..K {
-                                self.values[s * K + lane] += 1.0;
+                    // SAFETY: see the lane-chunk note above.
+                    unsafe {
+                        let one = S::splat(1.0);
+                        if row_of(*pos).is_some() {
+                            for s in [self.slots[cursor], self.slots[cursor + 1]] {
+                                let dst = self.values.as_mut_ptr().add(s * K);
+                                for c in (0..K).step_by(S::W) {
+                                    S::st(dst.add(c), S::add(S::ld(dst.add(c)), one));
+                                }
                             }
+                            cursor += 2;
                         }
-                        cursor += 2;
-                    }
-                    if row_of(*neg).is_some() {
-                        for s in [self.slots[cursor], self.slots[cursor + 1]] {
-                            for lane in 0..K {
-                                self.values[s * K + lane] -= 1.0;
+                        if row_of(*neg).is_some() {
+                            for s in [self.slots[cursor], self.slots[cursor + 1]] {
+                                let dst = self.values.as_mut_ptr().add(s * K);
+                                for c in (0..K).step_by(S::W) {
+                                    S::st(dst.add(c), S::sub(S::ld(dst.add(c)), one));
+                                }
                             }
+                            cursor += 2;
                         }
-                        cursor += 2;
                     }
                     for (lane, wave) in waves.iter().enumerate() {
                         self.b[rb * K + lane] = wave.value(t[lane]);
@@ -566,7 +646,8 @@ impl BatchWorkspace {
                     }
                 }
                 BatchElem::Device(di) => {
-                    cursor = self.stamp_device_k::<K>(ckts, ei, *di, x, cursor);
+                    // SAFETY: propagated from the caller.
+                    cursor = unsafe { self.stamp_device_body::<K, S>(ckts, ei, *di, x, cursor) };
                 }
             }
         }
@@ -574,9 +655,15 @@ impl BatchWorkspace {
         debug_assert_eq!(cursor, self.slots.len(), "stamp replay out of sync");
     }
 
-    /// Monomorphized two-terminal conductance stamp (see
-    /// [`BatchWorkspace::stamp_conductance`]).
-    fn stamp_conductance_k<const K: usize>(
+    /// Two-terminal conductance stamp, vector-chunked (see
+    /// [`BatchWorkspace::stamp_conductance`]). The `sign * g` multiply
+    /// matches the dynamic body (`-1.0 * g`, not a sign-bit flip).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`BatchWorkspace::assemble_body`].
+    #[inline(always)]
+    unsafe fn stamp_conductance_body<const K: usize, S: Simd>(
         &mut self,
         mut cursor: usize,
         a: NodeId,
@@ -584,34 +671,47 @@ impl BatchWorkspace {
         g: &[f64],
     ) -> usize {
         let g = &g[..K];
-        match (row_of(a), row_of(b)) {
-            (Some(_), Some(_)) => {
-                for (c, sign) in [(0, 1.0), (1, 1.0), (2, -1.0), (3, -1.0)] {
-                    let dst = &mut self.values[self.slots[cursor + c] * K..][..K];
-                    for lane in 0..K {
-                        dst[lane] += sign * g[lane];
+        let gp = g.as_ptr();
+        // SAFETY: see the lane-chunk note in `assemble_body`.
+        unsafe {
+            match (row_of(a), row_of(b)) {
+                (Some(_), Some(_)) => {
+                    for (off, sign) in [(0, 1.0), (1, 1.0), (2, -1.0), (3, -1.0)] {
+                        let sv = S::splat(sign);
+                        let dst = self.values.as_mut_ptr().add(self.slots[cursor + off] * K);
+                        for c in (0..K).step_by(S::W) {
+                            let add = S::mul(sv, S::ld(gp.add(c)));
+                            S::st(dst.add(c), S::add(S::ld(dst.add(c)), add));
+                        }
                     }
+                    cursor += 4;
                 }
-                cursor += 4;
-            }
-            (Some(_), None) | (None, Some(_)) => {
-                let dst = &mut self.values[self.slots[cursor] * K..][..K];
-                for lane in 0..K {
-                    dst[lane] += g[lane];
+                (Some(_), None) | (None, Some(_)) => {
+                    let dst = self.values.as_mut_ptr().add(self.slots[cursor] * K);
+                    for c in (0..K).step_by(S::W) {
+                        S::st(dst.add(c), S::add(S::ld(dst.add(c)), S::ld(gp.add(c))));
+                    }
+                    cursor += 1;
                 }
-                cursor += 1;
+                (None, None) => {}
             }
-            (None, None) => {}
         }
         cursor
     }
 
-    /// Monomorphized device stamp: gather, evaluate, Norton-accumulate
-    /// with the per-terminal right-hand side in `K` registers.
+    /// Device stamp: gather, evaluate, Norton-accumulate with the
+    /// per-terminal right-hand side held in a vector register per chunk.
+    /// The `tj` accumulation order per lane matches the dynamic body
+    /// (chunk-outer, `tj`-inner; lanes are independent).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`BatchWorkspace::assemble_body`].
     // Lane loops deliberately index several parallel arrays by `lane`;
     // the iterator forms clippy suggests obscure that symmetry.
     #[allow(clippy::needless_range_loop)]
-    fn stamp_device_k<const K: usize>(
+    #[inline(always)]
+    unsafe fn stamp_device_body<const K: usize, S: Simd>(
         &mut self,
         ckts: &Population,
         elem_idx: usize,
@@ -652,30 +752,36 @@ impl BatchWorkspace {
                 }
             }
         }
+        let cbp = dev.cbuf.as_ptr();
+        let jbp = dev.jbuf.as_ptr();
+        let vbp = dev.vbuf.as_ptr();
+        let vp = self.values.as_mut_ptr();
+        let bp = self.b.as_mut_ptr();
         for (ti, &nk_node) in dev.nodes.iter().enumerate() {
             let Some(rk) = row_of(nk_node) else { continue };
-            let mut rhs = [0.0; K];
-            for lane in 0..K {
-                rhs[lane] = -dev.cbuf[ti * K + lane];
-            }
-            for (tj, &nj_node) in dev.nodes.iter().enumerate() {
-                let jbase = (ti * nt + tj) * K;
-                let jrow = &dev.jbuf[jbase..jbase + K];
-                let vrow = &dev.vbuf[tj * K..(tj + 1) * K];
-                for lane in 0..K {
-                    rhs[lane] += jrow[lane] * vrow[lane];
-                }
-                if row_of(nj_node).is_some() {
-                    let slot = self.slots[cursor];
-                    cursor += 1;
-                    let dst = &mut self.values[slot * K..(slot + 1) * K];
-                    for lane in 0..K {
-                        dst[lane] += jrow[lane];
+            // Each chunk replays the `tj` sweep with its own cursor so
+            // every (ti, tj) slot is stamped exactly once per chunk.
+            let cursor_ti = cursor;
+            // SAFETY: see the lane-chunk note in `assemble_body`; cbuf /
+            // jbuf / vbuf hold nt·K / nt²·K / nt·K f64s.
+            unsafe {
+                for c in (0..K).step_by(S::W) {
+                    let mut cur = cursor_ti;
+                    let mut rhs = S::neg(S::ld(cbp.add(ti * K + c)));
+                    for (tj, &nj_node) in dev.nodes.iter().enumerate() {
+                        let jrow = S::ld(jbp.add((ti * nt + tj) * K + c));
+                        rhs = S::add(rhs, S::mul(jrow, S::ld(vbp.add(tj * K + c))));
+                        if row_of(nj_node).is_some() {
+                            let slot = self.slots[cur];
+                            cur += 1;
+                            let dst = vp.add(slot * K + c);
+                            S::st(dst, S::add(S::ld(dst), jrow));
+                        }
                     }
+                    let dst = bp.add(rk * K + c);
+                    S::st(dst, S::add(S::ld(dst), rhs));
+                    cursor = cur;
                 }
-            }
-            for lane in 0..K {
-                self.b[rk * K + lane] += rhs[lane];
             }
         }
         cursor
